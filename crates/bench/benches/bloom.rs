@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the Bloom filter substrate: build, probe
+//! (hit-heavy and miss-heavy), merge, and the partitioned strategies.
+
+use bfq_bloom::strategy::{build_filter, StreamingStrategy};
+use bfq_bloom::BloomFilter;
+use bfq_storage::Column;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn int_col(n: i64, offset: i64) -> Column {
+    Column::Int64((offset..offset + n).collect(), None)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom_build");
+    for n in [10_000i64, 100_000, 1_000_000] {
+        let col = int_col(n, 0);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &col, |b, col| {
+            b.iter(|| {
+                let mut f = BloomFilter::with_expected_ndv(col.len());
+                f.insert_column(black_box(col));
+                black_box(f)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom_probe");
+    let n = 100_000i64;
+    let mut filter = BloomFilter::with_expected_ndv(n as usize);
+    filter.insert_column(&int_col(n, 0));
+    let hits = int_col(n, 0);
+    let misses = int_col(n, 10_000_000);
+    let sel: Vec<u32> = (0..n as u32).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("all_hits", |b| {
+        b.iter(|| black_box(filter.probe_selected(black_box(&hits), &sel)))
+    });
+    g.bench_function("all_misses", |b| {
+        b.iter(|| black_box(filter.probe_selected(black_box(&misses), &sel)))
+    });
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom_strategy_build");
+    let per_thread = 50_000i64;
+    let threads: Vec<Column> = (0..4).map(|t| int_col(per_thread, t * per_thread)).collect();
+    for strat in [
+        StreamingStrategy::BroadcastBuild,
+        StreamingStrategy::BroadcastProbe,
+        StreamingStrategy::PartitionUnaligned,
+    ] {
+        g.bench_function(strat.label(), |b| {
+            b.iter(|| {
+                black_box(build_filter(
+                    strat,
+                    black_box(&threads),
+                    (per_thread * 4) as usize,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let bits = 1 << 20;
+    let mut a = BloomFilter::with_bits(bits);
+    let mut b2 = BloomFilter::with_bits(bits);
+    a.insert_column(&int_col(100_000, 0));
+    b2.insert_column(&int_col(100_000, 100_000));
+    c.bench_function("bloom_union_1Mbit", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            m.union_with(black_box(&b2));
+            black_box(m)
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_probe, bench_strategies, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark: optimizer planning time per Bloom mode.
+//!
+//! Complements the Table 2 planner-latency columns: BF-CBO must cost more
+//! than BF-Post/No-BF, but stay bounded (the naïve variant's explosion is
+//! measured separately by the `naive_blowup` binary).
+
+use bfq_core::{optimize, BloomMode, OptimizerConfig};
+use bfq_plan::Bindings;
+use bfq_sql::plan_sql;
+use bfq_tpch::{gen, query_text};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_planning(c: &mut Criterion) {
+    let sf = 0.01;
+    let db = gen::generate(sf, 42).expect("generate");
+    let catalog = db.catalog;
+    let mut g = c.benchmark_group("planning");
+    // Q5 (6 relations) and Q8 (8 relations, the paper's slowest planner).
+    for q in [5usize, 8] {
+        let sql = query_text(q, sf);
+        for (label, mode) in [
+            ("none", BloomMode::None),
+            ("post", BloomMode::Post),
+            ("cbo", BloomMode::Cbo),
+        ] {
+            let config = OptimizerConfig::with_mode(mode).dop(4);
+            g.bench_with_input(
+                BenchmarkId::new(format!("q{q}"), label),
+                &sql,
+                |b, sql| {
+                    b.iter(|| {
+                        let mut bindings = Bindings::new();
+                        let bound = plan_sql(sql, &catalog, &mut bindings).expect("bind");
+                        black_box(
+                            optimize(&bound.plan, &mut bindings, &catalog, &config)
+                                .expect("optimize"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! **E5 — Paper Table 2 / Figure 5**: TPC-H query latencies normalized to
+//! the no-Bloom-filter baseline, plus planner latencies, for BF-Post and
+//! BF-CBO.
+//!
+//! Expected shape (paper): BF-Post ≈ 0.71 of No-BF overall; BF-CBO ≈ 0.48,
+//! i.e. a further ~30% cut; BF-CBO planner time noticeably higher than
+//! BF-Post but bounded. Absolute numbers differ (laptop SF vs the paper's
+//! SF100 / 48-core box); shapes should hold.
+
+use bfq_bench::harness::{filters_in_plan, measure_tpch, BenchEnv};
+use bfq_core::BloomMode;
+use bfq_tpch::TABLE2_QUERIES;
+
+fn main() {
+    let env = BenchEnv::load();
+    let catalog = env.load_db();
+
+    println!("# Table 2 reproduction — TPC-H SF {} DOP {}", env.sf, env.dop);
+    println!(
+        "# {:>3} {:>10} {:>10} {:>10} {:>8} {:>8} {:>7} | {:>10} {:>10} | {:>5} {:>5}",
+        "Q#",
+        "nobf_ms",
+        "post_ms",
+        "cbo_ms",
+        "post_rel",
+        "cbo_rel",
+        "%impr",
+        "post_plan",
+        "cbo_plan",
+        "bfP",
+        "bfC"
+    );
+
+    let (mut sum_none, mut sum_post, mut sum_cbo) = (0.0, 0.0, 0.0);
+    let (mut plan_post_total, mut plan_cbo_total) = (0.0, 0.0);
+    for q in TABLE2_QUERIES {
+        let none = measure_tpch(&catalog, &env, q, BloomMode::None).expect("no-bf run");
+        let post = measure_tpch(&catalog, &env, q, BloomMode::Post).expect("bf-post run");
+        let cbo = measure_tpch(&catalog, &env, q, BloomMode::Cbo).expect("bf-cbo run");
+        assert_eq!(
+            none.chunk.rows(),
+            cbo.chunk.rows(),
+            "Q{q}: result row count mismatch"
+        );
+        let rel_post = post.exec_ms / none.exec_ms;
+        let rel_cbo = cbo.exec_ms / none.exec_ms;
+        let improvement = 100.0 * (1.0 - rel_cbo / rel_post);
+        println!(
+            "  {:>3} {:>10.2} {:>10.2} {:>10.2} {:>8.3} {:>8.3} {:>7.1} | {:>10.2} {:>10.2} | {:>5} {:>5}",
+            q,
+            none.exec_ms,
+            post.exec_ms,
+            cbo.exec_ms,
+            rel_post,
+            rel_cbo,
+            improvement,
+            post.plan_ms,
+            cbo.plan_ms,
+            filters_in_plan(&post),
+            filters_in_plan(&cbo),
+        );
+        sum_none += none.exec_ms;
+        sum_post += post.exec_ms;
+        sum_cbo += cbo.exec_ms;
+        plan_post_total += post.plan_ms;
+        plan_cbo_total += cbo.plan_ms;
+    }
+    println!(
+        "# total: no-bf {:.1} ms | bf-post {:.1} ms (rel {:.3}) | bf-cbo {:.1} ms (rel {:.3}) | bf-cbo vs bf-post: {:.1}% lower",
+        sum_none,
+        sum_post,
+        sum_post / sum_none,
+        sum_cbo,
+        sum_cbo / sum_none,
+        100.0 * (1.0 - sum_cbo / sum_post)
+    );
+    println!(
+        "# planner totals: bf-post {:.1} ms, bf-cbo {:.1} ms (paper: 254.3 vs 540.7)",
+        plan_post_total, plan_cbo_total
+    );
+}

@@ -1,0 +1,64 @@
+//! **E6 — Paper Table 3**: the Table 2 sweep with Heuristic 7 enabled
+//! (cap Bloom-filter sub-plans per relation; prune to the fewest-rows one).
+//!
+//! Expected shape: planner latency drops versus plain BF-CBO (paper: 540.7 →
+//! 421.9 ms total) while total query latency degrades slightly (32.8% →
+//! 31.4% improvement over BF-Post), with individual queries occasionally
+//! regressing (the paper's Q8).
+
+use bfq_bench::harness::{measure_tpch, BenchEnv, measure_query};
+use bfq_core::BloomMode;
+use bfq_tpch::{query_text, TABLE2_QUERIES};
+
+fn main() {
+    let env = BenchEnv::load();
+    let catalog = env.load_db();
+
+    println!(
+        "# Table 3 reproduction (Heuristic 7 on) — TPC-H SF {} DOP {}",
+        env.sf, env.dop
+    );
+    println!(
+        "# {:>3} {:>10} {:>10} {:>10} | {:>10} {:>10}",
+        "Q#", "cbo_ms", "cbo_h7_ms", "h7_delta%", "plan_cbo", "plan_h7"
+    );
+    let (mut sum_cbo, mut sum_h7) = (0.0, 0.0);
+    let (mut plan_cbo, mut plan_h7) = (0.0, 0.0);
+    let (mut sum_post, mut sum_none) = (0.0, 0.0);
+    for q in TABLE2_QUERIES {
+        let none = measure_tpch(&catalog, &env, q, BloomMode::None).expect("none");
+        let post = measure_tpch(&catalog, &env, q, BloomMode::Post).expect("post");
+        let cbo = measure_tpch(&catalog, &env, q, BloomMode::Cbo).expect("cbo");
+        let mut cfg = env.config(BloomMode::Cbo);
+        cfg.h7_enabled = true;
+        cfg.h7_max_subplans = 4;
+        let h7 =
+            measure_query(&catalog, &query_text(q, env.sf), &cfg, env.runs).expect("cbo+h7");
+        println!(
+            "  {:>3} {:>10.2} {:>10.2} {:>10.1} | {:>10.2} {:>10.2}",
+            q,
+            cbo.exec_ms,
+            h7.exec_ms,
+            100.0 * (h7.exec_ms - cbo.exec_ms) / cbo.exec_ms,
+            cbo.plan_ms,
+            h7.plan_ms
+        );
+        sum_cbo += cbo.exec_ms;
+        sum_h7 += h7.exec_ms;
+        plan_cbo += cbo.plan_ms;
+        plan_h7 += h7.plan_ms;
+        sum_post += post.exec_ms;
+        sum_none += none.exec_ms;
+    }
+    println!(
+        "# exec totals: no-bf {sum_none:.1} | bf-post {sum_post:.1} | bf-cbo {sum_cbo:.1} | bf-cbo+H7 {sum_h7:.1} ms"
+    );
+    println!(
+        "# improvement over bf-post: cbo {:.1}% vs cbo+H7 {:.1}% (paper: 32.8% vs 31.4%)",
+        100.0 * (1.0 - sum_cbo / sum_post),
+        100.0 * (1.0 - sum_h7 / sum_post)
+    );
+    println!(
+        "# planner totals: cbo {plan_cbo:.1} ms vs cbo+H7 {plan_h7:.1} ms (paper: 540.7 vs 421.9)"
+    );
+}

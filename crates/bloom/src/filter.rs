@@ -1,0 +1,316 @@
+//! The core Bloom filter.
+
+use bfq_common::hash;
+use bfq_storage::Column;
+
+use crate::math::{bits_for_ndv, false_positive_rate, DEFAULT_BITS_PER_KEY, NUM_HASHES};
+
+/// Seeds for the two hash functions (paper §3.5 fixes k = 2). The values are
+/// arbitrary odd 64-bit constants; what matters is that they differ from each
+/// other and from the executor's partitioning seed.
+pub const BLOOM_SEED_1: u64 = 0x51ed_270b_9f9c_17e3;
+/// Second hash seed.
+pub const BLOOM_SEED_2: u64 = 0xb492_b66f_be98_f273;
+
+/// A Bloom filter over single-column hash keys.
+///
+/// Power-of-two sized so probes mask rather than mod. Inserting never fails;
+/// as the filter saturates the false-positive rate degrades gracefully
+/// (observable via [`BloomFilter::saturation`], which the paper's future-work
+/// section proposes monitoring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    mask: u64,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// A filter sized for `expected_ndv` distinct keys at the default
+    /// bits-per-key budget.
+    pub fn with_expected_ndv(expected_ndv: usize) -> Self {
+        Self::with_bits(bits_for_ndv(expected_ndv, DEFAULT_BITS_PER_KEY))
+    }
+
+    /// A filter with exactly `bits` bits (`bits` must be a power of two ≥ 64).
+    pub fn with_bits(bits: usize) -> Self {
+        assert!(bits.is_power_of_two() && bits >= 64, "bad filter size {bits}");
+        BloomFilter {
+            words: vec![0u64; bits / 64],
+            mask: (bits - 1) as u64,
+            inserted: 0,
+        }
+    }
+
+    /// Number of bits in the filter.
+    pub fn num_bits(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Number of keys inserted so far (counting duplicates).
+    pub fn inserted_keys(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Memory footprint of the bit array in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    #[inline]
+    fn set_bit(&mut self, bit: u64) {
+        let bit = bit & self.mask;
+        self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn test_bit(&self, bit: u64) -> bool {
+        let bit = bit & self.mask;
+        self.words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Insert a pre-hashed key (pass hashes from the two bloom seeds).
+    #[inline]
+    pub fn insert_hashes(&mut self, h1: u64, h2: u64) {
+        self.set_bit(h1);
+        self.set_bit(h2);
+        self.inserted += 1;
+    }
+
+    /// Test a pre-hashed key.
+    #[inline]
+    pub fn contains_hashes(&self, h1: u64, h2: u64) -> bool {
+        self.test_bit(h1) && self.test_bit(h2)
+    }
+
+    /// Insert one integer key (convenience for tests and examples).
+    pub fn insert_i64(&mut self, v: i64) {
+        self.insert_hashes(
+            hash::hash_i64(v, BLOOM_SEED_1),
+            hash::hash_i64(v, BLOOM_SEED_2),
+        );
+    }
+
+    /// Test one integer key.
+    pub fn contains_i64(&self, v: i64) -> bool {
+        self.contains_hashes(
+            hash::hash_i64(v, BLOOM_SEED_1),
+            hash::hash_i64(v, BLOOM_SEED_2),
+        )
+    }
+
+    /// Insert every non-null value of a column.
+    pub fn insert_column(&mut self, col: &Column) {
+        let mut h1 = Vec::new();
+        let mut h2 = Vec::new();
+        col.hash_into(BLOOM_SEED_1, &mut h1);
+        col.hash_into(BLOOM_SEED_2, &mut h2);
+        match col.validity() {
+            None => {
+                for i in 0..col.len() {
+                    self.insert_hashes(h1[i], h2[i]);
+                }
+            }
+            Some(bm) => {
+                for i in 0..col.len() {
+                    if bm.get(i) {
+                        self.insert_hashes(h1[i], h2[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Probe the rows of `col` selected by `sel`, returning the surviving
+    /// subset of `sel` (null keys never survive — a NULL join key cannot
+    /// match any build row).
+    pub fn probe_selected(&self, col: &Column, sel: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(sel.len());
+        for &i in sel {
+            let idx = i as usize;
+            if col.is_null(idx) {
+                continue;
+            }
+            let h1 = col.hash_one(idx, BLOOM_SEED_1);
+            let h2 = col.hash_one(idx, BLOOM_SEED_2);
+            if self.contains_hashes(h1, h2) {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Probe every row of `col`, returning the selection of survivors.
+    pub fn probe_all(&self, col: &Column) -> Vec<u32> {
+        let all: Vec<u32> = (0..col.len() as u32).collect();
+        self.probe_selected(col, &all)
+    }
+
+    /// Bitwise union with a same-sized filter (the merge operation used for
+    /// broadcast-probe streaming, paper §3.9 strategy 2).
+    ///
+    /// # Panics
+    /// Panics if the filters have different sizes — merging differently-sized
+    /// filters is a planning bug.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert_eq!(
+            self.num_bits(),
+            other.num_bits(),
+            "cannot union differently sized Bloom filters"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+        self.inserted += other.inserted;
+    }
+
+    /// Fraction of bits set; near-1.0 means the filter is saturated and
+    /// filters nothing.
+    pub fn saturation(&self) -> f64 {
+        let set: u64 = self.words.iter().map(|w| w.count_ones() as u64).sum();
+        set as f64 / self.num_bits() as f64
+    }
+
+    /// Theoretical FPR at the current load.
+    pub fn estimated_fpr(&self) -> f64 {
+        false_positive_rate(
+            self.num_bits() as f64,
+            NUM_HASHES as f64,
+            self.inserted as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfq_storage::Bitmap;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_expected_ndv(1000);
+        for v in 0..1000i64 {
+            f.insert_i64(v);
+        }
+        for v in 0..1000i64 {
+            assert!(f.contains_i64(v), "false negative for {v}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_in_expected_band() {
+        let n = 10_000i64;
+        let mut f = BloomFilter::with_expected_ndv(n as usize);
+        for v in 0..n {
+            f.insert_i64(v);
+        }
+        let mut fp = 0usize;
+        let probes = 100_000i64;
+        for v in n..n + probes {
+            if f.contains_i64(v) {
+                fp += 1;
+            }
+        }
+        let observed = fp as f64 / probes as f64;
+        let theoretical = f.estimated_fpr();
+        assert!(
+            observed < theoretical * 2.0 + 0.01,
+            "observed fpr {observed} vs theoretical {theoretical}"
+        );
+    }
+
+    #[test]
+    fn column_insert_and_probe() {
+        let build = Column::Int64(vec![1, 2, 3, 4, 5], None);
+        let mut f = BloomFilter::with_expected_ndv(5);
+        f.insert_column(&build);
+        let probe = Column::Int64(vec![3, 99, 1, 77_777], None);
+        let sel = f.probe_all(&probe);
+        // 3 and 1 must survive; the others may only survive as false positives
+        // (essentially impossible at this load).
+        assert!(sel.contains(&0) && sel.contains(&2));
+        assert!(sel.len() <= 3);
+    }
+
+    #[test]
+    fn null_keys_are_filtered_out() {
+        let build = Column::Int64(vec![1, 2], None);
+        let mut f = BloomFilter::with_expected_ndv(2);
+        f.insert_column(&build);
+        let probe = Column::Int64(
+            vec![1, 1],
+            Some(Bitmap::from_bools([true, false])),
+        );
+        assert_eq!(f.probe_all(&probe), vec![0]);
+    }
+
+    #[test]
+    fn null_build_keys_not_inserted() {
+        let build = Column::Int64(vec![7, 8], Some(Bitmap::from_bools([true, false])));
+        let mut f = BloomFilter::with_expected_ndv(16);
+        f.insert_column(&build);
+        assert_eq!(f.inserted_keys(), 1);
+        assert!(f.contains_i64(7));
+    }
+
+    #[test]
+    fn probe_selected_respects_input_selection() {
+        let build = Column::Int64(vec![10, 20], None);
+        let mut f = BloomFilter::with_expected_ndv(2);
+        f.insert_column(&build);
+        let probe = Column::Int64(vec![10, 20, 10, 20], None);
+        let sel = f.probe_selected(&probe, &[1, 3]);
+        assert_eq!(sel, vec![1, 3]);
+    }
+
+    #[test]
+    fn union_or_bits_together() {
+        let mut a = BloomFilter::with_bits(1024);
+        let mut b = BloomFilter::with_bits(1024);
+        a.insert_i64(1);
+        b.insert_i64(2);
+        assert!(!a.contains_i64(2));
+        a.union_with(&b);
+        assert!(a.contains_i64(1) && a.contains_i64(2));
+        assert_eq!(a.inserted_keys(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "differently sized")]
+    fn union_size_mismatch_panics() {
+        let mut a = BloomFilter::with_bits(1024);
+        let b = BloomFilter::with_bits(2048);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn saturation_grows_with_load() {
+        let mut f = BloomFilter::with_bits(512);
+        assert_eq!(f.saturation(), 0.0);
+        for v in 0..64 {
+            f.insert_i64(v);
+        }
+        let s1 = f.saturation();
+        for v in 64..512 {
+            f.insert_i64(v);
+        }
+        assert!(f.saturation() > s1);
+        assert!(f.saturation() <= 1.0);
+    }
+
+    #[test]
+    fn string_keys() {
+        let build: bfq_storage::StrData = ["FRANCE", "GERMANY"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut f = BloomFilter::with_expected_ndv(4);
+        f.insert_column(&Column::Utf8(build, None));
+        let probe: bfq_storage::StrData = ["GERMANY", "JAPAN"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let sel = f.probe_all(&Column::Utf8(probe, None));
+        assert!(sel.contains(&0));
+    }
+}

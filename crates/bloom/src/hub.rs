@@ -1,0 +1,182 @@
+//! The runtime rendezvous between filter producers (hash joins) and
+//! consumers (table scans).
+//!
+//! The paper's runtime makes "table scans wait for all Bloom filter
+//! partitions to become available before scanning can proceed, regardless of
+//! streaming strategy" (§3.9, and the Q18 discussion in §4.3). [`FilterHub`]
+//! implements exactly that contract: producers [`FilterHub::publish`] under a
+//! [`FilterId`]; consumers [`FilterHub::wait_get`] and block until the filter
+//! exists.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bfq_common::FilterId;
+use bfq_storage::Column;
+use parking_lot::{Condvar, Mutex};
+
+use crate::filter::BloomFilter;
+use crate::partitioned::PartitionedBloomFilter;
+
+/// A filter as it exists at runtime: merged single or per-partition.
+#[derive(Debug, Clone)]
+pub enum RuntimeFilter {
+    /// One filter applied to every row.
+    Single(BloomFilter),
+    /// Per-partition partials probed by distributed lookup.
+    Partitioned(PartitionedBloomFilter),
+}
+
+impl RuntimeFilter {
+    /// Probe `col` rows selected by `sel`; returns the surviving selection.
+    pub fn probe(&self, col: &Column, sel: &[u32]) -> Vec<u32> {
+        match self {
+            RuntimeFilter::Single(f) => f.probe_selected(col, sel),
+            RuntimeFilter::Partitioned(pf) => pf.probe_routed(col, sel),
+        }
+    }
+
+    /// Aligned probe for partition `part` (falls back to routed/single probe
+    /// when alignment does not apply).
+    pub fn probe_partition(&self, part: usize, col: &Column, sel: &[u32]) -> Vec<u32> {
+        match self {
+            RuntimeFilter::Single(f) => f.probe_selected(col, sel),
+            RuntimeFilter::Partitioned(pf) => {
+                if part < pf.partitions() {
+                    pf.probe_aligned(part, col, sel)
+                } else {
+                    pf.probe_routed(col, sel)
+                }
+            }
+        }
+    }
+
+    /// Total size in bytes (planning feedback / tests).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            RuntimeFilter::Single(f) => f.size_bytes(),
+            RuntimeFilter::Partitioned(pf) => pf.size_bytes(),
+        }
+    }
+}
+
+/// Shared registry of built filters, keyed by the planner's [`FilterId`].
+#[derive(Default)]
+pub struct FilterHub {
+    inner: Mutex<HashMap<FilterId, Arc<RuntimeFilter>>>,
+    ready: Condvar,
+}
+
+impl FilterHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        FilterHub::default()
+    }
+
+    /// Publish a built filter. Publishing the same id twice replaces the
+    /// filter (used by retry paths in tests); waiting consumers wake either
+    /// way.
+    pub fn publish(&self, id: FilterId, filter: RuntimeFilter) {
+        let mut map = self.inner.lock();
+        map.insert(id, Arc::new(filter));
+        self.ready.notify_all();
+    }
+
+    /// Non-blocking lookup.
+    pub fn try_get(&self, id: FilterId) -> Option<Arc<RuntimeFilter>> {
+        self.inner.lock().get(&id).cloned()
+    }
+
+    /// Block until the filter identified by `id` is published.
+    ///
+    /// `timeout` bounds the wait so a planning bug (a scan waiting on a
+    /// filter nobody builds) surfaces as `None` instead of a hang.
+    pub fn wait_get(&self, id: FilterId, timeout: Duration) -> Option<Arc<RuntimeFilter>> {
+        let mut map = self.inner.lock();
+        if let Some(f) = map.get(&id) {
+            return Some(f.clone());
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let res = self.ready.wait_until(&mut map, deadline);
+            if let Some(f) = map.get(&id) {
+                return Some(f.clone());
+            }
+            if res.timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Number of published filters.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no filters are published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn single_filter(keys: &[i64]) -> RuntimeFilter {
+        let mut f = BloomFilter::with_expected_ndv(keys.len().max(1));
+        for &k in keys {
+            f.insert_i64(k);
+        }
+        RuntimeFilter::Single(f)
+    }
+
+    #[test]
+    fn publish_then_get() {
+        let hub = FilterHub::new();
+        assert!(hub.is_empty());
+        hub.publish(FilterId(1), single_filter(&[1, 2, 3]));
+        assert_eq!(hub.len(), 1);
+        let f = hub.try_get(FilterId(1)).unwrap();
+        let col = Column::Int64(vec![2, 99], None);
+        assert!(f.probe(&col, &[0, 1]).contains(&0));
+        assert!(hub.try_get(FilterId(2)).is_none());
+    }
+
+    #[test]
+    fn wait_get_blocks_until_published() {
+        let hub = Arc::new(FilterHub::new());
+        let hub2 = hub.clone();
+        let waiter = std::thread::spawn(move || {
+            hub2.wait_get(FilterId(7), Duration::from_secs(5))
+                .expect("filter should arrive")
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        hub.publish(FilterId(7), single_filter(&[42]));
+        let f = waiter.join().unwrap();
+        let col = Column::Int64(vec![42], None);
+        assert_eq!(f.probe(&col, &[0]), vec![0]);
+    }
+
+    #[test]
+    fn wait_get_times_out_for_missing_filter() {
+        let hub = FilterHub::new();
+        let got = hub.wait_get(FilterId(9), Duration::from_millis(30));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn probe_partition_dispatch() {
+        let mut pf = PartitionedBloomFilter::new(2, 10);
+        pf.insert_column_routed(&Column::Int64(vec![1, 2, 3, 4], None));
+        let rf = RuntimeFilter::Partitioned(pf);
+        let col = Column::Int64(vec![1, 2, 3, 4], None);
+        // Routed probe must find everything.
+        assert_eq!(rf.probe(&col, &[0, 1, 2, 3]).len(), 4);
+        assert!(rf.size_bytes() > 0);
+        // Out-of-range partition falls back to routed probing.
+        assert_eq!(rf.probe_partition(99, &col, &[0, 1, 2, 3]).len(), 4);
+    }
+}

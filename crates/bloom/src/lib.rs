@@ -1,0 +1,27 @@
+//! Bloom filter substrate.
+//!
+//! Everything the paper's runtime needs (§3.5, §3.9):
+//! * [`BloomFilter`] — a bit-array filter with **two** hash functions (the
+//!   paper fixes k = 2 "for performance reasons"), sized from an upper-bound
+//!   estimate of the build side's distinct values;
+//! * [`math`] — false-positive-rate and sizing formulas shared with the cost
+//!   model;
+//! * [`PartitionedBloomFilter`] — per-partition partial filters for
+//!   partitioned hash joins, with bit-vector union merging;
+//! * [`strategy`] — the four SMP streaming strategies of §3.9 (broadcast
+//!   build/probe, partition aligned/unaligned);
+//! * [`hub::FilterHub`] — the runtime rendezvous between the hash join that
+//!   builds a filter and the scan that applies it ("table scans wait for all
+//!   Bloom filter partitions to become available", §3.9).
+
+pub mod filter;
+pub mod hub;
+pub mod math;
+pub mod partitioned;
+pub mod strategy;
+
+pub use filter::BloomFilter;
+pub use hub::{FilterHub, RuntimeFilter};
+pub use math::{bits_for_ndv, false_positive_rate, DEFAULT_BITS_PER_KEY, NUM_HASHES};
+pub use partitioned::PartitionedBloomFilter;
+pub use strategy::StreamingStrategy;

@@ -1,0 +1,80 @@
+//! Sizing and false-positive math shared by the runtime and the cost model.
+
+/// Number of hash functions; the paper fixes this at two (§3.5).
+pub const NUM_HASHES: u32 = 2;
+
+/// Default bits budgeted per expected distinct key.
+///
+/// With k = 2 and 8 bits/key the theoretical FPR is
+/// `(1 - e^(-2/8))^2 ≈ 4.9%`, in the range production systems use for
+/// join-pruning filters.
+pub const DEFAULT_BITS_PER_KEY: usize = 8;
+
+/// Smallest filter we ever allocate (64 bytes — one cache line).
+pub const MIN_BITS: usize = 512;
+
+/// Number of filter bits for an expected `ndv` distinct keys: the next power
+/// of two ≥ `ndv * bits_per_key` (power-of-two sizing lets probes mask
+/// instead of mod).
+pub fn bits_for_ndv(ndv: usize, bits_per_key: usize) -> usize {
+    let want = ndv.saturating_mul(bits_per_key).max(MIN_BITS);
+    want.next_power_of_two()
+}
+
+/// Theoretical false-positive rate of a Bloom filter with `m` bits, `k`
+/// hashes and `n` inserted keys: `(1 - e^(-kn/m))^k`.
+pub fn false_positive_rate(m_bits: f64, k: f64, n_keys: f64) -> f64 {
+    if m_bits <= 0.0 || n_keys <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - (-k * n_keys / m_bits).exp()).powf(k).clamp(0.0, 1.0)
+}
+
+/// FPR for the engine's default configuration given `ndv` expected keys.
+pub fn default_fpr(ndv: f64) -> f64 {
+    let m = bits_for_ndv(ndv.max(1.0) as usize, DEFAULT_BITS_PER_KEY) as f64;
+    false_positive_rate(m, NUM_HASHES as f64, ndv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_is_power_of_two_and_bounded_below() {
+        assert_eq!(bits_for_ndv(0, 8), MIN_BITS);
+        assert_eq!(bits_for_ndv(1, 8), MIN_BITS);
+        let bits = bits_for_ndv(1000, 8);
+        assert!(bits >= 8000);
+        assert!(bits.is_power_of_two());
+    }
+
+    #[test]
+    fn fpr_matches_closed_form() {
+        // m = 8n, k = 2: (1 - e^-0.25)^2.
+        let expected = (1.0 - (-0.25f64).exp()).powi(2);
+        let got = false_positive_rate(8000.0, 2.0, 1000.0);
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fpr_monotone_in_load() {
+        let f1 = false_positive_rate(1024.0, 2.0, 10.0);
+        let f2 = false_positive_rate(1024.0, 2.0, 100.0);
+        let f3 = false_positive_rate(1024.0, 2.0, 1000.0);
+        assert!(f1 < f2 && f2 < f3);
+        assert!(f3 <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(false_positive_rate(0.0, 2.0, 10.0), 0.0);
+        assert_eq!(false_positive_rate(100.0, 2.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn default_fpr_reasonable() {
+        let f = default_fpr(1_000_000.0);
+        assert!(f > 0.0 && f < 0.10, "default fpr {f} out of expected band");
+    }
+}

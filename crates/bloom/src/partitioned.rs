@@ -1,0 +1,208 @@
+//! Partitioned Bloom filters for partitioned hash joins (paper §3.9,
+//! strategies 3 and 4).
+//!
+//! A partition join builds `n` partial hash joins, one per partition of the
+//! build side; we build one partial Bloom filter per partition. On the apply
+//! side:
+//! * **aligned** (§3.9 case 4): partition `i` of the scanned relation probes
+//!   partial filter `i` directly;
+//! * **unaligned** (§3.9 case 3): each row routes to a partial filter by
+//!   hashing its key with the partitioning hash ("distributed lookup"), or
+//!   the partials are merged into one filter when the partition column is
+//!   unavailable.
+
+use bfq_common::hash::hash_u64;
+use bfq_storage::Column;
+
+use crate::filter::BloomFilter;
+
+/// Seed of the *partitioning* hash — deliberately distinct from the two
+/// filter seeds so partition routing is independent of bit placement.
+pub const PARTITION_SEED: u64 = 0x2545_f491_4f6c_dd1d;
+
+/// Route a key hash to one of `n` partitions.
+#[inline]
+pub fn partition_of(key_hash: u64, n: usize) -> usize {
+    // Multiply-shift on a re-mixed hash avoids modulo bias and correlation
+    // with the filter's bit-index bits.
+    (hash_u64(key_hash, PARTITION_SEED) % n as u64) as usize
+}
+
+/// `n` partial Bloom filters, one per hash-join partition.
+#[derive(Debug, Clone)]
+pub struct PartitionedBloomFilter {
+    parts: Vec<BloomFilter>,
+}
+
+impl PartitionedBloomFilter {
+    /// Create `partitions` partial filters, each sized for an even share of
+    /// `expected_ndv` keys.
+    pub fn new(partitions: usize, expected_ndv: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let per_part = expected_ndv.div_ceil(partitions);
+        PartitionedBloomFilter {
+            parts: (0..partitions)
+                .map(|_| BloomFilter::with_expected_ndv(per_part))
+                .collect(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Access a partial filter.
+    pub fn part(&self, i: usize) -> &BloomFilter {
+        &self.parts[i]
+    }
+
+    /// Mutable access to a partial filter (the build side of partition `i`
+    /// inserts its keys here).
+    pub fn part_mut(&mut self, i: usize) -> &mut BloomFilter {
+        &mut self.parts[i]
+    }
+
+    /// Insert a column whose rows are already partition-local (aligned
+    /// build): all keys go to partition `part`.
+    pub fn insert_column_aligned(&mut self, part: usize, col: &Column) {
+        self.parts[part].insert_column(col);
+    }
+
+    /// Insert a column routing each row to its partition by key hash
+    /// (build side not yet partitioned).
+    pub fn insert_column_routed(&mut self, col: &Column) {
+        let mut h1 = Vec::new();
+        let mut h2 = Vec::new();
+        col.hash_into(crate::filter::BLOOM_SEED_1, &mut h1);
+        col.hash_into(crate::filter::BLOOM_SEED_2, &mut h2);
+        let n = self.parts.len();
+        for i in 0..col.len() {
+            if !col.is_null(i) {
+                let p = partition_of(h1[i], n);
+                self.parts[p].insert_hashes(h1[i], h2[i]);
+            }
+        }
+    }
+
+    /// Aligned probe (§3.9 case 4): rows of `col` belong to partition `part`.
+    pub fn probe_aligned(&self, part: usize, col: &Column, sel: &[u32]) -> Vec<u32> {
+        self.parts[part].probe_selected(col, sel)
+    }
+
+    /// Unaligned probe with distributed lookup (§3.9 case 3): each row picks
+    /// its partial filter via the partitioning hash of its own key.
+    pub fn probe_routed(&self, col: &Column, sel: &[u32]) -> Vec<u32> {
+        let n = self.parts.len();
+        let mut out = Vec::with_capacity(sel.len());
+        for &i in sel {
+            let idx = i as usize;
+            if col.is_null(idx) {
+                continue;
+            }
+            let h1 = col.hash_one(idx, crate::filter::BLOOM_SEED_1);
+            let h2 = col.hash_one(idx, crate::filter::BLOOM_SEED_2);
+            let p = partition_of(h1, n);
+            if self.parts[p].contains_hashes(h1, h2) {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Merge all partials into one filter by bit-vector union (the fallback
+    /// when the partitioning column is unavailable on the apply side).
+    ///
+    /// Partial filters are same-sized by construction, so the union is
+    /// well-defined.
+    pub fn merge(&self) -> BloomFilter {
+        let mut merged = self.parts[0].clone();
+        for p in &self.parts[1..] {
+            merged.union_with(p);
+        }
+        merged
+    }
+
+    /// Total memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(vals: &[i64]) -> Column {
+        Column::Int64(vals.to_vec(), None)
+    }
+
+    #[test]
+    fn routed_insert_then_routed_probe_has_no_false_negatives() {
+        let keys: Vec<i64> = (0..5000).collect();
+        let mut pf = PartitionedBloomFilter::new(8, keys.len());
+        pf.insert_column_routed(&int_col(&keys));
+        let probe = int_col(&keys);
+        let all: Vec<u32> = (0..keys.len() as u32).collect();
+        let survivors = pf.probe_routed(&probe, &all);
+        assert_eq!(survivors.len(), keys.len(), "lost rows in routed probe");
+    }
+
+    #[test]
+    fn routed_probe_filters_misses() {
+        let mut pf = PartitionedBloomFilter::new(4, 1000);
+        pf.insert_column_routed(&int_col(&(0..1000).collect::<Vec<_>>()));
+        let misses: Vec<i64> = (100_000..101_000).collect();
+        let probe = int_col(&misses);
+        let all: Vec<u32> = (0..misses.len() as u32).collect();
+        let survivors = pf.probe_routed(&probe, &all);
+        assert!(
+            survivors.len() < misses.len() / 5,
+            "too many false positives: {}",
+            survivors.len()
+        );
+    }
+
+    #[test]
+    fn aligned_build_and_probe() {
+        let mut pf = PartitionedBloomFilter::new(2, 100);
+        pf.insert_column_aligned(0, &int_col(&[1, 2, 3]));
+        pf.insert_column_aligned(1, &int_col(&[100, 200]));
+        let probe0 = int_col(&[1, 100]);
+        // Partition 0 only knows 1,2,3.
+        let s = pf.probe_aligned(0, &probe0, &[0, 1]);
+        assert!(s.contains(&0));
+        assert!(!s.contains(&1) || pf.part(0).estimated_fpr() > 0.0);
+    }
+
+    #[test]
+    fn merge_unions_all_partitions() {
+        let mut pf = PartitionedBloomFilter::new(4, 100);
+        pf.insert_column_routed(&int_col(&(0..100).collect::<Vec<_>>()));
+        let merged = pf.merge();
+        for v in 0..100 {
+            assert!(merged.contains_i64(v));
+        }
+        assert_eq!(merged.inserted_keys(), 100);
+    }
+
+    #[test]
+    fn partition_routing_is_deterministic_and_spread() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for k in 0..8000u64 {
+            let h = bfq_common::hash::hash_u64(k, crate::filter::BLOOM_SEED_1);
+            counts[partition_of(h, n)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "partition badly balanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn size_accounting() {
+        let pf = PartitionedBloomFilter::new(4, 4096);
+        assert_eq!(pf.partitions(), 4);
+        assert!(pf.size_bytes() >= 4096); // 4096 keys * 8 bits / 8 = 4096 B
+    }
+}

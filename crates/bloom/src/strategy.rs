@@ -1,0 +1,157 @@
+//! The four SMP streaming strategies of paper §3.9.
+//!
+//! How a Bloom filter is built and applied depends on how the owning hash
+//! join streams its inputs across threads. [`StreamingStrategy`] names the
+//! four cases; [`build_filter`] turns per-thread build-side key columns into
+//! the [`RuntimeFilter`] the apply-side scan will use.
+
+use bfq_storage::Column;
+
+use crate::filter::BloomFilter;
+use crate::hub::RuntimeFilter;
+use crate::partitioned::PartitionedBloomFilter;
+
+/// How the hash join that owns a Bloom filter streams its inputs (paper §3.9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamingStrategy {
+    /// Build side broadcast to every thread: the `n` hash tables are
+    /// redundant, so build **one** filter from one copy (§3.9 case 1).
+    BroadcastBuild,
+    /// Probe side broadcast: the build side's `n` threads hold disjoint key
+    /// subsets, so build `n` partials and **merge** them by bit-vector union
+    /// (§3.9 case 2).
+    BroadcastProbe,
+    /// Partition join where the apply-side relation is *not* partitioned the
+    /// same way: build `n` partials, probe by **distributed lookup** on the
+    /// partitioning column (§3.9 case 3).
+    PartitionUnaligned,
+    /// Partition join with aligned partitioning: partial filter `i` applies
+    /// directly to apply-side partition `i` (§3.9 case 4).
+    PartitionAligned,
+}
+
+impl StreamingStrategy {
+    /// Human-readable label used in EXPLAIN output.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamingStrategy::BroadcastBuild => "broadcast-build",
+            StreamingStrategy::BroadcastProbe => "broadcast-probe",
+            StreamingStrategy::PartitionUnaligned => "partition-unaligned",
+            StreamingStrategy::PartitionAligned => "partition-aligned",
+        }
+    }
+}
+
+/// Build the runtime filter for a join given per-thread build-side key
+/// columns (`thread_keys[i]` = the join-key column seen by build thread `i`).
+///
+/// `expected_ndv` is the planner's upper-bound distinct estimate — the same
+/// number its cost model used to size the filter (paper §3.5).
+pub fn build_filter(
+    strategy: StreamingStrategy,
+    thread_keys: &[Column],
+    expected_ndv: usize,
+) -> RuntimeFilter {
+    assert!(!thread_keys.is_empty(), "no build-side threads");
+    match strategy {
+        StreamingStrategy::BroadcastBuild => {
+            // All threads hold identical data; use thread 0's copy.
+            let mut f = BloomFilter::with_expected_ndv(expected_ndv);
+            f.insert_column(&thread_keys[0]);
+            RuntimeFilter::Single(f)
+        }
+        StreamingStrategy::BroadcastProbe => {
+            // Disjoint per-thread subsets: build same-sized partials, merge.
+            let bits = crate::math::bits_for_ndv(
+                expected_ndv.max(1),
+                crate::math::DEFAULT_BITS_PER_KEY,
+            );
+            let mut merged = BloomFilter::with_bits(bits);
+            for keys in thread_keys {
+                let mut partial = BloomFilter::with_bits(bits);
+                partial.insert_column(keys);
+                merged.union_with(&partial);
+            }
+            RuntimeFilter::Single(merged)
+        }
+        StreamingStrategy::PartitionUnaligned | StreamingStrategy::PartitionAligned => {
+            let n = thread_keys.len();
+            let mut pf = PartitionedBloomFilter::new(n, expected_ndv);
+            for keys in thread_keys {
+                // Keys within a partition join partition still route by key
+                // hash so partial `i` holds exactly partition `i`'s keys.
+                pf.insert_column_routed(keys);
+            }
+            RuntimeFilter::Partitioned(pf)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(vals: &[i64]) -> Column {
+        Column::Int64(vals.to_vec(), None)
+    }
+
+    fn survivors(f: &RuntimeFilter, probe: &Column) -> Vec<u32> {
+        let all: Vec<u32> = (0..probe.len() as u32).collect();
+        f.probe(probe, &all)
+    }
+
+    #[test]
+    fn broadcast_build_uses_single_copy() {
+        let keys = int_col(&[1, 2, 3]);
+        // Three redundant copies (what a broadcast build side looks like).
+        let f = build_filter(
+            StreamingStrategy::BroadcastBuild,
+            &[keys.clone(), keys.clone(), keys.clone()],
+            3,
+        );
+        match &f {
+            RuntimeFilter::Single(bf) => assert_eq!(bf.inserted_keys(), 3),
+            _ => panic!("expected single filter"),
+        }
+        let s = survivors(&f, &int_col(&[2, 999]));
+        assert!(s.contains(&0));
+    }
+
+    #[test]
+    fn broadcast_probe_merges_disjoint_partials() {
+        let f = build_filter(
+            StreamingStrategy::BroadcastProbe,
+            &[int_col(&[1, 2]), int_col(&[100, 200]), int_col(&[5000])],
+            5,
+        );
+        let s = survivors(&f, &int_col(&[1, 200, 5000, 777_777]));
+        assert!(s.contains(&0) && s.contains(&1) && s.contains(&2));
+    }
+
+    #[test]
+    fn partitioned_strategies_probe_correctly() {
+        for strat in [
+            StreamingStrategy::PartitionUnaligned,
+            StreamingStrategy::PartitionAligned,
+        ] {
+            let keys: Vec<i64> = (0..2000).collect();
+            // Split keys across 4 "threads" arbitrarily.
+            let cols: Vec<Column> = keys.chunks(500).map(int_col).collect();
+            let f = build_filter(strat, &cols, keys.len());
+            let s = survivors(&f, &int_col(&keys));
+            assert_eq!(s.len(), keys.len(), "{strat:?} lost rows");
+            let miss: Vec<i64> = (1_000_000..1_000_500).collect();
+            let misses = survivors(&f, &int_col(&miss));
+            assert!(misses.len() < 100, "{strat:?} too many false positives");
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StreamingStrategy::BroadcastBuild.label(), "broadcast-build");
+        assert_eq!(
+            StreamingStrategy::PartitionAligned.label(),
+            "partition-aligned"
+        );
+    }
+}

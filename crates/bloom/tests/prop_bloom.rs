@@ -1,0 +1,92 @@
+//! Property-based tests for the Bloom filter substrate: the no-false-negative
+//! guarantee under arbitrary key sets, merge semantics, and strategy
+//! equivalence.
+
+use bfq_bloom::strategy::{build_filter, StreamingStrategy};
+use bfq_bloom::BloomFilter;
+use bfq_storage::Column;
+use proptest::prelude::*;
+
+proptest! {
+    /// The defining property: no false negatives, for any key multiset and
+    /// any (power-of-two) size.
+    #[test]
+    fn never_false_negative(
+        keys in proptest::collection::vec(any::<i64>(), 1..500),
+        bits_log2 in 6u32..14,
+    ) {
+        let mut f = BloomFilter::with_bits(1 << bits_log2);
+        for &k in &keys {
+            f.insert_i64(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.contains_i64(k));
+        }
+    }
+
+    /// Union contains exactly what either side would report.
+    #[test]
+    fn union_is_superset(
+        a_keys in proptest::collection::vec(any::<i64>(), 0..200),
+        b_keys in proptest::collection::vec(any::<i64>(), 0..200),
+        probes in proptest::collection::vec(any::<i64>(), 1..100),
+    ) {
+        let bits = 1 << 12;
+        let mut a = BloomFilter::with_bits(bits);
+        let mut b = BloomFilter::with_bits(bits);
+        for &k in &a_keys { a.insert_i64(k); }
+        for &k in &b_keys { b.insert_i64(k); }
+        let mut u = a.clone();
+        u.union_with(&b);
+        for &p in &probes {
+            // Anything either filter admits, the union admits. (The union
+            // may admit additional false positives — bits set by different
+            // keys can combine — so only this direction is a law.)
+            if a.contains_i64(p) || b.contains_i64(p) {
+                prop_assert!(u.contains_i64(p));
+            }
+        }
+    }
+
+    /// All four §3.9 streaming strategies admit every inserted key (their
+    /// survivor sets may differ only in false positives).
+    #[test]
+    fn strategies_admit_all_keys(
+        keys in proptest::collection::vec(-10_000i64..10_000, 4..400),
+        threads in 1usize..5,
+    ) {
+        let per = keys.len().div_ceil(threads);
+        let cols: Vec<Column> = keys
+            .chunks(per)
+            .map(|c| Column::Int64(c.to_vec(), None))
+            .collect();
+        let probe = Column::Int64(keys.clone(), None);
+        let all: Vec<u32> = (0..keys.len() as u32).collect();
+        for strat in [
+            StreamingStrategy::BroadcastProbe,
+            StreamingStrategy::PartitionUnaligned,
+            StreamingStrategy::PartitionAligned,
+        ] {
+            let f = build_filter(strat, &cols, keys.len());
+            let survivors = f.probe(&probe, &all);
+            prop_assert_eq!(
+                survivors.len(),
+                keys.len(),
+                "{:?} dropped inserted keys", strat
+            );
+        }
+    }
+
+    /// Saturation is monotone under insertion and bounded by 1.
+    #[test]
+    fn saturation_monotone(keys in proptest::collection::vec(any::<i64>(), 1..300)) {
+        let mut f = BloomFilter::with_bits(1 << 10);
+        let mut last = 0.0f64;
+        for &k in &keys {
+            f.insert_i64(k);
+            let s = f.saturation();
+            prop_assert!(s >= last && s <= 1.0);
+            last = s;
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Proleptic-Gregorian calendar arithmetic on `days since 1970-01-01`.
+//!
+//! TPC-H is date-heavy (shipdate ranges, interval arithmetic, `EXTRACT(YEAR)`)
+//! so the engine needs exact calendar conversion. The algorithms are Howard
+//! Hinnant's well-known `days_from_civil` / `civil_from_days`, valid for the
+//! full `i32` day range.
+
+/// Convert a civil date to days since the Unix epoch.
+///
+/// Months are 1-12 and days 1-31; out-of-range inputs wrap per the algorithm
+/// (callers should validate first via [`is_valid_date`] when input is
+/// untrusted).
+pub fn to_days(year: i32, month: u32, day: u32) -> i32 {
+    let y = if month <= 2 { year - 1 } else { year } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = (month as i64 + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146097 + doe - 719468) as i32
+}
+
+/// Convert days since the Unix epoch back to `(year, month, day)`.
+pub fn from_days(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    let year = if m <= 2 { y + 1 } else { y } as i32;
+    (year, m, d)
+}
+
+/// Whether `(year, month, day)` denotes a real calendar date.
+pub fn is_valid_date(year: i32, month: u32, day: u32) -> bool {
+    if !(1..=12).contains(&month) || day == 0 {
+        return false;
+    }
+    day <= days_in_month(year, month)
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Extract the year of an epoch-day value (what SQL `EXTRACT(YEAR ...)` does).
+pub fn year_of(days: i32) -> i32 {
+    from_days(days).0
+}
+
+/// Extract the month (1-12) of an epoch-day value.
+pub fn month_of(days: i32) -> u32 {
+    from_days(days).1
+}
+
+/// Add whole months, clamping the day-of-month (SQL `date + INTERVAL 'n' MONTH`).
+///
+/// `1996-01-31 + 1 month = 1996-02-29` — the day clamps to the end of the
+/// target month, matching PostgreSQL semantics.
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = from_days(days);
+    let total = y as i64 * 12 + (m as i64 - 1) + months as i64;
+    let ny = total.div_euclid(12) as i32;
+    let nm = (total.rem_euclid(12) + 1) as u32;
+    let nd = d.min(days_in_month(ny, nm));
+    to_days(ny, nm, nd)
+}
+
+/// Add whole years (SQL `date + INTERVAL 'n' YEAR`).
+pub fn add_years(days: i32, years: i32) -> i32 {
+    add_months(days, years * 12)
+}
+
+/// Parse a `YYYY-MM-DD` literal into epoch days.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !is_valid_date(y, m, d) {
+        return None;
+    }
+    Some(to_days(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(to_days(1970, 1, 1), 0);
+        assert_eq!(from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // TPC-H boundary dates.
+        for (y, m, d) in [
+            (1992, 1, 1),
+            (1995, 3, 15),
+            (1996, 12, 31),
+            (1998, 12, 1),
+            (1998, 8, 2),
+            (2000, 2, 29),
+            (1900, 3, 1),
+        ] {
+            let days = to_days(y, m, d);
+            assert_eq!(from_days(days), (y, m, d), "round trip {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn consecutive_days_are_consecutive() {
+        let mut prev = to_days(1992, 1, 1);
+        let mut date = (1992, 1, 1);
+        for _ in 0..1000 {
+            let (y, m, d) = date;
+            date = if d < days_in_month(y, m) {
+                (y, m, d + 1)
+            } else if m < 12 {
+                (y, m + 1, 1)
+            } else {
+                (y + 1, 1, 1)
+            };
+            let next = to_days(date.0, date.1, date.2);
+            assert_eq!(next, prev + 1);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1997));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+    }
+
+    #[test]
+    fn month_arithmetic_clamps() {
+        let jan31 = to_days(1996, 1, 31);
+        assert_eq!(from_days(add_months(jan31, 1)), (1996, 2, 29));
+        let d = to_days(1995, 1, 1);
+        assert_eq!(from_days(add_months(d, 12)), (1996, 1, 1));
+        assert_eq!(from_days(add_years(d, 1)), (1996, 1, 1));
+        assert_eq!(from_days(add_months(d, -1)), (1994, 12, 1));
+    }
+
+    #[test]
+    fn parse_and_extract() {
+        let d = parse_date("1995-03-15").unwrap();
+        assert_eq!(from_days(d), (1995, 3, 15));
+        assert_eq!(year_of(d), 1995);
+        assert_eq!(month_of(d), 3);
+        assert!(parse_date("1995-13-01").is_none());
+        assert!(parse_date("1995-02-30").is_none());
+        assert!(parse_date("garbage").is_none());
+        assert!(parse_date("1995-03-15-16").is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Error handling shared by every `bfq` crate.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = BfqError> = std::result::Result<T, E>;
+
+/// The error type for all fallible `bfq` operations.
+///
+/// Variants are coarse on purpose: each carries a human-readable message with
+/// enough context to diagnose the failure, and the variant itself tells the
+/// caller which subsystem rejected the request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BfqError {
+    /// A SQL string failed to lex or parse. Carries position information.
+    Parse(String),
+    /// Name resolution or type checking failed while binding a query.
+    Bind(String),
+    /// The catalog does not contain a requested object.
+    Catalog(String),
+    /// The optimizer could not produce a plan (e.g. unsupported shape).
+    Plan(String),
+    /// A runtime failure while executing a physical plan.
+    Execution(String),
+    /// A type mismatch detected at evaluation time.
+    Type(String),
+    /// Invalid configuration or argument supplied by the caller.
+    Invalid(String),
+    /// An internal invariant was violated; indicates a bug in `bfq` itself.
+    Internal(String),
+}
+
+impl BfqError {
+    /// Build a [`BfqError::Internal`] from anything displayable.
+    pub fn internal(msg: impl fmt::Display) -> Self {
+        BfqError::Internal(msg.to_string())
+    }
+
+    /// Build a [`BfqError::Invalid`] from anything displayable.
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        BfqError::Invalid(msg.to_string())
+    }
+
+    /// The subsystem label used in the `Display` output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BfqError::Parse(_) => "parse",
+            BfqError::Bind(_) => "bind",
+            BfqError::Catalog(_) => "catalog",
+            BfqError::Plan(_) => "plan",
+            BfqError::Execution(_) => "execution",
+            BfqError::Type(_) => "type",
+            BfqError::Invalid(_) => "invalid",
+            BfqError::Internal(_) => "internal",
+        }
+    }
+
+    /// The message payload, independent of the variant.
+    pub fn message(&self) -> &str {
+        match self {
+            BfqError::Parse(m)
+            | BfqError::Bind(m)
+            | BfqError::Catalog(m)
+            | BfqError::Plan(m)
+            | BfqError::Execution(m)
+            | BfqError::Type(m)
+            | BfqError::Invalid(m)
+            | BfqError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for BfqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for BfqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = BfqError::Catalog("no such table `t`".into());
+        assert_eq!(e.to_string(), "catalog error: no such table `t`");
+        assert_eq!(e.kind(), "catalog");
+        assert_eq!(e.message(), "no such table `t`");
+    }
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert!(matches!(BfqError::internal("x"), BfqError::Internal(_)));
+        assert!(matches!(BfqError::invalid("x"), BfqError::Invalid(_)));
+    }
+
+    #[test]
+    fn all_variants_report_kind() {
+        let variants = [
+            BfqError::Parse("m".into()),
+            BfqError::Bind("m".into()),
+            BfqError::Catalog("m".into()),
+            BfqError::Plan("m".into()),
+            BfqError::Execution("m".into()),
+            BfqError::Type("m".into()),
+            BfqError::Invalid("m".into()),
+            BfqError::Internal("m".into()),
+        ];
+        let kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "parse",
+                "bind",
+                "catalog",
+                "plan",
+                "execution",
+                "type",
+                "invalid",
+                "internal"
+            ]
+        );
+    }
+}

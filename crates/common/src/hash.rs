@@ -1,0 +1,98 @@
+//! Seedable 64-bit hashing used by hash joins, repartitioning and Bloom
+//! filters.
+//!
+//! The engine needs (a) a fast, high-quality mixer for integer keys and
+//! (b) a byte-string hash, both parameterizable by seed so that the Bloom
+//! filter's two hash functions (paper §3.5 fixes k = 2 "for performance
+//! reasons") and the executor's partitioning hash are pairwise independent.
+//! We use the `splitmix64`/`murmur3` finalizer family — public-domain
+//! constructions with well-studied avalanche behaviour.
+
+/// Mix a 64-bit value with a seed (splitmix64 finalizer over `v ^ seed`).
+#[inline]
+pub fn hash_u64(v: u64, seed: u64) -> u64 {
+    let mut z = v ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a signed integer (two's-complement reinterpretation).
+#[inline]
+pub fn hash_i64(v: i64, seed: u64) -> u64 {
+    hash_u64(v as u64, seed)
+}
+
+/// Hash an f64 by its bit pattern, canonicalizing -0.0 to +0.0 so that
+/// SQL-equal floats hash equal.
+#[inline]
+pub fn hash_f64(v: f64, seed: u64) -> u64 {
+    let canonical = if v == 0.0 { 0.0f64 } else { v };
+    hash_u64(canonical.to_bits(), seed)
+}
+
+/// Hash a byte string (FNV-1a accumulate, then splitmix finalize).
+#[inline]
+pub fn hash_bytes(bytes: &[u8], seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    hash_u64(h, seed)
+}
+
+/// Combine two hashes (for multi-column keys), order-sensitive.
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    // boost::hash_combine-style, widened to 64 bits.
+    a ^ (b
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a << 6)
+        .wrapping_add(a >> 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(hash_u64(42, 1), hash_u64(42, 1));
+        assert_ne!(hash_u64(42, 1), hash_u64(42, 2));
+        assert_ne!(hash_u64(42, 1), hash_u64(43, 1));
+    }
+
+    #[test]
+    fn bytes_hash_differs_by_content_and_seed() {
+        assert_eq!(hash_bytes(b"abc", 7), hash_bytes(b"abc", 7));
+        assert_ne!(hash_bytes(b"abc", 7), hash_bytes(b"abd", 7));
+        assert_ne!(hash_bytes(b"abc", 7), hash_bytes(b"abc", 8));
+        // Prefix-freedom sanity: "" vs "\0".
+        assert_ne!(hash_bytes(b"", 7), hash_bytes(b"\0", 7));
+    }
+
+    #[test]
+    fn float_zero_canonicalization() {
+        assert_eq!(hash_f64(0.0, 3), hash_f64(-0.0, 3));
+        assert_ne!(hash_f64(1.0, 3), hash_f64(2.0, 3));
+    }
+
+    #[test]
+    fn avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let h1 = hash_u64(0x1234_5678, 0);
+        let h2 = hash_u64(0x1234_5679, 0);
+        let flipped = (h1 ^ h2).count_ones();
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+        assert_eq!(combine(1, 2), combine(1, 2));
+    }
+}

@@ -1,0 +1,78 @@
+//! Strongly-typed identifiers.
+//!
+//! Using newtypes instead of bare `usize`/`u32` prevents the classic bug class
+//! of passing a column ordinal where a table id was expected. All ids are
+//! small and `Copy`.
+
+use std::fmt;
+
+/// Identifies a table registered in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies a column by `(table, ordinal)`.
+///
+/// A `ColumnId` is stable across plans: it names the column in base-table
+/// terms rather than by output position, which is what Bloom-filter planning
+/// needs (a filter's build/apply columns are base-table columns regardless of
+/// where they surface in intermediate plans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId {
+    /// The owning table.
+    pub table: TableId,
+    /// Zero-based ordinal within the owning table's schema.
+    pub index: u32,
+}
+
+impl ColumnId {
+    /// Construct a column id.
+    pub fn new(table: TableId, index: u32) -> Self {
+        ColumnId { table, index }
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.table, self.index)
+    }
+}
+
+/// Identifies one planned runtime Bloom filter.
+///
+/// A `FilterId` links the hash join that *builds* a filter to the scan that
+/// *applies* it; the executor's filter hub is keyed by this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FilterId(pub u32);
+
+impl fmt::Display for FilterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bf{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TableId(3).to_string(), "t3");
+        assert_eq!(ColumnId::new(TableId(3), 7).to_string(), "t3.c7");
+        assert_eq!(FilterId(9).to_string(), "bf9");
+    }
+
+    #[test]
+    fn column_id_equality_and_ordering() {
+        let a = ColumnId::new(TableId(1), 0);
+        let b = ColumnId::new(TableId(1), 1);
+        let c = ColumnId::new(TableId(2), 0);
+        assert!(a < b && b < c);
+        assert_eq!(a, ColumnId::new(TableId(1), 0));
+    }
+}

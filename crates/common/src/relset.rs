@@ -1,0 +1,276 @@
+//! [`RelSet`]: a set of base relations within one query block.
+//!
+//! The optimizer numbers the base relations of a query block `0..n` and
+//! represents every set of relations as a 64-bit bitset. This is the `δ`
+//! ("required build-side relations") and join-relation representation from the
+//! paper: cheap to copy, hash, intersect, and test for subset-ness — all
+//! operations on the hot path of the two bottom-up passes.
+
+use std::fmt;
+
+/// A set of base-relation ordinals (0..64) encoded as a bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RelSet(pub u64);
+
+impl RelSet {
+    /// The empty set.
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// Maximum number of relations representable per query block.
+    pub const MAX_RELS: usize = 64;
+
+    /// A set containing the single relation `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`; query blocks are limited to 64 base relations.
+    pub fn single(i: usize) -> Self {
+        assert!(i < Self::MAX_RELS, "relation ordinal {i} out of range");
+        RelSet(1u64 << i)
+    }
+
+    /// Build a set from an iterator of ordinals.
+    pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = RelSet::EMPTY;
+        for i in iter {
+            s = s.with(i);
+        }
+        s
+    }
+
+    /// The full set `{0, 1, .., n-1}`.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= Self::MAX_RELS);
+        if n == Self::MAX_RELS {
+            RelSet(u64::MAX)
+        } else {
+            RelSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Whether this set has no members.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of member relations.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether relation `i` is a member.
+    pub fn contains(self, i: usize) -> bool {
+        i < Self::MAX_RELS && self.0 & (1u64 << i) != 0
+    }
+
+    /// This set plus relation `i`.
+    pub fn with(self, i: usize) -> Self {
+        assert!(i < Self::MAX_RELS, "relation ordinal {i} out of range");
+        RelSet(self.0 | (1u64 << i))
+    }
+
+    /// This set minus relation `i`.
+    pub fn without(self, i: usize) -> Self {
+        RelSet(self.0 & !(1u64 << i))
+    }
+
+    /// Set union.
+    pub fn union(self, other: RelSet) -> Self {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: RelSet) -> Self {
+        RelSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(self, other: RelSet) -> Self {
+        RelSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether the two sets share no members.
+    pub fn is_disjoint(self, other: RelSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether the two sets share at least one member.
+    pub fn overlaps(self, other: RelSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Iterate member ordinals in ascending order.
+    pub fn iter(self) -> RelSetIter {
+        RelSetIter(self.0)
+    }
+
+    /// The lowest member ordinal, if any.
+    pub fn first(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Enumerate all non-empty proper subsets of `self`.
+    ///
+    /// This is the classic `(sub - 1) & set` trick used by DP join
+    /// enumeration: it visits every subset except the empty set and `self`
+    /// itself, in decreasing bitmask order.
+    pub fn proper_subsets(self) -> ProperSubsets {
+        let first = self.0.wrapping_sub(1) & self.0;
+        ProperSubsets {
+            set: self.0,
+            next: first,
+            done: self.0 == 0 || first == 0,
+        }
+    }
+}
+
+impl fmt::Debug for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut sep = "";
+        for i in self.iter() {
+            write!(f, "{sep}{i}")?;
+            sep = ",";
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Iterator over the member ordinals of a [`RelSet`].
+pub struct RelSetIter(u64);
+
+impl Iterator for RelSetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RelSetIter {}
+
+/// Iterator produced by [`RelSet::proper_subsets`].
+pub struct ProperSubsets {
+    set: u64,
+    next: u64,
+    done: bool,
+}
+
+impl Iterator for ProperSubsets {
+    type Item = RelSet;
+
+    fn next(&mut self) -> Option<RelSet> {
+        if self.done {
+            return None;
+        }
+        let cur = self.next;
+        self.next = self.next.wrapping_sub(1) & self.set;
+        if self.next == 0 {
+            self.done = true;
+        }
+        Some(RelSet(cur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let s = RelSet::from_iter([0, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(3) && s.contains(5));
+        assert!(!s.contains(1) && !s.contains(63));
+        assert!(!s.is_empty());
+        assert!(RelSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RelSet::from_iter([0, 1, 2]);
+        let b = RelSet::from_iter([2, 3]);
+        assert_eq!(a.union(b), RelSet::from_iter([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), RelSet::single(2));
+        assert_eq!(a.difference(b), RelSet::from_iter([0, 1]));
+        assert!(RelSet::single(2).is_subset_of(a));
+        assert!(!b.is_subset_of(a));
+        assert!(a.overlaps(b));
+        assert!(a.is_disjoint(RelSet::from_iter([4, 5])));
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = RelSet::from_iter([7, 1, 42]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![1, 7, 42]);
+        assert_eq!(s.first(), Some(1));
+        assert_eq!(RelSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn all_builds_prefix_sets() {
+        assert_eq!(RelSet::all(0), RelSet::EMPTY);
+        assert_eq!(RelSet::all(3), RelSet::from_iter([0, 1, 2]));
+        assert_eq!(RelSet::all(64).len(), 64);
+    }
+
+    #[test]
+    fn proper_subsets_enumerates_everything_once() {
+        let s = RelSet::from_iter([1, 4, 9]);
+        let subs: Vec<_> = s.proper_subsets().collect();
+        // 2^3 - 2 = 6 proper non-empty subsets.
+        assert_eq!(subs.len(), 6);
+        for sub in &subs {
+            assert!(!sub.is_empty());
+            assert!(sub.is_subset_of(s));
+            assert_ne!(*sub, s);
+        }
+        let mut uniq = subs.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), subs.len());
+    }
+
+    #[test]
+    fn proper_subsets_of_singleton_is_empty() {
+        assert_eq!(RelSet::single(5).proper_subsets().count(), 0);
+        assert_eq!(RelSet::EMPTY.proper_subsets().count(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", RelSet::from_iter([0, 2])), "{0,2}");
+        assert_eq!(format!("{:?}", RelSet::EMPTY), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_panics_out_of_range() {
+        let _ = RelSet::single(64);
+    }
+}

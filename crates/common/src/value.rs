@@ -1,0 +1,242 @@
+//! Scalar values ([`Datum`]) and their types ([`DataType`]).
+//!
+//! The engine is columnar; `Datum` is used only at the "edges": literals in
+//! expressions, query results handed to users, statistics boundaries
+//! (min/max), and test fixtures. Bulk data lives in `bfq-storage` columns.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of a column or scalar expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer. Also used for keys.
+    Int64,
+    /// 64-bit IEEE float. Used for prices, discounts, aggregates.
+    Float64,
+    /// UTF-8 string (dictionary-encoded in storage).
+    Utf8,
+    /// Boolean.
+    Bool,
+    /// Calendar date stored as days since 1970-01-01 (may be negative).
+    Date,
+}
+
+impl DataType {
+    /// Whether the type is numeric (participates in arithmetic).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    /// Whether two types can be compared with `=`, `<`, etc.
+    ///
+    /// Numeric types are mutually comparable; other types compare only with
+    /// themselves. `Date` compares with `Date` and `Int64` (its storage type),
+    /// which keeps date arithmetic simple.
+    pub fn comparable_with(self, other: DataType) -> bool {
+        if self == other {
+            return true;
+        }
+        match (self, other) {
+            (a, b) if a.is_numeric() && b.is_numeric() => true,
+            (DataType::Date, DataType::Int64) | (DataType::Int64, DataType::Date) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "INT64",
+            DataType::Float64 => "FLOAT64",
+            DataType::Utf8 => "UTF8",
+            DataType::Bool => "BOOL",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+#[derive(Debug, Clone)]
+pub enum Datum {
+    /// SQL NULL (typeless here; the binder tracks the intended type).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Shared string payload; cloning is cheap.
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// Days since the Unix epoch.
+    Date(i32),
+}
+
+impl Datum {
+    /// Convenience constructor for string datums.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Datum::Str(s.into())
+    }
+
+    /// The runtime type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Datum::Null => None,
+            Datum::Int(_) => Some(DataType::Int64),
+            Datum::Float(_) => Some(DataType::Float64),
+            Datum::Str(_) => Some(DataType::Utf8),
+            Datum::Bool(_) => Some(DataType::Bool),
+            Datum::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Whether this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Numeric view used by the estimator: ints, floats and dates map onto a
+    /// common `f64` axis so min/max statistics can bound range predicates.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(v) => Some(*v as f64),
+            Datum::Float(v) => Some(*v),
+            Datum::Date(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view (ints and dates).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Datum::Int(v) => Some(*v),
+            Datum::Date(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison semantics: NULL compares as unknown (`None`); numeric
+    /// types compare on the `f64` axis; strings lexicographically.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Datum::Str(a), Datum::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Datum::Bool(a), Datum::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+/// Structural equality: NULL == NULL here (useful for tests/maps). SQL
+/// three-valued logic is implemented by `sql_cmp` / the expression evaluator,
+/// not by this impl.
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Datum::Null, Datum::Null) => true,
+            (Datum::Int(a), Datum::Int(b)) => a == b,
+            (Datum::Float(a), Datum::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Datum::Str(a), Datum::Str(b)) => a == b,
+            (Datum::Bool(a), Datum::Bool(b)) => a == b,
+            (Datum::Date(a), Datum::Date(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Datum {}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => f.write_str("NULL"),
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v}"),
+            Datum::Str(s) => write!(f, "'{s}'"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Date(d) => {
+                let (y, m, dd) = crate::date::from_days(*d);
+                write!(f, "{y:04}-{m:02}-{dd:02}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_and_views() {
+        assert_eq!(Datum::Int(5).data_type(), Some(DataType::Int64));
+        assert_eq!(Datum::Null.data_type(), None);
+        assert_eq!(Datum::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Datum::Date(10).as_i64(), Some(10));
+        assert_eq!(Datum::str("x").as_str(), Some("x"));
+        assert_eq!(Datum::Bool(true).as_bool(), Some(true));
+        assert_eq!(Datum::str("x").as_f64(), None);
+    }
+
+    #[test]
+    fn sql_cmp_follows_three_valued_logic() {
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), None);
+        assert_eq!(
+            Datum::Int(1).sql_cmp(&Datum::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Datum::str("abc").sql_cmp(&Datum::str("abd")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Datum::Date(100).sql_cmp(&Datum::Int(100)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn display_formats_dates_iso() {
+        assert_eq!(Datum::Date(0).to_string(), "1970-01-01");
+        assert_eq!(Datum::str("hi").to_string(), "'hi'");
+    }
+
+    #[test]
+    fn comparable_with_matrix() {
+        assert!(DataType::Int64.comparable_with(DataType::Float64));
+        assert!(DataType::Date.comparable_with(DataType::Int64));
+        assert!(!DataType::Utf8.comparable_with(DataType::Int64));
+        assert!(DataType::Utf8.comparable_with(DataType::Utf8));
+    }
+
+    #[test]
+    fn eq_treats_nan_as_equal_for_test_use() {
+        assert_eq!(Datum::Float(f64::NAN), Datum::Float(f64::NAN));
+        assert_eq!(Datum::Null, Datum::Null);
+        assert_ne!(Datum::Null, Datum::Int(0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Marking Bloom filter candidates (paper §3.3).
+//!
+//! For every hashable equi-join clause we may attach one candidate to the
+//! relation whose scan could profitably apply a filter built from the other
+//! side. Heuristic 1 puts the candidate on the larger relation; Heuristic 2
+//! requires the apply relation to clear a row threshold; correctness rules
+//! exclude anti joins entirely and the row-preserving side of left outer
+//! joins. Heuristic 9, when enabled, additionally allows a candidate on the
+//! smaller relation (its δ's get size-checked during phase 1).
+
+use bfq_common::{ColumnId, RelSet};
+use bfq_cost::Estimator;
+use bfq_plan::{QueryBlock, RelKind};
+
+use crate::OptimizerConfig;
+
+/// A Bloom filter candidate: the paper's `(a, b, Δ)` attached to the apply
+/// relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfCandidate {
+    /// Ordinal of the relation the filter would be applied to.
+    pub apply_rel: usize,
+    /// Apply column `a` (a column of `apply_rel`).
+    pub apply_col: ColumnId,
+    /// Ordinal of the relation providing the build column.
+    pub build_rel: usize,
+    /// Build column `b`.
+    pub build_col: ColumnId,
+    /// Feasible build-side relation sets, populated by phase 1
+    /// (`Δ = [δ₀, δ₁, …]`).
+    pub deltas: Vec<RelSet>,
+    /// Marked under Heuristic 9 (candidate on the smaller side); its δ's
+    /// must be smaller than the apply relation.
+    pub via_h9: bool,
+}
+
+impl BfCandidate {
+    /// Record a feasible δ if it is new.
+    pub fn add_delta(&mut self, delta: RelSet) {
+        if !self.deltas.contains(&delta) {
+            self.deltas.push(delta);
+        }
+    }
+}
+
+/// Whether a clause between `apply` and `build` relations may carry a Bloom
+/// filter, per the correctness restrictions of §3.3.
+fn legal_direction(block: &QueryBlock, apply_rel: usize, build_rel: usize) -> bool {
+    let apply_kind = block.rel(apply_rel).kind;
+    let build_kind = block.rel(build_rel).kind;
+    // Never across an anti join, in either direction.
+    if apply_kind == RelKind::Anti || build_kind == RelKind::Anti {
+        return false;
+    }
+    // A left-outer dependent relation is the null-producing side; the rest
+    // of the block is row-preserving. Applying to the preserving side (i.e.
+    // building FROM the outer-joined relation) would drop preserved rows.
+    if build_kind == RelKind::LeftOuter {
+        return false;
+    }
+    // Applying TO the null-producing side is fine (filtered inner rows just
+    // produce NULL-extended output), as is anything between inner/semi rels.
+    true
+}
+
+/// Mark Bloom filter candidates for a block (paper §3.3).
+///
+/// Returns one candidate per eligible clause direction, with empty `Δ`
+/// lists. Multi-way equivalence classes arise here as multiple clauses; the
+/// larger-side rule applies per clause, which matches the paper's guidance
+/// of building from the smallest relation of a class.
+pub fn mark_candidates(
+    block: &QueryBlock,
+    est: &Estimator<'_>,
+    config: &OptimizerConfig,
+) -> Vec<BfCandidate> {
+    let mut out: Vec<BfCandidate> = Vec::new();
+    for clause in &block.equi_clauses {
+        let (lr, rr) = (clause.left_rel, clause.right_rel);
+        let (l_rows, r_rows) = (est.base_rows(lr), est.base_rows(rr));
+        // Orient: apply on the larger side (Heuristic 1).
+        let (apply_rel, apply_col, build_rel, build_col) = if l_rows >= r_rows {
+            (lr, clause.left, rr, clause.right)
+        } else {
+            (rr, clause.right, lr, clause.left)
+        };
+        let mut directions = vec![(apply_rel, apply_col, build_rel, build_col, false)];
+        if config.h9_enabled {
+            // Heuristic 9: also allow the smaller side to be the apply side.
+            directions.push((build_rel, build_col, apply_rel, apply_col, true));
+        }
+        for (a_rel, a_col, b_rel, b_col, via_h9) in directions {
+            if !legal_direction(block, a_rel, b_rel) {
+                continue;
+            }
+            // Heuristic 2: apply relation must be large enough to bother.
+            if est.base_rows(a_rel) < config.bf_min_apply_rows {
+                continue;
+            }
+            // One candidate per (apply, build) column pair.
+            let dup = out.iter().any(|c| {
+                c.apply_col == a_col && c.build_col == b_col && c.apply_rel == a_rel
+            });
+            if dup {
+                continue;
+            }
+            out.push(BfCandidate {
+                apply_rel: a_rel,
+                apply_col: a_col,
+                build_rel: b_rel,
+                build_col: b_col,
+                deltas: Vec::new(),
+                via_h9,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{chain_block, ChainSpec};
+    use bfq_plan::RelKind;
+
+    #[test]
+    fn candidate_on_larger_side() {
+        // rel0: 100k rows, rel1: 1k rows, clause between them.
+        let fx = chain_block(&[
+            ChainSpec::new("big", 100_000),
+            ChainSpec::new("small", 1_000),
+        ]);
+        let est = fx.estimator();
+        let cands = mark_candidates(&fx.block, &est, &OptimizerConfig::default());
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].apply_rel, 0, "filter applies to the big side");
+        assert_eq!(cands[0].build_rel, 1);
+        assert!(!cands[0].via_h9);
+        assert!(cands[0].deltas.is_empty());
+    }
+
+    #[test]
+    fn heuristic2_row_threshold() {
+        let fx = chain_block(&[ChainSpec::new("a", 5_000), ChainSpec::new("b", 100)]);
+        let est = fx.estimator();
+        let mut config = OptimizerConfig::default();
+        config.bf_min_apply_rows = 10_000.0;
+        assert!(mark_candidates(&fx.block, &est, &config).is_empty());
+        config.bf_min_apply_rows = 1_000.0;
+        assert_eq!(mark_candidates(&fx.block, &est, &config).len(), 1);
+    }
+
+    #[test]
+    fn heuristic9_adds_reverse_direction() {
+        let fx = chain_block(&[
+            ChainSpec::new("big", 100_000),
+            ChainSpec::new("mid", 50_000),
+        ]);
+        let est = fx.estimator();
+        let mut config = OptimizerConfig::default();
+        config.h9_enabled = true;
+        let cands = mark_candidates(&fx.block, &est, &config);
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().any(|c| c.via_h9));
+        assert!(cands.iter().any(|c| !c.via_h9));
+    }
+
+    #[test]
+    fn anti_join_blocks_candidates() {
+        let mut fx = chain_block(&[
+            ChainSpec::new("a", 100_000),
+            ChainSpec::new("b", 90_000),
+        ]);
+        fx.block.rels[1].kind = RelKind::Anti;
+        let est = fx.estimator();
+        assert!(mark_candidates(&fx.block, &est, &OptimizerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn left_outer_blocks_preserve_side_only() {
+        let mut fx = chain_block(&[
+            ChainSpec::new("a", 100_000),
+            ChainSpec::new("b", 90_000),
+        ]);
+        fx.block.rels[1].kind = RelKind::LeftOuter;
+        let est = fx.estimator();
+        let cands = mark_candidates(&fx.block, &est, &OptimizerConfig::default());
+        // Building FROM the left-outer relation (applying to the preserved
+        // side) is forbidden; applying TO the left-outer relation is fine.
+        for c in &cands {
+            assert_eq!(c.apply_rel, 1, "only the nullable side may receive a filter");
+        }
+    }
+
+    #[test]
+    fn semi_join_allows_candidates_both_ways() {
+        let mut fx = chain_block(&[
+            ChainSpec::new("a", 100_000),
+            ChainSpec::new("b", 90_000),
+        ]);
+        fx.block.rels[1].kind = RelKind::Semi;
+        let est = fx.estimator();
+        let cands = mark_candidates(&fx.block, &est, &OptimizerConfig::default());
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].apply_rel, 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Sub-plans and plan lists with property-based pruning.
+//!
+//! A [`SubPlan`] is one concrete way to realize a relation set. Plan lists
+//! keep "the lowest cost method with a specific set of properties" (paper
+//! §3.1); the properties here are the output [`Distribution`] and the set of
+//! *pending* (unresolved) Bloom filters with their δ's. The δ-dominance rule
+//! of §3.5 — a sub-plan needing a superset δ survives only with strictly
+//! fewer rows — falls out of the general dominance test.
+
+use std::sync::Arc;
+
+use bfq_common::FilterId;
+use bfq_cost::{BfAssumption, Cost};
+use bfq_plan::{Distribution, PhysicalPlan};
+
+/// An unresolved Bloom filter riding on a sub-plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingBf {
+    /// Runtime id linking the apply-side scan to the future build join.
+    pub id: FilterId,
+    /// The filter's columns and required build set δ.
+    pub bf: BfAssumption,
+}
+
+/// One costed way to realize a relation set.
+#[derive(Debug, Clone)]
+pub struct SubPlan {
+    /// The physical plan fragment.
+    pub plan: Arc<PhysicalPlan>,
+    /// Estimated output rows (pending filters already accounted).
+    pub rows: f64,
+    /// Cumulative cost.
+    pub cost: Cost,
+    /// Output distribution.
+    pub dist: Distribution,
+    /// Unresolved Bloom filters (each δ is disjoint from this sub-plan's
+    /// relation set — the invariant joins must maintain).
+    pub pending: Vec<PendingBf>,
+}
+
+impl SubPlan {
+    /// Whether this sub-plan carries unresolved Bloom filters.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Dominance: `self` dominates `other` when it is at least as good on
+    /// cost and rows, has the same distribution, and imposes a subset of the
+    /// join-order constraints (its pending filters are a subset, each with a
+    /// δ no larger).
+    pub fn dominates(&self, other: &SubPlan) -> bool {
+        if self.dist != other.dist {
+            return false;
+        }
+        if self.cost.total > other.cost.total * (1.0 + 1e-9) {
+            return false;
+        }
+        if self.rows > other.rows * (1.0 + 1e-9) {
+            return false;
+        }
+        // Every pending filter of `self` must exist in `other` with a
+        // superset δ; `other` may carry extra pendings (extra constraints).
+        for p in &self.pending {
+            let matched = other.pending.iter().any(|q| {
+                q.bf.apply_col == p.bf.apply_col
+                    && q.bf.build_col == p.bf.build_col
+                    && p.bf.delta.is_subset_of(q.bf.delta)
+            });
+            if !matched {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The plan list of one relation set.
+#[derive(Debug, Clone, Default)]
+pub struct PlanList {
+    plans: Vec<SubPlan>,
+}
+
+impl PlanList {
+    /// An empty list.
+    pub fn new() -> Self {
+        PlanList::default()
+    }
+
+    /// Try to add `candidate`; returns `true` if it was kept.
+    ///
+    /// Implements the paper's plan-list behaviour: the candidate is rejected
+    /// if an existing sub-plan dominates it, and evicts any existing
+    /// sub-plans it dominates.
+    pub fn add(&mut self, candidate: SubPlan) -> bool {
+        for existing in &self.plans {
+            if existing.dominates(&candidate) {
+                return false;
+            }
+        }
+        self.plans.retain(|existing| !candidate.dominates(existing));
+        self.plans.push(candidate);
+        true
+    }
+
+    /// All retained sub-plans.
+    pub fn plans(&self) -> &[SubPlan] {
+        &self.plans
+    }
+
+    /// Number of retained sub-plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The cheapest sub-plan with no pending filters.
+    pub fn best_resolved(&self) -> Option<&SubPlan> {
+        self.plans
+            .iter()
+            .filter(|p| !p.has_pending())
+            .min_by(|a, b| a.cost.total.total_cmp(&b.cost.total))
+    }
+
+    /// The cheapest sub-plan regardless of pendings.
+    pub fn best_any(&self) -> Option<&SubPlan> {
+        self.plans
+            .iter()
+            .min_by(|a, b| a.cost.total.total_cmp(&b.cost.total))
+    }
+
+    /// Heuristic 7 (paper §3.10/§4.4): if more than `max` Bloom-filter
+    /// sub-plans accumulated, keep only the one with the fewest rows
+    /// (ties broken by cost), alongside all non-BF sub-plans.
+    pub fn apply_heuristic7(&mut self, max: usize) {
+        let bf_count = self.plans.iter().filter(|p| p.has_pending()).count();
+        if bf_count <= max {
+            return;
+        }
+        let best = self
+            .plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.has_pending())
+            .min_by(|(_, a), (_, b)| {
+                a.rows
+                    .total_cmp(&b.rows)
+                    .then(a.cost.total.total_cmp(&b.cost.total))
+            })
+            .map(|(i, _)| i);
+        if let Some(keep) = best {
+            let mut i = 0;
+            self.plans.retain(|p| {
+                let retain = !p.has_pending() || i == keep;
+                // `retain` sees plans in order; track the original index.
+                i += 1;
+                let _ = p;
+                retain
+            });
+        }
+    }
+
+    /// Retain sub-plans matching a predicate (used by tests).
+    pub fn retain(&mut self, f: impl FnMut(&SubPlan) -> bool) {
+        self.plans.retain(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfq_common::{ColumnId, RelSet, TableId};
+    use bfq_expr::Layout;
+    use bfq_plan::{Distribution, PhysicalNode};
+
+    fn dummy_plan() -> Arc<PhysicalPlan> {
+        PhysicalPlan::new(
+            PhysicalNode::Scan {
+                base: TableId(0),
+                rel_id: TableId(100),
+                alias: "t".into(),
+                projection: vec![0],
+                predicate: None,
+                blooms: vec![],
+            },
+            Layout::new(vec![ColumnId::new(TableId(100), 0)]),
+            100.0,
+            Distribution::AnyPartitioned,
+        )
+    }
+
+    fn sp(rows: f64, cost: f64, pending: Vec<PendingBf>) -> SubPlan {
+        SubPlan {
+            plan: dummy_plan(),
+            rows,
+            cost: Cost::of(cost),
+            dist: Distribution::AnyPartitioned,
+            pending,
+        }
+    }
+
+    fn pend(delta: RelSet) -> PendingBf {
+        PendingBf {
+            id: FilterId(1),
+            bf: BfAssumption {
+                apply_rel: 0,
+                apply_col: ColumnId::new(TableId(100), 1),
+                build_rel: 1,
+                build_col: ColumnId::new(TableId(101), 0),
+                delta,
+            },
+        }
+    }
+
+    #[test]
+    fn cheaper_same_properties_dominates() {
+        let mut list = PlanList::new();
+        assert!(list.add(sp(100.0, 10.0, vec![])));
+        // Worse cost, same rows -> rejected.
+        assert!(!list.add(sp(100.0, 20.0, vec![])));
+        // Better cost -> kept, evicts old.
+        assert!(list.add(sp(100.0, 5.0, vec![])));
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.plans()[0].cost.total, 5.0);
+    }
+
+    #[test]
+    fn different_distribution_coexists() {
+        let mut list = PlanList::new();
+        list.add(sp(100.0, 10.0, vec![]));
+        let mut single = sp(100.0, 20.0, vec![]);
+        single.dist = Distribution::Single;
+        assert!(list.add(single));
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn paper_delta_superset_rule() {
+        // Example 3.3: sub-plan with δ={t2} at 22M rows; a second sub-plan
+        // with δ={t2,t3} and the SAME rows must be pruned...
+        let mut list = PlanList::new();
+        assert!(list.add(sp(22e6, 10.0, vec![pend(RelSet::single(1))])));
+        assert!(!list.add(sp(22e6, 10.0, vec![pend(RelSet::from_iter([1, 2]))])));
+        // ...but kept when it has strictly fewer rows.
+        assert!(list.add(sp(1e6, 10.0, vec![pend(RelSet::from_iter([1, 2]))])));
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn pending_plans_never_dominate_plain_ones() {
+        let mut list = PlanList::new();
+        // A BF sub-plan with fewer rows and same cost must NOT evict the
+        // plain sub-plan: it carries join-order constraints.
+        assert!(list.add(sp(100.0, 10.0, vec![])));
+        assert!(list.add(sp(10.0, 10.0, vec![pend(RelSet::single(1))])));
+        assert_eq!(list.len(), 2);
+        // But a plain sub-plan that is better on both axes evicts a BF one.
+        assert!(list.add(sp(5.0, 5.0, vec![])));
+        assert_eq!(
+            list.plans().iter().filter(|p| p.has_pending()).count(),
+            0,
+            "dominated BF sub-plan should be gone"
+        );
+    }
+
+    #[test]
+    fn best_resolved_ignores_pending() {
+        let mut list = PlanList::new();
+        list.add(sp(10.0, 1.0, vec![pend(RelSet::single(1))]));
+        assert!(list.best_resolved().is_none());
+        assert!(list.best_any().is_some());
+        list.add(sp(100.0, 50.0, vec![]));
+        assert_eq!(list.best_resolved().unwrap().cost.total, 50.0);
+        assert_eq!(list.best_any().unwrap().cost.total, 1.0);
+    }
+
+    #[test]
+    fn heuristic7_prunes_to_single_bf_subplan() {
+        let mut list = PlanList::new();
+        list.add(sp(1000.0, 1.0, vec![]));
+        // Five BF sub-plans with distinct deltas (no mutual dominance).
+        for i in 0..5 {
+            let rows = 100.0 - i as f64 * 10.0;
+            list.add(sp(rows, 2.0 + i as f64, vec![pend(RelSet::single(i + 1))]));
+        }
+        assert_eq!(list.len(), 6);
+        list.apply_heuristic7(4);
+        let bf: Vec<_> = list.plans().iter().filter(|p| p.has_pending()).collect();
+        assert_eq!(bf.len(), 1);
+        // Fewest rows kept: 100 - 4*10 = 60.
+        assert_eq!(bf[0].rows, 60.0);
+        assert_eq!(list.len(), 2);
+        // Under the cap nothing happens.
+        let mut small = PlanList::new();
+        small.add(sp(10.0, 1.0, vec![pend(RelSet::single(1))]));
+        small.apply_heuristic7(4);
+        assert_eq!(small.len(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Cardinality estimation and the cost model.
+//!
+//! [`card::Estimator`] implements the System-R-family estimation the paper's
+//! optimizer relies on — base rows after local predicates, join cardinality
+//! via distinct-value containment, distinct-after-selection (Cardenas), and
+//! the paper-specific pieces: **semi-join selectivity of a Bloom filter with
+//! respect to its build set δ** and the filter's false-positive rate
+//! (paper §3.5: `|R0 ⋉̂ δ| = |R0| · (sel_semi + (1 − sel_semi) · fpr)`).
+//!
+//! [`model::CostModel`] prices operators in abstract per-row units. The two
+//! Bloom-specific terms follow the paper exactly: applying a filter costs a
+//! constant `k` per *input* row with `k` smaller than a hash-table probe, and
+//! the build cost is accounted for but defaults to zero.
+
+pub mod card;
+pub mod model;
+
+pub use card::{BfAssumption, Estimator};
+pub use model::{Cost, CostModel, CostParams};

@@ -1,0 +1,255 @@
+//! Hash aggregation with grouping, DISTINCT and HAVING.
+
+use std::collections::{HashMap, HashSet};
+
+use bfq_common::{BfqError, DataType, Datum, Result};
+use bfq_expr::{eval, eval_predicate, Expr, Layout};
+use bfq_plan::{AggExpr, AggFunc, OutputColumn};
+use bfq_storage::{Chunk, ChunkBuilder, Column, Field, Schema};
+
+use crate::util::NormKey;
+
+/// The output type of an aggregate given its argument type.
+pub fn agg_output_type(func: AggFunc, arg: Option<DataType>) -> DataType {
+    match func {
+        AggFunc::Count | AggFunc::CountStar => DataType::Int64,
+        AggFunc::Avg => DataType::Float64,
+        AggFunc::Sum => match arg {
+            Some(DataType::Int64) => DataType::Int64,
+            _ => DataType::Float64,
+        },
+        AggFunc::Min | AggFunc::Max => arg.unwrap_or(DataType::Int64),
+    }
+}
+
+/// One accumulator instance.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    Min(Option<Datum>),
+    Max(Option<Datum>),
+    Avg(f64, i64),
+}
+
+impl Acc {
+    fn new(func: AggFunc, out_type: DataType) -> Acc {
+        match func {
+            AggFunc::Count | AggFunc::CountStar => Acc::Count(0),
+            AggFunc::Sum => {
+                if out_type == DataType::Int64 {
+                    Acc::SumInt(0, false)
+                } else {
+                    Acc::SumFloat(0.0, false)
+                }
+            }
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg(0.0, 0),
+        }
+    }
+
+    fn update(&mut self, v: &Datum) {
+        match self {
+            Acc::Count(n) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Acc::SumInt(s, seen) => {
+                if let Some(x) = v.as_i64() {
+                    *s += x;
+                    *seen = true;
+                }
+            }
+            Acc::SumFloat(s, seen) => {
+                if let Some(x) = v.as_f64() {
+                    *s += x;
+                    *seen = true;
+                }
+            }
+            Acc::Min(m) => {
+                if !v.is_null()
+                    && m.as_ref()
+                        .is_none_or(|cur| v.sql_cmp(cur) == Some(std::cmp::Ordering::Less))
+                {
+                    *m = Some(v.clone());
+                }
+            }
+            Acc::Max(m) => {
+                if !v.is_null()
+                    && m.as_ref()
+                        .is_none_or(|cur| v.sql_cmp(cur) == Some(std::cmp::Ordering::Greater))
+                {
+                    *m = Some(v.clone());
+                }
+            }
+            Acc::Avg(s, n) => {
+                if let Some(x) = v.as_f64() {
+                    *s += x;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn update_star(&mut self) {
+        if let Acc::Count(n) = self {
+            *n += 1;
+        }
+    }
+
+    fn finish(&self) -> Datum {
+        match self {
+            Acc::Count(n) => Datum::Int(*n),
+            Acc::SumInt(s, seen) => {
+                if *seen {
+                    Datum::Int(*s)
+                } else {
+                    Datum::Null
+                }
+            }
+            Acc::SumFloat(s, seen) => {
+                if *seen {
+                    Datum::Float(*s)
+                } else {
+                    Datum::Null
+                }
+            }
+            Acc::Min(m) | Acc::Max(m) => m.clone().unwrap_or(Datum::Null),
+            Acc::Avg(s, n) => {
+                if *n == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Float(*s / *n as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Per-group state: plain accumulators plus DISTINCT value sets.
+struct GroupState {
+    key: Vec<Datum>,
+    accs: Vec<Acc>,
+    distinct: Vec<Option<HashSet<NormKey>>>,
+}
+
+/// Execute hash aggregation over a single gathered chunk.
+pub fn execute_agg(
+    input: &Chunk,
+    input_layout: &Layout,
+    input_types: &[DataType],
+    group_by: &[OutputColumn],
+    aggs: &[AggExpr],
+    having: &Option<Expr>,
+    out_layout: &Layout,
+) -> Result<Chunk> {
+    // Evaluate group and argument expressions once, column-at-a-time.
+    let group_cols: Vec<Column> = group_by
+        .iter()
+        .map(|g| eval(&g.expr, input, input_layout))
+        .collect::<Result<_>>()?;
+    let arg_cols: Vec<Option<Column>> = aggs
+        .iter()
+        .map(|a| match &a.arg {
+            Some(e) => eval(e, input, input_layout).map(Some),
+            None => Ok(None),
+        })
+        .collect::<Result<_>>()?;
+
+    // Output types drive accumulator construction.
+    let resolve = |c: bfq_common::ColumnId| -> Option<DataType> {
+        input_layout.slot_of(c).map(|s| input_types[s])
+    };
+    let agg_types: Vec<DataType> = aggs
+        .iter()
+        .map(|a| {
+            let arg_t = a.arg.as_ref().and_then(|e| e.data_type(&resolve));
+            agg_output_type(a.func, arg_t)
+        })
+        .collect();
+
+    let mut groups: HashMap<Vec<NormKey>, usize> = HashMap::new();
+    let mut states: Vec<GroupState> = Vec::new();
+    let new_state = |key: Vec<Datum>| -> GroupState {
+        GroupState {
+            key,
+            accs: aggs
+                .iter()
+                .zip(&agg_types)
+                .map(|(a, t)| Acc::new(a.func, *t))
+                .collect(),
+            distinct: aggs
+                .iter()
+                .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                .collect(),
+        }
+    };
+
+    // Scalar aggregation always has exactly one group, even over zero rows.
+    if group_by.is_empty() {
+        groups.insert(Vec::new(), 0);
+        states.push(new_state(Vec::new()));
+    }
+
+    for row in 0..input.rows() {
+        let key_norm: Vec<NormKey> = group_cols
+            .iter()
+            .map(|c| NormKey::from_datum(&c.get(row)))
+            .collect();
+        let idx = match groups.get(&key_norm) {
+            Some(&i) => i,
+            None => {
+                let key: Vec<Datum> = group_cols.iter().map(|c| c.get(row)).collect();
+                let i = states.len();
+                groups.insert(key_norm, i);
+                states.push(new_state(key));
+                i
+            }
+        };
+        let state = &mut states[idx];
+        for (ai, _agg) in aggs.iter().enumerate() {
+            match &arg_cols[ai] {
+                None => state.accs[ai].update_star(),
+                Some(col) => {
+                    let v = col.get(row);
+                    if let Some(set) = &mut state.distinct[ai] {
+                        if v.is_null() || !set.insert(NormKey::from_datum(&v)) {
+                            continue; // already counted this distinct value
+                        }
+                    }
+                    state.accs[ai].update(&v);
+                }
+            }
+        }
+    }
+
+    // Materialize output: group columns then aggregate columns.
+    let mut fields = Vec::new();
+    for (g, _) in group_by.iter().zip(0..) {
+        let t = g
+            .expr
+            .data_type(&resolve)
+            .ok_or_else(|| BfqError::Type(format!("untyped group expression {}", g.expr)))?;
+        fields.push(Field::new(g.name.clone(), t));
+    }
+    for (a, t) in aggs.iter().zip(&agg_types) {
+        fields.push(Field::new(a.func.name(), *t));
+    }
+    let schema = std::sync::Arc::new(Schema::new(fields));
+    let mut builder = ChunkBuilder::with_capacity(&schema, states.len());
+    for state in &states {
+        let mut row: Vec<Datum> = state.key.clone();
+        row.extend(state.accs.iter().map(|a| a.finish()));
+        builder.push_row(&row)?;
+    }
+    let mut out = builder.finish()?;
+
+    if let Some(h) = having {
+        let sel = eval_predicate(h, &out, out_layout)?;
+        out = out.take(&sel);
+    }
+    Ok(out)
+}

@@ -1,0 +1,145 @@
+//! Data moving between operators, and execution statistics.
+
+use std::collections::HashMap;
+
+use bfq_common::{DataType, Result};
+use bfq_storage::Chunk;
+use parking_lot::Mutex;
+
+/// Rows flowing between operators: `partitions.len()` worker streams, each a
+/// list of chunks, plus the column types (needed to materialize typed NULL
+/// columns and empty results).
+#[derive(Debug, Clone)]
+pub struct PartitionedData {
+    /// Output column types, aligned with the owning plan node's layout.
+    pub types: Vec<DataType>,
+    /// One entry per worker.
+    pub partitions: Vec<Vec<Chunk>>,
+}
+
+impl PartitionedData {
+    /// Empty data with the given shape.
+    pub fn empty(types: Vec<DataType>, partitions: usize) -> Self {
+        PartitionedData {
+            types,
+            partitions: vec![Vec::new(); partitions],
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total rows across all partitions.
+    pub fn total_rows(&self) -> usize {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|c| c.rows())
+            .sum()
+    }
+
+    /// Concatenate everything into one chunk (the query result path).
+    pub fn into_single_chunk(self) -> Result<Chunk> {
+        let all: Vec<Chunk> = self.partitions.into_iter().flatten().collect();
+        if all.is_empty() {
+            // Typed empty result.
+            let cols = self
+                .types
+                .iter()
+                .map(|dt| std::sync::Arc::new(bfq_storage::Column::nulls(*dt, 0)))
+                .collect();
+            return Chunk::new(cols);
+        }
+        Chunk::concat(&all)
+    }
+
+    /// Concatenate one partition's chunks into a single chunk, or a typed
+    /// empty chunk when the partition is empty.
+    pub fn partition_chunk(&self, p: usize) -> Result<Chunk> {
+        if self.partitions[p].is_empty() {
+            let cols = self
+                .types
+                .iter()
+                .map(|dt| std::sync::Arc::new(bfq_storage::Column::nulls(*dt, 0)))
+                .collect();
+            return Chunk::new(cols);
+        }
+        Chunk::concat(&self.partitions[p])
+    }
+}
+
+/// Actual row counts per plan-node id, recorded during execution.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    rows: Mutex<HashMap<u32, u64>>,
+}
+
+impl ExecStats {
+    /// Fresh, empty stats.
+    pub fn new() -> Self {
+        ExecStats::default()
+    }
+
+    /// Record (accumulate) actual output rows for a node.
+    pub fn record(&self, node_id: u32, rows: u64) {
+        *self.rows.lock().entry(node_id).or_insert(0) += rows;
+    }
+
+    /// Actual rows recorded for a node.
+    pub fn actual(&self, node_id: u32) -> Option<u64> {
+        self.rows.lock().get(&node_id).copied()
+    }
+
+    /// Snapshot of all recorded counts.
+    pub fn snapshot(&self) -> HashMap<u32, u64> {
+        self.rows.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfq_storage::Column;
+    use std::sync::Arc;
+
+    fn chunk(vals: &[i64]) -> Chunk {
+        Chunk::new(vec![Arc::new(Column::Int64(vals.to_vec(), None))]).unwrap()
+    }
+
+    #[test]
+    fn totals_and_concat() {
+        let pd = PartitionedData {
+            types: vec![DataType::Int64],
+            partitions: vec![vec![chunk(&[1, 2])], vec![chunk(&[3])], vec![]],
+        };
+        assert_eq!(pd.num_partitions(), 3);
+        assert_eq!(pd.total_rows(), 3);
+        let single = pd.into_single_chunk().unwrap();
+        assert_eq!(single.rows(), 3);
+    }
+
+    #[test]
+    fn empty_data_is_typed() {
+        let pd = PartitionedData::empty(vec![DataType::Utf8, DataType::Int64], 2);
+        assert_eq!(pd.total_rows(), 0);
+        let c = pd.partition_chunk(0).unwrap();
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.rows(), 0);
+        let single = pd.into_single_chunk().unwrap();
+        assert_eq!(single.width(), 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let s = ExecStats::new();
+        s.record(1, 10);
+        s.record(1, 5);
+        s.record(2, 7);
+        assert_eq!(s.actual(1), Some(15));
+        assert_eq!(s.actual(2), Some(7));
+        assert_eq!(s.actual(3), None);
+        assert_eq!(s.snapshot().len(), 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! The plan interpreter: recursive execution with build-before-probe
+//! ordering, runtime Bloom filter construction, and per-node row accounting.
+
+use std::sync::Arc;
+
+use bfq_bloom::strategy::{build_filter, StreamingStrategy};
+use bfq_bloom::FilterHub;
+use bfq_catalog::Catalog;
+use bfq_common::{BfqError, DataType, Datum, Result};
+use bfq_expr::{eval, Layout};
+use bfq_plan::{
+    Distribution, ExchangeKind, PhysicalNode, PhysicalPlan,
+};
+use bfq_storage::{Chunk, Column};
+
+use crate::agg::execute_agg;
+use crate::data::{ExecStats, PartitionedData};
+use crate::exchange;
+use crate::join::{hash_join_probe, merge_join, nestloop_join, BuildTable};
+use crate::parallel::par_map;
+use crate::scan::{execute_derived_scan, execute_filter, execute_scan};
+use crate::util::{col_cmp, expr_types, slots_for, substitute_placeholder};
+
+/// Shared execution context for one query.
+pub struct ExecContext {
+    /// The catalog (base table data).
+    pub catalog: Arc<Catalog>,
+    /// Degree of parallelism.
+    pub dop: usize,
+    /// Bloom filter rendezvous.
+    pub hub: FilterHub,
+    /// Per-node actual row counts.
+    pub stats: ExecStats,
+    /// How long a scan waits for a filter before declaring a planning bug.
+    pub filter_wait_ms: u64,
+}
+
+impl ExecContext {
+    /// A context over `catalog` with the given DOP.
+    pub fn new(catalog: Arc<Catalog>, dop: usize) -> Self {
+        ExecContext {
+            catalog,
+            dop: dop.max(1),
+            hub: FilterHub::new(),
+            stats: ExecStats::new(),
+            filter_wait_ms: 120_000,
+        }
+    }
+}
+
+/// A finished query: one result chunk plus runtime statistics.
+pub struct QueryOutput {
+    /// The gathered result rows.
+    pub chunk: Chunk,
+    /// Actual row counts per plan node id.
+    pub stats: ExecStats,
+}
+
+/// Execute a plan to completion.
+pub fn execute_plan(
+    plan: &Arc<PhysicalPlan>,
+    catalog: Arc<Catalog>,
+    dop: usize,
+) -> Result<QueryOutput> {
+    let ctx = ExecContext::new(catalog, dop);
+    let data = execute(plan, &ctx)?;
+    let chunk = data.into_single_chunk()?;
+    Ok(QueryOutput {
+        chunk,
+        stats: ctx.stats,
+    })
+}
+
+/// Recursively execute one node.
+pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<PartitionedData> {
+    let out = match &plan.node {
+        PhysicalNode::Scan {
+            base,
+            rel_id,
+            projection,
+            predicate,
+            blooms,
+            ..
+        } => execute_scan(ctx, *base, *rel_id, projection, predicate, blooms)?,
+        PhysicalNode::DerivedScan {
+            input,
+            rel_id,
+            predicate,
+            blooms,
+            ..
+        } => {
+            let input_data = execute(input, ctx)?;
+            execute_derived_scan(ctx, input_data, *rel_id, predicate, blooms)?
+        }
+        PhysicalNode::Filter { input, predicate } => {
+            let data = execute(input, ctx)?;
+            execute_filter(data, &input.layout, predicate)?
+        }
+        PhysicalNode::Exchange { input, kind } => {
+            let data = execute(input, ctx)?;
+            match kind {
+                ExchangeKind::Gather => exchange::gather(data),
+                ExchangeKind::Broadcast => exchange::broadcast(data, ctx.dop),
+                ExchangeKind::Repartition(cols) => {
+                    exchange::repartition(data, &input.layout, cols, ctx.dop)?
+                }
+            }
+        }
+        PhysicalNode::HashJoin {
+            outer,
+            inner,
+            kind,
+            keys,
+            extra,
+            builds,
+        } => {
+            // Build side first (paper §3.9: filters must be fully built
+            // before the probe side's scans may proceed).
+            let inner_data = execute(inner, ctx)?;
+            let inner_types = inner_data.types.clone();
+            let ikeys: Vec<_> = keys.iter().map(|(_, i)| *i).collect();
+            let okeys: Vec<_> = keys.iter().map(|(o, _)| *o).collect();
+            let inner_slots = slots_for(&inner.layout, &ikeys)?;
+            let inner_replicated = inner.distribution == Distribution::Replicated;
+
+            // Concatenate per partition and index.
+            let n_parts = inner_data.num_partitions();
+            let tables: Vec<BuildTable> = par_map(n_parts, |p| {
+                let chunk = inner_data.partition_chunk(p)?;
+                Ok(BuildTable::build(chunk, inner_slots.clone()))
+            })?;
+
+            // Build and publish planned Bloom filters.
+            if !builds.is_empty() {
+                let outer_broadcast = matches!(
+                    &outer.node,
+                    PhysicalNode::Exchange {
+                        kind: ExchangeKind::Broadcast,
+                        ..
+                    }
+                );
+                let strategy = if inner_replicated {
+                    StreamingStrategy::BroadcastBuild
+                } else if outer_broadcast {
+                    StreamingStrategy::BroadcastProbe
+                } else {
+                    StreamingStrategy::PartitionUnaligned
+                };
+                for b in builds {
+                    let slot = inner.layout.slot_of(b.column).ok_or_else(|| {
+                        BfqError::internal(format!(
+                            "bloom build column {} not in build side",
+                            b.column
+                        ))
+                    })?;
+                    let thread_keys: Vec<Column> = if inner_replicated {
+                        vec![tables[0].chunk.column(slot).as_ref().clone()]
+                    } else {
+                        tables
+                            .iter()
+                            .map(|t| t.chunk.column(slot).as_ref().clone())
+                            .collect()
+                    };
+                    let filter =
+                        build_filter(strategy, &thread_keys, b.expected_ndv.max(1.0) as usize);
+                    ctx.hub.publish(b.filter, filter);
+                }
+            }
+
+            // Now the probe side may run (its scans can fetch the filters).
+            let outer_data = execute(outer, ctx)?;
+            let probe_slots = slots_for(&outer.layout, &okeys)?;
+            let joined_layout = outer.layout.concat(&inner.layout);
+            hash_join_probe(
+                &outer_data,
+                &tables,
+                &probe_slots,
+                *kind,
+                extra,
+                &joined_layout,
+                &inner_types,
+            )?
+        }
+        PhysicalNode::MergeJoin {
+            outer,
+            inner,
+            kind,
+            keys,
+            extra,
+        } => {
+            let inner_data = execute(inner, ctx)?;
+            let outer_data = execute(outer, ctx)?;
+            let okeys: Vec<_> = keys.iter().map(|(o, _)| *o).collect();
+            let ikeys: Vec<_> = keys.iter().map(|(_, i)| *i).collect();
+            let outer_slots = slots_for(&outer.layout, &okeys)?;
+            let inner_slots = slots_for(&inner.layout, &ikeys)?;
+            let joined_layout = outer.layout.concat(&inner.layout);
+            merge_join(
+                &outer_data,
+                &inner_data,
+                &outer_slots,
+                &inner_slots,
+                *kind,
+                extra,
+                &joined_layout,
+            )?
+        }
+        PhysicalNode::NestLoopJoin {
+            outer,
+            inner,
+            kind,
+            predicate,
+        } => {
+            let inner_data = execute(inner, ctx)?;
+            let outer_data = execute(outer, ctx)?;
+            let joined_layout = outer.layout.concat(&inner.layout);
+            nestloop_join(&outer_data, &inner_data, *kind, predicate, &joined_layout)?
+        }
+        PhysicalNode::Project { input, exprs } => {
+            let data = execute(input, ctx)?;
+            let expr_refs: Vec<&bfq_expr::Expr> = exprs.iter().map(|e| &e.expr).collect();
+            let types = expr_types(&expr_refs, &input.layout, &data.types)?;
+            let partitions = par_map(data.num_partitions(), |p| {
+                let mut out = Vec::new();
+                for chunk in &data.partitions[p] {
+                    let cols: Vec<_> = exprs
+                        .iter()
+                        .map(|e| eval(&e.expr, chunk, &input.layout).map(Arc::new))
+                        .collect::<Result<_>>()?;
+                    out.push(Chunk::new(cols)?);
+                }
+                Ok(out)
+            })?;
+            PartitionedData { types, partitions }
+        }
+        PhysicalNode::HashAgg {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => {
+            let data = execute(input, ctx)?;
+            let input_types = data.types.clone();
+            let single = exchange::gather(data).partition_chunk(0)?;
+            let out = execute_agg(
+                &single,
+                &input.layout,
+                &input_types,
+                group_by,
+                aggs,
+                having,
+                &plan.layout,
+            )?;
+            let types = (0..out.width())
+                .map(|i| out.column(i).data_type())
+                .collect();
+            PartitionedData {
+                types,
+                partitions: vec![vec![out]],
+            }
+        }
+        PhysicalNode::Sort { input, keys, limit } => {
+            let data = execute(input, ctx)?;
+            let types = data.types.clone();
+            let chunk = exchange::gather(data).partition_chunk(0)?;
+            let sorted = sort_chunk(&chunk, &input.layout, keys, *limit)?;
+            PartitionedData {
+                types,
+                partitions: vec![vec![sorted]],
+            }
+        }
+        PhysicalNode::Limit { input, n } => {
+            let data = execute(input, ctx)?;
+            let types = data.types.clone();
+            let chunk = exchange::gather(data).partition_chunk(0)?;
+            let keep = (*n).min(chunk.rows());
+            let sel: Vec<u32> = (0..keep as u32).collect();
+            PartitionedData {
+                types,
+                partitions: vec![vec![chunk.take(&sel)]],
+            }
+        }
+        PhysicalNode::ScalarSubst {
+            input,
+            subquery,
+            pred,
+            placeholder,
+        } => {
+            let sub = execute(subquery, ctx)?;
+            let sub_chunk = exchange::gather(sub).partition_chunk(0)?;
+            let value = if sub_chunk.rows() == 0 {
+                Datum::Null
+            } else {
+                sub_chunk.column(0).get(0)
+            };
+            let concrete = substitute_placeholder(pred, *placeholder, &value);
+            let data = execute(input, ctx)?;
+            execute_filter(data, &input.layout, &concrete)?
+        }
+    };
+
+    // Record actual (logical) rows: broadcast replicates physically, so we
+    // count one copy.
+    let logical_rows = match &plan.node {
+        PhysicalNode::Exchange {
+            kind: ExchangeKind::Broadcast,
+            ..
+        } => {
+            if out.num_partitions() == 0 {
+                0
+            } else {
+                out.partitions[0].iter().map(|c| c.rows()).sum()
+            }
+        }
+        _ => out.total_rows(),
+    };
+    ctx.stats.record(plan.id, logical_rows as u64);
+    Ok(out)
+}
+
+/// Sort a gathered chunk by the given keys.
+fn sort_chunk(
+    chunk: &Chunk,
+    layout: &Layout,
+    keys: &[bfq_plan::SortKey],
+    limit: Option<usize>,
+) -> Result<Chunk> {
+    let key_cols: Vec<Column> = keys
+        .iter()
+        .map(|k| eval(&k.expr, chunk, layout))
+        .collect::<Result<_>>()?;
+    let mut idx: Vec<u32> = (0..chunk.rows() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        for (k, col) in keys.iter().zip(&key_cols) {
+            let mut ord = col_cmp(col, a as usize, col, b as usize);
+            if k.descending {
+                ord = ord.reverse();
+            }
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(&b) // stable tie-break for determinism
+    });
+    if let Some(n) = limit {
+        idx.truncate(n);
+    }
+    Ok(chunk.take(&idx))
+}
+
+/// Compute output types for a plan's layout (exported for the session layer
+/// to label results). Falls back to Int64 for unknown columns.
+pub fn output_types(chunk: &Chunk) -> Vec<DataType> {
+    (0..chunk.width())
+        .map(|i| chunk.column(i).data_type())
+        .collect()
+}

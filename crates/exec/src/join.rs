@@ -1,0 +1,563 @@
+//! Join execution: hash join (with Bloom filter builds), sort-merge join,
+//! nested-loop join.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bfq_common::{BfqError, DataType, Result};
+use bfq_expr::{eval_predicate, Expr, Layout};
+use bfq_plan::JoinKind;
+use bfq_storage::{Chunk, Column};
+
+use crate::data::PartitionedData;
+use crate::parallel::par_map;
+use crate::util::{col_cmp, hash_keys, keys_null, rows_match, JOIN_SEED};
+
+/// A hash table over one build partition.
+pub struct BuildTable {
+    /// All build rows of the partition as one chunk.
+    pub chunk: Chunk,
+    /// Key-column slots within the build layout.
+    pub key_slots: Vec<usize>,
+    index: HashMap<u64, Vec<u32>>,
+}
+
+impl BuildTable {
+    /// Build over a partition's concatenated rows (null keys excluded).
+    pub fn build(chunk: Chunk, key_slots: Vec<usize>) -> BuildTable {
+        let hashes = hash_keys(&chunk, &key_slots, JOIN_SEED);
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::with_capacity(chunk.rows());
+        for (i, h) in hashes.iter().enumerate() {
+            if !keys_null(&chunk, &key_slots, i) {
+                index.entry(*h).or_default().push(i as u32);
+            }
+        }
+        BuildTable {
+            chunk,
+            key_slots,
+            index,
+        }
+    }
+
+    /// Candidate build rows for a probe hash.
+    fn candidates(&self, hash: u64) -> &[u32] {
+        self.index.get(&hash).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of indexed (non-null-key) rows.
+    pub fn len(&self) -> usize {
+        self.index.values().map(|v| v.len()).sum()
+    }
+
+    /// Whether the table indexes no rows.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+/// Null columns for the inner side of an unmatched left-outer row.
+fn null_inner_chunk(types: &[DataType], rows: usize) -> Result<Chunk> {
+    Chunk::new(
+        types
+            .iter()
+            .map(|dt| Arc::new(Column::nulls(*dt, rows)))
+            .collect(),
+    )
+}
+
+/// Probe one partition of the outer side against a build table.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_partition(
+    outer_chunks: &[Chunk],
+    table: &BuildTable,
+    probe_slots: &[usize],
+    kind: JoinKind,
+    extra: &Option<Expr>,
+    joined_layout: &Layout,
+    inner_types: &[DataType],
+) -> Result<Vec<Chunk>> {
+    let mut out = Vec::new();
+    for chunk in outer_chunks {
+        if chunk.is_empty() {
+            continue;
+        }
+        let hashes = hash_keys(chunk, probe_slots, JOIN_SEED);
+        let mut probe_sel: Vec<u32> = Vec::new();
+        let mut build_sel: Vec<u32> = Vec::new();
+        for i in 0..chunk.rows() {
+            if keys_null(chunk, probe_slots, i) {
+                continue;
+            }
+            for &bi in table.candidates(hashes[i]) {
+                if rows_match(
+                    chunk,
+                    probe_slots,
+                    i,
+                    &table.chunk,
+                    &table.key_slots,
+                    bi as usize,
+                ) {
+                    probe_sel.push(i as u32);
+                    build_sel.push(bi);
+                }
+            }
+        }
+        // Residual predicate filters candidate pairs.
+        if let Some(pred) = extra {
+            if !probe_sel.is_empty() {
+                let pairs = Chunk::zip(&chunk.take(&probe_sel), &table.chunk.take(&build_sel))?;
+                let keep = eval_predicate(pred, &pairs, joined_layout)?;
+                probe_sel = keep.iter().map(|&k| probe_sel[k as usize]).collect();
+                build_sel = keep.iter().map(|&k| build_sel[k as usize]).collect();
+            }
+        }
+        match kind {
+            JoinKind::Inner => {
+                if !probe_sel.is_empty() {
+                    out.push(Chunk::zip(
+                        &chunk.take(&probe_sel),
+                        &table.chunk.take(&build_sel),
+                    )?);
+                }
+            }
+            JoinKind::LeftOuter => {
+                if !probe_sel.is_empty() {
+                    out.push(Chunk::zip(
+                        &chunk.take(&probe_sel),
+                        &table.chunk.take(&build_sel),
+                    )?);
+                }
+                let mut matched = vec![false; chunk.rows()];
+                for &p in &probe_sel {
+                    matched[p as usize] = true;
+                }
+                let unmatched: Vec<u32> = (0..chunk.rows() as u32)
+                    .filter(|&i| !matched[i as usize])
+                    .collect();
+                if !unmatched.is_empty() {
+                    out.push(Chunk::zip(
+                        &chunk.take(&unmatched),
+                        &null_inner_chunk(inner_types, unmatched.len())?,
+                    )?);
+                }
+            }
+            JoinKind::Semi | JoinKind::Anti => {
+                let mut matched = vec![false; chunk.rows()];
+                for &p in &probe_sel {
+                    matched[p as usize] = true;
+                }
+                let want = kind == JoinKind::Semi;
+                let rows: Vec<u32> = (0..chunk.rows() as u32)
+                    .filter(|&i| matched[i as usize] == want)
+                    .collect();
+                if !rows.is_empty() {
+                    out.push(chunk.take(&rows));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Execute the probe phase across all outer partitions.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_probe(
+    outer: &PartitionedData,
+    tables: &[BuildTable],
+    probe_slots: &[usize],
+    kind: JoinKind,
+    extra: &Option<Expr>,
+    joined_layout: &Layout,
+    inner_types: &[DataType],
+) -> Result<PartitionedData> {
+    if tables.is_empty() {
+        return Err(BfqError::internal("hash join with no build tables"));
+    }
+    let types = if kind.emits_inner_columns() {
+        let mut t = outer.types.clone();
+        t.extend_from_slice(inner_types);
+        t
+    } else {
+        outer.types.clone()
+    };
+    let partitions = par_map(outer.num_partitions(), |p| {
+        let table = &tables[p % tables.len()];
+        probe_partition(
+            &outer.partitions[p],
+            table,
+            probe_slots,
+            kind,
+            extra,
+            joined_layout,
+            inner_types,
+        )
+    })?;
+    Ok(PartitionedData { types, partitions })
+}
+
+/// Sort-merge join (inner joins; both sides co-partitioned on the keys).
+#[allow(clippy::too_many_arguments)]
+pub fn merge_join(
+    outer: &PartitionedData,
+    inner: &PartitionedData,
+    outer_slots: &[usize],
+    inner_slots: &[usize],
+    kind: JoinKind,
+    extra: &Option<Expr>,
+    joined_layout: &Layout,
+) -> Result<PartitionedData> {
+    if kind != JoinKind::Inner {
+        return Err(BfqError::Execution(
+            "merge join supports inner joins only".into(),
+        ));
+    }
+    let mut types = outer.types.clone();
+    types.extend_from_slice(&inner.types);
+    let n = outer.num_partitions();
+    let partitions = par_map(n, |p| {
+        let ochunk = outer.partition_chunk(p)?;
+        let ichunk = inner.partition_chunk(p % inner.num_partitions())?;
+        if ochunk.is_empty() || ichunk.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut oidx: Vec<u32> = (0..ochunk.rows() as u32).collect();
+        let mut iidx: Vec<u32> = (0..ichunk.rows() as u32).collect();
+        let cmp_rows = |chunk: &Chunk, slots: &[usize], a: u32, b: u32| {
+            for &s in slots {
+                let ord = col_cmp(chunk.column(s), a as usize, chunk.column(s), b as usize);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        oidx.sort_unstable_by(|&a, &b| cmp_rows(&ochunk, outer_slots, a, b));
+        iidx.sort_unstable_by(|&a, &b| cmp_rows(&ichunk, inner_slots, a, b));
+
+        let key_cmp = |oi: u32, ii: u32| {
+            for (&os, &is) in outer_slots.iter().zip(inner_slots) {
+                let ord = col_cmp(
+                    ochunk.column(os),
+                    oi as usize,
+                    ichunk.column(is),
+                    ii as usize,
+                );
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        let mut probe_sel = Vec::new();
+        let mut build_sel = Vec::new();
+        let (mut o, mut i) = (0usize, 0usize);
+        while o < oidx.len() && i < iidx.len() {
+            // Null keys terminate the merge (they sort last and match nothing).
+            if keys_null(&ochunk, outer_slots, oidx[o] as usize) {
+                o += 1;
+                continue;
+            }
+            if keys_null(&ichunk, inner_slots, iidx[i] as usize) {
+                i += 1;
+                continue;
+            }
+            match key_cmp(oidx[o], iidx[i]) {
+                std::cmp::Ordering::Less => o += 1,
+                std::cmp::Ordering::Greater => i += 1,
+                std::cmp::Ordering::Equal => {
+                    // Emit the cross product of the equal-key groups.
+                    let o_start = o;
+                    let mut o_end = o;
+                    while o_end < oidx.len()
+                        && key_cmp(oidx[o_end], iidx[i]) == std::cmp::Ordering::Equal
+                    {
+                        o_end += 1;
+                    }
+                    let mut i_end = i;
+                    while i_end < iidx.len()
+                        && key_cmp(oidx[o_start], iidx[i_end]) == std::cmp::Ordering::Equal
+                    {
+                        i_end += 1;
+                    }
+                    for &orow in &oidx[o_start..o_end] {
+                        for &irow in &iidx[i..i_end] {
+                            probe_sel.push(orow);
+                            build_sel.push(irow);
+                        }
+                    }
+                    o = o_end;
+                    i = i_end;
+                }
+            }
+        }
+        if probe_sel.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut pairs = Chunk::zip(&ochunk.take(&probe_sel), &ichunk.take(&build_sel))?;
+        if let Some(pred) = extra {
+            let keep = eval_predicate(pred, &pairs, joined_layout)?;
+            if keep.is_empty() {
+                return Ok(Vec::new());
+            }
+            pairs = pairs.take(&keep);
+        }
+        Ok(vec![pairs])
+    })?;
+    Ok(PartitionedData { types, partitions })
+}
+
+/// Nested-loop join: every outer row against the full inner partition.
+#[allow(clippy::too_many_arguments)]
+pub fn nestloop_join(
+    outer: &PartitionedData,
+    inner: &PartitionedData,
+    kind: JoinKind,
+    predicate: &Option<Expr>,
+    joined_layout: &Layout,
+) -> Result<PartitionedData> {
+    let types = if kind.emits_inner_columns() {
+        let mut t = outer.types.clone();
+        t.extend_from_slice(&inner.types);
+        t
+    } else {
+        outer.types.clone()
+    };
+    let partitions = par_map(outer.num_partitions(), |p| {
+        let ichunk = inner.partition_chunk(p % inner.num_partitions())?;
+        let mut out = Vec::new();
+        for ochunk in &outer.partitions[p] {
+            for row in 0..ochunk.rows() {
+                let repeated = ochunk.take(&vec![row as u32; ichunk.rows()]);
+                let matches: Vec<u32> = if ichunk.rows() == 0 {
+                    Vec::new()
+                } else {
+                    let pairs = Chunk::zip(&repeated, &ichunk)?;
+                    match predicate {
+                        Some(pred) => eval_predicate(pred, &pairs, joined_layout)?,
+                        None => (0..ichunk.rows() as u32).collect(),
+                    }
+                };
+                match kind {
+                    JoinKind::Inner => {
+                        if !matches.is_empty() {
+                            let taken_i = ichunk.take(&matches);
+                            let taken_o = ochunk.take(&vec![row as u32; matches.len()]);
+                            out.push(Chunk::zip(&taken_o, &taken_i)?);
+                        }
+                    }
+                    JoinKind::LeftOuter => {
+                        if matches.is_empty() {
+                            let one = ochunk.take(&[row as u32]);
+                            out.push(Chunk::zip(&one, &null_inner_chunk(&inner.types, 1)?)?);
+                        } else {
+                            let taken_i = ichunk.take(&matches);
+                            let taken_o = ochunk.take(&vec![row as u32; matches.len()]);
+                            out.push(Chunk::zip(&taken_o, &taken_i)?);
+                        }
+                    }
+                    JoinKind::Semi => {
+                        if !matches.is_empty() {
+                            out.push(ochunk.take(&[row as u32]));
+                        }
+                    }
+                    JoinKind::Anti => {
+                        if matches.is_empty() {
+                            out.push(ochunk.take(&[row as u32]));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    })?;
+    Ok(PartitionedData { types, partitions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfq_common::{ColumnId, TableId};
+
+    fn chunk1(vals: &[i64]) -> Chunk {
+        Chunk::new(vec![Arc::new(Column::Int64(vals.to_vec(), None))]).unwrap()
+    }
+
+    fn pd(parts: Vec<Vec<i64>>) -> PartitionedData {
+        PartitionedData {
+            types: vec![DataType::Int64],
+            partitions: parts
+                .into_iter()
+                .map(|v| if v.is_empty() { vec![] } else { vec![chunk1(&v)] })
+                .collect(),
+        }
+    }
+
+    fn joined_layout() -> Layout {
+        Layout::new(vec![
+            ColumnId::new(TableId(0), 0),
+            ColumnId::new(TableId(1), 0),
+        ])
+    }
+
+    #[test]
+    fn build_table_skips_null_keys() {
+        let col = Column::Int64(
+            vec![1, 2, 3],
+            Some(bfq_storage::Bitmap::from_bools([true, false, true])),
+        );
+        let chunk = Chunk::new(vec![Arc::new(col)]).unwrap();
+        let t = BuildTable::build(chunk, vec![0]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn inner_hash_join_matches() {
+        let build = BuildTable::build(chunk1(&[1, 2, 2]), vec![0]);
+        let outer = pd(vec![vec![2, 3, 1]]);
+        let out = hash_join_probe(
+            &outer,
+            &[build],
+            &[0],
+            JoinKind::Inner,
+            &None,
+            &joined_layout(),
+            &[DataType::Int64],
+        )
+        .unwrap();
+        // 2 matches twice, 1 once, 3 never: 3 output rows.
+        assert_eq!(out.total_rows(), 3);
+        let c = out.into_single_chunk().unwrap();
+        assert_eq!(c.width(), 2);
+    }
+
+    #[test]
+    fn left_outer_preserves_unmatched() {
+        let build = BuildTable::build(chunk1(&[1]), vec![0]);
+        let outer = pd(vec![vec![1, 5]]);
+        let out = hash_join_probe(
+            &outer,
+            &[build],
+            &[0],
+            JoinKind::LeftOuter,
+            &None,
+            &joined_layout(),
+            &[DataType::Int64],
+        )
+        .unwrap();
+        let c = out.into_single_chunk().unwrap();
+        assert_eq!(c.rows(), 2);
+        // One row has a NULL inner column.
+        let nulls = (0..2).filter(|&i| c.column(1).is_null(i)).count();
+        assert_eq!(nulls, 1);
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let build = BuildTable::build(chunk1(&[1, 1, 2]), vec![0]);
+        let outer = pd(vec![vec![1, 3, 2, 1]]);
+        let semi = hash_join_probe(
+            &outer,
+            &[build],
+            &[0],
+            JoinKind::Semi,
+            &None,
+            &joined_layout(),
+            &[DataType::Int64],
+        )
+        .unwrap();
+        // Semi: each qualifying outer row once, no duplication from 2 builds.
+        assert_eq!(semi.total_rows(), 3);
+        let build = BuildTable::build(chunk1(&[1, 1, 2]), vec![0]);
+        let anti = hash_join_probe(
+            &pd(vec![vec![1, 3, 2, 1]]),
+            &[build],
+            &[0],
+            JoinKind::Anti,
+            &None,
+            &joined_layout(),
+            &[DataType::Int64],
+        )
+        .unwrap();
+        assert_eq!(anti.total_rows(), 1);
+        assert_eq!(
+            anti.into_single_chunk().unwrap().column(0).as_i64().unwrap(),
+            &[3]
+        );
+    }
+
+    #[test]
+    fn extra_predicate_filters_pairs() {
+        // Join on key, keep only pairs where outer value < inner value is
+        // simulated via a predicate comparing the two columns.
+        let build = BuildTable::build(chunk1(&[1, 1]), vec![0]);
+        let outer = pd(vec![vec![1]]);
+        let extra = Expr::binary(
+            bfq_expr::BinOp::Lt,
+            Expr::col(ColumnId::new(TableId(0), 0)),
+            Expr::col(ColumnId::new(TableId(1), 0)),
+        );
+        let out = hash_join_probe(
+            &outer,
+            &[build],
+            &[0],
+            JoinKind::Inner,
+            &Some(extra),
+            &joined_layout(),
+            &[DataType::Int64],
+        )
+        .unwrap();
+        // 1 < 1 is false: everything filtered.
+        assert_eq!(out.total_rows(), 0);
+    }
+
+    #[test]
+    fn merge_join_equals_hash_join() {
+        let outer = pd(vec![vec![5, 1, 3, 3, 9]]);
+        let inner = pd(vec![vec![3, 3, 5, 7]]);
+        let out = merge_join(
+            &outer,
+            &inner,
+            &[0],
+            &[0],
+            JoinKind::Inner,
+            &None,
+            &joined_layout(),
+        )
+        .unwrap();
+        // 3 matches 2x2 = 4 pairs; 5 matches 1. Total 5.
+        assert_eq!(out.total_rows(), 5);
+    }
+
+    #[test]
+    fn nestloop_cross_and_filtered() {
+        let outer = pd(vec![vec![1, 2]]);
+        let inner = pd(vec![vec![10, 20, 30]]);
+        let cross = nestloop_join(&outer, &inner, JoinKind::Inner, &None, &joined_layout())
+            .unwrap();
+        assert_eq!(cross.total_rows(), 6);
+        let pred = Expr::binary(
+            bfq_expr::BinOp::Gt,
+            Expr::col(ColumnId::new(TableId(1), 0)),
+            Expr::int(15),
+        );
+        let filtered = nestloop_join(
+            &pd(vec![vec![1, 2]]),
+            &inner,
+            JoinKind::Inner,
+            &Some(pred.clone()),
+            &joined_layout(),
+        )
+        .unwrap();
+        assert_eq!(filtered.total_rows(), 4);
+        let anti = nestloop_join(
+            &pd(vec![vec![1, 2]]),
+            &pd(vec![vec![]]),
+            JoinKind::Anti,
+            &Some(pred),
+            &joined_layout(),
+        )
+        .unwrap();
+        assert_eq!(anti.total_rows(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! The vectorized, multi-threaded execution engine.
+//!
+//! Plans execute partition-parallel: every operator consumes and produces
+//! [`PartitionedData`] — `dop` partitions of column chunks. Exchange
+//! operators implement the paper's streaming strategies (`RD` repartition,
+//! `BC` broadcast, gather); hash joins execute their **build side first**,
+//! build any planned Bloom filters (choosing the §3.9 strategy from the
+//! plan shape), publish them to the [`bfq_bloom::FilterHub`], and only then
+//! execute the probe side — so scans that wait on filters never deadlock,
+//! including the chained-filter plans of paper Fig. 3d.
+//!
+//! Per-node actual row counts are recorded in [`ExecStats`], enabling the
+//! paper's §4.2 estimated-vs-actual cardinality comparison.
+
+pub mod agg;
+pub mod data;
+pub mod exchange;
+pub mod executor;
+pub mod join;
+pub mod parallel;
+pub mod scan;
+pub mod util;
+
+pub use data::{ExecStats, PartitionedData};
+pub use executor::{execute_plan, ExecContext, QueryOutput};

@@ -1,0 +1,86 @@
+//! Scoped-thread fan-out over partitions.
+
+use bfq_common::{BfqError, Result};
+
+/// Apply `f` to each index `0..n` in parallel (one scoped thread per item,
+/// bounded by `n`), collecting results in order. Errors from any worker are
+/// propagated; a panicking worker surfaces as an execution error.
+pub fn par_map<T, F>(n: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        return Ok(vec![f(0)?]);
+    }
+    let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                *slot = Some(f(i));
+            }));
+        }
+        for h in handles {
+            h.join().map_err(|_| {
+                BfqError::Execution("worker thread panicked".into())
+            })?;
+        }
+        Ok(())
+    })
+    .map_err(|_| BfqError::Execution("thread scope panicked".into()))??;
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = par_map(8, |i| Ok(i * 2)).unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let out = par_map(4, |i| {
+            if i == 2 {
+                Err(BfqError::Execution("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert_eq!(par_map(0, |_| Ok(1)).unwrap(), Vec::<i32>::new());
+        assert_eq!(par_map(1, |i| Ok(i + 1)).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn actually_parallel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        par_map(4, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(30));
+            live.fetch_sub(1, Ordering::SeqCst);
+            Ok(())
+        })
+        .unwrap();
+        assert!(peak.load(Ordering::SeqCst) >= 2, "no observed concurrency");
+    }
+}

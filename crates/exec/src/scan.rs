@@ -1,0 +1,159 @@
+//! Table scans with predicate evaluation and Bloom filter application.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bfq_bloom::RuntimeFilter;
+use bfq_common::{BfqError, ColumnId, DataType, Result, TableId};
+use bfq_expr::{eval_predicate, Expr, Layout};
+use bfq_plan::BloomApply;
+use bfq_storage::Chunk;
+
+use crate::data::PartitionedData;
+use crate::executor::ExecContext;
+use crate::parallel::par_map;
+
+/// Wait for every filter a scan needs. This is the paper's §3.9 contract:
+/// "table scans wait for all Bloom filter partitions to become available
+/// before scanning can proceed".
+fn fetch_filters(
+    ctx: &ExecContext,
+    blooms: &[BloomApply],
+    layout: &Layout,
+) -> Result<Vec<(Arc<RuntimeFilter>, usize)>> {
+    blooms
+        .iter()
+        .map(|b| {
+            let slot = layout.slot_of(b.column).ok_or_else(|| {
+                BfqError::internal(format!("bloom apply column {} not in scan", b.column))
+            })?;
+            let filter = ctx
+                .hub
+                .wait_get(b.filter, Duration::from_millis(ctx.filter_wait_ms))
+                .ok_or_else(|| {
+                    BfqError::Execution(format!(
+                        "bloom filter {} was never built (planning bug)",
+                        b.filter
+                    ))
+                })?;
+            Ok((filter, slot))
+        })
+        .collect()
+}
+
+/// Scan one chunk: local predicate, then every Bloom filter, then projection.
+fn scan_chunk(
+    chunk: &Chunk,
+    full_layout: &Layout,
+    predicate: &Option<Expr>,
+    filters: &[(Arc<RuntimeFilter>, usize)],
+    projection: Option<&[u32]>,
+) -> Result<Option<Chunk>> {
+    let mut sel: Vec<u32> = match predicate {
+        Some(p) => eval_predicate(p, chunk, full_layout)?,
+        None => (0..chunk.rows() as u32).collect(),
+    };
+    for (filter, slot) in filters {
+        if sel.is_empty() {
+            break;
+        }
+        sel = filter.probe(chunk.column(*slot), &sel);
+    }
+    if sel.is_empty() {
+        return Ok(None);
+    }
+    let taken = chunk.take(&sel);
+    Ok(Some(match projection {
+        Some(cols) => taken.project(&cols.iter().map(|&c| c as usize).collect::<Vec<_>>()),
+        None => taken,
+    }))
+}
+
+/// Execute a base-table scan, dealing chunks round-robin across workers.
+pub fn execute_scan(
+    ctx: &ExecContext,
+    base: TableId,
+    rel_id: TableId,
+    projection: &[u32],
+    predicate: &Option<Expr>,
+    blooms: &[BloomApply],
+) -> Result<PartitionedData> {
+    let table = ctx.catalog.data(base)?.clone();
+    let schema = table.schema();
+    let full_layout = Layout::new(
+        (0..schema.len())
+            .map(|i| ColumnId::new(rel_id, i as u32))
+            .collect(),
+    );
+    let types: Vec<DataType> = projection
+        .iter()
+        .map(|&i| schema.field(i as usize).data_type)
+        .collect();
+    let filters = fetch_filters(ctx, blooms, &full_layout)?;
+
+    let dop = ctx.dop;
+    let partitions = par_map(dop, |p| {
+        let mut out = Vec::new();
+        for (ci, chunk) in table.chunks().iter().enumerate() {
+            if ci % dop != p {
+                continue;
+            }
+            if let Some(c) =
+                scan_chunk(chunk, &full_layout, predicate, &filters, Some(projection))?
+            {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    })?;
+    Ok(PartitionedData { types, partitions })
+}
+
+/// Execute the local work of a derived scan: the input rows are already
+/// computed; relabel them to this relation's ids, filter, and apply blooms.
+pub fn execute_derived_scan(
+    ctx: &ExecContext,
+    input: PartitionedData,
+    rel_id: TableId,
+    predicate: &Option<Expr>,
+    blooms: &[BloomApply],
+) -> Result<PartitionedData> {
+    let width = input.types.len();
+    let full_layout = Layout::new(
+        (0..width)
+            .map(|i| ColumnId::new(rel_id, i as u32))
+            .collect(),
+    );
+    let filters = fetch_filters(ctx, blooms, &full_layout)?;
+    let types = input.types.clone();
+    let partitions = par_map(input.num_partitions(), |p| {
+        let mut out = Vec::new();
+        for chunk in &input.partitions[p] {
+            if let Some(c) = scan_chunk(chunk, &full_layout, predicate, &filters, None)? {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    })?;
+    Ok(PartitionedData { types, partitions })
+}
+
+/// Standalone filter over any partitioned input.
+pub fn execute_filter(
+    input: PartitionedData,
+    layout: &Layout,
+    predicate: &Expr,
+) -> Result<PartitionedData> {
+    let types = input.types.clone();
+    let partitions = par_map(input.num_partitions(), |p| {
+        let mut out = Vec::new();
+        for chunk in &input.partitions[p] {
+            let sel = eval_predicate(predicate, chunk, layout)?;
+            if !sel.is_empty() {
+                out.push(chunk.take(&sel));
+            }
+        }
+        Ok(out)
+    })?;
+    Ok(PartitionedData { types, partitions })
+}

@@ -1,0 +1,328 @@
+//! Row-level helpers shared by joins, aggregation and exchanges.
+
+use std::sync::Arc;
+
+use bfq_common::hash::{combine, hash_u64};
+use bfq_common::{BfqError, ColumnId, DataType, Datum, Result};
+use bfq_expr::{Expr, Layout};
+use bfq_storage::{Chunk, Column};
+
+/// Seed for join/partition key hashing (distinct from the Bloom seeds).
+pub const JOIN_SEED: u64 = 0x9d8f_3c2a_71b5_e604;
+
+/// Hash the given key columns of a chunk row-wise into one `u64` per row.
+/// Null keys receive a sentinel; callers must also consult `keys_null`.
+pub fn hash_keys(chunk: &Chunk, key_slots: &[usize], seed: u64) -> Vec<u64> {
+    let mut combined = vec![0u64; chunk.rows()];
+    let mut scratch = Vec::new();
+    for (ki, &slot) in key_slots.iter().enumerate() {
+        chunk.column(slot).hash_into(seed, &mut scratch);
+        if ki == 0 {
+            combined.copy_from_slice(&scratch);
+        } else {
+            for (c, h) in combined.iter_mut().zip(&scratch) {
+                *c = combine(*c, *h);
+            }
+        }
+    }
+    // Mix once more so partitioning on combined keys stays uniform.
+    for c in &mut combined {
+        *c = hash_u64(*c, seed);
+    }
+    combined
+}
+
+/// Whether any key column is NULL at row `i`.
+pub fn keys_null(chunk: &Chunk, key_slots: &[usize], i: usize) -> bool {
+    key_slots.iter().any(|&s| chunk.column(s).is_null(i))
+}
+
+/// Exact equality of two column values (hash-collision recheck).
+/// NULL never equals anything. Int64 and Date compare numerically.
+pub fn col_eq(a: &Column, i: usize, b: &Column, j: usize) -> bool {
+    if a.is_null(i) || b.is_null(j) {
+        return false;
+    }
+    match (a, b) {
+        (Column::Int64(x, _), Column::Int64(y, _)) => x[i] == y[j],
+        (Column::Float64(x, _), Column::Float64(y, _)) => x[i] == y[j],
+        (Column::Bool(x, _), Column::Bool(y, _)) => x[i] == y[j],
+        (Column::Date(x, _), Column::Date(y, _)) => x[i] == y[j],
+        (Column::Utf8(x, _), Column::Utf8(y, _)) => x.get(i) == y.get(j),
+        (Column::Int64(x, _), Column::Date(y, _)) => x[i] == y[j] as i64,
+        (Column::Date(x, _), Column::Int64(y, _)) => x[i] as i64 == y[j],
+        (Column::Int64(x, _), Column::Float64(y, _)) => x[i] as f64 == y[j],
+        (Column::Float64(x, _), Column::Int64(y, _)) => x[i] == y[j] as f64,
+        _ => false,
+    }
+}
+
+/// Whether all key pairs match between two rows.
+pub fn rows_match(
+    probe: &Chunk,
+    probe_slots: &[usize],
+    pi: usize,
+    build: &Chunk,
+    build_slots: &[usize],
+    bi: usize,
+) -> bool {
+    probe_slots
+        .iter()
+        .zip(build_slots)
+        .all(|(&ps, &bs)| col_eq(probe.column(ps), pi, build.column(bs), bi))
+}
+
+/// Total order over two column values for sorting and merge joins.
+/// NULLs sort after every value (SQL `NULLS LAST` for ascending order);
+/// two NULLs compare equal.
+pub fn col_cmp(a: &Column, i: usize, b: &Column, j: usize) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_null(i), b.is_null(j)) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Greater,
+        (false, true) => return Ordering::Less,
+        (false, false) => {}
+    }
+    match (a, b) {
+        (Column::Int64(x, _), Column::Int64(y, _)) => x[i].cmp(&y[j]),
+        (Column::Float64(x, _), Column::Float64(y, _)) => x[i].total_cmp(&y[j]),
+        (Column::Bool(x, _), Column::Bool(y, _)) => x[i].cmp(&y[j]),
+        (Column::Date(x, _), Column::Date(y, _)) => x[i].cmp(&y[j]),
+        (Column::Utf8(x, _), Column::Utf8(y, _)) => x.get(i).cmp(y.get(j)),
+        (Column::Int64(x, _), Column::Date(y, _)) => x[i].cmp(&(y[j] as i64)),
+        (Column::Date(x, _), Column::Int64(y, _)) => (x[i] as i64).cmp(&y[j]),
+        (Column::Int64(x, _), Column::Float64(y, _)) => (x[i] as f64).total_cmp(&y[j]),
+        (Column::Float64(x, _), Column::Int64(y, _)) => x[i].total_cmp(&(y[j] as f64)),
+        _ => Ordering::Equal,
+    }
+}
+
+/// A hashable, comparable normalization of a scalar for group keys and
+/// DISTINCT sets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NormKey {
+    /// SQL NULL (groups treat NULLs as equal, per the standard).
+    Null,
+    /// Integers and dates share the numeric key space.
+    Int(i64),
+    /// Floats keyed by canonicalized bit pattern.
+    Float(u64),
+    /// Strings.
+    Str(Arc<str>),
+    /// Booleans.
+    Bool(bool),
+}
+
+impl NormKey {
+    /// Normalize a datum.
+    pub fn from_datum(d: &Datum) -> NormKey {
+        match d {
+            Datum::Null => NormKey::Null,
+            Datum::Int(v) => NormKey::Int(*v),
+            Datum::Date(v) => NormKey::Int(*v as i64),
+            Datum::Float(v) => {
+                let canonical = if *v == 0.0 { 0.0f64 } else { *v };
+                NormKey::Float(canonical.to_bits())
+            }
+            Datum::Str(s) => NormKey::Str(s.clone()),
+            Datum::Bool(b) => NormKey::Bool(*b),
+        }
+    }
+}
+
+/// Resolve expression column slots against a layout, erroring on misses.
+pub fn slots_for(layout: &Layout, cols: &[ColumnId]) -> Result<Vec<usize>> {
+    cols.iter()
+        .map(|c| {
+            layout
+                .slot_of(*c)
+                .ok_or_else(|| BfqError::internal(format!("column {c} missing from layout")))
+        })
+        .collect()
+}
+
+/// Compute output types of expressions given input layout + types.
+pub fn expr_types(
+    exprs: &[&Expr],
+    layout: &Layout,
+    input_types: &[DataType],
+) -> Result<Vec<DataType>> {
+    let resolve = |c: ColumnId| -> Option<DataType> {
+        layout.slot_of(c).map(|s| input_types[s])
+    };
+    exprs
+        .iter()
+        .map(|e| {
+            e.data_type(&resolve).ok_or_else(|| {
+                BfqError::Type(format!("cannot infer type of expression {e}"))
+            })
+        })
+        .collect()
+}
+
+/// Replace references to `placeholder` with a literal value (scalar subquery
+/// substitution).
+pub fn substitute_placeholder(expr: &Expr, placeholder: ColumnId, value: &Datum) -> Expr {
+    match expr {
+        Expr::Column(c) if *c == placeholder => Expr::Literal(value.clone()),
+        Expr::Column(_) | Expr::Literal(_) => expr.clone(),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(substitute_placeholder(left, placeholder, value)),
+            right: Box::new(substitute_placeholder(right, placeholder, value)),
+        },
+        Expr::Unary { op, expr: e } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_placeholder(e, placeholder, value)),
+        },
+        Expr::Between {
+            expr: e,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(substitute_placeholder(e, placeholder, value)),
+            low: Box::new(substitute_placeholder(low, placeholder, value)),
+            high: Box::new(substitute_placeholder(high, placeholder, value)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr: e,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(substitute_placeholder(e, placeholder, value)),
+            list: list
+                .iter()
+                .map(|i| substitute_placeholder(i, placeholder, value))
+                .collect(),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr: e,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(substitute_placeholder(e, placeholder, value)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| {
+                    (
+                        substitute_placeholder(c, placeholder, value),
+                        substitute_placeholder(v, placeholder, value),
+                    )
+                })
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(substitute_placeholder(e, placeholder, value))),
+        },
+        Expr::ExtractYear(e) => {
+            Expr::ExtractYear(Box::new(substitute_placeholder(e, placeholder, value)))
+        }
+        Expr::ExtractMonth(e) => {
+            Expr::ExtractMonth(Box::new(substitute_placeholder(e, placeholder, value)))
+        }
+        Expr::Substring { expr: e, start, len } => Expr::Substring {
+            expr: Box::new(substitute_placeholder(e, placeholder, value)),
+            start: *start,
+            len: *len,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfq_common::TableId;
+    use bfq_storage::StrData;
+
+    fn two_col_chunk() -> Chunk {
+        Chunk::new(vec![
+            Arc::new(Column::Int64(vec![1, 2, 1], None)),
+            Arc::new(Column::Int64(vec![10, 20, 10], None)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_key_hash_distinguishes_rows() {
+        let chunk = two_col_chunk();
+        let h = hash_keys(&chunk, &[0, 1], JOIN_SEED);
+        assert_eq!(h[0], h[2]);
+        assert_ne!(h[0], h[1]);
+        // Column order matters for multi-key combination.
+        let h2 = hash_keys(&chunk, &[1, 0], JOIN_SEED);
+        assert_ne!(h[1], h2[0]);
+    }
+
+    #[test]
+    fn col_eq_cross_types() {
+        let i = Column::Int64(vec![5], None);
+        let d = Column::Date(vec![5], None);
+        let f = Column::Float64(vec![5.0], None);
+        let s: Column = Column::Utf8(
+            ["5"].iter().map(|x| x.to_string()).collect::<StrData>(),
+            None,
+        );
+        assert!(col_eq(&i, 0, &d, 0));
+        assert!(col_eq(&i, 0, &f, 0));
+        assert!(!col_eq(&i, 0, &s, 0));
+    }
+
+    #[test]
+    fn nulls_never_equal() {
+        let a = Column::nulls(DataType::Int64, 1);
+        let b = Column::Int64(vec![0], None);
+        assert!(!col_eq(&a, 0, &b, 0));
+        assert!(!col_eq(&a, 0, &a, 0));
+    }
+
+    #[test]
+    fn norm_key_unifies_ints_and_dates() {
+        assert_eq!(
+            NormKey::from_datum(&Datum::Int(7)),
+            NormKey::from_datum(&Datum::Date(7))
+        );
+        assert_eq!(
+            NormKey::from_datum(&Datum::Float(0.0)),
+            NormKey::from_datum(&Datum::Float(-0.0))
+        );
+        assert_ne!(
+            NormKey::from_datum(&Datum::Null),
+            NormKey::from_datum(&Datum::Int(0))
+        );
+    }
+
+    #[test]
+    fn substitution_replaces_placeholder() {
+        let ph = ColumnId::new(TableId(99), 0);
+        let e = Expr::binary(
+            bfq_expr::BinOp::Lt,
+            Expr::col(ColumnId::new(TableId(1), 0)),
+            Expr::col(ph),
+        );
+        let sub = substitute_placeholder(&e, ph, &Datum::Float(2.5));
+        assert_eq!(sub.to_string(), "(t1.c0 < 2.5)");
+    }
+
+    #[test]
+    fn expr_type_resolution() {
+        let layout = Layout::new(vec![ColumnId::new(TableId(1), 0)]);
+        let types = vec![DataType::Int64];
+        let e = Expr::binary(
+            bfq_expr::BinOp::Plus,
+            Expr::col(ColumnId::new(TableId(1), 0)),
+            Expr::int(1),
+        );
+        let out = expr_types(&[&e], &layout, &types).unwrap();
+        assert_eq!(out, vec![DataType::Int64]);
+    }
+}

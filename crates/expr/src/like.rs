@@ -1,0 +1,116 @@
+//! SQL `LIKE` pattern matching with `%` (any run) and `_` (any char).
+
+/// Match `text` against a SQL LIKE `pattern`.
+///
+/// Implemented with the classic two-pointer backtracking algorithm (linear in
+/// practice): on a mismatch after a `%`, restart one position later in the
+/// text. Operates on bytes, which is correct for ASCII-dominated TPC-H data;
+/// `_` consumes one UTF-8 code point to stay panic-free on multibyte text.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t = text.as_bytes();
+    let p = pattern.as_bytes();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == t[ti]) {
+            if p[pi] == b'_' {
+                // Skip a full UTF-8 code point in the text.
+                ti += utf8_len(t[ti]);
+            } else {
+                ti += 1;
+            }
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp;
+            let next = st + utf8_len(t[st]);
+            star = Some((sp, next));
+            ti = next;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        b if b >= 0xC0 => 2,
+        _ => 1, // continuation byte; treat as one to make progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_without_wildcards() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("ab", "abc"));
+        assert!(like_match("", ""));
+    }
+
+    #[test]
+    fn percent_wildcard() {
+        assert!(like_match("hello world", "hello%"));
+        assert!(like_match("hello world", "%world"));
+        assert!(like_match("hello world", "%o w%"));
+        assert!(like_match("hello world", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("hello", "%z%"));
+    }
+
+    #[test]
+    fn underscore_wildcard() {
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("cart", "c_t"));
+        assert!(like_match("cat", "___"));
+        assert!(!like_match("cat", "____"));
+    }
+
+    #[test]
+    fn tpch_style_patterns() {
+        // Q13: o_comment not like '%special%requests%'
+        assert!(like_match(
+            "handle special packing requests carefully",
+            "%special%requests%"
+        ));
+        assert!(!like_match("ordinary comment", "%special%requests%"));
+        // Q16: p_type not like 'MEDIUM POLISHED%'
+        assert!(like_match("MEDIUM POLISHED COPPER", "MEDIUM POLISHED%"));
+        // Q9: p_name like '%green%'
+        assert!(like_match("forest green metallic", "%green%"));
+        // Q20: p_name like 'forest%'
+        assert!(like_match("forest chocolate", "forest%"));
+        assert!(!like_match("dark forest", "forest%"));
+    }
+
+    #[test]
+    fn backtracking_cases() {
+        assert!(like_match("aaab", "%ab"));
+        assert!(like_match("abcabc", "%abc"));
+        assert!(like_match("mississippi", "%iss%ippi"));
+        assert!(!like_match("mississippi", "%iss%ippix"));
+        assert!(like_match("abc", "a%b%c"));
+    }
+
+    #[test]
+    fn multibyte_underscore() {
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("日本語", "__語"));
+        assert!(!like_match("日本語", "_語"));
+    }
+}

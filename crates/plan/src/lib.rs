@@ -1,0 +1,23 @@
+//! Query plan representation.
+//!
+//! Three layers:
+//! * [`block`] — the *query block*: base relations (with aliases bound to
+//!   virtual table ids), equi-join clauses, local and complex predicates.
+//!   This is the unit over which the paper's bottom-up optimization runs
+//!   ("a single select-project-join block", §3.8).
+//! * [`logical`] — the logical tree above and around blocks: aggregation,
+//!   projection, sort, limit, and derived-table nesting.
+//! * [`physical`] — executable plans: scans with Bloom-filter applications,
+//!   hash/merge/nested-loop joins with Bloom-filter builds, exchange
+//!   operators for SMP streaming, plus EXPLAIN-style formatting.
+
+pub mod block;
+pub mod logical;
+pub mod physical;
+
+pub use block::{BaseRel, Bindings, EquiClause, QueryBlock, RelBinding, RelKind, RelSource};
+pub use logical::{AggExpr, AggFunc, LogicalPlan, OutputColumn, SortKey};
+pub use physical::{
+    BloomApply, BloomBuild, Distribution, ExchangeKind, JoinAlgo, JoinKind, PhysicalNode,
+    PhysicalPlan,
+};

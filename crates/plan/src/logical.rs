@@ -1,0 +1,219 @@
+//! The logical plan tree surrounding query blocks.
+
+use bfq_common::{ColumnId, Datum};
+use bfq_expr::Expr;
+
+use crate::block::QueryBlock;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(expr)` — non-null count.
+    Count,
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count | AggFunc::CountStar => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One aggregate in an `Aggregate` node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument (`None` only for `COUNT(*)`).
+    pub arg: Option<Expr>,
+    /// DISTINCT aggregation.
+    pub distinct: bool,
+    /// Virtual column id carrying the result.
+    pub output: ColumnId,
+}
+
+/// A named output column of a projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputColumn {
+    /// The computed expression.
+    pub expr: Expr,
+    /// Result name (for display/headers).
+    pub name: String,
+    /// Virtual column id carrying the result.
+    pub id: ColumnId,
+}
+
+/// A sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// Sorted expression.
+    pub expr: Expr,
+    /// Descending order if true.
+    pub descending: bool,
+}
+
+/// The logical plan tree.
+///
+/// `Block` nodes are the leaves the bottom-up optimizer rewrites into join
+/// trees; the nodes above survive optimization structurally unchanged.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// A select-project-join block.
+    Block(QueryBlock),
+    /// Grouped or scalar aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by expressions with their output ids.
+        group_by: Vec<OutputColumn>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+        /// HAVING predicate over group/agg outputs.
+        having: Option<Expr>,
+    },
+    /// Projection / final SELECT list.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output columns.
+        exprs: Vec<OutputColumn>,
+    },
+    /// ORDER BY.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys, most significant first.
+        keys: Vec<SortKey>,
+    },
+    /// LIMIT.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum rows.
+        n: usize,
+    },
+    /// A post-aggregation filter against a *scalar* subquery result that the
+    /// binder could not fold into the block (e.g. `l_quantity < (select
+    /// 0.2 * avg(..))` after decorrelation fails). The subquery plan runs
+    /// first; its single value substitutes into `pred`.
+    ScalarFilter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The scalar subquery.
+        subquery: Box<LogicalPlan>,
+        /// Predicate; [`Expr::Column`] with `placeholder` id refers to the
+        /// subquery's value.
+        pred: Expr,
+        /// The id inside `pred` that stands for the subquery result.
+        placeholder: ColumnId,
+    },
+}
+
+impl LogicalPlan {
+    /// The query block at the root of this subtree, if the root is a block.
+    pub fn as_block(&self) -> Option<&QueryBlock> {
+        match self {
+            LogicalPlan::Block(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Visit every node depth-first (children before parents).
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a LogicalPlan)) {
+        match self {
+            LogicalPlan::Block(_) => {}
+            LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.visit(f),
+            LogicalPlan::ScalarFilter {
+                input, subquery, ..
+            } => {
+                input.visit(f);
+                subquery.visit(f);
+            }
+        }
+        f(self);
+    }
+
+    /// Number of nodes in the tree (blocks count as one).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// One-line description of the root node.
+    pub fn label(&self) -> String {
+        match self {
+            LogicalPlan::Block(b) => format!("Block({} rels)", b.num_rels()),
+            LogicalPlan::Aggregate { group_by, aggs, .. } => format!(
+                "Aggregate(groups={}, aggs={})",
+                group_by.len(),
+                aggs.len()
+            ),
+            LogicalPlan::Project { exprs, .. } => format!("Project({})", exprs.len()),
+            LogicalPlan::Sort { keys, .. } => format!("Sort({})", keys.len()),
+            LogicalPlan::Limit { n, .. } => format!("Limit({n})"),
+            LogicalPlan::ScalarFilter { .. } => "ScalarFilter".to_string(),
+        }
+    }
+
+    /// Convenience: wrap in a LIMIT.
+    pub fn limit(self, n: usize) -> LogicalPlan {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+}
+
+/// A literal datum used in several tests and binders for a "no-op" predicate.
+pub fn always_true() -> Expr {
+    Expr::Literal(Datum::Bool(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_visit_and_count() {
+        let plan = LogicalPlan::Block(QueryBlock::default())
+            .limit(10);
+        assert_eq!(plan.node_count(), 2);
+        let mut labels = Vec::new();
+        plan.visit(&mut |n| labels.push(n.label()));
+        assert_eq!(labels, vec!["Block(0 rels)", "Limit(10)"]);
+    }
+
+    #[test]
+    fn agg_func_names() {
+        assert_eq!(AggFunc::Sum.name(), "sum");
+        assert_eq!(AggFunc::CountStar.name(), "count");
+        assert_eq!(AggFunc::Avg.name(), "avg");
+    }
+
+    #[test]
+    fn as_block_only_on_blocks() {
+        let block = LogicalPlan::Block(QueryBlock::default());
+        assert!(block.as_block().is_some());
+        assert!(block.limit(1).as_block().is_none());
+    }
+}

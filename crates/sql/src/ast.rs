@@ -1,0 +1,328 @@
+//! The parsed (unbound) SQL abstract syntax tree.
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM clause (comma list; explicit joins nest inside).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<AstExpr>,
+    /// HAVING predicate.
+    pub having: Option<AstExpr>,
+    /// ORDER BY keys with descending flags.
+    pub order_by: Vec<(AstExpr, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: AstExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// Explicit join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// `JOIN` / `INNER JOIN`.
+    Inner,
+    /// `LEFT [OUTER] JOIN`.
+    Left,
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// `name [AS] alias`.
+    Table {
+        /// Catalog table name.
+        name: String,
+        /// Alias (defaults to the name).
+        alias: Option<String>,
+    },
+    /// `(SELECT …) alias`.
+    Derived {
+        /// The subquery.
+        query: Box<SelectStmt>,
+        /// Mandatory alias.
+        alias: String,
+    },
+    /// `left JOIN right ON cond`.
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join type.
+        join_type: JoinType,
+        /// ON condition.
+        on: AstExpr,
+    },
+}
+
+/// Binary operators at the AST level (mapped 1:1 onto `bfq_expr::BinOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Interval units supported in literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalUnit {
+    /// Days.
+    Day,
+    /// Months.
+    Month,
+    /// Years.
+    Year,
+}
+
+/// A parsed scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Possibly-qualified identifier (`col` or `alias.col`).
+    Ident(Vec<String>),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `date 'YYYY-MM-DD'`.
+    DateLit(String),
+    /// `interval 'n' unit`.
+    Interval {
+        /// Count (may be negative).
+        value: i64,
+        /// Unit.
+        unit: IntervalUnit,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<AstExpr>),
+    /// `-expr`.
+    Neg(Box<AstExpr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// IS NOT NULL if true.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Low bound.
+        low: Box<AstExpr>,
+        /// High bound.
+        high: Box<AstExpr>,
+        /// NOT BETWEEN if true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v, …)`.
+    InList {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Values.
+        list: Vec<AstExpr>,
+        /// NOT IN if true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT …)`.
+    InSubquery {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Subquery.
+        query: Box<SelectStmt>,
+        /// NOT IN if true.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT …)`.
+    Exists {
+        /// Subquery.
+        query: Box<SelectStmt>,
+        /// NOT EXISTS if true.
+        negated: bool,
+    },
+    /// `(SELECT single_value)`.
+    ScalarSubquery(Box<SelectStmt>),
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Pattern.
+        pattern: String,
+        /// NOT LIKE if true.
+        negated: bool,
+    },
+    /// Searched `CASE WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// `(condition, result)` branches.
+        branches: Vec<(AstExpr, AstExpr)>,
+        /// ELSE result.
+        else_expr: Option<Box<AstExpr>>,
+    },
+    /// Function call (aggregates and scalar functions).
+    Func {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+        /// `DISTINCT` argument flag (aggregates).
+        distinct: bool,
+    },
+    /// `EXTRACT(field FROM expr)`.
+    Extract {
+        /// `year` or `month`.
+        field: String,
+        /// Operand.
+        expr: Box<AstExpr>,
+    },
+    /// `*` (inside `count(*)`).
+    Star,
+}
+
+impl AstExpr {
+    /// Whether this expression contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::Func { name, .. } => {
+                matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max")
+            }
+            AstExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            AstExpr::Not(e) | AstExpr::Neg(e) => e.contains_aggregate(),
+            AstExpr::IsNull { expr, .. } => expr.contains_aggregate(),
+            AstExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            AstExpr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            AstExpr::Like { expr, .. } => expr.contains_aggregate(),
+            AstExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_expr
+                        .as_ref()
+                        .is_some_and(|e| e.contains_aggregate())
+            }
+            AstExpr::Extract { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// Split a predicate into top-level AND conjuncts.
+    pub fn conjuncts(self) -> Vec<AstExpr> {
+        match self {
+            AstExpr::Binary {
+                op: AstBinOp::And,
+                left,
+                right,
+            } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = AstExpr::Func {
+            name: "sum".into(),
+            args: vec![AstExpr::Ident(vec!["x".into()])],
+            distinct: false,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = AstExpr::Binary {
+            op: AstBinOp::Div,
+            left: Box::new(agg),
+            right: Box::new(AstExpr::Int(2)),
+        };
+        assert!(nested.contains_aggregate());
+        assert!(!AstExpr::Ident(vec!["x".into()]).contains_aggregate());
+        let scalar_fn = AstExpr::Func {
+            name: "extractish".into(),
+            args: vec![],
+            distinct: false,
+        };
+        assert!(!scalar_fn.contains_aggregate());
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let a = AstExpr::Ident(vec!["a".into()]);
+        let b = AstExpr::Ident(vec!["b".into()]);
+        let c = AstExpr::Ident(vec!["c".into()]);
+        let and = AstExpr::Binary {
+            op: AstBinOp::And,
+            left: Box::new(AstExpr::Binary {
+                op: AstBinOp::And,
+                left: Box::new(a.clone()),
+                right: Box::new(b.clone()),
+            }),
+            right: Box::new(c.clone()),
+        };
+        assert_eq!(and.conjuncts(), vec![a, b, c]);
+    }
+}

@@ -1,0 +1,1135 @@
+//! Name resolution and lowering of parsed SQL to logical plans.
+
+use std::sync::Arc;
+
+use bfq_catalog::{Catalog, ColumnStats, TableStats};
+use bfq_common::{date, BfqError, ColumnId, Datum, Result, TableId};
+use bfq_expr::{BinOp, Expr, UnOp};
+use bfq_plan::{
+    AggExpr, AggFunc, BaseRel, Bindings, EquiClause, LogicalPlan, OutputColumn, QueryBlock,
+    RelKind, RelSource, SortKey,
+};
+use bfq_storage::{Field, Schema, SchemaRef};
+
+use crate::ast::{
+    AstBinOp, AstExpr, IntervalUnit, JoinType, SelectItem, SelectStmt, TableRef,
+};
+
+/// A bound query: the logical plan plus result column names.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// The logical plan (ready for the optimizer).
+    pub plan: LogicalPlan,
+    /// Output column names, aligned with the final projection.
+    pub output_names: Vec<String>,
+}
+
+/// Bind a parsed statement against a catalog.
+pub fn bind(stmt: &SelectStmt, catalog: &Catalog, bindings: &mut Bindings) -> Result<BoundQuery> {
+    let mut binder = Binder { catalog, bindings };
+    let (plan, names, _schema) = binder.bind_select(stmt)?;
+    Ok(BoundQuery {
+        plan,
+        output_names: names,
+    })
+}
+
+/// One name-resolvable relation in scope.
+#[derive(Debug, Clone)]
+struct ScopeEntry {
+    alias: String,
+    rel_id: TableId,
+    schema: SchemaRef,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    entries: Vec<ScopeEntry>,
+}
+
+impl Scope {
+    fn add(&mut self, alias: String, rel_id: TableId, schema: SchemaRef) {
+        self.entries.push(ScopeEntry {
+            alias,
+            rel_id,
+            schema,
+        });
+    }
+
+    fn resolve(&self, parts: &[String]) -> Result<ColumnId> {
+        match parts {
+            [col] => {
+                let mut found = None;
+                for e in &self.entries {
+                    if let Some(i) = e.schema.index_of(col) {
+                        if found.is_some() {
+                            return Err(BfqError::Bind(format!("ambiguous column `{col}`")));
+                        }
+                        found = Some(ColumnId::new(e.rel_id, i as u32));
+                    }
+                }
+                found.ok_or_else(|| BfqError::Bind(format!("unknown column `{col}`")))
+            }
+            [alias, col] => {
+                for e in &self.entries {
+                    if e.alias == *alias {
+                        let i = e.schema.index_of(col).ok_or_else(|| {
+                            BfqError::Bind(format!("no column `{col}` in `{alias}`"))
+                        })?;
+                        return Ok(ColumnId::new(e.rel_id, i as u32));
+                    }
+                }
+                Err(BfqError::Bind(format!("unknown relation alias `{alias}`")))
+            }
+            _ => Err(BfqError::Bind(format!(
+                "unsupported qualified name {parts:?}"
+            ))),
+        }
+    }
+}
+
+/// Collects aggregate calls during expression binding.
+struct AggCollector {
+    rel: TableId,
+    group_offset: u32,
+    aggs: Vec<AggExpr>,
+}
+
+impl AggCollector {
+    fn intern(&mut self, func: AggFunc, arg: Option<Expr>, distinct: bool) -> ColumnId {
+        for a in &self.aggs {
+            if a.func == func && a.arg == arg && a.distinct == distinct {
+                return a.output;
+            }
+        }
+        let output = ColumnId::new(self.rel, self.group_offset + self.aggs.len() as u32);
+        self.aggs.push(AggExpr {
+            func,
+            arg,
+            distinct,
+            output,
+        });
+        output
+    }
+}
+
+struct Binder<'a> {
+    catalog: &'a Catalog,
+    bindings: &'a mut Bindings,
+}
+
+/// Work-in-progress block state while binding a SELECT.
+struct BlockBuilder {
+    block: QueryBlock,
+    scope: Scope,
+    scalar_filters: Vec<(LogicalPlan, Expr, ColumnId)>,
+}
+
+impl BlockBuilder {
+    fn rel_ordinal(&self, rel_id: TableId) -> Option<usize> {
+        self.block.ordinal_of(rel_id)
+    }
+}
+
+impl Binder<'_> {
+    /// Bind a SELECT, returning the plan, output names and output schema.
+    fn bind_select(
+        &mut self,
+        stmt: &SelectStmt,
+    ) -> Result<(LogicalPlan, Vec<String>, SchemaRef)> {
+        let mut bb = BlockBuilder {
+            block: QueryBlock::default(),
+            scope: Scope::default(),
+            scalar_filters: Vec::new(),
+        };
+
+        // FROM.
+        for tref in &stmt.from {
+            self.bind_table_ref(tref, &mut bb, RelKind::Inner)?;
+        }
+
+        // WHERE.
+        if let Some(w) = &stmt.where_clause {
+            for conjunct in w.clone().conjuncts() {
+                self.bind_where_conjunct(conjunct, &mut bb)?;
+            }
+        }
+
+        // Aggregation detection.
+        let has_agg = !stmt.group_by.is_empty()
+            || stmt
+                .items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
+
+        // Base input: the block plus any scalar-subquery filters.
+        let mut input = LogicalPlan::Block(bb.block.clone());
+        for (sub, pred, placeholder) in std::mem::take(&mut bb.scalar_filters) {
+            input = LogicalPlan::ScalarFilter {
+                input: Box::new(input),
+                subquery: Box::new(sub),
+                pred,
+                placeholder,
+            };
+        }
+
+        let scope = bb.scope.clone();
+
+        // Select list (wildcard expansion first).
+        let mut items: Vec<(AstExpr, Option<String>)> = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for e in &scope.entries {
+                        for f in e.schema.fields() {
+                            items.push((
+                                AstExpr::Ident(vec![e.alias.clone(), f.name.clone()]),
+                                Some(f.name.clone()),
+                            ));
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => items.push((expr.clone(), alias.clone())),
+            }
+        }
+
+        let (mut plan, project_rel, out_cols, names) = if has_agg {
+            // Bind group expressions.
+            let group_exprs: Vec<Expr> = stmt
+                .group_by
+                .iter()
+                .map(|g| self.bind_expr(g, &scope, &mut None))
+                .collect::<Result<_>>()?;
+            let agg_rel = self.bindings.fresh_id();
+            let mut collector = AggCollector {
+                rel: agg_rel,
+                group_offset: group_exprs.len() as u32,
+                aggs: Vec::new(),
+            };
+            // Group outputs.
+            let group_outputs: Vec<OutputColumn> = group_exprs
+                .iter()
+                .enumerate()
+                .map(|(i, e)| OutputColumn {
+                    expr: e.clone(),
+                    name: format!("g{i}"),
+                    id: ColumnId::new(agg_rel, i as u32),
+                })
+                .collect();
+            let group_map: Vec<(Expr, ColumnId)> = group_outputs
+                .iter()
+                .map(|g| (g.expr.clone(), g.id))
+                .collect();
+
+            // Bind select expressions with aggregate interning, then replace
+            // group-expression subtrees with their output refs.
+            let mut proj_exprs = Vec::new();
+            let mut out_names = Vec::new();
+            for (i, (ast, alias)) in items.iter().enumerate() {
+                let mut sink = Some(&mut collector);
+                let bound = self.bind_expr(ast, &scope, &mut sink)?;
+                let rewritten = replace_subtrees(&bound, &group_map);
+                ensure_no_raw_columns(&rewritten, agg_rel, &format!("select item {}", i + 1))?;
+                out_names.push(alias.clone().unwrap_or_else(|| default_name(ast, i)));
+                proj_exprs.push(rewritten);
+            }
+
+            // HAVING: scalar-subquery conjuncts float above the aggregate.
+            let mut having_parts = Vec::new();
+            let mut having_scalar: Vec<(LogicalPlan, Expr, ColumnId)> = Vec::new();
+            if let Some(h) = &stmt.having {
+                for conj in h.clone().conjuncts() {
+                    if let Some((sub, pred, ph)) =
+                        self.try_bind_scalar_filter(&conj, &scope, &mut Some(&mut collector))?
+                    {
+                        having_scalar.push((sub, pred, ph));
+                    } else {
+                        let mut sink = Some(&mut collector);
+                        let bound = self.bind_expr(&conj, &scope, &mut sink)?;
+                        having_parts.push(replace_subtrees(&bound, &group_map));
+                    }
+                }
+            }
+
+            // Register the aggregate output relation so parents can see
+            // schema/stats (derived use, ORDER BY, etc.).
+            let mut fields = Vec::new();
+            let mut col_stats = Vec::new();
+            for (g, out) in group_exprs.iter().zip(&group_outputs) {
+                let t = g
+                    .data_type(&|c| self.resolve_type(c))
+                    .ok_or_else(|| BfqError::Bind(format!("cannot type group expression {g}")))?;
+                fields.push(Field::new(out.name.clone(), t));
+                col_stats.push(self.stats_for_expr(g));
+            }
+            for a in &collector.aggs {
+                let arg_t = a.arg.as_ref().and_then(|e| e.data_type(&|c| self.resolve_type(c)));
+                fields.push(Field::new(a.func.name(), agg_type(a.func, arg_t)));
+                col_stats.push(ColumnStats::unknown());
+            }
+            let agg_schema = Arc::new(Schema::new(fields));
+            self.register_virtual(agg_rel, agg_schema, col_stats);
+
+            let having = Expr::conjunction(having_parts);
+            let mut agg_plan = LogicalPlan::Aggregate {
+                input: Box::new(input),
+                group_by: group_outputs,
+                aggs: collector.aggs,
+                having,
+            };
+            for (sub, pred, ph) in having_scalar {
+                agg_plan = LogicalPlan::ScalarFilter {
+                    input: Box::new(agg_plan),
+                    subquery: Box::new(sub),
+                    pred,
+                    placeholder: ph,
+                };
+            }
+            let (project_rel, outputs) = self.make_project(proj_exprs, &out_names)?;
+            (
+                LogicalPlan::Project {
+                    input: Box::new(agg_plan),
+                    exprs: outputs.clone(),
+                },
+                project_rel,
+                outputs,
+                out_names,
+            )
+        } else {
+            let mut proj_exprs = Vec::new();
+            let mut out_names = Vec::new();
+            for (i, (ast, alias)) in items.iter().enumerate() {
+                let bound = self.bind_expr(ast, &scope, &mut None)?;
+                out_names.push(alias.clone().unwrap_or_else(|| default_name(ast, i)));
+                proj_exprs.push(bound);
+            }
+            let (project_rel, outputs) = self.make_project(proj_exprs, &out_names)?;
+            (
+                LogicalPlan::Project {
+                    input: Box::new(input),
+                    exprs: outputs.clone(),
+                },
+                project_rel,
+                outputs,
+                out_names,
+            )
+        };
+
+        // ORDER BY over the projection outputs: alias, AST-structural, or
+        // bound-expression match; otherwise (for non-aggregated queries) a
+        // hidden sort column is appended and stripped after the sort.
+        if !stmt.order_by.is_empty() {
+            let mut keys = Vec::new();
+            let mut hidden: Vec<OutputColumn> = Vec::new();
+            for (ast, desc) in &stmt.order_by {
+                let resolved =
+                    self.resolve_order_key(ast, &items, &names, &out_cols, &scope)?;
+                let id = match resolved {
+                    Some(id) => id,
+                    None if !has_agg => {
+                        let bound = self.bind_expr(ast, &scope, &mut None)?;
+                        let id = ColumnId::new(
+                            project_rel,
+                            (out_cols.len() + hidden.len()) as u32,
+                        );
+                        hidden.push(OutputColumn {
+                            expr: bound,
+                            name: format!("__sort{}", hidden.len()),
+                            id,
+                        });
+                        id
+                    }
+                    None => {
+                        return Err(BfqError::Bind(format!(
+                            "ORDER BY expression must reference a select output (got {ast:?})"
+                        )))
+                    }
+                };
+                keys.push(SortKey {
+                    expr: Expr::col(id),
+                    descending: *desc,
+                });
+            }
+            if !hidden.is_empty() {
+                // Rebuild the projection with the hidden columns, sort, then
+                // strip them with a final visible-only projection.
+                let LogicalPlan::Project { input, mut exprs } = plan else {
+                    return Err(BfqError::internal("projection expected at top"));
+                };
+                exprs.extend(hidden.clone());
+                let widened = LogicalPlan::Project { input, exprs };
+                let sorted = LogicalPlan::Sort {
+                    input: Box::new(widened),
+                    keys,
+                };
+                let (final_rel, final_outputs) = self.make_project(
+                    out_cols.iter().map(|oc| Expr::col(oc.id)).collect(),
+                    &names,
+                )?;
+                let _ = final_rel;
+                plan = LogicalPlan::Project {
+                    input: Box::new(sorted),
+                    exprs: final_outputs,
+                };
+            } else {
+                plan = LogicalPlan::Sort {
+                    input: Box::new(plan),
+                    keys,
+                };
+            }
+        }
+        if let Some(n) = stmt.limit {
+            plan = plan.limit(n);
+        }
+
+        let schema = self
+            .bindings
+            .get(project_rel)
+            .map(|b| b.schema.clone())
+            .unwrap_or_else(|_| Arc::new(Schema::new(vec![])));
+        Ok((plan, names, schema))
+    }
+
+    /// Create the projection's virtual relation and output columns.
+    fn make_project(
+        &mut self,
+        exprs: Vec<Expr>,
+        names: &[String],
+    ) -> Result<(TableId, Vec<OutputColumn>)> {
+        let rel = self.bindings.fresh_id();
+        let mut fields = Vec::new();
+        let mut col_stats = Vec::new();
+        let mut outputs = Vec::new();
+        for (i, (e, name)) in exprs.into_iter().zip(names).enumerate() {
+            let t = e.data_type(&|c| self.resolve_type(c)).ok_or_else(|| {
+                BfqError::Bind(format!("cannot type select expression {e}"))
+            })?;
+            fields.push(Field::new(name.clone(), t));
+            col_stats.push(self.stats_for_expr(&e));
+            outputs.push(OutputColumn {
+                expr: e,
+                name: name.clone(),
+                id: ColumnId::new(rel, i as u32),
+            });
+        }
+        self.register_virtual(rel, Arc::new(Schema::new(fields)), col_stats);
+        Ok((rel, outputs))
+    }
+
+    /// Register a virtual relation with placeholder row counts (the
+    /// optimizer refreshes rows once the subtree is planned).
+    fn register_virtual(&mut self, rel: TableId, schema: SchemaRef, columns: Vec<ColumnStats>) {
+        let stats = TableStats {
+            rows: 1000.0,
+            columns,
+        };
+        self.bindings.insert_binding(rel, schema, stats);
+    }
+
+    fn resolve_type(&self, c: ColumnId) -> Option<bfq_common::DataType> {
+        self.bindings
+            .get(c.table)
+            .ok()
+            .and_then(|b| b.schema.fields().get(c.index as usize))
+            .map(|f| f.data_type)
+    }
+
+    fn stats_for_expr(&self, e: &Expr) -> ColumnStats {
+        match e {
+            Expr::Column(c) => self
+                .bindings
+                .column_stats(*c)
+                .cloned()
+                .unwrap_or_else(ColumnStats::unknown),
+            _ => ColumnStats::unknown(),
+        }
+    }
+
+    // ---- FROM -----------------------------------------------------------
+
+    fn bind_table_ref(
+        &mut self,
+        tref: &TableRef,
+        bb: &mut BlockBuilder,
+        kind: RelKind,
+    ) -> Result<()> {
+        match tref {
+            TableRef::Table { name, alias } => {
+                let meta = self.catalog.meta_by_name(name)?;
+                let base = meta.id;
+                let rel_id = self.bindings.bind_table(self.catalog, base)?;
+                let alias = alias.clone().unwrap_or_else(|| name.clone());
+                let ordinal = bb.block.rels.len();
+                bb.scope
+                    .add(alias.clone(), rel_id, self.bindings.get(rel_id)?.schema.clone());
+                bb.block.rels.push(BaseRel {
+                    ordinal,
+                    rel_id,
+                    source: RelSource::Table(base),
+                    alias,
+                    kind,
+                    local_preds: vec![],
+                });
+                Ok(())
+            }
+            TableRef::Derived { query, alias } => {
+                let (plan, _names, schema) = self.bind_select(query)?;
+                let col_stats = schema
+                    .fields()
+                    .iter()
+                    .map(|_| ColumnStats::unknown())
+                    .collect();
+                let rel_id = self.bindings.bind_derived(
+                    schema.clone(),
+                    TableStats {
+                        rows: 1000.0,
+                        columns: col_stats,
+                    },
+                    vec![],
+                );
+                let ordinal = bb.block.rels.len();
+                bb.scope.add(alias.clone(), rel_id, schema);
+                bb.block.rels.push(BaseRel {
+                    ordinal,
+                    rel_id,
+                    source: RelSource::Derived(Box::new(plan)),
+                    alias: alias.clone(),
+                    kind,
+                    local_preds: vec![],
+                });
+                Ok(())
+            }
+            TableRef::Join {
+                left,
+                right,
+                join_type,
+                on,
+            } => {
+                self.bind_table_ref(left, bb, RelKind::Inner)?;
+                let right_kind = match join_type {
+                    JoinType::Inner => RelKind::Inner,
+                    JoinType::Left => RelKind::LeftOuter,
+                };
+                if matches!(right.as_ref(), TableRef::Join { .. }) {
+                    return Err(BfqError::Bind(
+                        "nested explicit joins on the right side are unsupported".into(),
+                    ));
+                }
+                self.bind_table_ref(right, bb, right_kind)?;
+                // ON conjuncts: single-relation predicates attach to their
+                // relation (for LEFT JOIN semantics this is the null-side
+                // pre-filter); equalities become join clauses; the rest are
+                // complex predicates evaluated at the join.
+                for conj in on.clone().conjuncts() {
+                    self.classify_plain_conjunct(conj, bb)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ---- WHERE ----------------------------------------------------------
+
+    fn bind_where_conjunct(&mut self, conj: AstExpr, bb: &mut BlockBuilder) -> Result<()> {
+        match conj {
+            AstExpr::Exists { query, negated } => {
+                let kind = if negated { RelKind::Anti } else { RelKind::Semi };
+                self.bind_quantified_subquery(&query, None, kind, bb)
+            }
+            AstExpr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let kind = if negated { RelKind::Anti } else { RelKind::Semi };
+                let outer = self.bind_expr(&expr, &bb.scope, &mut None)?;
+                self.bind_quantified_subquery(&query, Some(outer), kind, bb)
+            }
+            other => {
+                if let Some((sub, pred, ph)) =
+                    self.try_bind_scalar_filter(&other, &bb.scope, &mut None)?
+                {
+                    bb.scalar_filters.push((sub, pred, ph));
+                    Ok(())
+                } else {
+                    self.classify_plain_conjunct(other, bb)
+                }
+            }
+        }
+    }
+
+    /// Detect `expr CMP (scalar subquery)` conjuncts; returns the bound
+    /// subquery plan, the predicate with a placeholder, and the placeholder.
+    fn try_bind_scalar_filter(
+        &mut self,
+        conj: &AstExpr,
+        scope: &Scope,
+        sink: &mut Option<&mut AggCollector>,
+    ) -> Result<Option<(LogicalPlan, Expr, ColumnId)>> {
+        let AstExpr::Binary { op, left, right } = conj else {
+            return Ok(None);
+        };
+        let (scalar_side, other_side, op, flipped) = match (left.as_ref(), right.as_ref()) {
+            (_, AstExpr::ScalarSubquery(q)) => (q, left.as_ref(), op, false),
+            (AstExpr::ScalarSubquery(q), _) => (q, right.as_ref(), op, true),
+            _ => return Ok(None),
+        };
+        let (sub_plan, _names, sub_schema) = self.bind_select(scalar_side)?;
+        if sub_schema.len() != 1 {
+            return Err(BfqError::Bind(
+                "scalar subquery must return exactly one column".into(),
+            ));
+        }
+        let ph_rel = self.bindings.fresh_id();
+        self.register_virtual(
+            ph_rel,
+            Arc::new(Schema::new(vec![Field::new(
+                "scalar",
+                sub_schema.field(0).data_type,
+            )])),
+            vec![ColumnStats::unknown()],
+        );
+        let placeholder = ColumnId::new(ph_rel, 0);
+        let other = self.bind_expr(other_side, scope, sink)?;
+        let ast_op = bind_op(*op)?;
+        let pred = if flipped {
+            Expr::binary(ast_op, Expr::col(placeholder), other)
+        } else {
+            Expr::binary(ast_op, other, Expr::col(placeholder))
+        };
+        Ok(Some((sub_plan, pred, placeholder)))
+    }
+
+    /// Bind an `EXISTS`/`IN` subquery as a semi/anti relation of the block.
+    fn bind_quantified_subquery(
+        &mut self,
+        query: &SelectStmt,
+        outer_in_expr: Option<Expr>,
+        kind: RelKind,
+        bb: &mut BlockBuilder,
+    ) -> Result<()> {
+        let inlinable = query.from.len() == 1
+            && matches!(query.from[0], TableRef::Table { .. })
+            && query.group_by.is_empty()
+            && query.having.is_none()
+            && query.limit.is_none()
+            && !query
+                .items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
+
+        if inlinable {
+            // Inline the subquery's table as a dependent relation.
+            self.bind_table_ref(&query.from[0], bb, kind)?;
+            let new_ordinal = bb.block.rels.len() - 1;
+            // IN: the outer expression equals the subquery's select column.
+            if let Some(outer_expr) = outer_in_expr {
+                let item = match &query.items[..] {
+                    [SelectItem::Expr { expr, .. }] => expr.clone(),
+                    _ => {
+                        return Err(BfqError::Bind(
+                            "IN subquery must select exactly one column".into(),
+                        ))
+                    }
+                };
+                // Subquery scope precedence: resolve against the inlined
+                // relation first, then fall back to the full scope.
+                let mut inner_scope = Scope::default();
+                let last = bb.scope.entries.last().expect("just added").clone();
+                inner_scope.entries.push(last);
+                let inner_expr = self
+                    .bind_expr(&item, &inner_scope, &mut None)
+                    .or_else(|_| self.bind_expr(&item, &bb.scope, &mut None))?;
+                self.add_join_condition(outer_expr.eq(inner_expr), bb)?;
+            }
+            // WHERE conjuncts (may reference outer relations — that is the
+            // correlation, which becomes clauses/complex preds).
+            if let Some(w) = &query.where_clause {
+                for conj in w.clone().conjuncts() {
+                    self.classify_plain_conjunct(conj, bb)?;
+                }
+            }
+            let _ = new_ordinal;
+            Ok(())
+        } else {
+            // Uncorrelated subquery becomes a derived dependent relation.
+            if outer_in_expr.is_none() {
+                return Err(BfqError::Bind(
+                    "EXISTS over multi-table subqueries is unsupported; rewrite as IN or a derived table".into(),
+                ));
+            }
+            let alias = format!("__subq{}", bb.block.rels.len());
+            let (plan, _names, sub_schema) = self.bind_select(query)?;
+            if sub_schema.len() != 1 {
+                return Err(BfqError::Bind(
+                    "IN subquery must select exactly one column".into(),
+                ));
+            }
+            // The derived output gets an internal column name so it can
+            // never shadow or collide with outer columns.
+            let schema: SchemaRef = Arc::new(Schema::new(vec![Field::new(
+                format!("__in_{alias}"),
+                sub_schema.field(0).data_type,
+            )]));
+            let rel_id = self.bindings.bind_derived(
+                schema.clone(),
+                TableStats {
+                    rows: 1000.0,
+                    columns: vec![ColumnStats::unknown()],
+                },
+                vec![],
+            );
+            let ordinal = bb.block.rels.len();
+            bb.scope.add(alias.clone(), rel_id, schema);
+            bb.block.rels.push(BaseRel {
+                ordinal,
+                rel_id,
+                source: RelSource::Derived(Box::new(plan)),
+                alias,
+                kind,
+                local_preds: vec![],
+            });
+            let inner_col = ColumnId::new(rel_id, 0);
+            let outer_expr = outer_in_expr.expect("checked above");
+            self.add_join_condition(outer_expr.eq(Expr::col(inner_col)), bb)?;
+            Ok(())
+        }
+    }
+
+    /// Classify a bound-able conjunct into local pred / equi clause /
+    /// complex pred.
+    fn classify_plain_conjunct(&mut self, conj: AstExpr, bb: &mut BlockBuilder) -> Result<()> {
+        let bound = self.bind_expr(&conj, &bb.scope, &mut None)?;
+        self.add_join_condition(bound, bb)
+    }
+
+    fn add_join_condition(&mut self, bound: Expr, bb: &mut BlockBuilder) -> Result<()> {
+        let mut rels = Vec::new();
+        for col in bound.columns() {
+            if let Some(o) = bb.rel_ordinal(col.table) {
+                if !rels.contains(&o) {
+                    rels.push(o);
+                }
+            } else {
+                return Err(BfqError::Bind(format!(
+                    "column {col} does not belong to this query block"
+                )));
+            }
+        }
+        match rels.len() {
+            0 => {
+                // Constant predicate: attach to the first relation (or drop
+                // if there is none — SELECT without FROM is unsupported).
+                if let Some(rel) = bb.block.rels.first_mut() {
+                    rel.local_preds.push(bound);
+                }
+                Ok(())
+            }
+            1 => {
+                bb.block.rels[rels[0]].local_preds.push(bound);
+                Ok(())
+            }
+            2 => {
+                // Equality between two single columns becomes a clause.
+                if let Expr::Binary {
+                    op: BinOp::Eq,
+                    left,
+                    right,
+                } = &bound
+                {
+                    if let (Expr::Column(l), Expr::Column(r)) = (left.as_ref(), right.as_ref())
+                    {
+                        if l.table != r.table {
+                            let left_rel = bb.rel_ordinal(l.table).expect("checked");
+                            let right_rel = bb.rel_ordinal(r.table).expect("checked");
+                            bb.block.equi_clauses.push(EquiClause {
+                                left: *l,
+                                right: *r,
+                                left_rel,
+                                right_rel,
+                            });
+                            return Ok(());
+                        }
+                    }
+                }
+                bb.block.complex_preds.push(bound);
+                Ok(())
+            }
+            _ => {
+                bb.block.complex_preds.push(bound);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- ORDER BY -------------------------------------------------------
+
+    fn resolve_order_key(
+        &mut self,
+        ast: &AstExpr,
+        items: &[(AstExpr, Option<String>)],
+        names: &[String],
+        out_cols: &[OutputColumn],
+        scope: &Scope,
+    ) -> Result<Option<ColumnId>> {
+        // Alias match.
+        if let AstExpr::Ident(parts) = ast {
+            if parts.len() == 1 {
+                if let Some(i) = names.iter().position(|n| *n == parts[0]) {
+                    return Ok(Some(out_cols[i].id));
+                }
+            }
+        }
+        // AST-structural match against select items (works for grouped
+        // queries where the projection holds rewritten group refs).
+        for (i, (item_ast, _)) in items.iter().enumerate() {
+            if item_ast == ast {
+                return Ok(Some(out_cols[i].id));
+            }
+        }
+        // Bound-expression match against the projection expressions.
+        if let Ok(b) = self.bind_expr(ast, scope, &mut None) {
+            for oc in out_cols {
+                if oc.expr == b {
+                    return Ok(Some(oc.id));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn bind_expr(
+        &mut self,
+        ast: &AstExpr,
+        scope: &Scope,
+        agg: &mut Option<&mut AggCollector>,
+    ) -> Result<Expr> {
+        Ok(match ast {
+            AstExpr::Ident(parts) => Expr::Column(scope.resolve(parts)?),
+            AstExpr::Int(v) => Expr::Literal(Datum::Int(*v)),
+            AstExpr::Float(v) => Expr::Literal(Datum::Float(*v)),
+            AstExpr::Str(s) => Expr::Literal(Datum::str(s.as_str())),
+            AstExpr::DateLit(s) => Expr::Literal(Datum::Date(
+                date::parse_date(s)
+                    .ok_or_else(|| BfqError::Bind(format!("bad date literal '{s}'")))?,
+            )),
+            AstExpr::Interval { .. } => {
+                return Err(BfqError::Bind(
+                    "interval literal outside date arithmetic".into(),
+                ))
+            }
+            AstExpr::Binary { op, left, right } => {
+                // Fold `date ± interval` at bind time.
+                if let Some(folded) = self.try_fold_interval(op, left, right, scope, agg)? {
+                    return Ok(folded);
+                }
+                let l = self.bind_expr(left, scope, agg)?;
+                let r = self.bind_expr(right, scope, agg)?;
+                Expr::binary(bind_op(*op)?, l, r)
+            }
+            AstExpr::Not(e) => Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(self.bind_expr(e, scope, agg)?),
+            },
+            AstExpr::Neg(e) => {
+                let inner = self.bind_expr(e, scope, agg)?;
+                match inner.const_eval() {
+                    Some(Datum::Int(v)) => Expr::Literal(Datum::Int(-v)),
+                    Some(Datum::Float(v)) => Expr::Literal(Datum::Float(-v)),
+                    _ => Expr::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(inner),
+                    },
+                }
+            }
+            AstExpr::IsNull { expr, negated } => Expr::Unary {
+                op: if *negated {
+                    UnOp::IsNotNull
+                } else {
+                    UnOp::IsNull
+                },
+                expr: Box::new(self.bind_expr(expr, scope, agg)?),
+            },
+            AstExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(self.bind_expr(expr, scope, agg)?),
+                low: Box::new(self.bind_expr(low, scope, agg)?),
+                high: Box::new(self.bind_expr(high, scope, agg)?),
+                negated: *negated,
+            },
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.bind_expr(expr, scope, agg)?),
+                list: list
+                    .iter()
+                    .map(|e| self.bind_expr(e, scope, agg))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            AstExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(self.bind_expr(expr, scope, agg)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            AstExpr::Case {
+                branches,
+                else_expr,
+            } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| {
+                        Ok((
+                            self.bind_expr(c, scope, agg)?,
+                            self.bind_expr(v, scope, agg)?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+                else_expr: match else_expr {
+                    Some(e) => Some(Box::new(self.bind_expr(e, scope, agg)?)),
+                    None => None,
+                },
+            },
+            AstExpr::Extract { field, expr } => {
+                let inner = Box::new(self.bind_expr(expr, scope, agg)?);
+                match field.as_str() {
+                    "year" => Expr::ExtractYear(inner),
+                    "month" => Expr::ExtractMonth(inner),
+                    other => {
+                        return Err(BfqError::Bind(format!(
+                            "unsupported EXTRACT field `{other}`"
+                        )))
+                    }
+                }
+            }
+            AstExpr::Func {
+                name,
+                args,
+                distinct,
+            } => {
+                if name == "substring" {
+                    let [e, AstExpr::Int(start), AstExpr::Int(len)] = &args[..] else {
+                        return Err(BfqError::Bind("bad SUBSTRING arguments".into()));
+                    };
+                    return Ok(Expr::Substring {
+                        expr: Box::new(self.bind_expr(e, scope, agg)?),
+                        start: *start as usize,
+                        len: *len as usize,
+                    });
+                }
+                let func = match name.as_str() {
+                    "count" => {
+                        if matches!(args.first(), Some(AstExpr::Star)) {
+                            AggFunc::CountStar
+                        } else {
+                            AggFunc::Count
+                        }
+                    }
+                    "sum" => AggFunc::Sum,
+                    "avg" => AggFunc::Avg,
+                    "min" => AggFunc::Min,
+                    "max" => AggFunc::Max,
+                    other => {
+                        return Err(BfqError::Bind(format!("unknown function `{other}`")))
+                    }
+                };
+                let Some(collector) = agg.as_deref_mut() else {
+                    return Err(BfqError::Bind(format!(
+                        "aggregate `{name}` not allowed in this context"
+                    )));
+                };
+                let arg = if func == AggFunc::CountStar {
+                    None
+                } else {
+                    let a = args.first().ok_or_else(|| {
+                        BfqError::Bind(format!("`{name}` requires an argument"))
+                    })?;
+                    Some(self.bind_expr(a, scope, &mut None)?)
+                };
+                Expr::Column(collector.intern(func, arg, *distinct))
+            }
+            AstExpr::Star => {
+                return Err(BfqError::Bind("`*` outside count(*)".into()))
+            }
+            AstExpr::Exists { .. } | AstExpr::InSubquery { .. } | AstExpr::ScalarSubquery(_) => {
+                return Err(BfqError::Bind(
+                    "subqueries are only supported as top-level WHERE/HAVING conjuncts".into(),
+                ))
+            }
+        })
+    }
+
+    /// Fold `expr ± interval` into date arithmetic.
+    fn try_fold_interval(
+        &mut self,
+        op: &AstBinOp,
+        left: &AstExpr,
+        right: &AstExpr,
+        scope: &Scope,
+        agg: &mut Option<&mut AggCollector>,
+    ) -> Result<Option<Expr>> {
+        let (base_ast, interval, sign) = match (op, left, right) {
+            (AstBinOp::Plus, b, AstExpr::Interval { value, unit }) => (b, (*value, *unit), 1),
+            (AstBinOp::Minus, b, AstExpr::Interval { value, unit }) => (b, (*value, *unit), -1),
+            (AstBinOp::Plus, AstExpr::Interval { value, unit }, b) => (b, (*value, *unit), 1),
+            _ => return Ok(None),
+        };
+        let base = self.bind_expr(base_ast, scope, agg)?;
+        let (value, unit) = interval;
+        let value = value * sign;
+        match base.const_eval() {
+            Some(Datum::Date(d)) => {
+                let folded = match unit {
+                    IntervalUnit::Day => d + value as i32,
+                    IntervalUnit::Month => date::add_months(d, value as i32),
+                    IntervalUnit::Year => date::add_years(d, value as i32),
+                };
+                Ok(Some(Expr::Literal(Datum::Date(folded))))
+            }
+            _ => match unit {
+                // Non-constant date expressions support day intervals only.
+                IntervalUnit::Day => Ok(Some(Expr::binary(
+                    BinOp::Plus,
+                    base,
+                    Expr::int(value),
+                ))),
+                _ => Err(BfqError::Bind(
+                    "month/year intervals require a constant date operand".into(),
+                )),
+            },
+        }
+    }
+}
+
+fn bind_op(op: AstBinOp) -> Result<BinOp> {
+    Ok(match op {
+        AstBinOp::Eq => BinOp::Eq,
+        AstBinOp::NotEq => BinOp::NotEq,
+        AstBinOp::Lt => BinOp::Lt,
+        AstBinOp::LtEq => BinOp::LtEq,
+        AstBinOp::Gt => BinOp::Gt,
+        AstBinOp::GtEq => BinOp::GtEq,
+        AstBinOp::Plus => BinOp::Plus,
+        AstBinOp::Minus => BinOp::Minus,
+        AstBinOp::Mul => BinOp::Mul,
+        AstBinOp::Div => BinOp::Div,
+        AstBinOp::And => BinOp::And,
+        AstBinOp::Or => BinOp::Or,
+    })
+}
+
+fn agg_type(func: AggFunc, arg: Option<bfq_common::DataType>) -> bfq_common::DataType {
+    use bfq_common::DataType;
+    match func {
+        AggFunc::Count | AggFunc::CountStar => DataType::Int64,
+        AggFunc::Avg => DataType::Float64,
+        AggFunc::Sum => match arg {
+            Some(DataType::Int64) => DataType::Int64,
+            _ => DataType::Float64,
+        },
+        AggFunc::Min | AggFunc::Max => arg.unwrap_or(DataType::Int64),
+    }
+}
+
+/// Replace subtrees equal to any mapped expression with its column ref.
+fn replace_subtrees(expr: &Expr, map: &[(Expr, ColumnId)]) -> Expr {
+    for (pattern, id) in map {
+        if expr == pattern {
+            return Expr::Column(*id);
+        }
+    }
+    match expr {
+        Expr::Column(_) | Expr::Literal(_) => expr.clone(),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(replace_subtrees(left, map)),
+            right: Box::new(replace_subtrees(right, map)),
+        },
+        Expr::Unary { op, expr: e } => Expr::Unary {
+            op: *op,
+            expr: Box::new(replace_subtrees(e, map)),
+        },
+        Expr::Between {
+            expr: e,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(replace_subtrees(e, map)),
+            low: Box::new(replace_subtrees(low, map)),
+            high: Box::new(replace_subtrees(high, map)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr: e,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(replace_subtrees(e, map)),
+            list: list.iter().map(|i| replace_subtrees(i, map)).collect(),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr: e,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(replace_subtrees(e, map)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| (replace_subtrees(c, map), replace_subtrees(v, map)))
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(replace_subtrees(e, map))),
+        },
+        Expr::ExtractYear(e) => Expr::ExtractYear(Box::new(replace_subtrees(e, map))),
+        Expr::ExtractMonth(e) => Expr::ExtractMonth(Box::new(replace_subtrees(e, map))),
+        Expr::Substring { expr: e, start, len } => Expr::Substring {
+            expr: Box::new(replace_subtrees(e, map)),
+            start: *start,
+            len: *len,
+        },
+    }
+}
+
+/// After group/agg rewriting, every remaining column must belong to the
+/// aggregate output relation (SQL's "column must appear in GROUP BY" rule).
+fn ensure_no_raw_columns(expr: &Expr, agg_rel: TableId, what: &str) -> Result<()> {
+    for c in expr.columns() {
+        if c.table != agg_rel {
+            return Err(BfqError::Bind(format!(
+                "{what}: column not in GROUP BY and not inside an aggregate"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn default_name(ast: &AstExpr, index: usize) -> String {
+    match ast {
+        AstExpr::Ident(parts) => parts.last().cloned().unwrap_or_default(),
+        AstExpr::Func { name, .. } => name.clone(),
+        _ => format!("col{}", index + 1),
+    }
+}

@@ -1,0 +1,244 @@
+//! SQL tokenizer.
+
+use bfq_common::{BfqError, Result};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string (quotes stripped, '' unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = input[start..i].to_ascii_lowercase();
+            tokens.push(Token {
+                kind: TokenKind::Ident(word),
+                offset: start,
+            });
+        } else if c.is_ascii_digit()
+            || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+        {
+            let mut saw_dot = false;
+            while i < bytes.len() {
+                let b = bytes[i] as char;
+                if b.is_ascii_digit() {
+                    i += 1;
+                } else if b == '.' && !saw_dot {
+                    saw_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &input[start..i];
+            let kind = if saw_dot {
+                TokenKind::Float(text.parse().map_err(|_| {
+                    BfqError::Parse(format!("bad float literal `{text}` at {start}"))
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| {
+                    BfqError::Parse(format!("bad integer literal `{text}` at {start}"))
+                })?)
+            };
+            tokens.push(Token {
+                kind,
+                offset: start,
+            });
+        } else if c == '\'' {
+            i += 1;
+            let mut value = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(BfqError::Parse(format!(
+                        "unterminated string starting at {start}"
+                    )));
+                }
+                if bytes[i] == b'\'' {
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        value.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                // Collect the full UTF-8 character.
+                let ch_len = utf8_char_len(bytes[i]);
+                value.push_str(&input[i..i + ch_len]);
+                i += ch_len;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(value),
+                offset: start,
+            });
+        } else {
+            let two: Option<&'static str> = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                ('<', Some('=')) => Some("<="),
+                ('>', Some('=')) => Some(">="),
+                ('<', Some('>')) => Some("<>"),
+                ('!', Some('=')) => Some("<>"),
+                _ => None,
+            };
+            if let Some(sym) = two {
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: start,
+                });
+                i += 2;
+            } else {
+                let sym: &'static str = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    ';' => ";",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '<' => "<",
+                    '>' => ">",
+                    '=' => "=",
+                    other => {
+                        return Err(BfqError::Parse(format!(
+                            "unexpected character `{other}` at {start}"
+                        )))
+                    }
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: start,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+fn utf8_char_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        b if b >= 0xC0 => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_numbers() {
+        let got = kinds("SELECT a1, 42, 3.5 FROM t");
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("a1".into()),
+                TokenKind::Symbol(","),
+                TokenKind::Int(42),
+                TokenKind::Symbol(","),
+                TokenKind::Float(3.5),
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let got = kinds("'it''s' 'FRANCE'");
+        assert_eq!(
+            got[..2],
+            [
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("FRANCE".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let got = kinds("a <= b <> c >= d != e");
+        let syms: Vec<_> = got
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["<=", "<>", ">=", "<>"]);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let got = kinds("select -- comment here\n 1");
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("a $ b").is_err());
+    }
+
+    #[test]
+    fn decimal_without_leading_zero() {
+        assert_eq!(kinds(".5")[0], TokenKind::Float(0.5));
+    }
+}

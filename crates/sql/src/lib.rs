@@ -1,0 +1,38 @@
+//! SQL front end: lexing, parsing and binding to logical plans.
+//!
+//! Scope: the SQL subset TPC-H needs —
+//! * `SELECT` lists with expressions, aggregates and aliases;
+//! * comma-joined `FROM` with aliases, derived tables, and explicit
+//!   `[LEFT] JOIN … ON`;
+//! * `WHERE` with `AND`/`OR`, comparisons, `BETWEEN`, `IN` (lists and
+//!   subqueries), `EXISTS`/`NOT EXISTS`, `LIKE`, scalar subqueries;
+//! * `GROUP BY` / `HAVING`, `ORDER BY` (select aliases or expressions),
+//!   `LIMIT`;
+//! * `date '…'`, `interval 'n' month/year/day` arithmetic (constant-folded
+//!   at bind time), `EXTRACT(YEAR|MONTH FROM …)`, searched `CASE`.
+//!
+//! Decorrelation (in [`bind`]): single-table `EXISTS`/`IN` subqueries become
+//! semi/anti relations of the enclosing block (correlated equalities turn
+//! into join clauses, other correlated conjuncts into complex predicates);
+//! uncorrelated scalar subqueries become `ScalarFilter` nodes; anything
+//! else must be expressed as a derived table.
+
+pub mod ast;
+pub mod bind;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, JoinType, SelectItem, SelectStmt, TableRef};
+pub use bind::{bind, BoundQuery};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::parse_select;
+
+use bfq_catalog::Catalog;
+use bfq_common::Result;
+use bfq_plan::Bindings;
+
+/// Parse and bind a SQL query in one call.
+pub fn plan_sql(sql: &str, catalog: &Catalog, bindings: &mut Bindings) -> Result<BoundQuery> {
+    let stmt = parse_select(sql)?;
+    bind(&stmt, catalog, bindings)
+}

@@ -1,0 +1,794 @@
+//! Recursive-descent SQL parser.
+
+use bfq_common::{BfqError, Result};
+
+use crate::ast::{
+    AstBinOp, AstExpr, IntervalUnit, JoinType, SelectItem, SelectStmt, TableRef,
+};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse a single `SELECT` statement (trailing `;` allowed).
+pub fn parse_select(sql: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.accept_symbol(";");
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> BfqError {
+        BfqError::Parse(format!(
+            "{msg} near offset {} (token {:?})",
+            self.tokens[self.pos].offset, self.tokens[self.pos].kind
+        ))
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(w) if w == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn accept_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Symbol(s) if *s == sym) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.accept_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{sym}`")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(w) if w == kw)
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(w) => Ok(w),
+            other => Err(BfqError::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.advance() {
+            TokenKind::Str(s) => Ok(s),
+            other => Err(BfqError::Parse(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let mut items = Vec::new();
+        loop {
+            if self.accept_symbol("*") {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.accept_kw("as") {
+                    Some(self.ident()?)
+                } else if let TokenKind::Ident(w) = self.peek() {
+                    // Bare alias, unless it's a clause keyword.
+                    const CLAUSES: [&str; 8] = [
+                        "from", "where", "group", "having", "order", "limit", "union",
+                        "select",
+                    ];
+                    if CLAUSES.contains(&w.as_str()) {
+                        None
+                    } else {
+                        Some(self.ident()?)
+                    }
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        while self.accept_symbol(",") {
+            from.push(self.table_ref()?);
+        }
+        let where_clause = if self.accept_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.accept_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.expr()?);
+            while self.accept_symbol(",") {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.accept_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.accept_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.accept_kw("desc") {
+                    true
+                } else {
+                    self.accept_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.accept_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.accept_kw("limit") {
+            match self.advance() {
+                TokenKind::Int(n) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(BfqError::Parse(format!("bad LIMIT value {other:?}")))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let mut base = self.table_factor()?;
+        // Postfix explicit joins.
+        loop {
+            let join_type = if self.peek_kw("join") {
+                self.advance();
+                JoinType::Inner
+            } else if self.peek_kw("inner") {
+                self.advance();
+                self.expect_kw("join")?;
+                JoinType::Inner
+            } else if self.peek_kw("left") {
+                self.advance();
+                self.accept_kw("outer");
+                self.expect_kw("join")?;
+                JoinType::Left
+            } else {
+                break;
+            };
+            let right = self.table_factor()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            base = TableRef::Join {
+                left: Box::new(base),
+                right: Box::new(right),
+                join_type,
+                on,
+            };
+        }
+        Ok(base)
+    }
+
+    fn table_factor(&mut self) -> Result<TableRef> {
+        if self.accept_symbol("(") {
+            // Derived table.
+            let query = self.select()?;
+            self.expect_symbol(")")?;
+            self.accept_kw("as");
+            let alias = self.ident()?;
+            return Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        let alias = if self.accept_kw("as") {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(w) = self.peek() {
+            const CLAUSES: [&str; 12] = [
+                "where", "group", "having", "order", "limit", "join", "inner", "left",
+                "on", "union", "select", "from",
+            ];
+            if CLAUSES.contains(&w.as_str()) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // ---- expressions (precedence climbing) ------------------------------
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw("or") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: AstBinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.accept_kw("and") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: AstBinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.peek_kw("not") {
+            // `NOT EXISTS` parses inside predicate(); other NOTs negate.
+            if matches!(self.peek2(), TokenKind::Ident(w) if w == "exists") {
+                return self.predicate();
+            }
+            self.advance();
+            let inner = self.not_expr()?;
+            return Ok(AstExpr::Not(Box::new(inner)));
+        }
+        self.predicate()
+    }
+
+    /// Comparison layer with SQL's postfix predicates (BETWEEN/IN/LIKE/IS).
+    fn predicate(&mut self) -> Result<AstExpr> {
+        if self.accept_kw("exists") {
+            self.expect_symbol("(")?;
+            let query = self.select()?;
+            self.expect_symbol(")")?;
+            return Ok(AstExpr::Exists {
+                query: Box::new(query),
+                negated: false,
+            });
+        }
+        if self.peek_kw("not") && matches!(self.peek2(), TokenKind::Ident(w) if w == "exists") {
+            self.advance();
+            self.advance();
+            self.expect_symbol("(")?;
+            let query = self.select()?;
+            self.expect_symbol(")")?;
+            return Ok(AstExpr::Exists {
+                query: Box::new(query),
+                negated: true,
+            });
+        }
+
+        let left = self.add_expr()?;
+
+        // Postfix predicate chain.
+        let negated = if self.peek_kw("not")
+            && matches!(self.peek2(), TokenKind::Ident(w) if ["between", "in", "like"].contains(&w.as_str()))
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+
+        if self.accept_kw("between") {
+            let low = self.add_expr()?;
+            self.expect_kw("and")?;
+            let high = self.add_expr()?;
+            return Ok(AstExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.accept_kw("in") {
+            self.expect_symbol("(")?;
+            if self.peek_kw("select") {
+                let query = self.select()?;
+                self.expect_symbol(")")?;
+                return Ok(AstExpr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(query),
+                    negated,
+                });
+            }
+            let mut list = vec![self.expr()?];
+            while self.accept_symbol(",") {
+                list.push(self.expr()?);
+            }
+            self.expect_symbol(")")?;
+            return Ok(AstExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.accept_kw("like") {
+            let pattern = self.string()?;
+            return Ok(AstExpr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err("expected BETWEEN/IN/LIKE after NOT"));
+        }
+        if self.accept_kw("is") {
+            let negated = self.accept_kw("not");
+            self.expect_kw("null")?;
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        // Plain comparison.
+        let op = match self.peek() {
+            TokenKind::Symbol("=") => Some(AstBinOp::Eq),
+            TokenKind::Symbol("<>") => Some(AstBinOp::NotEq),
+            TokenKind::Symbol("<") => Some(AstBinOp::Lt),
+            TokenKind::Symbol("<=") => Some(AstBinOp::LtEq),
+            TokenKind::Symbol(">") => Some(AstBinOp::Gt),
+            TokenKind::Symbol(">=") => Some(AstBinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.add_expr()?;
+            return Ok(AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = if self.accept_symbol("+") {
+                AstBinOp::Plus
+            } else if self.accept_symbol("-") {
+                AstBinOp::Minus
+            } else {
+                break;
+            };
+            let right = self.mul_expr()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = if self.accept_symbol("*") {
+                AstBinOp::Mul
+            } else if self.accept_symbol("/") {
+                AstBinOp::Div
+            } else {
+                break;
+            };
+            let right = self.unary_expr()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<AstExpr> {
+        if self.accept_symbol("-") {
+            let inner = self.unary_expr()?;
+            return Ok(AstExpr::Neg(Box::new(inner)));
+        }
+        if self.accept_symbol("+") {
+            return self.unary_expr();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(AstExpr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(AstExpr::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(AstExpr::Str(s))
+            }
+            TokenKind::Symbol("(") => {
+                self.advance();
+                if self.peek_kw("select") {
+                    let q = self.select()?;
+                    self.expect_symbol(")")?;
+                    Ok(AstExpr::ScalarSubquery(Box::new(q)))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_symbol(")")?;
+                    Ok(e)
+                }
+            }
+            TokenKind::Ident(word) => self.ident_led(&word),
+            other => Err(BfqError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn ident_led(&mut self, word: &str) -> Result<AstExpr> {
+        match word {
+            "date" => {
+                self.advance();
+                let s = self.string()?;
+                Ok(AstExpr::DateLit(s))
+            }
+            "interval" => {
+                self.advance();
+                let s = self.string()?;
+                let value: i64 = s.trim().parse().map_err(|_| {
+                    BfqError::Parse(format!("bad interval count `{s}`"))
+                })?;
+                let unit_word = self.ident()?;
+                let unit = match unit_word.trim_end_matches('s') {
+                    "day" => IntervalUnit::Day,
+                    "month" => IntervalUnit::Month,
+                    "year" => IntervalUnit::Year,
+                    other => {
+                        return Err(BfqError::Parse(format!("bad interval unit `{other}`")))
+                    }
+                };
+                Ok(AstExpr::Interval { value, unit })
+            }
+            "case" => {
+                self.advance();
+                let mut branches = Vec::new();
+                while self.accept_kw("when") {
+                    let cond = self.expr()?;
+                    self.expect_kw("then")?;
+                    let value = self.expr()?;
+                    branches.push((cond, value));
+                }
+                let else_expr = if self.accept_kw("else") {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect_kw("end")?;
+                Ok(AstExpr::Case {
+                    branches,
+                    else_expr,
+                })
+            }
+            "substring" => {
+                self.advance();
+                self.expect_symbol("(")?;
+                let e = self.expr()?;
+                let (start, len) = if self.accept_kw("from") {
+                    let a = self.expr()?;
+                    self.expect_kw("for")?;
+                    let b = self.expr()?;
+                    (a, b)
+                } else {
+                    self.expect_symbol(",")?;
+                    let a = self.expr()?;
+                    self.expect_symbol(",")?;
+                    let b = self.expr()?;
+                    (a, b)
+                };
+                self.expect_symbol(")")?;
+                let to_usize = |e: &AstExpr| -> Result<i64> {
+                    match e {
+                        AstExpr::Int(v) if *v >= 0 => Ok(*v),
+                        _ => Err(BfqError::Parse(
+                            "SUBSTRING bounds must be non-negative integers".into(),
+                        )),
+                    }
+                };
+                return Ok(AstExpr::Func {
+                    name: "substring".into(),
+                    args: vec![e, AstExpr::Int(to_usize(&start)?), AstExpr::Int(to_usize(&len)?)],
+                    distinct: false,
+                });
+            }
+            "extract" => {
+                self.advance();
+                self.expect_symbol("(")?;
+                let field = self.ident()?;
+                self.expect_kw("from")?;
+                let e = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(AstExpr::Extract {
+                    field,
+                    expr: Box::new(e),
+                })
+            }
+            _ => {
+                // Function call or (qualified) identifier.
+                let name = self.ident()?;
+                if self.accept_symbol("(") {
+                    let distinct = self.accept_kw("distinct");
+                    let mut args = Vec::new();
+                    if self.accept_symbol("*") {
+                        args.push(AstExpr::Star);
+                    } else if !matches!(self.peek(), TokenKind::Symbol(")")) {
+                        args.push(self.expr()?);
+                        while self.accept_symbol(",") {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect_symbol(")")?;
+                    return Ok(AstExpr::Func {
+                        name,
+                        args,
+                        distinct,
+                    });
+                }
+                let mut parts = vec![name];
+                while self.accept_symbol(".") {
+                    parts.push(self.ident()?);
+                }
+                Ok(AstExpr::Ident(parts))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let q = parse_select("select a from t").unwrap();
+        assert_eq!(q.items.len(), 1);
+        assert_eq!(q.from.len(), 1);
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn full_clause_set() {
+        let q = parse_select(
+            "select a, sum(b) as total from t, u where a = u.id and b > 5 \
+             group by a having sum(b) > 100 order by total desc, a limit 10;",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.from.len(), 2);
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].1, "first key descending");
+        assert!(!q.order_by[1].1);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn date_interval_arithmetic() {
+        let q = parse_select(
+            "select * from t where d >= date '1994-01-01' \
+             and d < date '1994-01-01' + interval '1' year",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let c = w.conjuncts();
+        assert_eq!(c.len(), 2);
+        match &c[1] {
+            AstExpr::Binary { right, .. } => match right.as_ref() {
+                AstExpr::Binary { op, right, .. } => {
+                    assert_eq!(*op, AstBinOp::Plus);
+                    assert!(matches!(
+                        right.as_ref(),
+                        AstExpr::Interval {
+                            value: 1,
+                            unit: IntervalUnit::Year
+                        }
+                    ));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        let q = parse_select(
+            "select * from t where a between 1 and 2 and b not in (1, 2, 3) \
+             and c like 'x%' and d not like '%y' and e is not null",
+        )
+        .unwrap();
+        let conj = q.where_clause.unwrap().conjuncts();
+        assert_eq!(conj.len(), 5);
+        assert!(matches!(conj[0], AstExpr::Between { negated: false, .. }));
+        assert!(matches!(conj[1], AstExpr::InList { negated: true, .. }));
+        assert!(matches!(conj[2], AstExpr::Like { negated: false, .. }));
+        assert!(matches!(conj[3], AstExpr::Like { negated: true, .. }));
+        assert!(matches!(conj[4], AstExpr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn subqueries() {
+        let q = parse_select(
+            "select * from t where exists (select 1 from u where u.k = t.k) \
+             and a in (select x from v) \
+             and b > (select max(y) from w)",
+        )
+        .unwrap();
+        let conj = q.where_clause.unwrap().conjuncts();
+        assert!(matches!(conj[0], AstExpr::Exists { negated: false, .. }));
+        assert!(matches!(conj[1], AstExpr::InSubquery { negated: false, .. }));
+        match &conj[2] {
+            AstExpr::Binary { right, .. } => {
+                assert!(matches!(right.as_ref(), AstExpr::ScalarSubquery(_)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q2 = parse_select("select * from t where not exists (select 1 from u)").unwrap();
+        assert!(matches!(
+            q2.where_clause.unwrap(),
+            AstExpr::Exists { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn derived_tables_and_joins() {
+        let q = parse_select(
+            "select * from (select a from t) sub left outer join u on sub.a = u.a",
+        )
+        .unwrap();
+        match &q.from[0] {
+            TableRef::Join {
+                left, join_type, ..
+            } => {
+                assert_eq!(*join_type, JoinType::Left);
+                assert!(matches!(left.as_ref(), TableRef::Derived { alias, .. } if alias == "sub"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_and_extract() {
+        let q = parse_select(
+            "select sum(case when n = 'BRAZIL' then v else 0 end) / sum(v), \
+             extract(year from d) from t group by extract(year from d)",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+        assert!(matches!(q.group_by[0], AstExpr::Extract { .. }));
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let q = parse_select("select count(*), count(distinct x) from t").unwrap();
+        match (&q.items[0], &q.items[1]) {
+            (
+                SelectItem::Expr {
+                    expr: AstExpr::Func { args: a1, .. },
+                    ..
+                },
+                SelectItem::Expr {
+                    expr:
+                        AstExpr::Func {
+                            distinct: true, ..
+                        },
+                    ..
+                },
+            ) => {
+                assert!(matches!(a1[0], AstExpr::Star));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse_select("select * from t where a + b * c = d or e < 1 and f > 2").unwrap();
+        // OR at top; AND beneath the right side.
+        match q.where_clause.unwrap() {
+            AstExpr::Binary {
+                op: AstBinOp::Or, right, ..
+            } => {
+                assert!(matches!(
+                    right.as_ref(),
+                    AstExpr::Binary { op: AstBinOp::And, .. }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_select("select").is_err());
+        assert!(parse_select("select a").is_err()); // missing FROM
+        assert!(parse_select("select a from t where").is_err());
+        assert!(parse_select("select a from t extra_tokens +").is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! A packed bitmap used for null validity and predicate results.
+
+/// A fixed-length bitmap; bit `i` set means "valid"/"true".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn new(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let fill = if value { u64::MAX } else { 0 };
+        let mut bm = Bitmap {
+            words: vec![fill; nwords],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Set bit `i` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if value {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection with another bitmap of the same length.
+    pub fn and_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with another bitmap of the same length.
+    pub fn or_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Indices of set bits, ascending — the engine's selection vectors.
+    pub fn set_indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_set());
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                out.push((wi * 64 + tz) as u32);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Clear any bits beyond `len` so counts stay exact.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Build from a bool iterator.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        let mut bm = Bitmap::new(bools.len(), false);
+        for (i, b) in bools.iter().enumerate() {
+            if *b {
+                bm.set(i, true);
+            }
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_all_true_counts_exactly() {
+        let bm = Bitmap::new(70, true);
+        assert_eq!(bm.len(), 70);
+        assert_eq!(bm.count_set(), 70);
+        let bm = Bitmap::new(70, false);
+        assert_eq!(bm.count_set(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bm = Bitmap::new(130, false);
+        bm.set(0, true);
+        bm.set(64, true);
+        bm.set(129, true);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(63) && !bm.get(128));
+        assert_eq!(bm.count_set(), 3);
+        bm.set(64, false);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_set(), 2);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Bitmap::from_bools([true, true, false, false]);
+        let b = Bitmap::from_bools([true, false, true, false]);
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.set_indices(), vec![0]);
+        let mut or = a.clone();
+        or.or_with(&b);
+        assert_eq!(or.set_indices(), vec![0, 1, 2]);
+        let mut neg = a.clone();
+        neg.negate();
+        assert_eq!(neg.set_indices(), vec![2, 3]);
+        // Negation must not leak bits past len.
+        assert_eq!(neg.count_set(), 2);
+    }
+
+    #[test]
+    fn set_indices_ascending_across_words() {
+        let mut bm = Bitmap::new(200, false);
+        for i in [5usize, 63, 64, 128, 199] {
+            bm.set(i, true);
+        }
+        assert_eq!(bm.set_indices(), vec![5, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = Bitmap::new(0, true);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_set(), 0);
+        assert!(bm.set_indices().is_empty());
+    }
+}

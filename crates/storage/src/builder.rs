@@ -1,0 +1,347 @@
+//! Mutable builders that accumulate rows and seal them into immutable
+//! columns/chunks.
+
+use std::sync::Arc;
+
+use bfq_common::{BfqError, DataType, Datum, Result};
+
+use crate::bitmap::Bitmap;
+use crate::chunk::Chunk;
+use crate::column::{Column, StrData};
+use crate::table::SchemaRef;
+
+/// Accumulates values of one type; tracks nulls lazily.
+#[derive(Debug)]
+pub enum ColumnBuilder {
+    /// Int64 accumulator.
+    Int64(Vec<i64>, Vec<bool>, bool),
+    /// Float64 accumulator.
+    Float64(Vec<f64>, Vec<bool>, bool),
+    /// Utf8 accumulator.
+    Utf8(StrData, Vec<bool>, bool),
+    /// Bool accumulator.
+    Bool(Vec<bool>, Vec<bool>, bool),
+    /// Date accumulator.
+    Date(Vec<i32>, Vec<bool>, bool),
+}
+
+impl ColumnBuilder {
+    /// A builder for `dt` with reserved capacity.
+    pub fn with_capacity(dt: DataType, capacity: usize) -> Self {
+        match dt {
+            DataType::Int64 => ColumnBuilder::Int64(
+                Vec::with_capacity(capacity),
+                Vec::with_capacity(capacity),
+                false,
+            ),
+            DataType::Float64 => ColumnBuilder::Float64(
+                Vec::with_capacity(capacity),
+                Vec::with_capacity(capacity),
+                false,
+            ),
+            DataType::Utf8 => ColumnBuilder::Utf8(
+                StrData::with_capacity(capacity, 16),
+                Vec::with_capacity(capacity),
+                false,
+            ),
+            DataType::Bool => ColumnBuilder::Bool(
+                Vec::with_capacity(capacity),
+                Vec::with_capacity(capacity),
+                false,
+            ),
+            DataType::Date => ColumnBuilder::Date(
+                Vec::with_capacity(capacity),
+                Vec::with_capacity(capacity),
+                false,
+            ),
+        }
+    }
+
+    /// A builder for `dt` with default capacity.
+    pub fn new(dt: DataType) -> Self {
+        Self::with_capacity(dt, 0)
+    }
+
+    /// The builder's type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnBuilder::Int64(..) => DataType::Int64,
+            ColumnBuilder::Float64(..) => DataType::Float64,
+            ColumnBuilder::Utf8(..) => DataType::Utf8,
+            ColumnBuilder::Bool(..) => DataType::Bool,
+            ColumnBuilder::Date(..) => DataType::Date,
+        }
+    }
+
+    /// Rows accumulated so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuilder::Int64(v, ..) => v.len(),
+            ColumnBuilder::Float64(v, ..) => v.len(),
+            ColumnBuilder::Utf8(v, ..) => v.len(),
+            ColumnBuilder::Bool(v, ..) => v.len(),
+            ColumnBuilder::Date(v, ..) => v.len(),
+        }
+    }
+
+    /// Whether the builder has no rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a typed i64 (panics if wrong type — generator hot path).
+    #[inline]
+    pub fn push_i64(&mut self, v: i64) {
+        match self {
+            ColumnBuilder::Int64(vals, valid, _) => {
+                vals.push(v);
+                valid.push(true);
+            }
+            _ => panic!("push_i64 on {:?} builder", self.data_type()),
+        }
+    }
+
+    /// Append a typed f64.
+    #[inline]
+    pub fn push_f64(&mut self, v: f64) {
+        match self {
+            ColumnBuilder::Float64(vals, valid, _) => {
+                vals.push(v);
+                valid.push(true);
+            }
+            _ => panic!("push_f64 on {:?} builder", self.data_type()),
+        }
+    }
+
+    /// Append a typed string.
+    #[inline]
+    pub fn push_str(&mut self, v: &str) {
+        match self {
+            ColumnBuilder::Utf8(vals, valid, _) => {
+                vals.push(v);
+                valid.push(true);
+            }
+            _ => panic!("push_str on {:?} builder", self.data_type()),
+        }
+    }
+
+    /// Append a typed date (epoch days).
+    #[inline]
+    pub fn push_date(&mut self, v: i32) {
+        match self {
+            ColumnBuilder::Date(vals, valid, _) => {
+                vals.push(v);
+                valid.push(true);
+            }
+            _ => panic!("push_date on {:?} builder", self.data_type()),
+        }
+    }
+
+    /// Append a typed bool.
+    #[inline]
+    pub fn push_bool(&mut self, v: bool) {
+        match self {
+            ColumnBuilder::Bool(vals, valid, _) => {
+                vals.push(v);
+                valid.push(true);
+            }
+            _ => panic!("push_bool on {:?} builder", self.data_type()),
+        }
+    }
+
+    /// Append a null.
+    pub fn push_null(&mut self) {
+        match self {
+            ColumnBuilder::Int64(vals, valid, has_null) => {
+                vals.push(0);
+                valid.push(false);
+                *has_null = true;
+            }
+            ColumnBuilder::Float64(vals, valid, has_null) => {
+                vals.push(0.0);
+                valid.push(false);
+                *has_null = true;
+            }
+            ColumnBuilder::Utf8(vals, valid, has_null) => {
+                vals.push("");
+                valid.push(false);
+                *has_null = true;
+            }
+            ColumnBuilder::Bool(vals, valid, has_null) => {
+                vals.push(false);
+                valid.push(false);
+                *has_null = true;
+            }
+            ColumnBuilder::Date(vals, valid, has_null) => {
+                vals.push(0);
+                valid.push(false);
+                *has_null = true;
+            }
+        }
+    }
+
+    /// Append a [`Datum`], coercing compatible numerics.
+    pub fn push_datum(&mut self, d: &Datum) -> Result<()> {
+        if d.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        match (self.data_type(), d) {
+            (DataType::Int64, Datum::Int(v)) => self.push_i64(*v),
+            (DataType::Int64, Datum::Date(v)) => self.push_i64(*v as i64),
+            (DataType::Float64, Datum::Float(v)) => self.push_f64(*v),
+            (DataType::Float64, Datum::Int(v)) => self.push_f64(*v as f64),
+            (DataType::Utf8, Datum::Str(s)) => self.push_str(s),
+            (DataType::Bool, Datum::Bool(b)) => self.push_bool(*b),
+            (DataType::Date, Datum::Date(v)) => self.push_date(*v),
+            (DataType::Date, Datum::Int(v)) => self.push_date(*v as i32),
+            (dt, d) => {
+                return Err(BfqError::Type(format!(
+                    "cannot append {d} to {dt} column"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal into an immutable column.
+    pub fn finish(self) -> Column {
+        fn validity(valid: Vec<bool>, has_null: bool) -> Option<Bitmap> {
+            has_null.then(|| Bitmap::from_bools(valid))
+        }
+        match self {
+            ColumnBuilder::Int64(v, valid, has_null) => Column::Int64(v, validity(valid, has_null)),
+            ColumnBuilder::Float64(v, valid, has_null) => {
+                Column::Float64(v, validity(valid, has_null))
+            }
+            ColumnBuilder::Utf8(v, valid, has_null) => Column::Utf8(v, validity(valid, has_null)),
+            ColumnBuilder::Bool(v, valid, has_null) => Column::Bool(v, validity(valid, has_null)),
+            ColumnBuilder::Date(v, valid, has_null) => Column::Date(v, validity(valid, has_null)),
+        }
+    }
+}
+
+/// Builds a [`Chunk`] row by row against a schema.
+#[derive(Debug)]
+pub struct ChunkBuilder {
+    builders: Vec<ColumnBuilder>,
+}
+
+impl ChunkBuilder {
+    /// A builder matching `schema` with reserved capacity.
+    pub fn with_capacity(schema: &SchemaRef, capacity: usize) -> Self {
+        ChunkBuilder {
+            builders: schema
+                .fields()
+                .iter()
+                .map(|f| ColumnBuilder::with_capacity(f.data_type, capacity))
+                .collect(),
+        }
+    }
+
+    /// A builder matching `schema`.
+    pub fn new(schema: &SchemaRef) -> Self {
+        Self::with_capacity(schema, 0)
+    }
+
+    /// Rows accumulated so far.
+    pub fn len(&self) -> usize {
+        self.builders.first().map_or(0, |b| b.len())
+    }
+
+    /// Whether the builder has no rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutable access to the column builders (typed bulk appends).
+    pub fn columns_mut(&mut self) -> &mut [ColumnBuilder] {
+        &mut self.builders
+    }
+
+    /// Append one row of datums.
+    pub fn push_row(&mut self, row: &[Datum]) -> Result<()> {
+        if row.len() != self.builders.len() {
+            return Err(BfqError::internal(format!(
+                "row width {} != schema width {}",
+                row.len(),
+                self.builders.len()
+            )));
+        }
+        for (b, d) in self.builders.iter_mut().zip(row) {
+            b.push_datum(d)?;
+        }
+        Ok(())
+    }
+
+    /// Seal into a chunk.
+    pub fn finish(self) -> Result<Chunk> {
+        let columns = self
+            .builders
+            .into_iter()
+            .map(|b| Arc::new(b.finish()))
+            .collect();
+        Chunk::new(columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Field, Schema};
+
+    #[test]
+    fn typed_pushes_and_finish() {
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        b.push_i64(1);
+        b.push_null();
+        b.push_i64(3);
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Datum::Int(1));
+        assert_eq!(c.get(1), Datum::Null);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn no_nulls_means_no_validity() {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        b.push_f64(1.0);
+        let c = b.finish();
+        assert!(c.validity().is_none());
+    }
+
+    #[test]
+    fn datum_coercions() {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        b.push_datum(&Datum::Int(2)).unwrap();
+        assert_eq!(b.len(), 1);
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        assert!(b.push_datum(&Datum::str("x")).is_err());
+        let mut b = ColumnBuilder::new(DataType::Date);
+        b.push_datum(&Datum::Int(100)).unwrap();
+        assert_eq!(b.finish().get(0), Datum::Date(100));
+    }
+
+    #[test]
+    fn chunk_builder_roundtrip() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ]));
+        let mut cb = ChunkBuilder::new(&schema);
+        cb.push_row(&[Datum::Int(1), Datum::str("x")]).unwrap();
+        cb.push_row(&[Datum::Int(2), Datum::Null]).unwrap();
+        assert_eq!(cb.len(), 2);
+        let chunk = cb.finish().unwrap();
+        assert_eq!(chunk.rows(), 2);
+        assert_eq!(chunk.row(1), vec![Datum::Int(2), Datum::Null]);
+    }
+
+    #[test]
+    fn chunk_builder_rejects_bad_width() {
+        let schema = Arc::new(Schema::new(vec![Field::new("a", DataType::Int64)]));
+        let mut cb = ChunkBuilder::new(&schema);
+        assert!(cb.push_row(&[Datum::Int(1), Datum::Int(2)]).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! [`Chunk`]: a batch of rows as parallel columns.
+
+use std::sync::Arc;
+
+use bfq_common::{BfqError, Datum, Result};
+
+use crate::column::{Column, ColumnRef};
+
+/// Default number of rows per chunk produced by builders and scans.
+pub const DEFAULT_CHUNK_ROWS: usize = 8192;
+
+/// A horizontal slice of a relation: equal-length immutable columns.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    columns: Vec<ColumnRef>,
+    rows: usize,
+}
+
+impl Chunk {
+    /// Build a chunk from columns, validating equal lengths.
+    pub fn new(columns: Vec<ColumnRef>) -> Result<Self> {
+        let rows = columns.first().map_or(0, |c| c.len());
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != rows {
+                return Err(BfqError::internal(format!(
+                    "chunk column {i} has {} rows, expected {rows}",
+                    c.len()
+                )));
+            }
+        }
+        Ok(Chunk { columns, rows })
+    }
+
+    /// A chunk with zero columns but a row count (used by `SELECT COUNT(*)`
+    /// style plans that need cardinality without payload).
+    pub fn of_rows(rows: usize) -> Self {
+        Chunk {
+            columns: Vec::new(),
+            rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the chunk holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow column `i`.
+    pub fn column(&self, i: usize) -> &ColumnRef {
+        &self.columns[i]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[ColumnRef] {
+        &self.columns
+    }
+
+    /// Row `i` as datums (test/result use).
+    pub fn row(&self, i: usize) -> Vec<Datum> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Gather rows by selection vector.
+    pub fn take(&self, sel: &[u32]) -> Chunk {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.take(sel)))
+            .collect();
+        Chunk {
+            columns,
+            rows: sel.len(),
+        }
+    }
+
+    /// Keep a subset of columns, in the given order.
+    pub fn project(&self, indices: &[usize]) -> Chunk {
+        let columns: Vec<ColumnRef> =
+            indices.iter().map(|&i| Arc::clone(&self.columns[i])).collect();
+        Chunk {
+            columns,
+            rows: self.rows,
+        }
+    }
+
+    /// Concatenate same-schema chunks into one.
+    pub fn concat(parts: &[Chunk]) -> Result<Chunk> {
+        if parts.is_empty() {
+            return Err(BfqError::internal("concat of zero chunks"));
+        }
+        let width = parts[0].width();
+        if width == 0 {
+            return Ok(Chunk::of_rows(parts.iter().map(|c| c.rows()).sum()));
+        }
+        let mut columns = Vec::with_capacity(width);
+        for col_idx in 0..width {
+            let cols: Vec<&Column> = parts.iter().map(|p| p.column(col_idx).as_ref()).collect();
+            columns.push(Arc::new(Column::concat(&cols)));
+        }
+        Chunk::new(columns)
+    }
+
+    /// Horizontally glue two chunks with equal row counts (join output).
+    pub fn zip(left: &Chunk, right: &Chunk) -> Result<Chunk> {
+        if left.rows() != right.rows() {
+            return Err(BfqError::internal(format!(
+                "zip row mismatch: {} vs {}",
+                left.rows(),
+                right.rows()
+            )));
+        }
+        let mut columns = Vec::with_capacity(left.width() + right.width());
+        columns.extend(left.columns.iter().cloned());
+        columns.extend(right.columns.iter().cloned());
+        Ok(Chunk {
+            columns,
+            rows: left.rows(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk2() -> Chunk {
+        Chunk::new(vec![
+            Arc::new(Column::Int64(vec![1, 2, 3], None)),
+            Arc::new(Column::Float64(vec![1.5, 2.5, 3.5], None)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let err = Chunk::new(vec![
+            Arc::new(Column::Int64(vec![1], None)),
+            Arc::new(Column::Int64(vec![1, 2], None)),
+        ]);
+        assert!(err.is_err());
+        let ok = chunk2();
+        assert_eq!(ok.rows(), 3);
+        assert_eq!(ok.width(), 2);
+    }
+
+    #[test]
+    fn row_take_project() {
+        let c = chunk2();
+        assert_eq!(c.row(1), vec![Datum::Int(2), Datum::Float(2.5)]);
+        let t = c.take(&[2, 0]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.row(0), vec![Datum::Int(3), Datum::Float(3.5)]);
+        let p = c.project(&[1]);
+        assert_eq!(p.width(), 1);
+        assert_eq!(p.row(0), vec![Datum::Float(1.5)]);
+    }
+
+    #[test]
+    fn concat_and_zip() {
+        let a = chunk2();
+        let b = chunk2();
+        let cat = Chunk::concat(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(cat.rows(), 6);
+        let z = Chunk::zip(&a, &b).unwrap();
+        assert_eq!(z.width(), 4);
+        assert_eq!(z.rows(), 3);
+        assert!(Chunk::zip(&a, &cat).is_err());
+    }
+
+    #[test]
+    fn zero_width_row_count_chunks() {
+        let c = Chunk::of_rows(10);
+        assert_eq!(c.rows(), 10);
+        assert_eq!(c.width(), 0);
+        let cat = Chunk::concat(&[Chunk::of_rows(3), Chunk::of_rows(4)]).unwrap();
+        assert_eq!(cat.rows(), 7);
+    }
+}

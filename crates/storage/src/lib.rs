@@ -1,0 +1,25 @@
+//! In-memory columnar storage for the `bfq` engine.
+//!
+//! Data flows through the engine as [`Chunk`]s — fixed-width batches of
+//! typed, immutable [`Column`]s shared via `Arc`. Base tables ([`Table`]) are
+//! lists of chunks plus a schema; the executor assigns chunks to DOP workers.
+//!
+//! Design points:
+//! * Columns are append-only builders until sealed; sealed columns are
+//!   immutable and cheaply shareable, so operators never copy input data.
+//! * Strings use an offsets-into-one-buffer layout ([`StrData`]) rather than
+//!   `Vec<String>`: one allocation per column, cache-friendly scans.
+//! * Null handling uses an optional validity [`Bitmap`]; columns without
+//!   nulls pay nothing.
+
+pub mod bitmap;
+pub mod builder;
+pub mod chunk;
+pub mod column;
+pub mod table;
+
+pub use bitmap::Bitmap;
+pub use builder::{ChunkBuilder, ColumnBuilder};
+pub use chunk::Chunk;
+pub use column::{Column, ColumnRef, StrData};
+pub use table::{Field, Schema, SchemaRef, Table};

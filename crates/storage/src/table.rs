@@ -1,0 +1,219 @@
+//! Schemas and base tables.
+
+use std::sync::Arc;
+
+use bfq_common::{BfqError, DataType, Result};
+
+use crate::chunk::Chunk;
+
+/// One named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (lower-case by convention).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has zero fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field by ordinal.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Ordinal of the field named `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// An in-memory base table: a schema plus a list of chunks.
+///
+/// Chunks are the unit of parallelism — the executor deals chunks to DOP
+/// workers round-robin, which is this engine's stand-in for the paper's
+/// partitioned storage.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    chunks: Vec<Chunk>,
+    rows: usize,
+}
+
+impl Table {
+    /// Create a table, validating every chunk against the schema width.
+    pub fn new(name: impl Into<String>, schema: SchemaRef, chunks: Vec<Chunk>) -> Result<Self> {
+        let name = name.into();
+        for (i, chunk) in chunks.iter().enumerate() {
+            if chunk.width() != schema.len() {
+                return Err(BfqError::internal(format!(
+                    "table `{name}` chunk {i}: width {} != schema width {}",
+                    chunk.width(),
+                    schema.len()
+                )));
+            }
+            for (c, field) in chunk.columns().iter().zip(schema.fields()) {
+                if c.data_type() != field.data_type {
+                    return Err(BfqError::internal(format!(
+                        "table `{name}` chunk {i} column `{}`: type {} != schema type {}",
+                        field.name,
+                        c.data_type(),
+                        field.data_type
+                    )));
+                }
+            }
+        }
+        let rows = chunks.iter().map(|c| c.rows()).sum();
+        Ok(Table {
+            name,
+            schema,
+            chunks,
+            rows,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// All chunks.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// Total row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Materialize the whole table as one chunk (test/stats use).
+    pub fn to_single_chunk(&self) -> Result<Chunk> {
+        if self.chunks.is_empty() {
+            // Represent emptiness with correctly-typed empty columns.
+            let cols = self
+                .schema
+                .fields()
+                .iter()
+                .map(|f| Arc::new(crate::column::Column::nulls(f.data_type, 0)))
+                .collect();
+            return Chunk::new(cols);
+        }
+        Chunk::concat(&self.chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]))
+    }
+
+    fn chunk(ids: &[i64], names: &[&str]) -> Chunk {
+        Chunk::new(vec![
+            Arc::new(Column::Int64(ids.to_vec(), None)),
+            Arc::new(Column::Utf8(
+                names.iter().map(|s| s.to_string()).collect(),
+                None,
+            )),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = schema();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.field(0).name, "id");
+    }
+
+    #[test]
+    fn table_validates_chunks() {
+        let t = Table::new(
+            "t",
+            schema(),
+            vec![chunk(&[1, 2], &["a", "b"]), chunk(&[3], &["c"])],
+        )
+        .unwrap();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.chunks().len(), 2);
+        let single = t.to_single_chunk().unwrap();
+        assert_eq!(single.rows(), 3);
+
+        // Wrong width rejected.
+        let bad = Chunk::new(vec![Arc::new(Column::Int64(vec![1], None))]).unwrap();
+        assert!(Table::new("t", schema(), vec![bad]).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let bad = Chunk::new(vec![
+            Arc::new(Column::Int64(vec![1], None)),
+            Arc::new(Column::Int64(vec![1], None)),
+        ])
+        .unwrap();
+        let err = Table::new("t", schema(), vec![bad]).unwrap_err();
+        assert!(err.to_string().contains("type"));
+    }
+
+    #[test]
+    fn empty_table_single_chunk() {
+        let t = Table::new("t", schema(), vec![]).unwrap();
+        assert_eq!(t.rows(), 0);
+        let c = t.to_single_chunk().unwrap();
+        assert_eq!(c.rows(), 0);
+        assert_eq!(c.width(), 2);
+    }
+}

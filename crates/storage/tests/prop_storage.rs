@@ -1,0 +1,118 @@
+//! Property-based tests for the storage layer: selection/gather, bitmap
+//! algebra, concat, and hash stability.
+
+use std::sync::Arc;
+
+use bfq_storage::{Bitmap, Chunk, Column, StrData};
+use proptest::prelude::*;
+
+proptest! {
+    /// take() returns exactly the selected rows, in selection order.
+    #[test]
+    fn take_matches_rowwise(vals in proptest::collection::vec(-1000i64..1000, 1..200)) {
+        let col = Column::Int64(vals.clone(), None);
+        let sel: Vec<u32> = (0..vals.len() as u32).rev().step_by(3).collect();
+        let taken = col.take(&sel);
+        prop_assert_eq!(taken.len(), sel.len());
+        for (out_i, &src_i) in sel.iter().enumerate() {
+            prop_assert_eq!(taken.get(out_i), col.get(src_i as usize));
+        }
+    }
+
+    /// Gather preserves null positions.
+    #[test]
+    fn take_preserves_nulls(
+        vals in proptest::collection::vec(0i64..100, 2..100),
+        null_every in 2usize..5,
+    ) {
+        let validity = Bitmap::from_bools((0..vals.len()).map(|i| i % null_every != 0));
+        let col = Column::Int64(vals.clone(), Some(validity));
+        let sel: Vec<u32> = (0..vals.len() as u32).collect();
+        let taken = col.take(&sel);
+        for i in 0..vals.len() {
+            prop_assert_eq!(taken.is_null(i), i % null_every == 0);
+        }
+    }
+
+    /// Bitmap set_indices agrees with get() and respects algebra laws.
+    #[test]
+    fn bitmap_algebra_laws(bools in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let bm = Bitmap::from_bools(bools.clone());
+        let idx = bm.set_indices();
+        prop_assert_eq!(idx.len(), bm.count_set());
+        for &i in &idx {
+            prop_assert!(bm.get(i as usize));
+        }
+        // Double negation is identity.
+        let mut neg2 = bm.clone();
+        neg2.negate();
+        neg2.negate();
+        prop_assert_eq!(&neg2, &bm);
+        // a AND a == a; a OR a == a.
+        let mut anded = bm.clone();
+        anded.and_with(&bm);
+        prop_assert_eq!(&anded, &bm);
+        let mut ored = bm.clone();
+        ored.or_with(&bm);
+        prop_assert_eq!(&ored, &bm);
+    }
+
+    /// Concat of a split equals the original.
+    #[test]
+    fn concat_roundtrip(
+        vals in proptest::collection::vec(-500i64..500, 2..120),
+        cut_frac in 0.1f64..0.9,
+    ) {
+        let cut = ((vals.len() as f64 * cut_frac) as usize).clamp(1, vals.len() - 1);
+        let a = Column::Int64(vals[..cut].to_vec(), None);
+        let b = Column::Int64(vals[cut..].to_vec(), None);
+        let joined = Column::concat(&[&a, &b]);
+        prop_assert_eq!(joined.as_i64().unwrap(), &vals[..]);
+    }
+
+    /// Row hashes are stable across chunking (a value's hash does not depend
+    /// on its position), and hash_one agrees with hash_into.
+    #[test]
+    fn hash_position_independent(
+        vals in proptest::collection::vec(-1000i64..1000, 1..100),
+        seed in any::<u64>(),
+    ) {
+        let col = Column::Int64(vals.clone(), None);
+        let mut bulk = Vec::new();
+        col.hash_into(seed, &mut bulk);
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(bulk[i], col.hash_one(i, seed));
+            let single = Column::Int64(vec![v], None);
+            prop_assert_eq!(single.hash_one(0, seed), bulk[i]);
+        }
+    }
+
+    /// String columns round-trip through StrData and survive selection.
+    #[test]
+    fn string_column_roundtrip(strings in proptest::collection::vec(".{0,12}", 1..60)) {
+        let sd: StrData = strings.iter().cloned().collect();
+        let col = Column::Utf8(sd, None);
+        for (i, s) in strings.iter().enumerate() {
+            prop_assert_eq!(col.as_str().unwrap().get(i), s.as_str());
+        }
+        let sel: Vec<u32> = (0..strings.len() as u32).rev().collect();
+        let rev = col.take(&sel);
+        for (i, s) in strings.iter().rev().enumerate() {
+            prop_assert_eq!(rev.as_str().unwrap().get(i), s.as_str());
+        }
+    }
+
+    /// Chunk::zip then project recovers both halves.
+    #[test]
+    fn zip_project_inverse(vals in proptest::collection::vec(0i64..100, 1..80)) {
+        let a = Chunk::new(vec![Arc::new(Column::Int64(vals.clone(), None))]).unwrap();
+        let doubled: Vec<i64> = vals.iter().map(|v| v * 2).collect();
+        let b = Chunk::new(vec![Arc::new(Column::Int64(doubled.clone(), None))]).unwrap();
+        let z = Chunk::zip(&a, &b).unwrap();
+        prop_assert_eq!(z.width(), 2);
+        let left = z.project(&[0]);
+        let right = z.project(&[1]);
+        prop_assert_eq!(left.column(0).as_i64().unwrap(), &vals[..]);
+        prop_assert_eq!(right.column(0).as_i64().unwrap(), &doubled[..]);
+    }
+}

@@ -1,0 +1,528 @@
+//! Deterministic TPC-H data generation.
+
+use bfq_catalog::Catalog;
+use bfq_common::{date, ColumnId, Result, TableId};
+use bfq_storage::{Chunk, ChunkBuilder, Table};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schema;
+
+/// Rows per generated chunk (the executor's unit of parallelism).
+const CHUNK_ROWS: usize = 8192;
+
+/// A generated TPC-H database.
+#[derive(Debug, Clone)]
+pub struct TpchDb {
+    /// Catalog holding the eight tables with stats and constraints.
+    pub catalog: Catalog,
+    /// Scale factor used.
+    pub sf: f64,
+    /// Table ids in registration order (region, nation, supplier, customer,
+    /// part, partsupp, orders, lineitem).
+    pub tables: [TableId; 8],
+}
+
+/// Word pools for generated text.
+const COLORS: [&str; 30] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "green",
+];
+const NOUNS: [&str; 20] = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
+    "beans", "instructions", "dependencies", "excuses", "platelets", "asymptotes", "courts",
+    "dolphins", "multipliers", "sauternes", "warthogs", "sheaves",
+];
+const VERBS: [&str; 16] = [
+    "sleep", "haggle", "nag", "wake", "cajole", "detect", "integrate", "snooze", "doze",
+    "boost", "affix", "print", "x-ray", "unwind", "breach", "engage",
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const SHIPINSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Number of suppliers for a part (spec: 4).
+pub const SUPPLIERS_PER_PART: usize = 4;
+
+/// The spec's supplier-for-part function: part `p` (1-based) is stocked by
+/// these `SUPPLIERS_PER_PART` suppliers out of `s_count`.
+pub fn supplier_for_part(partkey: i64, i: usize, s_count: i64) -> i64 {
+    // dbgen: (p + i*(S/4 + (p-1)/S)) % S + 1
+    let s = s_count.max(1);
+    (partkey + i as i64 * (s / 4 + (partkey - 1) / s)) % s + 1
+}
+
+fn comment(rng: &mut SmallRng, inject: Option<&str>) -> String {
+    let n = rng.random_range(4..9);
+    let mut words = Vec::with_capacity(n + 2);
+    for _ in 0..n {
+        match rng.random_range(0..3) {
+            0 => words.push(COLORS[rng.random_range(0..COLORS.len())]),
+            1 => words.push(NOUNS[rng.random_range(0..NOUNS.len())]),
+            _ => words.push(VERBS[rng.random_range(0..VERBS.len())]),
+        }
+    }
+    if let Some(pattern) = inject {
+        let pos = rng.random_range(0..=words.len());
+        words.insert(pos.min(words.len()), pattern);
+    }
+    words.join(" ")
+}
+
+fn phone(rng: &mut SmallRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        nationkey + 10,
+        rng.random_range(100..1000),
+        rng.random_range(100..1000),
+        rng.random_range(1000..10000)
+    )
+}
+
+/// Generate a TPC-H database at scale factor `sf` with a fixed `seed`.
+///
+/// Cardinalities follow the spec: supplier 10k·SF, customer 150k·SF,
+/// part 200k·SF, partsupp 4/part, orders 10/customer, lineitem 1–7/order.
+pub fn generate(sf: f64, seed: u64) -> Result<TpchDb> {
+    let mut catalog = Catalog::new();
+    let s_count = ((10_000.0 * sf) as i64).max(10);
+    let c_count = ((150_000.0 * sf) as i64).max(30);
+    let p_count = ((200_000.0 * sf) as i64).max(40);
+    let o_count = c_count * 10;
+
+    let date_lo = date::to_days(1992, 1, 1);
+    let date_hi = date::to_days(1998, 8, 2);
+
+    // region ---------------------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7265_6769);
+    let mut b = ChunkBuilder::with_capacity(&schema::region(), 5);
+    for (rk, name) in schema::REGIONS.iter().enumerate() {
+        let cols = b.columns_mut();
+        cols[0].push_i64(rk as i64);
+        cols[1].push_str(name);
+        let c = comment(&mut rng, None);
+        b.columns_mut()[2].push_str(&c);
+    }
+    let region = Table::new("region", schema::region(), vec![b.finish()?])?;
+    let region_id = catalog.register(region, vec![0])?;
+
+    // nation ---------------------------------------------------------------
+    let mut b = ChunkBuilder::with_capacity(&schema::nation(), 25);
+    for (nk, (name, rk)) in schema::NATIONS.iter().enumerate() {
+        let c = comment(&mut rng, None);
+        let cols = b.columns_mut();
+        cols[0].push_i64(nk as i64);
+        cols[1].push_str(name);
+        cols[2].push_i64(*rk);
+        cols[3].push_str(&c);
+    }
+    let nation = Table::new("nation", schema::nation(), vec![b.finish()?])?;
+    let nation_id = catalog.register(nation, vec![0])?;
+
+    // supplier ---------------------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7375_7070);
+    let mut chunks = Vec::new();
+    let mut b = ChunkBuilder::with_capacity(&schema::supplier(), CHUNK_ROWS);
+    for sk in 1..=s_count {
+        let nationkey = rng.random_range(0..25i64);
+        // Q16 greps for '%Customer%Complaints%' in supplier comments
+        // (spec: ~5 per 10 000 suppliers).
+        let inject = if rng.random_range(0..2000) == 0 {
+            Some("Customer Complaints")
+        } else {
+            None
+        };
+        let cmt = comment(&mut rng, inject);
+        let ph = phone(&mut rng, nationkey);
+        let bal = rng.random_range(-99_999..1_000_000) as f64 / 100.0;
+        let cols = b.columns_mut();
+        cols[0].push_i64(sk);
+        cols[1].push_str(&format!("Supplier#{sk:09}"));
+        cols[2].push_str(&format!("addr{}", rng.random_range(0..100_000)));
+        cols[3].push_i64(nationkey);
+        cols[4].push_str(&ph);
+        cols[5].push_f64(bal);
+        cols[6].push_str(&cmt);
+        if b.len() >= CHUNK_ROWS {
+            chunks.push(b.finish()?);
+            b = ChunkBuilder::with_capacity(&schema::supplier(), CHUNK_ROWS);
+        }
+    }
+    if !b.is_empty() {
+        chunks.push(b.finish()?);
+    }
+    let supplier = Table::new("supplier", schema::supplier(), chunks)?;
+    let supplier_id = catalog.register(supplier, vec![0])?;
+
+    // customer ---------------------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6375_7374);
+    let mut chunks = Vec::new();
+    let mut b = ChunkBuilder::with_capacity(&schema::customer(), CHUNK_ROWS);
+    for ck in 1..=c_count {
+        let nationkey = rng.random_range(0..25i64);
+        let cmt = comment(&mut rng, None);
+        let ph = phone(&mut rng, nationkey);
+        let bal = rng.random_range(-99_999..1_000_000) as f64 / 100.0;
+        let seg = SEGMENTS[rng.random_range(0..SEGMENTS.len())];
+        let cols = b.columns_mut();
+        cols[0].push_i64(ck);
+        cols[1].push_str(&format!("Customer#{ck:09}"));
+        cols[2].push_str(&format!("addr{}", rng.random_range(0..100_000)));
+        cols[3].push_i64(nationkey);
+        cols[4].push_str(&ph);
+        cols[5].push_f64(bal);
+        cols[6].push_str(seg);
+        cols[7].push_str(&cmt);
+        if b.len() >= CHUNK_ROWS {
+            chunks.push(b.finish()?);
+            b = ChunkBuilder::with_capacity(&schema::customer(), CHUNK_ROWS);
+        }
+    }
+    if !b.is_empty() {
+        chunks.push(b.finish()?);
+    }
+    let customer = Table::new("customer", schema::customer(), chunks)?;
+    let customer_id = catalog.register(customer, vec![0])?;
+
+    // part ---------------------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7061_7274);
+    let mut chunks = Vec::new();
+    let mut b = ChunkBuilder::with_capacity(&schema::part(), CHUNK_ROWS);
+    let mut retail = Vec::with_capacity(p_count as usize + 1);
+    retail.push(0.0);
+    for pk in 1..=p_count {
+        // p_name: five distinct color words.
+        let mut names = Vec::with_capacity(5);
+        while names.len() < 5 {
+            let w = COLORS[rng.random_range(0..COLORS.len())];
+            if !names.contains(&w) {
+                names.push(w);
+            }
+        }
+        let mfgr = rng.random_range(1..=5);
+        let brand = format!("Brand#{}{}", mfgr, rng.random_range(1..=5));
+        let ptype = format!(
+            "{} {} {}",
+            TYPE_1[rng.random_range(0..TYPE_1.len())],
+            TYPE_2[rng.random_range(0..TYPE_2.len())],
+            TYPE_3[rng.random_range(0..TYPE_3.len())]
+        );
+        let container = format!(
+            "{} {}",
+            CONTAINER_1[rng.random_range(0..CONTAINER_1.len())],
+            CONTAINER_2[rng.random_range(0..CONTAINER_2.len())]
+        );
+        // Spec retail price formula keeps prices in [900, 2000).
+        let price = 900.0 + ((pk % 1000) as f64 / 10.0) + (pk % 100) as f64;
+        retail.push(price);
+        let cmt = comment(&mut rng, None);
+        let cols = b.columns_mut();
+        cols[0].push_i64(pk);
+        cols[1].push_str(&names.join(" "));
+        cols[2].push_str(&format!("Manufacturer#{mfgr}"));
+        cols[3].push_str(&brand);
+        cols[4].push_str(&ptype);
+        cols[5].push_i64(rng.random_range(1..=50));
+        cols[6].push_str(&container);
+        cols[7].push_f64(price);
+        cols[8].push_str(&cmt);
+        if b.len() >= CHUNK_ROWS {
+            chunks.push(b.finish()?);
+            b = ChunkBuilder::with_capacity(&schema::part(), CHUNK_ROWS);
+        }
+    }
+    if !b.is_empty() {
+        chunks.push(b.finish()?);
+    }
+    let part = Table::new("part", schema::part(), chunks)?;
+    let part_id = catalog.register(part, vec![0])?;
+
+    // partsupp ---------------------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7073_7570);
+    let mut chunks = Vec::new();
+    let mut b = ChunkBuilder::with_capacity(&schema::partsupp(), CHUNK_ROWS);
+    for pk in 1..=p_count {
+        for i in 0..SUPPLIERS_PER_PART {
+            let sk = supplier_for_part(pk, i, s_count);
+            let cmt = comment(&mut rng, None);
+            let cols = b.columns_mut();
+            cols[0].push_i64(pk);
+            cols[1].push_i64(sk);
+            cols[2].push_i64(rng.random_range(1..10_000));
+            cols[3].push_f64(rng.random_range(100..100_000) as f64 / 100.0);
+            cols[4].push_str(&cmt);
+        }
+        if b.len() >= CHUNK_ROWS {
+            chunks.push(b.finish()?);
+            b = ChunkBuilder::with_capacity(&schema::partsupp(), CHUNK_ROWS);
+        }
+    }
+    if !b.is_empty() {
+        chunks.push(b.finish()?);
+    }
+    let partsupp = Table::new("partsupp", schema::partsupp(), chunks)?;
+    let partsupp_id = catalog.register(partsupp, vec![])?;
+
+    // orders + lineitem -----------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6f72_6465);
+    let mut o_chunks = Vec::new();
+    let mut l_chunks = Vec::new();
+    let mut ob = ChunkBuilder::with_capacity(&schema::orders(), CHUNK_ROWS);
+    let mut lb = ChunkBuilder::with_capacity(&schema::lineitem(), CHUNK_ROWS);
+    let current = date::to_days(1995, 6, 17); // spec CURRENTDATE
+    for ok in 1..=o_count {
+        // Only two thirds of customers have orders (spec).
+        let mut ck = rng.random_range(1..=c_count);
+        if ck % 3 == 0 {
+            ck = (ck % c_count) + 1;
+            if ck % 3 == 0 {
+                ck = (ck % c_count) + 1;
+            }
+        }
+        let odate = rng.random_range(date_lo..=date_hi - 151);
+        let n_lines = rng.random_range(1..=7);
+        let mut total = 0.0;
+        let mut all_f = true;
+        let mut any_f = false;
+        // Lineitems first so order status/total reflect them.
+        for line in 1..=n_lines {
+            let pk = rng.random_range(1..=p_count);
+            let sk = supplier_for_part(pk, rng.random_range(0..SUPPLIERS_PER_PART), s_count);
+            let qty = rng.random_range(1..=50) as f64;
+            let price = retail[pk as usize] * qty / 10.0;
+            let discount = rng.random_range(0..=10) as f64 / 100.0;
+            let tax = rng.random_range(0..=8) as f64 / 100.0;
+            let shipdate = odate + rng.random_range(1..=121);
+            let commitdate = odate + rng.random_range(30..=90);
+            let receiptdate = shipdate + rng.random_range(1..=30);
+            let returnflag = if receiptdate <= current {
+                if rng.random_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let linestatus = if shipdate > current { "O" } else { "F" };
+            if linestatus == "F" {
+                any_f = true;
+            } else {
+                all_f = false;
+            }
+            total += price * (1.0 + tax) * (1.0 - discount);
+            let cmt = comment(&mut rng, None);
+            let cols = lb.columns_mut();
+            cols[0].push_i64(ok);
+            cols[1].push_i64(pk);
+            cols[2].push_i64(sk);
+            cols[3].push_i64(line);
+            cols[4].push_f64(qty);
+            cols[5].push_f64(price);
+            cols[6].push_f64(discount);
+            cols[7].push_f64(tax);
+            cols[8].push_str(returnflag);
+            cols[9].push_str(linestatus);
+            cols[10].push_date(shipdate);
+            cols[11].push_date(commitdate);
+            cols[12].push_date(receiptdate);
+            cols[13].push_str(SHIPINSTRUCT[rng.random_range(0..SHIPINSTRUCT.len())]);
+            cols[14].push_str(SHIPMODES[rng.random_range(0..SHIPMODES.len())]);
+            cols[15].push_str(&cmt);
+            if lb.len() >= CHUNK_ROWS {
+                l_chunks.push(lb.finish()?);
+                lb = ChunkBuilder::with_capacity(&schema::lineitem(), CHUNK_ROWS);
+            }
+        }
+        let status = if all_f {
+            "F"
+        } else if any_f {
+            "P"
+        } else {
+            "O"
+        };
+        // Q13 greps o_comment for '%special%requests%' (~1%).
+        let inject = if rng.random_range(0..100) == 0 {
+            Some("special requests")
+        } else {
+            None
+        };
+        let cmt = comment(&mut rng, inject);
+        let cols = ob.columns_mut();
+        cols[0].push_i64(ok);
+        cols[1].push_i64(ck);
+        cols[2].push_str(status);
+        cols[3].push_f64(total);
+        cols[4].push_date(odate);
+        cols[5].push_str(PRIORITIES[rng.random_range(0..PRIORITIES.len())]);
+        cols[6].push_str(&format!("Clerk#{:09}", rng.random_range(1..=1000)));
+        cols[7].push_i64(0);
+        cols[8].push_str(&cmt);
+        if ob.len() >= CHUNK_ROWS {
+            o_chunks.push(ob.finish()?);
+            ob = ChunkBuilder::with_capacity(&schema::orders(), CHUNK_ROWS);
+        }
+    }
+    if !ob.is_empty() {
+        o_chunks.push(ob.finish()?);
+    }
+    if !lb.is_empty() {
+        l_chunks.push(lb.finish()?);
+    }
+    let orders = Table::new("orders", schema::orders(), o_chunks)?;
+    let orders_id = catalog.register(orders, vec![0])?;
+    let lineitem = Table::new("lineitem", schema::lineitem(), l_chunks)?;
+    let lineitem_id = catalog.register(lineitem, vec![])?;
+
+    // Foreign keys (paper §4.1: declared per TPC-H documentation).
+    let fk = |cat: &mut Catalog, from: (TableId, u32), to: (TableId, u32)| {
+        cat.add_foreign_key(ColumnId::new(from.0, from.1), ColumnId::new(to.0, to.1))
+    };
+    fk(&mut catalog, (nation_id, 2), (region_id, 0))?;
+    fk(&mut catalog, (supplier_id, 3), (nation_id, 0))?;
+    fk(&mut catalog, (customer_id, 3), (nation_id, 0))?;
+    fk(&mut catalog, (orders_id, 1), (customer_id, 0))?;
+    fk(&mut catalog, (lineitem_id, 0), (orders_id, 0))?;
+    fk(&mut catalog, (lineitem_id, 1), (part_id, 0))?;
+    fk(&mut catalog, (lineitem_id, 2), (supplier_id, 0))?;
+    fk(&mut catalog, (partsupp_id, 0), (part_id, 0))?;
+    fk(&mut catalog, (partsupp_id, 1), (supplier_id, 0))?;
+
+    Ok(TpchDb {
+        catalog,
+        sf,
+        tables: [
+            region_id,
+            nation_id,
+            supplier_id,
+            customer_id,
+            part_id,
+            partsupp_id,
+            orders_id,
+            lineitem_id,
+        ],
+    })
+}
+
+/// Convenience: fetch a table's single concatenated chunk (test helper).
+pub fn table_chunk(db: &TpchDb, name: &str) -> Result<Chunk> {
+    db.catalog.data(db.catalog.meta_by_name(name)?.id)?.to_single_chunk()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_scale() {
+        let db = generate(0.002, 7).unwrap();
+        let rows = |n: &str| db.catalog.meta_by_name(n).unwrap().stats.rows;
+        assert_eq!(rows("region"), 5.0);
+        assert_eq!(rows("nation"), 25.0);
+        assert_eq!(rows("supplier"), 20.0);
+        assert_eq!(rows("customer"), 300.0);
+        assert_eq!(rows("part"), 400.0);
+        assert_eq!(rows("partsupp"), 1600.0);
+        assert_eq!(rows("orders"), 3000.0);
+        let l = rows("lineitem");
+        assert!(l > 3000.0 * 2.0 && l < 3000.0 * 7.0, "lineitem {l}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate(0.001, 42).unwrap();
+        let b = generate(0.001, 42).unwrap();
+        let ca = table_chunk(&a, "orders").unwrap();
+        let cb = table_chunk(&b, "orders").unwrap();
+        assert_eq!(ca.rows(), cb.rows());
+        for i in (0..ca.rows()).step_by(97) {
+            assert_eq!(ca.row(i), cb.row(i));
+        }
+        let c = generate(0.001, 43).unwrap();
+        let cc = table_chunk(&c, "orders").unwrap();
+        let same = (0..ca.rows().min(cc.rows()))
+            .take(50)
+            .filter(|&i| ca.row(i) == cc.row(i))
+            .count();
+        assert!(same < 50, "different seeds should differ");
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let db = generate(0.002, 11).unwrap();
+        let orders = table_chunk(&db, "orders").unwrap();
+        let customers = table_chunk(&db, "customer").unwrap();
+        let c_count = customers.rows() as i64;
+        let custkeys = orders.column(1).as_i64().unwrap();
+        for &ck in custkeys {
+            assert!(ck >= 1 && ck <= c_count, "o_custkey {ck} out of range");
+        }
+        // lineitem suppliers must come from the part's supplier set.
+        let lineitem = table_chunk(&db, "lineitem").unwrap();
+        let s_count = db.catalog.meta_by_name("supplier").unwrap().stats.rows as i64;
+        let pks = lineitem.column(1).as_i64().unwrap();
+        let sks = lineitem.column(2).as_i64().unwrap();
+        for i in (0..lineitem.rows()).step_by(13) {
+            let allowed: Vec<i64> = (0..SUPPLIERS_PER_PART)
+                .map(|j| supplier_for_part(pks[i], j, s_count))
+                .collect();
+            assert!(
+                allowed.contains(&sks[i]),
+                "l_suppkey {} not a supplier of part {}",
+                sks[i],
+                pks[i]
+            );
+        }
+    }
+
+    #[test]
+    fn date_ranges_and_ordering() {
+        let db = generate(0.001, 3).unwrap();
+        let l = table_chunk(&db, "lineitem").unwrap();
+        let ship = l.column(10).as_date().unwrap();
+        let receipt = l.column(12).as_date().unwrap();
+        let lo = date::to_days(1992, 1, 1);
+        let hi = date::to_days(1999, 1, 1);
+        for i in 0..l.rows() {
+            assert!(ship[i] > lo && ship[i] < hi);
+            assert!(receipt[i] > ship[i]);
+        }
+    }
+
+    #[test]
+    fn text_patterns_present() {
+        let db = generate(0.02, 5).unwrap();
+        let o = table_chunk(&db, "orders").unwrap();
+        let comments = o.column(8).as_str().unwrap();
+        let special = comments
+            .iter()
+            .filter(|c| bfq_expr::like_match(c, "%special%requests%"))
+            .count();
+        assert!(special > 0, "no special-requests comments generated");
+        assert!(special < o.rows() / 20, "too many injected comments");
+    }
+
+    #[test]
+    fn two_thirds_of_customers_have_orders() {
+        let db = generate(0.01, 9).unwrap();
+        let o = table_chunk(&db, "orders").unwrap();
+        let custkeys = o.column(1).as_i64().unwrap();
+        let distinct: std::collections::HashSet<_> = custkeys.iter().collect();
+        let c_count = db.catalog.meta_by_name("customer").unwrap().stats.rows;
+        let frac = distinct.len() as f64 / c_count;
+        assert!(frac > 0.5 && frac < 0.75, "customer coverage {frac}");
+    }
+}

@@ -1,0 +1,22 @@
+//! TPC-H substrate: schema, deterministic data generator, and the 22
+//! benchmark queries.
+//!
+//! The generator is a compact `dbgen` work-alike: correct key structure
+//! (sparse-ish customer usage, the four-suppliers-per-part `partsupp`
+//! relationship that lineitem draws from, FK constraints "in compliance
+//! with TPC-H documentation" — paper §4.1), spec date ranges, and value
+//! distributions close enough that every query's selectivities are
+//! realistic. Text columns use small word pools with the specific patterns
+//! the queries grep for (`%special%requests%`, `%Customer%Complaints%`,
+//! color words in part names).
+//!
+//! Query texts live in [`queries`]; a few are rewritten to the SQL subset of
+//! `bfq-sql` (correlated scalar subqueries become derived tables). Each
+//! rewrite is documented on the query constant.
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+
+pub use gen::{generate, TpchDb};
+pub use queries::{query_text, supported_queries, TABLE2_QUERIES};

@@ -1,0 +1,176 @@
+//! TPC-H table schemas and constraint declarations.
+
+use std::sync::Arc;
+
+use bfq_common::DataType::{Date, Float64, Int64, Utf8};
+use bfq_storage::{Field, Schema, SchemaRef};
+
+/// Schema of `region`.
+pub fn region() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("r_regionkey", Int64),
+        Field::new("r_name", Utf8),
+        Field::new("r_comment", Utf8),
+    ]))
+}
+
+/// Schema of `nation`.
+pub fn nation() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("n_nationkey", Int64),
+        Field::new("n_name", Utf8),
+        Field::new("n_regionkey", Int64),
+        Field::new("n_comment", Utf8),
+    ]))
+}
+
+/// Schema of `supplier`.
+pub fn supplier() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("s_suppkey", Int64),
+        Field::new("s_name", Utf8),
+        Field::new("s_address", Utf8),
+        Field::new("s_nationkey", Int64),
+        Field::new("s_phone", Utf8),
+        Field::new("s_acctbal", Float64),
+        Field::new("s_comment", Utf8),
+    ]))
+}
+
+/// Schema of `customer`.
+pub fn customer() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("c_custkey", Int64),
+        Field::new("c_name", Utf8),
+        Field::new("c_address", Utf8),
+        Field::new("c_nationkey", Int64),
+        Field::new("c_phone", Utf8),
+        Field::new("c_acctbal", Float64),
+        Field::new("c_mktsegment", Utf8),
+        Field::new("c_comment", Utf8),
+    ]))
+}
+
+/// Schema of `part`.
+pub fn part() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("p_partkey", Int64),
+        Field::new("p_name", Utf8),
+        Field::new("p_mfgr", Utf8),
+        Field::new("p_brand", Utf8),
+        Field::new("p_type", Utf8),
+        Field::new("p_size", Int64),
+        Field::new("p_container", Utf8),
+        Field::new("p_retailprice", Float64),
+        Field::new("p_comment", Utf8),
+    ]))
+}
+
+/// Schema of `partsupp`.
+pub fn partsupp() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("ps_partkey", Int64),
+        Field::new("ps_suppkey", Int64),
+        Field::new("ps_availqty", Int64),
+        Field::new("ps_supplycost", Float64),
+        Field::new("ps_comment", Utf8),
+    ]))
+}
+
+/// Schema of `orders`.
+pub fn orders() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("o_orderkey", Int64),
+        Field::new("o_custkey", Int64),
+        Field::new("o_orderstatus", Utf8),
+        Field::new("o_totalprice", Float64),
+        Field::new("o_orderdate", Date),
+        Field::new("o_orderpriority", Utf8),
+        Field::new("o_clerk", Utf8),
+        Field::new("o_shippriority", Int64),
+        Field::new("o_comment", Utf8),
+    ]))
+}
+
+/// Schema of `lineitem`.
+pub fn lineitem() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("l_orderkey", Int64),
+        Field::new("l_partkey", Int64),
+        Field::new("l_suppkey", Int64),
+        Field::new("l_linenumber", Int64),
+        Field::new("l_quantity", Float64),
+        Field::new("l_extendedprice", Float64),
+        Field::new("l_discount", Float64),
+        Field::new("l_tax", Float64),
+        Field::new("l_returnflag", Utf8),
+        Field::new("l_linestatus", Utf8),
+        Field::new("l_shipdate", Date),
+        Field::new("l_commitdate", Date),
+        Field::new("l_receiptdate", Date),
+        Field::new("l_shipinstruct", Utf8),
+        Field::new("l_shipmode", Utf8),
+        Field::new("l_comment", Utf8),
+    ]))
+}
+
+/// TPC-H nation names, indexed by nationkey, with their region keys.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// TPC-H region names indexed by regionkey.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_have_spec_columns() {
+        assert_eq!(lineitem().len(), 16);
+        assert_eq!(orders().len(), 9);
+        assert_eq!(part().len(), 9);
+        assert_eq!(customer().len(), 8);
+        assert_eq!(supplier().len(), 7);
+        assert_eq!(partsupp().len(), 5);
+        assert_eq!(nation().len(), 4);
+        assert_eq!(region().len(), 3);
+        assert_eq!(lineitem().index_of("l_shipdate"), Some(10));
+    }
+
+    #[test]
+    fn nations_cover_regions() {
+        assert_eq!(NATIONS.len(), 25);
+        for (_, r) in NATIONS {
+            assert!((0..5).contains(&r));
+        }
+        assert_eq!(NATIONS[7].0, "GERMANY");
+        assert_eq!(NATIONS[6].0, "FRANCE");
+        assert_eq!(NATIONS[20].0, "SAUDI ARABIA");
+    }
+}

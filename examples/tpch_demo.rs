@@ -1,0 +1,33 @@
+//! Run any TPC-H query under all three Bloom modes and compare plans.
+//!
+//! Usage: `cargo run --release --example tpch_demo -- [query_number]`
+//! (defaults to Q12, the paper's Figure 1 query).
+
+use bfq::prelude::*;
+use bfq::session::{Session, SessionConfig};
+use bfq::tpch;
+
+fn main() -> Result<()> {
+    let q: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
+    let sf = 0.02;
+    let sql = tpch::query_text(q, sf);
+    println!("# TPC-H Q{q} at SF {sf}\n{sql}\n");
+
+    for mode in [BloomMode::None, BloomMode::Post, BloomMode::Cbo] {
+        let db = tpch::gen::generate(sf, 42)?;
+        let session = Session::new(
+            db,
+            SessionConfig::default().with_bloom_mode(mode).with_dop(4),
+        );
+        let t = std::time::Instant::now();
+        let result = session.run_sql(&sql)?;
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("== {mode:?}: {} rows in {ms:.1} ms (plan {:.1} ms) ==",
+            result.chunk.rows(), result.optimized.stats.planning_ms);
+        println!("{}", result.explain());
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # bfq — Bloom-Filter-aware Query optimization
+//!
+//! A from-scratch analytical query engine built to reproduce
+//! *"Including Bloom Filters in Bottom-up Optimization"* (Zeyl et al.,
+//! SIGMOD-Companion 2025). This facade crate re-exports the public API of
+//! every workspace crate so applications can depend on `bfq` alone.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bfq::prelude::*;
+//!
+//! // Generate a tiny TPC-H instance, register it, and run a query with
+//! // Bloom-filter-aware cost-based optimization (BF-CBO).
+//! let db = bfq::tpch::gen::generate(0.001, 42).unwrap();
+//! let catalog = db.catalog.clone();
+//! let session = Session::new(db, SessionConfig::default().with_bloom_mode(BloomMode::Cbo));
+//! let result = session
+//!     .run_sql("select count(*) from lineitem, orders where l_orderkey = o_orderkey and o_orderdate < date '1995-01-01'")
+//!     .unwrap();
+//! assert_eq!(result.chunk.width(), 1);
+//! let _ = catalog;
+//! ```
+
+pub use bfq_bloom as bloom;
+pub use bfq_catalog as catalog;
+pub use bfq_common as common;
+pub use bfq_core as core;
+pub use bfq_cost as cost;
+pub use bfq_exec as exec;
+pub use bfq_expr as expr;
+pub use bfq_plan as plan;
+pub use bfq_sql as sql;
+pub use bfq_storage as storage;
+pub use bfq_tpch as tpch;
+
+pub mod session;
+
+pub use session::{QueryResult, Session, SessionConfig};
+
+/// Commonly used items, importable with `use bfq::prelude::*`.
+pub mod prelude {
+    pub use crate::session::{QueryResult, Session, SessionConfig};
+    pub use bfq_common::{BfqError, DataType, Datum, RelSet, Result};
+    pub use bfq_core::BloomMode;
+    pub use bfq_storage::{Chunk, Table};
+}

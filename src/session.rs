@@ -1,0 +1,126 @@
+//! The user-facing session: SQL in, rows out.
+
+use std::sync::Arc;
+
+use bfq_catalog::Catalog;
+use bfq_common::Result;
+use bfq_core::{optimize, BloomMode, OptimizedQuery, OptimizerConfig};
+use bfq_exec::{execute_plan, ExecStats};
+use bfq_plan::Bindings;
+use bfq_sql::plan_sql;
+use bfq_storage::Chunk;
+use bfq_tpch::TpchDb;
+
+/// Session-level configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Optimizer configuration (Bloom mode, DOP, heuristics).
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Set the Bloom filter mode.
+    pub fn with_bloom_mode(mut self, mode: BloomMode) -> Self {
+        self.optimizer.bloom_mode = mode;
+        self
+    }
+
+    /// Set the degree of parallelism.
+    pub fn with_dop(mut self, dop: usize) -> Self {
+        self.optimizer.dop = dop.max(1);
+        self
+    }
+}
+
+/// The result of running one query.
+pub struct QueryResult {
+    /// Result rows, gathered into one chunk.
+    pub chunk: Chunk,
+    /// Output column names.
+    pub column_names: Vec<String>,
+    /// The optimized plan (EXPLAIN material).
+    pub optimized: OptimizedQuery,
+    /// Runtime per-node row counts.
+    pub exec_stats: ExecStats,
+}
+
+impl QueryResult {
+    /// EXPLAIN-style rendering of the executed plan.
+    pub fn explain(&self) -> String {
+        self.optimized.plan.explain(&|c| c.to_string())
+    }
+}
+
+/// A query session over a catalog.
+pub struct Session {
+    catalog: Arc<Catalog>,
+    config: SessionConfig,
+}
+
+impl Session {
+    /// A session over a generated TPC-H database.
+    pub fn new(db: TpchDb, config: SessionConfig) -> Self {
+        Session {
+            catalog: Arc::new(db.catalog),
+            config,
+        }
+    }
+
+    /// A session over an arbitrary catalog.
+    pub fn over_catalog(catalog: Arc<Catalog>, config: SessionConfig) -> Self {
+        Session { catalog, config }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Parse, bind, optimize (per the configured Bloom mode) and execute.
+    pub fn run_sql(&self, sql: &str) -> Result<QueryResult> {
+        let mut bindings = Bindings::new();
+        let bound = plan_sql(sql, &self.catalog, &mut bindings)?;
+        let optimized = optimize(
+            &bound.plan,
+            &mut bindings,
+            &self.catalog,
+            &self.config.optimizer,
+        )?;
+        let out = execute_plan(
+            &optimized.plan,
+            self.catalog.clone(),
+            self.config.optimizer.dop,
+        )?;
+        Ok(QueryResult {
+            chunk: out.chunk,
+            column_names: bound.output_names,
+            optimized,
+            exec_stats: out.stats,
+        })
+    }
+
+    /// Plan only (no execution) — used by planner-latency experiments.
+    pub fn plan_sql_only(&self, sql: &str) -> Result<OptimizedQuery> {
+        let mut bindings = Bindings::new();
+        let bound = plan_sql(sql, &self.catalog, &mut bindings)?;
+        optimize(
+            &bound.plan,
+            &mut bindings,
+            &self.catalog,
+            &self.config.optimizer,
+        )
+    }
+}

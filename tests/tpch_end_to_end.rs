@@ -1,0 +1,98 @@
+//! End-to-end integration: every TPC-H query parses, binds, optimizes under
+//! every Bloom mode, executes, and — the critical invariant — **returns
+//! identical results in all three modes**. Bloom filters are an optimization,
+//! never a semantics change.
+
+use bfq::prelude::*;
+use bfq::session::{Session, SessionConfig};
+use bfq::tpch;
+
+const SF: f64 = 0.005;
+const SEED: u64 = 20260610;
+
+fn session(mode: BloomMode) -> Session {
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    Session::new(db, SessionConfig::default().with_bloom_mode(mode).with_dop(3))
+}
+
+fn run(session: &Session, q: usize) -> bfq::session::QueryResult {
+    let sql = tpch::query_text(q, SF);
+    session
+        .run_sql(&sql)
+        .unwrap_or_else(|e| panic!("Q{q} failed: {e}"))
+}
+
+fn chunk_to_rows(chunk: &bfq::storage::Chunk) -> Vec<Vec<String>> {
+    (0..chunk.rows())
+        .map(|i| {
+            chunk
+                .row(i)
+                .into_iter()
+                .map(|d| match d {
+                    // Normalize float noise for comparison.
+                    Datum::Float(f) => format!("{:.4}", f),
+                    other => other.to_string(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn all_queries_agree_across_bloom_modes() {
+    let none = session(BloomMode::None);
+    let post = session(BloomMode::Post);
+    let cbo = session(BloomMode::Cbo);
+    for q in tpch::supported_queries() {
+        let r_none = run(&none, q);
+        let r_post = run(&post, q);
+        let r_cbo = run(&cbo, q);
+        let rows_none = chunk_to_rows(&r_none.chunk);
+        let rows_post = chunk_to_rows(&r_post.chunk);
+        let rows_cbo = chunk_to_rows(&r_cbo.chunk);
+        assert_eq!(
+            rows_none, rows_post,
+            "Q{q}: BF-Post results differ from No-BF\nplan:\n{}",
+            r_post.explain()
+        );
+        assert_eq!(
+            rows_none, rows_cbo,
+            "Q{q}: BF-CBO results differ from No-BF\nplan:\n{}",
+            r_cbo.explain()
+        );
+    }
+}
+
+#[test]
+fn bloom_modes_actually_place_filters() {
+    let cbo = session(BloomMode::Cbo);
+    let mut total_filters = 0;
+    for q in tpch::TABLE2_QUERIES {
+        let sql = tpch::query_text(q, SF);
+        let planned = cbo.plan_sql_only(&sql).unwrap();
+        total_filters += planned.stats.cbo_filters + planned.stats.post_filters;
+    }
+    assert!(
+        total_filters >= 5,
+        "expected several Bloom filters across Table-2 queries, got {total_filters}"
+    );
+}
+
+#[test]
+fn query_results_have_expected_shapes() {
+    let s = session(BloomMode::Cbo);
+    // Q1: at most 4 (returnflag, linestatus) groups at tiny SF.
+    let r = run(&s, 1);
+    assert!(r.chunk.rows() >= 2 && r.chunk.rows() <= 6);
+    assert_eq!(r.chunk.width(), 10);
+    assert_eq!(r.column_names.len(), 10);
+    // Q3: at most 10 rows (LIMIT).
+    let r = run(&s, 3);
+    assert!(r.chunk.rows() <= 10);
+    // Q6: scalar.
+    let r = run(&s, 6);
+    assert_eq!(r.chunk.rows(), 1);
+    // Q19: scalar.
+    let r = run(&s, 19);
+    assert_eq!(r.chunk.rows(), 1);
+}
