@@ -48,7 +48,9 @@ fn bench_probe(c: &mut Criterion) {
 fn bench_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("bloom_strategy_build");
     let per_thread = 50_000i64;
-    let threads: Vec<Column> = (0..4).map(|t| int_col(per_thread, t * per_thread)).collect();
+    let threads: Vec<Column> = (0..4)
+        .map(|t| int_col(per_thread, t * per_thread))
+        .collect();
     for strat in [
         StreamingStrategy::BroadcastBuild,
         StreamingStrategy::BroadcastProbe,
@@ -82,5 +84,11 @@ fn bench_merge(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build, bench_probe, bench_strategies, bench_merge);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_probe,
+    bench_strategies,
+    bench_merge
+);
 criterion_main!(benches);

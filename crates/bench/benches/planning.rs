@@ -25,20 +25,15 @@ fn bench_planning(c: &mut Criterion) {
             ("cbo", BloomMode::Cbo),
         ] {
             let config = OptimizerConfig::with_mode(mode).dop(4);
-            g.bench_with_input(
-                BenchmarkId::new(format!("q{q}"), label),
-                &sql,
-                |b, sql| {
-                    b.iter(|| {
-                        let mut bindings = Bindings::new();
-                        let bound = plan_sql(sql, &catalog, &mut bindings).expect("bind");
-                        black_box(
-                            optimize(&bound.plan, &mut bindings, &catalog, &config)
-                                .expect("optimize"),
-                        )
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("q{q}"), label), &sql, |b, sql| {
+                b.iter(|| {
+                    let mut bindings = Bindings::new();
+                    let bound = plan_sql(sql, &catalog, &mut bindings).expect("bind");
+                    black_box(
+                        optimize(&bound.plan, &mut bindings, &catalog, &config).expect("optimize"),
+                    )
+                })
+            });
         }
     }
     g.finish();

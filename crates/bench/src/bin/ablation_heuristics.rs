@@ -25,7 +25,12 @@ struct Row {
     candidates: usize,
 }
 
-fn sweep(catalog: &Arc<Catalog>, env: &BenchEnv, label: &'static str, cfg: &OptimizerConfig) -> Row {
+fn sweep(
+    catalog: &Arc<Catalog>,
+    env: &BenchEnv,
+    label: &'static str,
+    cfg: &OptimizerConfig,
+) -> Row {
     let mut row = Row {
         label,
         plan_ms: 0.0,

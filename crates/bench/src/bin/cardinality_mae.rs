@@ -14,8 +14,14 @@ use bfq_tpch::TABLE2_QUERIES;
 fn main() {
     let env = BenchEnv::load();
     let catalog = env.load_db();
-    println!("# Cardinality MAE per query — BF-Post vs BF-CBO (SF {})", env.sf);
-    println!("# {:>3} {:>14} {:>14} {:>8}", "Q#", "post_mae", "cbo_mae", "better?");
+    println!(
+        "# Cardinality MAE per query — BF-Post vs BF-CBO (SF {})",
+        env.sf
+    );
+    println!(
+        "# {:>3} {:>14} {:>14} {:>8}",
+        "Q#", "post_mae", "cbo_mae", "better?"
+    );
     let (mut post_sum, mut cbo_sum) = (0.0, 0.0);
     let mut n = 0.0;
     for q in TABLE2_QUERIES {

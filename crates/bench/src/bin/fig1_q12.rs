@@ -17,9 +17,16 @@ fn main() {
 
     let post = measure_tpch(&catalog, &env, 12, BloomMode::Post).expect("bf-post");
     let cbo = measure_tpch(&catalog, &env, 12, BloomMode::Cbo).expect("bf-cbo");
-    assert_eq!(post.chunk.rows(), cbo.chunk.rows(), "Q12 results must agree");
+    assert_eq!(
+        post.chunk.rows(),
+        cbo.chunk.rows(),
+        "Q12 results must agree"
+    );
 
-    println!("# Figure 1 reproduction — TPC-H Q12, SF {} DOP {}", env.sf, env.dop);
+    println!(
+        "# Figure 1 reproduction — TPC-H Q12, SF {} DOP {}",
+        env.sf, env.dop
+    );
     println!("\n## (a) Without BF-CBO (BF-Post baseline)\n");
     println!("{}", post.planned.plan.explain(&|c| c.to_string()));
     println!(

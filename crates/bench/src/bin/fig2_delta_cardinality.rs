@@ -3,15 +3,16 @@
 //!
 //! We build the 3-relation chain `R0 ←fk R1 ←fk R2` with a selective local
 //! predicate on R2 and compare, for the filter `BF(R1) → R0`:
-//!   * estimated and actual `|R0 ⋉̂ R1|`        (δ = {R1})
-//!   * estimated and actual `|R0 ⋉̂ (R1, R2)|`  (δ = {R1, R2})
+//! * estimated and actual `|R0 ⋉̂ R1|` (δ = {R1})
+//! * estimated and actual `|R0 ⋉̂ (R1, R2)|` (δ = {R1, R2})
+//!
 //! The second must be (much) smaller — that inequality is the paper's entire
 //! reason for δ-aware costing.
 
 use bfq_bloom::BloomFilter;
 use bfq_common::RelSet;
-use bfq_cost::BfAssumption;
 use bfq_core::synth::{chain_block, ChainSpec};
+use bfq_cost::BfAssumption;
 
 fn main() {
     let fx = chain_block(&[
@@ -32,9 +33,18 @@ fn main() {
     let d_big = bf(RelSet::from_iter([1, 2]));
 
     // Actual behaviour: build real Bloom filters from the real key sets.
-    let r0 = fx.catalog.data(fx.catalog.meta_by_name("r0").unwrap().id).unwrap();
-    let r1 = fx.catalog.data(fx.catalog.meta_by_name("r1").unwrap().id).unwrap();
-    let r2 = fx.catalog.data(fx.catalog.meta_by_name("r2").unwrap().id).unwrap();
+    let r0 = fx
+        .catalog
+        .data(fx.catalog.meta_by_name("r0").unwrap().id)
+        .unwrap();
+    let r1 = fx
+        .catalog
+        .data(fx.catalog.meta_by_name("r1").unwrap().id)
+        .unwrap();
+    let r2 = fx
+        .catalog
+        .data(fx.catalog.meta_by_name("r2").unwrap().id)
+        .unwrap();
     let r0c = r0.to_single_chunk().unwrap();
     let r1c = r1.to_single_chunk().unwrap();
     let r2c = r2.to_single_chunk().unwrap();
@@ -66,8 +76,8 @@ fn main() {
     let actual_small = f_small.probe_all(apply).len();
     let actual_big = f_big.probe_all(apply).len();
 
-    let est_small = est.bf_scan_rows(0, &[d_small.clone()]);
-    let est_big = est.bf_scan_rows(0, &[d_big.clone()]);
+    let est_small = est.bf_scan_rows(0, std::slice::from_ref(&d_small));
+    let est_big = est.bf_scan_rows(0, std::slice::from_ref(&d_big));
 
     println!("# Figure 2 reproduction — |R0| = {}", r0c.rows());
     println!(
@@ -83,7 +93,10 @@ fn main() {
         est.bf_semi_selectivity(&d_big)
     );
     assert!(actual_big < actual_small, "bigger delta must filter more");
-    assert!(est_big < est_small, "estimator must predict the same ordering");
+    assert!(
+        est_big < est_small,
+        "estimator must predict the same ordering"
+    );
     println!(
         "# |R0 bloom({{R1,R2}})| / |R0 bloom({{R1}})| = {:.3} actual, {:.3} estimated",
         actual_big as f64 / actual_small as f64,

@@ -24,8 +24,8 @@ fn main() {
     let mut config = OptimizerConfig::with_mode(BloomMode::Cbo);
     config.bf_min_apply_rows = 100.0;
     let catalog = fx.catalog.clone();
-    let out = optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config)
-        .expect("optimize");
+    let out =
+        optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).expect("optimize");
 
     println!("# Figure 3 reproduction — winning BF-CBO plan for the 3-chain\n");
     println!("{}", out.plan.explain(&|c| c.to_string()));
@@ -53,11 +53,14 @@ fn main() {
     );
     // A filter on r0 plus a filter on r1 is exactly the Fig. 3c/3d chained
     // shape; report whether the optimizer chose it here.
-    let chained = applies.iter().any(|(a, _)| a == "r0")
-        && applies.iter().any(|(a, _)| a == "r1");
+    let chained = applies.iter().any(|(a, _)| a == "r0") && applies.iter().any(|(a, _)| a == "r1");
     println!(
         "# chained predicate transfer (filters on both r0 and r1): {}",
-        if chained { "YES (Fig. 3d shape)" } else { "no (single filter won on cost)" }
+        if chained {
+            "YES (Fig. 3d shape)"
+        } else {
+            "no (single filter won on cost)"
+        }
     );
     println!("# legality itself is enforced by unit tests in bfq-core::phase2");
 }

@@ -20,11 +20,14 @@ fn main() {
     let catalog = Arc::new(fx.catalog.clone());
 
     println!("# Figure 4 reproduction — running example at scale {scale}\n");
-    for (label, mode) in [("(a) BF-Post", BloomMode::Post), ("(b) BF-CBO", BloomMode::Cbo)] {
+    for (label, mode) in [
+        ("(a) BF-Post", BloomMode::Post),
+        ("(b) BF-CBO", BloomMode::Cbo),
+    ] {
         let mut config = OptimizerConfig::with_mode(mode);
         config.bf_min_apply_rows = 100.0;
-        let out = optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config)
-            .expect("optimize");
+        let out =
+            optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).expect("optimize");
         let t = std::time::Instant::now();
         let result = execute_plan(&out.plan, catalog.clone(), config.dop).expect("execute");
         let ms = t.elapsed().as_secs_f64() * 1e3;

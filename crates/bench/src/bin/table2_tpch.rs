@@ -15,7 +15,10 @@ fn main() {
     let env = BenchEnv::load();
     let catalog = env.load_db();
 
-    println!("# Table 2 reproduction — TPC-H SF {} DOP {}", env.sf, env.dop);
+    println!(
+        "# Table 2 reproduction — TPC-H SF {} DOP {}",
+        env.sf, env.dop
+    );
     println!(
         "# {:>3} {:>10} {:>10} {:>10} {:>8} {:>8} {:>7} | {:>10} {:>10} | {:>5} {:>5}",
         "Q#",

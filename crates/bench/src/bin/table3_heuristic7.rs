@@ -6,7 +6,7 @@
 //! 31.4% improvement over BF-Post), with individual queries occasionally
 //! regressing (the paper's Q8).
 
-use bfq_bench::harness::{measure_tpch, BenchEnv, measure_query};
+use bfq_bench::harness::{measure_query, measure_tpch, BenchEnv};
 use bfq_core::BloomMode;
 use bfq_tpch::{query_text, TABLE2_QUERIES};
 
@@ -32,8 +32,7 @@ fn main() {
         let mut cfg = env.config(BloomMode::Cbo);
         cfg.h7_enabled = true;
         cfg.h7_max_subplans = 4;
-        let h7 =
-            measure_query(&catalog, &query_text(q, env.sf), &cfg, env.runs).expect("cbo+h7");
+        let h7 = measure_query(&catalog, &query_text(q, env.sf), &cfg, env.runs).expect("cbo+h7");
         println!(
             "  {:>3} {:>10.2} {:>10.2} {:>10.1} | {:>10.2} {:>10.2}",
             q,

@@ -34,7 +34,10 @@ impl BloomFilter {
 
     /// A filter with exactly `bits` bits (`bits` must be a power of two ≥ 64).
     pub fn with_bits(bits: usize) -> Self {
-        assert!(bits.is_power_of_two() && bits >= 64, "bad filter size {bits}");
+        assert!(
+            bits.is_power_of_two() && bits >= 64,
+            "bad filter size {bits}"
+        );
         BloomFilter {
             words: vec![0u64; bits / 64],
             mask: (bits - 1) as u64,
@@ -237,10 +240,7 @@ mod tests {
         let build = Column::Int64(vec![1, 2], None);
         let mut f = BloomFilter::with_expected_ndv(2);
         f.insert_column(&build);
-        let probe = Column::Int64(
-            vec![1, 1],
-            Some(Bitmap::from_bools([true, false])),
-        );
+        let probe = Column::Int64(vec![1, 1], Some(Bitmap::from_bools([true, false])));
         assert_eq!(f.probe_all(&probe), vec![0]);
     }
 
@@ -306,10 +306,8 @@ mod tests {
             .collect();
         let mut f = BloomFilter::with_expected_ndv(4);
         f.insert_column(&Column::Utf8(build, None));
-        let probe: bfq_storage::StrData = ["GERMANY", "JAPAN"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let probe: bfq_storage::StrData =
+            ["GERMANY", "JAPAN"].iter().map(|s| s.to_string()).collect();
         let sel = f.probe_all(&Column::Utf8(probe, None));
         assert!(sel.contains(&0));
     }

@@ -62,10 +62,8 @@ pub fn build_filter(
         }
         StreamingStrategy::BroadcastProbe => {
             // Disjoint per-thread subsets: build same-sized partials, merge.
-            let bits = crate::math::bits_for_ndv(
-                expected_ndv.max(1),
-                crate::math::DEFAULT_BITS_PER_KEY,
-            );
+            let bits =
+                crate::math::bits_for_ndv(expected_ndv.max(1), crate::math::DEFAULT_BITS_PER_KEY);
             let mut merged = BloomFilter::with_bits(bits);
             for keys in thread_keys {
                 let mut partial = BloomFilter::with_bits(bits);

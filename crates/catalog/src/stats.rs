@@ -114,12 +114,8 @@ mod tests {
             vec![5, 1, 5, 9],
             Some(Bitmap::from_bools([true, true, true, false])),
         );
-        let table = Table::new(
-            "t",
-            schema,
-            vec![Chunk::new(vec![Arc::new(col)]).unwrap()],
-        )
-        .unwrap();
+        let table =
+            Table::new("t", schema, vec![Chunk::new(vec![Arc::new(col)]).unwrap()]).unwrap();
         let stats = compute_stats(&table).unwrap();
         assert_eq!(stats.rows, 4.0);
         let c = &stats.columns[0];
@@ -132,8 +128,10 @@ mod tests {
     #[test]
     fn string_min_max() {
         let schema = Arc::new(Schema::new(vec![Field::new("s", DataType::Utf8)]));
-        let col: bfq_storage::StrData =
-            ["pear", "apple", "zebra"].iter().map(|s| s.to_string()).collect();
+        let col: bfq_storage::StrData = ["pear", "apple", "zebra"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let table = Table::new(
             "t",
             schema,

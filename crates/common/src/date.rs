@@ -13,7 +13,7 @@
 pub fn to_days(year: i32, month: u32, day: u32) -> i32 {
     let y = if month <= 2 { year - 1 } else { year } as i64;
     let era = if y >= 0 { y } else { y - 399 } / 400;
-    let yoe = (y - era * 400) as i64; // [0, 399]
+    let yoe = y - era * 400; // [0, 399]
     let mp = (month as i64 + 9) % 12; // [0, 11], March = 0
     let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]

@@ -28,15 +28,6 @@ impl RelSet {
         RelSet(1u64 << i)
     }
 
-    /// Build a set from an iterator of ordinals.
-    pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
-        let mut s = RelSet::EMPTY;
-        for i in iter {
-            s = s.with(i);
-        }
-        s
-    }
-
     /// The full set `{0, 1, .., n-1}`.
     pub fn all(n: usize) -> Self {
         assert!(n <= Self::MAX_RELS);
@@ -129,6 +120,17 @@ impl RelSet {
             next: first,
             done: self.0 == 0 || first == 0,
         }
+    }
+}
+
+impl FromIterator<usize> for RelSet {
+    /// Build a set from an iterator of ordinals.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = RelSet::EMPTY;
+        for i in iter {
+            s = s.with(i);
+        }
+        s
     }
 }
 

@@ -98,9 +98,9 @@ pub fn mark_candidates(
                 continue;
             }
             // One candidate per (apply, build) column pair.
-            let dup = out.iter().any(|c| {
-                c.apply_col == a_col && c.build_col == b_col && c.apply_rel == a_rel
-            });
+            let dup = out
+                .iter()
+                .any(|c| c.apply_col == a_col && c.build_col == b_col && c.apply_rel == a_rel);
             if dup {
                 continue;
             }
@@ -143,8 +143,10 @@ mod tests {
     fn heuristic2_row_threshold() {
         let fx = chain_block(&[ChainSpec::new("a", 5_000), ChainSpec::new("b", 100)]);
         let est = fx.estimator();
-        let mut config = OptimizerConfig::default();
-        config.bf_min_apply_rows = 10_000.0;
+        let mut config = OptimizerConfig {
+            bf_min_apply_rows: 10_000.0,
+            ..Default::default()
+        };
         assert!(mark_candidates(&fx.block, &est, &config).is_empty());
         config.bf_min_apply_rows = 1_000.0;
         assert_eq!(mark_candidates(&fx.block, &est, &config).len(), 1);
@@ -157,8 +159,10 @@ mod tests {
             ChainSpec::new("mid", 50_000),
         ]);
         let est = fx.estimator();
-        let mut config = OptimizerConfig::default();
-        config.h9_enabled = true;
+        let config = OptimizerConfig {
+            h9_enabled: true,
+            ..Default::default()
+        };
         let cands = mark_candidates(&fx.block, &est, &config);
         assert_eq!(cands.len(), 2);
         assert!(cands.iter().any(|c| c.via_h9));
@@ -167,10 +171,7 @@ mod tests {
 
     #[test]
     fn anti_join_blocks_candidates() {
-        let mut fx = chain_block(&[
-            ChainSpec::new("a", 100_000),
-            ChainSpec::new("b", 90_000),
-        ]);
+        let mut fx = chain_block(&[ChainSpec::new("a", 100_000), ChainSpec::new("b", 90_000)]);
         fx.block.rels[1].kind = RelKind::Anti;
         let est = fx.estimator();
         assert!(mark_candidates(&fx.block, &est, &OptimizerConfig::default()).is_empty());
@@ -178,26 +179,23 @@ mod tests {
 
     #[test]
     fn left_outer_blocks_preserve_side_only() {
-        let mut fx = chain_block(&[
-            ChainSpec::new("a", 100_000),
-            ChainSpec::new("b", 90_000),
-        ]);
+        let mut fx = chain_block(&[ChainSpec::new("a", 100_000), ChainSpec::new("b", 90_000)]);
         fx.block.rels[1].kind = RelKind::LeftOuter;
         let est = fx.estimator();
         let cands = mark_candidates(&fx.block, &est, &OptimizerConfig::default());
         // Building FROM the left-outer relation (applying to the preserved
         // side) is forbidden; applying TO the left-outer relation is fine.
         for c in &cands {
-            assert_eq!(c.apply_rel, 1, "only the nullable side may receive a filter");
+            assert_eq!(
+                c.apply_rel, 1,
+                "only the nullable side may receive a filter"
+            );
         }
     }
 
     #[test]
     fn semi_join_allows_candidates_both_ways() {
-        let mut fx = chain_block(&[
-            ChainSpec::new("a", 100_000),
-            ChainSpec::new("b", 90_000),
-        ]);
+        let mut fx = chain_block(&[ChainSpec::new("a", 100_000), ChainSpec::new("b", 90_000)]);
         fx.block.rels[1].kind = RelKind::Semi;
         let est = fx.estimator();
         let cands = mark_candidates(&fx.block, &est, &OptimizerConfig::default());

@@ -18,9 +18,7 @@ use std::sync::Arc;
 use bfq_common::{ColumnId, FilterId, Result};
 use bfq_cost::{BfAssumption, Cost, CostModel, Estimator};
 use bfq_expr::{Expr, Layout};
-use bfq_plan::{
-    BloomApply, Distribution, PhysicalNode, PhysicalPlan, QueryBlock, RelSource,
-};
+use bfq_plan::{BloomApply, Distribution, PhysicalNode, PhysicalPlan, QueryBlock, RelSource};
 
 use crate::candidates::BfCandidate;
 use crate::subplan::{PendingBf, PlanList, SubPlan};
@@ -188,6 +186,7 @@ fn surviving_options(
 
 /// Build the initial plan list of every relation: the plain scan plus the
 /// Bloom-filter scan sub-plans of §3.5.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's §3.5 inputs
 pub fn initial_plan_lists(
     block: &QueryBlock,
     est: &Estimator<'_>,
@@ -199,9 +198,8 @@ pub fn initial_plan_lists(
     next_filter: &mut u32,
 ) -> Result<Vec<PlanList>> {
     let mut lists = Vec::with_capacity(block.num_rels());
-    for rel in 0..block.num_rels() {
+    for (rel, projection) in required.iter().enumerate().take(block.num_rels()) {
         let mut list = PlanList::new();
-        let projection = &required[rel];
         // Plain scan.
         list.add(make_scan_subplan(
             block,
@@ -248,9 +246,7 @@ pub fn initial_plan_lists(
                         PendingBf { id, bf }
                     })
                     .collect();
-                let sp = make_scan_subplan(
-                    block, est, model, rel, pendings, projection, derived,
-                )?;
+                let sp = make_scan_subplan(block, est, model, rel, pendings, projection, derived)?;
                 list.add(sp);
             }
         }
@@ -297,8 +293,10 @@ mod tests {
     #[test]
     fn plain_scan_always_present() {
         let fx = running_example(0.1);
-        let mut config = OptimizerConfig::default();
-        config.bf_min_apply_rows = 100.0;
+        let config = OptimizerConfig {
+            bf_min_apply_rows: 100.0,
+            ..Default::default()
+        };
         let (lists, _) = plan_lists_for(&fx, &config);
         for (rel, list) in lists.iter().enumerate() {
             assert!(
@@ -311,8 +309,10 @@ mod tests {
     #[test]
     fn bf_subplans_created_with_reduced_rows() {
         let fx = running_example(1.0);
-        let mut config = OptimizerConfig::default();
-        config.bf_min_apply_rows = 100.0;
+        let config = OptimizerConfig {
+            bf_min_apply_rows: 100.0,
+            ..Default::default()
+        };
         let (lists, filters) = plan_lists_for(&fx, &config);
         // t1 must have at least one BF sub-plan with far fewer rows than the
         // plain scan (t2 is filtered to ~50%).
@@ -337,8 +337,10 @@ mod tests {
         // rows as δ={t2} (t3 is unfiltered, FK-joined: no extra transfer),
         // so only δ={t2} survives.
         let fx = running_example(1.0);
-        let mut config = OptimizerConfig::default();
-        config.bf_min_apply_rows = 100.0;
+        let config = OptimizerConfig {
+            bf_min_apply_rows: 100.0,
+            ..Default::default()
+        };
         let (lists, _) = plan_lists_for(&fx, &config);
         let t1_bf: Vec<_> = lists[0]
             .plans()
@@ -369,8 +371,10 @@ mod tests {
             ChainSpec::new("a", 50_000),
             ChainSpec::new("b", 1_000).filtered(0.2),
         ]);
-        let mut config = OptimizerConfig::default();
-        config.bf_max_build_ndv = 10.0; // absurdly small budget
+        let config = OptimizerConfig {
+            bf_max_build_ndv: 10.0, // absurdly small budget
+            ..Default::default()
+        };
         let (lists, _) = plan_lists_for(&fx, &config);
         assert!(lists[0].plans().iter().all(|p| !p.has_pending()));
     }
@@ -378,10 +382,12 @@ mod tests {
     #[test]
     fn heuristic7_caps_bf_subplans() {
         let fx = running_example(1.0);
-        let mut config = OptimizerConfig::default();
-        config.bf_min_apply_rows = 100.0;
-        config.h7_enabled = true;
-        config.h7_max_subplans = 0; // force the cap to bite
+        let config = OptimizerConfig {
+            bf_min_apply_rows: 100.0,
+            h7_enabled: true,
+            h7_max_subplans: 0, // force the cap to bite
+            ..Default::default()
+        };
         let (lists, _) = plan_lists_for(&fx, &config);
         for list in &lists {
             assert!(list.plans().iter().filter(|p| p.has_pending()).count() <= 1);

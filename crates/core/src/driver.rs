@@ -10,8 +10,8 @@ use bfq_common::{ColumnId, Datum, Result};
 use bfq_cost::{Cost, CostModel, Estimator};
 use bfq_expr::{estimate_selectivity, Expr, Layout};
 use bfq_plan::{
-    Bindings, Distribution, ExchangeKind, LogicalPlan, PhysicalNode, PhysicalPlan,
-    QueryBlock, RelSource,
+    Bindings, Distribution, ExchangeKind, LogicalPlan, PhysicalNode, PhysicalPlan, QueryBlock,
+    RelSource,
 };
 
 use crate::candidates::mark_candidates;
@@ -100,8 +100,15 @@ pub fn optimize_block(
     next_filter: &mut u32,
 ) -> Result<(SubPlan, OptimizerStats)> {
     let start = Instant::now();
-    let (sub, bstats) =
-        optimize_block_inner(block, bindings, catalog, required, derived, config, next_filter)?;
+    let (sub, bstats) = optimize_block_inner(
+        block,
+        bindings,
+        catalog,
+        required,
+        derived,
+        config,
+        next_filter,
+    )?;
     let mut stats = OptimizerStats::default();
     stats.merge_block(bstats);
     stats.planning_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -275,8 +282,7 @@ impl Planner<'_> {
                     rows *= estimate_selectivity(h, &*self.bindings);
                 }
                 let rows = rows.max(1.0);
-                let mut layout_cols: Vec<ColumnId> =
-                    group_by.iter().map(|g| g.id).collect();
+                let mut layout_cols: Vec<ColumnId> = group_by.iter().map(|g| g.id).collect();
                 layout_cols.extend(aggs.iter().map(|a| a.output));
                 let work = self.model().agg(in_rows, groups);
                 let node = PhysicalPlan::new(
@@ -336,9 +342,7 @@ impl Planner<'_> {
             } => {
                 let (sub, sub_cost) = self.plan_node(subquery, &[])?;
                 let mut child_needed = needed.to_vec();
-                child_needed.extend(
-                    pred.columns().into_iter().filter(|c| c != placeholder),
-                );
+                child_needed.extend(pred.columns().into_iter().filter(|c| c != placeholder));
                 let (child, cost) = self.plan_node(input, &child_needed)?;
                 let rows = (child.est_rows / 3.0).max(1.0);
                 let layout = child.layout.clone();
@@ -452,8 +456,7 @@ mod tests {
         let mut fx = running_example(0.1);
         let config = OptimizerConfig::with_mode(BloomMode::None);
         let catalog = fx.catalog.clone();
-        let out =
-            optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).unwrap();
+        let out = optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).unwrap();
         let mut ids = Vec::new();
         out.plan.visit(&mut |p| ids.push(p.id));
         let n = ids.len();
@@ -465,7 +468,10 @@ mod tests {
         // Root is a Gather (plan output is single-stream).
         assert!(matches!(
             &out.plan.node,
-            PhysicalNode::Exchange { kind: ExchangeKind::Gather, .. }
+            PhysicalNode::Exchange {
+                kind: ExchangeKind::Gather,
+                ..
+            }
         ));
     }
 
@@ -475,8 +481,7 @@ mod tests {
         let mut config = OptimizerConfig::with_mode(BloomMode::Cbo);
         config.bf_min_apply_rows = 100.0;
         let catalog = fx.catalog.clone();
-        let out =
-            optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).unwrap();
+        let out = optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).unwrap();
         assert!(out.stats.candidates >= 2);
         assert!(out.stats.cbo_filters >= 1);
         assert!(out.stats.phase1.pairs_visited > 0);
@@ -526,9 +531,11 @@ mod tests {
         config.h8_enabled = true;
         config.h8_min_join_input = 1e12;
         let catalog = fx.catalog.clone();
-        let out =
-            optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).unwrap();
-        assert_eq!(out.stats.cbo_filters, 0, "H8 should have gated Bloom planning");
+        let out = optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).unwrap();
+        assert_eq!(
+            out.stats.cbo_filters, 0,
+            "H8 should have gated Bloom planning"
+        );
     }
 
     #[test]
@@ -538,8 +545,7 @@ mod tests {
         config.bf_min_apply_rows = 10.0;
         config.naive_time_limit_ms = 2_000;
         let catalog = fx.catalog.clone();
-        let out =
-            optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).unwrap();
+        let out = optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).unwrap();
         let naive = out.stats.naive.expect("naive stats recorded");
         assert!(naive.steps > 0);
         assert!(out.plan.node_count() > 1, "fallback plan still produced");

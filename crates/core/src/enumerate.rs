@@ -75,9 +75,7 @@ pub fn is_connected(block: &QueryBlock, set: RelSet) -> bool {
 /// inside `set` (i.e. the set is constructible as a join result).
 pub fn deps_satisfied(block: &QueryBlock, set: RelSet) -> bool {
     for rel in set.iter() {
-        if block.rel(rel).kind != RelKind::Inner
-            && !block.dependency_of(rel).is_subset_of(set)
-        {
+        if block.rel(rel).kind != RelKind::Inner && !block.dependency_of(rel).is_subset_of(set) {
             return false;
         }
     }
@@ -157,9 +155,7 @@ pub fn splits(block: &QueryBlock, set: RelSet) -> Vec<Split> {
         // that is exactly one dependent relation is never legal.
         if outer.len() == 1 {
             let rel = outer.first().expect("singleton");
-            if block.rel(rel).kind != RelKind::Inner
-                && !block.dependency_of(rel).is_empty()
-            {
+            if block.rel(rel).kind != RelKind::Inner && !block.dependency_of(rel).is_empty() {
                 continue;
             }
         }

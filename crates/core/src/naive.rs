@@ -122,7 +122,7 @@ pub fn naive_optimize(
                 for isp in &inner_list {
                     for variant in 0..VARIANTS {
                         steps += 1;
-                        if steps % 4096 == 0 && Instant::now() > deadline {
+                        if steps.is_multiple_of(4096) && Instant::now() > deadline {
                             lists[split.outer.0 as usize] = outer_list;
                             lists[split.inner.0 as usize] = inner_list;
                             break 'outer;
@@ -158,9 +158,8 @@ pub fn naive_optimize(
                         unresolved.sort_unstable();
                         unresolved.dedup();
 
-                        let costed = unresolved.is_empty()
-                            && osp.cost.is_some()
-                            && isp.cost.is_some();
+                        let costed =
+                            unresolved.is_empty() && osp.cost.is_some() && isp.cost.is_some();
                         if costed {
                             let c = osp.cost.unwrap_or(0.0)
                                 + isp.cost.unwrap_or(0.0)
@@ -227,9 +226,11 @@ mod tests {
     fn run(n: usize, budget: u64) -> NaiveStats {
         let fx = chain_fixture(n);
         let est = fx.estimator();
-        let mut config = OptimizerConfig::default();
-        config.bf_min_apply_rows = 10.0;
-        config.naive_step_budget = budget;
+        let config = OptimizerConfig {
+            bf_min_apply_rows: 10.0,
+            naive_step_budget: budget,
+            ..Default::default()
+        };
         let cands = mark_candidates(&fx.block, &est, &config);
         naive_optimize(&fx.block, &est, &cands, &config, Duration::from_secs(10))
     }

@@ -61,9 +61,7 @@ pub fn collect_deltas(
             for cand in candidates.iter_mut() {
                 // The Bloom filter must be buildable on the inner (build)
                 // side and applied somewhere inside the outer side.
-                if !split.outer.contains(cand.apply_rel)
-                    || !split.inner.contains(cand.build_rel)
-                {
+                if !split.outer.contains(cand.apply_rel) || !split.inner.contains(cand.build_rel) {
                     continue;
                 }
                 let delta = split.inner;
@@ -113,8 +111,10 @@ mod tests {
         //  H3 does not fire there either.)
         let fx = running_example(1.0);
         let est = fx.estimator();
-        let mut config = OptimizerConfig::default();
-        config.bf_min_apply_rows = 100.0; // scaled-down fixture
+        let config = OptimizerConfig {
+            bf_min_apply_rows: 100.0, // scaled-down fixture
+            ..Default::default()
+        };
         let mut cands = mark_candidates(&fx.block, &est, &config);
         assert_eq!(cands.len(), 2, "{cands:?}");
         let stats = collect_deltas(&fx.block, &est, &mut cands, &config);
@@ -135,10 +135,7 @@ mod tests {
     fn heuristic3_prunes_lossless_pk_delta() {
         // Chain a(big) -> b(unfiltered): a.fk references b.pk and b has no
         // local predicate, so δ={b} is lossless and must be pruned.
-        let fx = chain_block(&[
-            ChainSpec::new("a", 50_000),
-            ChainSpec::new("b", 1_000),
-        ]);
+        let fx = chain_block(&[ChainSpec::new("a", 50_000), ChainSpec::new("b", 1_000)]);
         let est = fx.estimator();
         let config = OptimizerConfig::default();
         let mut cands = mark_candidates(&fx.block, &est, &config);
@@ -165,8 +162,10 @@ mod tests {
     fn join_input_cardinality_accumulates() {
         let fx = running_example(0.1);
         let est = fx.estimator();
-        let mut config = OptimizerConfig::default();
-        config.bf_min_apply_rows = 10.0;
+        let config = OptimizerConfig {
+            bf_min_apply_rows: 10.0,
+            ..Default::default()
+        };
         let mut cands = mark_candidates(&fx.block, &est, &config);
         let stats = collect_deltas(&fx.block, &est, &mut cands, &config);
         assert!(stats.total_join_input > 0.0);
@@ -178,13 +177,12 @@ mod tests {
     fn h9_candidate_requires_small_delta() {
         // Both relations large and similar: the H9 reverse candidate's δ
         // (the big side) is not smaller than its apply side, so no δ.
-        let fx = chain_block(&[
-            ChainSpec::new("big", 60_000),
-            ChainSpec::new("mid", 50_000),
-        ]);
+        let fx = chain_block(&[ChainSpec::new("big", 60_000), ChainSpec::new("mid", 50_000)]);
         let est = fx.estimator();
-        let mut config = OptimizerConfig::default();
-        config.h9_enabled = true;
+        let config = OptimizerConfig {
+            h9_enabled: true,
+            ..Default::default()
+        };
         let mut cands = mark_candidates(&fx.block, &est, &config);
         collect_deltas(&fx.block, &est, &mut cands, &config);
         let h9 = cands.iter().find(|c| c.via_h9).unwrap();

@@ -253,11 +253,7 @@ fn simple_dist_opts(outer: &SubPlan, inner: &SubPlan, replicate_inner: bool) -> 
     opts
 }
 
-fn wrap_exchange(
-    plan: &Arc<PhysicalPlan>,
-    kind: ExchangeKind,
-    rows: f64,
-) -> Arc<PhysicalPlan> {
+fn wrap_exchange(plan: &Arc<PhysicalPlan>, kind: ExchangeKind, rows: f64) -> Arc<PhysicalPlan> {
     let dist = match &kind {
         ExchangeKind::Broadcast => Distribution::Replicated,
         ExchangeKind::Repartition(cols) => Distribution::Hash(cols.clone()),
@@ -332,8 +328,7 @@ fn try_join(
     let extra = Expr::conjunction(extra_preds);
 
     // Output cardinality under the surviving assumptions.
-    let remaining_bfs: Vec<BfAssumption> =
-        pending.remaining.iter().map(|p| p.bf.clone()).collect();
+    let remaining_bfs: Vec<BfAssumption> = pending.remaining.iter().map(|p| p.bf.clone()).collect();
     let rows_out = est.joined_rows(s_all, &remaining_bfs);
 
     // Bloom builds for resolved filters.
@@ -363,13 +358,14 @@ fn try_join(
             _ => {}
         }
         let dist_opts = match algo {
-            JoinAlgoChoice::Hash => {
-                hash_dist_opts(outer_sp, inner_sp, &okeys, &ikeys, split.kind)
-            }
+            JoinAlgoChoice::Hash => hash_dist_opts(outer_sp, inner_sp, &okeys, &ikeys, split.kind),
             JoinAlgoChoice::Merge => {
                 // Merge join needs co-partitioned inputs: repartition both.
                 let mut opts = hash_dist_opts(outer_sp, inner_sp, &okeys, &ikeys, split.kind);
-                opts.retain(|o| !o.build_replicated && o.outer_ex.is_none() == o.inner_ex.is_none() || o.single_stream);
+                opts.retain(|o| {
+                    !o.build_replicated && o.outer_ex.is_none() == o.inner_ex.is_none()
+                        || o.single_stream
+                });
                 opts
             }
             JoinAlgoChoice::NestLoop => simple_dist_opts(outer_sp, inner_sp, true),
@@ -387,18 +383,12 @@ fn try_join(
                     opt.build_replicated,
                     opt.single_stream,
                 ),
-                JoinAlgoChoice::Merge => model.merge_join(
-                    outer_sp.rows,
-                    inner_sp.rows,
-                    rows_out,
-                    opt.single_stream,
-                ),
-                JoinAlgoChoice::NestLoop => model.nestloop_join(
-                    outer_sp.rows,
-                    inner_sp.rows,
-                    rows_out,
-                    opt.single_stream,
-                ),
+                JoinAlgoChoice::Merge => {
+                    model.merge_join(outer_sp.rows, inner_sp.rows, rows_out, opt.single_stream)
+                }
+                JoinAlgoChoice::NestLoop => {
+                    model.nestloop_join(outer_sp.rows, inner_sp.rows, rows_out, opt.single_stream)
+                }
             };
             cost = cost.plus(join_cost);
 
@@ -537,18 +527,17 @@ mod tests {
         let mut applied = Vec::new();
         let mut built = Vec::new();
         best.plan.visit(&mut |p| match &p.node {
-            PhysicalNode::Scan { blooms, .. } => {
-                applied.extend(blooms.iter().map(|b| b.filter))
-            }
-            PhysicalNode::HashJoin { builds, .. } => {
-                built.extend(builds.iter().map(|b| b.filter))
-            }
+            PhysicalNode::Scan { blooms, .. } => applied.extend(blooms.iter().map(|b| b.filter)),
+            PhysicalNode::HashJoin { builds, .. } => built.extend(builds.iter().map(|b| b.filter)),
             _ => {}
         });
         applied.sort();
         built.sort();
         assert_eq!(applied, built, "every applied filter must be built once");
-        assert!(!applied.is_empty(), "BF-CBO should have used a Bloom filter");
+        assert!(
+            !applied.is_empty(),
+            "BF-CBO should have used a Bloom filter"
+        );
     }
 
     #[test]
@@ -584,9 +573,10 @@ mod tests {
         let mut config = OptimizerConfig::with_mode(BloomMode::Cbo);
         config.bf_min_apply_rows = 1_000.0;
         let (best, _) = optimize_fixture(&fx, &config);
-        let applies = count_nodes(&best.plan, |n| {
-            matches!(n, PhysicalNode::Scan { blooms, .. } if !blooms.is_empty())
-        });
+        let applies = count_nodes(
+            &best.plan,
+            |n| matches!(n, PhysicalNode::Scan { blooms, .. } if !blooms.is_empty()),
+        );
         assert!(applies >= 1, "expected at least one Bloom-filtered scan");
     }
 
@@ -608,14 +598,14 @@ mod tests {
 
     #[test]
     fn exchanges_present_in_parallel_plans() {
-        let fx = chain_block(&[
-            ChainSpec::new("a", 100_000),
-            ChainSpec::new("b", 50_000),
-        ]);
+        let fx = chain_block(&[ChainSpec::new("a", 100_000), ChainSpec::new("b", 50_000)]);
         let config = OptimizerConfig::with_mode(BloomMode::None).dop(8);
         let (best, _) = optimize_fixture(&fx, &config);
         let exchanges = count_nodes(&best.plan, |n| matches!(n, PhysicalNode::Exchange { .. }));
-        assert!(exchanges >= 1, "parallel join should use RD or BC:\n{}",
-            best.plan.explain(&|c| format!("{c}")));
+        assert!(
+            exchanges >= 1,
+            "parallel join should use RD or BC:\n{}",
+            best.plan.explain(&|c| format!("{c}"))
+        );
     }
 }

@@ -76,7 +76,7 @@ fn rewrite(
         // inner of an anti or outer join is unsound (§3.3).
         if matches!(kind, JoinKind::Inner | JoinKind::Semi) {
             let delta = subtree_rels(inner, block);
-            for (outer_col, inner_col) in keys.iter().copied().collect::<Vec<_>>() {
+            for &(outer_col, inner_col) in keys.iter() {
                 let Some(apply_rel) = block.ordinal_of(outer_col.table) else {
                     continue;
                 };
@@ -225,8 +225,7 @@ fn attach_apply(
             extra,
             builds,
         } => {
-            let (new_outer, new_inner) =
-                descend_join(outer, inner, *kind, rel_id, column, filter)?;
+            let (new_outer, new_inner) = descend_join(outer, inner, *kind, rel_id, column, filter)?;
             PhysicalNode::HashJoin {
                 outer: new_outer,
                 inner: new_inner,
@@ -243,8 +242,7 @@ fn attach_apply(
             keys,
             extra,
         } => {
-            let (new_outer, new_inner) =
-                descend_join(outer, inner, *kind, rel_id, column, filter)?;
+            let (new_outer, new_inner) = descend_join(outer, inner, *kind, rel_id, column, filter)?;
             PhysicalNode::MergeJoin {
                 outer: new_outer,
                 inner: new_inner,
@@ -259,8 +257,7 @@ fn attach_apply(
             kind,
             predicate,
         } => {
-            let (new_outer, new_inner) =
-                descend_join(outer, inner, *kind, rel_id, column, filter)?;
+            let (new_outer, new_inner) = descend_join(outer, inner, *kind, rel_id, column, filter)?;
             PhysicalNode::NestLoopJoin {
                 outer: new_outer,
                 inner: new_inner,
@@ -331,7 +328,10 @@ mod tests {
             &mut next_filter,
         )
         .unwrap();
-        run_dp(&fx.block, &est, &model, config, initial).unwrap().0.plan
+        run_dp(&fx.block, &est, &model, config, initial)
+            .unwrap()
+            .0
+            .plan
     }
 
     fn count_filters(plan: &Arc<PhysicalPlan>) -> (usize, usize) {
@@ -376,10 +376,7 @@ mod tests {
         // Unfiltered PK build side: Heuristic 3 blocks the filter. This is
         // the paper's Figure 1a scenario ("a Bloom filter cannot filter any
         // probe side rows in this case").
-        let fx = chain_block(&[
-            ChainSpec::new("a", 50_000),
-            ChainSpec::new("b", 1_000),
-        ]);
+        let fx = chain_block(&[ChainSpec::new("a", 50_000), ChainSpec::new("b", 1_000)]);
         let config = OptimizerConfig::with_mode(BloomMode::Post);
         let plan = plain_plan(&fx, &config);
         let est = fx.estimator();
@@ -417,8 +414,14 @@ mod tests {
         let required = required_cols_per_rel(&fx.block, &[]);
         let mut next_filter = 0;
         let initial = initial_plan_lists(
-            &fx.block, &est, &model, &config, &cands, &required,
-            &HashMap::new(), &mut next_filter,
+            &fx.block,
+            &est,
+            &model,
+            &config,
+            &cands,
+            &required,
+            &HashMap::new(),
+            &mut next_filter,
         )
         .unwrap();
         let (best, _) = run_dp(&fx.block, &est, &model, &config, initial).unwrap();

@@ -108,7 +108,9 @@ fn make_table(name: &str, rows: usize, fk_domains: &[usize]) -> Table {
             .collect();
         columns.push(Arc::new(Column::Int64(vals, None)));
     }
-    let vals: Vec<i64> = (0..rows as i64).map(|k| (k * 7 + 13) % VAL_DOMAIN).collect();
+    let vals: Vec<i64> = (0..rows as i64)
+        .map(|k| (k * 7 + 13) % VAL_DOMAIN)
+        .collect();
     columns.push(Arc::new(Column::Int64(vals, None)));
 
     Table::new(name, schema, vec![Chunk::new(columns).unwrap()]).unwrap()
@@ -129,7 +131,11 @@ pub fn chain_block(specs: &[ChainSpec]) -> Fixture {
     let mut base_ids = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
         let next_rows = specs.get(i + 1).map(|s| s.rows).unwrap_or(1);
-        let fk_domains = if i + 1 < specs.len() { vec![next_rows] } else { vec![1] };
+        let fk_domains = if i + 1 < specs.len() {
+            vec![next_rows]
+        } else {
+            vec![1]
+        };
         let table = make_table(&spec.name, spec.rows, &fk_domains);
         let id = catalog.register(table, vec![0]).unwrap();
         base_ids.push(id);

@@ -174,9 +174,7 @@ impl<'a> Estimator<'a> {
             match self.block.rel(rel).kind {
                 RelKind::Inner => {}
                 RelKind::Semi => card *= self.dependent_semi_sel(rel, set),
-                RelKind::Anti => {
-                    card *= (1.0 - self.dependent_semi_sel(rel, set)).max(MIN_SEL)
-                }
+                RelKind::Anti => card *= (1.0 - self.dependent_semi_sel(rel, set)).max(MIN_SEL),
                 RelKind::LeftOuter => card *= self.left_outer_factor(rel, set),
             }
         }
@@ -446,11 +444,7 @@ mod tests {
         let v3 = bindings.bind_table(&cat, t3).unwrap();
 
         // t2 filtered: c3 < 100 (half of the 0..200 domain).
-        let t2_pred = Expr::binary(
-            BinOp::Lt,
-            Expr::col(ColumnId::new(v2, 2)),
-            Expr::int(100),
-        );
+        let t2_pred = Expr::binary(BinOp::Lt, Expr::col(ColumnId::new(v2, 2)), Expr::int(100));
         let block = QueryBlock {
             rels: vec![
                 BaseRel {
@@ -515,7 +509,10 @@ mod tests {
     #[test]
     fn distinct_after_selection_behaviour() {
         // Selecting everything keeps all distincts.
-        assert_eq!(Estimator::distinct_after_selection(100.0, 1000.0, 1000.0), 100.0);
+        assert_eq!(
+            Estimator::distinct_after_selection(100.0, 1000.0, 1000.0),
+            100.0
+        );
         // Tiny samples keep few distincts.
         let d = Estimator::distinct_after_selection(100.0, 10.0, 1000.0);
         assert!(d > 5.0 && d < 15.0, "{d}");

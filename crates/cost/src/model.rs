@@ -110,13 +110,7 @@ impl CostModel {
     /// Scan cost: read `input_rows`, evaluate `n_preds` predicates and
     /// `n_bloom` Bloom filters per row, emit `output_rows`. Scans are always
     /// partitioned across workers.
-    pub fn scan(
-        &self,
-        input_rows: f64,
-        output_rows: f64,
-        n_preds: usize,
-        n_bloom: usize,
-    ) -> Cost {
+    pub fn scan(&self, input_rows: f64, output_rows: f64, n_preds: usize, n_bloom: usize) -> Cost {
         self.scan_with_blooms(input_rows, input_rows, output_rows, n_preds, n_bloom)
     }
 

@@ -183,7 +183,13 @@ pub fn execute_agg(
                 .collect(),
             distinct: aggs
                 .iter()
-                .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                .map(|a| {
+                    if a.distinct {
+                        Some(HashSet::new())
+                    } else {
+                        None
+                    }
+                })
                 .collect(),
         }
     };

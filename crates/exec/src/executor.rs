@@ -8,9 +8,7 @@ use bfq_bloom::FilterHub;
 use bfq_catalog::Catalog;
 use bfq_common::{BfqError, DataType, Datum, Result};
 use bfq_expr::{eval, Layout};
-use bfq_plan::{
-    Distribution, ExchangeKind, PhysicalNode, PhysicalPlan,
-};
+use bfq_plan::{Distribution, ExchangeKind, PhysicalNode, PhysicalPlan};
 use bfq_storage::{Chunk, Column};
 
 use crate::agg::execute_agg;

@@ -84,11 +84,11 @@ pub fn probe_partition(
         let hashes = hash_keys(chunk, probe_slots, JOIN_SEED);
         let mut probe_sel: Vec<u32> = Vec::new();
         let mut build_sel: Vec<u32> = Vec::new();
-        for i in 0..chunk.rows() {
+        for (i, &hash) in hashes.iter().enumerate() {
             if keys_null(chunk, probe_slots, i) {
                 continue;
             }
-            for &bi in table.candidates(hashes[i]) {
+            for &bi in table.candidates(hash) {
                 if rows_match(
                     chunk,
                     probe_slots,
@@ -387,7 +387,13 @@ mod tests {
             types: vec![DataType::Int64],
             partitions: parts
                 .into_iter()
-                .map(|v| if v.is_empty() { vec![] } else { vec![chunk1(&v)] })
+                .map(|v| {
+                    if v.is_empty() {
+                        vec![]
+                    } else {
+                        vec![chunk1(&v)]
+                    }
+                })
                 .collect(),
         }
     }
@@ -481,7 +487,11 @@ mod tests {
         .unwrap();
         assert_eq!(anti.total_rows(), 1);
         assert_eq!(
-            anti.into_single_chunk().unwrap().column(0).as_i64().unwrap(),
+            anti.into_single_chunk()
+                .unwrap()
+                .column(0)
+                .as_i64()
+                .unwrap(),
             &[3]
         );
     }
@@ -533,8 +543,8 @@ mod tests {
     fn nestloop_cross_and_filtered() {
         let outer = pd(vec![vec![1, 2]]);
         let inner = pd(vec![vec![10, 20, 30]]);
-        let cross = nestloop_join(&outer, &inner, JoinKind::Inner, &None, &joined_layout())
-            .unwrap();
+        let cross =
+            nestloop_join(&outer, &inner, JoinKind::Inner, &None, &joined_layout()).unwrap();
         assert_eq!(cross.total_rows(), 6);
         let pred = Expr::binary(
             bfq_expr::BinOp::Gt,

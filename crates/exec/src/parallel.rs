@@ -17,22 +17,20 @@ where
         return Ok(vec![f(0)?]);
     }
     let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (i, slot) in slots.iter_mut().enumerate() {
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 *slot = Some(f(i));
             }));
         }
         for h in handles {
-            h.join().map_err(|_| {
-                BfqError::Execution("worker thread panicked".into())
-            })?;
+            h.join()
+                .map_err(|_| BfqError::Execution("worker thread panicked".into()))?;
         }
         Ok(())
-    })
-    .map_err(|_| BfqError::Execution("thread scope panicked".into()))??;
+    })?;
     slots
         .into_iter()
         .map(|s| s.expect("worker completed"))

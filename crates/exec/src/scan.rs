@@ -98,8 +98,7 @@ pub fn execute_scan(
             if ci % dop != p {
                 continue;
             }
-            if let Some(c) =
-                scan_chunk(chunk, &full_layout, predicate, &filters, Some(projection))?
+            if let Some(c) = scan_chunk(chunk, &full_layout, predicate, &filters, Some(projection))?
             {
                 out.push(c);
             }

@@ -147,15 +147,12 @@ pub fn expr_types(
     layout: &Layout,
     input_types: &[DataType],
 ) -> Result<Vec<DataType>> {
-    let resolve = |c: ColumnId| -> Option<DataType> {
-        layout.slot_of(c).map(|s| input_types[s])
-    };
+    let resolve = |c: ColumnId| -> Option<DataType> { layout.slot_of(c).map(|s| input_types[s]) };
     exprs
         .iter()
         .map(|e| {
-            e.data_type(&resolve).ok_or_else(|| {
-                BfqError::Type(format!("cannot infer type of expression {e}"))
-            })
+            e.data_type(&resolve)
+                .ok_or_else(|| BfqError::Type(format!("cannot infer type of expression {e}")))
         })
         .collect()
 }
@@ -230,7 +227,11 @@ pub fn substitute_placeholder(expr: &Expr, placeholder: ColumnId, value: &Datum)
         Expr::ExtractMonth(e) => {
             Expr::ExtractMonth(Box::new(substitute_placeholder(e, placeholder, value)))
         }
-        Expr::Substring { expr: e, start, len } => Expr::Substring {
+        Expr::Substring {
+            expr: e,
+            start,
+            len,
+        } => Expr::Substring {
             expr: Box::new(substitute_placeholder(e, placeholder, value)),
             start: *start,
             len: *len,

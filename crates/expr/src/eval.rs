@@ -154,9 +154,9 @@ pub fn eval(expr: &Expr, chunk: &Chunk, layout: &Layout) -> Result<Column> {
     let rows = chunk.rows();
     match expr {
         Expr::Column(id) => {
-            let slot = layout.slot_of(*id).ok_or_else(|| {
-                BfqError::internal(format!("column {id} not present in layout"))
-            })?;
+            let slot = layout
+                .slot_of(*id)
+                .ok_or_else(|| BfqError::internal(format!("column {id} not present in layout")))?;
             Ok(chunk.column(slot).as_ref().clone())
         }
         Expr::Literal(d) => broadcast_literal(d, rows),
@@ -284,16 +284,19 @@ pub fn eval(expr: &Expr, chunk: &Chunk, layout: &Layout) -> Result<Column> {
                         break;
                     }
                 }
-                let datum = chosen.unwrap_or_else(|| {
-                    else_col.as_ref().map(|c| c.get(i)).unwrap_or(Datum::Null)
-                });
+                let datum = chosen
+                    .unwrap_or_else(|| else_col.as_ref().map(|c| c.get(i)).unwrap_or(Datum::Null));
                 builder.push_datum(&datum)?;
             }
             Ok(builder.finish())
         }
         Expr::ExtractYear(e) => extract_date_part(e, chunk, layout, date::year_of),
         Expr::ExtractMonth(e) => extract_date_part(e, chunk, layout, |d| date::month_of(d) as i32),
-        Expr::Substring { expr: e, start, len } => {
+        Expr::Substring {
+            expr: e,
+            start,
+            len,
+        } => {
             let c = eval(e, chunk, layout)?;
             let s = c
                 .as_str()
@@ -426,9 +429,7 @@ fn compare_columns(op: BinOp, l: &Column, r: &Column) -> Result<BoolVec> {
                 if l.is_null(i) || r.is_null(i) {
                     out.set_invalid(i);
                 } else {
-                    let ord = lf(i)
-                        .partial_cmp(&rf(i))
-                        .unwrap_or(Ordering::Equal);
+                    let ord = lf(i).partial_cmp(&rf(i)).unwrap_or(Ordering::Equal);
                     out.vals[i] = cmp_matches(op, ord);
                 }
             }
@@ -457,9 +458,9 @@ fn merged_validity(l: &Column, r: &Column, extra_null: impl Fn(usize) -> bool) -
     if !any {
         return None;
     }
-    Some(Bitmap::from_bools((0..n).map(|i| {
-        !l.is_null(i) && !r.is_null(i) && !extra_null(i)
-    })))
+    Some(Bitmap::from_bools(
+        (0..n).map(|i| !l.is_null(i) && !r.is_null(i) && !extra_null(i)),
+    ))
 }
 
 fn arith_columns(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
@@ -550,18 +551,9 @@ fn date_arith(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
 
 fn negate_column(c: &Column) -> Result<Column> {
     match c {
-        Column::Int64(v, val) => Ok(Column::Int64(
-            v.iter().map(|x| -x).collect(),
-            val.clone(),
-        )),
-        Column::Float64(v, val) => Ok(Column::Float64(
-            v.iter().map(|x| -x).collect(),
-            val.clone(),
-        )),
-        _ => Err(BfqError::Type(format!(
-            "cannot negate {}",
-            c.data_type()
-        ))),
+        Column::Int64(v, val) => Ok(Column::Int64(v.iter().map(|x| -x).collect(), val.clone())),
+        Column::Float64(v, val) => Ok(Column::Float64(v.iter().map(|x| -x).collect(), val.clone())),
+        _ => Err(BfqError::Type(format!("cannot negate {}", c.data_type()))),
     }
 }
 
@@ -767,7 +759,10 @@ mod tests {
             ],
             negated: false,
         };
-        assert_eq!(eval_predicate(&inlist, &chunk, &layout).unwrap(), vec![0, 2]);
+        assert_eq!(
+            eval_predicate(&inlist, &chunk, &layout).unwrap(),
+            vec![0, 2]
+        );
         let like = Expr::Like {
             expr: Box::new(Expr::col(cid(2))),
             pattern: "ap%".into(),
@@ -778,10 +773,7 @@ mod tests {
 
     #[test]
     fn three_valued_logic() {
-        let c0 = Column::Int64(
-            vec![1, 2, 3],
-            Some(Bitmap::from_bools([true, false, true])),
-        );
+        let c0 = Column::Int64(vec![1, 2, 3], Some(Bitmap::from_bools([true, false, true])));
         let chunk = Chunk::new(vec![StdArc::new(c0)]).unwrap();
         let layout = Layout::new(vec![cid(0)]);
         // NULL = 2 is unknown, filtered out.
@@ -828,7 +820,12 @@ mod tests {
     #[test]
     fn extract_parts() {
         let (chunk, layout) = test_chunk();
-        let y = eval(&Expr::ExtractYear(Box::new(Expr::col(cid(3)))), &chunk, &layout).unwrap();
+        let y = eval(
+            &Expr::ExtractYear(Box::new(Expr::col(cid(3)))),
+            &chunk,
+            &layout,
+        )
+        .unwrap();
         assert_eq!(y.as_i64(), Some(&[1970i64, 1970, 1970, 1970][..]));
         let m = eval(
             &Expr::ExtractMonth(Box::new(Expr::col(cid(3)))),

@@ -487,20 +487,12 @@ mod tests {
                 _ => DataType::Date,
             })
         };
-        let int_plus_float = Expr::binary(
-            BinOp::Plus,
-            Expr::col(cid(0, 0)),
-            Expr::col(cid(0, 1)),
-        );
+        let int_plus_float = Expr::binary(BinOp::Plus, Expr::col(cid(0, 0)), Expr::col(cid(0, 1)));
         assert_eq!(int_plus_float.data_type(&resolve), Some(DataType::Float64));
-        let date_minus_date = Expr::binary(
-            BinOp::Minus,
-            Expr::col(cid(0, 2)),
-            Expr::col(cid(0, 2)),
-        );
+        let date_minus_date =
+            Expr::binary(BinOp::Minus, Expr::col(cid(0, 2)), Expr::col(cid(0, 2)));
         assert_eq!(date_minus_date.data_type(&resolve), Some(DataType::Int64));
-        let date_plus_int =
-            Expr::binary(BinOp::Plus, Expr::col(cid(0, 2)), Expr::int(30));
+        let date_plus_int = Expr::binary(BinOp::Plus, Expr::col(cid(0, 2)), Expr::int(30));
         assert_eq!(date_plus_int.data_type(&resolve), Some(DataType::Date));
         let cmp = Expr::col(cid(0, 0)).eq(Expr::int(1));
         assert_eq!(cmp.data_type(&resolve), Some(DataType::Bool));

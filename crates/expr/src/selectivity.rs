@@ -416,7 +416,10 @@ mod tests {
             estimate_selectivity(&mk("%x%", true), &sp),
             1.0 - DEFAULT_CONTAINS_LIKE_SEL
         );
-        assert_eq!(estimate_selectivity(&mk("exact", false), &sp), DEFAULT_EQ_SEL);
+        assert_eq!(
+            estimate_selectivity(&mk("exact", false), &sp),
+            DEFAULT_EQ_SEL
+        );
     }
 
     #[test]

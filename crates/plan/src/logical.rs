@@ -163,11 +163,9 @@ impl LogicalPlan {
     pub fn label(&self) -> String {
         match self {
             LogicalPlan::Block(b) => format!("Block({} rels)", b.num_rels()),
-            LogicalPlan::Aggregate { group_by, aggs, .. } => format!(
-                "Aggregate(groups={}, aggs={})",
-                group_by.len(),
-                aggs.len()
-            ),
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                format!("Aggregate(groups={}, aggs={})", group_by.len(), aggs.len())
+            }
             LogicalPlan::Project { exprs, .. } => format!("Project({})", exprs.len()),
             LogicalPlan::Sort { keys, .. } => format!("Sort({})", keys.len()),
             LogicalPlan::Limit { n, .. } => format!("Limit({n})"),
@@ -195,8 +193,7 @@ mod tests {
 
     #[test]
     fn tree_visit_and_count() {
-        let plan = LogicalPlan::Block(QueryBlock::default())
-            .limit(10);
+        let plan = LogicalPlan::Block(QueryBlock::default()).limit(10);
         assert_eq!(plan.node_count(), 2);
         let mut labels = Vec::new();
         plan.visit(&mut |n| labels.push(n.label()));

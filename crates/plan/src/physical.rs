@@ -439,8 +439,7 @@ impl PhysicalPlan {
                 if blooms.is_empty() {
                     format!("Scan {alias}")
                 } else {
-                    let ids: Vec<String> =
-                        blooms.iter().map(|b| b.filter.to_string()).collect();
+                    let ids: Vec<String> = blooms.iter().map(|b| b.filter.to_string()).collect();
                     format!("Scan {alias} [apply {}]", ids.join(","))
                 }
             }
@@ -448,8 +447,7 @@ impl PhysicalPlan {
                 if blooms.is_empty() {
                     format!("DerivedScan {alias}")
                 } else {
-                    let ids: Vec<String> =
-                        blooms.iter().map(|b| b.filter.to_string()).collect();
+                    let ids: Vec<String> = blooms.iter().map(|b| b.filter.to_string()).collect();
                     format!("DerivedScan {alias} [apply {}]", ids.join(","))
                 }
             }
@@ -458,8 +456,7 @@ impl PhysicalPlan {
                 if builds.is_empty() {
                     format!("HashJoin {}", kind.label())
                 } else {
-                    let ids: Vec<String> =
-                        builds.iter().map(|b| b.filter.to_string()).collect();
+                    let ids: Vec<String> = builds.iter().map(|b| b.filter.to_string()).collect();
                     format!("HashJoin {} [build {}]", kind.label(), ids.join(","))
                 }
             }
@@ -542,10 +539,7 @@ mod tests {
     }
 
     fn join(outer: Arc<PhysicalPlan>, inner: Arc<PhysicalPlan>) -> Arc<PhysicalPlan> {
-        let keys = vec![(
-            outer.layout.columns()[0],
-            inner.layout.columns()[0],
-        )];
+        let keys = vec![(outer.layout.columns()[0], inner.layout.columns()[0])];
         let layout = outer.layout.concat(&inner.layout);
         PhysicalPlan::new(
             PhysicalNode::HashJoin {

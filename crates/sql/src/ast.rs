@@ -240,11 +240,7 @@ impl AstExpr {
             AstExpr::IsNull { expr, .. } => expr.contains_aggregate(),
             AstExpr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             AstExpr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
             }
@@ -256,9 +252,7 @@ impl AstExpr {
                 branches
                     .iter()
                     .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
-                    || else_expr
-                        .as_ref()
-                        .is_some_and(|e| e.contains_aggregate())
+                    || else_expr.as_ref().is_some_and(|e| e.contains_aggregate())
             }
             AstExpr::Extract { expr, .. } => expr.contains_aggregate(),
             _ => false,

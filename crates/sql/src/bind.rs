@@ -11,9 +11,7 @@ use bfq_plan::{
 };
 use bfq_storage::{Field, Schema, SchemaRef};
 
-use crate::ast::{
-    AstBinOp, AstExpr, IntervalUnit, JoinType, SelectItem, SelectStmt, TableRef,
-};
+use crate::ast::{AstBinOp, AstExpr, IntervalUnit, JoinType, SelectItem, SelectStmt, TableRef};
 
 /// A bound query: the logical plan plus result column names.
 #[derive(Debug, Clone)]
@@ -133,10 +131,7 @@ impl BlockBuilder {
 
 impl Binder<'_> {
     /// Bind a SELECT, returning the plan, output names and output schema.
-    fn bind_select(
-        &mut self,
-        stmt: &SelectStmt,
-    ) -> Result<(LogicalPlan, Vec<String>, SchemaRef)> {
+    fn bind_select(&mut self, stmt: &SelectStmt) -> Result<(LogicalPlan, Vec<String>, SchemaRef)> {
         let mut bb = BlockBuilder {
             block: QueryBlock::default(),
             scope: Scope::default(),
@@ -264,7 +259,10 @@ impl Binder<'_> {
                 col_stats.push(self.stats_for_expr(g));
             }
             for a in &collector.aggs {
-                let arg_t = a.arg.as_ref().and_then(|e| e.data_type(&|c| self.resolve_type(c)));
+                let arg_t = a
+                    .arg
+                    .as_ref()
+                    .and_then(|e| e.data_type(&|c| self.resolve_type(c)));
                 fields.push(Field::new(a.func.name(), agg_type(a.func, arg_t)));
                 col_stats.push(ColumnStats::unknown());
             }
@@ -323,16 +321,12 @@ impl Binder<'_> {
             let mut keys = Vec::new();
             let mut hidden: Vec<OutputColumn> = Vec::new();
             for (ast, desc) in &stmt.order_by {
-                let resolved =
-                    self.resolve_order_key(ast, &items, &names, &out_cols, &scope)?;
+                let resolved = self.resolve_order_key(ast, &items, &names, &out_cols, &scope)?;
                 let id = match resolved {
                     Some(id) => id,
                     None if !has_agg => {
                         let bound = self.bind_expr(ast, &scope, &mut None)?;
-                        let id = ColumnId::new(
-                            project_rel,
-                            (out_cols.len() + hidden.len()) as u32,
-                        );
+                        let id = ColumnId::new(project_rel, (out_cols.len() + hidden.len()) as u32);
                         hidden.push(OutputColumn {
                             expr: bound,
                             name: format!("__sort{}", hidden.len()),
@@ -363,10 +357,8 @@ impl Binder<'_> {
                     input: Box::new(widened),
                     keys,
                 };
-                let (final_rel, final_outputs) = self.make_project(
-                    out_cols.iter().map(|oc| Expr::col(oc.id)).collect(),
-                    &names,
-                )?;
+                let (final_rel, final_outputs) = self
+                    .make_project(out_cols.iter().map(|oc| Expr::col(oc.id)).collect(), &names)?;
                 let _ = final_rel;
                 plan = LogicalPlan::Project {
                     input: Box::new(sorted),
@@ -402,9 +394,9 @@ impl Binder<'_> {
         let mut col_stats = Vec::new();
         let mut outputs = Vec::new();
         for (i, (e, name)) in exprs.into_iter().zip(names).enumerate() {
-            let t = e.data_type(&|c| self.resolve_type(c)).ok_or_else(|| {
-                BfqError::Bind(format!("cannot type select expression {e}"))
-            })?;
+            let t = e
+                .data_type(&|c| self.resolve_type(c))
+                .ok_or_else(|| BfqError::Bind(format!("cannot type select expression {e}")))?;
             fields.push(Field::new(name.clone(), t));
             col_stats.push(self.stats_for_expr(&e));
             outputs.push(OutputColumn {
@@ -461,8 +453,11 @@ impl Binder<'_> {
                 let rel_id = self.bindings.bind_table(self.catalog, base)?;
                 let alias = alias.clone().unwrap_or_else(|| name.clone());
                 let ordinal = bb.block.rels.len();
-                bb.scope
-                    .add(alias.clone(), rel_id, self.bindings.get(rel_id)?.schema.clone());
+                bb.scope.add(
+                    alias.clone(),
+                    rel_id,
+                    self.bindings.get(rel_id)?.schema.clone(),
+                );
                 bb.block.rels.push(BaseRel {
                     ordinal,
                     rel_id,
@@ -534,7 +529,11 @@ impl Binder<'_> {
     fn bind_where_conjunct(&mut self, conj: AstExpr, bb: &mut BlockBuilder) -> Result<()> {
         match conj {
             AstExpr::Exists { query, negated } => {
-                let kind = if negated { RelKind::Anti } else { RelKind::Semi };
+                let kind = if negated {
+                    RelKind::Anti
+                } else {
+                    RelKind::Semi
+                };
                 self.bind_quantified_subquery(&query, None, kind, bb)
             }
             AstExpr::InSubquery {
@@ -542,7 +541,11 @@ impl Binder<'_> {
                 query,
                 negated,
             } => {
-                let kind = if negated { RelKind::Anti } else { RelKind::Semi };
+                let kind = if negated {
+                    RelKind::Anti
+                } else {
+                    RelKind::Semi
+                };
                 let outer = self.bind_expr(&expr, &bb.scope, &mut None)?;
                 self.bind_quantified_subquery(&query, Some(outer), kind, bb)
             }
@@ -738,8 +741,7 @@ impl Binder<'_> {
                     right,
                 } = &bound
                 {
-                    if let (Expr::Column(l), Expr::Column(r)) = (left.as_ref(), right.as_ref())
-                    {
+                    if let (Expr::Column(l), Expr::Column(r)) = (left.as_ref(), right.as_ref()) {
                         if l.table != r.table {
                             let left_rel = bb.rel_ordinal(l.table).expect("checked");
                             let right_rel = bb.rel_ordinal(r.table).expect("checked");
@@ -942,9 +944,7 @@ impl Binder<'_> {
                     "avg" => AggFunc::Avg,
                     "min" => AggFunc::Min,
                     "max" => AggFunc::Max,
-                    other => {
-                        return Err(BfqError::Bind(format!("unknown function `{other}`")))
-                    }
+                    other => return Err(BfqError::Bind(format!("unknown function `{other}`"))),
                 };
                 let Some(collector) = agg.as_deref_mut() else {
                     return Err(BfqError::Bind(format!(
@@ -954,16 +954,14 @@ impl Binder<'_> {
                 let arg = if func == AggFunc::CountStar {
                     None
                 } else {
-                    let a = args.first().ok_or_else(|| {
-                        BfqError::Bind(format!("`{name}` requires an argument"))
-                    })?;
+                    let a = args
+                        .first()
+                        .ok_or_else(|| BfqError::Bind(format!("`{name}` requires an argument")))?;
                     Some(self.bind_expr(a, scope, &mut None)?)
                 };
                 Expr::Column(collector.intern(func, arg, *distinct))
             }
-            AstExpr::Star => {
-                return Err(BfqError::Bind("`*` outside count(*)".into()))
-            }
+            AstExpr::Star => return Err(BfqError::Bind("`*` outside count(*)".into())),
             AstExpr::Exists { .. } | AstExpr::InSubquery { .. } | AstExpr::ScalarSubquery(_) => {
                 return Err(BfqError::Bind(
                     "subqueries are only supported as top-level WHERE/HAVING conjuncts".into(),
@@ -1001,11 +999,7 @@ impl Binder<'_> {
             }
             _ => match unit {
                 // Non-constant date expressions support day intervals only.
-                IntervalUnit::Day => Ok(Some(Expr::binary(
-                    BinOp::Plus,
-                    base,
-                    Expr::int(value),
-                ))),
+                IntervalUnit::Day => Ok(Some(Expr::binary(BinOp::Plus, base, Expr::int(value)))),
                 _ => Err(BfqError::Bind(
                     "month/year intervals require a constant date operand".into(),
                 )),
@@ -1105,7 +1099,11 @@ fn replace_subtrees(expr: &Expr, map: &[(Expr, ColumnId)]) -> Expr {
         },
         Expr::ExtractYear(e) => Expr::ExtractYear(Box::new(replace_subtrees(e, map))),
         Expr::ExtractMonth(e) => Expr::ExtractMonth(Box::new(replace_subtrees(e, map))),
-        Expr::Substring { expr: e, start, len } => Expr::Substring {
+        Expr::Substring {
+            expr: e,
+            start,
+            len,
+        } => Expr::Substring {
             expr: Box::new(replace_subtrees(e, map)),
             start: *start,
             len: *len,

@@ -2,9 +2,7 @@
 
 use bfq_common::{BfqError, Result};
 
-use crate::ast::{
-    AstBinOp, AstExpr, IntervalUnit, JoinType, SelectItem, SelectStmt, TableRef,
-};
+use crate::ast::{AstBinOp, AstExpr, IntervalUnit, JoinType, SelectItem, SelectStmt, TableRef};
 use crate::lexer::{tokenize, Token, TokenKind};
 
 /// Parse a single `SELECT` statement (trailing `;` allowed).
@@ -95,7 +93,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.advance() {
             TokenKind::Ident(w) => Ok(w),
-            other => Err(BfqError::Parse(format!("expected identifier, got {other:?}"))),
+            other => Err(BfqError::Parse(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -121,8 +121,7 @@ impl Parser {
                 } else if let TokenKind::Ident(w) = self.peek() {
                     // Bare alias, unless it's a clause keyword.
                     const CLAUSES: [&str; 8] = [
-                        "from", "where", "group", "having", "order", "limit", "union",
-                        "select",
+                        "from", "where", "group", "having", "order", "limit", "union", "select",
                     ];
                     if CLAUSES.contains(&w.as_str()) {
                         None
@@ -181,9 +180,7 @@ impl Parser {
         let limit = if self.accept_kw("limit") {
             match self.advance() {
                 TokenKind::Int(n) if n >= 0 => Some(n as usize),
-                other => {
-                    return Err(BfqError::Parse(format!("bad LIMIT value {other:?}")))
-                }
+                other => return Err(BfqError::Parse(format!("bad LIMIT value {other:?}"))),
             }
         } else {
             None
@@ -248,8 +245,8 @@ impl Parser {
             Some(self.ident()?)
         } else if let TokenKind::Ident(w) = self.peek() {
             const CLAUSES: [&str; 12] = [
-                "where", "group", "having", "order", "limit", "join", "inner", "left",
-                "on", "union", "select", "from",
+                "where", "group", "having", "order", "limit", "join", "inner", "left", "on",
+                "union", "select", "from",
             ];
             if CLAUSES.contains(&w.as_str()) {
                 None
@@ -509,17 +506,16 @@ impl Parser {
             "interval" => {
                 self.advance();
                 let s = self.string()?;
-                let value: i64 = s.trim().parse().map_err(|_| {
-                    BfqError::Parse(format!("bad interval count `{s}`"))
-                })?;
+                let value: i64 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| BfqError::Parse(format!("bad interval count `{s}`")))?;
                 let unit_word = self.ident()?;
                 let unit = match unit_word.trim_end_matches('s') {
                     "day" => IntervalUnit::Day,
                     "month" => IntervalUnit::Month,
                     "year" => IntervalUnit::Year,
-                    other => {
-                        return Err(BfqError::Parse(format!("bad interval unit `{other}`")))
-                    }
+                    other => return Err(BfqError::Parse(format!("bad interval unit `{other}`"))),
                 };
                 Ok(AstExpr::Interval { value, unit })
             }
@@ -568,11 +564,15 @@ impl Parser {
                         )),
                     }
                 };
-                return Ok(AstExpr::Func {
+                Ok(AstExpr::Func {
                     name: "substring".into(),
-                    args: vec![e, AstExpr::Int(to_usize(&start)?), AstExpr::Int(to_usize(&len)?)],
+                    args: vec![
+                        e,
+                        AstExpr::Int(to_usize(&start)?),
+                        AstExpr::Int(to_usize(&len)?),
+                    ],
                     distinct: false,
-                });
+                })
             }
             "extract" => {
                 self.advance();
@@ -701,7 +701,10 @@ mod tests {
         .unwrap();
         let conj = q.where_clause.unwrap().conjuncts();
         assert!(matches!(conj[0], AstExpr::Exists { negated: false, .. }));
-        assert!(matches!(conj[1], AstExpr::InSubquery { negated: false, .. }));
+        assert!(matches!(
+            conj[1],
+            AstExpr::InSubquery { negated: false, .. }
+        ));
         match &conj[2] {
             AstExpr::Binary { right, .. } => {
                 assert!(matches!(right.as_ref(), AstExpr::ScalarSubquery(_)))
@@ -717,10 +720,9 @@ mod tests {
 
     #[test]
     fn derived_tables_and_joins() {
-        let q = parse_select(
-            "select * from (select a from t) sub left outer join u on sub.a = u.a",
-        )
-        .unwrap();
+        let q =
+            parse_select("select * from (select a from t) sub left outer join u on sub.a = u.a")
+                .unwrap();
         match &q.from[0] {
             TableRef::Join {
                 left, join_type, ..
@@ -754,10 +756,7 @@ mod tests {
                     ..
                 },
                 SelectItem::Expr {
-                    expr:
-                        AstExpr::Func {
-                            distinct: true, ..
-                        },
+                    expr: AstExpr::Func { distinct: true, .. },
                     ..
                 },
             ) => {
@@ -773,11 +772,16 @@ mod tests {
         // OR at top; AND beneath the right side.
         match q.where_clause.unwrap() {
             AstExpr::Binary {
-                op: AstBinOp::Or, right, ..
+                op: AstBinOp::Or,
+                right,
+                ..
             } => {
                 assert!(matches!(
                     right.as_ref(),
-                    AstExpr::Binary { op: AstBinOp::And, .. }
+                    AstExpr::Binary {
+                        op: AstBinOp::And,
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),

@@ -195,11 +195,7 @@ impl ColumnBuilder {
             (DataType::Bool, Datum::Bool(b)) => self.push_bool(*b),
             (DataType::Date, Datum::Date(v)) => self.push_date(*v),
             (DataType::Date, Datum::Int(v)) => self.push_date(*v as i32),
-            (dt, d) => {
-                return Err(BfqError::Type(format!(
-                    "cannot append {d} to {dt} column"
-                )))
-            }
+            (dt, d) => return Err(BfqError::Type(format!("cannot append {d} to {dt} column"))),
         }
         Ok(())
     }

@@ -72,11 +72,7 @@ impl Chunk {
 
     /// Gather rows by selection vector.
     pub fn take(&self, sel: &[u32]) -> Chunk {
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| Arc::new(c.take(sel)))
-            .collect();
+        let columns = self.columns.iter().map(|c| Arc::new(c.take(sel))).collect();
         Chunk {
             columns,
             rows: sel.len(),
@@ -85,8 +81,10 @@ impl Chunk {
 
     /// Keep a subset of columns, in the given order.
     pub fn project(&self, indices: &[usize]) -> Chunk {
-        let columns: Vec<ColumnRef> =
-            indices.iter().map(|&i| Arc::clone(&self.columns[i])).collect();
+        let columns: Vec<ColumnRef> = indices
+            .iter()
+            .map(|&i| Arc::clone(&self.columns[i]))
+            .collect();
         Chunk {
             columns,
             rows: self.rows,

@@ -219,9 +219,8 @@ impl Column {
     /// Gather rows by selection vector into a new column.
     pub fn take(&self, sel: &[u32]) -> Column {
         let gather_validity = |v: &Option<Bitmap>| -> Option<Bitmap> {
-            v.as_ref().map(|bm| {
-                Bitmap::from_bools(sel.iter().map(|&i| bm.get(i as usize)))
-            })
+            v.as_ref()
+                .map(|bm| Bitmap::from_bools(sel.iter().map(|&i| bm.get(i as usize))))
         };
         match self {
             Column::Int64(v, val) => Column::Int64(
@@ -235,7 +234,7 @@ impl Column {
             Column::Utf8(v, val) => {
                 let mut out = StrData::with_capacity(
                     sel.len(),
-                    if v.len() == 0 {
+                    if v.is_empty() {
                         0
                     } else {
                         v.payload_bytes() / v.len().max(1)
@@ -337,9 +336,9 @@ impl Column {
             Column::Date(v, _) => out.extend(v.iter().map(|&x| hash_i64(x as i64, seed))),
         }
         if let Some(bm) = self.validity() {
-            for i in 0..self.len() {
+            for (i, h) in out.iter_mut().enumerate() {
                 if !bm.get(i) {
-                    out[i] = NULL_SENTINEL;
+                    *h = NULL_SENTINEL;
                 }
             }
         }

@@ -25,21 +25,84 @@ pub struct TpchDb {
 
 /// Word pools for generated text.
 const COLORS: [&str; 30] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "green",
 ];
 const NOUNS: [&str; 20] = [
-    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
-    "beans", "instructions", "dependencies", "excuses", "platelets", "asymptotes", "courts",
-    "dolphins", "multipliers", "sauternes", "warthogs", "sheaves",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "beans",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "warthogs",
+    "sheaves",
 ];
 const VERBS: [&str; 16] = [
-    "sleep", "haggle", "nag", "wake", "cajole", "detect", "integrate", "snooze", "doze",
-    "boost", "affix", "print", "x-ray", "unwind", "breach", "engage",
+    "sleep",
+    "haggle",
+    "nag",
+    "wake",
+    "cajole",
+    "detect",
+    "integrate",
+    "snooze",
+    "doze",
+    "boost",
+    "affix",
+    "print",
+    "x-ray",
+    "unwind",
+    "breach",
+    "engage",
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const SHIPINSTRUCT: [&str; 4] = [
@@ -419,7 +482,9 @@ pub fn generate(sf: f64, seed: u64) -> Result<TpchDb> {
 
 /// Convenience: fetch a table's single concatenated chunk (test helper).
 pub fn table_chunk(db: &TpchDb, name: &str) -> Result<Chunk> {
-    db.catalog.data(db.catalog.meta_by_name(name)?.id)?.to_single_chunk()
+    db.catalog
+        .data(db.catalog.meta_by_name(name)?.id)?
+        .to_single_chunk()
 }
 
 #[cfg(test)]

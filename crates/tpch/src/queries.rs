@@ -351,8 +351,7 @@ mod tests {
     fn all_queries_parse() {
         for n in supported_queries() {
             let text = query_text(n, 0.1);
-            bfq_sql::parse_select(&text)
-                .unwrap_or_else(|e| panic!("Q{n} failed to parse: {e}"));
+            bfq_sql::parse_select(&text).unwrap_or_else(|e| panic!("Q{n} failed to parse: {e}"));
         }
     }
 

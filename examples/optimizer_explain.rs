@@ -25,7 +25,9 @@ fn main() -> Result<()> {
     for c in &cands {
         println!(
             "  BFC on {}: apply col {}, build col {} (rel {})",
-            fx.block.rel(c.apply_rel).alias, c.apply_col, c.build_col,
+            fx.block.rel(c.apply_rel).alias,
+            c.apply_col,
+            c.build_col,
             fx.block.rel(c.build_rel).alias
         );
     }
@@ -35,10 +37,7 @@ fn main() -> Result<()> {
     println!("\n## Phase 1 — Δ collection (paper Example 3.2)");
     println!("  pairs visited: {}", p1.pairs_visited);
     for c in &cands {
-        println!(
-            "  {}: Δ = {:?}",
-            fx.block.rel(c.apply_rel).alias, c.deltas
-        );
+        println!("  {}: Δ = {:?}", fx.block.rel(c.apply_rel).alias, c.deltas);
     }
 
     // Example 3.3: costed Bloom filter scan sub-plans.
@@ -46,20 +45,33 @@ fn main() -> Result<()> {
     let required = required_cols_per_rel(&fx.block, &[]);
     let mut next_filter = 0;
     let lists = initial_plan_lists(
-        &fx.block, &est, &model, &config, &cands, &required,
-        &HashMap::new(), &mut next_filter,
+        &fx.block,
+        &est,
+        &model,
+        &config,
+        &cands,
+        &required,
+        &HashMap::new(),
+        &mut next_filter,
     )?;
     println!("\n## Costing — plan lists per relation (paper Example 3.3)");
     for (rel, list) in lists.iter().enumerate() {
         println!("  {}:", fx.block.rel(rel).alias);
         for sp in list.plans() {
-            let deltas: Vec<String> =
-                sp.pending.iter().map(|p| format!("{:?}", p.bf.delta)).collect();
+            let deltas: Vec<String> = sp
+                .pending
+                .iter()
+                .map(|p| format!("{:?}", p.bf.delta))
+                .collect();
             println!(
                 "    rows={:>9.0} cost={:>10.1} bloom δ={}",
                 sp.rows,
                 sp.cost.total,
-                if deltas.is_empty() { "-".into() } else { deltas.join(",") }
+                if deltas.is_empty() {
+                    "-".into()
+                } else {
+                    deltas.join(",")
+                }
             );
         }
     }

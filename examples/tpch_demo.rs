@@ -25,8 +25,11 @@ fn main() -> Result<()> {
         let t = std::time::Instant::now();
         let result = session.run_sql(&sql)?;
         let ms = t.elapsed().as_secs_f64() * 1e3;
-        println!("== {mode:?}: {} rows in {ms:.1} ms (plan {:.1} ms) ==",
-            result.chunk.rows(), result.optimized.stats.planning_ms);
+        println!(
+            "== {mode:?}: {} rows in {ms:.1} ms (plan {:.1} ms) ==",
+            result.chunk.rows(),
+            result.optimized.stats.planning_ms
+        );
         println!("{}", result.explain());
     }
     Ok(())

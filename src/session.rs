@@ -12,18 +12,10 @@ use bfq_storage::Chunk;
 use bfq_tpch::TpchDb;
 
 /// Session-level configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SessionConfig {
     /// Optimizer configuration (Bloom mode, DOP, heuristics).
     pub optimizer: OptimizerConfig,
-}
-
-impl Default for SessionConfig {
-    fn default() -> Self {
-        SessionConfig {
-            optimizer: OptimizerConfig::default(),
-        }
-    }
 }
 
 impl SessionConfig {

@@ -119,8 +119,8 @@ fn filters_always_pair_up() {
         let mut config = OptimizerConfig::with_mode(BloomMode::Cbo).dop(3);
         config.bf_min_apply_rows = 50.0;
         let catalog = Arc::new(fx.catalog.clone());
-        let planned = optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config)
-            .expect("optimize");
+        let planned =
+            optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).expect("optimize");
         let (mut applied, mut built) = (Vec::new(), Vec::new());
         planned.plan.visit(&mut |n| match &n.node {
             bfq::plan::PhysicalNode::Scan { blooms, .. } => {
@@ -151,9 +151,12 @@ fn heuristic7_preserves_results() {
         config.h7_enabled = h7;
         config.h7_max_subplans = 1;
         let catalog = Arc::new(fx.catalog.clone());
-        let planned = optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config)
-            .expect("optimize");
-        execute_plan(&planned.plan, catalog, 2).expect("execute").chunk.rows()
+        let planned =
+            optimize_bare_block(&fx.block, &mut fx.bindings, &catalog, &config).expect("optimize");
+        execute_plan(&planned.plan, catalog, 2)
+            .expect("execute")
+            .chunk
+            .rows()
     };
     assert_eq!(run(false), run(true));
 }

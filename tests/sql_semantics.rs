@@ -23,7 +23,10 @@ fn mini_catalog() -> Catalog {
         vec![Chunk::new(vec![
             Arc::new(Column::Int64(vec![1, 2, 3], None)),
             Arc::new(Column::Utf8(
-                ["eng", "sales", "hr"].iter().map(|s| s.to_string()).collect::<StrData>(),
+                ["eng", "sales", "hr"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<StrData>(),
                 None,
             )),
         ])
@@ -45,7 +48,10 @@ fn mini_catalog() -> Catalog {
         vec![Chunk::new(vec![
             Arc::new(Column::Int64(vec![10, 11, 12, 13, 14], None)),
             Arc::new(Column::Int64(vec![1, 1, 2, 2, 3], None)),
-            Arc::new(Column::Float64(vec![100.0, 200.0, 150.0, 50.0, 300.0], None)),
+            Arc::new(Column::Float64(
+                vec![100.0, 200.0, 150.0, 50.0, 300.0],
+                None,
+            )),
             Arc::new(Column::Date(vec![0, 100, 200, 300, 400], None)),
         ])
         .unwrap()],
@@ -91,7 +97,9 @@ fn inner_join_with_group_and_order() {
         .collect();
     // totals: eng 300, sales 200, hr 300 → desc with stable tie order.
     assert_eq!(r.chunk.rows(), 3);
-    let totals: Vec<f64> = (0..3).map(|i| r.chunk.row(i)[2].as_f64().unwrap()).collect();
+    let totals: Vec<f64> = (0..3)
+        .map(|i| r.chunk.row(i)[2].as_f64().unwrap())
+        .collect();
     assert!(totals[0] >= totals[1] && totals[1] >= totals[2]);
     assert!(names.contains(&"eng".to_string()));
 }
@@ -138,9 +146,7 @@ fn semi_and_anti_subqueries() {
 fn scalar_subquery_filter() {
     let s = session();
     let r = s
-        .run_sql(
-            "select id from emp where salary > (select avg(salary) from emp) order by id",
-        )
+        .run_sql("select id from emp where salary > (select avg(salary) from emp) order by id")
         .unwrap();
     // avg = 160 → 200 and 300 qualify.
     assert_eq!(ints(&r, 0), vec![11, 14]);
@@ -198,7 +204,9 @@ fn case_and_arithmetic_projection() {
 #[test]
 fn limit_and_distinct_count() {
     let s = session();
-    let r = s.run_sql("select id from emp order by salary desc limit 2").unwrap();
+    let r = s
+        .run_sql("select id from emp order by salary desc limit 2")
+        .unwrap();
     assert_eq!(ints(&r, 0), vec![14, 11]);
     let r = s
         .run_sql("select count(distinct dept_id) from emp")

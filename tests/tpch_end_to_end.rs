@@ -12,7 +12,10 @@ const SEED: u64 = 20260610;
 
 fn session(mode: BloomMode) -> Session {
     let db = tpch::gen::generate(SF, SEED).expect("generate");
-    Session::new(db, SessionConfig::default().with_bloom_mode(mode).with_dop(3))
+    Session::new(
+        db,
+        SessionConfig::default().with_bloom_mode(mode).with_dop(3),
+    )
 }
 
 fn run(session: &Session, q: usize) -> bfq::session::QueryResult {
@@ -51,12 +54,14 @@ fn all_queries_agree_across_bloom_modes() {
         let rows_post = chunk_to_rows(&r_post.chunk);
         let rows_cbo = chunk_to_rows(&r_cbo.chunk);
         assert_eq!(
-            rows_none, rows_post,
+            rows_none,
+            rows_post,
             "Q{q}: BF-Post results differ from No-BF\nplan:\n{}",
             r_post.explain()
         );
         assert_eq!(
-            rows_none, rows_cbo,
+            rows_none,
+            rows_cbo,
             "Q{q}: BF-CBO results differ from No-BF\nplan:\n{}",
             r_cbo.explain()
         );

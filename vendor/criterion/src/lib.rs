@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a small wall-clock harness exposing the criterion API its benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is simple but honest: a short warm-up, then timed batches
+//! until a sampling budget is spent, reporting the mean per-iteration time
+//! (and derived throughput when declared). There are no statistics, plots,
+//! or baselines — it exists so `cargo bench` compiles and produces usable
+//! numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Optional filter (substring of the benchmark name) from argv.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // ignore harness flags criterion would normally accept.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Final report hook (no-op; results print as they run).
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_one<F>(c: &Criterion, name: &str, throughput: Option<&Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !c.enabled(name) {
+        return;
+    }
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        phase: Phase::Warmup,
+    };
+    // Warm-up pass: run the closure until the warm-up budget is spent.
+    let start = Instant::now();
+    while start.elapsed() < WARMUP_BUDGET {
+        f(&mut b);
+    }
+    // Measurement pass.
+    b.phase = Phase::Measure;
+    b.total = Duration::ZERO;
+    b.iters = 0;
+    let start = Instant::now();
+    while start.elapsed() < MEASURE_BUDGET {
+        f(&mut b);
+    }
+    let mean = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.total / (b.iters as u32).max(1)
+    };
+    let mut line = format!("{name:<40} time: {mean:>12.3?}/iter  ({} iters)", b.iters);
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.3} Melem/s", *n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  thrpt: {:.3} MiB/s",
+                        *n as f64 / secs / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+enum Phase {
+    Warmup,
+    Measure,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    phase: Phase,
+}
+
+impl Bencher {
+    /// Time one batch of the routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.phase {
+            Phase::Warmup => {
+                std::hint::black_box(routine());
+            }
+            Phase::Measure => {
+                let t = Instant::now();
+                std::hint::black_box(routine());
+                self.total += t.elapsed();
+                self.iters += 1;
+            }
+        }
+    }
+}
+
+/// Declared units of work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for criterion compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion, &full, self.throughput.as_ref(), f);
+        self
+    }
+
+    /// Run a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, self.throughput.as_ref(), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export for benches that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            filter: Some("nomatch-skips-everything".into()),
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10)).sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 1), &1, |b, &x| {
+            b.iter(|| std::hint::black_box(x))
+        });
+        g.bench_function("plain", |b| b.iter(|| std::hint::black_box(1)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("q5", "cbo").to_string(), "q5/cbo");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}
