@@ -1,0 +1,115 @@
+//! **E10 — chunk-index data skipping**: TPC-H selective scans under the
+//! three `index_mode` tiers (off / zonemap / zonemap+bloom).
+//!
+//! Two workloads isolate the two tiers:
+//! * **Q6** — a one-year `l_shipdate` window over the date-clustered
+//!   lineitem table; zone maps should skip the majority of chunks;
+//! * **point lookup** — `o_orderkey = k` on orders, which is clustered by
+//!   date so orderkey zone maps are useless; only the per-chunk Bloom
+//!   index can skip chunks.
+//!
+//! Results must be identical across modes (data skipping is an
+//! optimization, not a semantics change). With `--json`, structural
+//! metrics are written to `BENCH_fig_index_pruning.json` for the CI
+//! perf-regression gate.
+
+use bfq_bench::harness::{measure_query, BenchEnv, JsonReport, Measured};
+use bfq_core::{BloomMode, IndexMode};
+use bfq_exec::ScanPruneStats;
+
+/// Chunk-skip counters of the scan of `alias` in a measured run.
+fn prune_of(m: &Measured, alias: &str) -> ScanPruneStats {
+    let mut out = ScanPruneStats::default();
+    m.planned.plan.visit(&mut |node| {
+        if let bfq_plan::PhysicalNode::Scan { alias: a, .. } = &node.node {
+            if a == alias {
+                if let Some(p) = m.exec_stats.prune_of(node.id) {
+                    out = p;
+                }
+            }
+        }
+    });
+    out
+}
+
+fn main() {
+    let env = BenchEnv::load();
+    let catalog = env.load_db();
+    let mut json = JsonReport::from_args("fig_index_pruning");
+    json.add("sf", env.sf);
+
+    let o_count = catalog
+        .meta_by_name("orders")
+        .expect("orders registered")
+        .stats
+        .rows as i64;
+    let point_sql = format!(
+        "select count(*) from orders where o_orderkey = {}",
+        o_count / 2
+    );
+    let q6_sql = bfq_tpch::query_text(6, env.sf);
+
+    println!(
+        "# Chunk-index data skipping — TPC-H SF {} DOP {} ({} runs)",
+        env.sf, env.dop, env.runs
+    );
+
+    for (label, sql, table) in [
+        ("Q6 (shipdate window)", q6_sql.as_str(), "lineitem"),
+        (
+            "point lookup (o_orderkey = k)",
+            point_sql.as_str(),
+            "orders",
+        ),
+    ] {
+        println!("\n## {label}\n");
+        println!(
+            "{:<14} {:>9} {:>8} {:>8} {:>9} {:>9} {:>10} {:>9}",
+            "index_mode", "exec_ms", "chunks", "skipped", "zonemap", "bloom", "filterkeys", "rows"
+        );
+        let mut baseline_rows: Option<usize> = None;
+        for mode in IndexMode::ALL {
+            let mut config = env.config(BloomMode::Cbo);
+            config.index_mode = mode;
+            let m = measure_query(&catalog, sql, &config, env.runs).expect(label);
+            match baseline_rows {
+                None => baseline_rows = Some(m.chunk.rows()),
+                Some(r) => assert_eq!(r, m.chunk.rows(), "{label}: rows differ under {mode}"),
+            }
+            let p = prune_of(&m, table);
+            println!(
+                "{:<14} {:>9.2} {:>8} {:>8} {:>9} {:>9} {:>10} {:>9}",
+                mode.label(),
+                m.exec_ms,
+                p.chunks,
+                p.skipped(),
+                p.skipped_zonemap,
+                p.skipped_bloom,
+                p.skipped_rfilter,
+                p.rows_pruned
+            );
+            let key = |suffix: &str| {
+                format!(
+                    "{}_{}_{suffix}",
+                    if table == "lineitem" { "q6" } else { "point" },
+                    mode.label().replace('+', "_")
+                )
+            };
+            json.add(&key("chunks"), p.chunks as f64);
+            json.add(&key("skipped"), p.skipped() as f64);
+            json.add(
+                &key("skip_frac"),
+                if p.chunks == 0 {
+                    0.0
+                } else {
+                    p.skipped() as f64 / p.chunks as f64
+                },
+            );
+            json.add(&key("ms"), m.exec_ms);
+        }
+    }
+
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
+}

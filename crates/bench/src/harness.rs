@@ -5,8 +5,8 @@ use std::time::Instant;
 
 use bfq_catalog::Catalog;
 use bfq_common::Result;
-use bfq_core::{optimize, BloomMode, OptimizedQuery, OptimizerConfig};
-use bfq_exec::{execute_plan, ExecStats};
+use bfq_core::{optimize, BloomMode, IndexMode, OptimizedQuery, OptimizerConfig};
+use bfq_exec::{execute_plan_opts, ExecStats};
 use bfq_plan::Bindings;
 use bfq_sql::plan_sql;
 use bfq_storage::Chunk;
@@ -25,6 +25,9 @@ pub struct BenchEnv {
     /// the average of the rest; the paper uses 5 with the average of the
     /// last 4 — set `BFQ_RUNS=5` to match).
     pub runs: usize,
+    /// Data-skipping index mode (`BFQ_INDEX_MODE`: `off` | `zonemap` |
+    /// `zonemap+bloom`; default `zonemap+bloom`).
+    pub index_mode: IndexMode,
 }
 
 impl BenchEnv {
@@ -41,6 +44,12 @@ impl BenchEnv {
             dop: get("BFQ_DOP", 4.0) as usize,
             seed: get("BFQ_SEED", 42.0) as u64,
             runs: (get("BFQ_RUNS", 3.0) as usize).max(2),
+            index_mode: match std::env::var("BFQ_INDEX_MODE") {
+                // A typo here must not silently fall back to the full
+                // index — that would corrupt ablation results.
+                Ok(v) => v.parse().expect("BFQ_INDEX_MODE"),
+                Err(_) => IndexMode::default(),
+            },
         }
     }
 
@@ -61,6 +70,7 @@ impl BenchEnv {
         // scale it so small instances exercise the same plan shapes.
         c.bf_min_apply_rows = (10_000.0 * self.sf).clamp(50.0, 10_000.0);
         c.bf_max_build_ndv = 2_000_000.0;
+        c.index_mode = self.index_mode;
         c
     }
 }
@@ -97,7 +107,12 @@ pub fn measure_query(
     let timed_runs = runs.saturating_sub(1).max(1);
     for i in 0..runs.max(2) {
         let t = Instant::now();
-        let out = execute_plan(&planned.plan, catalog.clone(), config.dop)?;
+        let out = execute_plan_opts(
+            &planned.plan,
+            catalog.clone(),
+            config.dop,
+            config.index_mode,
+        )?;
         let ms = t.elapsed().as_secs_f64() * 1e3;
         if i > 0 {
             total_ms += ms;
@@ -161,4 +176,69 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Machine-readable metric sink for the perf-regression gate.
+///
+/// Every experiment binary accepts a `--json` flag; when present, metrics
+/// recorded here are written to `BENCH_<name>.json` in the working
+/// directory on [`JsonReport::finish`]. CI compares the file against the
+/// committed baseline in `bench/baselines/` (see
+/// `scripts/bench_gate.py`): structural metrics gate with a tight
+/// tolerance, `*_ms` latency metrics are recorded for trending but not
+/// gated (CI machines are noisy).
+#[derive(Debug)]
+pub struct JsonReport {
+    name: String,
+    enabled: bool,
+    metrics: Vec<(String, f64)>,
+}
+
+impl JsonReport {
+    /// A report for experiment `name`, enabled when `--json` is among the
+    /// process arguments.
+    pub fn from_args(name: &str) -> JsonReport {
+        JsonReport {
+            name: name.to_string(),
+            enabled: std::env::args().any(|a| a == "--json"),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Whether `--json` was requested.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one metric (last write wins on duplicate keys).
+    pub fn add(&mut self, key: &str, value: f64) {
+        self.metrics.retain(|(k, _)| k != key);
+        self.metrics.push((key.to_string(), value));
+    }
+
+    /// Write `BENCH_<name>.json` if enabled. Returns the path written.
+    pub fn finish(&self) -> std::io::Result<Option<String>> {
+        if !self.enabled {
+            return Ok(None);
+        }
+        let path = format!("BENCH_{}.json", self.name);
+        let mut body = String::from("{\n");
+        body.push_str(&format!("  \"name\": \"{}\",\n", self.name));
+        body.push_str("  \"metrics\": {\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let sep = if i + 1 == self.metrics.len() { "" } else { "," };
+            if !v.is_finite() {
+                // A NaN/inf metric is a broken measurement; fail loudly
+                // rather than writing a bogus number the CI gate trusts.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("metric `{k}` is not finite ({v})"),
+                ));
+            }
+            body.push_str(&format!("    \"{k}\": {v}{sep}\n"));
+        }
+        body.push_str("  }\n}\n");
+        std::fs::write(&path, body)?;
+        Ok(Some(path))
+    }
 }

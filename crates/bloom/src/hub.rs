@@ -19,30 +19,92 @@ use parking_lot::{Condvar, Mutex};
 use crate::filter::BloomFilter;
 use crate::partitioned::PartitionedBloomFilter;
 
-/// A filter as it exists at runtime: merged single or per-partition.
+/// The filter proper: merged single or per-partition.
 #[derive(Debug, Clone)]
-pub enum RuntimeFilter {
+pub enum FilterCore {
     /// One filter applied to every row.
     Single(BloomFilter),
     /// Per-partition partials probed by distributed lookup.
     Partitioned(PartitionedBloomFilter),
 }
 
+/// A filter as it exists at runtime: the bit array(s) plus optional
+/// build-key metadata that enables *chunk-level* skipping at scans.
+///
+/// When the build keys are numeric their min/max travel with the filter, so
+/// a scan can compare them against a chunk's zone map; when the build side
+/// is small the exact `(h1, h2)` key hashes travel too, so a scan can probe
+/// a chunk's Bloom index with them (`bfq-index`). Both are sound: a row the
+/// skip would drop could never match any actual build key, and a filter is
+/// only planned where dropping non-matching rows is legal.
+#[derive(Debug, Clone)]
+pub struct RuntimeFilter {
+    core: FilterCore,
+    key_bounds: Option<(f64, f64)>,
+    key_hashes: Option<Vec<(u64, u64)>>,
+}
+
 impl RuntimeFilter {
+    /// A single-filter runtime filter without key metadata.
+    pub fn single(f: BloomFilter) -> Self {
+        RuntimeFilter {
+            core: FilterCore::Single(f),
+            key_bounds: None,
+            key_hashes: None,
+        }
+    }
+
+    /// A partitioned runtime filter without key metadata.
+    pub fn partitioned(pf: PartitionedBloomFilter) -> Self {
+        RuntimeFilter {
+            core: FilterCore::Partitioned(pf),
+            key_bounds: None,
+            key_hashes: None,
+        }
+    }
+
+    /// Attach build-key metadata (builder style).
+    pub fn with_key_info(
+        mut self,
+        bounds: Option<(f64, f64)>,
+        hashes: Option<Vec<(u64, u64)>>,
+    ) -> Self {
+        self.key_bounds = bounds;
+        self.key_hashes = hashes;
+        self
+    }
+
+    /// The underlying filter.
+    pub fn core(&self) -> &FilterCore {
+        &self.core
+    }
+
+    /// Min/max of the non-null build keys on the numeric axis, if known.
+    pub fn key_bounds(&self) -> Option<(f64, f64)> {
+        self.key_bounds
+    }
+
+    /// Exact `(h1, h2)` hashes of the distinct build keys, when the build
+    /// side was small enough to ship them (possibly empty: an empty build
+    /// side passes nothing).
+    pub fn key_hashes(&self) -> Option<&[(u64, u64)]> {
+        self.key_hashes.as_deref()
+    }
+
     /// Probe `col` rows selected by `sel`; returns the surviving selection.
     pub fn probe(&self, col: &Column, sel: &[u32]) -> Vec<u32> {
-        match self {
-            RuntimeFilter::Single(f) => f.probe_selected(col, sel),
-            RuntimeFilter::Partitioned(pf) => pf.probe_routed(col, sel),
+        match &self.core {
+            FilterCore::Single(f) => f.probe_selected(col, sel),
+            FilterCore::Partitioned(pf) => pf.probe_routed(col, sel),
         }
     }
 
     /// Aligned probe for partition `part` (falls back to routed/single probe
     /// when alignment does not apply).
     pub fn probe_partition(&self, part: usize, col: &Column, sel: &[u32]) -> Vec<u32> {
-        match self {
-            RuntimeFilter::Single(f) => f.probe_selected(col, sel),
-            RuntimeFilter::Partitioned(pf) => {
+        match &self.core {
+            FilterCore::Single(f) => f.probe_selected(col, sel),
+            FilterCore::Partitioned(pf) => {
                 if part < pf.partitions() {
                     pf.probe_aligned(part, col, sel)
                 } else {
@@ -54,9 +116,9 @@ impl RuntimeFilter {
 
     /// Total size in bytes (planning feedback / tests).
     pub fn size_bytes(&self) -> usize {
-        match self {
-            RuntimeFilter::Single(f) => f.size_bytes(),
-            RuntimeFilter::Partitioned(pf) => pf.size_bytes(),
+        match &self.core {
+            FilterCore::Single(f) => f.size_bytes(),
+            FilterCore::Partitioned(pf) => pf.size_bytes(),
         }
     }
 }
@@ -130,7 +192,7 @@ mod tests {
         for &k in keys {
             f.insert_i64(k);
         }
-        RuntimeFilter::Single(f)
+        RuntimeFilter::single(f)
     }
 
     #[test]
@@ -171,7 +233,7 @@ mod tests {
     fn probe_partition_dispatch() {
         let mut pf = PartitionedBloomFilter::new(2, 10);
         pf.insert_column_routed(&Column::Int64(vec![1, 2, 3, 4], None));
-        let rf = RuntimeFilter::Partitioned(pf);
+        let rf = RuntimeFilter::partitioned(pf);
         let col = Column::Int64(vec![1, 2, 3, 4], None);
         // Routed probe must find everything.
         assert_eq!(rf.probe(&col, &[0, 1, 2, 3]).len(), 4);

@@ -20,8 +20,8 @@ pub mod math;
 pub mod partitioned;
 pub mod strategy;
 
-pub use filter::BloomFilter;
-pub use hub::{FilterHub, RuntimeFilter};
+pub use filter::{BloomFilter, BLOOM_SEED_1, BLOOM_SEED_2};
+pub use hub::{FilterCore, FilterHub, RuntimeFilter};
 pub use math::{bits_for_ndv, false_positive_rate, DEFAULT_BITS_PER_KEY, NUM_HASHES};
 pub use partitioned::PartitionedBloomFilter;
 pub use strategy::StreamingStrategy;

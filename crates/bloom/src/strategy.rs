@@ -7,9 +7,52 @@
 
 use bfq_storage::Column;
 
-use crate::filter::BloomFilter;
+use crate::filter::{BloomFilter, BLOOM_SEED_1, BLOOM_SEED_2};
 use crate::hub::RuntimeFilter;
 use crate::partitioned::PartitionedBloomFilter;
+
+/// Build sides with at most this many distinct keys ship their exact key
+/// hashes with the filter, so scans can probe per-chunk Bloom indexes and
+/// skip whole chunks (`bfq-index`). Probing ≤ 1024 keys per chunk is far
+/// cheaper than row-level work on an 8192-row chunk.
+pub const SMALL_KEY_LIMIT: usize = 1024;
+
+/// Build-key metadata that travels with a runtime filter: numeric-axis
+/// min/max of the non-null keys, and (for small build sides) the
+/// deduplicated `(h1, h2)` hashes of every key.
+type KeyInfo = (Option<(f64, f64)>, Option<Vec<(u64, u64)>>);
+
+/// Compute the [`KeyInfo`] for the key columns a filter was built from.
+fn key_info(thread_keys: &[Column]) -> KeyInfo {
+    let mut bounds: Option<(f64, f64)> = None;
+    for col in thread_keys {
+        if let Some((lo, hi)) = col.min_max_axis() {
+            bounds = Some(match bounds {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        }
+    }
+    let total_rows: usize = thread_keys.iter().map(|c| c.len()).sum();
+    let hashes = (total_rows <= 4 * SMALL_KEY_LIMIT).then(|| {
+        let mut out = Vec::new();
+        let (mut h1, mut h2) = (Vec::new(), Vec::new());
+        for col in thread_keys {
+            col.hash_into(BLOOM_SEED_1, &mut h1);
+            col.hash_into(BLOOM_SEED_2, &mut h2);
+            for i in 0..col.len() {
+                if !col.is_null(i) {
+                    out.push((h1[i], h2[i]));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    });
+    let hashes = hashes.filter(|h| h.len() <= SMALL_KEY_LIMIT);
+    (bounds, hashes)
+}
 
 /// How the hash join that owns a Bloom filter streams its inputs (paper §3.9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,7 +101,8 @@ pub fn build_filter(
             // All threads hold identical data; use thread 0's copy.
             let mut f = BloomFilter::with_expected_ndv(expected_ndv);
             f.insert_column(&thread_keys[0]);
-            RuntimeFilter::Single(f)
+            let (bounds, hashes) = key_info(&thread_keys[..1]);
+            RuntimeFilter::single(f).with_key_info(bounds, hashes)
         }
         StreamingStrategy::BroadcastProbe => {
             // Disjoint per-thread subsets: build same-sized partials, merge.
@@ -70,7 +114,8 @@ pub fn build_filter(
                 partial.insert_column(keys);
                 merged.union_with(&partial);
             }
-            RuntimeFilter::Single(merged)
+            let (bounds, hashes) = key_info(thread_keys);
+            RuntimeFilter::single(merged).with_key_info(bounds, hashes)
         }
         StreamingStrategy::PartitionUnaligned | StreamingStrategy::PartitionAligned => {
             let n = thread_keys.len();
@@ -80,7 +125,8 @@ pub fn build_filter(
                 // hash so partial `i` holds exactly partition `i`'s keys.
                 pf.insert_column_routed(keys);
             }
-            RuntimeFilter::Partitioned(pf)
+            let (bounds, hashes) = key_info(thread_keys);
+            RuntimeFilter::partitioned(pf).with_key_info(bounds, hashes)
         }
     }
 }
@@ -107,12 +153,54 @@ mod tests {
             &[keys.clone(), keys.clone(), keys.clone()],
             3,
         );
-        match &f {
-            RuntimeFilter::Single(bf) => assert_eq!(bf.inserted_keys(), 3),
+        match f.core() {
+            crate::hub::FilterCore::Single(bf) => assert_eq!(bf.inserted_keys(), 3),
             _ => panic!("expected single filter"),
         }
         let s = survivors(&f, &int_col(&[2, 999]));
         assert!(s.contains(&0));
+        // Key metadata: bounds span the inserted copy, hashes are deduped.
+        assert_eq!(f.key_bounds(), Some((1.0, 3.0)));
+        assert_eq!(f.key_hashes().map(|h| h.len()), Some(3));
+    }
+
+    #[test]
+    fn key_info_bounds_and_small_hashes() {
+        let f = build_filter(
+            StreamingStrategy::BroadcastProbe,
+            &[int_col(&[5, 10]), int_col(&[-3, 10])],
+            4,
+        );
+        assert_eq!(f.key_bounds(), Some((-3.0, 10.0)));
+        // 3 distinct keys after dedup across threads.
+        assert_eq!(f.key_hashes().map(|h| h.len()), Some(3));
+    }
+
+    #[test]
+    fn key_hashes_dropped_for_large_build_sides() {
+        let big: Vec<i64> = (0..(4 * SMALL_KEY_LIMIT as i64) + 1).collect();
+        let f = build_filter(
+            StreamingStrategy::BroadcastProbe,
+            &[int_col(&big)],
+            big.len(),
+        );
+        assert!(f.key_hashes().is_none());
+        assert_eq!(f.key_bounds(), Some((0.0, big[big.len() - 1] as f64)));
+    }
+
+    #[test]
+    fn string_keys_have_no_bounds_but_ship_hashes() {
+        let keys: bfq_storage::StrData = ["FRANCE", "GERMANY"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = build_filter(
+            StreamingStrategy::BroadcastBuild,
+            &[Column::Utf8(keys, None)],
+            2,
+        );
+        assert!(f.key_bounds().is_none());
+        assert_eq!(f.key_hashes().map(|h| h.len()), Some(2));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bfq_common::{BfqError, ColumnId, DataType, Result, TableId};
+use bfq_index::TableIndex;
 use bfq_storage::{SchemaRef, Table};
 
 pub use stats::{compute_stats, ColumnStats, TableStats};
@@ -55,6 +56,7 @@ impl TableMeta {
 pub struct Catalog {
     metas: Vec<TableMeta>,
     data: Vec<Arc<Table>>,
+    indexes: Vec<Arc<TableIndex>>,
     by_name: HashMap<String, TableId>,
     foreign_keys: Vec<ForeignKey>,
 }
@@ -85,6 +87,10 @@ impl Catalog {
         }
         let id = TableId(self.metas.len() as u32);
         let stats = compute_stats(&table)?;
+        // Per-chunk zone maps and Bloom indexes, built once at load time —
+        // the ANALYZE-adjacent step a columnar store runs while sealing
+        // segments. Consultation is gated by the session's `IndexMode`.
+        let index = TableIndex::build(&table);
         self.metas.push(TableMeta {
             id,
             name: name.clone(),
@@ -93,6 +99,7 @@ impl Catalog {
             unique_columns,
         });
         self.data.push(Arc::new(table));
+        self.indexes.push(Arc::new(index));
         self.by_name.insert(name, id);
         Ok(id)
     }
@@ -140,6 +147,11 @@ impl Catalog {
         self.data
             .get(id.0 as usize)
             .ok_or_else(|| BfqError::Catalog(format!("no table with id {id}")))
+    }
+
+    /// Per-chunk zone-map/Bloom index of a table, if registered.
+    pub fn index(&self, id: TableId) -> Option<&Arc<TableIndex>> {
+        self.indexes.get(id.0 as usize)
     }
 
     /// All registered tables.
@@ -226,6 +238,22 @@ mod tests {
         assert_eq!(cat.data(id).unwrap().rows(), 3);
         assert!(cat.meta_by_name("missing").is_err());
         assert!(cat.register(small_table("a", &[1]), vec![]).is_err());
+    }
+
+    #[test]
+    fn chunk_index_built_on_register() {
+        let mut cat = Catalog::new();
+        let id = cat.register(small_table("a", &[1, 2, 3]), vec![0]).unwrap();
+        let index = cat.index(id).expect("index built at register");
+        assert_eq!(index.len(), 1);
+        let ci = index.chunk(0).unwrap();
+        assert_eq!(ci.rows, 3);
+        // Key column: zone map + bloom. Float column: zone map only.
+        assert_eq!(ci.columns[0].zone.map(|z| (z.min, z.max)), Some((1.0, 3.0)));
+        assert!(ci.columns[0].bloom.is_some());
+        assert!(ci.columns[1].zone.is_some());
+        assert!(ci.columns[1].bloom.is_none());
+        assert!(cat.index(TableId(9)).is_none());
     }
 
     #[test]

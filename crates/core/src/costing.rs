@@ -100,8 +100,10 @@ pub fn make_scan_subplan(
 
     let (node, dist, cost) = match &base_rel.source {
         RelSource::Table(base) => {
+            // Read volume reflects chunk-level data skipping: chunks the
+            // zone maps rule out are never touched.
             let cost = model.scan_with_blooms(
-                est.raw_rows(rel),
+                est.scan_read_rows(rel),
                 est.base_rows(rel),
                 rows_out,
                 n_preds,

@@ -124,7 +124,7 @@ fn optimize_block_inner(
     config: &OptimizerConfig,
     next_filter: &mut u32,
 ) -> Result<(SubPlan, BlockStats)> {
-    let est = Estimator::new(block, bindings, catalog);
+    let est = Estimator::with_index_mode(block, bindings, catalog, config.index_mode);
     let model = CostModel {
         params: config.cost.clone(),
         dop: config.dop,

@@ -41,6 +41,7 @@ pub use driver::{optimize, optimize_bare_block, optimize_block, OptimizedQuery, 
 pub use subplan::{PendingBf, PlanList, SubPlan};
 
 use bfq_cost::CostParams;
+pub use bfq_index::IndexMode;
 
 /// How Bloom filters participate in optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,6 +101,11 @@ pub struct OptimizerConfig {
     /// valve against pathological Δ products; far above anything TPC-H
     /// produces).
     pub max_bf_subplans_per_rel: usize,
+    /// How much of the per-chunk zone-map/Bloom index (`bfq-index`) scans
+    /// consult at runtime — and the estimator consults at plan time, so
+    /// data skipping feeds back into plan choice. Off / zone maps only /
+    /// zone maps + chunk Bloom probes.
+    pub index_mode: IndexMode,
 }
 
 impl Default for OptimizerConfig {
@@ -119,6 +125,7 @@ impl Default for OptimizerConfig {
             naive_step_budget: 50_000_000,
             naive_time_limit_ms: 60_000,
             max_bf_subplans_per_rel: 64,
+            index_mode: IndexMode::default(),
         }
     }
 }
@@ -141,6 +148,12 @@ impl OptimizerConfig {
     /// Builder-style Heuristic 7 toggle.
     pub fn heuristic7(mut self, enabled: bool) -> Self {
         self.h7_enabled = enabled;
+        self
+    }
+
+    /// Builder-style index-mode override (data-skipping ablation knob).
+    pub fn index_mode(mut self, mode: IndexMode) -> Self {
+        self.index_mode = mode;
         self
     }
 }

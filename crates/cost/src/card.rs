@@ -6,7 +6,8 @@ use std::collections::HashMap;
 use bfq_catalog::Catalog;
 use bfq_common::{ColumnId, RelSet};
 use bfq_expr::{estimate_selectivity, Expr};
-use bfq_plan::{Bindings, QueryBlock, RelKind};
+use bfq_index::IndexMode;
+use bfq_plan::{Bindings, QueryBlock, RelKind, RelSource};
 
 /// Floor applied to anti-join selectivity so estimates never hit zero.
 const MIN_SEL: f64 = 1e-6;
@@ -40,15 +41,34 @@ pub struct Estimator<'a> {
     base_rows: Vec<f64>,
     /// Local-predicate selectivity of each relation.
     base_sel: Vec<f64>,
+    /// Rows a scan must actually read, after chunk-level data skipping
+    /// (zone-map upper bound; equals the raw rows when indexes are off).
+    read_rows: Vec<f64>,
     join_memo: RefCell<HashMap<u64, f64>>,
     ndv_memo: RefCell<HashMap<(ColumnId, u64), f64>>,
 }
 
 impl<'a> Estimator<'a> {
-    /// Build an estimator, pre-computing filtered base cardinalities.
+    /// Build an estimator, pre-computing filtered base cardinalities
+    /// (no chunk-index feedback; see [`Estimator::with_index_mode`]).
     pub fn new(block: &'a QueryBlock, bindings: &'a Bindings, catalog: &'a Catalog) -> Self {
+        Self::with_index_mode(block, bindings, catalog, IndexMode::Off)
+    }
+
+    /// Build an estimator that additionally consults per-chunk zone maps
+    /// (`bfq-index`): each base relation's post-predicate cardinality and
+    /// scan *read* volume are clamped by the rows of chunks the pruning
+    /// evaluator cannot rule out, so data skipping feeds back into join
+    /// ordering and Bloom-filter placement.
+    pub fn with_index_mode(
+        block: &'a QueryBlock,
+        bindings: &'a Bindings,
+        catalog: &'a Catalog,
+        index_mode: IndexMode,
+    ) -> Self {
         let mut base_rows = Vec::with_capacity(block.num_rels());
         let mut base_sel = Vec::with_capacity(block.num_rels());
+        let mut read_rows = Vec::with_capacity(block.num_rels());
         for rel in &block.rels {
             let rows = bindings.rows(rel.rel_id).unwrap_or(1.0);
             let sel: f64 = rel
@@ -58,6 +78,26 @@ impl<'a> Estimator<'a> {
                 .product();
             base_sel.push(sel);
             base_rows.push((rows * sel).max(1.0));
+            read_rows.push(rows.max(1.0));
+        }
+        if index_mode.zonemaps() {
+            for (ord, rel) in block.rels.iter().enumerate() {
+                let RelSource::Table(base) = rel.source else {
+                    continue;
+                };
+                let Some(tindex) = catalog.index(base) else {
+                    continue;
+                };
+                let Some(pred) = Expr::conjunction(rel.local_preds.clone()) else {
+                    continue;
+                };
+                let rel_id = rel.rel_id;
+                let resolve = move |c: ColumnId| (c.table == rel_id).then_some(c.index as usize);
+                let (bound, _chunks) = tindex.matching_rows(&pred, &resolve, index_mode);
+                let bound = bound as f64;
+                read_rows[ord] = read_rows[ord].min(bound.max(1.0));
+                base_rows[ord] = base_rows[ord].min(bound).max(1.0);
+            }
         }
         Estimator {
             block,
@@ -65,6 +105,7 @@ impl<'a> Estimator<'a> {
             catalog,
             base_rows,
             base_sel,
+            read_rows,
             join_memo: RefCell::new(HashMap::new()),
             ndv_memo: RefCell::new(HashMap::new()),
         }
@@ -74,6 +115,12 @@ impl<'a> Estimator<'a> {
     /// filter).
     pub fn base_rows(&self, rel: usize) -> f64 {
         self.base_rows[rel]
+    }
+
+    /// Rows the scan of `rel` must read after chunk-level data skipping
+    /// (equals [`Estimator::raw_rows`] when indexes are off).
+    pub fn scan_read_rows(&self, rel: usize) -> f64 {
+        self.read_rows[rel]
     }
 
     /// Unfiltered row count of relation `rel`.
@@ -597,6 +644,53 @@ mod tests {
             delta: RelSet::single(2),
         };
         assert!(est.bf_is_lossless(&lossless));
+    }
+
+    #[test]
+    fn index_mode_clamps_base_and_read_rows() {
+        // Two chunks clustered on c0: [0, 100) and [100, 200). A predicate
+        // touching only the first chunk should clamp both the scan's read
+        // volume and its output estimate under zone-map feedback.
+        let mut cat = Catalog::new();
+        let schema = Arc::new(bfq_storage::Schema::new(vec![bfq_storage::Field::new(
+            "c0",
+            DataType::Int64,
+        )]));
+        let chunk = |lo: i64| {
+            Chunk::new(vec![Arc::new(Column::Int64(
+                (lo..lo + 100).collect(),
+                None,
+            ))])
+            .unwrap()
+        };
+        let t = cat
+            .register(
+                Table::new("t", schema, vec![chunk(0), chunk(100)]).unwrap(),
+                vec![0],
+            )
+            .unwrap();
+        let mut bindings = Bindings::new();
+        let v = bindings.bind_table(&cat, t).unwrap();
+        let pred = Expr::binary(BinOp::Lt, Expr::col(ColumnId::new(v, 0)), Expr::int(50));
+        let block = QueryBlock {
+            rels: vec![BaseRel {
+                ordinal: 0,
+                rel_id: v,
+                source: RelSource::Table(t),
+                alias: "t".into(),
+                kind: RelKind::Inner,
+                local_preds: vec![pred],
+            }],
+            equi_clauses: vec![],
+            complex_preds: vec![],
+        };
+        let off = Estimator::new(&block, &bindings, &cat);
+        assert_eq!(off.scan_read_rows(0), 200.0);
+        let zoned =
+            Estimator::with_index_mode(&block, &bindings, &cat, bfq_index::IndexMode::ZoneMap);
+        assert_eq!(zoned.scan_read_rows(0), 100.0);
+        assert!(zoned.base_rows(0) <= 100.0);
+        assert!(zoned.base_rows(0) <= off.base_rows(0));
     }
 
     #[test]

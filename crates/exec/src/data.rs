@@ -70,10 +70,43 @@ impl PartitionedData {
     }
 }
 
-/// Actual row counts per plan-node id, recorded during execution.
+/// Chunk-skipping counters for one scan node (`bfq-index` data skipping).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanPruneStats {
+    /// Chunks the scan considered.
+    pub chunks: u64,
+    /// Chunks skipped because a zone map proved the local predicate empty.
+    pub skipped_zonemap: u64,
+    /// Chunks skipped because a chunk Bloom probe proved it empty.
+    pub skipped_bloom: u64,
+    /// Chunks skipped by runtime-filter key bounds / key-hash probes.
+    pub skipped_rfilter: u64,
+    /// Rows inside skipped chunks (never touched row-by-row).
+    pub rows_pruned: u64,
+}
+
+impl ScanPruneStats {
+    /// Total chunks skipped across all tiers.
+    pub fn skipped(&self) -> u64 {
+        self.skipped_zonemap + self.skipped_bloom + self.skipped_rfilter
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &ScanPruneStats) {
+        self.chunks += other.chunks;
+        self.skipped_zonemap += other.skipped_zonemap;
+        self.skipped_bloom += other.skipped_bloom;
+        self.skipped_rfilter += other.skipped_rfilter;
+        self.rows_pruned += other.rows_pruned;
+    }
+}
+
+/// Actual row counts per plan-node id, recorded during execution, plus
+/// per-scan chunk-skipping counters.
 #[derive(Debug, Default)]
 pub struct ExecStats {
     rows: Mutex<HashMap<u32, u64>>,
+    prune: Mutex<HashMap<u32, ScanPruneStats>>,
 }
 
 impl ExecStats {
@@ -95,6 +128,25 @@ impl ExecStats {
     /// Snapshot of all recorded counts.
     pub fn snapshot(&self) -> HashMap<u32, u64> {
         self.rows.lock().clone()
+    }
+
+    /// Record (accumulate) chunk-skipping counters for a scan node.
+    pub fn record_prune(&self, node_id: u32, stats: &ScanPruneStats) {
+        self.prune.lock().entry(node_id).or_default().merge(stats);
+    }
+
+    /// Chunk-skipping counters recorded for a scan node.
+    pub fn prune_of(&self, node_id: u32) -> Option<ScanPruneStats> {
+        self.prune.lock().get(&node_id).copied()
+    }
+
+    /// Chunk-skipping counters summed over every scan in the plan.
+    pub fn prune_totals(&self) -> ScanPruneStats {
+        let mut total = ScanPruneStats::default();
+        for s in self.prune.lock().values() {
+            total.merge(s);
+        }
+        total
     }
 }
 
@@ -141,5 +193,35 @@ mod tests {
         assert_eq!(s.actual(2), Some(7));
         assert_eq!(s.actual(3), None);
         assert_eq!(s.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn prune_stats_accumulate_and_total() {
+        let s = ExecStats::new();
+        let a = ScanPruneStats {
+            chunks: 4,
+            skipped_zonemap: 2,
+            skipped_bloom: 1,
+            skipped_rfilter: 0,
+            rows_pruned: 100,
+        };
+        let b = ScanPruneStats {
+            chunks: 3,
+            skipped_zonemap: 0,
+            skipped_bloom: 0,
+            skipped_rfilter: 1,
+            rows_pruned: 8,
+        };
+        s.record_prune(5, &a);
+        s.record_prune(5, &b);
+        s.record_prune(9, &b);
+        let five = s.prune_of(5).unwrap();
+        assert_eq!(five.chunks, 7);
+        assert_eq!(five.skipped(), 4);
+        assert_eq!(five.rows_pruned, 108);
+        assert_eq!(s.prune_of(1), None);
+        let total = s.prune_totals();
+        assert_eq!(total.chunks, 10);
+        assert_eq!(total.skipped(), 5);
     }
 }

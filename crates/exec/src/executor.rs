@@ -8,6 +8,7 @@ use bfq_bloom::FilterHub;
 use bfq_catalog::Catalog;
 use bfq_common::{BfqError, DataType, Datum, Result};
 use bfq_expr::{eval, Layout};
+use bfq_index::IndexMode;
 use bfq_plan::{Distribution, ExchangeKind, PhysicalNode, PhysicalPlan};
 use bfq_storage::{Chunk, Column};
 
@@ -31,10 +32,13 @@ pub struct ExecContext {
     pub stats: ExecStats,
     /// How long a scan waits for a filter before declaring a planning bug.
     pub filter_wait_ms: u64,
+    /// How much of the per-chunk index scans consult (data skipping).
+    pub index_mode: IndexMode,
 }
 
 impl ExecContext {
-    /// A context over `catalog` with the given DOP.
+    /// A context over `catalog` with the given DOP and the default
+    /// [`IndexMode`] (full data skipping).
     pub fn new(catalog: Arc<Catalog>, dop: usize) -> Self {
         ExecContext {
             catalog,
@@ -42,7 +46,14 @@ impl ExecContext {
             hub: FilterHub::new(),
             stats: ExecStats::new(),
             filter_wait_ms: 120_000,
+            index_mode: IndexMode::default(),
         }
+    }
+
+    /// Builder-style index-mode override.
+    pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
+        self.index_mode = mode;
+        self
     }
 }
 
@@ -54,13 +65,23 @@ pub struct QueryOutput {
     pub stats: ExecStats,
 }
 
-/// Execute a plan to completion.
+/// Execute a plan to completion with the default [`IndexMode`].
 pub fn execute_plan(
     plan: &Arc<PhysicalPlan>,
     catalog: Arc<Catalog>,
     dop: usize,
 ) -> Result<QueryOutput> {
-    let ctx = ExecContext::new(catalog, dop);
+    execute_plan_opts(plan, catalog, dop, IndexMode::default())
+}
+
+/// Execute a plan to completion under an explicit [`IndexMode`].
+pub fn execute_plan_opts(
+    plan: &Arc<PhysicalPlan>,
+    catalog: Arc<Catalog>,
+    dop: usize,
+    index_mode: IndexMode,
+) -> Result<QueryOutput> {
+    let ctx = ExecContext::new(catalog, dop).with_index_mode(index_mode);
     let data = execute(plan, &ctx)?;
     let chunk = data.into_single_chunk()?;
     Ok(QueryOutput {
@@ -79,7 +100,7 @@ pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<Partitione
             predicate,
             blooms,
             ..
-        } => execute_scan(ctx, *base, *rel_id, projection, predicate, blooms)?,
+        } => execute_scan(ctx, plan.id, *base, *rel_id, projection, predicate, blooms)?,
         PhysicalNode::DerivedScan {
             input,
             rel_id,

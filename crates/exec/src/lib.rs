@@ -21,5 +21,6 @@ pub mod parallel;
 pub mod scan;
 pub mod util;
 
-pub use data::{ExecStats, PartitionedData};
-pub use executor::{execute_plan, ExecContext, QueryOutput};
+pub use bfq_index::IndexMode;
+pub use data::{ExecStats, PartitionedData, ScanPruneStats};
+pub use executor::{execute_plan, execute_plan_opts, ExecContext, QueryOutput};

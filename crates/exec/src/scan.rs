@@ -1,4 +1,21 @@
-//! Table scans with predicate evaluation and Bloom filter application.
+//! Table scans with predicate evaluation, Bloom filter application, and
+//! chunk-level data skipping.
+//!
+//! Before any row-level work on a chunk, the scan consults the table's
+//! per-chunk index (`bfq-index`, built at load time) under the session's
+//! [`IndexMode`]:
+//!
+//! 1. zone maps vs the scan's local predicate — a chunk whose min/max can
+//!    not satisfy the predicate is skipped whole;
+//! 2. chunk Bloom probes — equality literals in the predicate, and the
+//!    build-key hashes shipped with small runtime filters, are probed
+//!    against the chunk's Bloom index;
+//! 3. runtime-filter key bounds — the same `BloomApply` keys used for
+//!    row-level probing skip chunks whose zone map misses the build-key
+//!    range.
+//!
+//! Skipped chunks are counted per scan node in
+//! [`crate::data::ScanPruneStats`].
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -6,10 +23,11 @@ use std::time::Duration;
 use bfq_bloom::RuntimeFilter;
 use bfq_common::{BfqError, ColumnId, DataType, Result, TableId};
 use bfq_expr::{eval_predicate, Expr, Layout};
+use bfq_index::{chunk_prune, rf_chunk_prune, ChunkIndex, IndexMode, PruneOutcome, TableIndex};
 use bfq_plan::BloomApply;
 use bfq_storage::Chunk;
 
-use crate::data::PartitionedData;
+use crate::data::{PartitionedData, ScanPruneStats};
 use crate::executor::ExecContext;
 use crate::parallel::par_map;
 
@@ -41,6 +59,48 @@ fn fetch_filters(
         .collect()
 }
 
+/// Decide whether a whole chunk can be skipped, attributing the decision to
+/// the tier that proved it. Returns `true` when the chunk is skippable.
+fn prune_chunk(
+    index: &ChunkIndex,
+    rel_id: TableId,
+    predicate: &Option<Expr>,
+    filters: &[(Arc<RuntimeFilter>, usize)],
+    mode: IndexMode,
+    prune: &mut ScanPruneStats,
+) -> bool {
+    // Local predicate vs zone maps and chunk Blooms. Scan predicates
+    // reference this relation's columns as (rel_id, schema ordinal); any
+    // other relation's column must not resolve (it would read the wrong
+    // column's zone map and could prove a false skip).
+    if let Some(pred) = predicate {
+        let resolve = |c: ColumnId| (c.table == rel_id).then_some(c.index as usize);
+        match chunk_prune(index, pred, &resolve, mode) {
+            PruneOutcome::SkipZone => {
+                prune.skipped_zonemap += 1;
+                return true;
+            }
+            PruneOutcome::SkipBloom => {
+                prune.skipped_bloom += 1;
+                return true;
+            }
+            PruneOutcome::Keep => {}
+        }
+    }
+    // Runtime-filter build keys vs the chunk index on the apply column.
+    for (filter, slot) in filters {
+        let Some(ci) = index.columns.get(*slot) else {
+            continue;
+        };
+        if rf_chunk_prune(ci, filter.key_bounds(), filter.key_hashes(), mode) != PruneOutcome::Keep
+        {
+            prune.skipped_rfilter += 1;
+            return true;
+        }
+    }
+    false
+}
+
 /// Scan one chunk: local predicate, then every Bloom filter, then projection.
 fn scan_chunk(
     chunk: &Chunk,
@@ -69,9 +129,12 @@ fn scan_chunk(
     }))
 }
 
-/// Execute a base-table scan, dealing chunks round-robin across workers.
+/// Execute a base-table scan, dealing chunks round-robin across workers and
+/// skipping whole chunks via the table's per-chunk index.
+#[allow(clippy::too_many_arguments)] // one slot per physical Scan field
 pub fn execute_scan(
     ctx: &ExecContext,
+    node_id: u32,
     base: TableId,
     rel_id: TableId,
     projection: &[u32],
@@ -90,19 +153,34 @@ pub fn execute_scan(
         .map(|&i| schema.field(i as usize).data_type)
         .collect();
     let filters = fetch_filters(ctx, blooms, &full_layout)?;
+    let mode = ctx.index_mode;
+    let index: Option<&Arc<TableIndex>> = if mode.zonemaps() {
+        ctx.catalog.index(base)
+    } else {
+        None
+    };
 
     let dop = ctx.dop;
     let partitions = par_map(dop, |p| {
         let mut out = Vec::new();
+        let mut prune = ScanPruneStats::default();
         for (ci, chunk) in table.chunks().iter().enumerate() {
             if ci % dop != p {
                 continue;
+            }
+            prune.chunks += 1;
+            if let Some(cidx) = index.and_then(|t| t.chunk(ci)) {
+                if prune_chunk(cidx, rel_id, predicate, &filters, mode, &mut prune) {
+                    prune.rows_pruned += chunk.rows() as u64;
+                    continue;
+                }
             }
             if let Some(c) = scan_chunk(chunk, &full_layout, predicate, &filters, Some(projection))?
             {
                 out.push(c);
             }
         }
+        ctx.stats.record_prune(node_id, &prune);
         Ok(out)
     })?;
     Ok(PartitionedData { types, partitions })
@@ -110,6 +188,7 @@ pub fn execute_scan(
 
 /// Execute the local work of a derived scan: the input rows are already
 /// computed; relabel them to this relation's ids, filter, and apply blooms.
+/// (Derived data is transient, so there is no chunk index to consult.)
 pub fn execute_derived_scan(
     ctx: &ExecContext,
     input: PartitionedData,

@@ -1,0 +1,148 @@
+//! Building chunk indexes from sealed chunks.
+//!
+//! Policy (mirroring segment metadata in production columnar stores):
+//! * zone maps for every numeric/date column — two `f64`s, always worth it;
+//! * Bloom filters for key (Int64/Date) and string columns — equality
+//!   probes are the common selective predicate on those types; floats and
+//!   booleans get no filter (float equality is rare, boolean filters are
+//!   useless at 2 distinct values).
+//!
+//! Filters are sized with [`bfq_bloom::math`] at the default bits-per-key
+//! budget for the chunk's non-null row count (an upper bound on its NDV),
+//! and use the same hash seeds as runtime join filters so one hashing
+//! convention serves both layers.
+
+use bfq_bloom::BloomFilter;
+use bfq_common::DataType;
+use bfq_storage::{Chunk, Column};
+
+use crate::{ChunkIndex, ColumnIndex, ZoneMap};
+
+/// Whether chunk Bloom filters are built for this column type.
+fn bloom_indexed(dt: DataType) -> bool {
+    matches!(dt, DataType::Int64 | DataType::Date | DataType::Utf8)
+}
+
+/// Build the index entry for one column.
+pub fn build_column_index(col: &Column) -> ColumnIndex {
+    let rows = col.len();
+    let null_count = col.null_count();
+    let zone = col.min_max_axis().map(|(min, max)| ZoneMap { min, max });
+    let non_null = rows - null_count;
+    let bloom = (bloom_indexed(col.data_type()) && non_null > 0).then(|| {
+        let mut f = BloomFilter::with_expected_ndv(non_null);
+        f.insert_column(col);
+        f
+    });
+    ColumnIndex {
+        data_type: col.data_type(),
+        rows,
+        null_count,
+        zone,
+        bloom,
+    }
+}
+
+/// Build the per-column index for a sealed chunk.
+pub fn build_chunk_index(chunk: &Chunk) -> ChunkIndex {
+    ChunkIndex {
+        rows: chunk.rows(),
+        columns: chunk
+            .columns()
+            .iter()
+            .map(|c| build_column_index(c))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfq_storage::Bitmap;
+    use std::sync::Arc;
+
+    #[test]
+    fn zone_maps_cover_numeric_and_date() {
+        let chunk = Chunk::new(vec![
+            Arc::new(Column::Int64(vec![5, -2, 9], None)),
+            Arc::new(Column::Float64(vec![1.5, 0.5, 2.5], None)),
+            Arc::new(Column::Date(vec![100, 50, 70], None)),
+            Arc::new(Column::Utf8(
+                ["a", "b", "c"].iter().map(|s| s.to_string()).collect(),
+                None,
+            )),
+            Arc::new(Column::Bool(vec![true, false, true], None)),
+        ])
+        .unwrap();
+        let idx = build_chunk_index(&chunk);
+        assert_eq!(idx.rows, 3);
+        assert_eq!(
+            idx.columns[0].zone,
+            Some(ZoneMap {
+                min: -2.0,
+                max: 9.0
+            })
+        );
+        assert_eq!(idx.columns[1].zone, Some(ZoneMap { min: 0.5, max: 2.5 }));
+        assert_eq!(
+            idx.columns[2].zone,
+            Some(ZoneMap {
+                min: 50.0,
+                max: 100.0
+            })
+        );
+        assert!(idx.columns[3].zone.is_none());
+        assert!(idx.columns[4].zone.is_none());
+    }
+
+    #[test]
+    fn blooms_built_for_keys_and_strings_only() {
+        let chunk = Chunk::new(vec![
+            Arc::new(Column::Int64(vec![1, 2], None)),
+            Arc::new(Column::Float64(vec![1.0, 2.0], None)),
+            Arc::new(Column::Utf8(
+                ["x", "y"].iter().map(|s| s.to_string()).collect(),
+                None,
+            )),
+            Arc::new(Column::Bool(vec![true, false], None)),
+            Arc::new(Column::Date(vec![7, 8], None)),
+        ])
+        .unwrap();
+        let idx = build_chunk_index(&chunk);
+        assert!(idx.columns[0].bloom.is_some());
+        assert!(idx.columns[1].bloom.is_none());
+        assert!(idx.columns[2].bloom.is_some());
+        assert!(idx.columns[3].bloom.is_none());
+        assert!(idx.columns[4].bloom.is_some());
+        assert!(idx.size_bytes() > 0);
+    }
+
+    #[test]
+    fn nulls_excluded_from_zone_and_bloom() {
+        let col = Column::Int64(
+            vec![10, 999, 20],
+            Some(Bitmap::from_bools([true, false, true])),
+        );
+        let idx = build_column_index(&col);
+        assert_eq!(idx.null_count, 1);
+        assert_eq!(
+            idx.zone,
+            Some(ZoneMap {
+                min: 10.0,
+                max: 20.0
+            })
+        );
+        let bloom = idx.bloom.as_ref().unwrap();
+        assert_eq!(bloom.inserted_keys(), 2);
+        assert!(bloom.contains_i64(10) && bloom.contains_i64(20));
+    }
+
+    #[test]
+    fn all_null_column_has_no_zone_or_bloom() {
+        let col = Column::nulls(DataType::Int64, 4);
+        let idx = build_column_index(&col);
+        assert!(idx.all_null());
+        assert!(idx.zone.is_none());
+        assert!(idx.bloom.is_none());
+    }
+}

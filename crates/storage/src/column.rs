@@ -378,6 +378,36 @@ impl Column {
         }
     }
 
+    /// Min/max of the non-null values on the shared numeric axis (ints,
+    /// floats, dates — the same axis the selectivity estimator uses).
+    /// `None` for non-numeric columns or when every row is null.
+    pub fn min_max_axis(&self) -> Option<(f64, f64)> {
+        fn fold<T: Copy>(
+            vals: &[T],
+            validity: Option<&Bitmap>,
+            to_f64: impl Fn(T) -> f64,
+        ) -> Option<(f64, f64)> {
+            let mut acc: Option<(f64, f64)> = None;
+            for (i, &v) in vals.iter().enumerate() {
+                if validity.is_some_and(|bm| !bm.get(i)) {
+                    continue;
+                }
+                let x = to_f64(v);
+                acc = Some(match acc {
+                    None => (x, x),
+                    Some((lo, hi)) => (lo.min(x), hi.max(x)),
+                });
+            }
+            acc
+        }
+        match self {
+            Column::Int64(v, val) => fold(v, val.as_ref(), |x| x as f64),
+            Column::Float64(v, val) => fold(v, val.as_ref(), |x| x),
+            Column::Date(v, val) => fold(v, val.as_ref(), |x| x as f64),
+            Column::Utf8(..) | Column::Bool(..) => None,
+        }
+    }
+
     /// Count distinct non-null values (exact; used to build statistics).
     pub fn count_distinct(&self) -> usize {
         use std::collections::HashSet;
@@ -521,6 +551,23 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert_eq!(c.null_count(), 3);
         assert_eq!(c.get(0), Datum::Null);
+    }
+
+    #[test]
+    fn min_max_axis_respects_type_and_nulls() {
+        assert_eq!(int_col(&[3, -1, 7]).min_max_axis(), Some((-1.0, 7.0)));
+        assert_eq!(
+            Column::Date(vec![10, 5], None).min_max_axis(),
+            Some((5.0, 10.0))
+        );
+        let with_nulls = Column::Int64(
+            vec![100, 1, 2],
+            Some(Bitmap::from_bools([false, true, true])),
+        );
+        assert_eq!(with_nulls.min_max_axis(), Some((1.0, 2.0)));
+        assert_eq!(Column::nulls(DataType::Int64, 3).min_max_axis(), None);
+        let s: StrData = ["a"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(Column::Utf8(s, None).min_max_axis(), None);
     }
 
     #[test]

@@ -86,5 +86,29 @@ fn main() -> Result<()> {
         "stats: {} DP pairs, {} sub-plans generated, {} kept",
         out.stats.phase2.pairs, out.stats.phase2.generated, out.stats.phase2.kept
     );
+
+    // Execute the winning plan and show the chunk-skipping counters the
+    // per-chunk zone-map/Bloom index records for every scan (bfq-index).
+    let exec = bfq::exec::execute_plan_opts(
+        &out.plan,
+        std::sync::Arc::new(catalog),
+        config.dop,
+        config.index_mode,
+    )?;
+    let p = exec.stats.prune_totals();
+    println!(
+        "## Executor — chunk-index data skipping ({})",
+        config.index_mode
+    );
+    println!(
+        "result rows: {}   chunks considered: {}   skipped: {} (zonemap {}, bloom {}, filterkeys {}), {} rows pruned",
+        exec.chunk.rows(),
+        p.chunks,
+        p.skipped(),
+        p.skipped_zonemap,
+        p.skipped_bloom,
+        p.skipped_rfilter,
+        p.rows_pruned
+    );
     Ok(())
 }

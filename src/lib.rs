@@ -14,7 +14,12 @@
 //! // Bloom-filter-aware cost-based optimization (BF-CBO).
 //! let db = bfq::tpch::gen::generate(0.001, 42).unwrap();
 //! let catalog = db.catalog.clone();
-//! let session = Session::new(db, SessionConfig::default().with_bloom_mode(BloomMode::Cbo));
+//! let session = Session::new(
+//!     db,
+//!     SessionConfig::default()
+//!         .with_bloom_mode(BloomMode::Cbo)
+//!         .with_index_mode(IndexMode::ZoneMapBloom),
+//! );
 //! let result = session
 //!     .run_sql("select count(*) from lineitem, orders where l_orderkey = o_orderkey and o_orderdate < date '1995-01-01'")
 //!     .unwrap();
@@ -29,6 +34,7 @@ pub use bfq_core as core;
 pub use bfq_cost as cost;
 pub use bfq_exec as exec;
 pub use bfq_expr as expr;
+pub use bfq_index as index;
 pub use bfq_plan as plan;
 pub use bfq_sql as sql;
 pub use bfq_storage as storage;
@@ -43,5 +49,6 @@ pub mod prelude {
     pub use crate::session::{QueryResult, Session, SessionConfig};
     pub use bfq_common::{BfqError, DataType, Datum, RelSet, Result};
     pub use bfq_core::BloomMode;
+    pub use bfq_index::IndexMode;
     pub use bfq_storage::{Chunk, Table};
 }

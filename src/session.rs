@@ -4,9 +4,9 @@ use std::sync::Arc;
 
 use bfq_catalog::Catalog;
 use bfq_common::Result;
-use bfq_core::{optimize, BloomMode, OptimizedQuery, OptimizerConfig};
-use bfq_exec::{execute_plan, ExecStats};
-use bfq_plan::Bindings;
+use bfq_core::{optimize, BloomMode, IndexMode, OptimizedQuery, OptimizerConfig};
+use bfq_exec::{execute_plan_opts, ExecStats};
+use bfq_plan::{Bindings, PhysicalNode};
 use bfq_sql::plan_sql;
 use bfq_storage::Chunk;
 use bfq_tpch::TpchDb;
@@ -30,6 +30,12 @@ impl SessionConfig {
         self.optimizer.dop = dop.max(1);
         self
     }
+
+    /// Set the data-skipping index mode (off / zonemap / zonemap+bloom).
+    pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
+        self.optimizer.index_mode = mode;
+        self
+    }
 }
 
 /// The result of running one query.
@@ -45,9 +51,38 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
-    /// EXPLAIN-style rendering of the executed plan.
+    /// EXPLAIN-style rendering of the executed plan, followed by the
+    /// chunk-skipping counters of every scan that consulted the per-chunk
+    /// index (`bfq-index` data skipping).
     pub fn explain(&self) -> String {
-        self.optimized.plan.explain(&|c| c.to_string())
+        let mut out = self.optimized.plan.explain(&|c| c.to_string());
+        let mut prune_lines = Vec::new();
+        self.optimized.plan.visit(&mut |node| {
+            if let PhysicalNode::Scan { alias, .. } = &node.node {
+                if let Some(p) = self.exec_stats.prune_of(node.id) {
+                    if p.skipped() > 0 {
+                        prune_lines.push(format!(
+                            "  {alias}: {}/{} chunks skipped \
+                             (zonemap {}, bloom {}, filterkeys {}), {} rows pruned",
+                            p.skipped(),
+                            p.chunks,
+                            p.skipped_zonemap,
+                            p.skipped_bloom,
+                            p.skipped_rfilter,
+                            p.rows_pruned
+                        ));
+                    }
+                }
+            }
+        });
+        if !prune_lines.is_empty() {
+            out.push_str("index pruning:\n");
+            for line in prune_lines {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
     }
 }
 
@@ -91,10 +126,11 @@ impl Session {
             &self.catalog,
             &self.config.optimizer,
         )?;
-        let out = execute_plan(
+        let out = execute_plan_opts(
             &optimized.plan,
             self.catalog.clone(),
             self.config.optimizer.dop,
+            self.config.optimizer.index_mode,
         )?;
         Ok(QueryResult {
             chunk: out.chunk,

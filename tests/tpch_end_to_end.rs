@@ -6,6 +6,7 @@
 use bfq::prelude::*;
 use bfq::session::{Session, SessionConfig};
 use bfq::tpch;
+use std::sync::Arc;
 
 const SF: f64 = 0.005;
 const SEED: u64 = 20260610;
@@ -80,6 +81,79 @@ fn bloom_modes_actually_place_filters() {
     assert!(
         total_filters >= 5,
         "expected several Bloom filters across Table-2 queries, got {total_filters}"
+    );
+}
+
+#[test]
+fn index_modes_never_change_results() {
+    // Data skipping is an optimization, never a semantics change: every
+    // supported query returns identical rows with chunk indexes off and
+    // fully on.
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let catalog = Arc::new(db.catalog);
+    let session_with = |mode: IndexMode| {
+        Session::over_catalog(
+            catalog.clone(),
+            SessionConfig::default()
+                .with_bloom_mode(BloomMode::Cbo)
+                .with_dop(3)
+                .with_index_mode(mode),
+        )
+    };
+    let off = session_with(IndexMode::Off);
+    let zb = session_with(IndexMode::ZoneMapBloom);
+    for q in tpch::supported_queries() {
+        let r_off = run(&off, q);
+        let r_zb = run(&zb, q);
+        assert_eq!(
+            chunk_to_rows(&r_off.chunk),
+            chunk_to_rows(&r_zb.chunk),
+            "Q{q}: zonemap+bloom results differ from index off\nplan:\n{}",
+            r_zb.explain()
+        );
+    }
+}
+
+#[test]
+fn q6_skips_most_lineitem_chunks() {
+    // Q6's one-year l_shipdate window must skip the majority of the
+    // date-clustered lineitem chunks via zone maps. Use a scale where
+    // lineitem spans plenty of chunks.
+    let db = tpch::gen::generate(0.02, SEED).expect("generate");
+    let session = Session::new(
+        db,
+        SessionConfig::default()
+            .with_bloom_mode(BloomMode::Cbo)
+            .with_dop(3)
+            .with_index_mode(IndexMode::ZoneMapBloom),
+    );
+    let sql = tpch::query_text(6, 0.02);
+    let r = session.run_sql(&sql).expect("Q6");
+    let mut prune = None;
+    r.optimized.plan.visit(&mut |node| {
+        if let bfq::plan::PhysicalNode::Scan { alias, .. } = &node.node {
+            if alias == "lineitem" {
+                prune = r.exec_stats.prune_of(node.id);
+            }
+        }
+    });
+    let p = prune.expect("lineitem scan records prune counters");
+    assert!(
+        p.chunks >= 10,
+        "expected many lineitem chunks, got {}",
+        p.chunks
+    );
+    assert!(
+        p.skipped() * 2 > p.chunks,
+        "expected >50% of lineitem chunks skipped, got {p:?}"
+    );
+    assert!(
+        p.skipped_zonemap > 0,
+        "Q6 pruning should be zone-map driven: {p:?}"
+    );
+    assert!(
+        r.explain().contains("index pruning:"),
+        "explain surfaces counters"
     );
 }
 
