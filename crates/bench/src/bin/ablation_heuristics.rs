@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use bfq_bench::harness::BenchEnv;
+use bfq_bench::harness::{BenchEnv, JsonReport};
 use bfq_catalog::Catalog;
 use bfq_core::{optimize, BloomMode, OptimizerConfig};
 use bfq_plan::Bindings;
@@ -116,13 +116,38 @@ fn main() {
         "# {:<22} {:>9} {:>10} {:>11} {:>8} {:>6}",
         "variant", "plan_ms", "dp_pairs", "generated", "filters", "cands"
     );
+    let mut json = JsonReport::from_args("ablation_heuristics");
+    json.add("sf", env.sf);
     for (label, cfg) in &variants {
         let r = sweep(&catalog, &env, label, cfg);
         println!(
             "  {:<22} {:>9.1} {:>10} {:>11} {:>8} {:>6}",
             r.label, r.plan_ms, r.pairs, r.generated, r.filters, r.candidates
         );
+        // Slug: first token of the label ("bf-cbo", "H2", "H6", ...).
+        let slug = label
+            .split_whitespace()
+            .next()
+            .unwrap_or("variant")
+            .to_ascii_lowercase()
+            .replace('-', "_");
+        let slug = match *label {
+            "H6 off (sel<=1.0)" => "h6_off".to_string(),
+            "H6 strict (sel<=0.2)" => "h6_strict".to_string(),
+            "no-bf baseline" => "no_bf".to_string(),
+            "bf-post baseline" => "bf_post".to_string(),
+            "bf-cbo default" => "bf_cbo".to_string(),
+            _ => slug,
+        };
+        json.add(&format!("{slug}_pairs"), r.pairs as f64);
+        json.add(&format!("{slug}_generated"), r.generated as f64);
+        json.add(&format!("{slug}_filters"), r.filters as f64);
+        json.add(&format!("{slug}_candidates"), r.candidates as f64);
+        json.add(&format!("{slug}_plan_ms"), r.plan_ms);
     }
     println!("# expectations: H2/H6-off inflate candidates and planner time;");
     println!("# H5-tiny and H8 suppress filters; H7 trims pairs; H9 adds candidates.");
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
 }

@@ -7,13 +7,15 @@
 //! the same statistic (|est − actual| averaged over all plan nodes with a
 //! recorded actual) over the Table-2 queries.
 
-use bfq_bench::harness::{cardinality_mae, measure_tpch, BenchEnv};
+use bfq_bench::harness::{cardinality_mae, measure_tpch, BenchEnv, JsonReport};
 use bfq_core::BloomMode;
 use bfq_tpch::TABLE2_QUERIES;
 
 fn main() {
     let env = BenchEnv::load();
     let catalog = env.load_db();
+    let mut json = JsonReport::from_args("cardinality_mae");
+    json.add("sf", env.sf);
     println!(
         "# Cardinality MAE per query — BF-Post vs BF-CBO (SF {})",
         env.sf
@@ -44,4 +46,12 @@ fn main() {
         "# mean MAE: bf-post {post_mae:.1} vs bf-cbo {cbo_mae:.1} ({:.1}% improvement; paper: 78.8%)",
         100.0 * (1.0 - cbo_mae / post_mae)
     );
+    // MAE is a pure estimate-vs-actual statistic: deterministic for a fixed
+    // generator seed, so it gates (unlike latencies).
+    json.add("post_mae", post_mae);
+    json.add("cbo_mae", cbo_mae);
+    json.add("improvement_frac", 1.0 - cbo_mae / post_mae);
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
 }

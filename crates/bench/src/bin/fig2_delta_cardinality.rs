@@ -9,12 +9,14 @@
 //! The second must be (much) smaller — that inequality is the paper's entire
 //! reason for δ-aware costing.
 
+use bfq_bench::harness::JsonReport;
 use bfq_bloom::BloomFilter;
 use bfq_common::RelSet;
 use bfq_core::synth::{chain_block, ChainSpec};
 use bfq_cost::BfAssumption;
 
 fn main() {
+    let mut json = JsonReport::from_args("fig2_delta_cardinality");
     let fx = chain_block(&[
         ChainSpec::new("r0", 200_000),
         ChainSpec::new("r1", 10_000),
@@ -102,4 +104,12 @@ fn main() {
         actual_big as f64 / actual_small as f64,
         est_big / est_small
     );
+    json.add("actual_delta_r1", actual_small as f64);
+    json.add("actual_delta_r1r2", actual_big as f64);
+    json.add("est_delta_r1", est_small);
+    json.add("est_delta_r1r2", est_big);
+    json.add("actual_ratio", actual_big as f64 / actual_small as f64);
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
 }

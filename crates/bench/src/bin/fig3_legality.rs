@@ -10,11 +10,13 @@
 //! This binary runs BF-CBO over a 3-chain engineered so the winning plan
 //! uses a chained filter, prints it, and verifies the Fig. 3 rules directly.
 
+use bfq_bench::harness::JsonReport;
 use bfq_core::synth::{chain_block, ChainSpec};
 use bfq_core::{optimize_bare_block, BloomMode, OptimizerConfig};
 use bfq_plan::PhysicalNode;
 
 fn main() {
+    let mut json = JsonReport::from_args("fig3_legality");
     // R0 huge, R1 mid, R2 small + selective: transfer R2 → R1 → R0 pays.
     let mut fx = chain_block(&[
         ChainSpec::new("r0", 400_000),
@@ -63,4 +65,11 @@ fn main() {
         }
     );
     println!("# legality itself is enforced by unit tests in bfq-core::phase2");
+    json.add("filters_applied", applies.len() as f64);
+    json.add("filters_built", builds.len() as f64);
+    json.add("chained_shape", if chained { 1.0 } else { 0.0 });
+    json.add("plan_nodes", out.plan.node_count() as f64);
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
 }

@@ -6,6 +6,7 @@
 //! baseline plan); BF-CBO reorders so a filter built from the filtered t2
 //! prunes t1's scan — the join inputs collapse, exactly Figure 4(b).
 
+use bfq_bench::harness::JsonReport;
 use bfq_core::synth::running_example;
 use bfq_core::{optimize_bare_block, BloomMode, OptimizerConfig};
 use bfq_exec::execute_plan;
@@ -18,6 +19,8 @@ fn main() {
         .unwrap_or(1.0);
     let mut fx = running_example(scale);
     let catalog = Arc::new(fx.catalog.clone());
+    let mut json = JsonReport::from_args("fig4_running_example");
+    json.add("scale", scale);
 
     println!("# Figure 4 reproduction — running example at scale {scale}\n");
     for (label, mode) in [
@@ -50,5 +53,20 @@ fn main() {
             out.stats.post_filters,
             result.chunk.rows()
         );
+        let slug = if mode == BloomMode::Post {
+            "post"
+        } else {
+            "cbo"
+        };
+        json.add(&format!("{slug}_filters_cbo"), out.stats.cbo_filters as f64);
+        json.add(
+            &format!("{slug}_filters_post"),
+            out.stats.post_filters as f64,
+        );
+        json.add(&format!("{slug}_rows"), result.chunk.rows() as f64);
+        json.add(&format!("{slug}_ms"), ms);
+    }
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
     }
 }

@@ -1,0 +1,174 @@
+//! **E11 — prepared-statement throughput**: queries/second for
+//! prepared-vs-replanned execution across 1 / 4 / 16 client threads sharing
+//! one `Engine`.
+//!
+//! The serving story behind the `Engine`/`Connection`/`PreparedStatement`
+//! API: BF-CBO's optimization cost is paid once at `prepare`, then each
+//! execution is a parameter substitution plus runtime — while the
+//! "replanned" baseline pays parse/bind/optimize per query (its engine runs
+//! with the plan cache disabled, modeling a non-repetitive ad-hoc stream).
+//!
+//! With `--json`, per-query latencies (trend-only `*_ms` metrics) and a
+//! deterministic result checksum (gated) are written to
+//! `BENCH_fig_prepared_throughput.json`.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Instant;
+
+use bfq::prelude::*;
+use bfq_bench::harness::{BenchEnv, JsonReport};
+use bfq_core::BloomMode;
+
+/// Per-thread executions per statement.
+const ITERS: usize = 20;
+const THREAD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// The two parameterized statements of the workload — the OLTP-ish
+/// repetitive shapes where plan reuse pays: a clustered point lookup, and
+/// a selective multi-join whose planning (join enumeration + BF-CBO
+/// phases) costs real time while its execution touches few rows.
+const POINT_SQL: &str = "select count(*) from orders where o_orderkey = ?";
+const JOIN_SQL: &str = "select count(*) \
+     from orders, customer, nation, region \
+     where o_custkey = c_custkey and c_nationkey = n_nationkey \
+       and n_regionkey = r_regionkey and o_orderkey = ?";
+
+fn literal_point(k: i64) -> String {
+    format!("select count(*) from orders where o_orderkey = {k}")
+}
+
+fn literal_join(k: i64) -> String {
+    format!(
+        "select count(*) \
+         from orders, customer, nation, region \
+         where o_custkey = c_custkey and c_nationkey = n_nationkey \
+           and n_regionkey = r_regionkey and o_orderkey = {k}"
+    )
+}
+
+/// Parameter values for iteration `i` of thread `t` (deterministic).
+fn point_key(order_rows: i64, t: usize, i: usize) -> i64 {
+    1 + ((t * ITERS + i) as i64 * 37) % order_rows.max(1)
+}
+
+/// One mode's run over `threads` workers; returns (elapsed_ms, checksum).
+fn run_mode(engine: &std::sync::Arc<Engine>, threads: usize, prepared: bool) -> (f64, i64) {
+    let order_rows = engine
+        .catalog()
+        .meta_by_name("orders")
+        .expect("orders registered")
+        .stats
+        .rows as i64;
+    let checksum = AtomicI64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = engine.clone();
+            let checksum = &checksum;
+            scope.spawn(move || {
+                let conn = engine.connect();
+                let mut local = 0i64;
+                if prepared {
+                    let point = conn.prepare(POINT_SQL).expect("prepare point");
+                    let join = conn.prepare(JOIN_SQL).expect("prepare join");
+                    for i in 0..ITERS {
+                        let k = point_key(order_rows, t, i);
+                        let r = point.execute(&[Datum::Int(k)]).expect("point");
+                        local += r.chunk.row(0)[0].as_i64().unwrap_or(0);
+                        let r = join.execute(&[Datum::Int(k)]).expect("join");
+                        local += r.chunk.row(0)[0].as_i64().unwrap_or(0);
+                    }
+                } else {
+                    for i in 0..ITERS {
+                        let k = point_key(order_rows, t, i);
+                        let r = conn.run_sql(&literal_point(k)).expect("point");
+                        local += r.chunk.row(0)[0].as_i64().unwrap_or(0);
+                        let r = conn.run_sql(&literal_join(k)).expect("join");
+                        local += r.chunk.row(0)[0].as_i64().unwrap_or(0);
+                    }
+                }
+                checksum.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (ms, checksum.load(Ordering::Relaxed))
+}
+
+fn main() {
+    let env = BenchEnv::load();
+    let catalog = env.load_db();
+    let mut json = JsonReport::from_args("fig_prepared_throughput");
+    json.add("sf", env.sf);
+
+    let config = env.config(BloomMode::Cbo);
+    let engine_config = EngineConfig {
+        optimizer: config.clone(),
+        plan_cache_capacity: 128,
+    };
+    // The replanned baseline models a non-repetitive ad-hoc stream: plan
+    // caching off, so every statement pays parse/bind/optimize.
+    let replanned_config = EngineConfig {
+        optimizer: config,
+        plan_cache_capacity: 0,
+    };
+
+    println!(
+        "# Prepared-vs-replanned throughput — TPC-H SF {} DOP {} ({} iters/thread/stmt)",
+        env.sf, env.dop, ITERS
+    );
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "mode", "threads", "queries", "elapsed_ms", "qps", "per_q_ms", "speedup"
+    );
+
+    for &threads in &THREAD_COUNTS {
+        let mut replanned_qps = 0.0;
+        let mut replanned_checksum: Option<i64> = None;
+        for prepared in [false, true] {
+            // Fresh engine per cell so plan-cache state never leaks across
+            // measurements.
+            let engine = Engine::over_catalog(
+                catalog.clone(),
+                if prepared {
+                    engine_config.clone()
+                } else {
+                    replanned_config.clone()
+                },
+            );
+            // Single-threaded warm-up pass (also verifies the workload
+            // runs before the timed measurement).
+            let (_, _warm_sum) = run_mode(&engine, 1, prepared);
+            let (ms, checksum) = run_mode(&engine, threads, prepared);
+            let queries = (threads * ITERS * 2) as f64;
+            let qps = queries / (ms / 1e3);
+            let per_q = ms / queries;
+            let mode = if prepared { "prepared" } else { "replanned" };
+            let speedup = if prepared && replanned_qps > 0.0 {
+                qps / replanned_qps
+            } else {
+                replanned_qps = qps;
+                1.0
+            };
+            println!(
+                "{mode:<10} {threads:>8} {queries:>12.0} {ms:>12.1} {qps:>12.0} {per_q:>12.3} {speedup:>8.2}x"
+            );
+            json.add(&format!("{mode}_t{threads}_per_query_ms"), per_q);
+            // The checksum (sum of every count(*) result) is deterministic
+            // for a fixed seed and must be identical between modes — a
+            // correctness gate, not just a perf trend.
+            match replanned_checksum {
+                None => replanned_checksum = Some(checksum),
+                Some(expected) => assert_eq!(
+                    checksum, expected,
+                    "prepared results diverge from replanned at t={threads}"
+                ),
+            }
+            json.add(&format!("t{threads}_checksum"), checksum as f64);
+        }
+    }
+
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
+}

@@ -9,12 +9,14 @@
 
 use std::time::Duration;
 
+use bfq_bench::harness::JsonReport;
 use bfq_core::candidates::mark_candidates;
 use bfq_core::naive::naive_optimize;
 use bfq_core::synth::{chain_block, ChainSpec};
 use bfq_core::{optimize_bare_block, BloomMode, OptimizerConfig};
 
 fn main() {
+    let mut json = JsonReport::from_args("naive_blowup");
     let max_n: usize = std::env::var("BFQ_NAIVE_MAX")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -67,6 +69,17 @@ fn main() {
             two_ms,
             naive_ms / two_ms.max(0.001)
         );
+        // Step counts are deterministic only for runs that complete (a
+        // timed-out run counts steps until the machine-speed-dependent
+        // cutoff), so gate completed step counts and trend the rest.
+        if stats.completed {
+            json.add(&format!("n{n}_steps"), stats.steps as f64);
+        }
+        json.add(&format!("n{n}_naive_ms"), naive_ms);
+        json.add(&format!("n{n}_twophase_ms"), two_ms);
     }
     println!("# paper shape: 28 ms -> 375 ms -> 56 s -> >30 min for 3/4/5/6-way joins");
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
 }

@@ -7,13 +7,15 @@
 //! BF-Post but bounded. Absolute numbers differ (laptop SF vs the paper's
 //! SF100 / 48-core box); shapes should hold.
 
-use bfq_bench::harness::{filters_in_plan, measure_tpch, BenchEnv};
+use bfq_bench::harness::{filters_in_plan, measure_tpch, BenchEnv, JsonReport};
 use bfq_core::BloomMode;
 use bfq_tpch::TABLE2_QUERIES;
 
 fn main() {
     let env = BenchEnv::load();
     let catalog = env.load_db();
+    let mut json = JsonReport::from_args("table2_tpch");
+    json.add("sf", env.sf);
 
     println!(
         "# Table 2 reproduction — TPC-H SF {} DOP {}",
@@ -36,6 +38,8 @@ fn main() {
 
     let (mut sum_none, mut sum_post, mut sum_cbo) = (0.0, 0.0, 0.0);
     let (mut plan_post_total, mut plan_cbo_total) = (0.0, 0.0);
+    let (mut filters_post_total, mut filters_cbo_total) = (0usize, 0usize);
+    let mut rows_checksum = 0usize;
     for q in TABLE2_QUERIES {
         let none = measure_tpch(&catalog, &env, q, BloomMode::None).expect("no-bf run");
         let post = measure_tpch(&catalog, &env, q, BloomMode::Post).expect("bf-post run");
@@ -67,6 +71,9 @@ fn main() {
         sum_cbo += cbo.exec_ms;
         plan_post_total += post.plan_ms;
         plan_cbo_total += cbo.plan_ms;
+        filters_post_total += filters_in_plan(&post);
+        filters_cbo_total += filters_in_plan(&cbo);
+        rows_checksum += cbo.chunk.rows();
     }
     println!(
         "# total: no-bf {:.1} ms | bf-post {:.1} ms (rel {:.3}) | bf-cbo {:.1} ms (rel {:.3}) | bf-cbo vs bf-post: {:.1}% lower",
@@ -81,4 +88,15 @@ fn main() {
         "# planner totals: bf-post {:.1} ms, bf-cbo {:.1} ms (paper: 254.3 vs 540.7)",
         plan_post_total, plan_cbo_total
     );
+    json.add("filters_post", filters_post_total as f64);
+    json.add("filters_cbo", filters_cbo_total as f64);
+    json.add("rows_checksum", rows_checksum as f64);
+    json.add("none_total_ms", sum_none);
+    json.add("post_total_ms", sum_post);
+    json.add("cbo_total_ms", sum_cbo);
+    json.add("plan_post_total_ms", plan_post_total);
+    json.add("plan_cbo_total_ms", plan_cbo_total);
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
 }

@@ -6,13 +6,15 @@
 //! 31.4% improvement over BF-Post), with individual queries occasionally
 //! regressing (the paper's Q8).
 
-use bfq_bench::harness::{measure_query, measure_tpch, BenchEnv};
+use bfq_bench::harness::{filters_in_plan, measure_query, measure_tpch, BenchEnv, JsonReport};
 use bfq_core::BloomMode;
 use bfq_tpch::{query_text, TABLE2_QUERIES};
 
 fn main() {
     let env = BenchEnv::load();
     let catalog = env.load_db();
+    let mut json = JsonReport::from_args("table3_heuristic7");
+    json.add("sf", env.sf);
 
     println!(
         "# Table 3 reproduction (Heuristic 7 on) — TPC-H SF {} DOP {}",
@@ -25,6 +27,7 @@ fn main() {
     let (mut sum_cbo, mut sum_h7) = (0.0, 0.0);
     let (mut plan_cbo, mut plan_h7) = (0.0, 0.0);
     let (mut sum_post, mut sum_none) = (0.0, 0.0);
+    let (mut filters_cbo, mut filters_h7) = (0usize, 0usize);
     for q in TABLE2_QUERIES {
         let none = measure_tpch(&catalog, &env, q, BloomMode::None).expect("none");
         let post = measure_tpch(&catalog, &env, q, BloomMode::Post).expect("post");
@@ -48,6 +51,8 @@ fn main() {
         plan_h7 += h7.plan_ms;
         sum_post += post.exec_ms;
         sum_none += none.exec_ms;
+        filters_cbo += filters_in_plan(&cbo);
+        filters_h7 += filters_in_plan(&h7);
     }
     println!(
         "# exec totals: no-bf {sum_none:.1} | bf-post {sum_post:.1} | bf-cbo {sum_cbo:.1} | bf-cbo+H7 {sum_h7:.1} ms"
@@ -60,4 +65,13 @@ fn main() {
     println!(
         "# planner totals: cbo {plan_cbo:.1} ms vs cbo+H7 {plan_h7:.1} ms (paper: 540.7 vs 421.9)"
     );
+    json.add("filters_cbo", filters_cbo as f64);
+    json.add("filters_h7", filters_h7 as f64);
+    json.add("cbo_total_ms", sum_cbo);
+    json.add("h7_total_ms", sum_h7);
+    json.add("plan_cbo_total_ms", plan_cbo);
+    json.add("plan_h7_total_ms", plan_h7);
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
 }

@@ -25,6 +25,7 @@
 //! [`naive`] implements the strawman single-phase integration whose
 //! super-exponential planning time motivates the two-phase design (§3.1).
 
+pub mod cache;
 pub mod candidates;
 pub mod costing;
 pub mod driver;
@@ -36,6 +37,7 @@ pub mod post;
 pub mod subplan;
 pub mod synth;
 
+pub use cache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use candidates::{mark_candidates, BfCandidate};
 pub use driver::{optimize, optimize_bare_block, optimize_block, OptimizedQuery, OptimizerStats};
 pub use subplan::{PendingBf, PlanList, SubPlan};

@@ -19,8 +19,10 @@ pub mod executor;
 pub mod join;
 pub mod parallel;
 pub mod scan;
+pub mod stream;
 pub mod util;
 
 pub use bfq_index::IndexMode;
 pub use data::{ExecStats, PartitionedData, ScanPruneStats};
 pub use executor::{execute_plan, execute_plan_opts, ExecContext, QueryOutput};
+pub use stream::{execute_plan_stream, ChunkStream};

@@ -1,0 +1,297 @@
+//! Incremental result delivery.
+//!
+//! [`execute_plan_stream`] returns a [`ChunkStream`]: an iterator yielding
+//! result chunks one at a time instead of gathering everything into a
+//! single chunk. Operators below the root still run the materializing
+//! partition-parallel pipeline (hash joins must see their whole build side
+//! anyway, and Bloom filters must be complete before probe scans start —
+//! paper §3.9), but the *root* projection is evaluated lazily, chunk by
+//! chunk, as the consumer pulls. For the common `Project`-rooted plan that
+//! means the widened final result — typically the largest data in the query
+//! — is never resident all at once.
+//!
+//! Chunk order is deterministic (partition 0's chunks first, then
+//! partition 1's, …): concatenating the stream yields exactly the chunk a
+//! gathered [`crate::QueryOutput`] holds.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bfq_catalog::Catalog;
+use bfq_common::{DataType, Result};
+use bfq_expr::{eval, Expr, Layout};
+use bfq_index::IndexMode;
+use bfq_plan::{OutputColumn, PhysicalNode, PhysicalPlan};
+use bfq_storage::{Chunk, Column};
+
+use crate::data::ExecStats;
+use crate::executor::{execute, ExecContext, QueryOutput};
+use crate::util::expr_types;
+
+/// How the remaining chunks are produced.
+enum StreamState {
+    /// Everything below (and including) the root already ran; chunks are
+    /// handed out as-is.
+    Materialized(VecDeque<Chunk>),
+    /// The root projection runs lazily over its input's chunks as the
+    /// consumer pulls.
+    LazyProject {
+        /// Pending input chunks, in partition order.
+        pending: VecDeque<Chunk>,
+        /// The projection expressions.
+        exprs: Vec<OutputColumn>,
+        /// The projection input's layout (resolves column slots).
+        layout: Layout,
+        /// Plan-node id of the projection, for row accounting.
+        node_id: u32,
+    },
+    /// A chunk evaluation failed; the stream is fused.
+    Finished,
+}
+
+/// An iterator over a query's result chunks.
+///
+/// Yields `Result<Chunk>`; after the first error (or after exhaustion) the
+/// stream is fused. Use [`ChunkStream::gather`] to drain into the single
+/// chunk a non-streaming execution would have produced.
+pub struct ChunkStream {
+    ctx: ExecContext,
+    types: Vec<DataType>,
+    state: StreamState,
+}
+
+impl ChunkStream {
+    /// Output column types, available before any chunk is pulled.
+    pub fn types(&self) -> &[DataType] {
+        &self.types
+    }
+
+    /// Runtime statistics recorded so far. Counts for the root operator
+    /// grow as chunks are pulled; everything below it is final once the
+    /// stream exists.
+    pub fn stats(&self) -> &ExecStats {
+        &self.ctx.stats
+    }
+
+    /// Drain the remaining chunks into one gathered chunk plus the final
+    /// statistics — the classic [`QueryOutput`] shape.
+    pub fn gather(mut self) -> Result<QueryOutput> {
+        let mut chunks = Vec::new();
+        for chunk in self.by_ref() {
+            chunks.push(chunk?);
+        }
+        let chunk = if chunks.is_empty() {
+            Chunk::new(
+                self.types
+                    .iter()
+                    .map(|dt| Arc::new(Column::nulls(*dt, 0)))
+                    .collect(),
+            )?
+        } else {
+            Chunk::concat(&chunks)?
+        };
+        Ok(QueryOutput {
+            chunk,
+            stats: self.ctx.stats,
+        })
+    }
+
+    /// Consume the stream, returning the accumulated statistics.
+    pub fn into_stats(self) -> ExecStats {
+        self.ctx.stats
+    }
+}
+
+impl Iterator for ChunkStream {
+    type Item = Result<Chunk>;
+
+    fn next(&mut self) -> Option<Result<Chunk>> {
+        match &mut self.state {
+            StreamState::Materialized(chunks) => chunks.pop_front().map(Ok),
+            StreamState::LazyProject {
+                pending,
+                exprs,
+                layout,
+                node_id,
+            } => {
+                let chunk = pending.pop_front()?;
+                let cols: Result<Vec<_>> = exprs
+                    .iter()
+                    .map(|e| eval(&e.expr, &chunk, layout).map(Arc::new))
+                    .collect();
+                let out = cols.and_then(Chunk::new);
+                match out {
+                    Ok(projected) => {
+                        self.ctx.stats.record(*node_id, projected.rows() as u64);
+                        Some(Ok(projected))
+                    }
+                    Err(e) => {
+                        self.state = StreamState::Finished;
+                        Some(Err(e))
+                    }
+                }
+            }
+            StreamState::Finished => None,
+        }
+    }
+}
+
+/// Execute a plan, returning its results as an incremental [`ChunkStream`].
+///
+/// The stream's concatenation equals the gathered chunk of
+/// [`crate::execute_plan_opts`] on the same plan: same rows, same order.
+pub fn execute_plan_stream(
+    plan: &Arc<PhysicalPlan>,
+    catalog: Arc<Catalog>,
+    dop: usize,
+    index_mode: IndexMode,
+) -> Result<ChunkStream> {
+    let ctx = ExecContext::new(catalog, dop).with_index_mode(index_mode);
+    if let PhysicalNode::Project { input, exprs } = &plan.node {
+        // Run everything below the projection, then emit lazily.
+        let data = execute(input, &ctx)?;
+        let expr_refs: Vec<&Expr> = exprs.iter().map(|e| &e.expr).collect();
+        let types = expr_types(&expr_refs, &input.layout, &data.types)?;
+        let pending: VecDeque<Chunk> = data.partitions.into_iter().flatten().collect();
+        Ok(ChunkStream {
+            ctx,
+            types,
+            state: StreamState::LazyProject {
+                pending,
+                exprs: exprs.clone(),
+                layout: input.layout.clone(),
+                node_id: plan.id,
+            },
+        })
+    } else {
+        let data = execute(plan, &ctx)?;
+        let types = data.types.clone();
+        let pending: VecDeque<Chunk> = data.partitions.into_iter().flatten().collect();
+        Ok(ChunkStream {
+            ctx,
+            types,
+            state: StreamState::Materialized(pending),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute_plan_opts;
+    use bfq_common::{ColumnId, TableId};
+    use bfq_expr::BinOp;
+    use bfq_plan::Distribution;
+    use bfq_storage::{Field, Schema, Table};
+
+    fn fixture() -> (Arc<Catalog>, TableId) {
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let mk_chunk =
+            |vals: &[i64]| Chunk::new(vec![Arc::new(Column::Int64(vals.to_vec(), None))]).unwrap();
+        let table = Table::new(
+            "t",
+            schema,
+            vec![mk_chunk(&[1, 2, 3]), mk_chunk(&[4, 5]), mk_chunk(&[6])],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        let id = cat.register(table, vec![0]).unwrap();
+        (Arc::new(cat), id)
+    }
+
+    fn project_plan(base: TableId) -> Arc<PhysicalPlan> {
+        let rel = TableId(1 << 24);
+        let col = ColumnId::new(rel, 0);
+        let scan = PhysicalPlan::new(
+            PhysicalNode::Scan {
+                base,
+                rel_id: rel,
+                alias: "t".into(),
+                projection: vec![0],
+                predicate: None,
+                blooms: vec![],
+            },
+            Layout::new(vec![col]),
+            6.0,
+            Distribution::AnyPartitioned,
+        );
+        let out_col = ColumnId::new(TableId((1 << 24) + 1), 0);
+        let doubled =
+            bfq_expr::Expr::binary(BinOp::Mul, bfq_expr::Expr::col(col), bfq_expr::Expr::int(2));
+        let project = PhysicalPlan::new(
+            PhysicalNode::Project {
+                input: scan,
+                exprs: vec![OutputColumn {
+                    expr: doubled,
+                    name: "k2".into(),
+                    id: out_col,
+                }],
+            },
+            Layout::new(vec![out_col]),
+            6.0,
+            Distribution::Single,
+        );
+        let mut next = 1;
+        project.with_ids(&mut next)
+    }
+
+    #[test]
+    fn stream_concat_equals_gathered_output() {
+        let (catalog, base) = fixture();
+        let plan = project_plan(base);
+        let eager = execute_plan_opts(&plan, catalog.clone(), 2, IndexMode::default()).unwrap();
+        let stream = execute_plan_stream(&plan, catalog.clone(), 2, IndexMode::default()).unwrap();
+        assert_eq!(stream.types(), &[DataType::Int64]);
+        let chunks: Vec<Chunk> = stream.map(|c| c.unwrap()).collect();
+        assert!(chunks.len() > 1, "multiple chunks emitted incrementally");
+        let concat = Chunk::concat(&chunks).unwrap();
+        assert_eq!(concat.rows(), eager.chunk.rows());
+        for i in 0..concat.rows() {
+            assert_eq!(concat.row(i), eager.chunk.row(i));
+        }
+    }
+
+    #[test]
+    fn stream_records_root_rows_incrementally() {
+        let (catalog, base) = fixture();
+        let plan = project_plan(base);
+        let root_id = plan.id;
+        let mut stream = execute_plan_stream(&plan, catalog, 2, IndexMode::default()).unwrap();
+        let first = stream.next().unwrap().unwrap();
+        let after_one = stream.stats().actual(root_id).unwrap_or(0);
+        assert_eq!(after_one, first.rows() as u64, "stats grow with pulls");
+        let out = stream.gather().unwrap();
+        assert_eq!(out.stats.actual(root_id), Some(6));
+    }
+
+    #[test]
+    fn gather_of_empty_stream_is_typed() {
+        let (catalog, base) = fixture();
+        let rel = TableId(1 << 24);
+        let col = ColumnId::new(rel, 0);
+        // k < 0 matches nothing.
+        let pred =
+            bfq_expr::Expr::binary(BinOp::Lt, bfq_expr::Expr::col(col), bfq_expr::Expr::int(0));
+        let scan = PhysicalPlan::new(
+            PhysicalNode::Scan {
+                base,
+                rel_id: rel,
+                alias: "t".into(),
+                projection: vec![0],
+                predicate: Some(pred),
+                blooms: vec![],
+            },
+            Layout::new(vec![col]),
+            0.0,
+            Distribution::AnyPartitioned,
+        );
+        let mut next = 1;
+        let plan = scan.with_ids(&mut next);
+        let out = execute_plan_stream(&plan, catalog, 2, IndexMode::default())
+            .unwrap()
+            .gather()
+            .unwrap();
+        assert_eq!(out.chunk.rows(), 0);
+        assert_eq!(out.chunk.width(), 1);
+    }
+}

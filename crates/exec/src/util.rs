@@ -160,83 +160,10 @@ pub fn expr_types(
 /// Replace references to `placeholder` with a literal value (scalar subquery
 /// substitution).
 pub fn substitute_placeholder(expr: &Expr, placeholder: ColumnId, value: &Datum) -> Expr {
-    match expr {
-        Expr::Column(c) if *c == placeholder => Expr::Literal(value.clone()),
-        Expr::Column(_) | Expr::Literal(_) => expr.clone(),
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(substitute_placeholder(left, placeholder, value)),
-            right: Box::new(substitute_placeholder(right, placeholder, value)),
-        },
-        Expr::Unary { op, expr: e } => Expr::Unary {
-            op: *op,
-            expr: Box::new(substitute_placeholder(e, placeholder, value)),
-        },
-        Expr::Between {
-            expr: e,
-            low,
-            high,
-            negated,
-        } => Expr::Between {
-            expr: Box::new(substitute_placeholder(e, placeholder, value)),
-            low: Box::new(substitute_placeholder(low, placeholder, value)),
-            high: Box::new(substitute_placeholder(high, placeholder, value)),
-            negated: *negated,
-        },
-        Expr::InList {
-            expr: e,
-            list,
-            negated,
-        } => Expr::InList {
-            expr: Box::new(substitute_placeholder(e, placeholder, value)),
-            list: list
-                .iter()
-                .map(|i| substitute_placeholder(i, placeholder, value))
-                .collect(),
-            negated: *negated,
-        },
-        Expr::Like {
-            expr: e,
-            pattern,
-            negated,
-        } => Expr::Like {
-            expr: Box::new(substitute_placeholder(e, placeholder, value)),
-            pattern: pattern.clone(),
-            negated: *negated,
-        },
-        Expr::Case {
-            branches,
-            else_expr,
-        } => Expr::Case {
-            branches: branches
-                .iter()
-                .map(|(c, v)| {
-                    (
-                        substitute_placeholder(c, placeholder, value),
-                        substitute_placeholder(v, placeholder, value),
-                    )
-                })
-                .collect(),
-            else_expr: else_expr
-                .as_ref()
-                .map(|e| Box::new(substitute_placeholder(e, placeholder, value))),
-        },
-        Expr::ExtractYear(e) => {
-            Expr::ExtractYear(Box::new(substitute_placeholder(e, placeholder, value)))
-        }
-        Expr::ExtractMonth(e) => {
-            Expr::ExtractMonth(Box::new(substitute_placeholder(e, placeholder, value)))
-        }
-        Expr::Substring {
-            expr: e,
-            start,
-            len,
-        } => Expr::Substring {
-            expr: Box::new(substitute_placeholder(e, placeholder, value)),
-            start: *start,
-            len: *len,
-        },
-    }
+    expr.rewrite(&mut |e| match e {
+        Expr::Column(c) if *c == placeholder => Some(Expr::Literal(value.clone())),
+        _ => None,
+    })
 }
 
 #[cfg(test)]

@@ -160,6 +160,10 @@ pub fn eval(expr: &Expr, chunk: &Chunk, layout: &Layout) -> Result<Column> {
             Ok(chunk.column(slot).as_ref().clone())
         }
         Expr::Literal(d) => broadcast_literal(d, rows),
+        Expr::Param(i) => Err(BfqError::Execution(format!(
+            "unbound parameter ${} (bind values before executing)",
+            i + 1
+        ))),
         Expr::Binary { op, left, right } => {
             if op.is_logical() {
                 let l = BoolVec::from_column(&eval(left, chunk, layout)?)?;

@@ -116,6 +116,14 @@ pub enum Expr {
     Column(ColumnId),
     /// A constant.
     Literal(Datum),
+    /// A query parameter placeholder (`?` / `$n`), 0-indexed.
+    ///
+    /// Parameters survive binding and optimization so a prepared plan can be
+    /// cached once and re-executed with different values: executing binds
+    /// each `Param(i)` to `params[i]` via [`Expr::bind_params`] (the
+    /// estimator treats an unbound parameter like an unknown constant).
+    /// Evaluating an unbound parameter is an error.
+    Param(u32),
     /// Binary operation.
     Binary {
         /// Operator.
@@ -252,7 +260,7 @@ impl Expr {
     pub fn collect_columns(&self, out: &mut Vec<ColumnId>) {
         match self {
             Expr::Column(c) => out.push(*c),
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Param(_) => {}
             Expr::Binary { left, right, .. } => {
                 left.collect_columns(out);
                 right.collect_columns(out);
@@ -310,6 +318,9 @@ impl Expr {
         match self {
             Expr::Column(c) => resolve(*c),
             Expr::Literal(d) => d.data_type(),
+            // An unbound parameter has no type of its own; comparisons
+            // containing one still type as Bool via the Binary arm below.
+            Expr::Param(_) => None,
             Expr::Binary { op, left, right } => {
                 if op.is_comparison() || op.is_logical() {
                     return Some(DataType::Bool);
@@ -363,11 +374,144 @@ impl Expr {
         }
     }
 
+    /// Rebuild this tree top-down, replacing every subtree for which `f`
+    /// returns `Some` (replaced subtrees are not descended into).
+    ///
+    /// This is the shared machinery behind group-expression rewriting,
+    /// scalar-subquery substitution and parameter binding.
+    pub fn rewrite(&self, f: &mut dyn FnMut(&Expr) -> Option<Expr>) -> Expr {
+        if let Some(replacement) = f(self) {
+            return replacement;
+        }
+        match self {
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => self.clone(),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.rewrite(f)),
+                right: Box::new(right.rewrite(f)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.rewrite(f)),
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.rewrite(f)),
+                low: Box::new(low.rewrite(f)),
+                high: Box::new(high.rewrite(f)),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.rewrite(f)),
+                list: list.iter().map(|e| e.rewrite(f)).collect(),
+                negated: *negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.rewrite(f)),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::Case {
+                branches,
+                else_expr,
+            } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| (c.rewrite(f), v.rewrite(f)))
+                    .collect(),
+                else_expr: else_expr.as_ref().map(|e| Box::new(e.rewrite(f))),
+            },
+            Expr::ExtractYear(e) => Expr::ExtractYear(Box::new(e.rewrite(f))),
+            Expr::ExtractMonth(e) => Expr::ExtractMonth(Box::new(e.rewrite(f))),
+            Expr::Substring { expr, start, len } => Expr::Substring {
+                expr: Box::new(expr.rewrite(f)),
+                start: *start,
+                len: *len,
+            },
+        }
+    }
+
+    /// Visit every node of the tree (parents before children).
+    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Like { expr, .. } => expr.walk(f),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    c.walk(f);
+                    v.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            Expr::ExtractYear(e) | Expr::ExtractMonth(e) => e.walk(f),
+            Expr::Substring { expr, .. } => expr.walk(f),
+        }
+    }
+
+    /// Highest parameter index referenced, if any parameter appears.
+    pub fn max_param(&self) -> Option<u32> {
+        let mut max = None;
+        self.walk(&mut |e| {
+            if let Expr::Param(i) = e {
+                max = Some(max.map_or(*i, |m: u32| m.max(*i)));
+            }
+        });
+        max
+    }
+
+    /// Replace every `Param(i)` with `Literal(params[i])`.
+    ///
+    /// Out-of-range indices are left in place; callers validate arity
+    /// beforehand (the executor rejects any parameter that survives).
+    pub fn bind_params(&self, params: &[Datum]) -> Expr {
+        self.rewrite(&mut |e| match e {
+            Expr::Param(i) => params.get(*i as usize).map(|d| Expr::Literal(d.clone())),
+            _ => None,
+        })
+    }
+
     /// Pretty-print with a column-name resolver.
     pub fn display_with(&self, resolve: &dyn Fn(ColumnId) -> String) -> String {
         match self {
             Expr::Column(c) => resolve(*c),
             Expr::Literal(d) => d.to_string(),
+            Expr::Param(i) => format!("${}", i + 1),
             Expr::Binary { op, left, right } => format!(
                 "({} {op} {})",
                 left.display_with(resolve),
@@ -524,6 +668,51 @@ mod tests {
             negated: false,
         };
         assert_eq!(b.to_string(), "t0.c1 BETWEEN 1 AND 9");
+    }
+
+    #[test]
+    fn params_collect_display_and_bind() {
+        // l_quantity < $1 AND l_shipdate >= $2
+        let e = Expr::binary(BinOp::Lt, Expr::col(cid(0, 0)), Expr::Param(0)).and(Expr::binary(
+            BinOp::GtEq,
+            Expr::col(cid(0, 1)),
+            Expr::Param(1),
+        ));
+        assert_eq!(e.max_param(), Some(1));
+        assert!(e.to_string().contains("$1") && e.to_string().contains("$2"));
+        // Parameters reference no columns and never type on their own.
+        assert_eq!(e.columns(), vec![cid(0, 0), cid(0, 1)]);
+        assert_eq!(Expr::Param(0).data_type(&|_| None), None);
+        assert_eq!(Expr::Param(0).const_eval(), None);
+        // Binding replaces parameters with literals; the result is
+        // parameter-free.
+        let bound = e.bind_params(&[Datum::Int(24), Datum::Date(9000)]);
+        assert_eq!(bound.max_param(), None);
+        let parts = bound.split_conjuncts();
+        assert!(matches!(
+            &parts[0],
+            Expr::Binary { right, .. } if **right == Expr::Literal(Datum::Int(24))
+        ));
+        // Out-of-range params stay in place (arity is validated upstream).
+        assert_eq!(Expr::Param(7).bind_params(&[Datum::Int(1)]), Expr::Param(7));
+    }
+
+    #[test]
+    fn rewrite_replaces_subtrees() {
+        let e = Expr::col(cid(0, 0))
+            .eq(Expr::int(1))
+            .and(Expr::int(2).eq(Expr::int(2)));
+        let rewritten = e.rewrite(&mut |n| match n {
+            Expr::Literal(Datum::Int(2)) => Some(Expr::int(9)),
+            _ => None,
+        });
+        let mut nines = 0;
+        rewritten.walk(&mut |n| {
+            if *n == Expr::int(9) {
+                nines += 1;
+            }
+        });
+        assert_eq!(nines, 2);
     }
 
     #[test]

@@ -8,8 +8,13 @@
 //!   useless at 2 distinct values).
 //!
 //! Filters are sized with [`bfq_bloom::math`] at the default bits-per-key
-//! budget for the chunk's non-null row count (an upper bound on its NDV),
-//! and use the same hash seeds as runtime join filters so one hashing
+//! budget for the chunk's **exact distinct non-null value count** (one
+//! hash-set pass at build time — index construction is off the query path,
+//! so the pass is cheap relative to what it saves). Sizing by NDV instead
+//! of row count shrinks low-cardinality-column filters dramatically: a
+//! 64k-row chunk of `l_shipmode` holds 7 distinct values, so its filter
+//! drops from ~80 KB to a few bytes at the same false-positive budget.
+//! Filters use the same hash seeds as runtime join filters so one hashing
 //! convention serves both layers.
 
 use bfq_bloom::BloomFilter;
@@ -30,7 +35,10 @@ pub fn build_column_index(col: &Column) -> ColumnIndex {
     let zone = col.min_max_axis().map(|(min, max)| ZoneMap { min, max });
     let non_null = rows - null_count;
     let bloom = (bloom_indexed(col.data_type()) && non_null > 0).then(|| {
-        let mut f = BloomFilter::with_expected_ndv(non_null);
+        // Exact NDV pass: sizing by distinct values instead of the non-null
+        // row count shrinks low-cardinality filters 2-4x+ at the same
+        // false-positive rate.
+        let mut f = BloomFilter::with_expected_ndv(col.count_distinct().max(1));
         f.insert_column(col);
         f
     });
@@ -135,6 +143,28 @@ mod tests {
         let bloom = idx.bloom.as_ref().unwrap();
         assert_eq!(bloom.inserted_keys(), 2);
         assert!(bloom.contains_i64(10) && bloom.contains_i64(20));
+    }
+
+    #[test]
+    fn blooms_sized_by_exact_ndv_not_row_count() {
+        // A low-cardinality column (7 distinct values over 4096 rows, like
+        // l_shipmode) must get a far smaller filter than a unique column of
+        // the same length, and still answer membership correctly.
+        let low: Vec<i64> = (0..4096).map(|i| i % 7).collect();
+        let unique: Vec<i64> = (0..4096).collect();
+        let low_idx = build_column_index(&Column::Int64(low, None));
+        let uniq_idx = build_column_index(&Column::Int64(unique, None));
+        let low_bits = low_idx.bloom.as_ref().unwrap().num_bits();
+        let uniq_bits = uniq_idx.bloom.as_ref().unwrap().num_bits();
+        assert!(
+            low_bits * 4 <= uniq_bits,
+            "low-NDV filter should be at least 4x smaller: {low_bits} vs {uniq_bits} bits"
+        );
+        // No false negatives despite the tighter sizing.
+        let f = low_idx.bloom.as_ref().unwrap();
+        for v in 0..7 {
+            assert!(f.contains_i64(v));
+        }
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl std::fmt::Display for IndexMode {
 
 /// Min/max of a column's non-null values on the shared numeric axis
 /// (ints, floats and dates all project onto `f64`, matching the
-/// selectivity estimator's [`bfq_expr::ColStatsView`]).
+/// selectivity estimator's [`ColStatsView`](bfq_expr::selectivity::ColStatsView)).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZoneMap {
     /// Smallest non-null value.

@@ -417,6 +417,214 @@ impl PhysicalPlan {
         Arc::new(clone)
     }
 
+    /// Visit every expression embedded in this node (not its children).
+    fn for_each_local_expr<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        match &self.node {
+            PhysicalNode::Scan { predicate, .. }
+            | PhysicalNode::DerivedScan { predicate, .. }
+            | PhysicalNode::NestLoopJoin { predicate, .. } => {
+                if let Some(p) = predicate {
+                    f(p);
+                }
+            }
+            PhysicalNode::Filter { predicate, .. } => f(predicate),
+            PhysicalNode::HashJoin { extra, .. } | PhysicalNode::MergeJoin { extra, .. } => {
+                if let Some(p) = extra {
+                    f(p);
+                }
+            }
+            PhysicalNode::Project { exprs, .. } => {
+                for oc in exprs {
+                    f(&oc.expr);
+                }
+            }
+            PhysicalNode::HashAgg {
+                group_by,
+                aggs,
+                having,
+                ..
+            } => {
+                for g in group_by {
+                    f(&g.expr);
+                }
+                for a in aggs {
+                    if let Some(arg) = &a.arg {
+                        f(arg);
+                    }
+                }
+                if let Some(h) = having {
+                    f(h);
+                }
+            }
+            PhysicalNode::Sort { keys, .. } => {
+                for k in keys {
+                    f(&k.expr);
+                }
+            }
+            PhysicalNode::ScalarSubst { pred, .. } => f(pred),
+            PhysicalNode::Exchange { .. } | PhysicalNode::Limit { .. } => {}
+        }
+    }
+
+    /// Visit every expression in the tree (children first, like
+    /// [`PhysicalPlan::visit`]). Used e.g. to count parameter slots in a
+    /// prepared plan.
+    pub fn visit_exprs<'a>(self: &'a Arc<Self>, f: &mut dyn FnMut(&'a Expr)) {
+        self.visit(&mut |node| node.for_each_local_expr(f));
+    }
+
+    /// Rebuild the tree with `rewrite` applied to every embedded expression,
+    /// preserving node ids, layouts, estimates and distributions.
+    ///
+    /// This is how a cached (prepared) plan is specialized before
+    /// execution: binding `Expr::Param` slots to concrete literals without
+    /// re-running the optimizer.
+    pub fn map_exprs(self: &Arc<Self>, rewrite: &dyn Fn(&Expr) -> Expr) -> Arc<PhysicalPlan> {
+        let mut clone = (**self).clone();
+        let opt = |e: &Option<Expr>| e.as_ref().map(rewrite);
+        clone.node = match &self.node {
+            PhysicalNode::Scan {
+                base,
+                rel_id,
+                alias,
+                projection,
+                predicate,
+                blooms,
+            } => PhysicalNode::Scan {
+                base: *base,
+                rel_id: *rel_id,
+                alias: alias.clone(),
+                projection: projection.clone(),
+                predicate: opt(predicate),
+                blooms: blooms.clone(),
+            },
+            PhysicalNode::DerivedScan {
+                input,
+                rel_id,
+                alias,
+                predicate,
+                blooms,
+            } => PhysicalNode::DerivedScan {
+                input: input.map_exprs(rewrite),
+                rel_id: *rel_id,
+                alias: alias.clone(),
+                predicate: opt(predicate),
+                blooms: blooms.clone(),
+            },
+            PhysicalNode::Filter { input, predicate } => PhysicalNode::Filter {
+                input: input.map_exprs(rewrite),
+                predicate: rewrite(predicate),
+            },
+            PhysicalNode::HashJoin {
+                outer,
+                inner,
+                kind,
+                keys,
+                extra,
+                builds,
+            } => PhysicalNode::HashJoin {
+                outer: outer.map_exprs(rewrite),
+                inner: inner.map_exprs(rewrite),
+                kind: *kind,
+                keys: keys.clone(),
+                extra: opt(extra),
+                builds: builds.clone(),
+            },
+            PhysicalNode::MergeJoin {
+                outer,
+                inner,
+                kind,
+                keys,
+                extra,
+            } => PhysicalNode::MergeJoin {
+                outer: outer.map_exprs(rewrite),
+                inner: inner.map_exprs(rewrite),
+                kind: *kind,
+                keys: keys.clone(),
+                extra: opt(extra),
+            },
+            PhysicalNode::NestLoopJoin {
+                outer,
+                inner,
+                kind,
+                predicate,
+            } => PhysicalNode::NestLoopJoin {
+                outer: outer.map_exprs(rewrite),
+                inner: inner.map_exprs(rewrite),
+                kind: *kind,
+                predicate: opt(predicate),
+            },
+            PhysicalNode::Exchange { input, kind } => PhysicalNode::Exchange {
+                input: input.map_exprs(rewrite),
+                kind: kind.clone(),
+            },
+            PhysicalNode::Project { input, exprs } => PhysicalNode::Project {
+                input: input.map_exprs(rewrite),
+                exprs: exprs
+                    .iter()
+                    .map(|oc| OutputColumn {
+                        expr: rewrite(&oc.expr),
+                        name: oc.name.clone(),
+                        id: oc.id,
+                    })
+                    .collect(),
+            },
+            PhysicalNode::HashAgg {
+                input,
+                group_by,
+                aggs,
+                having,
+            } => PhysicalNode::HashAgg {
+                input: input.map_exprs(rewrite),
+                group_by: group_by
+                    .iter()
+                    .map(|g| OutputColumn {
+                        expr: rewrite(&g.expr),
+                        name: g.name.clone(),
+                        id: g.id,
+                    })
+                    .collect(),
+                aggs: aggs
+                    .iter()
+                    .map(|a| AggExpr {
+                        func: a.func,
+                        arg: a.arg.as_ref().map(rewrite),
+                        distinct: a.distinct,
+                        output: a.output,
+                    })
+                    .collect(),
+                having: opt(having),
+            },
+            PhysicalNode::Sort { input, keys, limit } => PhysicalNode::Sort {
+                input: input.map_exprs(rewrite),
+                keys: keys
+                    .iter()
+                    .map(|k| SortKey {
+                        expr: rewrite(&k.expr),
+                        descending: k.descending,
+                    })
+                    .collect(),
+                limit: *limit,
+            },
+            PhysicalNode::Limit { input, n } => PhysicalNode::Limit {
+                input: input.map_exprs(rewrite),
+                n: *n,
+            },
+            PhysicalNode::ScalarSubst {
+                input,
+                subquery,
+                pred,
+                placeholder,
+            } => PhysicalNode::ScalarSubst {
+                input: input.map_exprs(rewrite),
+                subquery: subquery.map_exprs(rewrite),
+                pred: rewrite(pred),
+                placeholder: *placeholder,
+            },
+        };
+        Arc::new(clone)
+    }
+
     /// Visit every node (children first).
     pub fn visit<'a>(self: &'a Arc<Self>, f: &mut dyn FnMut(&'a Arc<PhysicalPlan>)) {
         for child in self.children() {
@@ -601,6 +809,64 @@ mod tests {
             });
         }
         assert!(s.op_name().contains("apply bf3"));
+    }
+
+    #[test]
+    fn map_exprs_rewrites_everywhere_and_keeps_metadata() {
+        let filtered = PhysicalPlan::new(
+            PhysicalNode::Filter {
+                input: scan("a", 100),
+                predicate: Expr::col(ColumnId::new(TableId(100), 0)).eq(Expr::Param(0)),
+            },
+            Layout::new(vec![ColumnId::new(TableId(100), 0)]),
+            10.0,
+            Distribution::AnyPartitioned,
+        );
+        let top = PhysicalPlan::new(
+            PhysicalNode::Sort {
+                input: filtered,
+                keys: vec![SortKey {
+                    expr: Expr::col(ColumnId::new(TableId(100), 0)),
+                    descending: false,
+                }],
+                limit: None,
+            },
+            Layout::new(vec![ColumnId::new(TableId(100), 0)]),
+            10.0,
+            Distribution::Single,
+        );
+        let mut next = 1;
+        let top = top.with_ids(&mut next);
+
+        let mut params = 0;
+        top.visit_exprs(&mut |e| {
+            e.walk(&mut |n| {
+                if matches!(n, Expr::Param(_)) {
+                    params += 1;
+                }
+            })
+        });
+        assert_eq!(params, 1);
+
+        let bound = top.map_exprs(&|e| e.bind_params(&[Datum::Int(7)]));
+        let mut bound_params = 0;
+        let mut saw_literal = false;
+        bound.visit_exprs(&mut |e| {
+            e.walk(&mut |n| match n {
+                Expr::Param(_) => bound_params += 1,
+                Expr::Literal(Datum::Int(7)) => saw_literal = true,
+                _ => {}
+            })
+        });
+        assert_eq!(bound_params, 0);
+        assert!(saw_literal);
+        // Node ids, estimates and shape survive the rewrite.
+        let ids = |p: &Arc<PhysicalPlan>| {
+            let mut v = Vec::new();
+            p.visit(&mut |n| v.push((n.id, n.est_rows as i64)));
+            v
+        };
+        assert_eq!(ids(&top), ids(&bound));
     }
 
     #[test]

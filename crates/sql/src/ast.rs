@@ -123,6 +123,9 @@ pub enum AstExpr {
     Float(f64),
     /// String literal.
     Str(String),
+    /// Parameter placeholder (`?` or `$n`), 0-indexed after parsing:
+    /// positional `?`s number left to right, `$n` maps to index `n - 1`.
+    Param(u32),
     /// `date 'YYYY-MM-DD'`.
     DateLit(String),
     /// `interval 'n' unit`.

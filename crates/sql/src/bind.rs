@@ -20,15 +20,23 @@ pub struct BoundQuery {
     pub plan: LogicalPlan,
     /// Output column names, aligned with the final projection.
     pub output_names: Vec<String>,
+    /// Parameter slots the query requires (`max placeholder index + 1`;
+    /// zero for parameter-free statements).
+    pub param_count: usize,
 }
 
 /// Bind a parsed statement against a catalog.
 pub fn bind(stmt: &SelectStmt, catalog: &Catalog, bindings: &mut Bindings) -> Result<BoundQuery> {
-    let mut binder = Binder { catalog, bindings };
+    let mut binder = Binder {
+        catalog,
+        bindings,
+        max_param: None,
+    };
     let (plan, names, _schema) = binder.bind_select(stmt)?;
     Ok(BoundQuery {
         plan,
         output_names: names,
+        param_count: binder.max_param.map_or(0, |m| m as usize + 1),
     })
 }
 
@@ -114,6 +122,8 @@ impl AggCollector {
 struct Binder<'a> {
     catalog: &'a Catalog,
     bindings: &'a mut Bindings,
+    /// Highest parameter index seen anywhere in the statement.
+    max_param: Option<u32>,
 }
 
 /// Work-in-progress block state while binding a SELECT.
@@ -814,6 +824,10 @@ impl Binder<'_> {
             AstExpr::Int(v) => Expr::Literal(Datum::Int(*v)),
             AstExpr::Float(v) => Expr::Literal(Datum::Float(*v)),
             AstExpr::Str(s) => Expr::Literal(Datum::str(s.as_str())),
+            AstExpr::Param(i) => {
+                self.max_param = Some(self.max_param.map_or(*i, |m| m.max(*i)));
+                Expr::Param(*i)
+            }
             AstExpr::DateLit(s) => Expr::Literal(Datum::Date(
                 date::parse_date(s)
                     .ok_or_else(|| BfqError::Bind(format!("bad date literal '{s}'")))?,
@@ -1040,75 +1054,11 @@ fn agg_type(func: AggFunc, arg: Option<bfq_common::DataType>) -> bfq_common::Dat
 
 /// Replace subtrees equal to any mapped expression with its column ref.
 fn replace_subtrees(expr: &Expr, map: &[(Expr, ColumnId)]) -> Expr {
-    for (pattern, id) in map {
-        if expr == pattern {
-            return Expr::Column(*id);
-        }
-    }
-    match expr {
-        Expr::Column(_) | Expr::Literal(_) => expr.clone(),
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(replace_subtrees(left, map)),
-            right: Box::new(replace_subtrees(right, map)),
-        },
-        Expr::Unary { op, expr: e } => Expr::Unary {
-            op: *op,
-            expr: Box::new(replace_subtrees(e, map)),
-        },
-        Expr::Between {
-            expr: e,
-            low,
-            high,
-            negated,
-        } => Expr::Between {
-            expr: Box::new(replace_subtrees(e, map)),
-            low: Box::new(replace_subtrees(low, map)),
-            high: Box::new(replace_subtrees(high, map)),
-            negated: *negated,
-        },
-        Expr::InList {
-            expr: e,
-            list,
-            negated,
-        } => Expr::InList {
-            expr: Box::new(replace_subtrees(e, map)),
-            list: list.iter().map(|i| replace_subtrees(i, map)).collect(),
-            negated: *negated,
-        },
-        Expr::Like {
-            expr: e,
-            pattern,
-            negated,
-        } => Expr::Like {
-            expr: Box::new(replace_subtrees(e, map)),
-            pattern: pattern.clone(),
-            negated: *negated,
-        },
-        Expr::Case {
-            branches,
-            else_expr,
-        } => Expr::Case {
-            branches: branches
-                .iter()
-                .map(|(c, v)| (replace_subtrees(c, map), replace_subtrees(v, map)))
-                .collect(),
-            else_expr: else_expr
-                .as_ref()
-                .map(|e| Box::new(replace_subtrees(e, map))),
-        },
-        Expr::ExtractYear(e) => Expr::ExtractYear(Box::new(replace_subtrees(e, map))),
-        Expr::ExtractMonth(e) => Expr::ExtractMonth(Box::new(replace_subtrees(e, map))),
-        Expr::Substring {
-            expr: e,
-            start,
-            len,
-        } => Expr::Substring {
-            expr: Box::new(replace_subtrees(e, map)),
-            start: *start,
-            len: *len,
-        },
-    }
+    expr.rewrite(&mut |e| {
+        map.iter()
+            .find(|(pattern, _)| e == pattern)
+            .map(|(_, id)| Expr::Column(*id))
+    })
 }
 
 /// After group/agg rewriting, every remaining column must belong to the

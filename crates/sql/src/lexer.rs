@@ -15,6 +15,8 @@ pub enum TokenKind {
     Str(String),
     /// Punctuation / operator.
     Symbol(&'static str),
+    /// Numbered parameter placeholder `$n` (1-based in the source).
+    Param(u32),
     /// End of input.
     Eof,
 }
@@ -87,6 +89,30 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 kind,
                 offset: start,
             });
+        } else if c == '$' {
+            // `$n` numbered parameter placeholder.
+            i += 1;
+            let num_start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if num_start == i {
+                return Err(BfqError::Parse(format!(
+                    "expected digits after `$` at {start}"
+                )));
+            }
+            let n: u32 = input[num_start..i]
+                .parse()
+                .map_err(|_| BfqError::Parse(format!("bad parameter number at {start}")))?;
+            if n == 0 {
+                return Err(BfqError::Parse(format!(
+                    "parameter numbers start at $1 (at {start})"
+                )));
+            }
+            tokens.push(Token {
+                kind: TokenKind::Param(n),
+                offset: start,
+            });
         } else if c == '\'' {
             i += 1;
             let mut value = String::new();
@@ -142,6 +168,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     '<' => "<",
                     '>' => ">",
                     '=' => "=",
+                    '?' => "?",
                     other => {
                         return Err(BfqError::Parse(format!(
                             "unexpected character `{other}` at {start}"
@@ -240,5 +267,15 @@ mod tests {
     #[test]
     fn decimal_without_leading_zero() {
         assert_eq!(kinds(".5")[0], TokenKind::Float(0.5));
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        let got = kinds("a = ? and b = $2 and c = $10");
+        assert!(got.contains(&TokenKind::Symbol("?")));
+        assert!(got.contains(&TokenKind::Param(2)));
+        assert!(got.contains(&TokenKind::Param(10)));
+        assert!(tokenize("a = $0").is_err(), "$0 is invalid");
+        assert!(tokenize("a = $x").is_err(), "$ needs digits");
     }
 }

@@ -11,7 +11,7 @@
 //! * `date '…'`, `interval 'n' month/year/day` arithmetic (constant-folded
 //!   at bind time), `EXTRACT(YEAR|MONTH FROM …)`, searched `CASE`.
 //!
-//! Decorrelation (in [`bind`]): single-table `EXISTS`/`IN` subqueries become
+//! Decorrelation (in [`mod@bind`]): single-table `EXISTS`/`IN` subqueries become
 //! semi/anti relations of the enclosing block (correlated equalities turn
 //! into join clauses, other correlated conjuncts into complex predicates);
 //! uncorrelated scalar subqueries become `ScalarFilter` nodes; anything
@@ -25,7 +25,7 @@ pub mod parser;
 pub use ast::{AstExpr, JoinType, SelectItem, SelectStmt, TableRef};
 pub use bind::{bind, BoundQuery};
 pub use lexer::{tokenize, Token, TokenKind};
-pub use parser::parse_select;
+pub use parser::{parse_select, parse_select_with_params};
 
 use bfq_catalog::Catalog;
 use bfq_common::Result;
@@ -35,4 +35,63 @@ use bfq_plan::Bindings;
 pub fn plan_sql(sql: &str, catalog: &Catalog, bindings: &mut Bindings) -> Result<BoundQuery> {
     let stmt = parse_select(sql)?;
     bind(&stmt, catalog, bindings)
+}
+
+/// Canonicalize a SQL string for use as a plan-cache key.
+///
+/// Comments are dropped, whitespace collapses to single spaces, keywords
+/// and identifiers are lower-cased, and literals keep their values — so two
+/// statements normalize equal exactly when they tokenize equal. The result
+/// is *not* guaranteed to re-parse prettily; it is a cache key, not a
+/// formatter.
+pub fn normalize_sql(sql: &str) -> Result<String> {
+    let tokens = tokenize(sql)?;
+    let mut out = String::with_capacity(sql.len());
+    for t in &tokens {
+        if t.kind == TokenKind::Eof {
+            break;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match &t.kind {
+            TokenKind::Ident(w) => out.push_str(w),
+            TokenKind::Int(v) => out.push_str(&v.to_string()),
+            TokenKind::Float(v) => out.push_str(&format!("{v:?}")),
+            TokenKind::Str(s) => {
+                out.push('\'');
+                out.push_str(&s.replace('\'', "''"));
+                out.push('\'');
+            }
+            TokenKind::Symbol(s) => out.push_str(s),
+            TokenKind::Param(n) => {
+                out.push('$');
+                out.push_str(&n.to_string());
+            }
+            TokenKind::Eof => unreachable!("handled above"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod normalize_tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_case_and_comments_collapse() {
+        let a = normalize_sql("SELECT  a,b FROM t -- trailing\n WHERE x = 'It''s'").unwrap();
+        let b = normalize_sql("select a , b from t where x='It''s'").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, "select a , b from t where x = 'It''s'");
+    }
+
+    #[test]
+    fn literals_and_params_are_distinguishing() {
+        let a = normalize_sql("select * from t where k = 1").unwrap();
+        let b = normalize_sql("select * from t where k = 2").unwrap();
+        assert_ne!(a, b);
+        let p = normalize_sql("select * from t where k = $1 and j = ?").unwrap();
+        assert_eq!(p, "select * from t where k = $1 and j = ?");
+    }
 }

@@ -7,17 +7,47 @@ use crate::lexer::{tokenize, Token, TokenKind};
 
 /// Parse a single `SELECT` statement (trailing `;` allowed).
 pub fn parse_select(sql: &str) -> Result<SelectStmt> {
+    parse_select_with_params(sql).map(|(stmt, _)| stmt)
+}
+
+/// Parse a statement that may contain `?` / `$n` parameter placeholders,
+/// returning the number of parameter slots it requires (`max index + 1`).
+///
+/// Positional `?`s are numbered left to right; `$n` placeholders are
+/// explicit and may repeat. Mixing the two styles in one statement is
+/// rejected (as in PostgreSQL): the combination has no unambiguous
+/// numbering, and silently aliasing slots would bind the wrong values.
+pub fn parse_select_with_params(sql: &str) -> Result<(SelectStmt, usize)> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_param: 0,
+        param_style: None,
+    };
     let stmt = p.select()?;
     p.accept_symbol(";");
     p.expect_eof()?;
-    Ok(stmt)
+    Ok((stmt, p.next_param as usize))
+}
+
+/// Which placeholder style a statement uses (at most one is allowed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParamStyle {
+    /// Bare `?`, numbered left to right.
+    Positional,
+    /// Explicit `$n`.
+    Numbered,
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Parameter slots allocated so far (also the index the next bare `?`
+    /// receives).
+    next_param: u32,
+    /// The placeholder style seen so far, if any.
+    param_style: Option<ParamStyle>,
 }
 
 impl Parser {
@@ -88,6 +118,17 @@ impl Parser {
 
     fn peek_kw(&self, kw: &str) -> bool {
         matches!(self.peek(), TokenKind::Ident(w) if w == kw)
+    }
+
+    fn set_param_style(&mut self, style: ParamStyle) -> Result<()> {
+        match self.param_style {
+            None => {
+                self.param_style = Some(style);
+                Ok(())
+            }
+            Some(prev) if prev == style => Ok(()),
+            Some(_) => Err(self.err("cannot mix `?` and `$n` parameter placeholders")),
+        }
     }
 
     fn ident(&mut self) -> Result<String> {
@@ -479,6 +520,20 @@ impl Parser {
                 self.advance();
                 Ok(AstExpr::Str(s))
             }
+            TokenKind::Symbol("?") => {
+                self.set_param_style(ParamStyle::Positional)?;
+                self.advance();
+                let index = self.next_param;
+                self.next_param += 1;
+                Ok(AstExpr::Param(index))
+            }
+            TokenKind::Param(n) => {
+                self.set_param_style(ParamStyle::Numbered)?;
+                self.advance();
+                let index = n - 1; // lexer guarantees n >= 1
+                self.next_param = self.next_param.max(n);
+                Ok(AstExpr::Param(index))
+            }
             TokenKind::Symbol("(") => {
                 self.advance();
                 if self.peek_kw("select") {
@@ -786,6 +841,53 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parameter_placeholders_number_correctly() {
+        // Positional `?`s number left to right.
+        let (q, n) =
+            parse_select_with_params("select * from t where a = ? and b < ? and c between ? and ?")
+                .unwrap();
+        assert_eq!(n, 4);
+        let conj = q.where_clause.unwrap().conjuncts();
+        match &conj[0] {
+            AstExpr::Binary { right, .. } => assert_eq!(**right, AstExpr::Param(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &conj[2] {
+            AstExpr::Between { low, high, .. } => {
+                assert_eq!(**low, AstExpr::Param(2));
+                assert_eq!(**high, AstExpr::Param(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // `$n` is explicit, repeatable, and 1-based in the source.
+        let (q, n) =
+            parse_select_with_params("select * from t where a = $2 and b = $1 and c = $2").unwrap();
+        assert_eq!(n, 2);
+        let conj = q.where_clause.unwrap().conjuncts();
+        match (&conj[0], &conj[1], &conj[2]) {
+            (
+                AstExpr::Binary { right: r0, .. },
+                AstExpr::Binary { right: r1, .. },
+                AstExpr::Binary { right: r2, .. },
+            ) => {
+                assert_eq!(**r0, AstExpr::Param(1));
+                assert_eq!(**r1, AstExpr::Param(0));
+                assert_eq!(**r2, AstExpr::Param(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Mixing styles is rejected — the numbering would be ambiguous
+        // (`? … $1` would silently alias both to slot 0).
+        assert!(parse_select_with_params("select * from t where a = $3 and b = ?").is_err());
+        assert!(parse_select_with_params("select * from t where a = ? and b = $1").is_err());
+        // Parameter-free statements report zero slots.
+        let (_, n) = parse_select_with_params("select * from t").unwrap();
+        assert_eq!(n, 0);
     }
 
     #[test]

@@ -4,7 +4,6 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use bfq::prelude::*;
-use bfq::session::{Session, SessionConfig};
 use bfq::tpch;
 
 fn main() -> Result<()> {
@@ -15,13 +14,15 @@ fn main() -> Result<()> {
         println!("  {:<10} {:>9} rows", meta.name, meta.stats.rows as u64);
     }
 
-    // 2. Open a session with BF-CBO enabled (the paper's contribution).
-    let session = Session::new(
+    // 2. Build the shared engine with BF-CBO enabled (the paper's
+    //    contribution) and open a connection.
+    let engine = Engine::new(
         db,
-        SessionConfig::default()
+        EngineConfig::default()
             .with_bloom_mode(BloomMode::Cbo)
             .with_dop(4),
     );
+    let session = engine.connect();
 
     // 3. Run a join query. The optimizer will consider Bloom-filter scan
     //    sub-plans; the plan shows where filters are built and applied.
@@ -48,6 +49,14 @@ fn main() -> Result<()> {
         result.optimized.stats.cbo_filters,
         result.optimized.stats.post_filters,
         result.optimized.stats.planning_ms
+    );
+
+    // 4. Re-running the identical statement hits the shared plan cache.
+    let again = session.run_sql(sql)?;
+    let cache = engine.cache_stats();
+    println!(
+        "re-run: cache_hit={} (engine counters: {} hits / {} misses)",
+        again.cache_hit, cache.hits, cache.misses
     );
     Ok(())
 }

@@ -4,7 +4,6 @@
 //! (defaults to Q12, the paper's Figure 1 query).
 
 use bfq::prelude::*;
-use bfq::session::{Session, SessionConfig};
 use bfq::tpch;
 
 fn main() -> Result<()> {
@@ -18,10 +17,11 @@ fn main() -> Result<()> {
 
     for mode in [BloomMode::None, BloomMode::Post, BloomMode::Cbo] {
         let db = tpch::gen::generate(sf, 42)?;
-        let session = Session::new(
+        let session = Engine::new(
             db,
-            SessionConfig::default().with_bloom_mode(mode).with_dop(4),
-        );
+            EngineConfig::default().with_bloom_mode(mode).with_dop(4),
+        )
+        .connect();
         let t = std::time::Instant::now();
         let result = session.run_sql(&sql)?;
         let ms = t.elapsed().as_secs_f64() * 1e3;

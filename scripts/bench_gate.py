@@ -4,8 +4,9 @@ committed baseline in bench/baselines/.
 
 Structural metrics (chunk counts, skip fractions, filters placed) are
 deterministic for a fixed generator seed, so they gate at a tight relative
-tolerance. `*_ms` latency metrics are reported for trending but never
-gated — shared CI runners are too noisy for a hard latency bar.
+tolerance. `*_checksum` metrics are result-correctness checks and gate
+EXACTLY (zero tolerance). `*_ms` latency metrics are reported for trending
+but never gated — shared CI runners are too noisy for a hard latency bar.
 
 Usage: scripts/bench_gate.py <fresh.json> <baseline.json> [rel_tol]
 Exit code 0 = pass, 1 = regression / metric drift.
@@ -37,6 +38,13 @@ def main():
             continue
         if got is None:
             failures.append(f"{key}: missing from fresh run (baseline {expected})")
+            continue
+        if key.endswith("_checksum"):
+            # Result checksums are correctness, not perf: exact match only.
+            if got != expected:
+                failures.append(f"{key}: {got} != baseline {expected} (exact-match metric)")
+            else:
+                print(f"  ok      {key}: {got} (exact)")
             continue
         limit = max(abs(expected) * rel_tol, abs_tol)
         if abs(got - expected) > limit:

@@ -1,0 +1,290 @@
+//! Per-client connections and session-level (`SET`-style) options.
+//!
+//! A [`Connection`] is cheap to create — an `Arc` clone of the shared
+//! [`Engine`] plus a handful of option overrides — so a server can open one
+//! per client or per request. Connections are independent: options set on
+//! one never affect another, while all of them share the engine's catalog
+//! and plan cache.
+
+use std::sync::Arc;
+
+use bfq_common::{BfqError, DataType, Result};
+use bfq_core::{BloomMode, OptimizedQuery, OptimizerConfig};
+use bfq_exec::{execute_plan_stream, ChunkStream, ExecStats};
+use bfq_index::IndexMode;
+use bfq_plan::Bindings;
+use bfq_sql::plan_sql;
+use bfq_storage::Chunk;
+
+use crate::engine::{Engine, QueryResult};
+use crate::statement::PreparedStatement;
+
+/// Per-query optimizer overrides carried by a connection, settable through
+/// [`Connection::set`] like SQL `SET` variables.
+///
+/// `None` means "use the engine default". The overrides participate in the
+/// plan-cache key (via the effective [`OptimizerConfig`] fingerprint), so
+/// two connections with different options never share plans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryOptions {
+    /// Override the Bloom filter mode (`none` / `post` / `cbo` / `naive`).
+    pub bloom_mode: Option<BloomMode>,
+    /// Override the data-skipping index mode.
+    pub index_mode: Option<IndexMode>,
+    /// Override the degree of parallelism.
+    pub dop: Option<usize>,
+}
+
+impl QueryOptions {
+    /// The engine-default config with this connection's overrides applied.
+    pub fn effective(&self, base: &OptimizerConfig) -> OptimizerConfig {
+        let mut config = base.clone();
+        if let Some(mode) = self.bloom_mode {
+            config.bloom_mode = mode;
+        }
+        if let Some(mode) = self.index_mode {
+            config.index_mode = mode;
+        }
+        if let Some(dop) = self.dop {
+            config.dop = dop.max(1);
+        }
+        config
+    }
+}
+
+/// A client connection to a shared [`Engine`].
+#[derive(Debug, Clone)]
+pub struct Connection {
+    engine: Arc<Engine>,
+    options: QueryOptions,
+}
+
+impl Connection {
+    pub(crate) fn new(engine: Arc<Engine>) -> Connection {
+        Connection {
+            engine,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The current option overrides.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// Mutable access for programmatic option changes.
+    pub fn options_mut(&mut self) -> &mut QueryOptions {
+        &mut self.options
+    }
+
+    /// `SET key = value` for this connection.
+    ///
+    /// Keys: `bloom_mode` (`none|post|cbo|naive`), `index_mode`
+    /// (`off|zonemap|zonemap+bloom`), `dop` (positive integer). The value
+    /// `default` resets a key to the engine default.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<()> {
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim().to_ascii_lowercase();
+        let reset = value == "default";
+        match key.as_str() {
+            "bloom_mode" => {
+                self.options.bloom_mode = if reset {
+                    None
+                } else {
+                    Some(match value.as_str() {
+                        "none" | "off" => BloomMode::None,
+                        "post" => BloomMode::Post,
+                        "cbo" => BloomMode::Cbo,
+                        "naive" => BloomMode::Naive,
+                        other => {
+                            return Err(BfqError::invalid(format!(
+                                "unknown bloom_mode `{other}` (none|post|cbo|naive)"
+                            )))
+                        }
+                    })
+                }
+            }
+            "index_mode" => {
+                self.options.index_mode = if reset {
+                    None
+                } else {
+                    Some(value.parse().map_err(BfqError::invalid)?)
+                }
+            }
+            "dop" => {
+                self.options.dop = if reset {
+                    None
+                } else {
+                    let dop: usize = value
+                        .parse()
+                        .map_err(|_| BfqError::invalid(format!("bad dop `{value}`")))?;
+                    if dop == 0 {
+                        return Err(BfqError::invalid("dop must be at least 1"));
+                    }
+                    Some(dop)
+                }
+            }
+            other => {
+                return Err(BfqError::invalid(format!(
+                    "unknown option `{other}` (bloom_mode|index_mode|dop)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The optimizer config this connection currently plans under.
+    pub fn effective_config(&self) -> OptimizerConfig {
+        self.options.effective(&self.engine.config().optimizer)
+    }
+
+    /// Run a parameter-free statement to completion (plan-cache aware).
+    ///
+    /// Uses the eager executor, which evaluates the final projection
+    /// partition-parallel; [`Connection::execute_stream`] trades that for
+    /// incremental chunk delivery. Both produce identical rows in
+    /// identical order.
+    pub fn run_sql(&self, sql: &str) -> Result<QueryResult> {
+        let optimizer = self.effective_config();
+        let (cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
+        let out = bfq_exec::execute_plan_opts(
+            &cached.optimized.plan,
+            self.engine.catalog().clone(),
+            optimizer.dop,
+            optimizer.index_mode,
+        )?;
+        Ok(QueryResult {
+            chunk: out.chunk,
+            column_names: cached.output_names.clone(),
+            optimized: cached.optimized.clone(),
+            exec_stats: out.stats,
+            cache_hit,
+        })
+    }
+
+    /// Run a parameter-free statement, returning results incrementally.
+    pub fn execute_stream(&self, sql: &str) -> Result<QueryStream> {
+        let optimizer = self.effective_config();
+        let (cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
+        let stream = execute_plan_stream(
+            &cached.optimized.plan,
+            self.engine.catalog().clone(),
+            optimizer.dop,
+            optimizer.index_mode,
+        )?;
+        Ok(QueryStream {
+            column_names: cached.output_names.clone(),
+            optimized: cached.optimized.clone(),
+            cache_hit,
+            stream,
+        })
+    }
+
+    fn plan_parameter_free(
+        &self,
+        sql: &str,
+        optimizer: &OptimizerConfig,
+    ) -> Result<(std::sync::Arc<bfq_core::CachedPlan>, bool)> {
+        let (cached, cache_hit) = self.engine.plan_statement(sql, optimizer)?;
+        if cached.param_count > 0 {
+            return Err(BfqError::invalid(format!(
+                "statement has {} parameter(s); use prepare() and bind()",
+                cached.param_count
+            )));
+        }
+        Ok((cached, cache_hit))
+    }
+
+    /// Prepare a statement (with optional `?` / `$n` placeholders) for
+    /// repeated execution: parsed, bound and optimized once.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
+        let optimizer = self.effective_config();
+        let (cached, cache_hit) = self.engine.plan_statement(sql, &optimizer)?;
+        Ok(PreparedStatement::new(
+            self.engine.clone(),
+            optimizer,
+            cached,
+            cache_hit,
+        ))
+    }
+
+    /// Plan only (no execution, no caching) — used by planner-latency
+    /// experiments where each run must pay the full optimization cost.
+    pub fn plan_sql_only(&self, sql: &str) -> Result<OptimizedQuery> {
+        let optimizer = self.effective_config();
+        let mut bindings = Bindings::new();
+        let bound = plan_sql(sql, self.engine.catalog(), &mut bindings)?;
+        bfq_core::optimize(
+            &bound.plan,
+            &mut bindings,
+            self.engine.catalog(),
+            &optimizer,
+        )
+    }
+}
+
+/// A streaming query result: column names plus an iterator of chunks.
+///
+/// [`QueryResult`] is the gathered convenience wrapper over this: calling
+/// [`QueryStream::gather`] drains the stream and concatenates — the rows
+/// and their order are identical.
+pub struct QueryStream {
+    /// Output column names.
+    pub column_names: Vec<String>,
+    /// The optimized plan (EXPLAIN material).
+    pub optimized: OptimizedQuery,
+    /// Whether the plan came from the shared plan cache.
+    pub cache_hit: bool,
+    stream: ChunkStream,
+}
+
+impl QueryStream {
+    pub(crate) fn from_parts(
+        column_names: Vec<String>,
+        optimized: OptimizedQuery,
+        cache_hit: bool,
+        stream: ChunkStream,
+    ) -> QueryStream {
+        QueryStream {
+            column_names,
+            optimized,
+            cache_hit,
+            stream,
+        }
+    }
+
+    /// Output column types.
+    pub fn types(&self) -> &[DataType] {
+        self.stream.types()
+    }
+
+    /// Runtime statistics recorded so far (root counters grow with pulls).
+    pub fn stats(&self) -> &ExecStats {
+        self.stream.stats()
+    }
+
+    /// Drain the remaining chunks into a gathered [`QueryResult`].
+    pub fn gather(self) -> Result<QueryResult> {
+        let out = self.stream.gather()?;
+        Ok(QueryResult {
+            chunk: out.chunk,
+            column_names: self.column_names,
+            optimized: self.optimized,
+            exec_stats: out.stats,
+            cache_hit: self.cache_hit,
+        })
+    }
+}
+
+impl Iterator for QueryStream {
+    type Item = Result<Chunk>;
+
+    fn next(&mut self) -> Option<Result<Chunk>> {
+        self.stream.next()
+    }
+}

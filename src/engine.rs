@@ -1,0 +1,211 @@
+//! The shared, thread-safe engine: catalog + configuration + plan cache.
+//!
+//! [`Engine`] is the process-wide object a serving deployment creates once
+//! and shares across every client thread (it is `Send + Sync`; hand out
+//! `Arc<Engine>` clones freely). Per-client state lives in cheap
+//! [`Connection`]s created with [`Engine::connect`].
+//!
+//! The engine owns an LRU [`PlanCache`] keyed by *normalized SQL* plus an
+//! [`OptimizerConfig`] fingerprint: re-executing the same statement under
+//! the same optimizer settings — ad hoc or prepared — skips
+//! parse/bind/optimize entirely. This amortizes BF-CBO's optimization cost
+//! across the repetitive workloads where Bloom-aware plans pay off, exactly
+//! the regime the paper targets.
+
+use std::sync::Arc;
+
+use bfq_catalog::Catalog;
+use bfq_common::Result;
+use bfq_core::{optimize, CachedPlan, OptimizedQuery, OptimizerConfig, PlanCache, PlanCacheStats};
+use bfq_exec::ExecStats;
+use bfq_plan::{Bindings, PhysicalNode};
+use bfq_sql::{normalize_sql, plan_sql};
+use bfq_storage::Chunk;
+use bfq_tpch::TpchDb;
+
+use crate::connection::Connection;
+
+pub use bfq_core::BloomMode;
+pub use bfq_index::IndexMode;
+
+/// Engine-wide configuration: optimizer defaults plus cache sizing.
+///
+/// Individual connections can override the per-query optimizer knobs
+/// (`bloom_mode`, `index_mode`, `dop`) through
+/// [`crate::connection::QueryOptions`] without touching the engine config.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Optimizer configuration (Bloom mode, DOP, heuristics) used as the
+    /// default for every connection.
+    pub optimizer: OptimizerConfig,
+    /// Maximum plans held by the shared plan cache (0 disables caching).
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            optimizer: OptimizerConfig::default(),
+            plan_cache_capacity: 128,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Set the Bloom filter mode.
+    pub fn with_bloom_mode(mut self, mode: BloomMode) -> Self {
+        self.optimizer.bloom_mode = mode;
+        self
+    }
+
+    /// Set the degree of parallelism.
+    pub fn with_dop(mut self, dop: usize) -> Self {
+        self.optimizer.dop = dop.max(1);
+        self
+    }
+
+    /// Set the data-skipping index mode (off / zonemap / zonemap+bloom).
+    pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
+        self.optimizer.index_mode = mode;
+        self
+    }
+
+    /// Set the plan cache capacity (0 disables plan caching).
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+}
+
+/// The result of running one query to completion.
+pub struct QueryResult {
+    /// Result rows, gathered into one chunk.
+    pub chunk: Chunk,
+    /// Output column names.
+    pub column_names: Vec<String>,
+    /// The optimized plan (EXPLAIN material).
+    pub optimized: OptimizedQuery,
+    /// Runtime per-node row counts.
+    pub exec_stats: ExecStats,
+    /// Whether planning was skipped for this execution: `true` on a shared
+    /// plan-cache hit, and always `true` when executing a prepared
+    /// statement (it holds its plan from prepare time).
+    pub cache_hit: bool,
+}
+
+impl QueryResult {
+    /// EXPLAIN-style rendering of the executed plan, followed by the
+    /// chunk-skipping counters of every scan that consulted the per-chunk
+    /// index (`bfq-index` data skipping) and the plan-cache outcome.
+    pub fn explain(&self) -> String {
+        let mut out = self.optimized.plan.explain(&|c| c.to_string());
+        let mut prune_lines = Vec::new();
+        self.optimized.plan.visit(&mut |node| {
+            if let PhysicalNode::Scan { alias, .. } = &node.node {
+                if let Some(p) = self.exec_stats.prune_of(node.id) {
+                    if p.skipped() > 0 {
+                        prune_lines.push(format!(
+                            "  {alias}: {}/{} chunks skipped \
+                             (zonemap {}, bloom {}, filterkeys {}), {} rows pruned",
+                            p.skipped(),
+                            p.chunks,
+                            p.skipped_zonemap,
+                            p.skipped_bloom,
+                            p.skipped_rfilter,
+                            p.rows_pruned
+                        ));
+                    }
+                }
+            }
+        });
+        if !prune_lines.is_empty() {
+            out.push_str("index pruning:\n");
+            for line in prune_lines {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out.push_str(if self.cache_hit {
+            "plan cache: hit\n"
+        } else {
+            "plan cache: miss\n"
+        });
+        out
+    }
+}
+
+/// The shared query engine. Create once, share via `Arc`, connect per
+/// client.
+#[derive(Debug)]
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    config: EngineConfig,
+    cache: PlanCache,
+}
+
+impl Engine {
+    /// An engine over a generated TPC-H database.
+    pub fn new(db: TpchDb, config: EngineConfig) -> Arc<Engine> {
+        Engine::over_catalog(Arc::new(db.catalog), config)
+    }
+
+    /// An engine over an arbitrary catalog.
+    pub fn over_catalog(catalog: Arc<Catalog>, config: EngineConfig) -> Arc<Engine> {
+        let cache = PlanCache::with_capacity(config.plan_cache_capacity);
+        Arc::new(Engine {
+            catalog,
+            config,
+            cache,
+        })
+    }
+
+    /// Open a new connection: cheap, independent per-query option overrides.
+    pub fn connect(self: &Arc<Self>) -> Connection {
+        Connection::new(self.clone())
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The engine-wide configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Plan-cache effectiveness counters (hits, misses, evictions, …).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached plans (counters survive). Useful after statistics
+    /// or configuration changes that should invalidate prior planning.
+    pub fn clear_plan_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Parse, bind and optimize `sql` under `optimizer`, consulting the
+    /// shared plan cache first. Returns the (possibly still parameterized)
+    /// plan and whether it was a cache hit.
+    pub(crate) fn plan_statement(
+        &self,
+        sql: &str,
+        optimizer: &OptimizerConfig,
+    ) -> Result<(Arc<CachedPlan>, bool)> {
+        let key = PlanCache::key(&normalize_sql(sql)?, &optimizer.cache_fingerprint());
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok((hit, true));
+        }
+        let mut bindings = Bindings::new();
+        let bound = plan_sql(sql, &self.catalog, &mut bindings)?;
+        let optimized = optimize(&bound.plan, &mut bindings, &self.catalog, optimizer)?;
+        let cached = Arc::new(CachedPlan {
+            optimized,
+            output_names: bound.output_names,
+            param_count: bound.param_count,
+        });
+        self.cache.insert(key, cached.clone());
+        Ok((cached, false))
+    }
+}

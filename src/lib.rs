@@ -7,24 +7,42 @@
 //!
 //! ## Quick start
 //!
+//! The public surface is three-tiered: one shared, thread-safe [`Engine`]
+//! (catalog + config + plan cache), cheap per-client [`Connection`]s, and
+//! [`PreparedStatement`]s that are optimized once and executed many times.
+//!
 //! ```
 //! use bfq::prelude::*;
 //!
-//! // Generate a tiny TPC-H instance, register it, and run a query with
+//! // Generate a tiny TPC-H instance and build the shared engine with
 //! // Bloom-filter-aware cost-based optimization (BF-CBO).
 //! let db = bfq::tpch::gen::generate(0.001, 42).unwrap();
-//! let catalog = db.catalog.clone();
-//! let session = Session::new(
+//! let engine = Engine::new(
 //!     db,
-//!     SessionConfig::default()
+//!     EngineConfig::default()
 //!         .with_bloom_mode(BloomMode::Cbo)
 //!         .with_index_mode(IndexMode::ZoneMapBloom),
 //! );
-//! let result = session
-//!     .run_sql("select count(*) from lineitem, orders where l_orderkey = o_orderkey and o_orderdate < date '1995-01-01'")
-//!     .unwrap();
+//!
+//! // Per-client connections are cheap and carry SET-style overrides.
+//! let conn = engine.connect();
+//! let sql = "select count(*) from lineitem, orders where l_orderkey = o_orderkey and o_orderdate < date '1995-01-01'";
+//! let result = conn.run_sql(sql).unwrap();
 //! assert_eq!(result.chunk.width(), 1);
-//! let _ = catalog;
+//!
+//! // Prepared statements bind `?` / `$n` parameters without re-planning.
+//! let stmt = conn
+//!     .prepare("select count(*) from orders where o_orderdate < ?")
+//!     .unwrap();
+//! let jan95 = Datum::Date(bfq::common::date::parse_date("1995-01-01").unwrap());
+//! let again = stmt.execute(&[jan95]).unwrap();
+//! assert_eq!(again.chunk.rows(), 1);
+//!
+//! // Identical SQL under the same optimizer config hits the shared plan
+//! // cache: parse/bind/optimize are skipped.
+//! let rerun = conn.run_sql(sql).unwrap();
+//! assert!(rerun.cache_hit);
+//! assert!(engine.cache_stats().hits > 0);
 //! ```
 
 pub use bfq_bloom as bloom;
@@ -40,15 +58,28 @@ pub use bfq_sql as sql;
 pub use bfq_storage as storage;
 pub use bfq_tpch as tpch;
 
+pub mod connection;
+pub mod engine;
 pub mod session;
+pub mod statement;
 
-pub use session::{QueryResult, Session, SessionConfig};
+pub use connection::{Connection, QueryOptions, QueryStream};
+pub use engine::{Engine, EngineConfig, QueryResult};
+#[allow(deprecated)]
+pub use session::Session;
+pub use session::SessionConfig;
+pub use statement::{BoundStatement, PreparedStatement};
 
 /// Commonly used items, importable with `use bfq::prelude::*`.
 pub mod prelude {
-    pub use crate::session::{QueryResult, Session, SessionConfig};
+    pub use crate::connection::{Connection, QueryOptions, QueryStream};
+    pub use crate::engine::{Engine, EngineConfig, QueryResult};
+    #[allow(deprecated)]
+    pub use crate::session::Session;
+    pub use crate::session::SessionConfig;
+    pub use crate::statement::{BoundStatement, PreparedStatement};
     pub use bfq_common::{BfqError, DataType, Datum, RelSet, Result};
-    pub use bfq_core::BloomMode;
+    pub use bfq_core::{BloomMode, PlanCacheStats};
     pub use bfq_index::IndexMode;
     pub use bfq_storage::{Chunk, Table};
 }

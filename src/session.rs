@@ -1,154 +1,82 @@
-//! The user-facing session: SQL in, rows out.
+//! Backwards-compatible single-shot session API.
+//!
+//! [`Session`] predates the [`Engine`] / [`Connection`] /
+//! [`PreparedStatement`](crate::PreparedStatement) surface and is kept as
+//! a thin shim over them. New code should use the three-tier API:
+//!
+//! | old (`Session`)                    | new (`Engine` + `Connection`)                  |
+//! |------------------------------------|------------------------------------------------|
+//! | `Session::new(db, config)`         | `Engine::new(db, config).connect()`            |
+//! | `Session::over_catalog(cat, cfg)`  | `Engine::over_catalog(cat, cfg).connect()`     |
+//! | `session.run_sql(sql)`             | `conn.run_sql(sql)` (plan-cache aware)         |
+//! | `session.plan_sql_only(sql)`       | `conn.plan_sql_only(sql)`                      |
+//! | `SessionConfig`                    | `EngineConfig` (alias kept)                    |
+//! | —                                  | `conn.execute_stream(sql)` (incremental)       |
+//! | —                                  | `conn.prepare(sql)` + `stmt.bind(&params)`     |
+//! | —                                  | `conn.set("bloom_mode", "cbo")` (SET options)  |
 
 use std::sync::Arc;
 
 use bfq_catalog::Catalog;
 use bfq_common::Result;
-use bfq_core::{optimize, BloomMode, IndexMode, OptimizedQuery, OptimizerConfig};
-use bfq_exec::{execute_plan_opts, ExecStats};
-use bfq_plan::{Bindings, PhysicalNode};
-use bfq_sql::plan_sql;
-use bfq_storage::Chunk;
+use bfq_core::OptimizedQuery;
 use bfq_tpch::TpchDb;
 
-/// Session-level configuration.
-#[derive(Debug, Clone, Default)]
-pub struct SessionConfig {
-    /// Optimizer configuration (Bloom mode, DOP, heuristics).
-    pub optimizer: OptimizerConfig,
-}
+use crate::connection::Connection;
+use crate::engine::{Engine, EngineConfig};
 
-impl SessionConfig {
-    /// Set the Bloom filter mode.
-    pub fn with_bloom_mode(mut self, mode: BloomMode) -> Self {
-        self.optimizer.bloom_mode = mode;
-        self
-    }
+pub use crate::engine::QueryResult;
 
-    /// Set the degree of parallelism.
-    pub fn with_dop(mut self, dop: usize) -> Self {
-        self.optimizer.dop = dop.max(1);
-        self
-    }
+/// Session-level configuration (alias of [`EngineConfig`], kept for
+/// source compatibility).
+pub type SessionConfig = EngineConfig;
 
-    /// Set the data-skipping index mode (off / zonemap / zonemap+bloom).
-    pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
-        self.optimizer.index_mode = mode;
-        self
-    }
-}
-
-/// The result of running one query.
-pub struct QueryResult {
-    /// Result rows, gathered into one chunk.
-    pub chunk: Chunk,
-    /// Output column names.
-    pub column_names: Vec<String>,
-    /// The optimized plan (EXPLAIN material).
-    pub optimized: OptimizedQuery,
-    /// Runtime per-node row counts.
-    pub exec_stats: ExecStats,
-}
-
-impl QueryResult {
-    /// EXPLAIN-style rendering of the executed plan, followed by the
-    /// chunk-skipping counters of every scan that consulted the per-chunk
-    /// index (`bfq-index` data skipping).
-    pub fn explain(&self) -> String {
-        let mut out = self.optimized.plan.explain(&|c| c.to_string());
-        let mut prune_lines = Vec::new();
-        self.optimized.plan.visit(&mut |node| {
-            if let PhysicalNode::Scan { alias, .. } = &node.node {
-                if let Some(p) = self.exec_stats.prune_of(node.id) {
-                    if p.skipped() > 0 {
-                        prune_lines.push(format!(
-                            "  {alias}: {}/{} chunks skipped \
-                             (zonemap {}, bloom {}, filterkeys {}), {} rows pruned",
-                            p.skipped(),
-                            p.chunks,
-                            p.skipped_zonemap,
-                            p.skipped_bloom,
-                            p.skipped_rfilter,
-                            p.rows_pruned
-                        ));
-                    }
-                }
-            }
-        });
-        if !prune_lines.is_empty() {
-            out.push_str("index pruning:\n");
-            for line in prune_lines {
-                out.push_str(&line);
-                out.push('\n');
-            }
-        }
-        out
-    }
-}
-
-/// A query session over a catalog.
+/// A single-client query session over a catalog.
+///
+/// Deprecated shim: creates a private [`Engine`] and one [`Connection`].
+/// Use [`Engine::connect`] directly to share the catalog and plan cache
+/// across clients.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Engine::new(..).connect() — see the module docs for the migration table"
+)]
 pub struct Session {
-    catalog: Arc<Catalog>,
-    config: SessionConfig,
+    conn: Connection,
 }
 
+#[allow(deprecated)]
 impl Session {
     /// A session over a generated TPC-H database.
     pub fn new(db: TpchDb, config: SessionConfig) -> Self {
         Session {
-            catalog: Arc::new(db.catalog),
-            config,
+            conn: Engine::new(db, config).connect(),
         }
     }
 
     /// A session over an arbitrary catalog.
     pub fn over_catalog(catalog: Arc<Catalog>, config: SessionConfig) -> Self {
-        Session { catalog, config }
+        Session {
+            conn: Engine::over_catalog(catalog, config).connect(),
+        }
     }
 
     /// The catalog.
     pub fn catalog(&self) -> &Arc<Catalog> {
-        &self.catalog
+        self.conn.engine().catalog()
     }
 
     /// The configuration.
     pub fn config(&self) -> &SessionConfig {
-        &self.config
+        self.conn.engine().config()
     }
 
     /// Parse, bind, optimize (per the configured Bloom mode) and execute.
     pub fn run_sql(&self, sql: &str) -> Result<QueryResult> {
-        let mut bindings = Bindings::new();
-        let bound = plan_sql(sql, &self.catalog, &mut bindings)?;
-        let optimized = optimize(
-            &bound.plan,
-            &mut bindings,
-            &self.catalog,
-            &self.config.optimizer,
-        )?;
-        let out = execute_plan_opts(
-            &optimized.plan,
-            self.catalog.clone(),
-            self.config.optimizer.dop,
-            self.config.optimizer.index_mode,
-        )?;
-        Ok(QueryResult {
-            chunk: out.chunk,
-            column_names: bound.output_names,
-            optimized,
-            exec_stats: out.stats,
-        })
+        self.conn.run_sql(sql)
     }
 
     /// Plan only (no execution) — used by planner-latency experiments.
     pub fn plan_sql_only(&self, sql: &str) -> Result<OptimizedQuery> {
-        let mut bindings = Bindings::new();
-        let bound = plan_sql(sql, &self.catalog, &mut bindings)?;
-        optimize(
-            &bound.plan,
-            &mut bindings,
-            &self.catalog,
-            &self.config.optimizer,
-        )
+        self.conn.plan_sql_only(sql)
     }
 }

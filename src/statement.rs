@@ -1,0 +1,163 @@
+//! Prepared statements: optimize once, execute many times.
+//!
+//! A [`PreparedStatement`] holds the optimized plan of a statement that may
+//! contain `?` / `$n` parameter placeholders. [`PreparedStatement::bind`]
+//! specializes the cached plan by substituting concrete [`Datum`] values
+//! into the parameter slots — a cheap tree rewrite, no re-optimization —
+//! and the resulting [`BoundStatement`] executes gathered or streaming.
+//!
+//! The plan is *generic*: the optimizer estimated parameterized predicates
+//! like unknown constants, so one plan serves every binding. This is the
+//! classic prepared-plan trade-off, and it is what makes BF-CBO's
+//! optimization cost amortizable across a repetitive workload.
+
+use std::sync::Arc;
+
+use bfq_common::{BfqError, Datum, Result};
+use bfq_core::{CachedPlan, OptimizedQuery, OptimizerConfig};
+use bfq_exec::execute_plan_stream;
+use bfq_plan::PhysicalPlan;
+
+use crate::connection::QueryStream;
+use crate::engine::{Engine, QueryResult};
+
+/// A statement parsed, bound and optimized once, executable many times.
+///
+/// Shareable across threads (`Send + Sync`); cloning is cheap.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    engine: Arc<Engine>,
+    optimizer: OptimizerConfig,
+    cached: Arc<CachedPlan>,
+    cache_hit: bool,
+}
+
+impl PreparedStatement {
+    pub(crate) fn new(
+        engine: Arc<Engine>,
+        optimizer: OptimizerConfig,
+        cached: Arc<CachedPlan>,
+        cache_hit: bool,
+    ) -> PreparedStatement {
+        PreparedStatement {
+            engine,
+            optimizer,
+            cached,
+            cache_hit,
+        }
+    }
+
+    /// Number of parameter values [`PreparedStatement::bind`] expects.
+    pub fn param_count(&self) -> usize {
+        self.cached.param_count
+    }
+
+    /// Output column names.
+    pub fn column_names(&self) -> &[String] {
+        &self.cached.output_names
+    }
+
+    /// The generic (unbound) optimized plan.
+    pub fn plan(&self) -> &Arc<PhysicalPlan> {
+        &self.cached.optimized.plan
+    }
+
+    /// Whether preparing found the plan in the shared plan cache.
+    pub fn from_cache(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Bind parameter values into the cached plan, producing an executable
+    /// statement. `params.len()` must equal [`PreparedStatement::param_count`].
+    pub fn bind(&self, params: &[Datum]) -> Result<BoundStatement> {
+        if params.len() != self.cached.param_count {
+            return Err(BfqError::invalid(format!(
+                "statement expects {} parameter(s), got {}",
+                self.cached.param_count,
+                params.len()
+            )));
+        }
+        let plan = if params.is_empty() {
+            self.cached.optimized.plan.clone()
+        } else {
+            self.cached
+                .optimized
+                .plan
+                .map_exprs(&|e| e.bind_params(params))
+        };
+        Ok(BoundStatement {
+            stmt: self.clone(),
+            plan,
+        })
+    }
+
+    /// Convenience: bind and execute to a gathered result.
+    pub fn execute(&self, params: &[Datum]) -> Result<QueryResult> {
+        self.bind(params)?.execute()
+    }
+
+    /// Convenience: bind and execute, streaming result chunks.
+    pub fn execute_stream(&self, params: &[Datum]) -> Result<QueryStream> {
+        self.bind(params)?.execute_stream()
+    }
+}
+
+/// A prepared statement with concrete parameter values substituted in.
+#[derive(Debug, Clone)]
+pub struct BoundStatement {
+    stmt: PreparedStatement,
+    plan: Arc<PhysicalPlan>,
+}
+
+impl BoundStatement {
+    /// The executable (parameter-free) plan.
+    pub fn plan(&self) -> &Arc<PhysicalPlan> {
+        &self.plan
+    }
+
+    /// Execute to a gathered [`QueryResult`].
+    ///
+    /// The result's `cache_hit` is `true`: executing a prepared statement
+    /// always reuses the plan held at prepare time — parse/optimize never
+    /// run here (use [`PreparedStatement::from_cache`] for the
+    /// prepare-time cache outcome).
+    pub fn execute(&self) -> Result<QueryResult> {
+        let out = bfq_exec::execute_plan_opts(
+            &self.plan,
+            self.stmt.engine.catalog().clone(),
+            self.stmt.optimizer.dop,
+            self.stmt.optimizer.index_mode,
+        )?;
+        Ok(QueryResult {
+            chunk: out.chunk,
+            column_names: self.stmt.cached.output_names.clone(),
+            optimized: self.optimized(),
+            exec_stats: out.stats,
+            cache_hit: true,
+        })
+    }
+
+    /// Execute, yielding result chunks incrementally (`cache_hit` as in
+    /// [`BoundStatement::execute`]).
+    pub fn execute_stream(&self) -> Result<QueryStream> {
+        let stream = execute_plan_stream(
+            &self.plan,
+            self.stmt.engine.catalog().clone(),
+            self.stmt.optimizer.dop,
+            self.stmt.optimizer.index_mode,
+        )?;
+        Ok(QueryStream::from_parts(
+            self.stmt.cached.output_names.clone(),
+            self.optimized(),
+            true,
+            stream,
+        ))
+    }
+
+    fn optimized(&self) -> OptimizedQuery {
+        OptimizedQuery {
+            plan: self.plan.clone(),
+            stats: self.stmt.cached.optimized.stats.clone(),
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Helpers shared by the integration suites.
+
+use bfq::prelude::*;
+
+/// Snapshot a chunk's rows as strings, normalizing float noise so results
+/// from different plans/modes compare exactly.
+pub fn rows_of(chunk: &Chunk) -> Vec<Vec<String>> {
+    (0..chunk.rows())
+        .map(|i| {
+            chunk
+                .row(i)
+                .into_iter()
+                .map(|d| match d {
+                    Datum::Float(f) => format!("{f:.4}"),
+                    other => other.to_string(),
+                })
+                .collect()
+        })
+        .collect()
+}

@@ -6,7 +6,6 @@ use std::sync::Arc;
 use bfq::catalog::Catalog;
 use bfq::common::{DataType, Datum};
 use bfq::prelude::*;
-use bfq::session::{Session, SessionConfig};
 use bfq::storage::{Chunk, Column, Field, Schema, StrData, Table};
 
 fn mini_catalog() -> Catalog {
@@ -66,16 +65,17 @@ fn mini_catalog() -> Catalog {
     cat
 }
 
-fn session() -> Session {
-    Session::over_catalog(
+fn session() -> Connection {
+    Engine::over_catalog(
         Arc::new(mini_catalog()),
-        SessionConfig::default()
+        EngineConfig::default()
             .with_bloom_mode(BloomMode::Cbo)
             .with_dop(2),
     )
+    .connect()
 }
 
-fn ints(result: &bfq::session::QueryResult, col: usize) -> Vec<i64> {
+fn ints(result: &QueryResult, col: usize) -> Vec<i64> {
     (0..result.chunk.rows())
         .map(|i| result.chunk.row(i)[col].as_i64().unwrap())
         .collect()

@@ -1,0 +1,209 @@
+//! Streaming execution and prepared-statement semantics.
+//!
+//! * `execute_stream` must yield chunks whose concatenation equals the
+//!   gathered `QueryResult.chunk` — and equals the eager (non-streaming)
+//!   executor's output — on every TPC-H query, under all three
+//!   `IndexMode`s.
+//! * Prepared statements must return exactly the rows the equivalent
+//!   literal SQL returns, for every binding, without re-planning.
+
+use bfq::common::date::parse_date;
+use bfq::exec::execute_plan_opts;
+use bfq::prelude::*;
+use bfq::tpch;
+use std::sync::Arc;
+
+mod common;
+use common::rows_of;
+
+const SF: f64 = 0.005;
+const SEED: u64 = 20260610;
+
+#[test]
+fn stream_concat_equals_gathered_on_all_tpch_queries_and_index_modes() {
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let catalog = Arc::new(db.catalog);
+    for mode in IndexMode::ALL {
+        let engine = Engine::over_catalog(
+            catalog.clone(),
+            EngineConfig::default()
+                .with_bloom_mode(BloomMode::Cbo)
+                .with_dop(3)
+                .with_index_mode(mode),
+        );
+        let conn = engine.connect();
+        for q in tpch::supported_queries() {
+            let sql = tpch::query_text(q, SF);
+            let gathered = conn
+                .run_sql(&sql)
+                .unwrap_or_else(|e| panic!("Q{q} [{mode}]: {e}"));
+            // Eager (non-streaming) executor on the very same plan.
+            let eager = execute_plan_opts(&gathered.optimized.plan, catalog.clone(), 3, mode)
+                .unwrap_or_else(|e| panic!("Q{q} [{mode}] eager: {e}"));
+            // Streaming, chunk by chunk.
+            let stream = conn
+                .execute_stream(&sql)
+                .unwrap_or_else(|e| panic!("Q{q} [{mode}] stream: {e}"));
+            let chunks: Vec<Chunk> = stream
+                .map(|c| c.unwrap_or_else(|e| panic!("Q{q} [{mode}] chunk: {e}")))
+                .collect();
+            let concat = if chunks.is_empty() {
+                None
+            } else {
+                Some(Chunk::concat(&chunks).expect("concat"))
+            };
+            let streamed_rows = concat.as_ref().map(rows_of).unwrap_or_default();
+            assert_eq!(
+                streamed_rows,
+                rows_of(&gathered.chunk),
+                "Q{q} [{mode}]: stream concat differs from gathered result"
+            );
+            assert_eq!(
+                rows_of(&eager.chunk),
+                rows_of(&gathered.chunk),
+                "Q{q} [{mode}]: eager executor differs from streaming gather"
+            );
+        }
+    }
+}
+
+#[test]
+fn prepared_bindings_match_literal_sql() {
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let engine = Engine::new(
+        db,
+        EngineConfig::default()
+            .with_bloom_mode(BloomMode::Cbo)
+            .with_dop(2),
+    );
+    let conn = engine.connect();
+
+    // A parameterized Q6 (date window + discount band + quantity cap);
+    // every binding must match the literal-SQL answer.
+    let stmt = conn
+        .prepare(
+            "select sum(l_extendedprice * l_discount) as revenue
+             from lineitem
+             where l_shipdate >= $1 and l_shipdate < $2
+               and l_discount between $3 and $4 and l_quantity < $5",
+        )
+        .expect("prepare q6");
+    assert_eq!(stmt.param_count(), 5);
+    assert_eq!(stmt.column_names(), ["revenue"]);
+    for (year, disc, qty) in [(1994, 0.06, 24i64), (1995, 0.05, 30), (1996, 0.03, 10)] {
+        let lo = Datum::Date(parse_date(&format!("{year}-01-01")).unwrap());
+        let hi = Datum::Date(parse_date(&format!("{}-01-01", year + 1)).unwrap());
+        let bound = stmt
+            .bind(&[
+                lo,
+                hi,
+                Datum::Float(disc - 0.01),
+                Datum::Float(disc + 0.01),
+                Datum::Int(qty),
+            ])
+            .expect("bind");
+        let prepared = bound.execute().expect("execute");
+        let literal = conn
+            .run_sql(&format!(
+                "select sum(l_extendedprice * l_discount) as revenue
+                 from lineitem
+                 where l_shipdate >= date '{year}-01-01'
+                   and l_shipdate < date '{}-01-01'
+                   and l_discount between {} and {}
+                   and l_quantity < {qty}",
+                year + 1,
+                disc - 0.01,
+                disc + 0.01
+            ))
+            .expect("literal");
+        assert_eq!(
+            rows_of(&prepared.chunk),
+            rows_of(&literal.chunk),
+            "binding (y={year}, d={disc}, q={qty}) differs from literal SQL"
+        );
+        // Streaming the bound statement agrees with gathering it.
+        let streamed: Vec<Chunk> = stmt
+            .execute_stream(&[
+                Datum::Date(parse_date(&format!("{year}-01-01")).unwrap()),
+                Datum::Date(parse_date(&format!("{}-01-01", year + 1)).unwrap()),
+                Datum::Float(disc - 0.01),
+                Datum::Float(disc + 0.01),
+                Datum::Int(qty),
+            ])
+            .expect("stream")
+            .map(|c| c.expect("chunk"))
+            .collect();
+        assert_eq!(
+            rows_of(&Chunk::concat(&streamed).unwrap()),
+            rows_of(&prepared.chunk)
+        );
+    }
+
+    // String parameters through a join: positional `?` style.
+    let stmt = conn
+        .prepare(
+            "select count(*) from orders, customer
+             where o_custkey = c_custkey and c_mktsegment = ? and o_orderdate < ?",
+        )
+        .expect("prepare join");
+    assert_eq!(stmt.param_count(), 2);
+    for seg in ["BUILDING", "AUTOMOBILE"] {
+        let cutoff = Datum::Date(parse_date("1995-03-15").unwrap());
+        let prepared = stmt
+            .execute(&[Datum::str(seg), cutoff])
+            .expect("execute join");
+        let literal = conn
+            .run_sql(&format!(
+                "select count(*) from orders, customer
+                 where o_custkey = c_custkey and c_mktsegment = '{seg}'
+                   and o_orderdate < date '1995-03-15'"
+            ))
+            .expect("literal join");
+        assert_eq!(rows_of(&prepared.chunk), rows_of(&literal.chunk), "{seg}");
+    }
+
+    // Preparing the same text again is a plan-cache hit.
+    let again = conn
+        .prepare(
+            "select count(*) from orders, customer
+             where o_custkey = c_custkey and c_mktsegment = ? and o_orderdate < ?",
+        )
+        .expect("re-prepare");
+    assert!(again.from_cache());
+    assert!(engine.cache_stats().hits > 0);
+}
+
+#[test]
+fn parameter_arity_and_adhoc_params_are_rejected() {
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let conn = Engine::new(db, EngineConfig::default()).connect();
+    let stmt = conn
+        .prepare("select count(*) from orders where o_orderkey = ?")
+        .expect("prepare");
+    assert_eq!(stmt.param_count(), 1);
+    assert!(stmt.bind(&[]).is_err(), "too few params");
+    assert!(
+        stmt.bind(&[Datum::Int(1), Datum::Int(2)]).is_err(),
+        "too many params"
+    );
+    // Executing an unbound parameterized statement ad hoc is an error.
+    assert!(conn
+        .run_sql("select count(*) from orders where o_orderkey = ?")
+        .is_err());
+}
+
+#[test]
+fn cache_normalizes_whitespace_and_case() {
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let engine = Engine::new(db, EngineConfig::default());
+    let conn = engine.connect();
+    let a = conn
+        .run_sql("select count(*) from nation where n_regionkey = 1")
+        .unwrap();
+    assert!(!a.cache_hit);
+    let b = conn
+        .run_sql("SELECT COUNT(*)   FROM nation -- comment\n WHERE n_regionkey = 1")
+        .unwrap();
+    assert!(b.cache_hit, "normalized statements share one plan");
+    assert_eq!(rows_of(&a.chunk), rows_of(&b.chunk));
+}

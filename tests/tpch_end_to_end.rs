@@ -4,42 +4,28 @@
 //! never a semantics change.
 
 use bfq::prelude::*;
-use bfq::session::{Session, SessionConfig};
 use bfq::tpch;
 use std::sync::Arc;
+
+mod common;
+use common::rows_of as chunk_to_rows;
 
 const SF: f64 = 0.005;
 const SEED: u64 = 20260610;
 
-fn session(mode: BloomMode) -> Session {
+fn session(mode: BloomMode) -> Connection {
     let db = tpch::gen::generate(SF, SEED).expect("generate");
-    Session::new(
+    Engine::new(
         db,
-        SessionConfig::default().with_bloom_mode(mode).with_dop(3),
+        EngineConfig::default().with_bloom_mode(mode).with_dop(3),
     )
+    .connect()
 }
 
-fn run(session: &Session, q: usize) -> bfq::session::QueryResult {
+fn run(conn: &Connection, q: usize) -> QueryResult {
     let sql = tpch::query_text(q, SF);
-    session
-        .run_sql(&sql)
+    conn.run_sql(&sql)
         .unwrap_or_else(|e| panic!("Q{q} failed: {e}"))
-}
-
-fn chunk_to_rows(chunk: &bfq::storage::Chunk) -> Vec<Vec<String>> {
-    (0..chunk.rows())
-        .map(|i| {
-            chunk
-                .row(i)
-                .into_iter()
-                .map(|d| match d {
-                    // Normalize float noise for comparison.
-                    Datum::Float(f) => format!("{:.4}", f),
-                    other => other.to_string(),
-                })
-                .collect()
-        })
-        .collect()
 }
 
 #[test]
@@ -92,13 +78,14 @@ fn index_modes_never_change_results() {
     let db = tpch::gen::generate(SF, SEED).expect("generate");
     let catalog = Arc::new(db.catalog);
     let session_with = |mode: IndexMode| {
-        Session::over_catalog(
+        Engine::over_catalog(
             catalog.clone(),
-            SessionConfig::default()
+            EngineConfig::default()
                 .with_bloom_mode(BloomMode::Cbo)
                 .with_dop(3)
                 .with_index_mode(mode),
         )
+        .connect()
     };
     let off = session_with(IndexMode::Off);
     let zb = session_with(IndexMode::ZoneMapBloom);
@@ -120,13 +107,14 @@ fn q6_skips_most_lineitem_chunks() {
     // date-clustered lineitem chunks via zone maps. Use a scale where
     // lineitem spans plenty of chunks.
     let db = tpch::gen::generate(0.02, SEED).expect("generate");
-    let session = Session::new(
+    let session = Engine::new(
         db,
-        SessionConfig::default()
+        EngineConfig::default()
             .with_bloom_mode(BloomMode::Cbo)
             .with_dop(3)
             .with_index_mode(IndexMode::ZoneMapBloom),
-    );
+    )
+    .connect();
     let sql = tpch::query_text(6, 0.02);
     let r = session.run_sql(&sql).expect("Q6");
     let mut prune = None;
