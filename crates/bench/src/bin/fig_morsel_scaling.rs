@@ -1,0 +1,120 @@
+//! **E12 — morsel-pipeline scaling**: queries/second of the morsel-driven
+//! pipeline executor vs the eager (materialize-everything) executor at
+//! dop 1 / 4 / 16, on scan- and aggregation-heavy TPC-H shapes.
+//!
+//! Both executors run the *same optimized plan*; their results are
+//! asserted bit-identical and folded into a per-dop checksum the CI gate
+//! matches exactly. The peak-buffered-rows gauge
+//! (`ExecStats::peak_buffered_rows`) demonstrates the pipeline's bounded
+//! reorder window: for Q6-style scans the eager executor materializes the
+//! whole scan output while the pipeline keeps a few morsels in flight —
+//! reported as a gated 0/1 structural metric, since the exact peak varies
+//! with worker timing.
+
+use bfq_bench::harness::{measure_query, BenchEnv, JsonReport};
+use bfq_core::BloomMode;
+use bfq_exec::{execute_plan_opts, execute_plan_pipelined};
+use bfq_storage::Chunk;
+use bfq_tpch::query_text;
+
+const QUERIES: [usize; 3] = [1, 6, 12];
+const DOPS: [usize; 3] = [1, 4, 16];
+
+/// FNV-1a over the formatted rows of a chunk — deterministic for a fixed
+/// generator seed, and identical between the two executors at the same dop
+/// because their rows are bit-identical. (Across *different* dop settings
+/// float aggregation order legitimately changes, so checksums are recorded
+/// and gated per dop.)
+fn checksum(chunk: &Chunk) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..chunk.rows() {
+        for d in chunk.row(i) {
+            for b in format!("{d:?}|").bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    (h >> 32) as u32 ^ h as u32
+}
+
+fn main() {
+    let env = BenchEnv::load();
+    let catalog = env.load_db();
+    let mut json = JsonReport::from_args("fig_morsel_scaling");
+    json.add("sf", env.sf);
+
+    println!(
+        "# Morsel pipeline vs eager executor — TPC-H SF {} ({} runs)",
+        env.sf, env.runs
+    );
+    println!(
+        "{:<6} {:>5} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "query", "dop", "eager_ms", "morsel_ms", "speedup", "eager_peak", "morsel_peak"
+    );
+
+    for &dop in &DOPS {
+        let mut config = env.config(BloomMode::Cbo);
+        config.dop = dop;
+        let mut dop_checksum = 0u64;
+        for &q in &QUERIES {
+            let sql = query_text(q, env.sf);
+            // Plan once (and warm up) via the shared harness — its timed
+            // executions use the pipeline executor.
+            let measured =
+                measure_query(&catalog, &sql, &config, env.runs).expect("measure (morsel)");
+            let plan = &measured.planned.plan;
+            let morsel_ms = measured.exec_ms;
+
+            // Eager reference on the identical plan.
+            let timed_runs = env.runs.saturating_sub(1).max(1);
+            let mut eager_ms_total = 0.0;
+            let mut eager = None;
+            for i in 0..env.runs.max(2) {
+                let t = std::time::Instant::now();
+                let out = execute_plan_opts(plan, catalog.clone(), dop, config.index_mode)
+                    .expect("eager run");
+                if i > 0 {
+                    eager_ms_total += t.elapsed().as_secs_f64() * 1e3;
+                }
+                eager = Some(out);
+            }
+            let eager = eager.expect("ran");
+            let eager_ms = eager_ms_total / timed_runs as f64;
+
+            // Correctness gate: bit-identical rows.
+            assert_eq!(
+                checksum(&eager.chunk),
+                checksum(&measured.chunk),
+                "Q{q} dop={dop}: morsel pipeline diverges from eager"
+            );
+            dop_checksum += checksum(&eager.chunk) as u64;
+
+            // Memory gate: one fresh pipelined run for the peak gauge.
+            let morsel = execute_plan_pipelined(plan, catalog.clone(), dop, config.index_mode)
+                .expect("morsel run");
+            let eager_peak = eager.stats.peak_buffered_rows();
+            let morsel_peak = morsel.stats.peak_buffered_rows();
+            println!(
+                "Q{q:<5} {dop:>5} {eager_ms:>12.2} {morsel_ms:>12.2} {:>8.2}x {eager_peak:>14} {morsel_peak:>14}",
+                eager_ms / morsel_ms.max(1e-9),
+            );
+            json.add(&format!("q{q}_d{dop}_eager_ms"), eager_ms);
+            json.add(&format!("q{q}_d{dop}_morsel_ms"), morsel_ms);
+            if q == 6 {
+                // Structural: the pipeline must not materialize the scan
+                // (exact peaks vary with worker timing; the ordering is
+                // deterministic).
+                json.add(
+                    &format!("q6_d{dop}_morsel_peak_below_eager"),
+                    f64::from(morsel_peak < eager_peak),
+                );
+            }
+        }
+        json.add(&format!("d{dop}_checksum"), dop_checksum as f64);
+    }
+
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
+}

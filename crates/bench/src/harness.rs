@@ -6,7 +6,7 @@ use std::time::Instant;
 use bfq_catalog::Catalog;
 use bfq_common::Result;
 use bfq_core::{optimize, BloomMode, IndexMode, OptimizedQuery, OptimizerConfig};
-use bfq_exec::{execute_plan_opts, ExecStats};
+use bfq_exec::{execute_plan_pipelined, ExecStats};
 use bfq_plan::Bindings;
 use bfq_sql::plan_sql;
 use bfq_storage::Chunk;
@@ -107,7 +107,7 @@ pub fn measure_query(
     let timed_runs = runs.saturating_sub(1).max(1);
     for i in 0..runs.max(2) {
         let t = Instant::now();
-        let out = execute_plan_opts(
+        let out = execute_plan_pipelined(
             &planned.plan,
             catalog.clone(),
             config.dop,

@@ -34,14 +34,17 @@ pub enum FilterCore {
 /// When the build keys are numeric their min/max travel with the filter, so
 /// a scan can compare them against a chunk's zone map; when the build side
 /// is small the exact `(h1, h2)` key hashes travel too, so a scan can probe
-/// a chunk's Bloom index with them (`bfq-index`). Both are sound: a row the
-/// skip would drop could never match any actual build key, and a filter is
-/// only planned where dropping non-matching rows is legal.
+/// a chunk's Bloom index with them (`bfq-index`). Large numeric builds
+/// instead carry a [`crate::KeySummary`] — the merged per-partition occupancy
+/// bitmap — so chunk skipping survives past the exact-hash limit. All are
+/// sound: a row the skip would drop could never match any actual build key,
+/// and a filter is only planned where dropping non-matching rows is legal.
 #[derive(Debug, Clone)]
 pub struct RuntimeFilter {
     core: FilterCore,
     key_bounds: Option<(f64, f64)>,
     key_hashes: Option<Vec<(u64, u64)>>,
+    key_summary: Option<crate::summary::KeySummary>,
 }
 
 impl RuntimeFilter {
@@ -51,6 +54,7 @@ impl RuntimeFilter {
             core: FilterCore::Single(f),
             key_bounds: None,
             key_hashes: None,
+            key_summary: None,
         }
     }
 
@@ -60,6 +64,7 @@ impl RuntimeFilter {
             core: FilterCore::Partitioned(pf),
             key_bounds: None,
             key_hashes: None,
+            key_summary: None,
         }
     }
 
@@ -68,9 +73,11 @@ impl RuntimeFilter {
         mut self,
         bounds: Option<(f64, f64)>,
         hashes: Option<Vec<(u64, u64)>>,
+        summary: Option<crate::summary::KeySummary>,
     ) -> Self {
         self.key_bounds = bounds;
         self.key_hashes = hashes;
+        self.key_summary = summary;
         self
     }
 
@@ -89,6 +96,12 @@ impl RuntimeFilter {
     /// side passes nothing).
     pub fn key_hashes(&self) -> Option<&[(u64, u64)]> {
         self.key_hashes.as_deref()
+    }
+
+    /// The build-key occupancy summary carried for large numeric builds
+    /// (the zone-style fallback when exact key hashes were dropped).
+    pub fn key_summary(&self) -> Option<&crate::summary::KeySummary> {
+        self.key_summary.as_ref()
     }
 
     /// Probe `col` rows selected by `sel`; returns the surviving selection.

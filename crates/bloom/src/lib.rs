@@ -12,16 +12,21 @@
 //!   build/probe, partition aligned/unaligned);
 //! * [`hub::FilterHub`] — the runtime rendezvous between the hash join that
 //!   builds a filter and the scan that applies it ("table scans wait for all
-//!   Bloom filter partitions to become available", §3.9).
+//!   Bloom filter partitions to become available", §3.9);
+//! * [`summary::KeySummary`] — compact per-partition build-key occupancy
+//!   bitmaps that keep chunk-level skipping alive for build sides too large
+//!   to ship exact key hashes.
 
 pub mod filter;
 pub mod hub;
 pub mod math;
 pub mod partitioned;
 pub mod strategy;
+pub mod summary;
 
 pub use filter::{BloomFilter, BLOOM_SEED_1, BLOOM_SEED_2};
 pub use hub::{FilterCore, FilterHub, RuntimeFilter};
 pub use math::{bits_for_ndv, false_positive_rate, DEFAULT_BITS_PER_KEY, NUM_HASHES};
 pub use partitioned::PartitionedBloomFilter;
 pub use strategy::StreamingStrategy;
+pub use summary::{KeySummary, SUMMARY_BUCKETS};

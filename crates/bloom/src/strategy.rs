@@ -10,17 +10,25 @@ use bfq_storage::Column;
 use crate::filter::{BloomFilter, BLOOM_SEED_1, BLOOM_SEED_2};
 use crate::hub::RuntimeFilter;
 use crate::partitioned::PartitionedBloomFilter;
+use crate::summary::KeySummary;
 
 /// Build sides with at most this many distinct keys ship their exact key
 /// hashes with the filter, so scans can probe per-chunk Bloom indexes and
 /// skip whole chunks (`bfq-index`). Probing ≤ 1024 keys per chunk is far
-/// cheaper than row-level work on an 8192-row chunk.
+/// cheaper than row-level work on an 8192-row chunk. Larger numeric builds
+/// fall back to a merged per-partition [`KeySummary`] so chunk skipping
+/// does not cliff to zero past this limit.
 pub const SMALL_KEY_LIMIT: usize = 1024;
 
 /// Build-key metadata that travels with a runtime filter: numeric-axis
-/// min/max of the non-null keys, and (for small build sides) the
-/// deduplicated `(h1, h2)` hashes of every key.
-type KeyInfo = (Option<(f64, f64)>, Option<Vec<(u64, u64)>>);
+/// min/max of the non-null keys, the deduplicated `(h1, h2)` hashes of
+/// every key (small build sides), or the occupancy summary (large numeric
+/// build sides).
+type KeyInfo = (
+    Option<(f64, f64)>,
+    Option<Vec<(u64, u64)>>,
+    Option<KeySummary>,
+);
 
 /// Compute the [`KeyInfo`] for the key columns a filter was built from.
 fn key_info(thread_keys: &[Column]) -> KeyInfo {
@@ -51,7 +59,14 @@ fn key_info(thread_keys: &[Column]) -> KeyInfo {
         out
     });
     let hashes = hashes.filter(|h| h.len() <= SMALL_KEY_LIMIT);
-    (bounds, hashes)
+    // The summary is the large-build fallback: only built when exact hashes
+    // were dropped (small builds already carry strictly stronger evidence).
+    let summary = if hashes.is_none() && bounds.is_some() {
+        KeySummary::from_partitions(thread_keys)
+    } else {
+        None
+    };
+    (bounds, hashes, summary)
 }
 
 /// How the hash join that owns a Bloom filter streams its inputs (paper §3.9).
@@ -101,8 +116,8 @@ pub fn build_filter(
             // All threads hold identical data; use thread 0's copy.
             let mut f = BloomFilter::with_expected_ndv(expected_ndv);
             f.insert_column(&thread_keys[0]);
-            let (bounds, hashes) = key_info(&thread_keys[..1]);
-            RuntimeFilter::single(f).with_key_info(bounds, hashes)
+            let (bounds, hashes, summary) = key_info(&thread_keys[..1]);
+            RuntimeFilter::single(f).with_key_info(bounds, hashes, summary)
         }
         StreamingStrategy::BroadcastProbe => {
             // Disjoint per-thread subsets: build same-sized partials, merge.
@@ -114,8 +129,8 @@ pub fn build_filter(
                 partial.insert_column(keys);
                 merged.union_with(&partial);
             }
-            let (bounds, hashes) = key_info(thread_keys);
-            RuntimeFilter::single(merged).with_key_info(bounds, hashes)
+            let (bounds, hashes, summary) = key_info(thread_keys);
+            RuntimeFilter::single(merged).with_key_info(bounds, hashes, summary)
         }
         StreamingStrategy::PartitionUnaligned | StreamingStrategy::PartitionAligned => {
             let n = thread_keys.len();
@@ -125,8 +140,8 @@ pub fn build_filter(
                 // hash so partial `i` holds exactly partition `i`'s keys.
                 pf.insert_column_routed(keys);
             }
-            let (bounds, hashes) = key_info(thread_keys);
-            RuntimeFilter::partitioned(pf).with_key_info(bounds, hashes)
+            let (bounds, hashes, summary) = key_info(thread_keys);
+            RuntimeFilter::partitioned(pf).with_key_info(bounds, hashes, summary)
         }
     }
 }
@@ -186,6 +201,28 @@ mod tests {
         );
         assert!(f.key_hashes().is_none());
         assert_eq!(f.key_bounds(), Some((0.0, big[big.len() - 1] as f64)));
+        // The large build carries the summary fallback instead.
+        let summary = f.key_summary().expect("summary for large build");
+        assert!(summary.overlaps_range(10.0, 20.0));
+    }
+
+    #[test]
+    fn small_builds_skip_the_summary_large_clustered_builds_use_it() {
+        let small = build_filter(StreamingStrategy::BroadcastBuild, &[int_col(&[1, 2])], 2);
+        assert!(
+            small.key_summary().is_none(),
+            "hashes are stronger evidence"
+        );
+        // Two key clusters far apart: summary proves the gap empty even
+        // though the global bounds cover it.
+        let mut keys: Vec<i64> = (0..3000).collect();
+        keys.extend(1_000_000..1_003_000);
+        let cols: Vec<Column> = keys.chunks(1500).map(int_col).collect();
+        let f = build_filter(StreamingStrategy::PartitionUnaligned, &cols, keys.len());
+        assert!(f.key_hashes().is_none());
+        let summary = f.key_summary().expect("summary for large build");
+        assert!(summary.overlaps_range(100.0, 200.0));
+        assert!(!summary.overlaps_range(200_000.0, 800_000.0));
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct Catalog {
     indexes: Vec<Arc<TableIndex>>,
     by_name: HashMap<String, TableId>,
     foreign_keys: Vec<ForeignKey>,
+    /// Bumped on every registration or replacement. Plan caches key on
+    /// this so no cached plan can outlive the schema/statistics it was
+    /// optimized against.
+    version: u64,
 }
 
 impl Catalog {
@@ -67,10 +71,17 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// The catalog's version: incremented by [`Catalog::register`] and
+    /// [`Catalog::replace`]. Two catalogs with equal versions that share a
+    /// lineage hold identical table sets.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Register a table, computing exact statistics from its data.
     ///
     /// `unique_columns` lists ordinals with a uniqueness guarantee. Returns
-    /// the assigned [`TableId`].
+    /// the assigned [`TableId`] and bumps [`Catalog::version`].
     pub fn register(&mut self, table: Table, unique_columns: Vec<u32>) -> Result<TableId> {
         let name = table.name().to_string();
         if self.by_name.contains_key(&name) {
@@ -101,6 +112,40 @@ impl Catalog {
         self.data.push(Arc::new(table));
         self.indexes.push(Arc::new(index));
         self.by_name.insert(name, id);
+        self.version += 1;
+        Ok(id)
+    }
+
+    /// Replace a registered table's data in place (same name, same
+    /// [`TableId`]), recomputing statistics and the per-chunk index, and
+    /// bumping [`Catalog::version`]. The new schema must be provided by
+    /// the table itself; `unique_columns` replaces the old declaration.
+    pub fn replace(&mut self, table: Table, unique_columns: Vec<u32>) -> Result<TableId> {
+        let name = table.name().to_string();
+        let id = *self
+            .by_name
+            .get(&name)
+            .ok_or_else(|| BfqError::Catalog(format!("no table named `{name}` to replace")))?;
+        for &u in &unique_columns {
+            if u as usize >= table.schema().len() {
+                return Err(BfqError::Catalog(format!(
+                    "unique column ordinal {u} out of range for `{name}`"
+                )));
+            }
+        }
+        let stats = compute_stats(&table)?;
+        let index = TableIndex::build(&table);
+        let slot = id.0 as usize;
+        self.metas[slot] = TableMeta {
+            id,
+            name,
+            schema: table.schema().clone(),
+            stats,
+            unique_columns,
+        };
+        self.data[slot] = Arc::new(table);
+        self.indexes[slot] = Arc::new(index);
+        self.version += 1;
         Ok(id)
     }
 
@@ -232,12 +277,36 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut cat = Catalog::new();
+        assert_eq!(cat.version(), 0);
         let id = cat.register(small_table("a", &[1, 2, 3]), vec![0]).unwrap();
         assert_eq!(id, TableId(0));
+        assert_eq!(cat.version(), 1);
         assert_eq!(cat.meta_by_name("a").unwrap().id, id);
         assert_eq!(cat.data(id).unwrap().rows(), 3);
         assert!(cat.meta_by_name("missing").is_err());
         assert!(cat.register(small_table("a", &[1]), vec![]).is_err());
+        assert_eq!(cat.version(), 1, "failed registration does not bump");
+    }
+
+    #[test]
+    fn replace_keeps_id_and_bumps_version() {
+        let mut cat = Catalog::new();
+        let id = cat.register(small_table("a", &[1, 2, 3]), vec![0]).unwrap();
+        let _b = cat.register(small_table("b", &[9]), vec![0]).unwrap();
+        assert_eq!(cat.version(), 2);
+        let rid = cat
+            .replace(small_table("a", &[4, 5, 6, 7]), vec![0])
+            .unwrap();
+        assert_eq!(rid, id, "replacement keeps the table id");
+        assert_eq!(cat.version(), 3);
+        assert_eq!(cat.data(id).unwrap().rows(), 4);
+        assert_eq!(cat.meta(id).unwrap().stats.rows, 4.0);
+        // Fresh per-chunk index for the new data.
+        let ci = cat.index(id).unwrap().chunk(0).unwrap();
+        assert_eq!(ci.columns[0].zone.map(|z| (z.min, z.max)), Some((4.0, 7.0)));
+        // Replacing an unknown table errors without bumping.
+        assert!(cat.replace(small_table("zzz", &[1]), vec![]).is_err());
+        assert_eq!(cat.version(), 3);
     }
 
     #[test]

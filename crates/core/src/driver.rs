@@ -239,6 +239,15 @@ impl Planner<'_> {
     ) -> Result<(Arc<PhysicalPlan>, Cost)> {
         match lp {
             LogicalPlan::Block(block) => self.plan_block(block, needed),
+            LogicalPlan::OneRow => Ok((
+                PhysicalPlan::new(
+                    PhysicalNode::OneRow,
+                    Layout::new(vec![]),
+                    1.0,
+                    Distribution::Single,
+                ),
+                Cost::of(0.0),
+            )),
             LogicalPlan::Project { input, exprs } => {
                 let mut child_needed = Vec::new();
                 for oc in exprs {

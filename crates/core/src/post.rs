@@ -131,7 +131,7 @@ fn rebuild_children(
 ) -> PhysicalNode {
     let mut node = plan.node.clone();
     match &mut node {
-        PhysicalNode::Scan { .. } => {}
+        PhysicalNode::OneRow | PhysicalNode::Scan { .. } => {}
         PhysicalNode::DerivedScan { input, .. }
         | PhysicalNode::Filter { input, .. }
         | PhysicalNode::Exchange { input, .. }

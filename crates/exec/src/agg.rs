@@ -136,52 +136,82 @@ struct GroupState {
     distinct: Vec<Option<HashSet<NormKey>>>,
 }
 
-/// Execute hash aggregation over a single gathered chunk.
-pub fn execute_agg(
-    input: &Chunk,
-    input_layout: &Layout,
-    input_types: &[DataType],
-    group_by: &[OutputColumn],
-    aggs: &[AggExpr],
-    having: &Option<Expr>,
-    out_layout: &Layout,
-) -> Result<Chunk> {
-    // Evaluate group and argument expressions once, column-at-a-time.
-    let group_cols: Vec<Column> = group_by
-        .iter()
-        .map(|g| eval(&g.expr, input, input_layout))
-        .collect::<Result<_>>()?;
-    let arg_cols: Vec<Option<Column>> = aggs
-        .iter()
-        .map(|a| match &a.arg {
-            Some(e) => eval(e, input, input_layout).map(Some),
-            None => Ok(None),
-        })
-        .collect::<Result<_>>()?;
+/// Incremental hash-aggregation state: feed it chunks one at a time with
+/// [`AggState::update`], then [`AggState::finish`].
+///
+/// Group output order is first-seen row order across the fed chunks, and
+/// float accumulation happens in exact row order — so feeding the chunks
+/// of a gathered input one by one (the morsel pipeline) produces the
+/// bit-identical result of feeding their concatenation at once (the eager
+/// executor).
+pub struct AggState {
+    input_layout: Layout,
+    group_by: Vec<OutputColumn>,
+    aggs: Vec<AggExpr>,
+    agg_types: Vec<DataType>,
+    group_field_types: Vec<DataType>,
+    groups: HashMap<Vec<NormKey>, usize>,
+    states: Vec<GroupState>,
+}
 
-    // Output types drive accumulator construction.
-    let resolve = |c: bfq_common::ColumnId| -> Option<DataType> {
-        input_layout.slot_of(c).map(|s| input_types[s])
-    };
-    let agg_types: Vec<DataType> = aggs
-        .iter()
-        .map(|a| {
-            let arg_t = a.arg.as_ref().and_then(|e| e.data_type(&resolve));
-            agg_output_type(a.func, arg_t)
-        })
-        .collect();
+impl AggState {
+    /// Fresh state for the given grouping/aggregate shape over inputs of
+    /// `input_types` laid out as `input_layout`.
+    pub fn new(
+        input_layout: &Layout,
+        input_types: &[DataType],
+        group_by: &[OutputColumn],
+        aggs: &[AggExpr],
+    ) -> Result<AggState> {
+        // Output types drive accumulator construction.
+        let resolve = |c: bfq_common::ColumnId| -> Option<DataType> {
+            input_layout.slot_of(c).map(|s| input_types[s])
+        };
+        let agg_types: Vec<DataType> = aggs
+            .iter()
+            .map(|a| {
+                let arg_t = a.arg.as_ref().and_then(|e| e.data_type(&resolve));
+                agg_output_type(a.func, arg_t)
+            })
+            .collect();
+        let group_field_types = group_by
+            .iter()
+            .map(|g| {
+                g.expr
+                    .data_type(&resolve)
+                    .ok_or_else(|| BfqError::Type(format!("untyped group expression {}", g.expr)))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let mut state = AggState {
+            input_layout: input_layout.clone(),
+            group_by: group_by.to_vec(),
+            aggs: aggs.to_vec(),
+            agg_types,
+            group_field_types,
+            groups: HashMap::new(),
+            states: Vec::new(),
+        };
+        // Scalar aggregation always has exactly one group, even over zero
+        // rows.
+        if state.group_by.is_empty() {
+            let empty = state.new_state(Vec::new());
+            state.groups.insert(Vec::new(), 0);
+            state.states.push(empty);
+        }
+        Ok(state)
+    }
 
-    let mut groups: HashMap<Vec<NormKey>, usize> = HashMap::new();
-    let mut states: Vec<GroupState> = Vec::new();
-    let new_state = |key: Vec<Datum>| -> GroupState {
+    fn new_state(&self, key: Vec<Datum>) -> GroupState {
         GroupState {
             key,
-            accs: aggs
+            accs: self
+                .aggs
                 .iter()
-                .zip(&agg_types)
+                .zip(&self.agg_types)
                 .map(|(a, t)| Acc::new(a.func, *t))
                 .collect(),
-            distinct: aggs
+            distinct: self
+                .aggs
                 .iter()
                 .map(|a| {
                     if a.distinct {
@@ -192,70 +222,98 @@ pub fn execute_agg(
                 })
                 .collect(),
         }
-    };
-
-    // Scalar aggregation always has exactly one group, even over zero rows.
-    if group_by.is_empty() {
-        groups.insert(Vec::new(), 0);
-        states.push(new_state(Vec::new()));
     }
 
-    for row in 0..input.rows() {
-        let key_norm: Vec<NormKey> = group_cols
+    /// Accumulate one input chunk, row by row in order.
+    pub fn update(&mut self, input: &Chunk) -> Result<()> {
+        // Evaluate group and argument expressions once, column-at-a-time.
+        let group_cols: Vec<Column> = self
+            .group_by
             .iter()
-            .map(|c| NormKey::from_datum(&c.get(row)))
-            .collect();
-        let idx = match groups.get(&key_norm) {
-            Some(&i) => i,
-            None => {
-                let key: Vec<Datum> = group_cols.iter().map(|c| c.get(row)).collect();
-                let i = states.len();
-                groups.insert(key_norm, i);
-                states.push(new_state(key));
-                i
-            }
-        };
-        let state = &mut states[idx];
-        for (ai, _agg) in aggs.iter().enumerate() {
-            match &arg_cols[ai] {
-                None => state.accs[ai].update_star(),
-                Some(col) => {
-                    let v = col.get(row);
-                    if let Some(set) = &mut state.distinct[ai] {
-                        if v.is_null() || !set.insert(NormKey::from_datum(&v)) {
-                            continue; // already counted this distinct value
+            .map(|g| eval(&g.expr, input, &self.input_layout))
+            .collect::<Result<_>>()?;
+        let arg_cols: Vec<Option<Column>> = self
+            .aggs
+            .iter()
+            .map(|a| match &a.arg {
+                Some(e) => eval(e, input, &self.input_layout).map(Some),
+                None => Ok(None),
+            })
+            .collect::<Result<_>>()?;
+
+        for row in 0..input.rows() {
+            let key_norm: Vec<NormKey> = group_cols
+                .iter()
+                .map(|c| NormKey::from_datum(&c.get(row)))
+                .collect();
+            let idx = match self.groups.get(&key_norm) {
+                Some(&i) => i,
+                None => {
+                    let key: Vec<Datum> = group_cols.iter().map(|c| c.get(row)).collect();
+                    let i = self.states.len();
+                    self.groups.insert(key_norm, i);
+                    let fresh = self.new_state(key);
+                    self.states.push(fresh);
+                    i
+                }
+            };
+            let state = &mut self.states[idx];
+            for (ai, arg_col) in arg_cols.iter().enumerate() {
+                match arg_col {
+                    None => state.accs[ai].update_star(),
+                    Some(col) => {
+                        let v = col.get(row);
+                        if let Some(set) = &mut state.distinct[ai] {
+                            if v.is_null() || !set.insert(NormKey::from_datum(&v)) {
+                                continue; // already counted this distinct value
+                            }
                         }
+                        state.accs[ai].update(&v);
                     }
-                    state.accs[ai].update(&v);
                 }
             }
         }
+        Ok(())
     }
 
-    // Materialize output: group columns then aggregate columns.
-    let mut fields = Vec::new();
-    for (g, _) in group_by.iter().zip(0..) {
-        let t = g
-            .expr
-            .data_type(&resolve)
-            .ok_or_else(|| BfqError::Type(format!("untyped group expression {}", g.expr)))?;
-        fields.push(Field::new(g.name.clone(), t));
-    }
-    for (a, t) in aggs.iter().zip(&agg_types) {
-        fields.push(Field::new(a.func.name(), *t));
-    }
-    let schema = std::sync::Arc::new(Schema::new(fields));
-    let mut builder = ChunkBuilder::with_capacity(&schema, states.len());
-    for state in &states {
-        let mut row: Vec<Datum> = state.key.clone();
-        row.extend(state.accs.iter().map(|a| a.finish()));
-        builder.push_row(&row)?;
-    }
-    let mut out = builder.finish()?;
+    /// Materialize the aggregated output (group columns then aggregate
+    /// columns), applying the `having` filter over `out_layout`.
+    pub fn finish(self, having: &Option<Expr>, out_layout: &Layout) -> Result<Chunk> {
+        let mut fields = Vec::new();
+        for (g, t) in self.group_by.iter().zip(&self.group_field_types) {
+            fields.push(Field::new(g.name.clone(), *t));
+        }
+        for (a, t) in self.aggs.iter().zip(&self.agg_types) {
+            fields.push(Field::new(a.func.name(), *t));
+        }
+        let schema = std::sync::Arc::new(Schema::new(fields));
+        let mut builder = ChunkBuilder::with_capacity(&schema, self.states.len());
+        for state in &self.states {
+            let mut row: Vec<Datum> = state.key.clone();
+            row.extend(state.accs.iter().map(|a| a.finish()));
+            builder.push_row(&row)?;
+        }
+        let mut out = builder.finish()?;
 
-    if let Some(h) = having {
-        let sel = eval_predicate(h, &out, out_layout)?;
-        out = out.take(&sel);
+        if let Some(h) = having {
+            let sel = eval_predicate(h, &out, out_layout)?;
+            out = out.take(&sel);
+        }
+        Ok(out)
     }
-    Ok(out)
+}
+
+/// Execute hash aggregation over a single gathered chunk.
+pub fn execute_agg(
+    input: &Chunk,
+    input_layout: &Layout,
+    input_types: &[DataType],
+    group_by: &[OutputColumn],
+    aggs: &[AggExpr],
+    having: &Option<Expr>,
+    out_layout: &Layout,
+) -> Result<Chunk> {
+    let mut state = AggState::new(input_layout, input_types, group_by, aggs)?;
+    state.update(input)?;
+    state.finish(having, out_layout)
 }

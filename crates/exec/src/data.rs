@@ -79,8 +79,13 @@ pub struct ScanPruneStats {
     pub skipped_zonemap: u64,
     /// Chunks skipped because a chunk Bloom probe proved it empty.
     pub skipped_bloom: u64,
-    /// Chunks skipped by runtime-filter key bounds / key-hash probes.
+    /// Chunks skipped by runtime-filter key bounds / key-hash probes
+    /// (small build sides that ship exact key hashes).
     pub skipped_rfilter: u64,
+    /// Chunks skipped by the runtime filter's build-key *summary* — the
+    /// zone-style fallback tier for build sides too large to ship exact
+    /// key hashes.
+    pub skipped_rfsummary: u64,
     /// Rows inside skipped chunks (never touched row-by-row).
     pub rows_pruned: u64,
 }
@@ -88,7 +93,7 @@ pub struct ScanPruneStats {
 impl ScanPruneStats {
     /// Total chunks skipped across all tiers.
     pub fn skipped(&self) -> u64 {
-        self.skipped_zonemap + self.skipped_bloom + self.skipped_rfilter
+        self.skipped_zonemap + self.skipped_bloom + self.skipped_rfilter + self.skipped_rfsummary
     }
 
     /// Accumulate another counter set into this one.
@@ -97,16 +102,23 @@ impl ScanPruneStats {
         self.skipped_zonemap += other.skipped_zonemap;
         self.skipped_bloom += other.skipped_bloom;
         self.skipped_rfilter += other.skipped_rfilter;
+        self.skipped_rfsummary += other.skipped_rfsummary;
         self.rows_pruned += other.rows_pruned;
     }
 }
 
 /// Actual row counts per plan-node id, recorded during execution, plus
-/// per-scan chunk-skipping counters.
+/// per-scan chunk-skipping counters and a buffered-rows high-water mark.
 #[derive(Debug, Default)]
 pub struct ExecStats {
     rows: Mutex<HashMap<u32, u64>>,
     prune: Mutex<HashMap<u32, ScanPruneStats>>,
+    /// `(currently buffered rows, peak buffered rows)` across every
+    /// inter-operator buffer of the query. The eager executor counts each
+    /// operator's full output as buffered until its parent finishes; the
+    /// morsel pipeline counts only the chunks resident in its bounded
+    /// reorder windows — making the materialization difference observable.
+    buffered: Mutex<(u64, u64)>,
 }
 
 impl ExecStats {
@@ -147,6 +159,25 @@ impl ExecStats {
             total.merge(s);
         }
         total
+    }
+
+    /// Note `rows` entering an inter-operator buffer, updating the peak.
+    pub fn buffer_grow(&self, rows: u64) {
+        let mut b = self.buffered.lock();
+        b.0 += rows;
+        b.1 = b.1.max(b.0);
+    }
+
+    /// Note `rows` leaving an inter-operator buffer.
+    pub fn buffer_shrink(&self, rows: u64) {
+        let mut b = self.buffered.lock();
+        b.0 = b.0.saturating_sub(rows);
+    }
+
+    /// Highest number of rows simultaneously resident in inter-operator
+    /// buffers during execution.
+    pub fn peak_buffered_rows(&self) -> u64 {
+        self.buffered.lock().1
     }
 }
 
@@ -203,6 +234,7 @@ mod tests {
             skipped_zonemap: 2,
             skipped_bloom: 1,
             skipped_rfilter: 0,
+            skipped_rfsummary: 0,
             rows_pruned: 100,
         };
         let b = ScanPruneStats {
@@ -210,6 +242,7 @@ mod tests {
             skipped_zonemap: 0,
             skipped_bloom: 0,
             skipped_rfilter: 1,
+            skipped_rfsummary: 1,
             rows_pruned: 8,
         };
         s.record_prune(5, &a);
@@ -217,11 +250,26 @@ mod tests {
         s.record_prune(9, &b);
         let five = s.prune_of(5).unwrap();
         assert_eq!(five.chunks, 7);
-        assert_eq!(five.skipped(), 4);
+        assert_eq!(five.skipped(), 5);
         assert_eq!(five.rows_pruned, 108);
         assert_eq!(s.prune_of(1), None);
         let total = s.prune_totals();
         assert_eq!(total.chunks, 10);
-        assert_eq!(total.skipped(), 5);
+        assert_eq!(total.skipped(), 7);
+    }
+
+    #[test]
+    fn buffered_rows_track_peak() {
+        let s = ExecStats::new();
+        assert_eq!(s.peak_buffered_rows(), 0);
+        s.buffer_grow(100);
+        s.buffer_grow(50);
+        s.buffer_shrink(120);
+        s.buffer_grow(10);
+        assert_eq!(s.peak_buffered_rows(), 150);
+        // Shrinking below zero saturates instead of wrapping.
+        s.buffer_shrink(10_000);
+        s.buffer_grow(1);
+        assert_eq!(s.peak_buffered_rows(), 150);
     }
 }

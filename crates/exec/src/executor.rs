@@ -93,6 +93,11 @@ pub fn execute_plan_opts(
 /// Recursively execute one node.
 pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<PartitionedData> {
     let out = match &plan.node {
+        // One synthetic zero-column row (FROM-less selects).
+        PhysicalNode::OneRow => PartitionedData {
+            types: vec![],
+            partitions: vec![vec![Chunk::of_rows(1)]],
+        },
         PhysicalNode::Scan {
             base,
             rel_id,
@@ -136,68 +141,21 @@ pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<Partitione
             // Build side first (paper §3.9: filters must be fully built
             // before the probe side's scans may proceed).
             let inner_data = execute(inner, ctx)?;
-            let inner_types = inner_data.types.clone();
-            let ikeys: Vec<_> = keys.iter().map(|(_, i)| *i).collect();
-            let okeys: Vec<_> = keys.iter().map(|(o, _)| *o).collect();
-            let inner_slots = slots_for(&inner.layout, &ikeys)?;
-            let inner_replicated = inner.distribution == Distribution::Replicated;
-
-            // Concatenate per partition and index.
-            let n_parts = inner_data.num_partitions();
-            let tables: Vec<BuildTable> = par_map(n_parts, |p| {
-                let chunk = inner_data.partition_chunk(p)?;
-                Ok(BuildTable::build(chunk, inner_slots.clone()))
-            })?;
-
-            // Build and publish planned Bloom filters.
-            if !builds.is_empty() {
-                let outer_broadcast = matches!(
-                    &outer.node,
-                    PhysicalNode::Exchange {
-                        kind: ExchangeKind::Broadcast,
-                        ..
-                    }
-                );
-                let strategy = if inner_replicated {
-                    StreamingStrategy::BroadcastBuild
-                } else if outer_broadcast {
-                    StreamingStrategy::BroadcastProbe
-                } else {
-                    StreamingStrategy::PartitionUnaligned
-                };
-                for b in builds {
-                    let slot = inner.layout.slot_of(b.column).ok_or_else(|| {
-                        BfqError::internal(format!(
-                            "bloom build column {} not in build side",
-                            b.column
-                        ))
-                    })?;
-                    let thread_keys: Vec<Column> = if inner_replicated {
-                        vec![tables[0].chunk.column(slot).as_ref().clone()]
-                    } else {
-                        tables
-                            .iter()
-                            .map(|t| t.chunk.column(slot).as_ref().clone())
-                            .collect()
-                    };
-                    let filter =
-                        build_filter(strategy, &thread_keys, b.expected_ndv.max(1.0) as usize);
-                    ctx.hub.publish(b.filter, filter);
-                }
-            }
+            let sealed = seal_build_side(ctx, outer, inner, keys, builds, inner_data)?;
 
             // Now the probe side may run (its scans can fetch the filters).
             let outer_data = execute(outer, ctx)?;
+            let okeys: Vec<_> = keys.iter().map(|(o, _)| *o).collect();
             let probe_slots = slots_for(&outer.layout, &okeys)?;
             let joined_layout = outer.layout.concat(&inner.layout);
             hash_join_probe(
                 &outer_data,
-                &tables,
+                &sealed.tables,
                 &probe_slots,
                 *kind,
                 extra,
                 &joined_layout,
-                &inner_types,
+                &sealed.inner_types,
             )?
         }
         PhysicalNode::MergeJoin {
@@ -320,7 +278,25 @@ pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<Partitione
 
     // Record actual (logical) rows: broadcast replicates physically, so we
     // count one copy.
-    let logical_rows = match &plan.node {
+    let logical_rows = logical_rows_of(&plan.node, &out);
+    ctx.stats.record(plan.id, logical_rows);
+    // Buffer accounting: this node's output is now materialized; its
+    // children's outputs (still resident until this moment) are released.
+    // The high-water mark this produces is what the morsel pipeline's
+    // bounded windows are measured against.
+    let child_rows: u64 = plan
+        .children()
+        .iter()
+        .filter_map(|c| ctx.stats.actual(c.id))
+        .sum();
+    ctx.stats.buffer_grow(logical_rows);
+    ctx.stats.buffer_shrink(child_rows);
+    Ok(out)
+}
+
+/// Logical row count of a node's output (broadcast counts one copy).
+pub(crate) fn logical_rows_of(node: &PhysicalNode, out: &PartitionedData) -> u64 {
+    match node {
         PhysicalNode::Exchange {
             kind: ExchangeKind::Broadcast,
             ..
@@ -328,17 +304,91 @@ pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<Partitione
             if out.num_partitions() == 0 {
                 0
             } else {
-                out.partitions[0].iter().map(|c| c.rows()).sum()
+                out.partitions[0].iter().map(|c| c.rows() as u64).sum()
             }
         }
-        _ => out.total_rows(),
-    };
-    ctx.stats.record(plan.id, logical_rows as u64);
-    Ok(out)
+        _ => out.total_rows() as u64,
+    }
+}
+
+/// A sealed hash-join build side: per-partition hash tables plus the build
+/// column types — everything the probe side needs, with all planned Bloom
+/// filters already published to the hub.
+pub(crate) struct SealedBuild {
+    /// One hash table per build partition.
+    pub tables: Vec<BuildTable>,
+    /// Build-side column types (for LEFT OUTER null columns).
+    pub inner_types: Vec<DataType>,
+    /// Rows indexed across all tables (buffer accounting).
+    pub rows: u64,
+}
+
+/// Concatenate and index a hash join's build side, then build and publish
+/// its planned Bloom filters (choosing the §3.9 streaming strategy from
+/// the plan shape). Shared by the eager executor and the morsel pipeline —
+/// in both, this must complete before the probe side's scans run.
+pub(crate) fn seal_build_side(
+    ctx: &ExecContext,
+    outer: &Arc<PhysicalPlan>,
+    inner: &Arc<PhysicalPlan>,
+    keys: &[(bfq_common::ColumnId, bfq_common::ColumnId)],
+    builds: &[bfq_plan::BloomBuild],
+    inner_data: PartitionedData,
+) -> Result<SealedBuild> {
+    let inner_types = inner_data.types.clone();
+    let ikeys: Vec<_> = keys.iter().map(|(_, i)| *i).collect();
+    let inner_slots = slots_for(&inner.layout, &ikeys)?;
+    let inner_replicated = inner.distribution == Distribution::Replicated;
+    let rows = inner_data.total_rows() as u64;
+
+    // Concatenate per partition and index.
+    let n_parts = inner_data.num_partitions();
+    let tables: Vec<BuildTable> = par_map(n_parts, |p| {
+        let chunk = inner_data.partition_chunk(p)?;
+        Ok(BuildTable::build(chunk, inner_slots.clone()))
+    })?;
+
+    // Build and publish planned Bloom filters.
+    if !builds.is_empty() {
+        let outer_broadcast = matches!(
+            &outer.node,
+            PhysicalNode::Exchange {
+                kind: ExchangeKind::Broadcast,
+                ..
+            }
+        );
+        let strategy = if inner_replicated {
+            StreamingStrategy::BroadcastBuild
+        } else if outer_broadcast {
+            StreamingStrategy::BroadcastProbe
+        } else {
+            StreamingStrategy::PartitionUnaligned
+        };
+        for b in builds {
+            let slot = inner.layout.slot_of(b.column).ok_or_else(|| {
+                BfqError::internal(format!("bloom build column {} not in build side", b.column))
+            })?;
+            let thread_keys: Vec<Column> = if inner_replicated {
+                vec![tables[0].chunk.column(slot).as_ref().clone()]
+            } else {
+                tables
+                    .iter()
+                    .map(|t| t.chunk.column(slot).as_ref().clone())
+                    .collect()
+            };
+            let filter = build_filter(strategy, &thread_keys, b.expected_ndv.max(1.0) as usize);
+            ctx.hub.publish(b.filter, filter);
+        }
+    }
+    Ok(SealedBuild {
+        tables,
+        inner_types,
+        rows,
+    })
 }
 
 /// Sort a gathered chunk by the given keys.
-fn sort_chunk(
+pub(crate) fn sort_chunk(
     chunk: &Chunk,
     layout: &Layout,
     keys: &[bfq_plan::SortKey],

@@ -1,16 +1,28 @@
 //! The vectorized, multi-threaded execution engine.
 //!
-//! Plans execute partition-parallel: every operator consumes and produces
-//! [`PartitionedData`] — `dop` partitions of column chunks. Exchange
-//! operators implement the paper's streaming strategies (`RD` repartition,
-//! `BC` broadcast, gather); hash joins execute their **build side first**,
-//! build any planned Bloom filters (choosing the §3.9 strategy from the
-//! plan shape), publish them to the [`bfq_bloom::FilterHub`], and only then
-//! execute the probe side — so scans that wait on filters never deadlock,
-//! including the chained-filter plans of paper Fig. 3d.
+//! Two executors over the same physical plans:
 //!
-//! Per-node actual row counts are recorded in [`ExecStats`], enabling the
-//! paper's §4.2 estimated-vs-actual cardinality comparison.
+//! * the **morsel-driven pipeline** ([`execute_plan_pipelined`], module
+//!   [`pipeline`]) — the production path: plans decompose into pipelines
+//!   at blocking operators, worker threads pull chunk-sized morsels
+//!   through fused scan → filter → probe → project chains, and
+//!   order-sensitive sinks consume through a bounded reorder window;
+//! * the **eager** recursive executor ([`execute_plan_opts`]) — every
+//!   operator materializes [`PartitionedData`] (`dop` partitions of
+//!   column chunks); kept as the bit-identical reference oracle.
+//!
+//! In both, exchange operators implement the paper's streaming strategies
+//! (`RD` repartition, `BC` broadcast, gather); hash joins execute their
+//! **build side first**, build any planned Bloom filters (choosing the
+//! §3.9 strategy from the plan shape), publish them to the
+//! [`bfq_bloom::FilterHub`], and only then execute the probe side — so
+//! scans that wait on filters never deadlock, including the
+//! chained-filter plans of paper Fig. 3d.
+//!
+//! Per-node actual row counts are recorded in [`ExecStats`] (enabling the
+//! paper's §4.2 estimated-vs-actual cardinality comparison), alongside a
+//! buffered-rows high-water mark that makes the two executors' memory
+//! behavior comparable.
 
 pub mod agg;
 pub mod data;
@@ -18,6 +30,7 @@ pub mod exchange;
 pub mod executor;
 pub mod join;
 pub mod parallel;
+pub mod pipeline;
 pub mod scan;
 pub mod stream;
 pub mod util;
@@ -25,4 +38,5 @@ pub mod util;
 pub use bfq_index::IndexMode;
 pub use data::{ExecStats, PartitionedData, ScanPruneStats};
 pub use executor::{execute_plan, execute_plan_opts, ExecContext, QueryOutput};
+pub use pipeline::{execute_pipelined, execute_plan_pipelined, REORDER_WINDOW_PER_WORKER};
 pub use stream::{execute_plan_stream, ChunkStream};

@@ -1,0 +1,954 @@
+//! The morsel-driven pipeline executor.
+//!
+//! [`execute_plan_pipelined`] runs a [`PhysicalPlan`] as a set of
+//! *pipelines* (decomposed by [`bfq_plan::pipeline`]): maximal chains of
+//! streamable operators — scan → filter → probe → project — fused into one
+//! per-morsel function, bounded by *pipeline breakers* (hash-join builds,
+//! aggregation, sort, limit, exchanges, scalar subqueries). A morsel is
+//! one storage chunk, reusing the existing chunk/partition model; worker
+//! threads (`std::thread::scope`, bounded by the session `dop`) claim
+//! morsels from a shared atomic cursor, so a fast worker steals work from
+//! a slow one instead of idling on a fixed partition.
+//!
+//! **Determinism.** Results are bit-identical to the eager executor
+//! ([`crate::execute_plan_opts`]): every morsel carries the partition and
+//! sequence position it holds in the eager executor's partition-major
+//! order, chain output is reassembled by sequence, and order-sensitive
+//! sinks (aggregation's float accumulators, LIMIT) consume morsel outputs
+//! strictly in sequence through a bounded reorder window. The window is
+//! also what keeps memory flat: at most `workers ×`
+//! [`REORDER_WINDOW_PER_WORKER`] morsel outputs are buffered, so a
+//! scan-heavy query never materializes a whole table between operators
+//! (observable via [`crate::ExecStats::peak_buffered_rows`]).
+//!
+//! **Statistics.** Per-node row counts and [`crate::ScanPruneStats`] are
+//! accumulated per morsel into the shared [`crate::ExecStats`] (interior
+//! mutex), so totals across morsel workers equal the eager executor's.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bfq_common::{BfqError, ColumnId, DataType, Datum, Result, TableId};
+use bfq_expr::{eval, eval_predicate, Expr, Layout};
+use bfq_index::{IndexMode, TableIndex};
+use bfq_plan::{
+    pipeline::streaming_child, ExchangeKind, JoinKind, OutputColumn, PhysicalNode, PhysicalPlan,
+};
+use bfq_storage::{Chunk, Column, Table};
+use parking_lot::{Condvar, Mutex};
+
+use crate::data::{ExecStats, PartitionedData, ScanPruneStats};
+use crate::exchange;
+use crate::executor::{
+    logical_rows_of, output_types, seal_build_side, sort_chunk, ExecContext, QueryOutput,
+};
+use crate::join::{probe_partition, BuildTable};
+use crate::scan::{fetch_filters, prune_chunk, scan_chunk};
+use crate::util::{expr_types, slots_for, substitute_placeholder};
+
+/// Morsel outputs a worker may run ahead of the consuming sink, per
+/// worker. Small enough to keep buffered rows near `workers × chunk`,
+/// large enough that a slow morsel does not stall the whole pool.
+pub const REORDER_WINDOW_PER_WORKER: usize = 4;
+
+/// One unit of work: the chunk at `seq` in the eager executor's
+/// partition-major order, belonging to worker-partition `partition`.
+pub(crate) struct Morsel {
+    partition: usize,
+    input: MorselInput,
+}
+
+enum MorselInput {
+    /// Index into the source table's chunk list.
+    TableChunk(usize),
+    /// An already-materialized chunk (sealed output of a breaker).
+    Chunk(Chunk),
+}
+
+/// Where a pipeline's morsels come from.
+enum ChainSource {
+    /// A base-table scan: chunks are pruned via the per-chunk index and
+    /// scanned (predicate, Bloom probes, projection) inside the morsel.
+    Table {
+        node_id: u32,
+        table: Arc<Table>,
+        full_layout: Layout,
+        projection: Vec<u32>,
+        predicate: Option<Expr>,
+        filters: Vec<(Arc<bfq_bloom::RuntimeFilter>, usize)>,
+        index: Option<Arc<TableIndex>>,
+        rel_id: TableId,
+    },
+    /// Sealed output of a pipeline breaker, re-chunked into morsels.
+    Materialized,
+}
+
+/// One fused streamable operator, applied per morsel.
+enum ChainOp {
+    /// Standalone filter over the input layout.
+    Filter {
+        node_id: u32,
+        layout: Layout,
+        predicate: Expr,
+    },
+    /// Projection evaluating output expressions.
+    Project {
+        node_id: u32,
+        layout: Layout,
+        exprs: Vec<OutputColumn>,
+    },
+    /// Hash-join probe against the sealed build tables.
+    Probe {
+        node_id: u32,
+        tables: Vec<BuildTable>,
+        probe_slots: Vec<usize>,
+        kind: JoinKind,
+        extra: Option<Expr>,
+        joined_layout: Layout,
+        inner_types: Vec<DataType>,
+        build_rows: u64,
+    },
+    /// Derived-scan relabel/filter/Bloom application (no chunk index).
+    Derived {
+        node_id: u32,
+        layout: Layout,
+        predicate: Option<Expr>,
+        filters: Vec<(Arc<bfq_bloom::RuntimeFilter>, usize)>,
+    },
+    /// Scalar-subquery filter with the scalar already substituted.
+    ScalarFilter {
+        node_id: u32,
+        layout: Layout,
+        predicate: Expr,
+    },
+    /// A fused Gather exchange: a pure no-op on morsel content (the
+    /// executor already preserves partition-major order); operators above
+    /// it see worker-partition 0.
+    Gather { node_id: u32 },
+}
+
+/// A fully prepared pipeline: all blocking children sealed (hash tables
+/// built, Bloom filters published, scalar subqueries evaluated), every
+/// operator's state owned, ready to process morsels from any thread.
+pub(crate) struct PreparedChain {
+    source: ChainSource,
+    /// Ops in application order (source upward).
+    ops: Vec<ChainOp>,
+    /// Output column types of the chain head.
+    pub types: Vec<DataType>,
+    /// Worker-partition count of the chain output.
+    pub partitions: usize,
+    index_mode: IndexMode,
+}
+
+impl PreparedChain {
+    /// Rows materialized into sealed build sides (released when the
+    /// pipeline finishes).
+    fn sealed_rows(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                ChainOp::Probe { build_rows, .. } => *build_rows,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Run one morsel through the fused chain, recording per-node stats.
+    pub(crate) fn process(&self, morsel: &Morsel, stats: &ExecStats) -> Result<Vec<Chunk>> {
+        let mut chunks: Vec<Chunk> = match (&self.source, &morsel.input) {
+            (
+                ChainSource::Table {
+                    node_id,
+                    table,
+                    full_layout,
+                    projection,
+                    predicate,
+                    filters,
+                    index,
+                    rel_id,
+                },
+                MorselInput::TableChunk(ci),
+            ) => {
+                let chunk = &table.chunks()[*ci];
+                let mut prune = ScanPruneStats {
+                    chunks: 1,
+                    ..ScanPruneStats::default()
+                };
+                let skipped = match index.as_ref().and_then(|t| t.chunk(*ci)) {
+                    Some(cidx)
+                        if prune_chunk(
+                            cidx,
+                            *rel_id,
+                            predicate,
+                            filters,
+                            self.index_mode,
+                            &mut prune,
+                        ) =>
+                    {
+                        prune.rows_pruned += chunk.rows() as u64;
+                        true
+                    }
+                    _ => false,
+                };
+                let out = if skipped {
+                    None
+                } else {
+                    scan_chunk(chunk, full_layout, predicate, filters, Some(projection))?
+                };
+                stats.record_prune(*node_id, &prune);
+                stats.record(*node_id, out.as_ref().map_or(0, |c| c.rows() as u64));
+                out.into_iter().collect()
+            }
+            (ChainSource::Materialized, MorselInput::Chunk(chunk)) => vec![chunk.clone()],
+            _ => return Err(BfqError::internal("morsel does not match chain source")),
+        };
+        let mut partition = morsel.partition;
+        for op in &self.ops {
+            if matches!(op, ChainOp::Gather { .. }) {
+                partition = 0;
+            }
+            chunks = op.apply(chunks, partition, stats)?;
+        }
+        Ok(chunks)
+    }
+
+    /// The output worker-partition a morsel's chunks land in (0 once a
+    /// gather is fused anywhere in the chain).
+    pub(crate) fn output_partition(&self, morsel: &Morsel) -> usize {
+        if self.gathered() {
+            0
+        } else {
+            morsel.partition
+        }
+    }
+
+    fn gathered(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op, ChainOp::Gather { .. }))
+    }
+}
+
+impl ChainOp {
+    fn apply(&self, chunks: Vec<Chunk>, partition: usize, stats: &ExecStats) -> Result<Vec<Chunk>> {
+        let mut out = Vec::with_capacity(chunks.len());
+        let node_id = match self {
+            ChainOp::Filter {
+                node_id,
+                layout,
+                predicate,
+            } => {
+                for chunk in &chunks {
+                    let sel = eval_predicate(predicate, chunk, layout)?;
+                    if !sel.is_empty() {
+                        out.push(chunk.take(&sel));
+                    }
+                }
+                *node_id
+            }
+            ChainOp::Project {
+                node_id,
+                layout,
+                exprs,
+            } => {
+                for chunk in &chunks {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    let cols: Vec<_> = exprs
+                        .iter()
+                        .map(|e| eval(&e.expr, chunk, layout).map(Arc::new))
+                        .collect::<Result<_>>()?;
+                    out.push(Chunk::new(cols)?);
+                }
+                *node_id
+            }
+            ChainOp::Probe {
+                node_id,
+                tables,
+                probe_slots,
+                kind,
+                extra,
+                joined_layout,
+                inner_types,
+                ..
+            } => {
+                let table = &tables[partition % tables.len()];
+                out = probe_partition(
+                    &chunks,
+                    table,
+                    probe_slots,
+                    *kind,
+                    extra,
+                    joined_layout,
+                    inner_types,
+                )?;
+                *node_id
+            }
+            ChainOp::Derived {
+                node_id,
+                layout,
+                predicate,
+                filters,
+            } => {
+                for chunk in &chunks {
+                    if let Some(c) = scan_chunk(chunk, layout, predicate, filters, None)? {
+                        out.push(c);
+                    }
+                }
+                *node_id
+            }
+            ChainOp::ScalarFilter {
+                node_id,
+                layout,
+                predicate,
+            } => {
+                for chunk in &chunks {
+                    let sel = eval_predicate(predicate, chunk, layout)?;
+                    if !sel.is_empty() {
+                        out.push(chunk.take(&sel));
+                    }
+                }
+                *node_id
+            }
+            ChainOp::Gather { node_id } => {
+                out = chunks;
+                *node_id
+            }
+        };
+        stats.record(node_id, out.iter().map(|c| c.rows() as u64).sum());
+        Ok(out)
+    }
+}
+
+/// Walk the streamable chain down from `head`, sealing blocking children
+/// top-down (exactly the eager executor's build-before-probe order), and
+/// return the prepared chain plus its morsels in partition-major sequence
+/// order.
+pub(crate) fn prepare_chain(
+    head: &Arc<PhysicalPlan>,
+    ctx: &ExecContext,
+) -> Result<(PreparedChain, Vec<Morsel>)> {
+    // Pass 1 (top-down): collect chain nodes and seal blocking children in
+    // eager order — each probe join's build side completes (and publishes
+    // its Bloom filters) before anything below it starts.
+    let mut nodes: Vec<Arc<PhysicalPlan>> = Vec::new();
+    let mut sealed: Vec<SealedAux> = Vec::new();
+    let mut cursor = head.clone();
+    while let Some(child) = streaming_child(&cursor.node).cloned() {
+        sealed.push(seal_blocking(&cursor, ctx)?);
+        nodes.push(cursor);
+        cursor = child;
+    }
+
+    // `cursor` is the source: a base scan, or a breaker sealed recursively.
+    let (source, mut types, partitions, morsels) = match &cursor.node {
+        PhysicalNode::Scan {
+            base,
+            rel_id,
+            projection,
+            predicate,
+            blooms,
+            ..
+        } => {
+            let table = ctx.catalog.data(*base)?.clone();
+            let schema = table.schema();
+            let full_layout = Layout::new(
+                (0..schema.len())
+                    .map(|i| ColumnId::new(*rel_id, i as u32))
+                    .collect(),
+            );
+            let types: Vec<DataType> = projection
+                .iter()
+                .map(|&i| schema.field(i as usize).data_type)
+                .collect();
+            // Fetch (wait for) filters last: every build this scan depends
+            // on was sealed above.
+            let filters = fetch_filters(ctx, blooms, &full_layout)?;
+            let index = if ctx.index_mode.zonemaps() {
+                ctx.catalog.index(*base).cloned()
+            } else {
+                None
+            };
+            let dop = ctx.dop;
+            let n_chunks = table.chunks().len();
+            // Partition-major enumeration: chunk `ci` belongs to partition
+            // `ci % dop`, matching the eager scan's round-robin deal and
+            // its gathered output order.
+            let mut morsels = Vec::with_capacity(n_chunks);
+            for p in 0..dop {
+                for ci in (p..n_chunks).step_by(dop.max(1)) {
+                    morsels.push(Morsel {
+                        partition: p,
+                        input: MorselInput::TableChunk(ci),
+                    });
+                }
+            }
+            let source = ChainSource::Table {
+                node_id: cursor.id,
+                table,
+                full_layout,
+                projection: projection.clone(),
+                predicate: predicate.clone(),
+                filters,
+                index,
+                rel_id: *rel_id,
+            };
+            (source, types, dop, morsels)
+        }
+        _ => {
+            // Breaker source: run its own pipelines to completion, then
+            // re-chunk the sealed output into morsels.
+            let data = execute_pipelined(&cursor, ctx)?;
+            let types = data.types.clone();
+            let partitions = data.num_partitions();
+            let mut morsels = Vec::new();
+            for (p, chunks) in data.partitions.into_iter().enumerate() {
+                for chunk in chunks {
+                    morsels.push(Morsel {
+                        partition: p,
+                        input: MorselInput::Chunk(chunk),
+                    });
+                }
+            }
+            (ChainSource::Materialized, types, partitions, morsels)
+        }
+    };
+
+    // Pass 2 (bottom-up): finalize op state with the type/layout flow.
+    let mut ops: Vec<ChainOp> = Vec::new();
+    for (node, aux) in nodes.into_iter().rev().zip(sealed.into_iter().rev()) {
+        let input = streaming_child(&node.node).expect("chain node has streaming child");
+        let op = match (&node.node, aux) {
+            (PhysicalNode::Filter { predicate, .. }, SealedAux::None) => ChainOp::Filter {
+                node_id: node.id,
+                layout: input.layout.clone(),
+                predicate: predicate.clone(),
+            },
+            (PhysicalNode::Project { exprs, .. }, SealedAux::None) => {
+                let expr_refs: Vec<&Expr> = exprs.iter().map(|e| &e.expr).collect();
+                types = expr_types(&expr_refs, &input.layout, &types)?;
+                ChainOp::Project {
+                    node_id: node.id,
+                    layout: input.layout.clone(),
+                    exprs: exprs.clone(),
+                }
+            }
+            (
+                PhysicalNode::HashJoin {
+                    inner,
+                    kind,
+                    keys,
+                    extra,
+                    ..
+                },
+                SealedAux::Build(build),
+            ) => {
+                let okeys: Vec<_> = keys.iter().map(|(o, _)| *o).collect();
+                let probe_slots = slots_for(&input.layout, &okeys)?;
+                let joined_layout = input.layout.concat(&inner.layout);
+                if kind.emits_inner_columns() {
+                    types.extend_from_slice(&build.inner_types);
+                }
+                ChainOp::Probe {
+                    node_id: node.id,
+                    tables: build.tables,
+                    probe_slots,
+                    kind: *kind,
+                    extra: extra.clone(),
+                    joined_layout,
+                    inner_types: build.inner_types,
+                    build_rows: build.rows,
+                }
+            }
+            (
+                PhysicalNode::DerivedScan {
+                    rel_id,
+                    predicate,
+                    blooms,
+                    ..
+                },
+                SealedAux::None,
+            ) => {
+                let width = types.len();
+                let full_layout = Layout::new(
+                    (0..width)
+                        .map(|i| ColumnId::new(*rel_id, i as u32))
+                        .collect(),
+                );
+                let filters = fetch_filters(ctx, blooms, &full_layout)?;
+                ChainOp::Derived {
+                    node_id: node.id,
+                    layout: full_layout,
+                    predicate: predicate.clone(),
+                    filters,
+                }
+            }
+            (
+                PhysicalNode::ScalarSubst {
+                    pred, placeholder, ..
+                },
+                SealedAux::Scalar(value),
+            ) => ChainOp::ScalarFilter {
+                node_id: node.id,
+                layout: input.layout.clone(),
+                predicate: substitute_placeholder(pred, *placeholder, &value),
+            },
+            (
+                PhysicalNode::Exchange {
+                    kind: ExchangeKind::Gather,
+                    ..
+                },
+                SealedAux::None,
+            ) => ChainOp::Gather { node_id: node.id },
+            _ => return Err(BfqError::internal("unexpected chain node/aux pairing")),
+        };
+        ops.push(op);
+    }
+
+    let chain = PreparedChain {
+        source,
+        ops,
+        types,
+        partitions,
+        index_mode: ctx.index_mode,
+    };
+    let partitions = if chain.gathered() {
+        1
+    } else {
+        chain.partitions
+    };
+    Ok((
+        PreparedChain {
+            partitions,
+            ..chain
+        },
+        morsels,
+    ))
+}
+
+/// Sealed state of a chain node's blocking children.
+enum SealedAux {
+    None,
+    Build(crate::executor::SealedBuild),
+    Scalar(Datum),
+}
+
+fn seal_blocking(node: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<SealedAux> {
+    match &node.node {
+        PhysicalNode::HashJoin {
+            outer,
+            inner,
+            keys,
+            builds,
+            ..
+        } => {
+            let inner_data = execute_pipelined(inner, ctx)?;
+            Ok(SealedAux::Build(seal_build_side(
+                ctx, outer, inner, keys, builds, inner_data,
+            )?))
+        }
+        PhysicalNode::ScalarSubst { subquery, .. } => {
+            let sub = execute_pipelined(subquery, ctx)?;
+            let in_rows = sub.total_rows() as u64;
+            let sub_chunk = exchange::gather(sub).partition_chunk(0)?;
+            ctx.stats.buffer_shrink(in_rows);
+            let value = if sub_chunk.rows() == 0 {
+                Datum::Null
+            } else {
+                sub_chunk.column(0).get(0)
+            };
+            Ok(SealedAux::Scalar(value))
+        }
+        _ => Ok(SealedAux::None),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The morsel scheduler: workers claim morsels dynamically; the sink consumes
+// outputs strictly in sequence through a bounded reorder window.
+// ---------------------------------------------------------------------------
+
+struct QueueState {
+    ready: std::collections::HashMap<usize, Vec<Chunk>>,
+    /// Next sequence number the sink will consume; workers may run at most
+    /// `window` morsels ahead of it.
+    next: usize,
+}
+
+struct MorselQueue {
+    claim: AtomicUsize,
+    cancel: AtomicBool,
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    window: usize,
+}
+
+/// Run a prepared chain over its morsels. Workers (scoped threads, at most
+/// `ctx.dop`) process morsels out of order; `consume(partition, chunks,
+/// rows)` is called on the calling thread strictly in morsel-sequence
+/// order. Returning `Ok(false)` from `consume` cancels the remaining
+/// morsels (LIMIT early-exit). Chunk rows are counted into the buffer
+/// gauge when published; `consume` owns the matching release (sinks that
+/// discard rows shrink, collecting sinks keep them counted).
+pub(crate) fn run_chain(
+    chain: &PreparedChain,
+    morsels: &[Morsel],
+    ctx: &ExecContext,
+    mut consume: impl FnMut(usize, Vec<Chunk>, u64) -> Result<bool>,
+) -> Result<()> {
+    let n = morsels.len();
+    let workers = ctx.dop.min(n).max(1);
+    if n == 0 {
+        return Ok(());
+    }
+    if workers == 1 {
+        // Serial fast path: process and consume in order, no threads.
+        for morsel in morsels {
+            let chunks = chain.process(morsel, &ctx.stats)?;
+            let rows: u64 = chunks.iter().map(|c| c.rows() as u64).sum();
+            ctx.stats.buffer_grow(rows);
+            if !consume(chain.output_partition(morsel), chunks, rows)? {
+                break;
+            }
+        }
+        return Ok(());
+    }
+
+    let queue = MorselQueue {
+        claim: AtomicUsize::new(0),
+        cancel: AtomicBool::new(false),
+        state: Mutex::new(QueueState {
+            ready: std::collections::HashMap::new(),
+            next: 0,
+        }),
+        cond: Condvar::new(),
+        window: workers * REORDER_WINDOW_PER_WORKER,
+    };
+
+    // Any unwinding thread (worker panic in an operator, or a panic in the
+    // sink's consume) must cancel the queue and wake every waiter —
+    // otherwise threads blocked on the condvar would wait forever and the
+    // scope's implicit join would hang the query instead of surfacing the
+    // panic.
+    struct CancelOnPanic<'a>(&'a MorselQueue);
+    impl Drop for CancelOnPanic<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.cancel.store(true, Ordering::Release);
+                self.0.cond.notify_all();
+            }
+        }
+    }
+
+    let worker = |queue: &MorselQueue| -> Result<()> {
+        let _cancel_on_panic = CancelOnPanic(queue);
+        loop {
+            if queue.cancel.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let seq = queue.claim.fetch_add(1, Ordering::Relaxed);
+            if seq >= n {
+                return Ok(());
+            }
+            let result = chain.process(&morsels[seq], &ctx.stats);
+            let chunks = match result {
+                Ok(chunks) => chunks,
+                Err(e) => {
+                    queue.cancel.store(true, Ordering::Release);
+                    queue.cond.notify_all();
+                    return Err(e);
+                }
+            };
+            let rows: u64 = chunks.iter().map(|c| c.rows() as u64).sum();
+            let mut state = queue.state.lock();
+            while !queue.cancel.load(Ordering::Acquire) && seq >= state.next + queue.window {
+                queue.cond.wait(&mut state);
+            }
+            if queue.cancel.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            ctx.stats.buffer_grow(rows);
+            state.ready.insert(seq, chunks);
+            queue.cond.notify_all();
+        }
+    };
+
+    std::thread::scope(|scope| -> Result<()> {
+        let _cancel_on_panic = CancelOnPanic(&queue);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| worker(&queue)));
+        }
+
+        // Sink loop: consume outputs in sequence order.
+        let mut sink_result: Result<()> = Ok(());
+        'sink: for (seq, morsel) in morsels.iter().enumerate() {
+            let chunks = loop {
+                let mut state = queue.state.lock();
+                if let Some(chunks) = state.ready.remove(&seq) {
+                    state.next = seq + 1;
+                    queue.cond.notify_all();
+                    break chunks;
+                }
+                if queue.cancel.load(Ordering::Acquire) {
+                    // A worker died; its error surfaces at join below.
+                    break 'sink;
+                }
+                queue.cond.wait(&mut state);
+            };
+            let rows: u64 = chunks.iter().map(|c| c.rows() as u64).sum();
+            match consume(chain.output_partition(morsel), chunks, rows) {
+                Ok(true) => {}
+                Ok(false) => {
+                    queue.cancel.store(true, Ordering::Release);
+                    queue.cond.notify_all();
+                    break;
+                }
+                Err(e) => {
+                    queue.cancel.store(true, Ordering::Release);
+                    queue.cond.notify_all();
+                    sink_result = Err(e);
+                    break;
+                }
+            }
+        }
+
+        for handle in handles {
+            let joined = handle
+                .join()
+                .map_err(|_| BfqError::Execution("morsel worker panicked".into()))?;
+            if let (Err(e), Ok(())) = (joined, &sink_result) {
+                sink_result = Err(e);
+            }
+        }
+        sink_result
+    })
+}
+
+/// Run a chain into a collecting sink, reassembling the eager executor's
+/// `PartitionedData` shape (partition of origin, source order within each
+/// partition).
+fn run_chain_collect(head: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<PartitionedData> {
+    let (chain, morsels) = prepare_chain(head, ctx)?;
+    let mut partitions: Vec<Vec<Chunk>> = vec![Vec::new(); chain.partitions];
+    run_chain(&chain, &morsels, ctx, |partition, chunks, _rows| {
+        // Rows stay counted in the buffer gauge: the collected output is
+        // the materialized input of the consuming breaker.
+        partitions[partition].extend(chunks);
+        Ok(true)
+    })?;
+
+    ctx.stats.buffer_shrink(chain.sealed_rows());
+    Ok(PartitionedData {
+        types: chain.types.clone(),
+        partitions,
+    })
+}
+
+/// Execute a plan with the morsel-driven pipeline executor.
+///
+/// Produces bit-identical output to [`crate::execute_plan_opts`] (same
+/// rows, same order, same per-node statistics totals) while keeping
+/// intermediate materialization bounded by the reorder window wherever an
+/// order-sensitive sink (aggregation, LIMIT) consumes a pipeline.
+pub fn execute_plan_pipelined(
+    plan: &Arc<PhysicalPlan>,
+    catalog: Arc<bfq_catalog::Catalog>,
+    dop: usize,
+    index_mode: IndexMode,
+) -> Result<QueryOutput> {
+    let ctx = ExecContext::new(catalog, dop).with_index_mode(index_mode);
+    let data = execute_pipelined(plan, &ctx)?;
+    let chunk = data.into_single_chunk()?;
+    Ok(QueryOutput {
+        chunk,
+        stats: ctx.stats,
+    })
+}
+
+/// Recursively execute `plan`: streamable chains run as morsel pipelines;
+/// breakers seal their inputs and apply the existing operator logic.
+pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<PartitionedData> {
+    match &plan.node {
+        // Streamable heads and bare scans: one fused pipeline into a
+        // collecting sink.
+        PhysicalNode::Scan { .. }
+        | PhysicalNode::Filter { .. }
+        | PhysicalNode::Project { .. }
+        | PhysicalNode::HashJoin { .. }
+        | PhysicalNode::DerivedScan { .. }
+        | PhysicalNode::ScalarSubst { .. } => run_chain_collect(plan, ctx),
+
+        PhysicalNode::OneRow => {
+            let out = PartitionedData {
+                types: vec![],
+                partitions: vec![vec![Chunk::of_rows(1)]],
+            };
+            seal_node(plan, &out, 0, ctx);
+            Ok(out)
+        }
+
+        PhysicalNode::Exchange {
+            kind: ExchangeKind::Gather,
+            ..
+        } => run_chain_collect(plan, ctx),
+
+        PhysicalNode::Exchange { input, kind } => {
+            let data = execute_pipelined(input, ctx)?;
+            let in_rows = data.total_rows() as u64;
+            let out = match kind {
+                // Gather exchanges were already routed to the fused chain
+                // path by the arm above.
+                ExchangeKind::Gather => unreachable!("gather runs fused in a pipeline chain"),
+                ExchangeKind::Broadcast => exchange::broadcast(data, ctx.dop),
+                ExchangeKind::Repartition(cols) => {
+                    exchange::repartition(data, &input.layout, cols, ctx.dop)?
+                }
+            };
+            seal_node(plan, &out, in_rows, ctx);
+            Ok(out)
+        }
+
+        PhysicalNode::HashAgg {
+            input,
+            group_by,
+            aggs,
+            having,
+        } => {
+            // The blocking sink par excellence — but its input pipeline
+            // feeds it morsel by morsel (in sequence order, so float
+            // accumulation matches the eager gathered order exactly)
+            // instead of materializing first.
+            let (chain, morsels) = prepare_chain(input, ctx)?;
+            let mut state = crate::agg::AggState::new(&input.layout, &chain.types, group_by, aggs)?;
+            run_chain(&chain, &morsels, ctx, |_partition, chunks, rows| {
+                for chunk in &chunks {
+                    state.update(chunk)?;
+                }
+                ctx.stats.buffer_shrink(rows);
+                Ok(true)
+            })?;
+            ctx.stats.buffer_shrink(chain.sealed_rows());
+            let out = state.finish(having, &plan.layout)?;
+            let types = output_types(&out);
+            let out = PartitionedData {
+                types,
+                partitions: vec![vec![out]],
+            };
+            seal_node(plan, &out, 0, ctx);
+            Ok(out)
+        }
+
+        PhysicalNode::Sort { input, keys, limit } => {
+            let data = execute_pipelined(input, ctx)?;
+            let in_rows = data.total_rows() as u64;
+            let types = data.types.clone();
+            let chunk = exchange::gather(data).partition_chunk(0)?;
+            let sorted = sort_chunk(&chunk, &input.layout, keys, *limit)?;
+            let out = PartitionedData {
+                types,
+                partitions: vec![vec![sorted]],
+            };
+            seal_node(plan, &out, in_rows, ctx);
+            Ok(out)
+        }
+
+        PhysicalNode::Limit { input, n } => {
+            // Streaming LIMIT: consume morsel outputs in order and cancel
+            // the pipeline the moment enough rows arrived.
+            let (chain, morsels) = prepare_chain(input, ctx)?;
+            let mut collected: Vec<Chunk> = Vec::new();
+            let mut rows_seen = 0usize;
+            run_chain(&chain, &morsels, ctx, |_partition, chunks, rows| {
+                for chunk in chunks {
+                    if rows_seen < *n {
+                        rows_seen += chunk.rows();
+                        collected.push(chunk);
+                    }
+                }
+                ctx.stats.buffer_shrink(rows);
+                Ok(rows_seen < *n)
+            })?;
+            ctx.stats.buffer_shrink(chain.sealed_rows());
+            let chunk = if collected.is_empty() {
+                Chunk::new(
+                    chain
+                        .types
+                        .iter()
+                        .map(|dt| Arc::new(Column::nulls(*dt, 0)))
+                        .collect(),
+                )?
+            } else {
+                Chunk::concat(&collected)?
+            };
+            let keep = (*n).min(chunk.rows());
+            let sel: Vec<u32> = (0..keep as u32).collect();
+            let out = PartitionedData {
+                types: chain.types.clone(),
+                partitions: vec![vec![chunk.take(&sel)]],
+            };
+            seal_node(plan, &out, 0, ctx);
+            Ok(out)
+        }
+
+        PhysicalNode::MergeJoin {
+            outer,
+            inner,
+            kind,
+            keys,
+            extra,
+        } => {
+            let inner_data = execute_pipelined(inner, ctx)?;
+            let outer_data = execute_pipelined(outer, ctx)?;
+            let in_rows = (inner_data.total_rows() + outer_data.total_rows()) as u64;
+            let okeys: Vec<_> = keys.iter().map(|(o, _)| *o).collect();
+            let ikeys: Vec<_> = keys.iter().map(|(_, i)| *i).collect();
+            let outer_slots = slots_for(&outer.layout, &okeys)?;
+            let inner_slots = slots_for(&inner.layout, &ikeys)?;
+            let joined_layout = outer.layout.concat(&inner.layout);
+            let out = crate::join::merge_join(
+                &outer_data,
+                &inner_data,
+                &outer_slots,
+                &inner_slots,
+                *kind,
+                extra,
+                &joined_layout,
+            )?;
+            seal_node(plan, &out, in_rows, ctx);
+            Ok(out)
+        }
+
+        PhysicalNode::NestLoopJoin {
+            outer,
+            inner,
+            kind,
+            predicate,
+        } => {
+            let inner_data = execute_pipelined(inner, ctx)?;
+            let outer_data = execute_pipelined(outer, ctx)?;
+            let in_rows = (inner_data.total_rows() + outer_data.total_rows()) as u64;
+            let joined_layout = outer.layout.concat(&inner.layout);
+            let out = crate::join::nestloop_join(
+                &outer_data,
+                &inner_data,
+                *kind,
+                predicate,
+                &joined_layout,
+            )?;
+            seal_node(plan, &out, in_rows, ctx);
+            Ok(out)
+        }
+    }
+}
+
+/// Record a breaker node's output rows and settle the buffer gauge: its
+/// output is now materialized, its inputs released.
+fn seal_node(plan: &Arc<PhysicalPlan>, out: &PartitionedData, in_rows: u64, ctx: &ExecContext) {
+    let logical = logical_rows_of(&plan.node, out);
+    ctx.stats.record(plan.id, logical);
+    ctx.stats.buffer_grow(logical);
+    ctx.stats.buffer_shrink(in_rows);
+}

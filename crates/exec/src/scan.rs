@@ -34,7 +34,7 @@ use crate::parallel::par_map;
 /// Wait for every filter a scan needs. This is the paper's §3.9 contract:
 /// "table scans wait for all Bloom filter partitions to become available
 /// before scanning can proceed".
-fn fetch_filters(
+pub(crate) fn fetch_filters(
     ctx: &ExecContext,
     blooms: &[BloomApply],
     layout: &Layout,
@@ -61,7 +61,7 @@ fn fetch_filters(
 
 /// Decide whether a whole chunk can be skipped, attributing the decision to
 /// the tier that proved it. Returns `true` when the chunk is skippable.
-fn prune_chunk(
+pub(crate) fn prune_chunk(
     index: &ChunkIndex,
     rel_id: TableId,
     predicate: &Option<Expr>,
@@ -80,7 +80,9 @@ fn prune_chunk(
                 prune.skipped_zonemap += 1;
                 return true;
             }
-            PruneOutcome::SkipBloom => {
+            // Local predicates never produce summary skips, but attribute
+            // one correctly if the evaluator ever learns to.
+            PruneOutcome::SkipBloom | PruneOutcome::SkipSummary => {
                 prune.skipped_bloom += 1;
                 return true;
             }
@@ -92,17 +94,29 @@ fn prune_chunk(
         let Some(ci) = index.columns.get(*slot) else {
             continue;
         };
-        if rf_chunk_prune(ci, filter.key_bounds(), filter.key_hashes(), mode) != PruneOutcome::Keep
-        {
-            prune.skipped_rfilter += 1;
-            return true;
+        match rf_chunk_prune(
+            ci,
+            filter.key_bounds(),
+            filter.key_hashes(),
+            filter.key_summary(),
+            mode,
+        ) {
+            PruneOutcome::Keep => {}
+            PruneOutcome::SkipSummary => {
+                prune.skipped_rfsummary += 1;
+                return true;
+            }
+            PruneOutcome::SkipZone | PruneOutcome::SkipBloom => {
+                prune.skipped_rfilter += 1;
+                return true;
+            }
         }
     }
     false
 }
 
 /// Scan one chunk: local predicate, then every Bloom filter, then projection.
-fn scan_chunk(
+pub(crate) fn scan_chunk(
     chunk: &Chunk,
     full_layout: &Layout,
     predicate: &Option<Expr>,

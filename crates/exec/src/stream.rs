@@ -2,50 +2,48 @@
 //!
 //! [`execute_plan_stream`] returns a [`ChunkStream`]: an iterator yielding
 //! result chunks one at a time instead of gathering everything into a
-//! single chunk. Operators below the root still run the materializing
-//! partition-parallel pipeline (hash joins must see their whole build side
-//! anyway, and Bloom filters must be complete before probe scans start —
-//! paper §3.9), but the *root* projection is evaluated lazily, chunk by
-//! chunk, as the consumer pulls. For the common `Project`-rooted plan that
-//! means the widened final result — typically the largest data in the query
-//! — is never resident all at once.
+//! single chunk. The stream is a real incremental consumer of the plan's
+//! *final pipeline*: everything below the last pipeline breaker executes
+//! when the stream is created (hash-join builds must see their whole build
+//! side, and Bloom filters must be complete before probe scans start —
+//! paper §3.9), but the final streamable chain — typically
+//! scan → probe → project — runs **one morsel per pull**, on the consumer's
+//! thread. No worker threads outlive stream creation, so dropping the
+//! stream mid-way leaks nothing; undrained morsels are simply never
+//! scanned.
 //!
-//! Chunk order is deterministic (partition 0's chunks first, then
-//! partition 1's, …): concatenating the stream yields exactly the chunk a
-//! gathered [`crate::QueryOutput`] holds.
+//! Chunk order is deterministic (the eager executor's partition-major
+//! order): concatenating the stream yields exactly the chunk a gathered
+//! [`crate::QueryOutput`] holds.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use bfq_catalog::Catalog;
 use bfq_common::{DataType, Result};
-use bfq_expr::{eval, Expr, Layout};
 use bfq_index::IndexMode;
-use bfq_plan::{OutputColumn, PhysicalNode, PhysicalPlan};
+use bfq_plan::{pipeline::is_streamable, PhysicalNode, PhysicalPlan};
 use bfq_storage::{Chunk, Column};
 
 use crate::data::ExecStats;
-use crate::executor::{execute, ExecContext, QueryOutput};
-use crate::util::expr_types;
+use crate::executor::{ExecContext, QueryOutput};
+use crate::pipeline::{execute_pipelined, prepare_chain, Morsel, PreparedChain};
 
 /// How the remaining chunks are produced.
 enum StreamState {
-    /// Everything below (and including) the root already ran; chunks are
-    /// handed out as-is.
-    Materialized(VecDeque<Chunk>),
-    /// The root projection runs lazily over its input's chunks as the
-    /// consumer pulls.
-    LazyProject {
-        /// Pending input chunks, in partition order.
+    /// The final pipeline's chain: one morsel is processed per pull.
+    Pipeline {
+        chain: Box<PreparedChain>,
+        morsels: Vec<Morsel>,
+        /// Next morsel to process.
+        next: usize,
+        /// Chunks produced by the current morsel, not yet handed out.
         pending: VecDeque<Chunk>,
-        /// The projection expressions.
-        exprs: Vec<OutputColumn>,
-        /// The projection input's layout (resolves column slots).
-        layout: Layout,
-        /// Plan-node id of the projection, for row accounting.
-        node_id: u32,
     },
-    /// A chunk evaluation failed; the stream is fused.
+    /// The plan root is a pipeline breaker (aggregate, sort, …): it ran to
+    /// completion at stream creation; chunks are handed out as-is.
+    Materialized(VecDeque<Chunk>),
+    /// A morsel failed; the stream is fused.
     Finished,
 }
 
@@ -66,9 +64,9 @@ impl ChunkStream {
         &self.types
     }
 
-    /// Runtime statistics recorded so far. Counts for the root operator
-    /// grow as chunks are pulled; everything below it is final once the
-    /// stream exists.
+    /// Runtime statistics recorded so far. Counts for the final pipeline's
+    /// operators grow as morsels are pulled; everything below the last
+    /// breaker is final once the stream exists.
     pub fn stats(&self) -> &ExecStats {
         &self.ctx.stats
     }
@@ -107,30 +105,31 @@ impl Iterator for ChunkStream {
 
     fn next(&mut self) -> Option<Result<Chunk>> {
         match &mut self.state {
-            StreamState::Materialized(chunks) => chunks.pop_front().map(Ok),
-            StreamState::LazyProject {
+            StreamState::Pipeline {
+                chain,
+                morsels,
+                next,
                 pending,
-                exprs,
-                layout,
-                node_id,
-            } => {
-                let chunk = pending.pop_front()?;
-                let cols: Result<Vec<_>> = exprs
-                    .iter()
-                    .map(|e| eval(&e.expr, &chunk, layout).map(Arc::new))
-                    .collect();
-                let out = cols.and_then(Chunk::new);
-                match out {
-                    Ok(projected) => {
-                        self.ctx.stats.record(*node_id, projected.rows() as u64);
-                        Some(Ok(projected))
+            } => loop {
+                if let Some(chunk) = pending.pop_front() {
+                    return Some(Ok(chunk));
+                }
+                if *next >= morsels.len() {
+                    return None;
+                }
+                let morsel = &morsels[*next];
+                *next += 1;
+                match chain.process(morsel, &self.ctx.stats) {
+                    Ok(chunks) => {
+                        pending.extend(chunks.into_iter().filter(|c| !c.is_empty()));
                     }
                     Err(e) => {
                         self.state = StreamState::Finished;
-                        Some(Err(e))
+                        return Some(Err(e));
                     }
                 }
-            }
+            },
+            StreamState::Materialized(chunks) => chunks.pop_front().map(Ok),
             StreamState::Finished => None,
         }
     }
@@ -147,26 +146,29 @@ pub fn execute_plan_stream(
     index_mode: IndexMode,
 ) -> Result<ChunkStream> {
     let ctx = ExecContext::new(catalog, dop).with_index_mode(index_mode);
-    if let PhysicalNode::Project { input, exprs } = &plan.node {
-        // Run everything below the projection, then emit lazily.
-        let data = execute(input, &ctx)?;
-        let expr_refs: Vec<&Expr> = exprs.iter().map(|e| &e.expr).collect();
-        let types = expr_types(&expr_refs, &input.layout, &data.types)?;
-        let pending: VecDeque<Chunk> = data.partitions.into_iter().flatten().collect();
+    if is_streamable(&plan.node) || matches!(plan.node, PhysicalNode::Scan { .. }) {
+        // Seal everything below the final pipeline, then pull lazily.
+        let (chain, morsels) = prepare_chain(plan, &ctx)?;
+        let types = chain.types.clone();
         Ok(ChunkStream {
             ctx,
             types,
-            state: StreamState::LazyProject {
-                pending,
-                exprs: exprs.clone(),
-                layout: input.layout.clone(),
-                node_id: plan.id,
+            state: StreamState::Pipeline {
+                chain: Box::new(chain),
+                morsels,
+                next: 0,
+                pending: VecDeque::new(),
             },
         })
     } else {
-        let data = execute(plan, &ctx)?;
+        let data = execute_pipelined(plan, &ctx)?;
         let types = data.types.clone();
-        let pending: VecDeque<Chunk> = data.partitions.into_iter().flatten().collect();
+        let pending: VecDeque<Chunk> = data
+            .partitions
+            .into_iter()
+            .flatten()
+            .filter(|c| !c.is_empty())
+            .collect();
         Ok(ChunkStream {
             ctx,
             types,
@@ -180,8 +182,8 @@ mod tests {
     use super::*;
     use crate::executor::execute_plan_opts;
     use bfq_common::{ColumnId, TableId};
-    use bfq_expr::BinOp;
-    use bfq_plan::Distribution;
+    use bfq_expr::{BinOp, Layout};
+    use bfq_plan::{Distribution, OutputColumn};
     use bfq_storage::{Field, Schema, Table};
 
     fn fixture() -> (Arc<Catalog>, TableId) {
@@ -262,6 +264,23 @@ mod tests {
         assert_eq!(after_one, first.rows() as u64, "stats grow with pulls");
         let out = stream.gather().unwrap();
         assert_eq!(out.stats.actual(root_id), Some(6));
+    }
+
+    #[test]
+    fn dropping_a_stream_leaves_morsels_unscanned() {
+        let (catalog, base) = fixture();
+        let plan = project_plan(base);
+        let root_id = plan.id;
+        let mut stream =
+            execute_plan_stream(&plan, catalog.clone(), 2, IndexMode::default()).unwrap();
+        let _first = stream.next().unwrap().unwrap();
+        let pulled = stream.stats().actual(root_id).unwrap_or(0);
+        drop(stream);
+        // Only the pulled morsel ever ran; no background worker drained the
+        // rest behind our back, and the engine is still fully usable.
+        assert!(pulled < 6);
+        let again = execute_plan_opts(&plan, catalog, 2, IndexMode::default()).unwrap();
+        assert_eq!(again.chunk.rows(), 6);
     }
 
     #[test]

@@ -313,20 +313,33 @@ impl Expr {
         cols.is_empty()
     }
 
-    /// Infer the result type given a column-type resolver.
+    /// Infer the result type given a column-type resolver. Unbound
+    /// parameters type as `None` (use [`Expr::data_type_with`] to supply
+    /// inferred parameter types).
     pub fn data_type(&self, resolve: &dyn Fn(ColumnId) -> Option<DataType>) -> Option<DataType> {
+        self.data_type_with(resolve, &|_| None)
+    }
+
+    /// Infer the result type given a column-type resolver and a parameter
+    /// type resolver (the binder's prepare-time parameter inference).
+    pub fn data_type_with(
+        &self,
+        resolve: &dyn Fn(ColumnId) -> Option<DataType>,
+        param: &dyn Fn(u32) -> Option<DataType>,
+    ) -> Option<DataType> {
         match self {
             Expr::Column(c) => resolve(*c),
             Expr::Literal(d) => d.data_type(),
-            // An unbound parameter has no type of its own; comparisons
-            // containing one still type as Bool via the Binary arm below.
-            Expr::Param(_) => None,
+            // An unbound parameter types only through the supplied
+            // resolver; comparisons containing one still type as Bool via
+            // the Binary arm below.
+            Expr::Param(i) => param(*i),
             Expr::Binary { op, left, right } => {
                 if op.is_comparison() || op.is_logical() {
                     return Some(DataType::Bool);
                 }
-                let lt = left.data_type(resolve)?;
-                let rt = right.data_type(resolve)?;
+                let lt = left.data_type_with(resolve, param)?;
+                let rt = right.data_type_with(resolve, param)?;
                 Some(match (op, lt, rt) {
                     (BinOp::Div, _, _) => DataType::Float64,
                     (_, DataType::Float64, _) | (_, _, DataType::Float64) => DataType::Float64,
@@ -338,7 +351,7 @@ impl Expr {
             }
             Expr::Unary { op, expr } => match op {
                 UnOp::Not | UnOp::IsNull | UnOp::IsNotNull => Some(DataType::Bool),
-                UnOp::Neg => expr.data_type(resolve),
+                UnOp::Neg => expr.data_type_with(resolve, param),
             },
             Expr::Between { .. } | Expr::InList { .. } | Expr::Like { .. } => Some(DataType::Bool),
             Expr::Case {
@@ -346,8 +359,12 @@ impl Expr {
                 else_expr,
             } => branches
                 .first()
-                .and_then(|(_, v)| v.data_type(resolve))
-                .or_else(|| else_expr.as_ref().and_then(|e| e.data_type(resolve))),
+                .and_then(|(_, v)| v.data_type_with(resolve, param))
+                .or_else(|| {
+                    else_expr
+                        .as_ref()
+                        .and_then(|e| e.data_type_with(resolve, param))
+                }),
             Expr::ExtractYear(_) | Expr::ExtractMonth(_) => Some(DataType::Int64),
             Expr::Substring { .. } => Some(DataType::Utf8),
         }

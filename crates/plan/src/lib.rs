@@ -10,10 +10,15 @@
 //! * [`physical`] — executable plans: scans with Bloom-filter applications,
 //!   hash/merge/nested-loop joins with Bloom-filter builds, exchange
 //!   operators for SMP streaming, plus EXPLAIN-style formatting.
+//!
+//! [`pipeline`] decomposes physical plans into morsel-driven pipelines
+//! (streamable chains bounded by blocking operators) — the shared
+//! definition the executor, EXPLAIN output and tests all use.
 
 pub mod block;
 pub mod logical;
 pub mod physical;
+pub mod pipeline;
 
 pub use block::{BaseRel, Bindings, EquiClause, QueryBlock, RelBinding, RelKind, RelSource};
 pub use logical::{AggExpr, AggFunc, LogicalPlan, OutputColumn, SortKey};
@@ -21,3 +26,4 @@ pub use physical::{
     BloomApply, BloomBuild, Distribution, ExchangeKind, JoinAlgo, JoinKind, PhysicalNode,
     PhysicalPlan,
 };
+pub use pipeline::{blocking_children, decompose, is_streamable, streaming_child, PipelineSpec};

@@ -76,6 +76,9 @@ pub struct SortKey {
 pub enum LogicalPlan {
     /// A select-project-join block.
     Block(QueryBlock),
+    /// A single synthetic row with no columns (FROM-less selects: the
+    /// select list is evaluated once).
+    OneRow,
     /// Grouped or scalar aggregation.
     Aggregate {
         /// Input plan.
@@ -137,7 +140,7 @@ impl LogicalPlan {
     /// Visit every node depth-first (children before parents).
     pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a LogicalPlan)) {
         match self {
-            LogicalPlan::Block(_) => {}
+            LogicalPlan::Block(_) | LogicalPlan::OneRow => {}
             LogicalPlan::Aggregate { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Sort { input, .. }
@@ -163,6 +166,7 @@ impl LogicalPlan {
     pub fn label(&self) -> String {
         match self {
             LogicalPlan::Block(b) => format!("Block({} rels)", b.num_rels()),
+            LogicalPlan::OneRow => "OneRow".to_string(),
             LogicalPlan::Aggregate { group_by, aggs, .. } => {
                 format!("Aggregate(groups={}, aggs={})", group_by.len(), aggs.len())
             }

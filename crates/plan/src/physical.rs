@@ -130,6 +130,8 @@ pub struct BloomBuild {
 /// The operator variants.
 #[derive(Debug, Clone)]
 pub enum PhysicalNode {
+    /// A single synthetic row with no columns (FROM-less selects).
+    OneRow,
     /// Scan of a catalog base table.
     Scan {
         /// Catalog table holding the data.
@@ -294,7 +296,7 @@ impl PhysicalPlan {
     /// Children of this node, in execution order (inputs before the node).
     pub fn children(&self) -> Vec<&Arc<PhysicalPlan>> {
         match &self.node {
-            PhysicalNode::Scan { .. } => vec![],
+            PhysicalNode::OneRow | PhysicalNode::Scan { .. } => vec![],
             PhysicalNode::DerivedScan { input, .. }
             | PhysicalNode::Filter { input, .. }
             | PhysicalNode::Exchange { input, .. }
@@ -315,7 +317,7 @@ impl PhysicalPlan {
     pub fn with_ids(self: &Arc<Self>, next: &mut u32) -> Arc<PhysicalPlan> {
         let mut clone = (**self).clone();
         clone.node = match clone.node {
-            PhysicalNode::Scan { .. } => clone.node,
+            PhysicalNode::OneRow | PhysicalNode::Scan { .. } => clone.node,
             PhysicalNode::DerivedScan {
                 input,
                 rel_id,
@@ -462,7 +464,7 @@ impl PhysicalPlan {
                 }
             }
             PhysicalNode::ScalarSubst { pred, .. } => f(pred),
-            PhysicalNode::Exchange { .. } | PhysicalNode::Limit { .. } => {}
+            PhysicalNode::OneRow | PhysicalNode::Exchange { .. } | PhysicalNode::Limit { .. } => {}
         }
     }
 
@@ -483,6 +485,7 @@ impl PhysicalPlan {
         let mut clone = (**self).clone();
         let opt = |e: &Option<Expr>| e.as_ref().map(rewrite);
         clone.node = match &self.node {
+            PhysicalNode::OneRow => PhysicalNode::OneRow,
             PhysicalNode::Scan {
                 base,
                 rel_id,
@@ -643,6 +646,7 @@ impl PhysicalPlan {
     /// Operator name for display.
     pub fn op_name(&self) -> String {
         match &self.node {
+            PhysicalNode::OneRow => "OneRow".into(),
             PhysicalNode::Scan { alias, blooms, .. } => {
                 if blooms.is_empty() {
                     format!("Scan {alias}")

@@ -1,8 +1,10 @@
 //! Name resolution and lowering of parsed SQL to logical plans.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bfq_catalog::{Catalog, ColumnStats, TableStats};
+use bfq_common::DataType;
 use bfq_common::{date, BfqError, ColumnId, Datum, Result, TableId};
 use bfq_expr::{BinOp, Expr, UnOp};
 use bfq_plan::{
@@ -25,12 +27,18 @@ pub struct BoundQuery {
     pub param_count: usize,
 }
 
+/// The documented default type of a `?` / `$n` parameter whose type no
+/// surrounding expression determines (e.g. a bare `select ?`): callers who
+/// want another type can always add context (`? + 0.0`, `where col = ?`).
+pub const DEFAULT_PARAM_TYPE: DataType = DataType::Int64;
+
 /// Bind a parsed statement against a catalog.
 pub fn bind(stmt: &SelectStmt, catalog: &Catalog, bindings: &mut Bindings) -> Result<BoundQuery> {
     let mut binder = Binder {
         catalog,
         bindings,
         max_param: None,
+        param_types: HashMap::new(),
     };
     let (plan, names, _schema) = binder.bind_select(stmt)?;
     Ok(BoundQuery {
@@ -124,6 +132,13 @@ struct Binder<'a> {
     bindings: &'a mut Bindings,
     /// Highest parameter index seen anywhere in the statement.
     max_param: Option<u32>,
+    /// Prepare-time parameter type inference: types learned from the
+    /// expressions surrounding each `Expr::Param` (a comparison or
+    /// arithmetic against a typed operand, a BETWEEN bound, an IN list, a
+    /// LIKE operand). Positions no context determines fall back to
+    /// [`DEFAULT_PARAM_TYPE`]; conflicting uses of one parameter are a
+    /// bind error.
+    param_types: HashMap<u32, DataType>,
 }
 
 /// Work-in-progress block state while binding a SELECT.
@@ -155,6 +170,9 @@ impl Binder<'_> {
 
         // WHERE.
         if let Some(w) = &stmt.where_clause {
+            if stmt.from.is_empty() {
+                return Err(BfqError::Bind("WHERE requires a FROM clause".into()));
+            }
             for conjunct in w.clone().conjuncts() {
                 self.bind_where_conjunct(conjunct, &mut bb)?;
             }
@@ -168,8 +186,13 @@ impl Binder<'_> {
                 .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
             || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
 
-        // Base input: the block plus any scalar-subquery filters.
-        let mut input = LogicalPlan::Block(bb.block.clone());
+        // Base input: the block (or a single synthetic row for FROM-less
+        // selects) plus any scalar-subquery filters.
+        let mut input = if stmt.from.is_empty() {
+            LogicalPlan::OneRow
+        } else {
+            LogicalPlan::Block(bb.block.clone())
+        };
         for (sub, pred, placeholder) in std::mem::take(&mut bb.scalar_filters) {
             input = LogicalPlan::ScalarFilter {
                 input: Box::new(input),
@@ -252,6 +275,7 @@ impl Binder<'_> {
                     } else {
                         let mut sink = Some(&mut collector);
                         let bound = self.bind_expr(&conj, &scope, &mut sink)?;
+                        self.infer_params(&bound)?;
                         having_parts.push(replace_subtrees(&bound, &group_map));
                     }
                 }
@@ -262,17 +286,18 @@ impl Binder<'_> {
             let mut fields = Vec::new();
             let mut col_stats = Vec::new();
             for (g, out) in group_exprs.iter().zip(&group_outputs) {
-                let t = g
-                    .data_type(&|c| self.resolve_type(c))
+                self.infer_params(g)?;
+                let t = self
+                    .expr_type(g)
                     .ok_or_else(|| BfqError::Bind(format!("cannot type group expression {g}")))?;
                 fields.push(Field::new(out.name.clone(), t));
                 col_stats.push(self.stats_for_expr(g));
             }
             for a in &collector.aggs {
-                let arg_t = a
-                    .arg
-                    .as_ref()
-                    .and_then(|e| e.data_type(&|c| self.resolve_type(c)));
+                if let Some(arg) = &a.arg {
+                    self.infer_params(arg)?;
+                }
+                let arg_t = a.arg.as_ref().and_then(|e| self.expr_type(e));
                 fields.push(Field::new(a.func.name(), agg_type(a.func, arg_t)));
                 col_stats.push(ColumnStats::unknown());
             }
@@ -403,9 +428,12 @@ impl Binder<'_> {
         let mut fields = Vec::new();
         let mut col_stats = Vec::new();
         let mut outputs = Vec::new();
+        for e in &exprs {
+            self.infer_params(e)?;
+        }
         for (i, (e, name)) in exprs.into_iter().zip(names).enumerate() {
-            let t = e
-                .data_type(&|c| self.resolve_type(c))
+            let t = self
+                .expr_type(&e)
                 .ok_or_else(|| BfqError::Bind(format!("cannot type select expression {e}")))?;
             fields.push(Field::new(name.clone(), t));
             col_stats.push(self.stats_for_expr(&e));
@@ -435,6 +463,128 @@ impl Binder<'_> {
             .ok()
             .and_then(|b| b.schema.fields().get(c.index as usize))
             .map(|f| f.data_type)
+    }
+
+    /// The type of an expression with inferred (or defaulted) parameter
+    /// types — what the binder uses to build output schemas.
+    fn expr_type(&self, e: &Expr) -> Option<DataType> {
+        e.data_type_with(&|c| self.resolve_type(c), &|i| {
+            Some(
+                self.param_types
+                    .get(&i)
+                    .copied()
+                    .unwrap_or(DEFAULT_PARAM_TYPE),
+            )
+        })
+    }
+
+    /// The type of an expression during inference: parameters with no
+    /// constraint yet stay untyped so they never constrain each other
+    /// through the default.
+    fn expr_type_strict(&self, e: &Expr) -> Option<DataType> {
+        e.data_type_with(&|c| self.resolve_type(c), &|i| {
+            self.param_types.get(&i).copied()
+        })
+    }
+
+    /// Record an inferred type for parameter `i`, erroring on conflict —
+    /// the one genuinely untypeable shape (`$1` used as both a number and
+    /// a string has no consistent binding).
+    fn constrain_param(&mut self, i: u32, t: DataType) -> Result<()> {
+        match self.param_types.get(&i) {
+            None => {
+                self.param_types.insert(i, t);
+                Ok(())
+            }
+            Some(prev) if *prev == t => Ok(()),
+            Some(prev) => Err(BfqError::Bind(format!(
+                "parameter ${} is used with conflicting types {prev:?} and {t:?}",
+                i + 1
+            ))),
+        }
+    }
+
+    /// Walk a bound expression, inferring parameter types from context:
+    /// the other operand of a comparison or arithmetic op, the tested
+    /// expression of BETWEEN/IN, the string operand of LIKE.
+    fn infer_params(&mut self, e: &Expr) -> Result<()> {
+        match e {
+            Expr::Binary { left, right, .. } => {
+                if let Expr::Param(i) = left.as_ref() {
+                    if let Some(t) = self.expr_type_strict(right) {
+                        self.constrain_param(*i, t)?;
+                    }
+                }
+                if let Expr::Param(i) = right.as_ref() {
+                    if let Some(t) = self.expr_type_strict(left) {
+                        self.constrain_param(*i, t)?;
+                    }
+                }
+                self.infer_params(left)?;
+                self.infer_params(right)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                if let Some(t) = self.expr_type_strict(expr) {
+                    for bound in [low.as_ref(), high.as_ref()] {
+                        if let Expr::Param(i) = bound {
+                            self.constrain_param(*i, t)?;
+                        }
+                    }
+                }
+                self.infer_params(expr)?;
+                self.infer_params(low)?;
+                self.infer_params(high)
+            }
+            Expr::InList { expr, list, .. } => {
+                if let Some(t) = self.expr_type_strict(expr) {
+                    for item in list {
+                        if let Expr::Param(i) = item {
+                            self.constrain_param(*i, t)?;
+                        }
+                    }
+                }
+                self.infer_params(expr)?;
+                for item in list {
+                    self.infer_params(item)?;
+                }
+                Ok(())
+            }
+            Expr::Like { expr, .. } => {
+                if let Expr::Param(i) = expr.as_ref() {
+                    self.constrain_param(*i, DataType::Utf8)?;
+                }
+                self.infer_params(expr)
+            }
+            Expr::Unary { expr, .. } => self.infer_params(expr),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    self.infer_params(c)?;
+                    self.infer_params(v)?;
+                }
+                if let Some(e) = else_expr {
+                    self.infer_params(e)?;
+                }
+                Ok(())
+            }
+            Expr::ExtractYear(inner) | Expr::ExtractMonth(inner) => {
+                if let Expr::Param(i) = inner.as_ref() {
+                    self.constrain_param(*i, DataType::Date)?;
+                }
+                self.infer_params(inner)
+            }
+            Expr::Substring { expr, .. } => {
+                if let Expr::Param(i) = expr.as_ref() {
+                    self.constrain_param(*i, DataType::Utf8)?;
+                }
+                self.infer_params(expr)
+            }
+            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) => Ok(()),
+        }
     }
 
     fn stats_for_expr(&self, e: &Expr) -> ColumnStats {
@@ -611,6 +761,7 @@ impl Binder<'_> {
         } else {
             Expr::binary(ast_op, other, Expr::col(placeholder))
         };
+        self.infer_params(&pred)?;
         Ok(Some((sub_plan, pred, placeholder)))
     }
 
@@ -718,6 +869,7 @@ impl Binder<'_> {
     }
 
     fn add_join_condition(&mut self, bound: Expr, bb: &mut BlockBuilder) -> Result<()> {
+        self.infer_params(&bound)?;
         let mut rels = Vec::new();
         for col in bound.columns() {
             if let Some(o) = bb.rel_ordinal(col.table) {

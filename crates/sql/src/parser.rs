@@ -178,10 +178,14 @@ impl Parser {
                 break;
             }
         }
-        self.expect_kw("from")?;
-        let mut from = vec![self.table_ref()?];
-        while self.accept_symbol(",") {
+        // FROM is optional: `select 1` / `select ?` evaluate the select
+        // list over a single synthetic row.
+        let mut from = Vec::new();
+        if self.accept_kw("from") {
             from.push(self.table_ref()?);
+            while self.accept_symbol(",") {
+                from.push(self.table_ref()?);
+            }
         }
         let where_clause = if self.accept_kw("where") {
             Some(self.expr()?)
@@ -893,8 +897,18 @@ mod tests {
     #[test]
     fn parse_errors_are_reported() {
         assert!(parse_select("select").is_err());
-        assert!(parse_select("select a").is_err()); // missing FROM
         assert!(parse_select("select a from t where").is_err());
         assert!(parse_select("select a from t extra_tokens +").is_err());
+    }
+
+    #[test]
+    fn from_less_select_parses() {
+        // FROM is optional: the select list evaluates over one synthetic row.
+        let q = parse_select("select 1").unwrap();
+        assert!(q.from.is_empty());
+        assert_eq!(q.items.len(), 1);
+        let q = parse_select("select ?, 2 + 3").unwrap();
+        assert!(q.from.is_empty());
+        assert_eq!(q.items.len(), 2);
     }
 }

@@ -145,16 +145,15 @@ impl Connection {
 
     /// Run a parameter-free statement to completion (plan-cache aware).
     ///
-    /// Uses the eager executor, which evaluates the final projection
-    /// partition-parallel; [`Connection::execute_stream`] trades that for
-    /// incremental chunk delivery. Both produce identical rows in
-    /// identical order.
+    /// Executes on the morsel-driven pipeline executor;
+    /// [`Connection::execute_stream`] delivers the identical rows (same
+    /// order) incrementally instead of gathered.
     pub fn run_sql(&self, sql: &str) -> Result<QueryResult> {
         let optimizer = self.effective_config();
-        let (cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
-        let out = bfq_exec::execute_plan_opts(
+        let (catalog, cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
+        let out = bfq_exec::execute_plan_pipelined(
             &cached.optimized.plan,
-            self.engine.catalog().clone(),
+            catalog,
             optimizer.dop,
             optimizer.index_mode,
         )?;
@@ -170,10 +169,10 @@ impl Connection {
     /// Run a parameter-free statement, returning results incrementally.
     pub fn execute_stream(&self, sql: &str) -> Result<QueryStream> {
         let optimizer = self.effective_config();
-        let (cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
+        let (catalog, cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
         let stream = execute_plan_stream(
             &cached.optimized.plan,
-            self.engine.catalog().clone(),
+            catalog,
             optimizer.dop,
             optimizer.index_mode,
         )?;
@@ -185,28 +184,35 @@ impl Connection {
         })
     }
 
+    #[allow(clippy::type_complexity)]
     fn plan_parameter_free(
         &self,
         sql: &str,
         optimizer: &OptimizerConfig,
-    ) -> Result<(std::sync::Arc<bfq_core::CachedPlan>, bool)> {
-        let (cached, cache_hit) = self.engine.plan_statement(sql, optimizer)?;
+    ) -> Result<(
+        std::sync::Arc<bfq_catalog::Catalog>,
+        std::sync::Arc<bfq_core::CachedPlan>,
+        bool,
+    )> {
+        let (catalog, cached, cache_hit) = self.engine.plan_statement(sql, optimizer)?;
         if cached.param_count > 0 {
             return Err(BfqError::invalid(format!(
                 "statement has {} parameter(s); use prepare() and bind()",
                 cached.param_count
             )));
         }
-        Ok((cached, cache_hit))
+        Ok((catalog, cached, cache_hit))
     }
 
     /// Prepare a statement (with optional `?` / `$n` placeholders) for
-    /// repeated execution: parsed, bound and optimized once.
+    /// repeated execution: parsed, bound and optimized once. The statement
+    /// pins the catalog snapshot it was planned against.
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
         let optimizer = self.effective_config();
-        let (cached, cache_hit) = self.engine.plan_statement(sql, &optimizer)?;
+        let (catalog, cached, cache_hit) = self.engine.plan_statement(sql, &optimizer)?;
         Ok(PreparedStatement::new(
             self.engine.clone(),
+            catalog,
             optimizer,
             cached,
             cache_hit,
@@ -217,14 +223,10 @@ impl Connection {
     /// experiments where each run must pay the full optimization cost.
     pub fn plan_sql_only(&self, sql: &str) -> Result<OptimizedQuery> {
         let optimizer = self.effective_config();
+        let catalog = self.engine.catalog();
         let mut bindings = Bindings::new();
-        let bound = plan_sql(sql, self.engine.catalog(), &mut bindings)?;
-        bfq_core::optimize(
-            &bound.plan,
-            &mut bindings,
-            self.engine.catalog(),
-            &optimizer,
-        )
+        let bound = plan_sql(sql, &catalog, &mut bindings)?;
+        bfq_core::optimize(&bound.plan, &mut bindings, &catalog, &optimizer)
     }
 }
 

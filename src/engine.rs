@@ -15,13 +15,14 @@
 use std::sync::Arc;
 
 use bfq_catalog::Catalog;
-use bfq_common::Result;
+use bfq_common::{Result, TableId};
 use bfq_core::{optimize, CachedPlan, OptimizedQuery, OptimizerConfig, PlanCache, PlanCacheStats};
 use bfq_exec::ExecStats;
 use bfq_plan::{Bindings, PhysicalNode};
 use bfq_sql::{normalize_sql, plan_sql};
-use bfq_storage::Chunk;
+use bfq_storage::{Chunk, Table};
 use bfq_tpch::TpchDb;
+use parking_lot::RwLock;
 
 use crate::connection::Connection;
 
@@ -106,12 +107,14 @@ impl QueryResult {
                     if p.skipped() > 0 {
                         prune_lines.push(format!(
                             "  {alias}: {}/{} chunks skipped \
-                             (zonemap {}, bloom {}, filterkeys {}), {} rows pruned",
+                             (zonemap {}, bloom {}, filterkeys {}, filtersummary {}), \
+                             {} rows pruned",
                             p.skipped(),
                             p.chunks,
                             p.skipped_zonemap,
                             p.skipped_bloom,
                             p.skipped_rfilter,
+                            p.skipped_rfsummary,
                             p.rows_pruned
                         ));
                     }
@@ -138,7 +141,15 @@ impl QueryResult {
 /// client.
 #[derive(Debug)]
 pub struct Engine {
-    catalog: Arc<Catalog>,
+    /// The current catalog snapshot. Mutation
+    /// ([`Engine::register_table`] / [`Engine::replace_table`]) swaps in a
+    /// new snapshot; in-flight queries keep executing against the `Arc`
+    /// they already cloned.
+    catalog: RwLock<Arc<Catalog>>,
+    /// Serializes catalog mutators so the expensive rebuild (statistics +
+    /// per-chunk indexes) happens outside the `catalog` lock without two
+    /// mutators losing each other's updates.
+    mutation: parking_lot::Mutex<()>,
     config: EngineConfig,
     cache: PlanCache,
 }
@@ -153,7 +164,8 @@ impl Engine {
     pub fn over_catalog(catalog: Arc<Catalog>, config: EngineConfig) -> Arc<Engine> {
         let cache = PlanCache::with_capacity(config.plan_cache_capacity);
         Arc::new(Engine {
-            catalog,
+            catalog: RwLock::new(catalog),
+            mutation: parking_lot::Mutex::new(()),
             config,
             cache,
         })
@@ -164,9 +176,40 @@ impl Engine {
         Connection::new(self.clone())
     }
 
-    /// The catalog.
-    pub fn catalog(&self) -> &Arc<Catalog> {
-        &self.catalog
+    /// The current catalog snapshot.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.catalog.read().clone()
+    }
+
+    /// Register a new table, making it visible to subsequent queries.
+    ///
+    /// The plan cache is invalidated (and every cache key carries the
+    /// catalog version besides), so no statement can keep executing a plan
+    /// optimized against the previous catalog.
+    pub fn register_table(&self, table: Table, unique_columns: Vec<u32>) -> Result<TableId> {
+        self.mutate_catalog(|catalog| catalog.register(table, unique_columns))
+    }
+
+    /// Replace a registered table's data (same name, same id), refreshing
+    /// statistics and per-chunk indexes, and invalidating the plan cache.
+    pub fn replace_table(&self, table: Table, unique_columns: Vec<u32>) -> Result<TableId> {
+        self.mutate_catalog(|catalog| catalog.replace(table, unique_columns))
+    }
+
+    fn mutate_catalog<T>(&self, f: impl FnOnce(&mut Catalog) -> Result<T>) -> Result<T> {
+        // Serialize mutators, but do the expensive part (statistics and
+        // per-chunk index rebuilds inside `f`) on a private copy with no
+        // catalog lock held — concurrent planning keeps reading the old
+        // snapshot. Copy-on-write: queries already holding the old Arc are
+        // undisturbed either way.
+        let _mutators = self.mutation.lock();
+        let mut next = (**self.catalog.read()).clone();
+        let out = f(&mut next)?;
+        *self.catalog.write() = Arc::new(next);
+        // Belt and braces: the version in the cache key already isolates
+        // old plans, but they can never be reached again — drop them now.
+        self.clear_plan_cache();
+        Ok(out)
     }
 
     /// The engine-wide configuration.
@@ -186,26 +229,32 @@ impl Engine {
     }
 
     /// Parse, bind and optimize `sql` under `optimizer`, consulting the
-    /// shared plan cache first. Returns the (possibly still parameterized)
-    /// plan and whether it was a cache hit.
+    /// shared plan cache first. Returns the catalog snapshot the plan was
+    /// made against, the (possibly still parameterized) plan, and whether
+    /// it was a cache hit.
+    ///
+    /// The cache key includes [`Catalog::version`], so registering or
+    /// replacing a table can never serve a stale plan.
     pub(crate) fn plan_statement(
         &self,
         sql: &str,
         optimizer: &OptimizerConfig,
-    ) -> Result<(Arc<CachedPlan>, bool)> {
-        let key = PlanCache::key(&normalize_sql(sql)?, &optimizer.cache_fingerprint());
+    ) -> Result<(Arc<Catalog>, Arc<CachedPlan>, bool)> {
+        let catalog = self.catalog();
+        let config_key = format!("v{}:{}", catalog.version(), optimizer.cache_fingerprint());
+        let key = PlanCache::key(&normalize_sql(sql)?, &config_key);
         if let Some(hit) = self.cache.get(&key) {
-            return Ok((hit, true));
+            return Ok((catalog, hit, true));
         }
         let mut bindings = Bindings::new();
-        let bound = plan_sql(sql, &self.catalog, &mut bindings)?;
-        let optimized = optimize(&bound.plan, &mut bindings, &self.catalog, optimizer)?;
+        let bound = plan_sql(sql, &catalog, &mut bindings)?;
+        let optimized = optimize(&bound.plan, &mut bindings, &catalog, optimizer)?;
         let cached = Arc::new(CachedPlan {
             optimized,
             output_names: bound.output_names,
             param_count: bound.param_count,
         });
         self.cache.insert(key, cached.clone());
-        Ok((cached, false))
+        Ok((catalog, cached, false))
     }
 }

@@ -60,8 +60,8 @@ impl Session {
         }
     }
 
-    /// The catalog.
-    pub fn catalog(&self) -> &Arc<Catalog> {
+    /// The catalog (current snapshot).
+    pub fn catalog(&self) -> Arc<Catalog> {
         self.conn.engine().catalog()
     }
 

@@ -13,9 +13,10 @@
 
 use std::sync::Arc;
 
+use bfq_catalog::Catalog;
 use bfq_common::{BfqError, Datum, Result};
 use bfq_core::{CachedPlan, OptimizedQuery, OptimizerConfig};
-use bfq_exec::execute_plan_stream;
+use bfq_exec::{execute_plan_pipelined, execute_plan_stream};
 use bfq_plan::PhysicalPlan;
 
 use crate::connection::QueryStream;
@@ -27,6 +28,10 @@ use crate::engine::{Engine, QueryResult};
 #[derive(Debug, Clone)]
 pub struct PreparedStatement {
     engine: Arc<Engine>,
+    /// The catalog snapshot the plan was optimized against. Executing
+    /// against this snapshot keeps plan and data consistent even if the
+    /// engine's catalog is mutated after prepare.
+    catalog: Arc<Catalog>,
     optimizer: OptimizerConfig,
     cached: Arc<CachedPlan>,
     cache_hit: bool,
@@ -35,16 +40,23 @@ pub struct PreparedStatement {
 impl PreparedStatement {
     pub(crate) fn new(
         engine: Arc<Engine>,
+        catalog: Arc<Catalog>,
         optimizer: OptimizerConfig,
         cached: Arc<CachedPlan>,
         cache_hit: bool,
     ) -> PreparedStatement {
         PreparedStatement {
             engine,
+            catalog,
             optimizer,
             cached,
             cache_hit,
         }
+    }
+
+    /// The shared engine this statement was prepared on.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
     }
 
     /// Number of parameter values [`PreparedStatement::bind`] expects.
@@ -122,9 +134,9 @@ impl BoundStatement {
     /// run here (use [`PreparedStatement::from_cache`] for the
     /// prepare-time cache outcome).
     pub fn execute(&self) -> Result<QueryResult> {
-        let out = bfq_exec::execute_plan_opts(
+        let out = execute_plan_pipelined(
             &self.plan,
-            self.stmt.engine.catalog().clone(),
+            self.stmt.catalog.clone(),
             self.stmt.optimizer.dop,
             self.stmt.optimizer.index_mode,
         )?;
@@ -142,7 +154,7 @@ impl BoundStatement {
     pub fn execute_stream(&self) -> Result<QueryStream> {
         let stream = execute_plan_stream(
             &self.plan,
-            self.stmt.engine.catalog().clone(),
+            self.stmt.catalog.clone(),
             self.stmt.optimizer.dop,
             self.stmt.optimizer.index_mode,
         )?;

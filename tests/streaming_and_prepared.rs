@@ -207,3 +207,94 @@ fn cache_normalizes_whitespace_and_case() {
     assert!(b.cache_hit, "normalized statements share one plan");
     assert_eq!(rows_of(&a.chunk), rows_of(&b.chunk));
 }
+
+#[test]
+fn parameters_bind_without_type_context() {
+    // Regression: `?` used to fail to bind wherever the binder had no type
+    // context. Prepare-time inference now types parameters from their
+    // surroundings, with a documented Int64 default for bare positions.
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let engine = Engine::new(db, EngineConfig::default());
+    let conn = engine.connect();
+
+    // Bare `select ?`: the documented Int64 default.
+    let stmt = conn.prepare("select ?").expect("bare param binds");
+    assert_eq!(stmt.param_count(), 1);
+    let out = stmt.execute(&[Datum::Int(7)]).expect("execute");
+    assert_eq!(rows_of(&out.chunk), vec![vec!["7".to_string()]]);
+
+    // Arithmetic context: `? + 1` types through the other operand.
+    let stmt = conn.prepare("select ? + 1").expect("arith param binds");
+    let out = stmt.execute(&[Datum::Int(41)]).expect("execute");
+    assert_eq!(rows_of(&out.chunk), vec![vec!["42".to_string()]]);
+
+    // Comparison context against a column.
+    let stmt = conn
+        .prepare("select count(*) from region where r_regionkey = ?")
+        .expect("where col = ? binds");
+    let hit = stmt.execute(&[Datum::Int(1)]).expect("execute");
+    let miss = stmt.execute(&[Datum::Int(999)]).expect("execute");
+    assert_eq!(rows_of(&hit.chunk), vec![vec!["1".to_string()]]);
+    assert_eq!(rows_of(&miss.chunk), vec![vec!["0".to_string()]]);
+
+    // One parameter used with two irreconcilable types is the clear
+    // bind error (not a silent guess).
+    let err = conn
+        .prepare("select count(*) from region where r_regionkey = $1 and r_name = $1")
+        .expect_err("conflicting parameter types must not bind");
+    let msg = err.to_string();
+    assert!(msg.contains("conflicting types"), "unexpected error: {msg}");
+}
+
+#[test]
+fn plan_cache_invalidates_on_catalog_mutation() {
+    use bfq::storage::{Column, Field, Schema, Table};
+
+    let make_table = |keys: &[i64]| {
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let chunk = Chunk::new(vec![Arc::new(Column::Int64(keys.to_vec(), None))]).unwrap();
+        Table::new("t", schema, vec![chunk]).unwrap()
+    };
+
+    let engine = Engine::over_catalog(
+        Arc::new(bfq::catalog::Catalog::new()),
+        EngineConfig::default(),
+    );
+    engine
+        .register_table(make_table(&[1, 2, 3]), vec![0])
+        .unwrap();
+    let conn = engine.connect();
+
+    let first = conn.run_sql("select count(*) from t").unwrap();
+    assert!(!first.cache_hit);
+    assert_eq!(rows_of(&first.chunk), vec![vec!["3".to_string()]]);
+    let again = conn.run_sql("select count(*) from t").unwrap();
+    assert!(again.cache_hit, "repeat under unchanged catalog hits");
+
+    // Replacing the table bumps the catalog version and clears the cache:
+    // the same SQL re-plans and sees the new data — never a stale plan.
+    engine
+        .replace_table(make_table(&[10, 20, 30, 40, 50]), vec![0])
+        .unwrap();
+    let after = conn.run_sql("select count(*) from t").unwrap();
+    assert!(!after.cache_hit, "mutation must invalidate the cached plan");
+    assert_eq!(rows_of(&after.chunk), vec![vec!["5".to_string()]]);
+
+    // Registering a *new* table invalidates too (its name may shadow
+    // nothing, but statistics-driven plans are stale all the same).
+    engine
+        .register_table(
+            {
+                let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+                let chunk = Chunk::new(vec![Arc::new(Column::Int64(vec![9], None))]).unwrap();
+                Table::new("u", schema, vec![chunk]).unwrap()
+            },
+            vec![],
+        )
+        .unwrap();
+    let third = conn.run_sql("select count(*) from t").unwrap();
+    assert!(!third.cache_hit, "register must invalidate cached plans");
+    // And the new table is immediately queryable.
+    let u = conn.run_sql("select count(*) from u").unwrap();
+    assert_eq!(rows_of(&u.chunk), vec![vec!["1".to_string()]]);
+}
