@@ -62,6 +62,7 @@ fn bench_strategies(c: &mut Criterion) {
                     strat,
                     black_box(&threads),
                     (per_thread * 4) as usize,
+                    bfq_bloom::BloomLayout::Standard,
                 ))
             })
         });

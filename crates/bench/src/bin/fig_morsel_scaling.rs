@@ -11,32 +11,13 @@
 //! reported as a gated 0/1 structural metric, since the exact peak varies
 //! with worker timing.
 
-use bfq_bench::harness::{measure_query, BenchEnv, JsonReport};
+use bfq_bench::harness::{measure_query, result_checksum, BenchEnv, JsonReport};
 use bfq_core::BloomMode;
 use bfq_exec::{execute_plan_opts, execute_plan_pipelined};
-use bfq_storage::Chunk;
 use bfq_tpch::query_text;
 
 const QUERIES: [usize; 3] = [1, 6, 12];
 const DOPS: [usize; 3] = [1, 4, 16];
-
-/// FNV-1a over the formatted rows of a chunk — deterministic for a fixed
-/// generator seed, and identical between the two executors at the same dop
-/// because their rows are bit-identical. (Across *different* dop settings
-/// float aggregation order legitimately changes, so checksums are recorded
-/// and gated per dop.)
-fn checksum(chunk: &Chunk) -> u32 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for i in 0..chunk.rows() {
-        for d in chunk.row(i) {
-            for b in format!("{d:?}|").bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-    }
-    (h >> 32) as u32 ^ h as u32
-}
 
 fn main() {
     let env = BenchEnv::load();
@@ -84,11 +65,11 @@ fn main() {
 
             // Correctness gate: bit-identical rows.
             assert_eq!(
-                checksum(&eager.chunk),
-                checksum(&measured.chunk),
+                result_checksum(&eager.chunk),
+                result_checksum(&measured.chunk),
                 "Q{q} dop={dop}: morsel pipeline diverges from eager"
             );
-            dop_checksum += checksum(&eager.chunk) as u64;
+            dop_checksum += result_checksum(&eager.chunk) as u64;
 
             // Memory gate: one fresh pipelined run for the peak gauge.
             let morsel = execute_plan_pipelined(plan, catalog.clone(), dop, config.index_mode)

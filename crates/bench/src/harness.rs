@@ -5,8 +5,8 @@ use std::time::Instant;
 
 use bfq_catalog::Catalog;
 use bfq_common::Result;
-use bfq_core::{optimize, BloomMode, IndexMode, OptimizedQuery, OptimizerConfig};
-use bfq_exec::{execute_plan_pipelined, ExecStats};
+use bfq_core::{optimize, BloomLayout, BloomMode, IndexMode, OptimizedQuery, OptimizerConfig};
+use bfq_exec::{execute_plan_pipelined_cfg, ExecOptions, ExecStats};
 use bfq_plan::Bindings;
 use bfq_sql::plan_sql;
 use bfq_storage::Chunk;
@@ -28,6 +28,9 @@ pub struct BenchEnv {
     /// Data-skipping index mode (`BFQ_INDEX_MODE`: `off` | `zonemap` |
     /// `zonemap+bloom`; default `zonemap+bloom`).
     pub index_mode: IndexMode,
+    /// Bloom filter bit-placement layout (`BFQ_BLOOM_LAYOUT`: `standard` |
+    /// `blocked`; default `standard`).
+    pub bloom_layout: BloomLayout,
 }
 
 impl BenchEnv {
@@ -50,6 +53,10 @@ impl BenchEnv {
                 Ok(v) => v.parse().expect("BFQ_INDEX_MODE"),
                 Err(_) => IndexMode::default(),
             },
+            bloom_layout: match std::env::var("BFQ_BLOOM_LAYOUT") {
+                Ok(v) => v.parse().expect("BFQ_BLOOM_LAYOUT"),
+                Err(_) => BloomLayout::default(),
+            },
         }
     }
 
@@ -71,6 +78,7 @@ impl BenchEnv {
         c.bf_min_apply_rows = (10_000.0 * self.sf).clamp(50.0, 10_000.0);
         c.bf_max_build_ndv = 2_000_000.0;
         c.index_mode = self.index_mode;
+        c.bloom_layout = self.bloom_layout;
         c
     }
 }
@@ -107,11 +115,14 @@ pub fn measure_query(
     let timed_runs = runs.saturating_sub(1).max(1);
     for i in 0..runs.max(2) {
         let t = Instant::now();
-        let out = execute_plan_pipelined(
+        let out = execute_plan_pipelined_cfg(
             &planned.plan,
             catalog.clone(),
-            config.dop,
-            config.index_mode,
+            ExecOptions {
+                dop: config.dop,
+                index_mode: config.index_mode,
+                bloom_layout: config.bloom_layout,
+            },
         )?;
         let ms = t.elapsed().as_secs_f64() * 1e3;
         if i > 0 {
@@ -169,6 +180,21 @@ pub fn filters_in_plan(m: &Measured) -> usize {
         }
     });
     n
+}
+
+/// FNV-1a over the debug rendering of every result row — the shared
+/// result-correctness checksum the experiment bins gate exactly in CI.
+pub fn result_checksum(chunk: &Chunk) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..chunk.rows() {
+        for d in chunk.row(i) {
+            for b in format!("{d:?}|").bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    (h >> 32) as u32 ^ h as u32
 }
 
 /// Run `f` once and return `(result, elapsed_millis)`.

@@ -1,0 +1,136 @@
+//! Cache-line-blocked bit placement.
+//!
+//! The standard layout spreads a key's two bits uniformly over the whole
+//! bit array, so every probe of a filter larger than cache pays **two**
+//! independent memory stalls. The blocked layout (Putze et al.,
+//! *Cache-, Hash- and Space-Efficient Bloom Filters*; the Parquet
+//! split-block filter) confines both bits to one 512-bit block — one
+//! cache line — chosen by the key's hash, so a probe is one load-miss
+//! followed by register-resident bit tests.
+//!
+//! Everything derives from a **single** 64-bit key hash `h`:
+//!
+//! * the block index via multiply-shift range reduction on the high 32
+//!   bits (`(h >> 32) * nblocks >> 32` — unbiased for any block count);
+//! * the two in-block bit positions from the low 32 bits via two distinct
+//!   odd multipliers, taking the top `log2(512) = 9` product bits (a
+//!   2-universal multiply-shift family, independent of the block choice).
+//!
+//! Needing only one hash per key is half the hashing work of the standard
+//! layout's two seeds; [`crate::BloomFilter::needs_second_hash`] lets
+//! batch probe paths skip computing the second hash column entirely.
+//!
+//! The price is block-local collisions: block loads vary
+//! (Poisson-distributed), overfull blocks answer misses positively more
+//! often, and the two derived positions coincide for 1/512 of probes
+//! (effectively k = 1). [`crate::math::blocked_fpr`] quantifies the
+//! resulting FPR lift so the optimizer costs the layout it runs.
+
+/// 64-bit words per 512-bit block.
+pub const BLOCK_WORDS: usize = 8;
+
+/// Odd multiplier deriving the first in-block bit (from the SBBF salt
+/// family; any fixed odd constants work, they just must differ).
+const ODD_MULT_1: u32 = 0x47b6_137b;
+/// Odd multiplier deriving the second in-block bit.
+const ODD_MULT_2: u32 = 0x4463_6a91;
+
+/// The block a key hash routes to, of `nblocks` total.
+#[inline]
+pub fn block_of(h: u64, nblocks: usize) -> usize {
+    // Multiply-shift range reduction on the high half: unbiased, no modulo,
+    // and decorrelated from the low half that picks the in-block bits.
+    (((h >> 32) * nblocks as u64) >> 32) as usize
+}
+
+/// The two in-block bit positions (0..512) derived from a key hash.
+#[inline]
+pub fn bits_of(h: u64) -> (usize, usize) {
+    let low = h as u32;
+    let b1 = (low.wrapping_mul(ODD_MULT_1) >> 23) as usize;
+    let b2 = (low.wrapping_mul(ODD_MULT_2) >> 23) as usize;
+    (b1, b2)
+}
+
+/// Set a key's two bits in its block of `words` (`words.len()` must be a
+/// multiple of [`BLOCK_WORDS`]).
+#[inline]
+pub fn insert(words: &mut [u64], nblocks: usize, h: u64) {
+    let base = block_of(h, nblocks) * BLOCK_WORDS;
+    let (b1, b2) = bits_of(h);
+    words[base + b1 / 64] |= 1u64 << (b1 % 64);
+    words[base + b2 / 64] |= 1u64 << (b2 % 64);
+}
+
+/// Test a key's two bits within its block.
+#[inline]
+pub fn contains(words: &[u64], nblocks: usize, h: u64) -> bool {
+    let (blocks, rest) = words.as_chunks::<BLOCK_WORDS>();
+    debug_assert!(rest.is_empty() && blocks.len() == nblocks);
+    contains_blocks(blocks, h)
+}
+
+/// Test a key against the filter viewed as an array of 8-word blocks.
+///
+/// This is the probe kernel the batched paths monomorphize around: typing
+/// the block as `[u64; 8]` lets the compiler prove the two in-block word
+/// indexes (9-bit positions shifted down to 0..8) in range, so the per-key
+/// work is one block lookup, three multiplies, two same-line reads and an
+/// AND — short enough that the out-of-order window keeps many consecutive
+/// keys' (single) cache misses in flight.
+#[inline]
+pub fn contains_blocks(blocks: &[[u64; BLOCK_WORDS]], h: u64) -> bool {
+    let block = &blocks[block_of(h, blocks.len())];
+    let (b1, b2) = bits_of(h);
+    // One cache line: both words live in the block loaded by the first
+    // access. `&` the tests before comparing so the pair stays branch-free.
+    let w1 = block[b1 / 64] >> (b1 % 64);
+    let w2 = block[b2 / 64] >> (b2 % 64);
+    (w1 & w2 & 1) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_routing_is_in_range_and_spread() {
+        let n = 37; // deliberately not a power of two
+        let mut counts = vec![0usize; n];
+        for k in 0..37_000u64 {
+            let h = bfq_common::hash::hash_u64(k, 0x5eed);
+            let b = block_of(h, n);
+            assert!(b < n);
+            counts[b] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "blocks badly balanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bit_positions_cover_the_block() {
+        let mut seen = [false; 512];
+        for k in 0..100_000u64 {
+            let h = bfq_common::hash::hash_u64(k, 0xbeef);
+            let (b1, b2) = bits_of(h);
+            assert!(b1 < 512 && b2 < 512);
+            seen[b1] = true;
+            seen[b2] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some in-block positions unreachable"
+        );
+    }
+
+    #[test]
+    fn insert_then_contains_never_misses() {
+        let mut words = vec![0u64; 4 * BLOCK_WORDS];
+        for k in 0..1000u64 {
+            let h = bfq_common::hash::hash_u64(k, 0x1234);
+            insert(&mut words, 4, h);
+            assert!(contains(&words, 4, h), "false negative for {k}");
+        }
+    }
+}

@@ -16,8 +16,71 @@ use bfq_common::FilterId;
 use bfq_storage::Column;
 use parking_lot::{Condvar, Mutex};
 
-use crate::filter::BloomFilter;
+use crate::filter::{BloomFilter, BLOOM_SEED_1, BLOOM_SEED_2};
 use crate::partitioned::PartitionedBloomFilter;
+
+/// Reusable buffers for batched filter probes: the per-seed hash columns
+/// plus a pair of selection vectors the executor ping-pongs between
+/// filters. One scratch lives per worker thread and is reused across every
+/// morsel it processes, so steady-state probing allocates nothing — each
+/// buffer grows to the largest chunk once and stays there.
+///
+/// [`ProbeScratch::grows`] counts capacity growths across all buffers; the
+/// executor surfaces the total so tests can assert the steady state (the
+/// count stops rising after warm-up no matter how many morsels follow).
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    h1: Vec<u64>,
+    h2: Vec<u64>,
+    /// Selection vector A (executor ping-pong; take with `std::mem::take`).
+    pub sel_a: Vec<u32>,
+    /// Selection vector B.
+    pub sel_b: Vec<u32>,
+    grows: u64,
+}
+
+impl ProbeScratch {
+    /// Empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        ProbeScratch::default()
+    }
+
+    /// How many times any buffer had to grow its capacity.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Drain the growth counter (returns the count since the last drain) —
+    /// for callers that report incrementally into shared statistics.
+    pub fn take_grows(&mut self) -> u64 {
+        std::mem::take(&mut self.grows)
+    }
+
+    /// Record an externally observed buffer growth (the executor's own
+    /// selection buffers share this scratch's accounting).
+    pub fn note_growth(&mut self) {
+        self.grows += 1;
+    }
+
+    /// Hash `col` with the filter seeds into the reusable buffers
+    /// (`h2` only when the probing filter consumes it).
+    fn hash_column(&mut self, col: &Column, needs_h2: bool) {
+        let c1 = self.h1.capacity();
+        col.hash_into(BLOOM_SEED_1, &mut self.h1);
+        if self.h1.capacity() > c1 {
+            self.grows += 1;
+        }
+        if needs_h2 {
+            let c2 = self.h2.capacity();
+            col.hash_into(BLOOM_SEED_2, &mut self.h2);
+            if self.h2.capacity() > c2 {
+                self.grows += 1;
+            }
+        } else {
+            self.h2.clear();
+        }
+    }
+}
 
 /// The filter proper: merged single or per-partition.
 #[derive(Debug, Clone)]
@@ -104,27 +167,132 @@ impl RuntimeFilter {
         self.key_summary.as_ref()
     }
 
-    /// Probe `col` rows selected by `sel`; returns the surviving selection.
-    pub fn probe(&self, col: &Column, sel: &[u32]) -> Vec<u32> {
+    /// Whether probing consumes the second key hash (standard layout only;
+    /// blocked filters derive both bits from the first hash).
+    pub fn needs_second_hash(&self) -> bool {
         match &self.core {
-            FilterCore::Single(f) => f.probe_selected(col, sel),
-            FilterCore::Partitioned(pf) => pf.probe_routed(col, sel),
+            FilterCore::Single(f) => f.needs_second_hash(),
+            FilterCore::Partitioned(pf) => pf.needs_second_hash(),
         }
+    }
+
+    /// Batched probe: hash `col` once into `scratch`, test the rows
+    /// selected by `sel` (all rows when `None`), and write survivors into
+    /// the caller-owned `out` (cleared first). Null keys never survive.
+    ///
+    /// This is the executor's hot path: one columnar hash pass per chunk
+    /// (one seed for blocked filters, two for standard) and zero
+    /// allocations once the scratch and `out` reach steady-state capacity.
+    /// When `sel` keeps only a sliver of the chunk (an upstream predicate
+    /// already did the work), hashing the whole column would cost more
+    /// than it saves — those probes take a scalar per-selected-row path
+    /// instead.
+    pub fn probe_into(
+        &self,
+        col: &Column,
+        sel: Option<&[u32]>,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<u32>,
+    ) {
+        // Columnar hashing costs ~len; scalar hashing costs ~|sel| per
+        // seed with worse per-key constants. Cross over at 1/4 density.
+        if let Some(sel) = sel {
+            if sel.len() * 4 < col.len() {
+                return self.probe_sparse(col, sel, scratch, out);
+            }
+        }
+        scratch.hash_column(col, self.needs_second_hash());
+        let cap = out.capacity();
+        match &self.core {
+            FilterCore::Single(f) => {
+                f.probe_hashes_into(&scratch.h1, &scratch.h2, col.validity(), sel, out)
+            }
+            FilterCore::Partitioned(pf) => {
+                pf.probe_routed_hashes_into(&scratch.h1, &scratch.h2, col.validity(), sel, out)
+            }
+        }
+        if out.capacity() > cap {
+            scratch.grows += 1;
+        }
+    }
+
+    /// Sparse-selection probe: hash only the selected rows, row at a time
+    /// (still allocation-free — survivors go into the caller's `out`).
+    fn probe_sparse(
+        &self,
+        col: &Column,
+        sel: &[u32],
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<u32>,
+    ) {
+        use crate::filter::{BLOOM_SEED_1, BLOOM_SEED_2};
+        let cap = out.capacity();
+        out.clear();
+        let second = self.needs_second_hash();
+        out.extend(sel.iter().copied().filter(|&i| {
+            let i = i as usize;
+            if col.is_null(i) {
+                return false;
+            }
+            let h1 = col.hash_one(i, BLOOM_SEED_1);
+            let h2 = if second {
+                col.hash_one(i, BLOOM_SEED_2)
+            } else {
+                0
+            };
+            match &self.core {
+                FilterCore::Single(f) => f.contains_hashes(h1, h2),
+                FilterCore::Partitioned(pf) => {
+                    let p = crate::partitioned::partition_of(h1, pf.partitions());
+                    pf.part(p).contains_hashes(h1, h2)
+                }
+            }
+        }));
+        if out.capacity() > cap {
+            scratch.grows += 1;
+        }
+    }
+
+    /// Batched aligned probe for partition `part` (falls back to the
+    /// routed/single probe when alignment does not apply).
+    pub fn probe_partition_into(
+        &self,
+        part: usize,
+        col: &Column,
+        sel: Option<&[u32]>,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<u32>,
+    ) {
+        match &self.core {
+            FilterCore::Partitioned(pf) if part < pf.partitions() => {
+                let f = pf.part(part);
+                scratch.hash_column(col, f.needs_second_hash());
+                let cap = out.capacity();
+                f.probe_hashes_into(&scratch.h1, &scratch.h2, col.validity(), sel, out);
+                if out.capacity() > cap {
+                    scratch.grows += 1;
+                }
+            }
+            _ => self.probe_into(col, sel, scratch, out),
+        }
+    }
+
+    /// Probe `col` rows selected by `sel`; returns the surviving selection
+    /// (allocating wrapper over [`RuntimeFilter::probe_into`]).
+    pub fn probe(&self, col: &Column, sel: &[u32]) -> Vec<u32> {
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::with_capacity(sel.len());
+        self.probe_into(col, Some(sel), &mut scratch, &mut out);
+        out
     }
 
     /// Aligned probe for partition `part` (falls back to routed/single probe
     /// when alignment does not apply).
     pub fn probe_partition(&self, part: usize, col: &Column, sel: &[u32]) -> Vec<u32> {
-        match &self.core {
-            FilterCore::Single(f) => f.probe_selected(col, sel),
-            FilterCore::Partitioned(pf) => {
-                if part < pf.partitions() {
-                    pf.probe_aligned(part, col, sel)
-                } else {
-                    pf.probe_routed(col, sel)
-                }
-            }
-        }
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::with_capacity(sel.len());
+        self.probe_partition_into(part, col, Some(sel), &mut scratch, &mut out);
+        out
     }
 
     /// Total size in bytes (planning feedback / tests).

@@ -12,9 +12,10 @@
 //!   unavailable.
 
 use bfq_common::hash::hash_u64;
-use bfq_storage::Column;
+use bfq_storage::{Bitmap, Column};
 
 use crate::filter::BloomFilter;
+use crate::math::BloomLayout;
 
 /// Seed of the *partitioning* hash — deliberately distinct from the two
 /// filter seeds so partition routing is independent of bit placement.
@@ -35,16 +36,33 @@ pub struct PartitionedBloomFilter {
 }
 
 impl PartitionedBloomFilter {
-    /// Create `partitions` partial filters, each sized for an even share of
-    /// `expected_ndv` keys.
+    /// Create `partitions` standard-layout partial filters, each sized for
+    /// an even share of `expected_ndv` keys.
     pub fn new(partitions: usize, expected_ndv: usize) -> Self {
+        Self::new_layout(partitions, expected_ndv, BloomLayout::Standard)
+    }
+
+    /// Create `partitions` partial filters under `layout`, each sized for
+    /// an even share of `expected_ndv` keys.
+    pub fn new_layout(partitions: usize, expected_ndv: usize, layout: BloomLayout) -> Self {
         assert!(partitions > 0, "need at least one partition");
         let per_part = expected_ndv.div_ceil(partitions);
         PartitionedBloomFilter {
             parts: (0..partitions)
-                .map(|_| BloomFilter::with_expected_ndv(per_part))
+                .map(|_| BloomFilter::with_expected_ndv_layout(per_part, layout))
                 .collect(),
         }
+    }
+
+    /// The layout shared by every partial filter.
+    pub fn layout(&self) -> BloomLayout {
+        self.parts[0].layout()
+    }
+
+    /// Whether probes consume the second key hash (see
+    /// [`BloomFilter::needs_second_hash`]).
+    pub fn needs_second_hash(&self) -> bool {
+        self.parts[0].needs_second_hash()
     }
 
     /// Number of partitions.
@@ -75,12 +93,15 @@ impl PartitionedBloomFilter {
         let mut h1 = Vec::new();
         let mut h2 = Vec::new();
         col.hash_into(crate::filter::BLOOM_SEED_1, &mut h1);
-        col.hash_into(crate::filter::BLOOM_SEED_2, &mut h2);
+        if self.needs_second_hash() {
+            col.hash_into(crate::filter::BLOOM_SEED_2, &mut h2);
+        }
+        let second = |i: usize| if h2.is_empty() { 0 } else { h2[i] };
         let n = self.parts.len();
-        for i in 0..col.len() {
+        for (i, &h) in h1.iter().enumerate() {
             if !col.is_null(i) {
-                let p = partition_of(h1[i], n);
-                self.parts[p].insert_hashes(h1[i], h2[i]);
+                let p = partition_of(h, n);
+                self.parts[p].insert_hashes(h, second(i));
             }
         }
     }
@@ -90,23 +111,39 @@ impl PartitionedBloomFilter {
         self.parts[part].probe_selected(col, sel)
     }
 
+    /// Batched unaligned probe over pre-hashed keys: rows selected by `sel`
+    /// (all rows when `None`) route to their partial filter by the
+    /// partitioning hash; survivors are appended to the caller-owned `out`
+    /// (cleared first). `h2` is unread under the blocked layout.
+    pub fn probe_routed_hashes_into(
+        &self,
+        h1: &[u64],
+        h2: &[u64],
+        validity: Option<&Bitmap>,
+        sel: Option<&[u32]>,
+        out: &mut Vec<u32>,
+    ) {
+        let n = self.parts.len();
+        let second_hash = self.needs_second_hash();
+        crate::filter::probe_loop(h1.len(), validity, sel, out, |i| {
+            let p = partition_of(h1[i], n);
+            let h2i = if second_hash { h2[i] } else { 0 };
+            self.parts[p].contains_hashes(h1[i], h2i)
+        });
+    }
+
     /// Unaligned probe with distributed lookup (§3.9 case 3): each row picks
     /// its partial filter via the partitioning hash of its own key.
+    /// Allocating wrapper over [`PartitionedBloomFilter::probe_routed_hashes_into`].
     pub fn probe_routed(&self, col: &Column, sel: &[u32]) -> Vec<u32> {
-        let n = self.parts.len();
-        let mut out = Vec::with_capacity(sel.len());
-        for &i in sel {
-            let idx = i as usize;
-            if col.is_null(idx) {
-                continue;
-            }
-            let h1 = col.hash_one(idx, crate::filter::BLOOM_SEED_1);
-            let h2 = col.hash_one(idx, crate::filter::BLOOM_SEED_2);
-            let p = partition_of(h1, n);
-            if self.parts[p].contains_hashes(h1, h2) {
-                out.push(i);
-            }
+        let mut h1 = Vec::new();
+        let mut h2 = Vec::new();
+        col.hash_into(crate::filter::BLOOM_SEED_1, &mut h1);
+        if self.needs_second_hash() {
+            col.hash_into(crate::filter::BLOOM_SEED_2, &mut h2);
         }
+        let mut out = Vec::with_capacity(sel.len());
+        self.probe_routed_hashes_into(&h1, &h2, col.validity(), Some(sel), &mut out);
         out
     }
 

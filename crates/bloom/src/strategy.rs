@@ -9,6 +9,7 @@ use bfq_storage::Column;
 
 use crate::filter::{BloomFilter, BLOOM_SEED_1, BLOOM_SEED_2};
 use crate::hub::RuntimeFilter;
+use crate::math::BloomLayout;
 use crate::partitioned::PartitionedBloomFilter;
 use crate::summary::KeySummary;
 
@@ -101,49 +102,72 @@ impl StreamingStrategy {
 }
 
 /// Build the runtime filter for a join given per-thread build-side key
-/// columns (`thread_keys[i]` = the join-key column seen by build thread `i`).
+/// columns (`thread_keys[i]` = the join-key column seen by build thread `i`)
+/// under the session's bit-placement `layout`.
 ///
 /// `expected_ndv` is the planner's upper-bound distinct estimate — the same
-/// number its cost model used to size the filter (paper §3.5).
+/// number its cost model used to size the filter (paper §3.5). It (refined
+/// to the exact distinct count when a small build ships its key hashes) is
+/// recorded as the filter's NDV hint, so the FPR the filter reports matches
+/// the math the optimizer used rather than a duplicate-counting tally.
 pub fn build_filter(
     strategy: StreamingStrategy,
     thread_keys: &[Column],
     expected_ndv: usize,
+    layout: BloomLayout,
 ) -> RuntimeFilter {
     assert!(!thread_keys.is_empty(), "no build-side threads");
     match strategy {
         StreamingStrategy::BroadcastBuild => {
             // All threads hold identical data; use thread 0's copy.
-            let mut f = BloomFilter::with_expected_ndv(expected_ndv);
+            let mut f = BloomFilter::with_expected_ndv_layout(expected_ndv, layout);
             f.insert_column(&thread_keys[0]);
             let (bounds, hashes, summary) = key_info(&thread_keys[..1]);
+            f.set_ndv_hint(ndv_hint(&hashes, expected_ndv));
             RuntimeFilter::single(f).with_key_info(bounds, hashes, summary)
         }
         StreamingStrategy::BroadcastProbe => {
             // Disjoint per-thread subsets: build same-sized partials, merge.
             let bits =
                 crate::math::bits_for_ndv(expected_ndv.max(1), crate::math::DEFAULT_BITS_PER_KEY);
-            let mut merged = BloomFilter::with_bits(bits);
+            let mut merged = BloomFilter::with_bits_layout(bits, layout);
             for keys in thread_keys {
-                let mut partial = BloomFilter::with_bits(bits);
+                let mut partial = BloomFilter::with_bits_layout(bits, layout);
                 partial.insert_column(keys);
                 merged.union_with(&partial);
             }
             let (bounds, hashes, summary) = key_info(thread_keys);
+            merged.set_ndv_hint(ndv_hint(&hashes, expected_ndv));
             RuntimeFilter::single(merged).with_key_info(bounds, hashes, summary)
         }
         StreamingStrategy::PartitionUnaligned | StreamingStrategy::PartitionAligned => {
             let n = thread_keys.len();
-            let mut pf = PartitionedBloomFilter::new(n, expected_ndv);
+            let mut pf = PartitionedBloomFilter::new_layout(n, expected_ndv, layout);
             for keys in thread_keys {
                 // Keys within a partition join partition still route by key
                 // hash so partial `i` holds exactly partition `i`'s keys.
                 pf.insert_column_routed(keys);
             }
             let (bounds, hashes, summary) = key_info(thread_keys);
+            // Each partial holds an even share of the distinct keys.
+            let per_part = ndv_hint(&hashes, expected_ndv).div_ceil(n as u64).max(1);
+            for p in 0..n {
+                pf.part_mut(p).set_ndv_hint(per_part);
+            }
             RuntimeFilter::partitioned(pf).with_key_info(bounds, hashes, summary)
         }
     }
+}
+
+/// The distinct-key count a filter should report FPR against: the exact
+/// deduplicated hash count when a small build shipped it, else the
+/// planner's estimate the filter was sized for.
+fn ndv_hint(hashes: &Option<Vec<(u64, u64)>>, expected_ndv: usize) -> u64 {
+    hashes
+        .as_ref()
+        .map(|h| h.len() as u64)
+        .unwrap_or(expected_ndv as u64)
+        .max(1)
 }
 
 #[cfg(test)]
@@ -167,6 +191,7 @@ mod tests {
             StreamingStrategy::BroadcastBuild,
             &[keys.clone(), keys.clone(), keys.clone()],
             3,
+            BloomLayout::Standard,
         );
         match f.core() {
             crate::hub::FilterCore::Single(bf) => assert_eq!(bf.inserted_keys(), 3),
@@ -185,6 +210,7 @@ mod tests {
             StreamingStrategy::BroadcastProbe,
             &[int_col(&[5, 10]), int_col(&[-3, 10])],
             4,
+            BloomLayout::Standard,
         );
         assert_eq!(f.key_bounds(), Some((-3.0, 10.0)));
         // 3 distinct keys after dedup across threads.
@@ -198,6 +224,7 @@ mod tests {
             StreamingStrategy::BroadcastProbe,
             &[int_col(&big)],
             big.len(),
+            BloomLayout::Standard,
         );
         assert!(f.key_hashes().is_none());
         assert_eq!(f.key_bounds(), Some((0.0, big[big.len() - 1] as f64)));
@@ -208,7 +235,12 @@ mod tests {
 
     #[test]
     fn small_builds_skip_the_summary_large_clustered_builds_use_it() {
-        let small = build_filter(StreamingStrategy::BroadcastBuild, &[int_col(&[1, 2])], 2);
+        let small = build_filter(
+            StreamingStrategy::BroadcastBuild,
+            &[int_col(&[1, 2])],
+            2,
+            BloomLayout::Standard,
+        );
         assert!(
             small.key_summary().is_none(),
             "hashes are stronger evidence"
@@ -218,7 +250,12 @@ mod tests {
         let mut keys: Vec<i64> = (0..3000).collect();
         keys.extend(1_000_000..1_003_000);
         let cols: Vec<Column> = keys.chunks(1500).map(int_col).collect();
-        let f = build_filter(StreamingStrategy::PartitionUnaligned, &cols, keys.len());
+        let f = build_filter(
+            StreamingStrategy::PartitionUnaligned,
+            &cols,
+            keys.len(),
+            BloomLayout::Standard,
+        );
         assert!(f.key_hashes().is_none());
         let summary = f.key_summary().expect("summary for large build");
         assert!(summary.overlaps_range(100.0, 200.0));
@@ -235,6 +272,7 @@ mod tests {
             StreamingStrategy::BroadcastBuild,
             &[Column::Utf8(keys, None)],
             2,
+            BloomLayout::Standard,
         );
         assert!(f.key_bounds().is_none());
         assert_eq!(f.key_hashes().map(|h| h.len()), Some(2));
@@ -246,6 +284,7 @@ mod tests {
             StreamingStrategy::BroadcastProbe,
             &[int_col(&[1, 2]), int_col(&[100, 200]), int_col(&[5000])],
             5,
+            BloomLayout::Standard,
         );
         let s = survivors(&f, &int_col(&[1, 200, 5000, 777_777]));
         assert!(s.contains(&0) && s.contains(&1) && s.contains(&2));
@@ -260,7 +299,7 @@ mod tests {
             let keys: Vec<i64> = (0..2000).collect();
             // Split keys across 4 "threads" arbitrarily.
             let cols: Vec<Column> = keys.chunks(500).map(int_col).collect();
-            let f = build_filter(strat, &cols, keys.len());
+            let f = build_filter(strat, &cols, keys.len(), BloomLayout::Standard);
             let s = survivors(&f, &int_col(&keys));
             assert_eq!(s.len(), keys.len(), "{strat:?} lost rows");
             let miss: Vec<i64> = (1_000_000..1_000_500).collect();

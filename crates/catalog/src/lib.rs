@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bfq_common::{BfqError, ColumnId, DataType, Result, TableId};
-use bfq_index::TableIndex;
+use bfq_index::{BloomLayout, TableIndex};
 use bfq_storage::{SchemaRef, Table};
 
 pub use stats::{compute_stats, ColumnStats, TableStats};
@@ -63,6 +63,9 @@ pub struct Catalog {
     /// this so no cached plan can outlive the schema/statistics it was
     /// optimized against.
     version: u64,
+    /// Bit-placement layout for per-chunk Bloom indexes built by
+    /// [`Catalog::register`] / [`Catalog::replace`].
+    index_bloom_layout: BloomLayout,
 }
 
 impl Catalog {
@@ -76,6 +79,18 @@ impl Catalog {
     /// lineage hold identical table sets.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Select the bit-placement layout for per-chunk Bloom indexes built by
+    /// subsequent registrations (already-built indexes are untouched —
+    /// probing is layout-agnostic, so mixed layouts stay correct).
+    pub fn set_index_bloom_layout(&mut self, layout: BloomLayout) {
+        self.index_bloom_layout = layout;
+    }
+
+    /// The layout used for newly built per-chunk Bloom indexes.
+    pub fn index_bloom_layout(&self) -> BloomLayout {
+        self.index_bloom_layout
     }
 
     /// Register a table, computing exact statistics from its data.
@@ -101,7 +116,7 @@ impl Catalog {
         // Per-chunk zone maps and Bloom indexes, built once at load time —
         // the ANALYZE-adjacent step a columnar store runs while sealing
         // segments. Consultation is gated by the session's `IndexMode`.
-        let index = TableIndex::build(&table);
+        let index = TableIndex::build_layout(&table, self.index_bloom_layout);
         self.metas.push(TableMeta {
             id,
             name: name.clone(),
@@ -134,7 +149,7 @@ impl Catalog {
             }
         }
         let stats = compute_stats(&table)?;
-        let index = TableIndex::build(&table);
+        let index = TableIndex::build_layout(&table, self.index_bloom_layout);
         let slot = id.0 as usize;
         self.metas[slot] = TableMeta {
             id,

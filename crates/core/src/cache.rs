@@ -266,6 +266,11 @@ mod tests {
             ..Default::default()
         };
         assert_ne!(a.cache_fingerprint(), c.cache_fingerprint());
+        let d = OptimizerConfig {
+            bloom_layout: crate::BloomLayout::Blocked,
+            ..Default::default()
+        };
+        assert_ne!(a.cache_fingerprint(), d.cache_fingerprint());
         assert_eq!(
             a.cache_fingerprint(),
             OptimizerConfig::default().cache_fingerprint()

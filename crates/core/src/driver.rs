@@ -124,7 +124,13 @@ fn optimize_block_inner(
     config: &OptimizerConfig,
     next_filter: &mut u32,
 ) -> Result<(SubPlan, BlockStats)> {
-    let est = Estimator::with_index_mode(block, bindings, catalog, config.index_mode);
+    let est = Estimator::with_modes(
+        block,
+        bindings,
+        catalog,
+        config.index_mode,
+        config.bloom_layout,
+    );
     let model = CostModel {
         params: config.cost.clone(),
         dop: config.dop,

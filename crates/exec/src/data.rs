@@ -119,6 +119,12 @@ pub struct ExecStats {
     /// morsel pipeline counts only the chunks resident in its bounded
     /// reorder windows — making the materialization difference observable.
     buffered: Mutex<(u64, u64)>,
+    /// Capacity growths of the reusable filter-probe scratch buffers
+    /// (hashes + selection vectors) across all workers. Steady-state
+    /// morsel execution performs zero filter-path allocations, so this
+    /// stays bounded by `pipelines × workers × buffers` no matter how many
+    /// morsels run — asserted by the allocation-discipline tests.
+    scratch_allocs: Mutex<u64>,
 }
 
 impl ExecStats {
@@ -178,6 +184,18 @@ impl ExecStats {
     /// buffers during execution.
     pub fn peak_buffered_rows(&self) -> u64 {
         self.buffered.lock().1
+    }
+
+    /// Record `n` capacity growths of a worker's filter-probe scratch.
+    pub fn note_scratch_allocs(&self, n: u64) {
+        if n > 0 {
+            *self.scratch_allocs.lock() += n;
+        }
+    }
+
+    /// Total filter-probe scratch buffer growths across all workers.
+    pub fn filter_scratch_allocs(&self) -> u64 {
+        *self.scratch_allocs.lock()
     }
 }
 

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use bfq_bloom::strategy::{build_filter, StreamingStrategy};
-use bfq_bloom::FilterHub;
+use bfq_bloom::{BloomLayout, FilterHub};
 use bfq_catalog::Catalog;
 use bfq_common::{BfqError, DataType, Datum, Result};
 use bfq_expr::{eval, Layout};
@@ -20,6 +20,39 @@ use crate::parallel::par_map;
 use crate::scan::{execute_derived_scan, execute_filter, execute_scan};
 use crate::util::{col_cmp, expr_types, slots_for, substitute_placeholder};
 
+/// Per-query execution knobs, mirroring the plan-affecting runtime fields
+/// of the optimizer config (which lives upstream and is not a dependency
+/// of this crate).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Degree of parallelism.
+    pub dop: usize,
+    /// How much of the per-chunk index scans consult (data skipping).
+    pub index_mode: IndexMode,
+    /// Bit-placement layout for runtime Bloom filters.
+    pub bloom_layout: BloomLayout,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            dop: 1,
+            index_mode: IndexMode::default(),
+            bloom_layout: BloomLayout::default(),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with the given DOP and defaults elsewhere.
+    pub fn with_dop(dop: usize) -> Self {
+        ExecOptions {
+            dop,
+            ..Default::default()
+        }
+    }
+}
+
 /// Shared execution context for one query.
 pub struct ExecContext {
     /// The catalog (base table data).
@@ -34,25 +67,39 @@ pub struct ExecContext {
     pub filter_wait_ms: u64,
     /// How much of the per-chunk index scans consult (data skipping).
     pub index_mode: IndexMode,
+    /// Bit-placement layout for runtime Bloom filters built by this query.
+    pub bloom_layout: BloomLayout,
 }
 
 impl ExecContext {
     /// A context over `catalog` with the given DOP and the default
-    /// [`IndexMode`] (full data skipping).
+    /// [`IndexMode`] (full data skipping) / [`BloomLayout`].
     pub fn new(catalog: Arc<Catalog>, dop: usize) -> Self {
+        Self::with_options(catalog, ExecOptions::with_dop(dop))
+    }
+
+    /// A context over `catalog` under explicit [`ExecOptions`].
+    pub fn with_options(catalog: Arc<Catalog>, options: ExecOptions) -> Self {
         ExecContext {
             catalog,
-            dop: dop.max(1),
+            dop: options.dop.max(1),
             hub: FilterHub::new(),
             stats: ExecStats::new(),
             filter_wait_ms: 120_000,
-            index_mode: IndexMode::default(),
+            index_mode: options.index_mode,
+            bloom_layout: options.bloom_layout,
         }
     }
 
     /// Builder-style index-mode override.
     pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
         self.index_mode = mode;
+        self
+    }
+
+    /// Builder-style Bloom-layout override.
+    pub fn with_bloom_layout(mut self, layout: BloomLayout) -> Self {
+        self.bloom_layout = layout;
         self
     }
 }
@@ -81,7 +128,24 @@ pub fn execute_plan_opts(
     dop: usize,
     index_mode: IndexMode,
 ) -> Result<QueryOutput> {
-    let ctx = ExecContext::new(catalog, dop).with_index_mode(index_mode);
+    execute_plan_cfg(
+        plan,
+        catalog,
+        ExecOptions {
+            dop,
+            index_mode,
+            ..Default::default()
+        },
+    )
+}
+
+/// Execute a plan to completion under explicit [`ExecOptions`].
+pub fn execute_plan_cfg(
+    plan: &Arc<PhysicalPlan>,
+    catalog: Arc<Catalog>,
+    options: ExecOptions,
+) -> Result<QueryOutput> {
+    let ctx = ExecContext::with_options(catalog, options);
     let data = execute(plan, &ctx)?;
     let chunk = data.into_single_chunk()?;
     Ok(QueryOutput {
@@ -376,7 +440,12 @@ pub(crate) fn seal_build_side(
                     .map(|t| t.chunk.column(slot).as_ref().clone())
                     .collect()
             };
-            let filter = build_filter(strategy, &thread_keys, b.expected_ndv.max(1.0) as usize);
+            let filter = build_filter(
+                strategy,
+                &thread_keys,
+                b.expected_ndv.max(1.0) as usize,
+                ctx.bloom_layout,
+            );
             ctx.hub.publish(b.filter, filter);
         }
     }

@@ -11,7 +11,9 @@ use bfq_storage::{Chunk, Column};
 
 use crate::data::PartitionedData;
 use crate::parallel::par_map;
-use crate::util::{col_cmp, hash_keys, keys_null, rows_match, JOIN_SEED};
+use crate::util::{
+    col_cmp, hash_keys, hash_keys_into, keys_null, rows_match, MorselScratch, JOIN_SEED,
+};
 
 /// A hash table over one build partition.
 pub struct BuildTable {
@@ -65,7 +67,9 @@ fn null_inner_chunk(types: &[DataType], rows: usize) -> Result<Chunk> {
     )
 }
 
-/// Probe one partition of the outer side against a build table.
+/// Probe one partition of the outer side against a build table. Key
+/// hashing is columnar (one [`hash_keys_into`] pass per chunk) and the
+/// hash/pair buffers come from the worker's reusable scratch.
 #[allow(clippy::too_many_arguments)]
 pub fn probe_partition(
     outer_chunks: &[Chunk],
@@ -75,15 +79,22 @@ pub fn probe_partition(
     extra: &Option<Expr>,
     joined_layout: &Layout,
     inner_types: &[DataType],
+    scratch: &mut MorselScratch,
 ) -> Result<Vec<Chunk>> {
     let mut out = Vec::new();
     for chunk in outer_chunks {
         if chunk.is_empty() {
             continue;
         }
-        let hashes = hash_keys(chunk, probe_slots, JOIN_SEED);
-        let mut probe_sel: Vec<u32> = Vec::new();
-        let mut build_sel: Vec<u32> = Vec::new();
+        let hash_cap = scratch.join_hash.capacity() + scratch.join_tmp.capacity();
+        let mut hashes = std::mem::take(&mut scratch.join_hash);
+        let mut tmp = std::mem::take(&mut scratch.join_tmp);
+        hash_keys_into(chunk, probe_slots, JOIN_SEED, &mut tmp, &mut hashes);
+        let pair_cap = scratch.pair_probe.capacity() + scratch.pair_build.capacity();
+        let mut probe_sel = std::mem::take(&mut scratch.pair_probe);
+        let mut build_sel = std::mem::take(&mut scratch.pair_build);
+        probe_sel.clear();
+        build_sel.clear();
         for (i, &hash) in hashes.iter().enumerate() {
             if keys_null(chunk, probe_slots, i) {
                 continue;
@@ -102,61 +113,99 @@ pub fn probe_partition(
                 }
             }
         }
-        // Residual predicate filters candidate pairs.
+        // Residual predicate filters candidate pairs (compacting in place —
+        // `keep` is ascending, so the overwrite never clobbers a live slot).
         if let Some(pred) = extra {
             if !probe_sel.is_empty() {
                 let pairs = Chunk::zip(&chunk.take(&probe_sel), &table.chunk.take(&build_sel))?;
                 let keep = eval_predicate(pred, &pairs, joined_layout)?;
-                probe_sel = keep.iter().map(|&k| probe_sel[k as usize]).collect();
-                build_sel = keep.iter().map(|&k| build_sel[k as usize]).collect();
+                for (j, &k) in keep.iter().enumerate() {
+                    probe_sel[j] = probe_sel[k as usize];
+                    build_sel[j] = build_sel[k as usize];
+                }
+                probe_sel.truncate(keep.len());
+                build_sel.truncate(keep.len());
             }
         }
-        match kind {
-            JoinKind::Inner => {
-                if !probe_sel.is_empty() {
-                    out.push(Chunk::zip(
-                        &chunk.take(&probe_sel),
-                        &table.chunk.take(&build_sel),
-                    )?);
-                }
+        let emitted = emit_join_rows(
+            chunk,
+            table,
+            kind,
+            &probe_sel,
+            &build_sel,
+            inner_types,
+            &mut out,
+        );
+        scratch.join_hash = hashes;
+        scratch.join_tmp = tmp;
+        if scratch.join_hash.capacity() + scratch.join_tmp.capacity() > hash_cap {
+            scratch.probe.note_growth();
+        }
+        scratch.pair_probe = probe_sel;
+        scratch.pair_build = build_sel;
+        if scratch.pair_probe.capacity() + scratch.pair_build.capacity() > pair_cap {
+            scratch.probe.note_growth();
+        }
+        emitted?;
+    }
+    Ok(out)
+}
+
+/// Emit the output chunks of one probed chunk's matched pairs.
+fn emit_join_rows(
+    chunk: &Chunk,
+    table: &BuildTable,
+    kind: JoinKind,
+    probe_sel: &[u32],
+    build_sel: &[u32],
+    inner_types: &[DataType],
+    out: &mut Vec<Chunk>,
+) -> Result<()> {
+    match kind {
+        JoinKind::Inner => {
+            if !probe_sel.is_empty() {
+                out.push(Chunk::zip(
+                    &chunk.take(probe_sel),
+                    &table.chunk.take(build_sel),
+                )?);
             }
-            JoinKind::LeftOuter => {
-                if !probe_sel.is_empty() {
-                    out.push(Chunk::zip(
-                        &chunk.take(&probe_sel),
-                        &table.chunk.take(&build_sel),
-                    )?);
-                }
-                let mut matched = vec![false; chunk.rows()];
-                for &p in &probe_sel {
-                    matched[p as usize] = true;
-                }
-                let unmatched: Vec<u32> = (0..chunk.rows() as u32)
-                    .filter(|&i| !matched[i as usize])
-                    .collect();
-                if !unmatched.is_empty() {
-                    out.push(Chunk::zip(
-                        &chunk.take(&unmatched),
-                        &null_inner_chunk(inner_types, unmatched.len())?,
-                    )?);
-                }
+        }
+        JoinKind::LeftOuter => {
+            if !probe_sel.is_empty() {
+                out.push(Chunk::zip(
+                    &chunk.take(probe_sel),
+                    &table.chunk.take(build_sel),
+                )?);
             }
-            JoinKind::Semi | JoinKind::Anti => {
-                let mut matched = vec![false; chunk.rows()];
-                for &p in &probe_sel {
-                    matched[p as usize] = true;
-                }
-                let want = kind == JoinKind::Semi;
-                let rows: Vec<u32> = (0..chunk.rows() as u32)
-                    .filter(|&i| matched[i as usize] == want)
-                    .collect();
-                if !rows.is_empty() {
-                    out.push(chunk.take(&rows));
-                }
+            let mut matched = vec![false; chunk.rows()];
+            for &p in probe_sel {
+                matched[p as usize] = true;
+            }
+            let unmatched: Vec<u32> = (0..chunk.rows() as u32)
+                .filter(|&i| !matched[i as usize])
+                .collect();
+            if !unmatched.is_empty() {
+                out.push(Chunk::zip(
+                    &chunk.take(&unmatched),
+                    &null_inner_chunk(inner_types, unmatched.len())?,
+                )?);
+            }
+        }
+        JoinKind::Semi | JoinKind::Anti => {
+            let mut matched = vec![false; chunk.rows()];
+            for &p in probe_sel {
+                matched[p as usize] = true;
+            }
+            let want = kind == JoinKind::Semi;
+            let rows: Vec<u32> = (0..chunk.rows() as u32)
+                .filter(|&i| matched[i as usize] == want)
+                .collect();
+            if !rows.is_empty() {
+                out.push(chunk.take(&rows));
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Execute the probe phase across all outer partitions.
@@ -182,6 +231,7 @@ pub fn hash_join_probe(
     };
     let partitions = par_map(outer.num_partitions(), |p| {
         let table = &tables[p % tables.len()];
+        let mut scratch = MorselScratch::new();
         probe_partition(
             &outer.partitions[p],
             table,
@@ -190,6 +240,7 @@ pub fn hash_join_probe(
             extra,
             joined_layout,
             inner_types,
+            &mut scratch,
         )
     })?;
     Ok(PartitionedData { types, partitions })

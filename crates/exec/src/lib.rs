@@ -35,8 +35,15 @@ pub mod scan;
 pub mod stream;
 pub mod util;
 
+pub use bfq_bloom::BloomLayout;
 pub use bfq_index::IndexMode;
 pub use data::{ExecStats, PartitionedData, ScanPruneStats};
-pub use executor::{execute_plan, execute_plan_opts, ExecContext, QueryOutput};
-pub use pipeline::{execute_pipelined, execute_plan_pipelined, REORDER_WINDOW_PER_WORKER};
-pub use stream::{execute_plan_stream, ChunkStream};
+pub use executor::{
+    execute_plan, execute_plan_cfg, execute_plan_opts, ExecContext, ExecOptions, QueryOutput,
+};
+pub use pipeline::{
+    execute_pipelined, execute_plan_pipelined, execute_plan_pipelined_cfg,
+    REORDER_WINDOW_PER_WORKER,
+};
+pub use stream::{execute_plan_stream, execute_plan_stream_cfg, ChunkStream};
+pub use util::MorselScratch;

@@ -44,7 +44,7 @@ use crate::executor::{
 };
 use crate::join::{probe_partition, BuildTable};
 use crate::scan::{fetch_filters, prune_chunk, scan_chunk};
-use crate::util::{expr_types, slots_for, substitute_placeholder};
+use crate::util::{expr_types, slots_for, substitute_placeholder, MorselScratch};
 
 /// Morsel outputs a worker may run ahead of the consuming sink, per
 /// worker. Small enough to keep buffered rows near `workers × chunk`,
@@ -155,7 +155,13 @@ impl PreparedChain {
     }
 
     /// Run one morsel through the fused chain, recording per-node stats.
-    pub(crate) fn process(&self, morsel: &Morsel, stats: &ExecStats) -> Result<Vec<Chunk>> {
+    /// `scratch` holds the calling worker's reusable probe buffers.
+    pub(crate) fn process(
+        &self,
+        morsel: &Morsel,
+        stats: &ExecStats,
+        scratch: &mut MorselScratch,
+    ) -> Result<Vec<Chunk>> {
         let mut chunks: Vec<Chunk> = match (&self.source, &morsel.input) {
             (
                 ChainSource::Table {
@@ -194,7 +200,14 @@ impl PreparedChain {
                 let out = if skipped {
                     None
                 } else {
-                    scan_chunk(chunk, full_layout, predicate, filters, Some(projection))?
+                    scan_chunk(
+                        chunk,
+                        full_layout,
+                        predicate,
+                        filters,
+                        Some(projection),
+                        scratch,
+                    )?
                 };
                 stats.record_prune(*node_id, &prune);
                 stats.record(*node_id, out.as_ref().map_or(0, |c| c.rows() as u64));
@@ -208,7 +221,7 @@ impl PreparedChain {
             if matches!(op, ChainOp::Gather { .. }) {
                 partition = 0;
             }
-            chunks = op.apply(chunks, partition, stats)?;
+            chunks = op.apply(chunks, partition, stats, scratch)?;
         }
         Ok(chunks)
     }
@@ -231,7 +244,13 @@ impl PreparedChain {
 }
 
 impl ChainOp {
-    fn apply(&self, chunks: Vec<Chunk>, partition: usize, stats: &ExecStats) -> Result<Vec<Chunk>> {
+    fn apply(
+        &self,
+        chunks: Vec<Chunk>,
+        partition: usize,
+        stats: &ExecStats,
+        scratch: &mut MorselScratch,
+    ) -> Result<Vec<Chunk>> {
         let mut out = Vec::with_capacity(chunks.len());
         let node_id = match self {
             ChainOp::Filter {
@@ -283,6 +302,7 @@ impl ChainOp {
                     extra,
                     joined_layout,
                     inner_types,
+                    scratch,
                 )?;
                 *node_id
             }
@@ -293,7 +313,7 @@ impl ChainOp {
                 filters,
             } => {
                 for chunk in &chunks {
-                    if let Some(c) = scan_chunk(chunk, layout, predicate, filters, None)? {
+                    if let Some(c) = scan_chunk(chunk, layout, predicate, filters, None, scratch)? {
                         out.push(c);
                     }
                 }
@@ -605,14 +625,16 @@ pub(crate) fn run_chain(
     }
     if workers == 1 {
         // Serial fast path: process and consume in order, no threads.
+        let mut scratch = MorselScratch::new();
         for morsel in morsels {
-            let chunks = chain.process(morsel, &ctx.stats)?;
+            let chunks = chain.process(morsel, &ctx.stats, &mut scratch)?;
             let rows: u64 = chunks.iter().map(|c| c.rows() as u64).sum();
             ctx.stats.buffer_grow(rows);
             if !consume(chain.output_partition(morsel), chunks, rows)? {
                 break;
             }
         }
+        ctx.stats.note_scratch_allocs(scratch.grows());
         return Ok(());
     }
 
@@ -644,35 +666,43 @@ pub(crate) fn run_chain(
 
     let worker = |queue: &MorselQueue| -> Result<()> {
         let _cancel_on_panic = CancelOnPanic(queue);
-        loop {
-            if queue.cancel.load(Ordering::Acquire) {
-                return Ok(());
-            }
-            let seq = queue.claim.fetch_add(1, Ordering::Relaxed);
-            if seq >= n {
-                return Ok(());
-            }
-            let result = chain.process(&morsels[seq], &ctx.stats);
-            let chunks = match result {
-                Ok(chunks) => chunks,
-                Err(e) => {
-                    queue.cancel.store(true, Ordering::Release);
-                    queue.cond.notify_all();
-                    return Err(e);
+        // One scratch per worker thread, reused for every morsel it claims:
+        // steady-state probing allocates nothing.
+        let mut scratch = MorselScratch::new();
+        let run = |scratch: &mut MorselScratch| -> Result<()> {
+            loop {
+                if queue.cancel.load(Ordering::Acquire) {
+                    return Ok(());
                 }
-            };
-            let rows: u64 = chunks.iter().map(|c| c.rows() as u64).sum();
-            let mut state = queue.state.lock();
-            while !queue.cancel.load(Ordering::Acquire) && seq >= state.next + queue.window {
-                queue.cond.wait(&mut state);
+                let seq = queue.claim.fetch_add(1, Ordering::Relaxed);
+                if seq >= n {
+                    return Ok(());
+                }
+                let result = chain.process(&morsels[seq], &ctx.stats, scratch);
+                let chunks = match result {
+                    Ok(chunks) => chunks,
+                    Err(e) => {
+                        queue.cancel.store(true, Ordering::Release);
+                        queue.cond.notify_all();
+                        return Err(e);
+                    }
+                };
+                let rows: u64 = chunks.iter().map(|c| c.rows() as u64).sum();
+                let mut state = queue.state.lock();
+                while !queue.cancel.load(Ordering::Acquire) && seq >= state.next + queue.window {
+                    queue.cond.wait(&mut state);
+                }
+                if queue.cancel.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                ctx.stats.buffer_grow(rows);
+                state.ready.insert(seq, chunks);
+                queue.cond.notify_all();
             }
-            if queue.cancel.load(Ordering::Acquire) {
-                return Ok(());
-            }
-            ctx.stats.buffer_grow(rows);
-            state.ready.insert(seq, chunks);
-            queue.cond.notify_all();
-        }
+        };
+        let out = run(&mut scratch);
+        ctx.stats.note_scratch_allocs(scratch.grows());
+        out
     };
 
     std::thread::scope(|scope| -> Result<()> {
@@ -759,7 +789,25 @@ pub fn execute_plan_pipelined(
     dop: usize,
     index_mode: IndexMode,
 ) -> Result<QueryOutput> {
-    let ctx = ExecContext::new(catalog, dop).with_index_mode(index_mode);
+    execute_plan_pipelined_cfg(
+        plan,
+        catalog,
+        crate::executor::ExecOptions {
+            dop,
+            index_mode,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`execute_plan_pipelined`] under explicit [`crate::executor::ExecOptions`]
+/// (DOP, index mode, Bloom filter layout).
+pub fn execute_plan_pipelined_cfg(
+    plan: &Arc<PhysicalPlan>,
+    catalog: Arc<bfq_catalog::Catalog>,
+    options: crate::executor::ExecOptions,
+) -> Result<QueryOutput> {
+    let ctx = ExecContext::with_options(catalog, options);
     let data = execute_pipelined(plan, &ctx)?;
     let chunk = data.into_single_chunk()?;
     Ok(QueryOutput {

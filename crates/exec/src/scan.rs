@@ -30,6 +30,7 @@ use bfq_storage::Chunk;
 use crate::data::{PartitionedData, ScanPruneStats};
 use crate::executor::ExecContext;
 use crate::parallel::par_map;
+use crate::util::MorselScratch;
 
 /// Wait for every filter a scan needs. This is the paper's §3.9 contract:
 /// "table scans wait for all Bloom filter partitions to become available
@@ -115,32 +116,70 @@ pub(crate) fn prune_chunk(
     false
 }
 
-/// Scan one chunk: local predicate, then every Bloom filter, then projection.
+/// Scan one chunk: local predicate, then every Bloom filter (batched,
+/// allocation-free through the worker's scratch), then projection.
 pub(crate) fn scan_chunk(
     chunk: &Chunk,
     full_layout: &Layout,
     predicate: &Option<Expr>,
     filters: &[(Arc<RuntimeFilter>, usize)],
     projection: Option<&[u32]>,
+    scratch: &mut MorselScratch,
 ) -> Result<Option<Chunk>> {
-    let mut sel: Vec<u32> = match predicate {
-        Some(p) => eval_predicate(p, chunk, full_layout)?,
-        None => (0..chunk.rows() as u32).collect(),
-    };
-    for (filter, slot) in filters {
-        if sel.is_empty() {
-            break;
-        }
-        sel = filter.probe(chunk.column(*slot), &sel);
-    }
-    if sel.is_empty() {
+    if chunk.is_empty() {
         return Ok(None);
     }
-    let taken = chunk.take(&sel);
-    Ok(Some(match projection {
-        Some(cols) => taken.project(&cols.iter().map(|&c| c as usize).collect::<Vec<_>>()),
-        None => taken,
-    }))
+    let pred_sel: Option<Vec<u32>> = match predicate {
+        Some(p) => Some(eval_predicate(p, chunk, full_layout)?),
+        None => None,
+    };
+    if pred_sel.as_ref().is_some_and(|s| s.is_empty()) {
+        return Ok(None);
+    }
+    // Filters probe the column hashed once per chunk, ping-ponging the
+    // surviving selection between the scratch's two reusable buffers;
+    // `None` means "all rows", so a predicate-free scan never materializes
+    // an identity selection vector.
+    let mut cur = std::mem::take(&mut scratch.probe.sel_a);
+    let mut next = std::mem::take(&mut scratch.probe.sel_b);
+    let mut applied = false;
+    for (filter, slot) in filters {
+        let sel: Option<&[u32]> = if applied {
+            Some(&cur)
+        } else {
+            pred_sel.as_deref()
+        };
+        if sel.is_some_and(|s| s.is_empty()) {
+            break;
+        }
+        filter.probe_into(chunk.column(*slot), sel, &mut scratch.probe, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+        applied = true;
+    }
+    let final_sel: Option<&[u32]> = if applied {
+        Some(&cur)
+    } else {
+        pred_sel.as_deref()
+    };
+    let out = match final_sel {
+        Some([]) => None,
+        Some(s) => {
+            let taken = chunk.take(s);
+            Some(match projection {
+                Some(cols) => taken.project(&cols.iter().map(|&c| c as usize).collect::<Vec<_>>()),
+                None => taken,
+            })
+        }
+        // No predicate, no filters: the whole morsel passes through —
+        // share the columns instead of copying every row.
+        None => Some(match projection {
+            Some(cols) => chunk.project(&cols.iter().map(|&c| c as usize).collect::<Vec<_>>()),
+            None => chunk.clone(),
+        }),
+    };
+    scratch.probe.sel_a = cur;
+    scratch.probe.sel_b = next;
+    Ok(out)
 }
 
 /// Execute a base-table scan, dealing chunks round-robin across workers and
@@ -178,6 +217,7 @@ pub fn execute_scan(
     let partitions = par_map(dop, |p| {
         let mut out = Vec::new();
         let mut prune = ScanPruneStats::default();
+        let mut scratch = MorselScratch::new();
         for (ci, chunk) in table.chunks().iter().enumerate() {
             if ci % dop != p {
                 continue;
@@ -189,12 +229,19 @@ pub fn execute_scan(
                     continue;
                 }
             }
-            if let Some(c) = scan_chunk(chunk, &full_layout, predicate, &filters, Some(projection))?
-            {
+            if let Some(c) = scan_chunk(
+                chunk,
+                &full_layout,
+                predicate,
+                &filters,
+                Some(projection),
+                &mut scratch,
+            )? {
                 out.push(c);
             }
         }
         ctx.stats.record_prune(node_id, &prune);
+        ctx.stats.note_scratch_allocs(scratch.grows());
         Ok(out)
     })?;
     Ok(PartitionedData { types, partitions })
@@ -220,11 +267,15 @@ pub fn execute_derived_scan(
     let types = input.types.clone();
     let partitions = par_map(input.num_partitions(), |p| {
         let mut out = Vec::new();
+        let mut scratch = MorselScratch::new();
         for chunk in &input.partitions[p] {
-            if let Some(c) = scan_chunk(chunk, &full_layout, predicate, &filters, None)? {
+            if let Some(c) =
+                scan_chunk(chunk, &full_layout, predicate, &filters, None, &mut scratch)?
+            {
                 out.push(c);
             }
         }
+        ctx.stats.note_scratch_allocs(scratch.grows());
         Ok(out)
     })?;
     Ok(PartitionedData { types, partitions })

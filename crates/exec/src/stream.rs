@@ -26,8 +26,9 @@ use bfq_plan::{pipeline::is_streamable, PhysicalNode, PhysicalPlan};
 use bfq_storage::{Chunk, Column};
 
 use crate::data::ExecStats;
-use crate::executor::{ExecContext, QueryOutput};
+use crate::executor::{ExecContext, ExecOptions, QueryOutput};
 use crate::pipeline::{execute_pipelined, prepare_chain, Morsel, PreparedChain};
+use crate::util::MorselScratch;
 
 /// How the remaining chunks are produced.
 enum StreamState {
@@ -39,6 +40,8 @@ enum StreamState {
         next: usize,
         /// Chunks produced by the current morsel, not yet handed out.
         pending: VecDeque<Chunk>,
+        /// The consumer thread's reusable probe buffers.
+        scratch: Box<MorselScratch>,
     },
     /// The plan root is a pipeline breaker (aggregate, sort, …): it ran to
     /// completion at stream creation; chunks are handed out as-is.
@@ -110,6 +113,7 @@ impl Iterator for ChunkStream {
                 morsels,
                 next,
                 pending,
+                scratch,
             } => loop {
                 if let Some(chunk) = pending.pop_front() {
                     return Some(Ok(chunk));
@@ -119,7 +123,9 @@ impl Iterator for ChunkStream {
                 }
                 let morsel = &morsels[*next];
                 *next += 1;
-                match chain.process(morsel, &self.ctx.stats) {
+                let result = chain.process(morsel, &self.ctx.stats, scratch);
+                self.ctx.stats.note_scratch_allocs(scratch.take_grows());
+                match result {
                     Ok(chunks) => {
                         pending.extend(chunks.into_iter().filter(|c| !c.is_empty()));
                     }
@@ -145,7 +151,25 @@ pub fn execute_plan_stream(
     dop: usize,
     index_mode: IndexMode,
 ) -> Result<ChunkStream> {
-    let ctx = ExecContext::new(catalog, dop).with_index_mode(index_mode);
+    execute_plan_stream_cfg(
+        plan,
+        catalog,
+        ExecOptions {
+            dop,
+            index_mode,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`execute_plan_stream`] under explicit [`ExecOptions`] (DOP, index
+/// mode, Bloom filter layout).
+pub fn execute_plan_stream_cfg(
+    plan: &Arc<PhysicalPlan>,
+    catalog: Arc<Catalog>,
+    options: ExecOptions,
+) -> Result<ChunkStream> {
+    let ctx = ExecContext::with_options(catalog, options);
     if is_streamable(&plan.node) || matches!(plan.node, PhysicalNode::Scan { .. }) {
         // Seal everything below the final pipeline, then pull lazily.
         let (chain, morsels) = prepare_chain(plan, &ctx)?;
@@ -158,6 +182,7 @@ pub fn execute_plan_stream(
                 morsels,
                 next: 0,
                 pending: VecDeque::new(),
+                scratch: Box::new(MorselScratch::new()),
             },
         })
     } else {

@@ -10,26 +10,80 @@ use bfq_storage::{Chunk, Column};
 /// Seed for join/partition key hashing (distinct from the Bloom seeds).
 pub const JOIN_SEED: u64 = 0x9d8f_3c2a_71b5_e604;
 
+/// Per-worker reusable buffers for the morsel hot path: the Bloom-probe
+/// scratch (hash columns plus selection ping-pong) and the join-probe
+/// buffers (combined key hashes, per-column staging, matched row pairs).
+/// One scratch lives per worker and persists across every morsel it
+/// processes, so steady-state execution performs zero filter-path
+/// allocations; capacity growths are counted through the embedded
+/// [`bfq_bloom::ProbeScratch`] and surfaced via
+/// [`crate::ExecStats::filter_scratch_allocs`].
+#[derive(Debug, Default)]
+pub struct MorselScratch {
+    /// Bloom filter probe scratch (hashes + selection vectors).
+    pub probe: bfq_bloom::ProbeScratch,
+    /// Combined join-key hashes of the current chunk.
+    pub join_hash: Vec<u64>,
+    /// Per-column staging for multi-key join hashing.
+    pub join_tmp: Vec<u64>,
+    /// Matched probe-row indices (parallel to `pair_build`).
+    pub pair_probe: Vec<u32>,
+    /// Matched build-row indices.
+    pub pair_build: Vec<u32>,
+}
+
+impl MorselScratch {
+    /// Empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        MorselScratch::default()
+    }
+
+    /// Total capacity growths across all embedded buffers.
+    pub fn grows(&self) -> u64 {
+        self.probe.grows()
+    }
+
+    /// Drain the growth counter (see [`bfq_bloom::ProbeScratch::take_grows`]).
+    pub fn take_grows(&mut self) -> u64 {
+        self.probe.take_grows()
+    }
+}
+
 /// Hash the given key columns of a chunk row-wise into one `u64` per row.
 /// Null keys receive a sentinel; callers must also consult `keys_null`.
 pub fn hash_keys(chunk: &Chunk, key_slots: &[usize], seed: u64) -> Vec<u64> {
-    let mut combined = vec![0u64; chunk.rows()];
-    let mut scratch = Vec::new();
+    let mut combined = Vec::new();
+    let mut tmp = Vec::new();
+    hash_keys_into(chunk, key_slots, seed, &mut tmp, &mut combined);
+    combined
+}
+
+/// [`hash_keys`] into caller-owned buffers: `tmp` stages one column's
+/// hashes, `out` receives the combined per-row hash. Neither allocates
+/// once grown to the largest chunk.
+pub fn hash_keys_into(
+    chunk: &Chunk,
+    key_slots: &[usize],
+    seed: u64,
+    tmp: &mut Vec<u64>,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    out.resize(chunk.rows(), 0);
     for (ki, &slot) in key_slots.iter().enumerate() {
-        chunk.column(slot).hash_into(seed, &mut scratch);
+        chunk.column(slot).hash_into(seed, tmp);
         if ki == 0 {
-            combined.copy_from_slice(&scratch);
+            out.copy_from_slice(tmp);
         } else {
-            for (c, h) in combined.iter_mut().zip(&scratch) {
+            for (c, h) in out.iter_mut().zip(tmp.iter()) {
                 *c = combine(*c, *h);
             }
         }
     }
     // Mix once more so partitioning on combined keys stays uniform.
-    for c in &mut combined {
+    for c in out.iter_mut() {
         *c = hash_u64(*c, seed);
     }
-    combined
 }
 
 /// Whether any key column is NULL at row `i`.

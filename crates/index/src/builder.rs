@@ -17,7 +17,7 @@
 //! Filters use the same hash seeds as runtime join filters so one hashing
 //! convention serves both layers.
 
-use bfq_bloom::BloomFilter;
+use bfq_bloom::{BloomFilter, BloomLayout};
 use bfq_common::DataType;
 use bfq_storage::{Chunk, Column};
 
@@ -28,8 +28,15 @@ fn bloom_indexed(dt: DataType) -> bool {
     matches!(dt, DataType::Int64 | DataType::Date | DataType::Utf8)
 }
 
-/// Build the index entry for one column.
+/// Build the index entry for one column (standard-layout chunk filters).
 pub fn build_column_index(col: &Column) -> ColumnIndex {
+    build_column_index_layout(col, BloomLayout::Standard)
+}
+
+/// Build the index entry for one column, with chunk Bloom filters laid out
+/// per `layout` (probing is layout-agnostic: a filter knows its own bit
+/// placement, so scans and runtime-filter key hashes work against either).
+pub fn build_column_index_layout(col: &Column, layout: BloomLayout) -> ColumnIndex {
     let rows = col.len();
     let null_count = col.null_count();
     let zone = col.min_max_axis().map(|(min, max)| ZoneMap { min, max });
@@ -38,8 +45,10 @@ pub fn build_column_index(col: &Column) -> ColumnIndex {
         // Exact NDV pass: sizing by distinct values instead of the non-null
         // row count shrinks low-cardinality filters 2-4x+ at the same
         // false-positive rate.
-        let mut f = BloomFilter::with_expected_ndv(col.count_distinct().max(1));
+        let ndv = col.count_distinct().max(1);
+        let mut f = BloomFilter::with_expected_ndv_layout(ndv, layout);
         f.insert_column(col);
+        f.set_ndv_hint(ndv as u64);
         f
     });
     ColumnIndex {
@@ -51,14 +60,19 @@ pub fn build_column_index(col: &Column) -> ColumnIndex {
     }
 }
 
-/// Build the per-column index for a sealed chunk.
+/// Build the per-column index for a sealed chunk (standard-layout filters).
 pub fn build_chunk_index(chunk: &Chunk) -> ChunkIndex {
+    build_chunk_index_layout(chunk, BloomLayout::Standard)
+}
+
+/// Build the per-column index for a sealed chunk under `layout`.
+pub fn build_chunk_index_layout(chunk: &Chunk, layout: BloomLayout) -> ChunkIndex {
     ChunkIndex {
         rows: chunk.rows(),
         columns: chunk
             .columns()
             .iter()
-            .map(|c| build_column_index(c))
+            .map(|c| build_column_index_layout(c, layout))
             .collect(),
     }
 }

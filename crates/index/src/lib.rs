@@ -28,7 +28,10 @@ use std::str::FromStr;
 use bfq_bloom::BloomFilter;
 use bfq_common::DataType;
 
-pub use builder::{build_chunk_index, build_column_index};
+pub use bfq_bloom::BloomLayout;
+pub use builder::{
+    build_chunk_index, build_chunk_index_layout, build_column_index, build_column_index_layout,
+};
 pub use prune::{chunk_prune, rf_chunk_prune, PruneOutcome};
 
 /// How much of the chunk index a scan consults.
@@ -151,10 +154,21 @@ pub struct TableIndex {
 }
 
 impl TableIndex {
-    /// Build the index for every chunk of `table`.
+    /// Build the index for every chunk of `table` (standard-layout chunk
+    /// Bloom filters).
     pub fn build(table: &bfq_storage::Table) -> TableIndex {
+        TableIndex::build_layout(table, BloomLayout::Standard)
+    }
+
+    /// Build the index for every chunk of `table`, with chunk Bloom filters
+    /// in the given bit-placement layout.
+    pub fn build_layout(table: &bfq_storage::Table, layout: BloomLayout) -> TableIndex {
         TableIndex {
-            chunks: table.chunks().iter().map(build_chunk_index).collect(),
+            chunks: table
+                .chunks()
+                .iter()
+                .map(|c| build_chunk_index_layout(c, layout))
+                .collect(),
         }
     }
 

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use bfq_bloom::strategy::{build_filter, StreamingStrategy};
+use bfq_bloom::BloomLayout;
 use bfq_common::{ColumnId, Datum, TableId};
 use bfq_expr::{eval_predicate, BinOp, Expr, Layout, UnOp};
 use bfq_index::{build_chunk_index, chunk_prune, rf_chunk_prune, IndexMode, PruneOutcome};
@@ -145,6 +146,7 @@ proptest! {
             StreamingStrategy::BroadcastBuild,
             &[Column::Int64(build_keys.clone(), None)],
             build_keys.len().max(1),
+            BloomLayout::Standard,
         );
         let intersects = chunk_keys.iter().any(|k| build_keys.contains(k));
         for mode in IndexMode::ALL {
@@ -181,6 +183,7 @@ fn rf_summary_pruning_never_skips_joinable_rows() {
         StreamingStrategy::BroadcastBuild,
         &[Column::Int64(build.clone(), None)],
         build.len(),
+        BloomLayout::Standard,
     );
     assert!(
         filter.key_hashes().is_none(),

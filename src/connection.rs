@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use bfq_common::{BfqError, DataType, Result};
-use bfq_core::{BloomMode, OptimizedQuery, OptimizerConfig};
-use bfq_exec::{execute_plan_stream, ChunkStream, ExecStats};
+use bfq_core::{BloomLayout, BloomMode, OptimizedQuery, OptimizerConfig};
+use bfq_exec::{execute_plan_stream_cfg, ChunkStream, ExecOptions, ExecStats};
 use bfq_index::IndexMode;
 use bfq_plan::Bindings;
 use bfq_sql::plan_sql;
@@ -29,6 +29,9 @@ use crate::statement::PreparedStatement;
 pub struct QueryOptions {
     /// Override the Bloom filter mode (`none` / `post` / `cbo` / `naive`).
     pub bloom_mode: Option<BloomMode>,
+    /// Override the Bloom filter bit-placement layout
+    /// (`standard` / `blocked`).
+    pub bloom_layout: Option<BloomLayout>,
     /// Override the data-skipping index mode.
     pub index_mode: Option<IndexMode>,
     /// Override the degree of parallelism.
@@ -41,6 +44,9 @@ impl QueryOptions {
         let mut config = base.clone();
         if let Some(mode) = self.bloom_mode {
             config.bloom_mode = mode;
+        }
+        if let Some(layout) = self.bloom_layout {
+            config.bloom_layout = layout;
         }
         if let Some(mode) = self.index_mode {
             config.index_mode = mode;
@@ -84,9 +90,10 @@ impl Connection {
 
     /// `SET key = value` for this connection.
     ///
-    /// Keys: `bloom_mode` (`none|post|cbo|naive`), `index_mode`
-    /// (`off|zonemap|zonemap+bloom`), `dop` (positive integer). The value
-    /// `default` resets a key to the engine default.
+    /// Keys: `bloom_mode` (`none|post|cbo|naive`), `bloom_layout`
+    /// (`standard|blocked`), `index_mode` (`off|zonemap|zonemap+bloom`),
+    /// `dop` (positive integer). The value `default` resets a key to the
+    /// engine default.
     pub fn set(&mut self, key: &str, value: &str) -> Result<()> {
         let key = key.trim().to_ascii_lowercase();
         let value = value.trim().to_ascii_lowercase();
@@ -107,6 +114,13 @@ impl Connection {
                             )))
                         }
                     })
+                }
+            }
+            "bloom_layout" => {
+                self.options.bloom_layout = if reset {
+                    None
+                } else {
+                    Some(value.parse().map_err(BfqError::invalid)?)
                 }
             }
             "index_mode" => {
@@ -131,7 +145,7 @@ impl Connection {
             }
             other => {
                 return Err(BfqError::invalid(format!(
-                    "unknown option `{other}` (bloom_mode|index_mode|dop)"
+                    "unknown option `{other}` (bloom_mode|bloom_layout|index_mode|dop)"
                 )))
             }
         }
@@ -151,11 +165,10 @@ impl Connection {
     pub fn run_sql(&self, sql: &str) -> Result<QueryResult> {
         let optimizer = self.effective_config();
         let (catalog, cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
-        let out = bfq_exec::execute_plan_pipelined(
+        let out = bfq_exec::execute_plan_pipelined_cfg(
             &cached.optimized.plan,
             catalog,
-            optimizer.dop,
-            optimizer.index_mode,
+            exec_options(&optimizer),
         )?;
         Ok(QueryResult {
             chunk: out.chunk,
@@ -170,12 +183,8 @@ impl Connection {
     pub fn execute_stream(&self, sql: &str) -> Result<QueryStream> {
         let optimizer = self.effective_config();
         let (catalog, cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
-        let stream = execute_plan_stream(
-            &cached.optimized.plan,
-            catalog,
-            optimizer.dop,
-            optimizer.index_mode,
-        )?;
+        let stream =
+            execute_plan_stream_cfg(&cached.optimized.plan, catalog, exec_options(&optimizer))?;
         Ok(QueryStream {
             column_names: cached.output_names.clone(),
             optimized: cached.optimized.clone(),
@@ -227,6 +236,15 @@ impl Connection {
         let mut bindings = Bindings::new();
         let bound = plan_sql(sql, &catalog, &mut bindings)?;
         bfq_core::optimize(&bound.plan, &mut bindings, &catalog, &optimizer)
+    }
+}
+
+/// The executor options an optimizer config implies.
+pub(crate) fn exec_options(optimizer: &OptimizerConfig) -> ExecOptions {
+    ExecOptions {
+        dop: optimizer.dop,
+        index_mode: optimizer.index_mode,
+        bloom_layout: optimizer.bloom_layout,
     }
 }
 

@@ -26,7 +26,7 @@ use parking_lot::RwLock;
 
 use crate::connection::Connection;
 
-pub use bfq_core::BloomMode;
+pub use bfq_core::{BloomLayout, BloomMode};
 pub use bfq_index::IndexMode;
 
 /// Engine-wide configuration: optimizer defaults plus cache sizing.
@@ -68,6 +68,12 @@ impl EngineConfig {
     /// Set the data-skipping index mode (off / zonemap / zonemap+bloom).
     pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
         self.optimizer.index_mode = mode;
+        self
+    }
+
+    /// Set the Bloom filter bit-placement layout (standard / blocked).
+    pub fn with_bloom_layout(mut self, layout: BloomLayout) -> Self {
+        self.optimizer.bloom_layout = layout;
         self
     }
 

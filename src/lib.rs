@@ -79,7 +79,7 @@ pub mod prelude {
     pub use crate::session::SessionConfig;
     pub use crate::statement::{BoundStatement, PreparedStatement};
     pub use bfq_common::{BfqError, DataType, Datum, RelSet, Result};
-    pub use bfq_core::{BloomMode, PlanCacheStats};
+    pub use bfq_core::{BloomLayout, BloomMode, PlanCacheStats};
     pub use bfq_index::IndexMode;
     pub use bfq_storage::{Chunk, Table};
 }

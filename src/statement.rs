@@ -16,7 +16,7 @@ use std::sync::Arc;
 use bfq_catalog::Catalog;
 use bfq_common::{BfqError, Datum, Result};
 use bfq_core::{CachedPlan, OptimizedQuery, OptimizerConfig};
-use bfq_exec::{execute_plan_pipelined, execute_plan_stream};
+use bfq_exec::{execute_plan_pipelined_cfg, execute_plan_stream_cfg};
 use bfq_plan::PhysicalPlan;
 
 use crate::connection::QueryStream;
@@ -134,11 +134,10 @@ impl BoundStatement {
     /// run here (use [`PreparedStatement::from_cache`] for the
     /// prepare-time cache outcome).
     pub fn execute(&self) -> Result<QueryResult> {
-        let out = execute_plan_pipelined(
+        let out = execute_plan_pipelined_cfg(
             &self.plan,
             self.stmt.catalog.clone(),
-            self.stmt.optimizer.dop,
-            self.stmt.optimizer.index_mode,
+            crate::connection::exec_options(&self.stmt.optimizer),
         )?;
         Ok(QueryResult {
             chunk: out.chunk,
@@ -152,11 +151,10 @@ impl BoundStatement {
     /// Execute, yielding result chunks incrementally (`cache_hit` as in
     /// [`BoundStatement::execute`]).
     pub fn execute_stream(&self) -> Result<QueryStream> {
-        let stream = execute_plan_stream(
+        let stream = execute_plan_stream_cfg(
             &self.plan,
             self.stmt.catalog.clone(),
-            self.stmt.optimizer.dop,
-            self.stmt.optimizer.index_mode,
+            crate::connection::exec_options(&self.stmt.optimizer),
         )?;
         Ok(QueryStream::from_parts(
             self.stmt.cached.output_names.clone(),
