@@ -93,8 +93,32 @@ pub struct Measured {
     pub exec_stats: ExecStats,
     /// Average execution latency (milliseconds, warm).
     pub exec_ms: f64,
+    /// Fastest warm run (milliseconds). Use this for A/B comparisons:
+    /// min-of-N discards scheduler noise spikes that inflate the mean.
+    pub exec_min_ms: f64,
     /// Planning latency (milliseconds).
     pub plan_ms: f64,
+}
+
+/// One timed execution of an already-optimized plan.
+fn timed_exec(
+    catalog: &Arc<Catalog>,
+    planned: &OptimizedQuery,
+    config: &OptimizerConfig,
+) -> Result<(bfq_exec::QueryOutput, f64)> {
+    let t = Instant::now();
+    let out = execute_plan_pipelined_cfg(
+        &planned.plan,
+        catalog.clone(),
+        ExecOptions {
+            dop: config.dop,
+            index_mode: config.index_mode,
+            bloom_layout: config.bloom_layout,
+            determinism: config.determinism,
+            ..Default::default()
+        },
+    )?;
+    Ok((out, t.elapsed().as_secs_f64() * 1e3))
 }
 
 /// Plan and repeatedly execute a query; returns warm-average latency.
@@ -112,21 +136,13 @@ pub fn measure_query(
 
     let mut last = None;
     let mut total_ms = 0.0;
+    let mut min_ms = f64::INFINITY;
     let timed_runs = runs.saturating_sub(1).max(1);
     for i in 0..runs.max(2) {
-        let t = Instant::now();
-        let out = execute_plan_pipelined_cfg(
-            &planned.plan,
-            catalog.clone(),
-            ExecOptions {
-                dop: config.dop,
-                index_mode: config.index_mode,
-                bloom_layout: config.bloom_layout,
-            },
-        )?;
-        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let (out, ms) = timed_exec(catalog, &planned, config)?;
         if i > 0 {
             total_ms += ms;
+            min_ms = min_ms.min(ms);
         }
         last = Some(out);
     }
@@ -136,8 +152,66 @@ pub fn measure_query(
         chunk: out.chunk,
         exec_stats: out.stats,
         exec_ms: total_ms / timed_runs as f64,
+        exec_min_ms: min_ms,
         plan_ms,
     })
+}
+
+/// An interleaved A/B measurement of one query under two configurations.
+pub struct PairedRuns {
+    pub a: Measured,
+    pub b: Measured,
+    /// Per-round warm `(a_ms, b_ms)` samples. The two runs of a round are
+    /// back to back, so the robust comparison statistic is the median of
+    /// the per-round ratios, not a ratio of aggregates.
+    pub samples: Vec<(f64, f64)>,
+}
+
+/// Measure two configurations of the same query with their warm runs
+/// *interleaved*: each round times both configurations back to back
+/// (alternating which goes first, so neither side always inherits the
+/// other's cache residue), which makes slow machine drift — co-tenant
+/// load, thermal throttling — bias both sides of an A/B comparison
+/// equally instead of whichever block ran in the quiet window. Each
+/// side's `exec_ms`/`exec_min_ms` aggregate its `rounds` timed runs
+/// (after one untimed warm-up apiece).
+pub fn measure_query_pair(
+    catalog: &Arc<Catalog>,
+    sql: &str,
+    config_a: &OptimizerConfig,
+    config_b: &OptimizerConfig,
+    rounds: usize,
+) -> Result<PairedRuns> {
+    let mut a = measure_query(catalog, sql, config_a, 2)?;
+    let mut b = measure_query(catalog, sql, config_b, 2)?;
+    let mut samples = vec![(a.exec_ms, b.exec_ms)];
+    let rounds = rounds.max(1);
+    for round in 1..rounds {
+        let a_first = round % 2 == 0;
+        let (ms_a, ms_b) = if a_first {
+            let (out_a, ms_a) = timed_exec(catalog, &a.planned, config_a)?;
+            let (out_b, ms_b) = timed_exec(catalog, &b.planned, config_b)?;
+            a.chunk = out_a.chunk;
+            a.exec_stats = out_a.stats;
+            b.chunk = out_b.chunk;
+            b.exec_stats = out_b.stats;
+            (ms_a, ms_b)
+        } else {
+            let (out_b, ms_b) = timed_exec(catalog, &b.planned, config_b)?;
+            let (out_a, ms_a) = timed_exec(catalog, &a.planned, config_a)?;
+            a.chunk = out_a.chunk;
+            a.exec_stats = out_a.stats;
+            b.chunk = out_b.chunk;
+            b.exec_stats = out_b.stats;
+            (ms_a, ms_b)
+        };
+        samples.push((ms_a, ms_b));
+        a.exec_min_ms = a.exec_min_ms.min(ms_a);
+        b.exec_min_ms = b.exec_min_ms.min(ms_b);
+    }
+    a.exec_ms = samples.iter().map(|s| s.0).sum::<f64>() / rounds as f64;
+    b.exec_ms = samples.iter().map(|s| s.1).sum::<f64>() / rounds as f64;
+    Ok(PairedRuns { a, b, samples })
 }
 
 /// Run one TPC-H query under a mode.

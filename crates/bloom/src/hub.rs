@@ -82,6 +82,39 @@ impl ProbeScratch {
     }
 }
 
+/// Exact hashes of the distinct build keys a small build side ships with
+/// its filter, for probing per-chunk Bloom indexes (`bfq-index`).
+///
+/// Standard-layout chunk filters consume both seed hashes, so the pairs
+/// variant carries `(h1, h2)`. Blocked filters derive every bit position
+/// from the first hash alone ([`BloomFilter::needs_second_hash`] is
+/// false), so when the session layout is blocked the build ships only
+/// `h1` — halving the per-key metadata on the chunk-skipping hot path.
+/// First-only hashes can prove a skip only against a chunk filter that
+/// itself ignores `h2`; the pruner checks that at probe time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyHashes {
+    /// `(h1, h2)` per distinct key (standard layout).
+    Pairs(Vec<(u64, u64)>),
+    /// `h1` per distinct key (blocked layout; `h2` is never consumed).
+    FirstOnly(Vec<u64>),
+}
+
+impl KeyHashes {
+    /// Number of distinct key hashes shipped.
+    pub fn len(&self) -> usize {
+        match self {
+            KeyHashes::Pairs(v) => v.len(),
+            KeyHashes::FirstOnly(v) => v.len(),
+        }
+    }
+
+    /// Whether the build side passed no keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The filter proper: merged single or per-partition.
 #[derive(Debug, Clone)]
 pub enum FilterCore {
@@ -106,7 +139,7 @@ pub enum FilterCore {
 pub struct RuntimeFilter {
     core: FilterCore,
     key_bounds: Option<(f64, f64)>,
-    key_hashes: Option<Vec<(u64, u64)>>,
+    key_hashes: Option<KeyHashes>,
     key_summary: Option<crate::summary::KeySummary>,
 }
 
@@ -135,7 +168,7 @@ impl RuntimeFilter {
     pub fn with_key_info(
         mut self,
         bounds: Option<(f64, f64)>,
-        hashes: Option<Vec<(u64, u64)>>,
+        hashes: Option<KeyHashes>,
         summary: Option<crate::summary::KeySummary>,
     ) -> Self {
         self.key_bounds = bounds;
@@ -154,11 +187,12 @@ impl RuntimeFilter {
         self.key_bounds
     }
 
-    /// Exact `(h1, h2)` hashes of the distinct build keys, when the build
-    /// side was small enough to ship them (possibly empty: an empty build
-    /// side passes nothing).
-    pub fn key_hashes(&self) -> Option<&[(u64, u64)]> {
-        self.key_hashes.as_deref()
+    /// Exact hashes of the distinct build keys, when the build side was
+    /// small enough to ship them (possibly empty: an empty build side
+    /// passes nothing). Pairs under the standard layout, first-hash-only
+    /// under the blocked layout.
+    pub fn key_hashes(&self) -> Option<&KeyHashes> {
+        self.key_hashes.as_ref()
     }
 
     /// The build-key occupancy summary carried for large numeric builds

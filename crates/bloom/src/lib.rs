@@ -29,7 +29,7 @@ pub mod strategy;
 pub mod summary;
 
 pub use filter::{BloomFilter, BLOOM_SEED_1, BLOOM_SEED_2};
-pub use hub::{FilterCore, FilterHub, ProbeScratch, RuntimeFilter};
+pub use hub::{FilterCore, FilterHub, KeyHashes, ProbeScratch, RuntimeFilter};
 pub use math::{
     bits_for_ndv, blocked_fpr, default_fpr_layout, false_positive_rate, fpr_for_layout,
     BloomLayout, BLOCK_BITS, DEFAULT_BITS_PER_KEY, NUM_HASHES,

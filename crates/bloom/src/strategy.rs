@@ -8,7 +8,7 @@
 use bfq_storage::Column;
 
 use crate::filter::{BloomFilter, BLOOM_SEED_1, BLOOM_SEED_2};
-use crate::hub::RuntimeFilter;
+use crate::hub::{KeyHashes, RuntimeFilter};
 use crate::math::BloomLayout;
 use crate::partitioned::PartitionedBloomFilter;
 use crate::summary::KeySummary;
@@ -22,17 +22,17 @@ use crate::summary::KeySummary;
 pub const SMALL_KEY_LIMIT: usize = 1024;
 
 /// Build-key metadata that travels with a runtime filter: numeric-axis
-/// min/max of the non-null keys, the deduplicated `(h1, h2)` hashes of
-/// every key (small build sides), or the occupancy summary (large numeric
-/// build sides).
-type KeyInfo = (
-    Option<(f64, f64)>,
-    Option<Vec<(u64, u64)>>,
-    Option<KeySummary>,
-);
+/// min/max of the non-null keys, the deduplicated hashes of every key
+/// (small build sides), or the occupancy summary (large numeric build
+/// sides).
+type KeyInfo = (Option<(f64, f64)>, Option<KeyHashes>, Option<KeySummary>);
 
 /// Compute the [`KeyInfo`] for the key columns a filter was built from.
-fn key_info(thread_keys: &[Column]) -> KeyInfo {
+/// `needs_h2` says whether the built filter consumes the second seed hash
+/// ([`BloomFilter::needs_second_hash`]): blocked-layout filters do not, so
+/// their key hashes ship first-hash-only — skipping a whole seed-2 hash
+/// pass over the build keys and halving the shipped metadata.
+fn key_info(thread_keys: &[Column], needs_h2: bool) -> KeyInfo {
     let mut bounds: Option<(f64, f64)> = None;
     for col in thread_keys {
         if let Some((lo, hi)) = col.min_max_axis() {
@@ -44,20 +44,36 @@ fn key_info(thread_keys: &[Column]) -> KeyInfo {
     }
     let total_rows: usize = thread_keys.iter().map(|c| c.len()).sum();
     let hashes = (total_rows <= 4 * SMALL_KEY_LIMIT).then(|| {
-        let mut out = Vec::new();
-        let (mut h1, mut h2) = (Vec::new(), Vec::new());
-        for col in thread_keys {
-            col.hash_into(BLOOM_SEED_1, &mut h1);
-            col.hash_into(BLOOM_SEED_2, &mut h2);
-            for i in 0..col.len() {
-                if !col.is_null(i) {
-                    out.push((h1[i], h2[i]));
+        if needs_h2 {
+            let mut out = Vec::new();
+            let (mut h1, mut h2) = (Vec::new(), Vec::new());
+            for col in thread_keys {
+                col.hash_into(BLOOM_SEED_1, &mut h1);
+                col.hash_into(BLOOM_SEED_2, &mut h2);
+                for i in 0..col.len() {
+                    if !col.is_null(i) {
+                        out.push((h1[i], h2[i]));
+                    }
                 }
             }
+            out.sort_unstable();
+            out.dedup();
+            KeyHashes::Pairs(out)
+        } else {
+            let mut out = Vec::new();
+            let mut h1 = Vec::new();
+            for col in thread_keys {
+                col.hash_into(BLOOM_SEED_1, &mut h1);
+                for (i, &h) in h1.iter().enumerate().take(col.len()) {
+                    if !col.is_null(i) {
+                        out.push(h);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            KeyHashes::FirstOnly(out)
         }
-        out.sort_unstable();
-        out.dedup();
-        out
     });
     let hashes = hashes.filter(|h| h.len() <= SMALL_KEY_LIMIT);
     // The summary is the large-build fallback: only built when exact hashes
@@ -122,7 +138,7 @@ pub fn build_filter(
             // All threads hold identical data; use thread 0's copy.
             let mut f = BloomFilter::with_expected_ndv_layout(expected_ndv, layout);
             f.insert_column(&thread_keys[0]);
-            let (bounds, hashes, summary) = key_info(&thread_keys[..1]);
+            let (bounds, hashes, summary) = key_info(&thread_keys[..1], f.needs_second_hash());
             f.set_ndv_hint(ndv_hint(&hashes, expected_ndv));
             RuntimeFilter::single(f).with_key_info(bounds, hashes, summary)
         }
@@ -136,7 +152,7 @@ pub fn build_filter(
                 partial.insert_column(keys);
                 merged.union_with(&partial);
             }
-            let (bounds, hashes, summary) = key_info(thread_keys);
+            let (bounds, hashes, summary) = key_info(thread_keys, merged.needs_second_hash());
             merged.set_ndv_hint(ndv_hint(&hashes, expected_ndv));
             RuntimeFilter::single(merged).with_key_info(bounds, hashes, summary)
         }
@@ -148,7 +164,7 @@ pub fn build_filter(
                 // hash so partial `i` holds exactly partition `i`'s keys.
                 pf.insert_column_routed(keys);
             }
-            let (bounds, hashes, summary) = key_info(thread_keys);
+            let (bounds, hashes, summary) = key_info(thread_keys, pf.needs_second_hash());
             // Each partial holds an even share of the distinct keys.
             let per_part = ndv_hint(&hashes, expected_ndv).div_ceil(n as u64).max(1);
             for p in 0..n {
@@ -162,7 +178,7 @@ pub fn build_filter(
 /// The distinct-key count a filter should report FPR against: the exact
 /// deduplicated hash count when a small build shipped it, else the
 /// planner's estimate the filter was sized for.
-fn ndv_hint(hashes: &Option<Vec<(u64, u64)>>, expected_ndv: usize) -> u64 {
+fn ndv_hint(hashes: &Option<KeyHashes>, expected_ndv: usize) -> u64 {
     hashes
         .as_ref()
         .map(|h| h.len() as u64)
@@ -276,6 +292,35 @@ mod tests {
         );
         assert!(f.key_bounds().is_none());
         assert_eq!(f.key_hashes().map(|h| h.len()), Some(2));
+    }
+
+    #[test]
+    fn blocked_layout_ships_first_hash_only() {
+        let blocked = build_filter(
+            StreamingStrategy::BroadcastBuild,
+            &[int_col(&[1, 2, 3])],
+            3,
+            BloomLayout::Blocked,
+        );
+        assert!(
+            matches!(blocked.key_hashes(), Some(KeyHashes::FirstOnly(h)) if h.len() == 3),
+            "blocked filters never consume h2, so only h1 should ship"
+        );
+        let standard = build_filter(
+            StreamingStrategy::BroadcastBuild,
+            &[int_col(&[1, 2, 3])],
+            3,
+            BloomLayout::Standard,
+        );
+        assert!(matches!(standard.key_hashes(), Some(KeyHashes::Pairs(h)) if h.len() == 3));
+        // Partitioned strategies follow the same rule.
+        let part = build_filter(
+            StreamingStrategy::PartitionAligned,
+            &[int_col(&[1, 2]), int_col(&[3, 4])],
+            4,
+            BloomLayout::Blocked,
+        );
+        assert!(matches!(part.key_hashes(), Some(KeyHashes::FirstOnly(h)) if h.len() == 4));
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! [`error::BfqError`] type.
 
 pub mod date;
+pub mod determinism;
 pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod relset;
 pub mod value;
 
+pub use determinism::Determinism;
 pub use error::{BfqError, Result};
 pub use ids::{ColumnId, FilterId, TableId};
 pub use relset::RelSet;

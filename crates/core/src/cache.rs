@@ -271,6 +271,11 @@ mod tests {
             ..Default::default()
         };
         assert_ne!(a.cache_fingerprint(), d.cache_fingerprint());
+        let e = OptimizerConfig {
+            determinism: crate::Determinism::Fast,
+            ..Default::default()
+        };
+        assert_ne!(a.cache_fingerprint(), e.cache_fingerprint());
         assert_eq!(
             a.cache_fingerprint(),
             OptimizerConfig::default().cache_fingerprint()

@@ -306,6 +306,7 @@ impl Planner<'_> {
                         group_by: group_by.clone(),
                         aggs: aggs.clone(),
                         having: having.clone(),
+                        est_groups: groups,
                     },
                     Layout::new(layout_cols),
                     rows,
@@ -338,6 +339,27 @@ impl Planner<'_> {
                 let (child, cost) = self.plan_node(input, needed)?;
                 let rows = child.est_rows.min(*n as f64);
                 let layout = child.layout.clone();
+                // ORDER BY + LIMIT fuses into a Top-N sort: the sort
+                // truncates while it sorts, so both executors can bound
+                // sort memory by the limit instead of the input.
+                if let PhysicalNode::Sort {
+                    input: sort_input,
+                    keys,
+                    limit: None,
+                } = &child.node
+                {
+                    let node = PhysicalPlan::new(
+                        PhysicalNode::Sort {
+                            input: sort_input.clone(),
+                            keys: keys.clone(),
+                            limit: Some(*n),
+                        },
+                        layout,
+                        rows,
+                        Distribution::Single,
+                    );
+                    return Ok((node, cost));
+                }
                 let node = PhysicalPlan::new(
                     PhysicalNode::Limit {
                         input: child,

@@ -43,6 +43,7 @@ pub use driver::{optimize, optimize_bare_block, optimize_block, OptimizedQuery, 
 pub use subplan::{PendingBf, PlanList, SubPlan};
 
 pub use bfq_bloom::BloomLayout;
+pub use bfq_common::Determinism;
 use bfq_cost::CostParams;
 pub use bfq_index::IndexMode;
 
@@ -115,6 +116,13 @@ pub struct OptimizerConfig {
     /// estimator's FPR math follows the layout, and the knob participates
     /// in the plan-cache fingerprint.
     pub bloom_layout: BloomLayout,
+    /// How much ordering the executor's sinks and exchanges preserve:
+    /// `strict` (bit-identical to the eager executor, the default and the
+    /// equivalence oracle) or `fast` (per-worker partial aggregation,
+    /// partial-sort merge and streamed exchanges — same row set, stable
+    /// run-to-run order at fixed DOP). Participates in the plan-cache
+    /// fingerprint like every other knob.
+    pub determinism: Determinism,
 }
 
 impl Default for OptimizerConfig {
@@ -136,6 +144,7 @@ impl Default for OptimizerConfig {
             max_bf_subplans_per_rel: 64,
             index_mode: IndexMode::default(),
             bloom_layout: BloomLayout::default(),
+            determinism: Determinism::default(),
         }
     }
 }
@@ -170,6 +179,12 @@ impl OptimizerConfig {
     /// Builder-style Bloom filter layout override.
     pub fn bloom_layout(mut self, layout: BloomLayout) -> Self {
         self.bloom_layout = layout;
+        self
+    }
+
+    /// Builder-style determinism-mode override.
+    pub fn determinism(mut self, mode: Determinism) -> Self {
+        self.determinism = mode;
         self
     }
 }

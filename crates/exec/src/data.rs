@@ -125,6 +125,11 @@ pub struct ExecStats {
     /// stays bounded by `pipelines × workers × buffers` no matter how many
     /// morsels run — asserted by the allocation-discipline tests.
     scratch_allocs: Mutex<u64>,
+    /// Times a morsel worker blocked on a strict-mode reorder window
+    /// (produced output the sequence-ordered sink was not ready for).
+    /// Fast-mode partial sinks have no window and never stall — this
+    /// counter is what `determinism = fast` eliminates.
+    window_stalls: Mutex<u64>,
 }
 
 impl ExecStats {
@@ -196,6 +201,17 @@ impl ExecStats {
     /// Total filter-probe scratch buffer growths across all workers.
     pub fn filter_scratch_allocs(&self) -> u64 {
         *self.scratch_allocs.lock()
+    }
+
+    /// Record one reorder-window stall (a worker blocked behind the
+    /// sequence-ordered sink).
+    pub fn note_window_stall(&self) {
+        *self.window_stalls.lock() += 1;
+    }
+
+    /// Total reorder-window stalls across all workers and pipelines.
+    pub fn window_stalls(&self) -> u64 {
+        *self.window_stalls.lock()
     }
 }
 

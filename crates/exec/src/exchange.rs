@@ -28,6 +28,36 @@ pub fn broadcast(input: PartitionedData, dop: usize) -> PartitionedData {
     }
 }
 
+/// Split one chunk into the per-target `buckets` of a `dop`-way hash
+/// repartition on the key `slots`. The placement function (join-seeded key
+/// hash modulo `dop`) is the single source of truth shared by the
+/// barrier repartition below and the fast-mode streamed repartition sink
+/// ([`crate::pipeline`]), so both produce identical per-target row sets.
+pub(crate) fn route_chunk(chunk: &Chunk, slots: &[usize], buckets: &mut [Vec<Chunk>]) {
+    let dop = buckets.len();
+    let hashes = hash_keys(chunk, slots, JOIN_SEED);
+    let mut sels: Vec<Vec<u32>> = vec![Vec::new(); dop];
+    for (i, h) in hashes.iter().enumerate() {
+        sels[(h % dop as u64) as usize].push(i as u32);
+    }
+    for (b, sel) in sels.iter().enumerate() {
+        if !sel.is_empty() {
+            buckets[b].push(chunk.take(sel));
+        }
+    }
+}
+
+/// Merge per-source bucket sets by target, in source order.
+pub(crate) fn merge_buckets(bucketed: Vec<Vec<Vec<Chunk>>>, dop: usize) -> Vec<Vec<Chunk>> {
+    let mut partitions: Vec<Vec<Chunk>> = vec![Vec::new(); dop];
+    for mut per_source in bucketed {
+        for (b, chunks) in per_source.iter_mut().enumerate() {
+            partitions[b].append(chunks);
+        }
+    }
+    partitions
+}
+
 /// Hash-repartition on `cols` so equal keys land on the same worker.
 pub fn repartition(
     input: PartitionedData,
@@ -40,29 +70,14 @@ pub fn repartition(
     let bucketed: Vec<Vec<Vec<Chunk>>> = par_map(input.num_partitions(), |p| {
         let mut buckets: Vec<Vec<Chunk>> = vec![Vec::new(); dop];
         for chunk in &input.partitions[p] {
-            let hashes = hash_keys(chunk, &slots, JOIN_SEED);
-            let mut sels: Vec<Vec<u32>> = vec![Vec::new(); dop];
-            for (i, h) in hashes.iter().enumerate() {
-                sels[(h % dop as u64) as usize].push(i as u32);
-            }
-            for (b, sel) in sels.iter().enumerate() {
-                if !sel.is_empty() {
-                    buckets[b].push(chunk.take(sel));
-                }
-            }
+            route_chunk(chunk, &slots, &mut buckets);
         }
         Ok(buckets)
     })?;
     // …then merge the buckets by target.
-    let mut partitions: Vec<Vec<Chunk>> = vec![Vec::new(); dop];
-    for mut per_input in bucketed {
-        for (b, chunks) in per_input.iter_mut().enumerate() {
-            partitions[b].append(chunks);
-        }
-    }
     Ok(PartitionedData {
         types: input.types,
-        partitions,
+        partitions: merge_buckets(bucketed, dop),
     })
 }
 

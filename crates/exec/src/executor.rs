@@ -6,7 +6,7 @@ use std::sync::Arc;
 use bfq_bloom::strategy::{build_filter, StreamingStrategy};
 use bfq_bloom::{BloomLayout, FilterHub};
 use bfq_catalog::Catalog;
-use bfq_common::{BfqError, DataType, Datum, Result};
+use bfq_common::{BfqError, DataType, Datum, Determinism, Result};
 use bfq_expr::{eval, Layout};
 use bfq_index::IndexMode;
 use bfq_plan::{Distribution, ExchangeKind, PhysicalNode, PhysicalPlan};
@@ -31,6 +31,14 @@ pub struct ExecOptions {
     pub index_mode: IndexMode,
     /// Bit-placement layout for runtime Bloom filters.
     pub bloom_layout: BloomLayout,
+    /// How much ordering the pipeline's sinks and exchanges preserve
+    /// (`strict` = bit-identical to the eager executor; `fast` =
+    /// per-worker partial states merged at seal).
+    pub determinism: Determinism,
+    /// Reorder-window size *per worker* (in morsels) for strict-mode
+    /// sequence-ordered sinks; the window may still grow adaptively under
+    /// backpressure. `fast` sinks have no window.
+    pub reorder_window: usize,
 }
 
 impl Default for ExecOptions {
@@ -39,6 +47,8 @@ impl Default for ExecOptions {
             dop: 1,
             index_mode: IndexMode::default(),
             bloom_layout: BloomLayout::default(),
+            determinism: Determinism::default(),
+            reorder_window: crate::pipeline::REORDER_WINDOW_PER_WORKER,
         }
     }
 }
@@ -69,6 +79,10 @@ pub struct ExecContext {
     pub index_mode: IndexMode,
     /// Bit-placement layout for runtime Bloom filters built by this query.
     pub bloom_layout: BloomLayout,
+    /// Sink/exchange ordering contract (see [`Determinism`]).
+    pub determinism: Determinism,
+    /// Strict-mode reorder-window size per worker, in morsels.
+    pub reorder_window: usize,
 }
 
 impl ExecContext {
@@ -88,6 +102,8 @@ impl ExecContext {
             filter_wait_ms: 120_000,
             index_mode: options.index_mode,
             bloom_layout: options.bloom_layout,
+            determinism: options.determinism,
+            reorder_window: options.reorder_window.max(1),
         }
     }
 
@@ -279,6 +295,7 @@ pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<Partitione
             group_by,
             aggs,
             having,
+            ..
         } => {
             let data = execute(input, ctx)?;
             let input_types = data.types.clone();
@@ -484,6 +501,65 @@ pub(crate) fn sort_chunk(
         idx.truncate(n);
     }
     Ok(chunk.take(&idx))
+}
+
+/// Merge two chunks already sorted by `keys` into one sorted chunk.
+///
+/// Ties take rows from `a` before `b` while preserving each side's
+/// internal order, so a fixed sequence of pairwise merges (fast mode's
+/// partial-sort sink: runs in worker-index order) yields a deterministic
+/// total order at fixed DOP — the tie-break is (run index, row index)
+/// instead of strict mode's gathered position.
+pub(crate) fn merge_sorted(
+    a: &Chunk,
+    b: &Chunk,
+    layout: &Layout,
+    keys: &[bfq_plan::SortKey],
+) -> Result<Chunk> {
+    if a.rows() == 0 {
+        return Ok(b.clone());
+    }
+    if b.rows() == 0 {
+        return Ok(a.clone());
+    }
+    let a_keys: Vec<Column> = keys
+        .iter()
+        .map(|k| eval(&k.expr, a, layout))
+        .collect::<Result<_>>()?;
+    let b_keys: Vec<Column> = keys
+        .iter()
+        .map(|k| eval(&k.expr, b, layout))
+        .collect::<Result<_>>()?;
+    let a_first = |i: usize, j: usize| -> bool {
+        for ((k, ca), cb) in keys.iter().zip(&a_keys).zip(&b_keys) {
+            let mut ord = col_cmp(ca, i, cb, j);
+            if k.descending {
+                ord = ord.reverse();
+            }
+            match ord {
+                std::cmp::Ordering::Less => return true,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        true // tie: keep the earlier run's row first
+    };
+    let combined = Chunk::concat(&[a.clone(), b.clone()])?;
+    let offset = a.rows() as u32;
+    let mut idx: Vec<u32> = Vec::with_capacity(a.rows() + b.rows());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.rows() && j < b.rows() {
+        if a_first(i, j) {
+            idx.push(i as u32);
+            i += 1;
+        } else {
+            idx.push(offset + j as u32);
+            j += 1;
+        }
+    }
+    idx.extend(i as u32..a.rows() as u32);
+    idx.extend((j as u32..b.rows() as u32).map(|x| offset + x));
+    Ok(combined.take(&idx))
 }
 
 /// Compute output types for a plan's layout (exported for the session layer

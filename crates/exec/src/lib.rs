@@ -36,6 +36,7 @@ pub mod stream;
 pub mod util;
 
 pub use bfq_bloom::BloomLayout;
+pub use bfq_common::Determinism;
 pub use bfq_index::IndexMode;
 pub use data::{ExecStats, PartitionedData, ScanPruneStats};
 pub use executor::{
@@ -43,7 +44,7 @@ pub use executor::{
 };
 pub use pipeline::{
     execute_pipelined, execute_plan_pipelined, execute_plan_pipelined_cfg,
-    REORDER_WINDOW_PER_WORKER,
+    REORDER_WINDOW_PER_WORKER, SORT_RUN_ROWS,
 };
 pub use stream::{execute_plan_stream, execute_plan_stream_cfg, ChunkStream};
 pub use util::MorselScratch;

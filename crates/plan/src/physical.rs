@@ -230,6 +230,11 @@ pub enum PhysicalNode {
         aggs: Vec<AggExpr>,
         /// HAVING filter over the aggregated output.
         having: Option<Expr>,
+        /// Planner estimate of the group count *before* HAVING (the
+        /// node's `est_rows` is post-HAVING). Executors use it to decide
+        /// whether partial aggregation reduces enough to pay for its
+        /// merge.
+        est_groups: f64,
     },
     /// Sort (optionally top-N).
     Sort {
@@ -348,11 +353,13 @@ impl PhysicalPlan {
                 group_by,
                 aggs,
                 having,
+                est_groups,
             } => PhysicalNode::HashAgg {
                 input: input.with_ids(next),
                 group_by,
                 aggs,
                 having,
+                est_groups,
             },
             PhysicalNode::Sort { input, keys, limit } => PhysicalNode::Sort {
                 input: input.with_ids(next),
@@ -577,6 +584,7 @@ impl PhysicalPlan {
                 group_by,
                 aggs,
                 having,
+                est_groups,
             } => PhysicalNode::HashAgg {
                 input: input.map_exprs(rewrite),
                 group_by: group_by
@@ -597,6 +605,7 @@ impl PhysicalPlan {
                     })
                     .collect(),
                 having: opt(having),
+                est_groups: *est_groups,
             },
             PhysicalNode::Sort { input, keys, limit } => PhysicalNode::Sort {
                 input: input.map_exprs(rewrite),

@@ -14,6 +14,15 @@
 //! This module only *describes* the decomposition — which edges stream and
 //! which block — so the executor (`bfq-exec`), EXPLAIN output, and tests
 //! share one definition of the boundaries.
+//!
+//! The boundaries are independent of the session's determinism mode; what
+//! varies is how the executor's *sink* consumes the pipeline feeding a
+//! breaker. Under `determinism = strict` every breaker consumes morsel
+//! outputs in sequence order; under `fast`, aggregation, sort, and
+//! repartition sinks fold per-worker partial states (partial aggregates,
+//! sorted runs, streamed exchange buckets) that merge deterministically at
+//! seal. Either way a breaker node named here is where the pipeline ends
+//! and its output materializes.
 
 use std::sync::Arc;
 
@@ -185,6 +194,7 @@ mod tests {
                 group_by: vec![],
                 aggs: vec![],
                 having: None,
+                est_groups: 1.0,
             },
             layout,
             1.0,

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use bfq_common::{BfqError, DataType, Result};
+use bfq_common::{BfqError, DataType, Determinism, Result};
 use bfq_core::{BloomLayout, BloomMode, OptimizedQuery, OptimizerConfig};
 use bfq_exec::{execute_plan_stream_cfg, ChunkStream, ExecOptions, ExecStats};
 use bfq_index::IndexMode;
@@ -36,6 +36,8 @@ pub struct QueryOptions {
     pub index_mode: Option<IndexMode>,
     /// Override the degree of parallelism.
     pub dop: Option<usize>,
+    /// Override the sink/exchange ordering contract (`strict` / `fast`).
+    pub determinism: Option<Determinism>,
 }
 
 impl QueryOptions {
@@ -53,6 +55,9 @@ impl QueryOptions {
         }
         if let Some(dop) = self.dop {
             config.dop = dop.max(1);
+        }
+        if let Some(mode) = self.determinism {
+            config.determinism = mode;
         }
         config
     }
@@ -92,8 +97,8 @@ impl Connection {
     ///
     /// Keys: `bloom_mode` (`none|post|cbo|naive`), `bloom_layout`
     /// (`standard|blocked`), `index_mode` (`off|zonemap|zonemap+bloom`),
-    /// `dop` (positive integer). The value `default` resets a key to the
-    /// engine default.
+    /// `dop` (positive integer), `determinism` (`strict|fast`). The value
+    /// `default` resets a key to the engine default.
     pub fn set(&mut self, key: &str, value: &str) -> Result<()> {
         let key = key.trim().to_ascii_lowercase();
         let value = value.trim().to_ascii_lowercase();
@@ -143,9 +148,13 @@ impl Connection {
                     Some(dop)
                 }
             }
+            "determinism" => {
+                self.options.determinism = if reset { None } else { Some(value.parse()?) }
+            }
             other => {
                 return Err(BfqError::invalid(format!(
-                    "unknown option `{other}` (bloom_mode|bloom_layout|index_mode|dop)"
+                    "unknown option `{other}` \
+                     (bloom_mode|bloom_layout|index_mode|dop|determinism)"
                 )))
             }
         }
@@ -176,6 +185,7 @@ impl Connection {
             optimized: cached.optimized.clone(),
             exec_stats: out.stats,
             cache_hit,
+            determinism: optimizer.determinism,
         })
     }
 
@@ -189,6 +199,7 @@ impl Connection {
             column_names: cached.output_names.clone(),
             optimized: cached.optimized.clone(),
             cache_hit,
+            determinism: optimizer.determinism,
             stream,
         })
     }
@@ -245,6 +256,8 @@ pub(crate) fn exec_options(optimizer: &OptimizerConfig) -> ExecOptions {
         dop: optimizer.dop,
         index_mode: optimizer.index_mode,
         bloom_layout: optimizer.bloom_layout,
+        determinism: optimizer.determinism,
+        ..Default::default()
     }
 }
 
@@ -260,6 +273,8 @@ pub struct QueryStream {
     pub optimized: OptimizedQuery,
     /// Whether the plan came from the shared plan cache.
     pub cache_hit: bool,
+    /// The sink/exchange ordering contract this query executes under.
+    pub determinism: Determinism,
     stream: ChunkStream,
 }
 
@@ -268,12 +283,14 @@ impl QueryStream {
         column_names: Vec<String>,
         optimized: OptimizedQuery,
         cache_hit: bool,
+        determinism: Determinism,
         stream: ChunkStream,
     ) -> QueryStream {
         QueryStream {
             column_names,
             optimized,
             cache_hit,
+            determinism,
             stream,
         }
     }
@@ -297,6 +314,7 @@ impl QueryStream {
             optimized: self.optimized,
             exec_stats: out.stats,
             cache_hit: self.cache_hit,
+            determinism: self.determinism,
         })
     }
 }

@@ -26,7 +26,7 @@ use parking_lot::RwLock;
 
 use crate::connection::Connection;
 
-pub use bfq_core::{BloomLayout, BloomMode};
+pub use bfq_core::{BloomLayout, BloomMode, Determinism};
 pub use bfq_index::IndexMode;
 
 /// Engine-wide configuration: optimizer defaults plus cache sizing.
@@ -77,6 +77,12 @@ impl EngineConfig {
         self
     }
 
+    /// Set the sink/exchange ordering contract (strict / fast).
+    pub fn with_determinism(mut self, mode: Determinism) -> Self {
+        self.optimizer.determinism = mode;
+        self
+    }
+
     /// Set the plan cache capacity (0 disables plan caching).
     pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
         self.plan_cache_capacity = capacity;
@@ -98,6 +104,8 @@ pub struct QueryResult {
     /// plan-cache hit, and always `true` when executing a prepared
     /// statement (it holds its plan from prepare time).
     pub cache_hit: bool,
+    /// The sink/exchange ordering contract this query executed under.
+    pub determinism: Determinism,
 }
 
 impl QueryResult {
@@ -139,6 +147,7 @@ impl QueryResult {
         } else {
             "plan cache: miss\n"
         });
+        out.push_str(&format!("determinism: {}\n", self.determinism));
         out
     }
 }

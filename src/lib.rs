@@ -78,7 +78,7 @@ pub mod prelude {
     pub use crate::session::Session;
     pub use crate::session::SessionConfig;
     pub use crate::statement::{BoundStatement, PreparedStatement};
-    pub use bfq_common::{BfqError, DataType, Datum, RelSet, Result};
+    pub use bfq_common::{BfqError, DataType, Datum, Determinism, RelSet, Result};
     pub use bfq_core::{BloomLayout, BloomMode, PlanCacheStats};
     pub use bfq_index::IndexMode;
     pub use bfq_storage::{Chunk, Table};

@@ -145,6 +145,7 @@ impl BoundStatement {
             optimized: self.optimized(),
             exec_stats: out.stats,
             cache_hit: true,
+            determinism: self.stmt.optimizer.determinism,
         })
     }
 
@@ -160,6 +161,7 @@ impl BoundStatement {
             self.stmt.cached.output_names.clone(),
             self.optimized(),
             true,
+            self.stmt.optimizer.determinism,
             stream,
         ))
     }
