@@ -5,9 +5,15 @@
 //! improvement, because BF-CBO re-estimates the scans that Bloom filters
 //! shrink while post-processing leaves stale estimates behind. We compare
 //! the same statistic (|est − actual| averaged over all plan nodes with a
-//! recorded actual) over the Table-2 queries.
+//! recorded actual) over the Table-2 queries, and add two observability
+//! companions: the scale-free per-query q-error mean, and the estimator's
+//! predicted runtime-filter pass fraction (§3.5) against the pass fraction
+//! the executor actually observed — the planner's est-vs-actual feedback
+//! signal.
 
-use bfq_bench::harness::{cardinality_mae, measure_tpch, BenchEnv, JsonReport};
+use bfq_bench::harness::{
+    cardinality_mae, cardinality_q_error, filter_pass_rates, measure_tpch, BenchEnv, JsonReport,
+};
 use bfq_core::BloomMode;
 use bfq_tpch::TABLE2_QUERIES;
 
@@ -17,28 +23,46 @@ fn main() {
     let mut json = JsonReport::from_args("cardinality_mae");
     json.add("sf", env.sf);
     println!(
-        "# Cardinality MAE per query — BF-Post vs BF-CBO (SF {})",
+        "# Cardinality MAE and q-error per query — BF-Post vs BF-CBO (SF {})",
         env.sf
     );
     println!(
-        "# {:>3} {:>14} {:>14} {:>8}",
-        "Q#", "post_mae", "cbo_mae", "better?"
+        "# {:>3} {:>14} {:>14} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "Q#", "post_mae", "cbo_mae", "post_qerr", "cbo_qerr", "bf_pred", "bf_obs", "better?"
     );
     let (mut post_sum, mut cbo_sum) = (0.0, 0.0);
+    let (mut post_q_sum, mut cbo_q_sum) = (0.0, 0.0);
+    let (mut pred_weighted, mut obs_weighted, mut probed_queries) = (0.0, 0.0, 0.0);
     let mut n = 0.0;
     for q in TABLE2_QUERIES {
         let post = measure_tpch(&catalog, &env, q, BloomMode::Post).expect("post");
         let cbo = measure_tpch(&catalog, &env, q, BloomMode::Cbo).expect("cbo");
         let (mp, mc) = (cardinality_mae(&post), cardinality_mae(&cbo));
+        let (qp, qc) = (cardinality_q_error(&post), cardinality_q_error(&cbo));
+        let (pred, obs) = match filter_pass_rates(&cbo) {
+            Some((p, o)) => {
+                pred_weighted += p;
+                obs_weighted += o;
+                probed_queries += 1.0;
+                (format!("{p:.4}"), format!("{o:.4}"))
+            }
+            None => ("-".into(), "-".into()),
+        };
         println!(
-            "  {:>3} {:>14.1} {:>14.1} {:>8}",
+            "  {:>3} {:>14.1} {:>14.1} {:>10.2} {:>10.2} {:>10} {:>10} {:>8}",
             q,
             mp,
             mc,
+            qp,
+            qc,
+            pred,
+            obs,
             if mc <= mp { "yes" } else { "no" }
         );
         post_sum += mp;
         cbo_sum += mc;
+        post_q_sum += qp;
+        cbo_q_sum += qc;
         n += 1.0;
     }
     let (post_mae, cbo_mae) = (post_sum / n, cbo_sum / n);
@@ -46,11 +70,31 @@ fn main() {
         "# mean MAE: bf-post {post_mae:.1} vs bf-cbo {cbo_mae:.1} ({:.1}% improvement; paper: 78.8%)",
         100.0 * (1.0 - cbo_mae / post_mae)
     );
-    // MAE is a pure estimate-vs-actual statistic: deterministic for a fixed
-    // generator seed, so it gates (unlike latencies).
+    println!(
+        "# mean q-error: bf-post {:.2} vs bf-cbo {:.2}",
+        post_q_sum / n,
+        cbo_q_sum / n
+    );
+    if probed_queries > 0.0 {
+        println!(
+            "# runtime-filter pass fraction over {probed_queries} probing queries: \
+             predicted {:.4} vs observed {:.4}",
+            pred_weighted / probed_queries,
+            obs_weighted / probed_queries
+        );
+    }
+    // All of these are pure estimate-vs-actual statistics: deterministic
+    // for a fixed generator seed, so they gate (unlike latencies).
     json.add("post_mae", post_mae);
     json.add("cbo_mae", cbo_mae);
     json.add("improvement_frac", 1.0 - cbo_mae / post_mae);
+    json.add("post_q_error_mean", post_q_sum / n);
+    json.add("cbo_q_error_mean", cbo_q_sum / n);
+    json.add("bf_probing_queries", probed_queries);
+    if probed_queries > 0.0 {
+        json.add("bf_predicted_pass_mean", pred_weighted / probed_queries);
+        json.add("bf_observed_pass_mean", obs_weighted / probed_queries);
+    }
     if let Some(path) = json.finish().expect("write json report") {
         eprintln!("\n# wrote {path}");
     }

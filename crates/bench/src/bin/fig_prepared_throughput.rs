@@ -105,12 +105,14 @@ fn main() {
     let engine_config = EngineConfig {
         optimizer: config.clone(),
         plan_cache_capacity: 128,
+        ..EngineConfig::default()
     };
     // The replanned baseline models a non-repetitive ad-hoc stream: plan
     // caching off, so every statement pays parse/bind/optimize.
     let replanned_config = EngineConfig {
         optimizer: config,
         plan_cache_capacity: 0,
+        ..EngineConfig::default()
     };
 
     println!(

@@ -115,6 +115,7 @@ fn timed_exec(
             index_mode: config.index_mode,
             bloom_layout: config.bloom_layout,
             determinism: config.determinism,
+            profile: config.profile,
             ..Default::default()
         },
     )?;
@@ -240,6 +241,59 @@ pub fn cardinality_mae(m: &Measured) -> f64 {
         0.0
     } else {
         total / n as f64
+    }
+}
+
+/// Mean est-vs-actual q-error (`max(est/actual, actual/est)`, both floored
+/// at one row) over all plan nodes with a recorded actual. Complements the
+/// MAE: q-error is scale-free, so a 10x miss on a small node counts the
+/// same as a 10x miss on a large one.
+pub fn cardinality_q_error(m: &Measured) -> f64 {
+    let mut total = 0.0f64;
+    let mut n = 0usize;
+    m.planned.plan.visit(&mut |node| {
+        if let Some(actual) = m.exec_stats.actual(node.id) {
+            let est = node.est_rows.max(1.0);
+            let actual = (actual as f64).max(1.0);
+            total += (est / actual).max(actual / est);
+            n += 1;
+        }
+    });
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Predicted vs observed runtime-filter pass fractions, aggregated over
+/// every applied Bloom filter the run actually probed. The predicted side
+/// is the estimator's `sel_semi + (1 − sel_semi)·fpr` (§3.5), weighted by
+/// each filter's probe rows so it is comparable to the observed fraction
+/// `Σ rows_out / Σ rows_in`. `None` when the plan probed no filters.
+pub fn filter_pass_rates(m: &Measured) -> Option<(f64, f64)> {
+    let mut predicted_weighted = 0.0f64;
+    let (mut rows_in, mut rows_out) = (0u64, 0u64);
+    m.planned.plan.visit(&mut |node| {
+        if let bfq_plan::PhysicalNode::Scan { blooms, .. }
+        | bfq_plan::PhysicalNode::DerivedScan { blooms, .. } = &node.node
+        {
+            for b in blooms {
+                if let Some(o) = m.exec_stats.filter_observation(b.filter.0) {
+                    predicted_weighted += b.predicted_pass * o.rows_in as f64;
+                    rows_in += o.rows_in;
+                    rows_out += o.rows_out;
+                }
+            }
+        }
+    });
+    if rows_in == 0 {
+        None
+    } else {
+        Some((
+            predicted_weighted / rows_in as f64,
+            rows_out as f64 / rows_in as f64,
+        ))
     }
 }
 

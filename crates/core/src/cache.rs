@@ -173,8 +173,14 @@ impl OptimizerConfig {
     ///
     /// The `Debug` rendering covers all fields by construction, so newly
     /// added knobs are conservatively included without further bookkeeping.
+    /// Execution-only knobs that cannot change plan choice (`profile`) are
+    /// normalized first, so toggling them keeps reusing cached plans.
     pub fn cache_fingerprint(&self) -> String {
-        format!("{self:?}")
+        let plan_affecting = OptimizerConfig {
+            profile: false,
+            ..self.clone()
+        };
+        format!("{plan_affecting:?}")
     }
 }
 

@@ -89,6 +89,8 @@ pub fn make_scan_subplan(
         .map(|p| BloomApply {
             filter: p.id,
             column: p.bf.apply_col,
+            predicted_fpr: est.bf_fpr(&p.bf),
+            predicted_pass: est.bf_pass_fraction(&p.bf),
         })
         .collect();
     let layout = Layout::new(

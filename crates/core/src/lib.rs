@@ -123,6 +123,11 @@ pub struct OptimizerConfig {
     /// run-to-run order at fixed DOP). Participates in the plan-cache
     /// fingerprint like every other knob.
     pub determinism: Determinism,
+    /// Whether the executor records per-node runtime profiles (wall time,
+    /// morsel counts) for `EXPLAIN ANALYZE`. Purely an execution knob — it
+    /// does **not** change plan choice and stays out of the plan-cache
+    /// fingerprint.
+    pub profile: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -145,6 +150,7 @@ impl Default for OptimizerConfig {
             index_mode: IndexMode::default(),
             bloom_layout: BloomLayout::default(),
             determinism: Determinism::default(),
+            profile: true,
         }
     }
 }

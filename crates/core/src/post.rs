@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use bfq_common::{ColumnId, FilterId, RelSet, TableId};
+use bfq_common::{FilterId, RelSet, TableId};
 use bfq_cost::{BfAssumption, Estimator};
 use bfq_plan::{BloomApply, BloomBuild, JoinKind, PhysicalNode, PhysicalPlan, QueryBlock};
 
@@ -105,7 +105,13 @@ fn rewrite(
                     continue;
                 }
                 let id = FilterId(*next_filter);
-                if let Some(new_outer) = attach_apply(outer, outer_col.table, outer_col, id) {
+                let apply = BloomApply {
+                    filter: id,
+                    column: outer_col,
+                    predicted_fpr: est.bf_fpr(&bf),
+                    predicted_pass: est.bf_pass_fraction(&bf),
+                };
+                if let Some(new_outer) = attach_apply(outer, outer_col.table, &apply) {
                     *next_filter += 1;
                     *outer = new_outer;
                     builds.push(BloomBuild {
@@ -162,9 +168,9 @@ fn rebuild_children(
 fn attach_apply(
     plan: &Arc<PhysicalPlan>,
     rel_id: TableId,
-    column: ColumnId,
-    filter: FilterId,
+    apply: &BloomApply,
 ) -> Option<Arc<PhysicalPlan>> {
+    let column = apply.column;
     let new_node = match &plan.node {
         PhysicalNode::Scan {
             rel_id: scan_rel,
@@ -178,7 +184,7 @@ fn attach_apply(
                 return None; // already filtered on this column (e.g. by CBO)
             }
             let mut blooms = blooms.clone();
-            blooms.push(BloomApply { filter, column });
+            blooms.push(apply.clone());
             PhysicalNode::Scan {
                 base: *base,
                 rel_id: *scan_rel,
@@ -199,7 +205,7 @@ fn attach_apply(
                 return None;
             }
             let mut blooms = blooms.clone();
-            blooms.push(BloomApply { filter, column });
+            blooms.push(apply.clone());
             PhysicalNode::DerivedScan {
                 input: input.clone(),
                 rel_id: *scan_rel,
@@ -210,11 +216,11 @@ fn attach_apply(
         }
         PhysicalNode::Scan { .. } | PhysicalNode::DerivedScan { .. } => return None,
         PhysicalNode::Filter { input, predicate } => PhysicalNode::Filter {
-            input: attach_apply(input, rel_id, column, filter)?,
+            input: attach_apply(input, rel_id, apply)?,
             predicate: predicate.clone(),
         },
         PhysicalNode::Exchange { input, kind } => PhysicalNode::Exchange {
-            input: attach_apply(input, rel_id, column, filter)?,
+            input: attach_apply(input, rel_id, apply)?,
             kind: kind.clone(),
         },
         PhysicalNode::HashJoin {
@@ -225,7 +231,7 @@ fn attach_apply(
             extra,
             builds,
         } => {
-            let (new_outer, new_inner) = descend_join(outer, inner, *kind, rel_id, column, filter)?;
+            let (new_outer, new_inner) = descend_join(outer, inner, *kind, rel_id, apply)?;
             PhysicalNode::HashJoin {
                 outer: new_outer,
                 inner: new_inner,
@@ -242,7 +248,7 @@ fn attach_apply(
             keys,
             extra,
         } => {
-            let (new_outer, new_inner) = descend_join(outer, inner, *kind, rel_id, column, filter)?;
+            let (new_outer, new_inner) = descend_join(outer, inner, *kind, rel_id, apply)?;
             PhysicalNode::MergeJoin {
                 outer: new_outer,
                 inner: new_inner,
@@ -257,7 +263,7 @@ fn attach_apply(
             kind,
             predicate,
         } => {
-            let (new_outer, new_inner) = descend_join(outer, inner, *kind, rel_id, column, filter)?;
+            let (new_outer, new_inner) = descend_join(outer, inner, *kind, rel_id, apply)?;
             PhysicalNode::NestLoopJoin {
                 outer: new_outer,
                 inner: new_inner,
@@ -282,22 +288,21 @@ fn descend_join(
     inner: &Arc<PhysicalPlan>,
     kind: JoinKind,
     rel_id: TableId,
-    column: ColumnId,
-    filter: FilterId,
+    apply: &BloomApply,
 ) -> Option<(Arc<PhysicalPlan>, Arc<PhysicalPlan>)> {
     if kind == JoinKind::Anti {
         return None;
     }
-    let in_outer = outer.layout.slot_of(column).is_some();
+    let in_outer = outer.layout.slot_of(apply.column).is_some();
     if in_outer {
         if kind == JoinKind::LeftOuter {
             // Outer side is row-preserving: filtering it is unsound.
             return None;
         }
-        let new_outer = attach_apply(outer, rel_id, column, filter)?;
+        let new_outer = attach_apply(outer, rel_id, apply)?;
         Some((new_outer, inner.clone()))
     } else {
-        let new_inner = attach_apply(inner, rel_id, column, filter)?;
+        let new_inner = attach_apply(inner, rel_id, apply)?;
         Some((outer.clone(), new_inner))
     }
 }

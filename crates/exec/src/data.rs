@@ -1,6 +1,7 @@
 //! Data moving between operators, and execution statistics.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bfq_common::{DataType, Result};
 use bfq_storage::Chunk;
@@ -107,29 +108,135 @@ impl ScanPruneStats {
     }
 }
 
+/// Saturating nanoseconds since `start` (monotonic clock).
+pub(crate) fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Runtime profile for one plan node: wall time and morsels processed.
+///
+/// For fused chain operators this is *self* time summed across workers (it
+/// can exceed query wall clock at dop > 1); for pipeline breakers it is the
+/// inclusive wall time of the breaker's stage, children included.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// Nanoseconds spent in this node.
+    pub wall_ns: u64,
+    /// Morsels this node processed (0 for breaker seal work).
+    pub morsels: u64,
+}
+
+impl NodeProfile {
+    /// Accumulate another profile into this one.
+    pub fn merge(&mut self, other: &NodeProfile) {
+        self.wall_ns += other.wall_ns;
+        self.morsels += other.morsels;
+    }
+}
+
+/// Observed rows in/out of one runtime Bloom filter's probe sites — the
+/// runtime ground truth next to the estimator's predicted `bf_fpr`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FilterObservation {
+    /// Rows offered to the filter's probes.
+    pub rows_in: u64,
+    /// Rows that passed.
+    pub rows_out: u64,
+}
+
+impl FilterObservation {
+    /// Accumulate another observation into this one.
+    pub fn merge(&mut self, other: &FilterObservation) {
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+    }
+
+    /// Observed pass rate, or `None` before any row was probed.
+    pub fn pass_rate(&self) -> Option<f64> {
+        if self.rows_in == 0 {
+            None
+        } else {
+            Some(self.rows_out as f64 / self.rows_in as f64)
+        }
+    }
+}
+
+/// Per-worker profile accumulator (lives inside `MorselScratch`).
+///
+/// Workers record node timings and filter pass counts into these small
+/// linear vectors — no locks, no hashing on the morsel hot path — and the
+/// executor merges them into the shared [`ExecStats`] exactly once, at
+/// pipeline seal (the same points that flush scratch-allocation counts).
+#[derive(Debug, Default)]
+pub struct ProfileScratch {
+    nodes: Vec<(u32, NodeProfile)>,
+    filters: Vec<(u32, FilterObservation)>,
+}
+
+impl ProfileScratch {
+    /// Accumulate wall time and a morsel count for a node.
+    pub fn note_node(&mut self, node_id: u32, wall_ns: u64, morsels: u64) {
+        let add = NodeProfile { wall_ns, morsels };
+        match self.nodes.iter_mut().find(|(id, _)| *id == node_id) {
+            Some((_, p)) => p.merge(&add),
+            None => self.nodes.push((node_id, add)),
+        }
+    }
+
+    /// Accumulate observed rows in/out for a runtime filter.
+    pub fn note_filter(&mut self, filter: u32, rows_in: u64, rows_out: u64) {
+        let add = FilterObservation { rows_in, rows_out };
+        match self.filters.iter_mut().find(|(id, _)| *id == filter) {
+            Some((_, f)) => f.merge(&add),
+            None => self.filters.push((filter, add)),
+        }
+    }
+
+    /// True when nothing has been recorded since the last merge.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.filters.is_empty()
+    }
+}
+
 /// Actual row counts per plan-node id, recorded during execution, plus
-/// per-scan chunk-skipping counters and a buffered-rows high-water mark.
+/// per-scan chunk-skipping counters, per-node runtime profiles, observed
+/// runtime-filter pass rates, and a buffered-rows high-water mark.
+///
+/// The scalar counters are relaxed atomics, so recording never serializes
+/// workers; the per-node maps stay behind mutexes because they are touched
+/// only at per-worker merge points (pipeline seal), never per morsel.
 #[derive(Debug, Default)]
 pub struct ExecStats {
     rows: Mutex<HashMap<u32, u64>>,
     prune: Mutex<HashMap<u32, ScanPruneStats>>,
-    /// `(currently buffered rows, peak buffered rows)` across every
-    /// inter-operator buffer of the query. The eager executor counts each
-    /// operator's full output as buffered until its parent finishes; the
-    /// morsel pipeline counts only the chunks resident in its bounded
-    /// reorder windows — making the materialization difference observable.
-    buffered: Mutex<(u64, u64)>,
+    /// Per-node wall time and morsel counts (merged from worker scratch).
+    profile: Mutex<HashMap<u32, NodeProfile>>,
+    /// Observed per-filter probe pass counts, keyed by raw `FilterId`.
+    filter_obs: Mutex<HashMap<u32, FilterObservation>>,
+    /// Currently buffered rows across every inter-operator buffer of the
+    /// query. The eager executor counts each operator's full output as
+    /// buffered until its parent finishes; the morsel pipeline counts only
+    /// the chunks resident in its bounded reorder windows — making the
+    /// materialization difference observable.
+    buffered_now: AtomicU64,
+    /// Peak of `buffered_now` over the query's lifetime.
+    buffered_peak: AtomicU64,
     /// Capacity growths of the reusable filter-probe scratch buffers
     /// (hashes + selection vectors) across all workers. Steady-state
     /// morsel execution performs zero filter-path allocations, so this
     /// stays bounded by `pipelines × workers × buffers` no matter how many
     /// morsels run — asserted by the allocation-discipline tests.
-    scratch_allocs: Mutex<u64>,
+    scratch_allocs: AtomicU64,
     /// Times a morsel worker blocked on a strict-mode reorder window
     /// (produced output the sequence-ordered sink was not ready for).
     /// Fast-mode partial sinks have no window and never stall — this
     /// counter is what `determinism = fast` eliminates.
-    window_stalls: Mutex<u64>,
+    window_stalls: AtomicU64,
+    /// Runtime Bloom filters built (one per executed `BloomBuild`).
+    filter_builds: AtomicU64,
+    /// Nanoseconds spent building runtime filters (attributed to the
+    /// owning hash join's profile as well).
+    filter_build_ns: AtomicU64,
 }
 
 impl ExecStats {
@@ -174,44 +281,114 @@ impl ExecStats {
 
     /// Note `rows` entering an inter-operator buffer, updating the peak.
     pub fn buffer_grow(&self, rows: u64) {
-        let mut b = self.buffered.lock();
-        b.0 += rows;
-        b.1 = b.1.max(b.0);
+        let now = self.buffered_now.fetch_add(rows, Ordering::Relaxed) + rows;
+        self.buffered_peak.fetch_max(now, Ordering::Relaxed);
     }
 
     /// Note `rows` leaving an inter-operator buffer.
     pub fn buffer_shrink(&self, rows: u64) {
-        let mut b = self.buffered.lock();
-        b.0 = b.0.saturating_sub(rows);
+        // Saturating decrement: concurrent shrinks must never wrap.
+        let _ = self
+            .buffered_now
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(rows))
+            });
     }
 
     /// Highest number of rows simultaneously resident in inter-operator
     /// buffers during execution.
     pub fn peak_buffered_rows(&self) -> u64 {
-        self.buffered.lock().1
+        self.buffered_peak.load(Ordering::Relaxed)
     }
 
     /// Record `n` capacity growths of a worker's filter-probe scratch.
     pub fn note_scratch_allocs(&self, n: u64) {
         if n > 0 {
-            *self.scratch_allocs.lock() += n;
+            self.scratch_allocs.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Total filter-probe scratch buffer growths across all workers.
     pub fn filter_scratch_allocs(&self) -> u64 {
-        *self.scratch_allocs.lock()
+        self.scratch_allocs.load(Ordering::Relaxed)
     }
 
     /// Record one reorder-window stall (a worker blocked behind the
     /// sequence-ordered sink).
     pub fn note_window_stall(&self) {
-        *self.window_stalls.lock() += 1;
+        self.window_stalls.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total reorder-window stalls across all workers and pipelines.
     pub fn window_stalls(&self) -> u64 {
-        *self.window_stalls.lock()
+        self.window_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Merge a worker's profile scratch into the shared maps, draining it.
+    ///
+    /// Called once per worker at pipeline seal (and per pull on the
+    /// streaming path) — never per morsel.
+    pub fn merge_profile(&self, scratch: &mut ProfileScratch) {
+        if scratch.is_empty() {
+            return;
+        }
+        if !scratch.nodes.is_empty() {
+            let mut profile = self.profile.lock();
+            for (node_id, p) in scratch.nodes.drain(..) {
+                profile.entry(node_id).or_default().merge(&p);
+            }
+        }
+        if !scratch.filters.is_empty() {
+            let mut obs = self.filter_obs.lock();
+            for (filter, f) in scratch.filters.drain(..) {
+                obs.entry(filter).or_default().merge(&f);
+            }
+        }
+    }
+
+    /// Record wall time / morsels for a node directly (breaker seal path).
+    pub fn record_node_profile(&self, node_id: u32, wall_ns: u64, morsels: u64) {
+        self.profile
+            .lock()
+            .entry(node_id)
+            .or_default()
+            .merge(&NodeProfile { wall_ns, morsels });
+    }
+
+    /// Runtime profile recorded for a node, if any.
+    pub fn profile_of(&self, node_id: u32) -> Option<NodeProfile> {
+        self.profile.lock().get(&node_id).copied()
+    }
+
+    /// Snapshot of all per-node runtime profiles.
+    pub fn profiles(&self) -> HashMap<u32, NodeProfile> {
+        self.profile.lock().clone()
+    }
+
+    /// Observed probe rows for a runtime filter (raw `FilterId`), if any.
+    pub fn filter_observation(&self, filter: u32) -> Option<FilterObservation> {
+        self.filter_obs.lock().get(&filter).copied()
+    }
+
+    /// Snapshot of all observed runtime-filter pass counts.
+    pub fn filter_observations(&self) -> HashMap<u32, FilterObservation> {
+        self.filter_obs.lock().clone()
+    }
+
+    /// Record one runtime-filter build taking `ns` nanoseconds.
+    pub fn note_filter_build(&self, ns: u64) {
+        self.filter_builds.fetch_add(1, Ordering::Relaxed);
+        self.filter_build_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Runtime filters built during execution.
+    pub fn filter_builds(&self) -> u64 {
+        self.filter_builds.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds spent building runtime filters.
+    pub fn filter_build_ns(&self) -> u64 {
+        self.filter_build_ns.load(Ordering::Relaxed)
     }
 }
 
@@ -290,6 +467,50 @@ mod tests {
         let total = s.prune_totals();
         assert_eq!(total.chunks, 10);
         assert_eq!(total.skipped(), 7);
+    }
+
+    #[test]
+    fn profile_scratch_merges_once() {
+        let s = ExecStats::new();
+        let mut scratch = ProfileScratch::default();
+        scratch.note_node(3, 100, 1);
+        scratch.note_node(3, 50, 2);
+        scratch.note_node(7, 10, 1);
+        scratch.note_filter(2, 1000, 150);
+        scratch.note_filter(2, 500, 50);
+        assert!(!scratch.is_empty());
+        s.merge_profile(&mut scratch);
+        assert!(scratch.is_empty());
+        // A second merge of the drained scratch is a no-op.
+        s.merge_profile(&mut scratch);
+        assert_eq!(
+            s.profile_of(3),
+            Some(NodeProfile {
+                wall_ns: 150,
+                morsels: 3
+            })
+        );
+        assert_eq!(s.profile_of(7).unwrap().morsels, 1);
+        assert_eq!(s.profile_of(99), None);
+        let obs = s.filter_observation(2).unwrap();
+        assert_eq!(obs.rows_in, 1500);
+        assert_eq!(obs.rows_out, 200);
+        assert!((obs.pass_rate().unwrap() - 200.0 / 1500.0).abs() < 1e-12);
+        assert_eq!(FilterObservation::default().pass_rate(), None);
+        // Direct breaker-path recording accumulates into the same map.
+        s.record_node_profile(3, 25, 0);
+        assert_eq!(s.profile_of(3).unwrap().wall_ns, 175);
+        assert_eq!(s.profiles().len(), 2);
+    }
+
+    #[test]
+    fn filter_builds_count() {
+        let s = ExecStats::new();
+        assert_eq!(s.filter_builds(), 0);
+        s.note_filter_build(500);
+        s.note_filter_build(300);
+        assert_eq!(s.filter_builds(), 2);
+        assert_eq!(s.filter_build_ns(), 800);
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct ExecOptions {
     /// sequence-ordered sinks; the window may still grow adaptively under
     /// backpressure. `fast` sinks have no window.
     pub reorder_window: usize,
+    /// Collect per-node runtime profiles (wall time, morsels) during
+    /// pipelined execution. Defaults to on: recording is per-worker and
+    /// merged at pipeline seal, so the steady-state cost is a pair of
+    /// monotonic-clock reads per operator per morsel (gated below 2% by
+    /// the `fig_obs_overhead` bench). Turn off to measure the floor.
+    pub profile: bool,
 }
 
 impl Default for ExecOptions {
@@ -49,6 +55,7 @@ impl Default for ExecOptions {
             bloom_layout: BloomLayout::default(),
             determinism: Determinism::default(),
             reorder_window: crate::pipeline::REORDER_WINDOW_PER_WORKER,
+            profile: true,
         }
     }
 }
@@ -83,6 +90,8 @@ pub struct ExecContext {
     pub determinism: Determinism,
     /// Strict-mode reorder-window size per worker, in morsels.
     pub reorder_window: usize,
+    /// Whether pipelined execution records per-node runtime profiles.
+    pub profile: bool,
 }
 
 impl ExecContext {
@@ -104,6 +113,7 @@ impl ExecContext {
             bloom_layout: options.bloom_layout,
             determinism: options.determinism,
             reorder_window: options.reorder_window.max(1),
+            profile: options.profile,
         }
     }
 
@@ -457,12 +467,18 @@ pub(crate) fn seal_build_side(
                     .map(|t| t.chunk.column(slot).as_ref().clone())
                     .collect()
             };
+            let started = std::time::Instant::now();
             let filter = build_filter(
                 strategy,
                 &thread_keys,
                 b.expected_ndv.max(1.0) as usize,
                 ctx.bloom_layout,
             );
+            // Builds happen once per filter per query — cheap to time
+            // unconditionally, and `Engine::metrics()` wants the count
+            // even with per-node profiling off.
+            ctx.stats
+                .note_filter_build(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
             ctx.hub.publish(b.filter, filter);
         }
     }

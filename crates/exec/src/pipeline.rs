@@ -64,7 +64,7 @@ use crate::executor::{
     QueryOutput,
 };
 use crate::join::{probe_partition, BuildTable};
-use crate::scan::{fetch_filters, prune_chunk, scan_chunk};
+use crate::scan::{fetch_filters, prune_chunk, scan_chunk, ScanFilter};
 use crate::util::{expr_types, slots_for, substitute_placeholder, MorselScratch};
 
 /// Default cap on morsel outputs a worker may run ahead of the consuming
@@ -98,7 +98,7 @@ enum ChainSource {
         full_layout: Layout,
         projection: Vec<u32>,
         predicate: Option<Expr>,
-        filters: Vec<(Arc<bfq_bloom::RuntimeFilter>, usize)>,
+        filters: Vec<ScanFilter>,
         index: Option<Arc<TableIndex>>,
         rel_id: TableId,
     },
@@ -136,7 +136,7 @@ enum ChainOp {
         node_id: u32,
         layout: Layout,
         predicate: Option<Expr>,
-        filters: Vec<(Arc<bfq_bloom::RuntimeFilter>, usize)>,
+        filters: Vec<ScanFilter>,
     },
     /// Scalar-subquery filter with the scalar already substituted.
     ScalarFilter {
@@ -162,6 +162,9 @@ pub(crate) struct PreparedChain {
     /// Worker-partition count of the chain output.
     pub partitions: usize,
     index_mode: IndexMode,
+    /// Whether to record per-node wall times into the worker's
+    /// [`crate::data::ProfileScratch`] (see [`crate::ExecOptions::profile`]).
+    profile: bool,
 }
 
 impl PreparedChain {
@@ -185,6 +188,7 @@ impl PreparedChain {
         stats: &ExecStats,
         scratch: &mut MorselScratch,
     ) -> Result<Vec<Chunk>> {
+        let source_started = self.profile.then(std::time::Instant::now);
         let mut chunks: Vec<Chunk> = match (&self.source, &morsel.input) {
             (
                 ChainSource::Table {
@@ -239,12 +243,24 @@ impl PreparedChain {
             (ChainSource::Materialized, MorselInput::Chunk(chunk)) => vec![chunk.clone()],
             _ => return Err(BfqError::internal("morsel does not match chain source")),
         };
+        if let (Some(started), ChainSource::Table { node_id, .. }) = (source_started, &self.source)
+        {
+            scratch
+                .profile
+                .note_node(*node_id, crate::data::elapsed_ns(started), 1);
+        }
         let mut partition = morsel.partition;
         for op in &self.ops {
             if matches!(op, ChainOp::Gather { .. }) {
                 partition = 0;
             }
+            let op_started = self.profile.then(std::time::Instant::now);
             chunks = op.apply(chunks, partition, stats, scratch)?;
+            if let Some(started) = op_started {
+                scratch
+                    .profile
+                    .note_node(op.node_id(), crate::data::elapsed_ns(started), 1);
+            }
         }
         Ok(chunks)
     }
@@ -267,6 +283,18 @@ impl PreparedChain {
 }
 
 impl ChainOp {
+    /// The physical-plan node this op executes (for profile attribution).
+    fn node_id(&self) -> u32 {
+        match self {
+            ChainOp::Filter { node_id, .. }
+            | ChainOp::Project { node_id, .. }
+            | ChainOp::Probe { node_id, .. }
+            | ChainOp::Derived { node_id, .. }
+            | ChainOp::ScalarFilter { node_id, .. }
+            | ChainOp::Gather { node_id } => *node_id,
+        }
+    }
+
     fn apply(
         &self,
         chunks: Vec<Chunk>,
@@ -556,6 +584,7 @@ pub(crate) fn prepare_chain(
         types,
         partitions,
         index_mode: ctx.index_mode,
+        profile: ctx.profile,
     };
     let partitions = if chain.gathered() {
         1
@@ -676,6 +705,7 @@ pub(crate) fn run_chain(
             }
         }
         ctx.stats.note_scratch_allocs(scratch.grows());
+        ctx.stats.merge_profile(&mut scratch.profile);
         return Ok(());
     }
 
@@ -762,6 +792,7 @@ pub(crate) fn run_chain(
         };
         let out = run(&mut scratch);
         ctx.stats.note_scratch_allocs(scratch.grows());
+        ctx.stats.merge_profile(&mut scratch.profile);
         out
     };
 
@@ -892,6 +923,7 @@ pub(crate) fn run_chain_partials<S: Send>(
             )?;
         }
         ctx.stats.note_scratch_allocs(scratch.grows());
+        ctx.stats.merge_profile(&mut scratch.profile);
         return Ok(states);
     }
 
@@ -921,6 +953,7 @@ pub(crate) fn run_chain_partials<S: Send>(
                     }
                 }
                 ctx.stats.note_scratch_allocs(scratch.grows());
+                ctx.stats.merge_profile(&mut scratch.profile);
                 match err {
                     None => Ok(done),
                     Some(e) => Err(e),
@@ -1062,6 +1095,10 @@ fn flush_run(
 /// Recursively execute `plan`: streamable chains run as morsel pipelines;
 /// breakers seal their inputs and apply the existing operator logic.
 pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<PartitionedData> {
+    // Breaker nodes are profiled inclusively: the span covers the breaker's
+    // own work *and* its input pipelines (chain ops inside those pipelines
+    // additionally self-report through the per-morsel path).
+    let started = ctx.profile.then(std::time::Instant::now);
     match &plan.node {
         // Streamable heads and bare scans: one fused pipeline into a
         // collecting sink.
@@ -1077,7 +1114,7 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
                 types: vec![],
                 partitions: vec![vec![Chunk::of_rows(1)]],
             };
-            seal_node(plan, &out, 0, ctx);
+            seal_node(plan, &out, 0, ctx, started);
             Ok(out)
         }
 
@@ -1116,7 +1153,7 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
                 partitions: exchange::merge_buckets(partials, dop),
             };
             let out_rows = out.total_rows() as u64;
-            seal_node(plan, &out, out_rows, ctx);
+            seal_node(plan, &out, out_rows, ctx, started);
             Ok(out)
         }
 
@@ -1132,7 +1169,7 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
                     exchange::repartition(data, &input.layout, cols, ctx.dop)?
                 }
             };
-            seal_node(plan, &out, in_rows, ctx);
+            seal_node(plan, &out, in_rows, ctx, started);
             Ok(out)
         }
 
@@ -1211,7 +1248,7 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
                 types,
                 partitions: vec![vec![out]],
             };
-            seal_node(plan, &out, 0, ctx);
+            seal_node(plan, &out, 0, ctx, started);
             Ok(out)
         }
 
@@ -1276,7 +1313,7 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
                 types: chain.types.clone(),
                 partitions: vec![vec![sorted]],
             };
-            seal_node(plan, &out, out_rows, ctx);
+            seal_node(plan, &out, out_rows, ctx, started);
             Ok(out)
         }
 
@@ -1290,7 +1327,7 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
                 types,
                 partitions: vec![vec![sorted]],
             };
-            seal_node(plan, &out, in_rows, ctx);
+            seal_node(plan, &out, in_rows, ctx, started);
             Ok(out)
         }
 
@@ -1328,7 +1365,7 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
                 types: chain.types.clone(),
                 partitions: vec![vec![chunk.take(&sel)]],
             };
-            seal_node(plan, &out, 0, ctx);
+            seal_node(plan, &out, 0, ctx, started);
             Ok(out)
         }
 
@@ -1356,7 +1393,7 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
                 extra,
                 &joined_layout,
             )?;
-            seal_node(plan, &out, in_rows, ctx);
+            seal_node(plan, &out, in_rows, ctx, started);
             Ok(out)
         }
 
@@ -1377,17 +1414,30 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
                 predicate,
                 &joined_layout,
             )?;
-            seal_node(plan, &out, in_rows, ctx);
+            seal_node(plan, &out, in_rows, ctx, started);
             Ok(out)
         }
     }
 }
 
 /// Record a breaker node's output rows and settle the buffer gauge: its
-/// output is now materialized, its inputs released.
-fn seal_node(plan: &Arc<PhysicalPlan>, out: &PartitionedData, in_rows: u64, ctx: &ExecContext) {
+/// output is now materialized, its inputs released. When profiling, the
+/// breaker's inclusive wall time (from pipeline start to seal) lands in
+/// the node profile with `morsels = 0` — breakers consume whole inputs,
+/// not morsels.
+fn seal_node(
+    plan: &Arc<PhysicalPlan>,
+    out: &PartitionedData,
+    in_rows: u64,
+    ctx: &ExecContext,
+    started: Option<std::time::Instant>,
+) {
     let logical = logical_rows_of(&plan.node, out);
     ctx.stats.record(plan.id, logical);
     ctx.stats.buffer_grow(logical);
     ctx.stats.buffer_shrink(in_rows);
+    if let Some(started) = started {
+        ctx.stats
+            .record_node_profile(plan.id, crate::data::elapsed_ns(started), 0);
+    }
 }

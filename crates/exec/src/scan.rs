@@ -32,6 +32,11 @@ use crate::executor::ExecContext;
 use crate::parallel::par_map;
 use crate::util::MorselScratch;
 
+/// A runtime filter ready to probe: raw `FilterId`, the filter, and the
+/// apply column's slot in the scan layout. The id rides along so probe
+/// sites can attribute observed pass counts to the planner's filter.
+pub(crate) type ScanFilter = (u32, Arc<RuntimeFilter>, usize);
+
 /// Wait for every filter a scan needs. This is the paper's §3.9 contract:
 /// "table scans wait for all Bloom filter partitions to become available
 /// before scanning can proceed".
@@ -39,7 +44,7 @@ pub(crate) fn fetch_filters(
     ctx: &ExecContext,
     blooms: &[BloomApply],
     layout: &Layout,
-) -> Result<Vec<(Arc<RuntimeFilter>, usize)>> {
+) -> Result<Vec<ScanFilter>> {
     blooms
         .iter()
         .map(|b| {
@@ -55,7 +60,7 @@ pub(crate) fn fetch_filters(
                         b.filter
                     ))
                 })?;
-            Ok((filter, slot))
+            Ok((b.filter.0, filter, slot))
         })
         .collect()
 }
@@ -66,7 +71,7 @@ pub(crate) fn prune_chunk(
     index: &ChunkIndex,
     rel_id: TableId,
     predicate: &Option<Expr>,
-    filters: &[(Arc<RuntimeFilter>, usize)],
+    filters: &[ScanFilter],
     mode: IndexMode,
     prune: &mut ScanPruneStats,
 ) -> bool {
@@ -91,7 +96,7 @@ pub(crate) fn prune_chunk(
         }
     }
     // Runtime-filter build keys vs the chunk index on the apply column.
-    for (filter, slot) in filters {
+    for (_, filter, slot) in filters {
         let Some(ci) = index.columns.get(*slot) else {
             continue;
         };
@@ -122,7 +127,7 @@ pub(crate) fn scan_chunk(
     chunk: &Chunk,
     full_layout: &Layout,
     predicate: &Option<Expr>,
-    filters: &[(Arc<RuntimeFilter>, usize)],
+    filters: &[ScanFilter],
     projection: Option<&[u32]>,
     scratch: &mut MorselScratch,
 ) -> Result<Option<Chunk>> {
@@ -143,7 +148,7 @@ pub(crate) fn scan_chunk(
     let mut cur = std::mem::take(&mut scratch.probe.sel_a);
     let mut next = std::mem::take(&mut scratch.probe.sel_b);
     let mut applied = false;
-    for (filter, slot) in filters {
+    for (filter_id, filter, slot) in filters {
         let sel: Option<&[u32]> = if applied {
             Some(&cur)
         } else {
@@ -152,7 +157,13 @@ pub(crate) fn scan_chunk(
         if sel.is_some_and(|s| s.is_empty()) {
             break;
         }
+        let rows_in = sel.map_or(chunk.rows(), <[u32]>::len) as u64;
         filter.probe_into(chunk.column(*slot), sel, &mut scratch.probe, &mut next);
+        // Observed pass counts per filter — the runtime ground truth the
+        // estimator's predicted pass fraction is judged against.
+        scratch
+            .profile
+            .note_filter(*filter_id, rows_in, next.len() as u64);
         std::mem::swap(&mut cur, &mut next);
         applied = true;
     }
@@ -242,6 +253,7 @@ pub fn execute_scan(
         }
         ctx.stats.record_prune(node_id, &prune);
         ctx.stats.note_scratch_allocs(scratch.grows());
+        ctx.stats.merge_profile(&mut scratch.profile);
         Ok(out)
     })?;
     Ok(PartitionedData { types, partitions })
@@ -276,6 +288,7 @@ pub fn execute_derived_scan(
             }
         }
         ctx.stats.note_scratch_allocs(scratch.grows());
+        ctx.stats.merge_profile(&mut scratch.profile);
         Ok(out)
     })?;
     Ok(PartitionedData { types, partitions })

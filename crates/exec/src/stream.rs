@@ -125,6 +125,7 @@ impl Iterator for ChunkStream {
                 *next += 1;
                 let result = chain.process(morsel, &self.ctx.stats, scratch);
                 self.ctx.stats.note_scratch_allocs(scratch.take_grows());
+                self.ctx.stats.merge_profile(&mut scratch.profile);
                 match result {
                     Ok(chunks) => {
                         pending.extend(chunks.into_iter().filter(|c| !c.is_empty()));

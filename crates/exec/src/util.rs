@@ -30,6 +30,10 @@ pub struct MorselScratch {
     pub pair_probe: Vec<u32>,
     /// Matched build-row indices.
     pub pair_build: Vec<u32>,
+    /// Per-worker profile accumulator (node timings, filter pass counts),
+    /// merged into [`crate::ExecStats`] at the same seal points that flush
+    /// the scratch-allocation counter.
+    pub profile: crate::data::ProfileScratch,
 }
 
 impl MorselScratch {

@@ -1,0 +1,346 @@
+//! Atomic counters, gauges, and log-bucketed latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::phase::PhaseBreakdown;
+use crate::snapshot::{MetricsSnapshot, SummarySnapshot};
+
+/// A monotonically increasing counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log buckets: bucket 0 holds exact zeros, bucket `i` holds
+/// values whose bit length is `i`, i.e. `[2^(i-1), 2^i)` nanoseconds.
+const BUCKETS: usize = 64;
+
+/// A log-bucketed latency histogram over nanosecond values.
+///
+/// Recording is three relaxed `fetch_add`s (bucket, count, sum); quantiles
+/// are resolved only when a [`HistogramSnapshot`] is taken. Buckets are
+/// powers of two, so a reported quantile is the *inclusive upper bound* of
+/// the bucket containing that rank — at most 2x the true value, which is
+/// plenty for p50/p95/p99 dashboards and keeps the hot path branch-free.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one latency observation, in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let idx = (64 - ns.leading_zeros()) as usize;
+        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets (quantiles resolve from this).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum_ns: self.sum_ns(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    /// Number of observations at snapshot time.
+    pub count: u64,
+    /// Sum of observations (ns) at snapshot time.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// The latency (ns) at quantile `q` in `[0, 1]`: the inclusive upper
+    /// bound of the log bucket containing rank `ceil(q * count)`.
+    ///
+    /// Monotone in `q` by construction. Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper_ns(idx);
+            }
+        }
+        bucket_upper_ns(BUCKETS - 1)
+    }
+
+    /// Summary view (p50/p95/p99 + count + sum) under the given metric name.
+    pub fn summary(&self, name: &str) -> SummarySnapshot {
+        SummarySnapshot {
+            name: name.to_string(),
+            count: self.count,
+            sum_ns: self.sum_ns,
+            q50_ns: self.quantile_ns(0.50),
+            q95_ns: self.quantile_ns(0.95),
+            q99_ns: self.quantile_ns(0.99),
+        }
+    }
+}
+
+/// Inclusive upper bound (ns) of log bucket `idx`.
+fn bucket_upper_ns(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+/// The engine-wide metrics registry.
+///
+/// One instance lives inside `Engine`; every field is individually atomic,
+/// so recording from concurrent connections never takes a lock. The
+/// snapshot assembled by `Engine::metrics()` adds the plan-cache counters
+/// (owned by the cache itself) next to these.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Statements run to completion (ad-hoc and prepared).
+    pub queries: Counter,
+    /// Rows delivered to clients.
+    pub rows_out: Counter,
+    /// Chunks considered by scans.
+    pub prune_chunks: Counter,
+    /// Chunks skipped by any index tier before decode.
+    pub prune_chunks_skipped: Counter,
+    /// Rows pruned without being scanned.
+    pub prune_rows: Counter,
+    /// Runtime Bloom filters built (one per `BloomBuild` executed).
+    pub filter_builds: Counter,
+    /// Rows offered to runtime-filter probes.
+    pub filter_probe_rows: Counter,
+    /// Rows that survived runtime-filter probes.
+    pub filter_pass_rows: Counter,
+    /// Strict-mode reorder-window stalls observed.
+    pub window_stalls: Counter,
+    /// Per-worker scratch reallocations (steady state should be zero).
+    pub filter_scratch_allocs: Counter,
+    /// End-to-end statement latency.
+    pub query_latency: LatencyHistogram,
+    /// SQL parse phase latency.
+    pub parse_latency: LatencyHistogram,
+    /// Name/type binding phase latency.
+    pub bind_latency: LatencyHistogram,
+    /// Optimizer phase latency.
+    pub optimize_latency: LatencyHistogram,
+    /// Execution phase latency.
+    pub execute_latency: LatencyHistogram,
+}
+
+impl EngineMetrics {
+    /// A fresh registry with all counters at zero.
+    pub fn new() -> EngineMetrics {
+        EngineMetrics::default()
+    }
+
+    /// Record one query's phase breakdown into the latency histograms.
+    pub fn record_phases(&self, phases: &PhaseBreakdown) {
+        self.query_latency.record_ns(phases.total_ns);
+        self.parse_latency.record_ns(phases.parse_ns);
+        self.bind_latency.record_ns(phases.bind_ns);
+        self.optimize_latency.record_ns(phases.optimize_ns);
+        self.execute_latency.record_ns(phases.execute_ns);
+    }
+
+    /// Snapshot these metrics, prepending `extra` counters (e.g. the plan
+    /// cache's hit/miss/evict counts, which live in the cache itself).
+    pub fn snapshot(&self, extra: &[(&str, u64)]) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = Vec::with_capacity(extra.len() + 10);
+        counters.push(("bfq_queries_total".into(), self.queries.get()));
+        for &(name, value) in extra {
+            counters.push((name.to_string(), value));
+        }
+        counters.push(("bfq_rows_out_total".into(), self.rows_out.get()));
+        counters.push(("bfq_prune_chunks_total".into(), self.prune_chunks.get()));
+        counters.push((
+            "bfq_prune_chunks_skipped_total".into(),
+            self.prune_chunks_skipped.get(),
+        ));
+        counters.push(("bfq_prune_rows_total".into(), self.prune_rows.get()));
+        counters.push(("bfq_filter_builds_total".into(), self.filter_builds.get()));
+        counters.push((
+            "bfq_filter_probe_rows_total".into(),
+            self.filter_probe_rows.get(),
+        ));
+        counters.push((
+            "bfq_filter_pass_rows_total".into(),
+            self.filter_pass_rows.get(),
+        ));
+        counters.push(("bfq_window_stalls_total".into(), self.window_stalls.get()));
+        counters.push((
+            "bfq_filter_scratch_allocs_total".into(),
+            self.filter_scratch_allocs.get(),
+        ));
+        let summaries = vec![
+            self.query_latency.snapshot().summary("bfq_query_seconds"),
+            self.parse_latency.snapshot().summary("bfq_parse_seconds"),
+            self.bind_latency.snapshot().summary("bfq_bind_seconds"),
+            self.optimize_latency
+                .snapshot()
+                .summary("bfq_optimize_seconds"),
+            self.execute_latency
+                .snapshot()
+                .summary("bfq_execute_seconds"),
+        ];
+        MetricsSnapshot {
+            counters,
+            summaries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.raise(3);
+        assert_eq!(g.get(), 7);
+        g.raise(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().quantile_ns(0.5), 0);
+        for ns in [0u64, 1, 1, 3, 100, 1000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum_ns, 1_001_105);
+        // p50 lands in the bucket holding 3 (bit length 2 -> upper 3).
+        assert_eq!(s.quantile_ns(0.5), 3);
+        // Quantiles bound their rank's value from above, within 2x.
+        assert!(s.quantile_ns(0.99) >= 1_000_000);
+        assert!(s.quantile_ns(0.99) < 2_097_152);
+        // q=0 still reports the smallest occupied bucket, not garbage.
+        assert_eq!(s.quantile_ns(0.0), 0);
+    }
+
+    #[test]
+    fn registry_snapshot_names_are_unique() {
+        let m = EngineMetrics::new();
+        m.queries.add(3);
+        let snap = m.snapshot(&[("bfq_plan_cache_hits_total", 2)]);
+        let mut names: Vec<&str> = snap
+            .counters
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .chain(snap.summaries.iter().map(|s| s.name.as_str()))
+            .collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(snap.counter("bfq_queries_total"), Some(3));
+        assert_eq!(snap.counter("bfq_plan_cache_hits_total"), Some(2));
+    }
+}

@@ -1,0 +1,215 @@
+//! Point-in-time metric snapshots and Prometheus text exposition.
+
+use std::fmt::Write as _;
+
+/// A latency summary: p50/p95/p99 quantiles plus count and sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummarySnapshot {
+    /// Metric name (by convention `*_seconds`; values are stored in ns).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations, nanoseconds.
+    pub sum_ns: u64,
+    /// 50th percentile, nanoseconds.
+    pub q50_ns: u64,
+    /// 95th percentile, nanoseconds.
+    pub q95_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub q99_ns: u64,
+}
+
+/// A point-in-time copy of an engine's metrics.
+///
+/// Renders to the Prometheus text exposition format (counters and
+/// summaries) and parses back exactly: `parse_prometheus_text(x.to_prometheus_text()) == x`
+/// because nanosecond values are printed as seconds with nine decimal
+/// places, which is lossless for any span below ~104 days.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter metrics, in render order.
+    pub counters: Vec<(String, u64)>,
+    /// Latency summaries, in render order.
+    pub summaries: Vec<SummarySnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a summary by name.
+    pub fn summary(&self, name: &str) -> Option<&SummarySnapshot> {
+        self.summaries.iter().find(|s| s.name == name)
+    }
+
+    /// Render in the Prometheus text exposition format.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for s in &self.summaries {
+            let _ = writeln!(out, "# TYPE {} summary", s.name);
+            let _ = writeln!(out, "{}{{quantile=\"0.5\"}} {}", s.name, secs(s.q50_ns));
+            let _ = writeln!(out, "{}{{quantile=\"0.95\"}} {}", s.name, secs(s.q95_ns));
+            let _ = writeln!(out, "{}{{quantile=\"0.99\"}} {}", s.name, secs(s.q99_ns));
+            let _ = writeln!(out, "{}_sum {}", s.name, secs(s.sum_ns));
+            let _ = writeln!(out, "{}_count {}", s.name, s.count);
+        }
+        out
+    }
+
+    /// Parse text produced by [`MetricsSnapshot::to_prometheus_text`].
+    ///
+    /// Accepts the subset of the exposition format this crate emits
+    /// (counters, and summaries with 0.5/0.95/0.99 quantiles); unknown
+    /// lines are an error so drift between renderer and parser is caught.
+    pub fn parse_prometheus_text(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (name, kind) = parse_type_line(line)?;
+            match kind {
+                "counter" => {
+                    let sample = lines.next().ok_or("missing counter sample")?;
+                    let (sample_name, value) = split_sample(sample)?;
+                    if sample_name != name {
+                        return Err(format!("counter sample `{sample_name}` after `{name}`"));
+                    }
+                    let value: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad counter value `{value}`"))?;
+                    snap.counters.push((name.to_string(), value));
+                }
+                "summary" => {
+                    let mut q = [0u64; 3];
+                    for (idx, want) in ["0.5", "0.95", "0.99"].iter().enumerate() {
+                        let sample = lines.next().ok_or("missing quantile sample")?;
+                        let (sample_name, value) = split_sample(sample)?;
+                        let expect = format!("{name}{{quantile=\"{want}\"}}");
+                        if sample_name != expect {
+                            return Err(format!("expected `{expect}`, got `{sample_name}`"));
+                        }
+                        q[idx] = parse_secs(value)?;
+                    }
+                    let sum_line = lines.next().ok_or("missing summary _sum")?;
+                    let (sum_name, sum_value) = split_sample(sum_line)?;
+                    if sum_name != format!("{name}_sum") {
+                        return Err(format!("expected `{name}_sum`, got `{sum_name}`"));
+                    }
+                    let count_line = lines.next().ok_or("missing summary _count")?;
+                    let (count_name, count_value) = split_sample(count_line)?;
+                    if count_name != format!("{name}_count") {
+                        return Err(format!("expected `{name}_count`, got `{count_name}`"));
+                    }
+                    snap.summaries.push(SummarySnapshot {
+                        name: name.to_string(),
+                        count: count_value
+                            .parse()
+                            .map_err(|_| format!("bad count `{count_value}`"))?,
+                        sum_ns: parse_secs(sum_value)?,
+                        q50_ns: q[0],
+                        q95_ns: q[1],
+                        q99_ns: q[2],
+                    });
+                }
+                other => return Err(format!("unknown metric type `{other}`")),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Nanoseconds rendered as seconds with nine decimals (lossless inverse of
+/// [`parse_secs`] for values under 2^53 ns).
+fn secs(ns: u64) -> String {
+    format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
+}
+
+/// Parse a seconds value back to integer nanoseconds.
+fn parse_secs(s: &str) -> Result<u64, String> {
+    let (whole, frac) = s
+        .split_once('.')
+        .ok_or_else(|| format!("bad seconds `{s}`"))?;
+    if frac.len() != 9 {
+        return Err(format!("expected 9 decimals in `{s}`"));
+    }
+    let whole: u64 = whole.parse().map_err(|_| format!("bad seconds `{s}`"))?;
+    let frac: u64 = frac.parse().map_err(|_| format!("bad seconds `{s}`"))?;
+    Ok(whole * 1_000_000_000 + frac)
+}
+
+/// Split `# TYPE <name> <kind>` into (name, kind).
+fn parse_type_line(line: &str) -> Result<(&str, &str), String> {
+    let rest = line
+        .strip_prefix("# TYPE ")
+        .ok_or_else(|| format!("expected `# TYPE`, got `{line}`"))?;
+    rest.split_once(' ')
+        .ok_or_else(|| format!("malformed TYPE line `{line}`"))
+}
+
+/// Split a sample line into (series name, value).
+fn split_sample(line: &str) -> Result<(&str, &str), String> {
+    line.trim()
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("malformed sample `{line}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("bfq_queries_total".into(), 42),
+                ("bfq_plan_cache_hits_total".into(), 17),
+            ],
+            summaries: vec![SummarySnapshot {
+                name: "bfq_query_seconds".into(),
+                count: 42,
+                sum_ns: 1_234_567_890_123,
+                q50_ns: 4_095,
+                q95_ns: 65_535,
+                q99_ns: 131_071,
+            }],
+        }
+    }
+
+    #[test]
+    fn prometheus_text_round_trips() {
+        let snap = sample();
+        let text = snap.to_prometheus_text();
+        assert!(text.contains("# TYPE bfq_queries_total counter"));
+        assert!(text.contains("bfq_queries_total 42"));
+        assert!(text.contains("bfq_query_seconds{quantile=\"0.95\"} 0.000065535"));
+        assert!(text.contains("bfq_query_seconds_sum 1234.567890123"));
+        let parsed = MetricsSnapshot::parse_prometheus_text(&text).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn parser_rejects_drift() {
+        assert!(MetricsSnapshot::parse_prometheus_text("bfq_x 1").is_err());
+        assert!(MetricsSnapshot::parse_prometheus_text("# TYPE x histogram\n").is_err());
+        let truncated = "# TYPE x summary\nx{quantile=\"0.5\"} 0.000000001\n";
+        assert!(MetricsSnapshot::parse_prometheus_text(truncated).is_err());
+    }
+
+    #[test]
+    fn seconds_formatting_is_lossless() {
+        for ns in [0u64, 1, 999_999_999, 1_000_000_000, 987_654_321_987] {
+            assert_eq!(parse_secs(&secs(ns)).unwrap(), ns);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the metrics core: histogram quantile monotonicity,
+//! count/sum bookkeeping, and Prometheus snapshot round-trips under
+//! arbitrary inputs.
+
+use bfq_obs::{LatencyHistogram, MetricsSnapshot, SummarySnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantiles are monotone in `q` and bracket the observed range: every
+    /// reported quantile is >= the smallest observation's bucket floor and
+    /// bounds its rank's true value from above by at most 2x.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(0u64..2_000_000_000, 1..300),
+    ) {
+        let h = LatencyHistogram::new();
+        let mut sum = 0u64;
+        for &v in &values {
+            h.record_ns(v);
+            sum += v;
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum_ns, sum);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let mut prev = 0u64;
+        for (i, &q) in qs.iter().enumerate() {
+            let v = s.quantile_ns(q);
+            if i > 0 {
+                prop_assert!(v >= prev, "quantile not monotone at q={}", q);
+            }
+            prev = v;
+        }
+        // The max quantile's bucket upper bound covers the true maximum.
+        let max = *values.iter().max().unwrap();
+        prop_assert!(s.quantile_ns(1.0) >= max);
+        prop_assert!(s.quantile_ns(1.0) <= max.next_power_of_two().max(1) * 2);
+    }
+
+    /// Snapshots survive a Prometheus render/parse round trip exactly, for
+    /// arbitrary counter values and summary contents.
+    #[test]
+    fn prometheus_round_trip(
+        counters in proptest::collection::vec(any::<u64>(), 1..6),
+        quant in proptest::collection::vec(0u64..1_000_000_000_000, 3),
+        count in 0u64..1_000_000,
+    ) {
+        let mut q = quant.clone();
+        q.sort_unstable();
+        let snap = MetricsSnapshot {
+            counters: counters
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (format!("bfq_prop_counter_{i}_total"), v))
+                .collect(),
+            summaries: vec![SummarySnapshot {
+                name: "bfq_prop_seconds".to_string(),
+                count,
+                sum_ns: q.iter().sum(),
+                q50_ns: q[0],
+                q95_ns: q[1],
+                q99_ns: q[2],
+            }],
+        };
+        let text = snap.to_prometheus_text();
+        let parsed = MetricsSnapshot::parse_prometheus_text(&text).unwrap();
+        prop_assert_eq!(parsed, snap);
+    }
+}

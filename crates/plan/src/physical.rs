@@ -114,6 +114,13 @@ pub struct BloomApply {
     pub filter: FilterId,
     /// The apply column (paper's `a`), a column of the scanned relation.
     pub column: ColumnId,
+    /// The estimator's predicted false-positive rate for this filter
+    /// (§3.5), kept on the plan so `EXPLAIN ANALYZE` can place the
+    /// observed probe pass rate next to the prediction that justified it.
+    pub predicted_fpr: f64,
+    /// Predicted row pass-through fraction
+    /// `sel_semi + (1 − sel_semi) · fpr` (paper §3.5).
+    pub predicted_pass: f64,
 }
 
 /// Construction of a planned Bloom filter at a hash join.
@@ -699,8 +706,20 @@ impl PhysicalPlan {
 
     /// EXPLAIN-style indented tree with estimates.
     pub fn explain(self: &Arc<Self>, resolve: &dyn Fn(ColumnId) -> String) -> String {
+        self.explain_annotated(resolve, &|_| String::new())
+    }
+
+    /// [`PhysicalPlan::explain`] with per-node annotations: `annotate` is
+    /// called once per node and its output is appended inside the node's
+    /// `(est_rows=…)` parenthesis — `EXPLAIN ANALYZE` uses this to place
+    /// actual rows, q-error and wall time next to the estimates.
+    pub fn explain_annotated(
+        self: &Arc<Self>,
+        resolve: &dyn Fn(ColumnId) -> String,
+        annotate: &dyn Fn(&PhysicalPlan) -> String,
+    ) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0, resolve);
+        self.explain_into(&mut out, 0, resolve, annotate);
         out
     }
 
@@ -709,12 +728,14 @@ impl PhysicalPlan {
         out: &mut String,
         depth: usize,
         resolve: &dyn Fn(ColumnId) -> String,
+        annotate: &dyn Fn(&PhysicalPlan) -> String,
     ) {
         let pad = "  ".repeat(depth);
         out.push_str(&format!(
-            "{pad}{} (est_rows={:.0})",
+            "{pad}{} (est_rows={:.0}{})",
             self.op_name(),
-            self.est_rows
+            self.est_rows,
+            annotate(self)
         ));
         match &self.node {
             PhysicalNode::Scan { predicate, .. } | PhysicalNode::DerivedScan { predicate, .. } => {
@@ -733,7 +754,7 @@ impl PhysicalPlan {
         }
         out.push('\n');
         for child in self.children() {
-            child.explain_into(out, depth + 1, resolve);
+            child.explain_into(out, depth + 1, resolve, annotate);
         }
     }
 }
@@ -819,6 +840,8 @@ mod tests {
             blooms.push(BloomApply {
                 filter: FilterId(3),
                 column: ColumnId::new(TableId(100), 0),
+                predicted_fpr: 0.01,
+                predicted_pass: 0.25,
             });
         }
         assert!(s.op_name().contains("apply bf3"));

@@ -37,6 +37,44 @@ pub fn plan_sql(sql: &str, catalog: &Catalog, bindings: &mut Bindings) -> Result
     bind(&stmt, catalog, bindings)
 }
 
+/// What an `EXPLAIN` prefix asked for (see [`strip_explain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// No prefix: execute the statement and return its rows.
+    #[default]
+    None,
+    /// `EXPLAIN`: plan only, render the optimized plan without executing.
+    Plan,
+    /// `EXPLAIN ANALYZE`: execute, then render the plan with per-node
+    /// actual rows, wall times and observed runtime-filter pass rates.
+    Analyze,
+}
+
+/// Split an optional leading `EXPLAIN [ANALYZE]` off a statement, returning
+/// the mode and the statement proper. Matching is case-insensitive and
+/// word-bounded, so column names like `explained` never trigger it.
+pub fn strip_explain(sql: &str) -> (ExplainMode, &str) {
+    fn eat_word<'a>(s: &'a str, word: &str) -> Option<&'a str> {
+        let t = s.trim_start();
+        let head = t.get(..word.len())?;
+        if !head.eq_ignore_ascii_case(word) {
+            return None;
+        }
+        let rest = &t[word.len()..];
+        match rest.chars().next() {
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' => None,
+            _ => Some(rest),
+        }
+    }
+    let Some(rest) = eat_word(sql, "explain") else {
+        return (ExplainMode::None, sql);
+    };
+    match eat_word(rest, "analyze") {
+        Some(stmt) => (ExplainMode::Analyze, stmt.trim_start()),
+        None => (ExplainMode::Plan, rest.trim_start()),
+    }
+}
+
 /// Canonicalize a SQL string for use as a plan-cache key.
 ///
 /// Comments are dropped, whitespace collapses to single spaces, keywords
@@ -84,6 +122,32 @@ mod normalize_tests {
         let b = normalize_sql("select a , b from t where x='It''s'").unwrap();
         assert_eq!(a, b);
         assert_eq!(a, "select a , b from t where x = 'It''s'");
+    }
+
+    #[test]
+    fn explain_prefix_is_stripped_word_bounded() {
+        assert_eq!(
+            strip_explain("  EXPLAIN ANALYZE select 1"),
+            (ExplainMode::Analyze, "select 1")
+        );
+        assert_eq!(
+            strip_explain("explain\n select 1"),
+            (ExplainMode::Plan, "select 1")
+        );
+        assert_eq!(
+            strip_explain("select explain from t"),
+            (ExplainMode::None, "select explain from t")
+        );
+        // Word boundary: an identifier starting with "explain" is not a prefix.
+        assert_eq!(
+            strip_explain("explained select 1"),
+            (ExplainMode::None, "explained select 1")
+        );
+        // ANALYZE must follow EXPLAIN to count.
+        assert_eq!(
+            strip_explain("explain analyzer"),
+            (ExplainMode::Plan, "analyzer")
+        );
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Observability: `EXPLAIN ANALYZE`, phase spans, the engine metrics
+//! registry, and the query flight recorder.
+//!
+//! Run with: `cargo run --release --example observability`
+
+use bfq::prelude::*;
+use bfq::tpch;
+
+fn main() -> Result<()> {
+    let sf = 0.01;
+    let db = tpch::gen::generate(sf, 42)?;
+    let engine = Engine::new(
+        db,
+        EngineConfig::default()
+            .with_bloom_mode(BloomMode::Cbo)
+            .with_dop(4)
+            .with_flight_recorder_capacity(16),
+    );
+    let mut conn = engine.connect();
+
+    // EXPLAIN ANALYZE executes the query and annotates every plan node
+    // with actual rows, est-vs-actual q-error and per-operator wall time,
+    // then lists each runtime filter's predicted pass fraction (from the
+    // optimizer's FPR model, paper §3.5) next to the pass fraction the
+    // executor observed — the planner's est-vs-actual feedback loop.
+    let q3 = tpch::query_text(3, sf);
+    let analyzed = conn.run_sql(&format!("explain analyze {q3}"))?;
+    println!("=== EXPLAIN ANALYZE Q3 ===");
+    for i in 0..analyzed.chunk.rows() {
+        if let Datum::Str(line) = &analyzed.chunk.row(i)[0] {
+            println!("{line}");
+        }
+    }
+
+    // Plain EXPLAIN plans without executing; the phase breakdown on any
+    // executed result shows where the time went. Q5 is cold here — the
+    // EXPLAIN ANALYZE above already cached Q3's plan.
+    let q5 = tpch::query_text(5, sf);
+    let r = conn.run_sql(&q5)?;
+    println!("\n=== phase spans (cold) ===\n{}", r.phases.render());
+    let r = conn.run_sql(&q5)?;
+    println!(
+        "=== phase spans (plan-cache hit) ===\n{}",
+        r.phases.render()
+    );
+
+    // Profiling is on by default; `SET profile = off` removes the
+    // per-operator clock reads while keeping row counts and filter
+    // observations (the plan cache is shared across both settings).
+    conn.set("profile", "off")?;
+    let unprofiled = conn.run_sql(&q3)?;
+    assert!(unprofiled.exec_stats.profiles().is_empty());
+    conn.set("profile", "default")?;
+
+    // Engine-wide metrics snapshot, rendered as Prometheus text — ready
+    // for a scrape endpoint.
+    conn.run_sql(&tpch::query_text(6, sf))?;
+    let snap = engine.metrics();
+    println!("=== Engine::metrics() ===\n{}", snap.to_prometheus_text());
+
+    // The flight recorder keeps the last N query profiles, newest first.
+    println!("=== Engine::recent_queries() ===");
+    for p in engine.recent_queries() {
+        println!(
+            "  fp={:016x} cache_hit={} rows_out={} exec={:.2}ms  {}",
+            p.plan_fingerprint,
+            p.cache_hit,
+            p.rows_out,
+            p.phases.execute_ns as f64 / 1e6,
+            p.sql
+                .split_whitespace()
+                .take(6)
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
+    Ok(())
+}

@@ -12,9 +12,10 @@ use bfq_common::{BfqError, DataType, Determinism, Result};
 use bfq_core::{BloomLayout, BloomMode, OptimizedQuery, OptimizerConfig};
 use bfq_exec::{execute_plan_stream_cfg, ChunkStream, ExecOptions, ExecStats};
 use bfq_index::IndexMode;
+use bfq_obs::{PhaseBreakdown, SpanTimer};
 use bfq_plan::Bindings;
-use bfq_sql::plan_sql;
-use bfq_storage::Chunk;
+use bfq_sql::{plan_sql, strip_explain, ExplainMode};
+use bfq_storage::{Chunk, Column, StrData};
 
 use crate::engine::{Engine, QueryResult};
 use crate::statement::PreparedStatement;
@@ -38,6 +39,9 @@ pub struct QueryOptions {
     pub dop: Option<usize>,
     /// Override the sink/exchange ordering contract (`strict` / `fast`).
     pub determinism: Option<Determinism>,
+    /// Override per-node runtime profiling (`on` / `off`). Execution-only:
+    /// toggling it keeps hitting the same cached plans.
+    pub profile: Option<bool>,
 }
 
 impl QueryOptions {
@@ -58,6 +62,9 @@ impl QueryOptions {
         }
         if let Some(mode) = self.determinism {
             config.determinism = mode;
+        }
+        if let Some(profile) = self.profile {
+            config.profile = profile;
         }
         config
     }
@@ -97,8 +104,8 @@ impl Connection {
     ///
     /// Keys: `bloom_mode` (`none|post|cbo|naive`), `bloom_layout`
     /// (`standard|blocked`), `index_mode` (`off|zonemap|zonemap+bloom`),
-    /// `dop` (positive integer), `determinism` (`strict|fast`). The value
-    /// `default` resets a key to the engine default.
+    /// `dop` (positive integer), `determinism` (`strict|fast`), `profile`
+    /// (`on|off`). The value `default` resets a key to the engine default.
     pub fn set(&mut self, key: &str, value: &str) -> Result<()> {
         let key = key.trim().to_ascii_lowercase();
         let value = value.trim().to_ascii_lowercase();
@@ -151,10 +158,25 @@ impl Connection {
             "determinism" => {
                 self.options.determinism = if reset { None } else { Some(value.parse()?) }
             }
+            "profile" => {
+                self.options.profile = if reset {
+                    None
+                } else {
+                    Some(match value.as_str() {
+                        "on" | "true" | "1" => true,
+                        "off" | "false" | "0" => false,
+                        other => {
+                            return Err(BfqError::invalid(format!(
+                                "unknown profile setting `{other}` (on|off)"
+                            )))
+                        }
+                    })
+                }
+            }
             other => {
                 return Err(BfqError::invalid(format!(
                     "unknown option `{other}` \
-                     (bloom_mode|bloom_layout|index_mode|dop|determinism)"
+                     (bloom_mode|bloom_layout|index_mode|dop|determinism|profile)"
                 )))
             }
         }
@@ -168,17 +190,69 @@ impl Connection {
 
     /// Run a parameter-free statement to completion (plan-cache aware).
     ///
-    /// Executes on the morsel-driven pipeline executor;
+    /// An `EXPLAIN` prefix plans without executing and returns the rendered
+    /// plan as rows; `EXPLAIN ANALYZE` executes the statement and returns
+    /// the plan annotated with actual rows, per-node wall times and
+    /// observed runtime-filter pass rates
+    /// ([`QueryResult::explain_analyze`]).
+    ///
+    /// Otherwise executes on the morsel-driven pipeline executor;
     /// [`Connection::execute_stream`] delivers the identical rows (same
     /// order) incrementally instead of gathered.
     pub fn run_sql(&self, sql: &str) -> Result<QueryResult> {
+        let (mode, stmt) = strip_explain(sql);
+        match mode {
+            ExplainMode::None => self.run_select(stmt),
+            ExplainMode::Plan => {
+                let optimizer = self.effective_config();
+                let total = SpanTimer::start();
+                let (_catalog, cached, cache_hit, mut phases) =
+                    self.engine.plan_statement(stmt, &optimizer)?;
+                phases.total_ns = total.elapsed_ns();
+                let mut result = QueryResult {
+                    chunk: Chunk::of_rows(0),
+                    column_names: vec!["plan".into()],
+                    optimized: cached.optimized.clone(),
+                    exec_stats: ExecStats::new(),
+                    cache_hit,
+                    determinism: optimizer.determinism,
+                    phases,
+                };
+                result.chunk = text_chunk(&result.explain());
+                Ok(result)
+            }
+            ExplainMode::Analyze => {
+                let mut result = self.run_select(stmt)?;
+                result.chunk = text_chunk(&result.explain_analyze());
+                result.column_names = vec!["plan".into()];
+                Ok(result)
+            }
+        }
+    }
+
+    /// Plan (cache-aware), execute gathered, and record the query in the
+    /// engine's metrics and flight recorder.
+    fn run_select(&self, sql: &str) -> Result<QueryResult> {
         let optimizer = self.effective_config();
-        let (catalog, cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
+        let total = SpanTimer::start();
+        let (catalog, cached, cache_hit, mut phases) = self.plan_parameter_free(sql, &optimizer)?;
+        let span = SpanTimer::start();
         let out = bfq_exec::execute_plan_pipelined_cfg(
             &cached.optimized.plan,
             catalog,
             exec_options(&optimizer),
         )?;
+        phases.execute_ns = span.elapsed_ns();
+        phases.total_ns = total.elapsed_ns();
+        self.engine.observe_query(
+            sql,
+            &cached.optimized,
+            optimizer.determinism,
+            cache_hit,
+            &out.stats,
+            out.chunk.rows() as u64,
+            phases,
+        );
         Ok(QueryResult {
             chunk: out.chunk,
             column_names: cached.output_names.clone(),
@@ -186,13 +260,15 @@ impl Connection {
             exec_stats: out.stats,
             cache_hit,
             determinism: optimizer.determinism,
+            phases,
         })
     }
 
     /// Run a parameter-free statement, returning results incrementally.
     pub fn execute_stream(&self, sql: &str) -> Result<QueryStream> {
         let optimizer = self.effective_config();
-        let (catalog, cached, cache_hit) = self.plan_parameter_free(sql, &optimizer)?;
+        let (catalog, cached, cache_hit, phases) = self.plan_parameter_free(sql, &optimizer)?;
+        let exec_span = SpanTimer::start();
         let stream =
             execute_plan_stream_cfg(&cached.optimized.plan, catalog, exec_options(&optimizer))?;
         Ok(QueryStream {
@@ -201,6 +277,10 @@ impl Connection {
             cache_hit,
             determinism: optimizer.determinism,
             stream,
+            engine: self.engine.clone(),
+            sql: sql.to_string(),
+            phases,
+            exec_span,
         })
     }
 
@@ -213,15 +293,16 @@ impl Connection {
         std::sync::Arc<bfq_catalog::Catalog>,
         std::sync::Arc<bfq_core::CachedPlan>,
         bool,
+        PhaseBreakdown,
     )> {
-        let (catalog, cached, cache_hit) = self.engine.plan_statement(sql, optimizer)?;
+        let (catalog, cached, cache_hit, phases) = self.engine.plan_statement(sql, optimizer)?;
         if cached.param_count > 0 {
             return Err(BfqError::invalid(format!(
                 "statement has {} parameter(s); use prepare() and bind()",
                 cached.param_count
             )));
         }
-        Ok((catalog, cached, cache_hit))
+        Ok((catalog, cached, cache_hit, phases))
     }
 
     /// Prepare a statement (with optional `?` / `$n` placeholders) for
@@ -229,13 +310,14 @@ impl Connection {
     /// pins the catalog snapshot it was planned against.
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
         let optimizer = self.effective_config();
-        let (catalog, cached, cache_hit) = self.engine.plan_statement(sql, &optimizer)?;
+        let (catalog, cached, cache_hit, _phases) = self.engine.plan_statement(sql, &optimizer)?;
         Ok(PreparedStatement::new(
             self.engine.clone(),
             catalog,
             optimizer,
             cached,
             cache_hit,
+            sql.to_string(),
         ))
     }
 
@@ -257,8 +339,16 @@ pub(crate) fn exec_options(optimizer: &OptimizerConfig) -> ExecOptions {
         index_mode: optimizer.index_mode,
         bloom_layout: optimizer.bloom_layout,
         determinism: optimizer.determinism,
+        profile: optimizer.profile,
         ..Default::default()
     }
+}
+
+/// Pack rendered explain text into a one-column `plan` chunk, line per row.
+fn text_chunk(text: &str) -> Chunk {
+    let data: StrData = text.lines().map(|l| l.to_string()).collect();
+    Chunk::new(vec![Arc::new(Column::Utf8(data, None))])
+        .expect("single-column chunk lengths trivially agree")
 }
 
 /// A streaming query result: column names plus an iterator of chunks.
@@ -276,15 +366,28 @@ pub struct QueryStream {
     /// The sink/exchange ordering contract this query executes under.
     pub determinism: Determinism,
     stream: ChunkStream,
+    /// The engine whose metrics and flight recorder this query reports to
+    /// when gathered.
+    engine: Arc<Engine>,
+    /// The statement text, for the flight-recorder entry.
+    sql: String,
+    /// Planning phases (execute/total filled in at gather time).
+    phases: PhaseBreakdown,
+    /// Started when execution began; stops at gather.
+    exec_span: SpanTimer,
 }
 
 impl QueryStream {
+    #[allow(clippy::too_many_arguments)] // one slot per public field plus provenance
     pub(crate) fn from_parts(
         column_names: Vec<String>,
         optimized: OptimizedQuery,
         cache_hit: bool,
         determinism: Determinism,
         stream: ChunkStream,
+        engine: Arc<Engine>,
+        sql: String,
+        phases: PhaseBreakdown,
     ) -> QueryStream {
         QueryStream {
             column_names,
@@ -292,6 +395,10 @@ impl QueryStream {
             cache_hit,
             determinism,
             stream,
+            engine,
+            sql,
+            phases,
+            exec_span: SpanTimer::start(),
         }
     }
 
@@ -305,9 +412,24 @@ impl QueryStream {
         self.stream.stats()
     }
 
-    /// Drain the remaining chunks into a gathered [`QueryResult`].
+    /// Drain the remaining chunks into a gathered [`QueryResult`], and
+    /// record the completed query in the engine's metrics and flight
+    /// recorder. (A stream that is dropped without being fully drained is
+    /// never recorded — the engine only counts completed queries.)
     pub fn gather(self) -> Result<QueryResult> {
         let out = self.stream.gather()?;
+        let mut phases = self.phases;
+        phases.execute_ns = self.exec_span.elapsed_ns();
+        phases.total_ns = phases.phase_sum_ns();
+        self.engine.observe_query(
+            &self.sql,
+            &self.optimized,
+            self.determinism,
+            self.cache_hit,
+            &out.stats,
+            out.chunk.rows() as u64,
+            phases,
+        );
         Ok(QueryResult {
             chunk: out.chunk,
             column_names: self.column_names,
@@ -315,6 +437,7 @@ impl QueryStream {
             exec_stats: out.stats,
             cache_hit: self.cache_hit,
             determinism: self.determinism,
+            phases,
         })
     }
 }

@@ -18,8 +18,9 @@ use bfq_catalog::Catalog;
 use bfq_common::{Result, TableId};
 use bfq_core::{optimize, CachedPlan, OptimizedQuery, OptimizerConfig, PlanCache, PlanCacheStats};
 use bfq_exec::ExecStats;
+use bfq_obs::{fingerprint, EngineMetrics, FlightRecorder, SpanTimer};
 use bfq_plan::{Bindings, PhysicalNode};
-use bfq_sql::{normalize_sql, plan_sql};
+use bfq_sql::{bind, normalize_sql, parse_select};
 use bfq_storage::{Chunk, Table};
 use bfq_tpch::TpchDb;
 use parking_lot::RwLock;
@@ -28,6 +29,7 @@ use crate::connection::Connection;
 
 pub use bfq_core::{BloomLayout, BloomMode, Determinism};
 pub use bfq_index::IndexMode;
+pub use bfq_obs::{MetricsSnapshot, PhaseBreakdown, QueryProfile};
 
 /// Engine-wide configuration: optimizer defaults plus cache sizing.
 ///
@@ -41,6 +43,9 @@ pub struct EngineConfig {
     pub optimizer: OptimizerConfig,
     /// Maximum plans held by the shared plan cache (0 disables caching).
     pub plan_cache_capacity: usize,
+    /// Queries remembered by the flight recorder ring
+    /// ([`Engine::recent_queries`]); clamped to at least 1.
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +53,7 @@ impl Default for EngineConfig {
         EngineConfig {
             optimizer: OptimizerConfig::default(),
             plan_cache_capacity: 128,
+            flight_recorder_capacity: 32,
         }
     }
 }
@@ -88,6 +94,18 @@ impl EngineConfig {
         self.plan_cache_capacity = capacity;
         self
     }
+
+    /// Set how many recent queries the flight recorder remembers.
+    pub fn with_flight_recorder_capacity(mut self, capacity: usize) -> Self {
+        self.flight_recorder_capacity = capacity;
+        self
+    }
+
+    /// Toggle per-node runtime profiling (`EXPLAIN ANALYZE` timings).
+    pub fn with_profile(mut self, enabled: bool) -> Self {
+        self.optimizer.profile = enabled;
+        self
+    }
 }
 
 /// The result of running one query to completion.
@@ -106,6 +124,18 @@ pub struct QueryResult {
     pub cache_hit: bool,
     /// The sink/exchange ordering contract this query executed under.
     pub determinism: Determinism,
+    /// Wall-clock phase breakdown (parse / bind / optimize are zero on a
+    /// plan-cache hit or prepared execution — those phases did not run).
+    pub phases: PhaseBreakdown,
+}
+
+/// The q-error of an estimate: `max(est/actual, actual/est)`, both sides
+/// floored at one row so empty results don't divide by zero. Always `>= 1`;
+/// 1 means the estimate was exact.
+fn q_error(est: f64, actual: u64) -> f64 {
+    let est = est.max(1.0);
+    let actual = (actual as f64).max(1.0);
+    (est / actual).max(actual / est)
 }
 
 impl QueryResult {
@@ -142,13 +172,102 @@ impl QueryResult {
                 out.push('\n');
             }
         }
+        self.push_footer(&mut out);
+        out
+    }
+
+    /// `EXPLAIN ANALYZE`-style rendering: the executed plan annotated with
+    /// per-node actual rows, est-vs-actual q-error, wall time and morsel
+    /// counts, followed by observed-vs-predicted runtime-filter pass rates,
+    /// the phase breakdown, and the counters [`QueryResult::explain`] shows.
+    ///
+    /// Chain operators report *self* time summed across workers (it can
+    /// exceed the query's wall clock at dop > 1); pipeline breakers report
+    /// the wall time of their whole stage, sealed once (`morsels` omitted).
+    pub fn explain_analyze(&self) -> String {
+        let stats = &self.exec_stats;
+        let mut out = self
+            .optimized
+            .plan
+            .explain_annotated(&|c| c.to_string(), &|node| {
+                let mut s = String::new();
+                if let Some(actual) = stats.actual(node.id) {
+                    s.push_str(&format!(
+                        ", actual_rows={actual}, q_err={:.2}",
+                        q_error(node.est_rows, actual)
+                    ));
+                }
+                if let Some(p) = stats.profile_of(node.id) {
+                    s.push_str(&format!(", time={:.2}ms", p.wall_ns as f64 / 1e6));
+                    if p.morsels > 0 {
+                        s.push_str(&format!(", morsels={}", p.morsels));
+                    }
+                }
+                s
+            });
+        // Observed probe pass rates next to the predictions (§3.5) that
+        // justified placing each filter — the planner's feedback signal.
+        let mut filter_lines = Vec::new();
+        self.optimized.plan.visit(&mut |node| {
+            let (alias, blooms) = match &node.node {
+                PhysicalNode::Scan { alias, blooms, .. }
+                | PhysicalNode::DerivedScan { alias, blooms, .. } => (alias, blooms),
+                _ => return,
+            };
+            for b in blooms {
+                let observed = match stats.filter_observation(b.filter.0) {
+                    Some(o) => match o.pass_rate() {
+                        Some(rate) => format!(
+                            "observed pass {rate:.4} ({}/{} rows)",
+                            o.rows_out, o.rows_in
+                        ),
+                        None => "no rows probed".to_string(),
+                    },
+                    None => "no rows probed".to_string(),
+                };
+                filter_lines.push(format!(
+                    "  {} @ {alias}: predicted pass {:.4} (fpr {:.4}), {observed}",
+                    b.filter, b.predicted_pass, b.predicted_fpr
+                ));
+            }
+        });
+        if !filter_lines.is_empty() {
+            out.push_str("runtime filters:\n");
+            for line in filter_lines {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        if stats.filter_builds() > 0 {
+            out.push_str(&format!(
+                "filter builds: {} ({:.2}ms)\n",
+                stats.filter_builds(),
+                stats.filter_build_ns() as f64 / 1e6
+            ));
+        }
+        out.push_str(&format!("phases: {}\n", self.phases.render()));
+        self.push_footer(&mut out);
+        out
+    }
+
+    /// The footer shared by [`QueryResult::explain`] and
+    /// [`QueryResult::explain_analyze`]: executor health counters, the
+    /// plan-cache outcome, and the ordering contract.
+    fn push_footer(&self, out: &mut String) {
+        out.push_str(&format!(
+            "window stalls: {}\n",
+            self.exec_stats.window_stalls()
+        ));
+        out.push_str(&format!(
+            "filter scratch allocs: {}\n",
+            self.exec_stats.filter_scratch_allocs()
+        ));
         out.push_str(if self.cache_hit {
             "plan cache: hit\n"
         } else {
             "plan cache: miss\n"
         });
         out.push_str(&format!("determinism: {}\n", self.determinism));
-        out
     }
 }
 
@@ -167,6 +286,10 @@ pub struct Engine {
     mutation: parking_lot::Mutex<()>,
     config: EngineConfig,
     cache: PlanCache,
+    /// Engine-wide counters and latency histograms ([`Engine::metrics`]).
+    metrics: EngineMetrics,
+    /// Bounded ring of recent query profiles ([`Engine::recent_queries`]).
+    recorder: FlightRecorder,
 }
 
 impl Engine {
@@ -178,11 +301,14 @@ impl Engine {
     /// An engine over an arbitrary catalog.
     pub fn over_catalog(catalog: Arc<Catalog>, config: EngineConfig) -> Arc<Engine> {
         let cache = PlanCache::with_capacity(config.plan_cache_capacity);
+        let recorder = FlightRecorder::new(config.flight_recorder_capacity);
         Arc::new(Engine {
             catalog: RwLock::new(catalog),
             mutation: parking_lot::Mutex::new(()),
             config,
             cache,
+            metrics: EngineMetrics::new(),
+            recorder,
         })
     }
 
@@ -237,6 +363,66 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// A point-in-time snapshot of the engine-wide metrics: queries run,
+    /// rows delivered, plan-cache and prune counters, runtime-filter
+    /// build/probe totals, and p50/p95/p99 latency histograms per phase.
+    /// Render with [`MetricsSnapshot::to_prometheus_text`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let cache = self.cache.stats();
+        self.metrics.snapshot(&[
+            ("bfq_plan_cache_hits_total", cache.hits),
+            ("bfq_plan_cache_misses_total", cache.misses),
+            ("bfq_plan_cache_insertions_total", cache.insertions),
+            ("bfq_plan_cache_evictions_total", cache.evictions),
+        ])
+    }
+
+    /// The flight recorder's ring of recent query profiles, newest first.
+    pub fn recent_queries(&self) -> Vec<QueryProfile> {
+        self.recorder.recent()
+    }
+
+    /// Fold one completed query into the metrics registry and the flight
+    /// recorder. Called once per statement at completion — never on the
+    /// morsel hot path.
+    #[allow(clippy::too_many_arguments)] // one slot per recorded facet
+    pub(crate) fn observe_query(
+        &self,
+        sql: &str,
+        optimized: &OptimizedQuery,
+        determinism: Determinism,
+        cache_hit: bool,
+        stats: &ExecStats,
+        rows_out: u64,
+        phases: PhaseBreakdown,
+    ) {
+        let m = &self.metrics;
+        m.queries.inc();
+        m.rows_out.add(rows_out);
+        let prune = stats.prune_totals();
+        m.prune_chunks.add(prune.chunks);
+        m.prune_chunks_skipped.add(prune.skipped());
+        m.prune_rows.add(prune.rows_pruned);
+        m.filter_builds.add(stats.filter_builds());
+        let (probe, pass) = stats
+            .filter_observations()
+            .values()
+            .fold((0, 0), |(p, s), o| (p + o.rows_in, s + o.rows_out));
+        m.filter_probe_rows.add(probe);
+        m.filter_pass_rows.add(pass);
+        m.window_stalls.add(stats.window_stalls());
+        m.filter_scratch_allocs.add(stats.filter_scratch_allocs());
+        m.record_phases(&phases);
+        self.recorder.record(QueryProfile {
+            sql: sql.to_string(),
+            plan_fingerprint: fingerprint(&optimized.plan.explain(&|c| c.to_string())),
+            phases,
+            determinism,
+            cache_hit,
+            rows_out,
+        });
+    }
+
     /// Drop all cached plans (counters survive). Useful after statistics
     /// or configuration changes that should invalidate prior planning.
     pub fn clear_plan_cache(&self) {
@@ -245,8 +431,9 @@ impl Engine {
 
     /// Parse, bind and optimize `sql` under `optimizer`, consulting the
     /// shared plan cache first. Returns the catalog snapshot the plan was
-    /// made against, the (possibly still parameterized) plan, and whether
-    /// it was a cache hit.
+    /// made against, the (possibly still parameterized) plan, whether it
+    /// was a cache hit, and the wall-clock planning phases (all zero on a
+    /// hit — the cached plan skips parse/bind/optimize entirely).
     ///
     /// The cache key includes [`Catalog::version`], so registering or
     /// replacing a table can never serve a stale plan.
@@ -254,22 +441,30 @@ impl Engine {
         &self,
         sql: &str,
         optimizer: &OptimizerConfig,
-    ) -> Result<(Arc<Catalog>, Arc<CachedPlan>, bool)> {
+    ) -> Result<(Arc<Catalog>, Arc<CachedPlan>, bool, PhaseBreakdown)> {
         let catalog = self.catalog();
         let config_key = format!("v{}:{}", catalog.version(), optimizer.cache_fingerprint());
         let key = PlanCache::key(&normalize_sql(sql)?, &config_key);
         if let Some(hit) = self.cache.get(&key) {
-            return Ok((catalog, hit, true));
+            return Ok((catalog, hit, true, PhaseBreakdown::default()));
         }
+        let mut phases = PhaseBreakdown::default();
+        let span = SpanTimer::start();
+        let stmt = parse_select(sql)?;
+        phases.parse_ns = span.elapsed_ns();
         let mut bindings = Bindings::new();
-        let bound = plan_sql(sql, &catalog, &mut bindings)?;
+        let span = SpanTimer::start();
+        let bound = bind(&stmt, &catalog, &mut bindings)?;
+        phases.bind_ns = span.elapsed_ns();
+        let span = SpanTimer::start();
         let optimized = optimize(&bound.plan, &mut bindings, &catalog, optimizer)?;
+        phases.optimize_ns = span.elapsed_ns();
         let cached = Arc::new(CachedPlan {
             optimized,
             output_names: bound.output_names,
             param_count: bound.param_count,
         });
         self.cache.insert(key, cached.clone());
-        Ok((catalog, cached, false))
+        Ok((catalog, cached, false, phases))
     }
 }

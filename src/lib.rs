@@ -53,6 +53,7 @@ pub use bfq_cost as cost;
 pub use bfq_exec as exec;
 pub use bfq_expr as expr;
 pub use bfq_index as index;
+pub use bfq_obs as obs;
 pub use bfq_plan as plan;
 pub use bfq_sql as sql;
 pub use bfq_storage as storage;
@@ -81,5 +82,6 @@ pub mod prelude {
     pub use bfq_common::{BfqError, DataType, Datum, Determinism, RelSet, Result};
     pub use bfq_core::{BloomLayout, BloomMode, PlanCacheStats};
     pub use bfq_index::IndexMode;
+    pub use bfq_obs::{MetricsSnapshot, PhaseBreakdown, QueryProfile};
     pub use bfq_storage::{Chunk, Table};
 }

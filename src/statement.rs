@@ -17,6 +17,7 @@ use bfq_catalog::Catalog;
 use bfq_common::{BfqError, Datum, Result};
 use bfq_core::{CachedPlan, OptimizedQuery, OptimizerConfig};
 use bfq_exec::{execute_plan_pipelined_cfg, execute_plan_stream_cfg};
+use bfq_obs::{PhaseBreakdown, SpanTimer};
 use bfq_plan::PhysicalPlan;
 
 use crate::connection::QueryStream;
@@ -35,6 +36,8 @@ pub struct PreparedStatement {
     optimizer: OptimizerConfig,
     cached: Arc<CachedPlan>,
     cache_hit: bool,
+    /// The statement text as prepared, kept for flight-recorder entries.
+    sql: String,
 }
 
 impl PreparedStatement {
@@ -44,6 +47,7 @@ impl PreparedStatement {
         optimizer: OptimizerConfig,
         cached: Arc<CachedPlan>,
         cache_hit: bool,
+        sql: String,
     ) -> PreparedStatement {
         PreparedStatement {
             engine,
@@ -51,7 +55,13 @@ impl PreparedStatement {
             optimizer,
             cached,
             cache_hit,
+            sql,
         }
+    }
+
+    /// The statement text this was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
     }
 
     /// The shared engine this statement was prepared on.
@@ -134,18 +144,36 @@ impl BoundStatement {
     /// run here (use [`PreparedStatement::from_cache`] for the
     /// prepare-time cache outcome).
     pub fn execute(&self) -> Result<QueryResult> {
+        let span = SpanTimer::start();
         let out = execute_plan_pipelined_cfg(
             &self.plan,
             self.stmt.catalog.clone(),
             crate::connection::exec_options(&self.stmt.optimizer),
         )?;
+        // Prepared executions skip parse/bind/optimize; their spans stay 0.
+        let phases = PhaseBreakdown {
+            execute_ns: span.elapsed_ns(),
+            total_ns: span.elapsed_ns(),
+            ..PhaseBreakdown::default()
+        };
+        let optimized = self.optimized();
+        self.stmt.engine.observe_query(
+            &self.stmt.sql,
+            &optimized,
+            self.stmt.optimizer.determinism,
+            true,
+            &out.stats,
+            out.chunk.rows() as u64,
+            phases,
+        );
         Ok(QueryResult {
             chunk: out.chunk,
             column_names: self.stmt.cached.output_names.clone(),
-            optimized: self.optimized(),
+            optimized,
             exec_stats: out.stats,
             cache_hit: true,
             determinism: self.stmt.optimizer.determinism,
+            phases,
         })
     }
 
@@ -163,6 +191,9 @@ impl BoundStatement {
             true,
             self.stmt.optimizer.determinism,
             stream,
+            self.stmt.engine.clone(),
+            self.stmt.sql.clone(),
+            PhaseBreakdown::default(),
         ))
     }
 

@@ -108,6 +108,61 @@ fn shared_engine_across_threads_matches_single_threaded_run() {
 }
 
 #[test]
+fn metrics_and_flight_recorder_are_thread_safe_and_bounded() {
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    const CAPACITY: usize = 8;
+    let engine = Engine::new(
+        db,
+        EngineConfig::default()
+            .with_bloom_mode(BloomMode::Cbo)
+            .with_dop(2)
+            .with_flight_recorder_capacity(CAPACITY),
+    );
+
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 3;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let engine = engine.clone();
+            scope.spawn(move || {
+                let conn = engine.connect();
+                for i in 0..ROUNDS {
+                    let q = QUERIES[(i + t) % QUERIES.len()];
+                    conn.run_sql(&tpch::query_text(q, SF))
+                        .unwrap_or_else(|e| panic!("thread {t} Q{q}: {e}"));
+                    // Reads interleave with concurrent writers: the ring
+                    // never exceeds its bound mid-flight either.
+                    assert!(engine.recent_queries().len() <= CAPACITY);
+                }
+            });
+        }
+    });
+
+    // Every completed query was counted, none double-counted.
+    let snap = engine.metrics();
+    assert_eq!(
+        snap.counter("bfq_queries_total"),
+        Some((THREADS * ROUNDS) as u64)
+    );
+    assert_eq!(
+        snap.summary("bfq_query_seconds").unwrap().count,
+        (THREADS * ROUNDS) as u64
+    );
+    // The ring holds exactly its capacity (more queries ran than fit).
+    let recent = engine.recent_queries();
+    assert_eq!(recent.len(), CAPACITY);
+    for p in &recent {
+        assert!(p.phases.execute_ns > 0);
+        assert!(p.plan_fingerprint != 0);
+    }
+    // Pass rows can never exceed probe rows, even merged across threads.
+    assert!(
+        snap.counter("bfq_filter_pass_rows_total").unwrap()
+            <= snap.counter("bfq_filter_probe_rows_total").unwrap()
+    );
+}
+
+#[test]
 fn connection_options_isolate_plans_but_not_results() {
     let db = tpch::gen::generate(SF, SEED).expect("generate");
     let engine = Engine::new(db, EngineConfig::default().with_dop(2));
