@@ -1,0 +1,265 @@
+//! **E12 — server concurrency**: sustained throughput and tail latency of
+//! the `bfq-server` network front-end under 64 concurrent clients, plus
+//! the cancellation/timeout path.
+//!
+//! Phase 1 drives 64 client threads over real TCP, each running a mixed
+//! prepared workload (a point count and a grouped aggregate, both
+//! parameterized) against one shared engine. Every result folds into a
+//! deterministic checksum which gates EXACTLY against the committed
+//! baseline — network transport must not change a single value. Queries
+//! per second and p50/p99 round-trip latencies are recorded as `*_ms`
+//! trend metrics (CI runners are too noisy for a hard latency bar).
+//!
+//! Phase 2 exercises interruption: streams cancelled mid-flight from a
+//! second connection and a statement-timeout failure, asserting the server
+//! survives, sessions stay usable, and no engine worker threads leak
+//! (`leaked_threads` gates at zero).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Instant;
+
+use bfq::prelude::*;
+use bfq_bench::harness::{BenchEnv, JsonReport};
+use bfq_core::BloomMode;
+use bfq_server::{Client, Server, ServerConfig};
+
+const CLIENTS: usize = 64;
+/// Mixed-workload rounds per client (each round = point + aggregate).
+const ITERS: usize = 6;
+/// Streams cancelled mid-flight in phase 2.
+const CANCELLED_STREAMS: usize = 8;
+
+const POINT_SQL: &str = "select count(*) from orders where o_orderkey = ?";
+const AGG_SQL: &str = "select l_returnflag, count(*) as n, sum(l_quantity) as q \
+     from lineitem where l_orderkey < ? group by l_returnflag order by l_returnflag";
+
+/// Deterministic parameter for round `i` of client `t`.
+fn param(order_rows: i64, t: usize, i: usize) -> i64 {
+    1 + ((t * ITERS + i) as i64 * 37) % order_rows.max(1)
+}
+
+/// Fold a result into an integer checksum. `l_quantity` is integral-valued
+/// so its float sum (and the `*100` quantization) is exact in f64.
+fn fold(rows: &[Vec<Datum>]) -> i64 {
+    let mut acc = 0i64;
+    for row in rows {
+        for cell in row {
+            match cell {
+                Datum::Int(v) => acc = acc.wrapping_add(*v),
+                Datum::Float(v) => acc = acc.wrapping_add((v * 100.0).round() as i64),
+                Datum::Str(s) => acc = acc.wrapping_add(s.len() as i64),
+                Datum::Bool(b) => acc = acc.wrapping_add(*b as i64),
+                Datum::Date(d) => acc = acc.wrapping_add(*d as i64),
+                Datum::Null => {}
+            }
+        }
+    }
+    acc
+}
+
+fn connect_with_retry(addr: std::net::SocketAddr) -> Client {
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => return c,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "could not connect: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn live_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let env = BenchEnv::load();
+    let catalog = env.load_db();
+    let mut json = JsonReport::from_args("fig_server_concurrency");
+    json.add("sf", env.sf);
+    json.add("clients", CLIENTS as f64);
+
+    let engine = Engine::over_catalog(
+        catalog,
+        EngineConfig {
+            optimizer: env.config(BloomMode::Cbo),
+            ..EngineConfig::default()
+        },
+    );
+    let order_rows = engine
+        .catalog()
+        .meta_by_name("orders")
+        .expect("orders registered")
+        .stats
+        .rows as i64;
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: CLIENTS,
+            queue_depth: CLIENTS,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+
+    // ---- Phase 1: 64 concurrent clients, mixed prepared workload -------
+    let checksum = AtomicI64::new(0);
+    let wall = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let checksum = &checksum;
+                scope.spawn(move || {
+                    let mut client = connect_with_retry(addr);
+                    client.prepare("point", POINT_SQL).expect("prepare point");
+                    client.prepare("agg", AGG_SQL).expect("prepare agg");
+                    let mut local = 0i64;
+                    let mut lats = Vec::with_capacity(ITERS * 2);
+                    for i in 0..ITERS {
+                        let k = Datum::Int(param(order_rows, t, i));
+                        for stmt in ["point", "agg"] {
+                            let q = Instant::now();
+                            let rows = client.execute(stmt, std::slice::from_ref(&k));
+                            lats.push(q.elapsed().as_secs_f64() * 1e3);
+                            local = local.wrapping_add(fold(&rows.expect(stmt).rows));
+                        }
+                    }
+                    client.quit().expect("quit");
+                    checksum.fetch_add(local, Ordering::Relaxed);
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let queries = (CLIENTS * ITERS * 2) as f64;
+    let qps = queries / (elapsed_ms / 1e3);
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let (p50, p99) = (quantile(&latencies_ms, 0.50), quantile(&latencies_ms, 0.99));
+    let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64;
+
+    println!(
+        "# Server concurrency — TPC-H SF {} DOP {} ({} clients x {} rounds)",
+        env.sf, env.dop, CLIENTS, ITERS
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "queries", "qps", "p50_ms", "p99_ms", "mean_ms"
+    );
+    println!(
+        "{:<22} {:>10.0} {:>10.0} {:>10.3} {:>10.3} {:>10.3}",
+        "mixed-prepared", queries, qps, p50, p99, mean
+    );
+    json.add("queries_total", queries);
+    json.add(
+        &format!("c{CLIENTS}_checksum"),
+        checksum.load(Ordering::Relaxed) as f64,
+    );
+    // Throughput in queries/ms so the gate treats it as a trend metric,
+    // like every latency in this suite — CI runners can't hold a hard bar.
+    json.add("throughput_q_per_ms", qps / 1e3);
+    json.add("p50_ms", p50);
+    json.add("p99_ms", p99);
+    json.add("mean_ms", mean);
+
+    // ---- Phase 2: cancellation and timeout, with a thread-leak check ---
+    let threads_before = live_threads();
+    let big = "select l1.l_orderkey, l1.l_extendedprice from lineitem l1, lineitem l2 \
+               where l1.l_orderkey = l2.l_orderkey";
+    let mut cancelled = 0usize;
+    let mut canceller = connect_with_retry(addr);
+    for _ in 0..CANCELLED_STREAMS {
+        let mut victim = connect_with_retry(addr);
+        let (id, secret) = (victim.conn_id(), victim.secret());
+        let outcome = {
+            let mut stream = victim.query_stream(big).expect("stream");
+            let first = stream.next_chunk().expect("first chunk");
+            assert!(first.is_some(), "result should span several chunks");
+            assert!(
+                canceller.cancel(id, secret).expect("cancel"),
+                "query in flight"
+            );
+            loop {
+                match stream.next_chunk() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break None,
+                    Err(e) => break Some(e),
+                }
+            }
+        };
+        match outcome {
+            Some(e) if e.is_code("cancelled") => cancelled += 1,
+            other => panic!("expected cancelled error, got {other:?}"),
+        }
+        // The session survives its cancelled query.
+        victim.ping().expect("victim session usable");
+        victim.quit().expect("quit");
+    }
+
+    let mut timed_out = 0usize;
+    let mut slowpoke = connect_with_retry(addr);
+    slowpoke.set("statement_timeout", "1").expect("set timeout");
+    slowpoke.set("dop", "1").expect("set dop");
+    let slow = "select l1.l_orderkey from lineitem l1, lineitem l2, lineitem l3 \
+                where l1.l_orderkey = l2.l_orderkey and l2.l_orderkey = l3.l_orderkey";
+    match slowpoke.query(slow) {
+        Err(e) if e.is_code("cancelled") => timed_out += 1,
+        Err(other) => panic!("expected timeout, got {other}"),
+        Ok(_) => {} // lazily-checked deadline on an absurdly fast machine
+    }
+    slowpoke.quit().expect("quit");
+    canceller.quit().expect("quit");
+
+    // Engine workers unwound by cancellation must all have exited; the
+    // transient ones get a grace period to be joined.
+    let leaked = match threads_before {
+        Some(before) => {
+            let deadline = Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                let now = live_threads().expect("/proc stayed readable");
+                if now <= before || Instant::now() >= deadline {
+                    break now.saturating_sub(before);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+        None => 0, // no /proc (non-Linux): the leak check is CI's job
+    };
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "interruption", "", "", "cancelled", "timeouts", "leaked"
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "", "", "", cancelled, timed_out, leaked
+    );
+    json.add("cancelled_streams", cancelled as f64);
+    json.add("timeouts", timed_out as f64);
+    json.add("leaked_threads", leaked as f64);
+
+    server.shutdown();
+
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
+}

@@ -26,6 +26,8 @@ pub enum BfqError {
     Type(String),
     /// Invalid configuration or argument supplied by the caller.
     Invalid(String),
+    /// Execution was interrupted: explicit client cancel or statement timeout.
+    Cancelled(String),
     /// An internal invariant was violated; indicates a bug in `bfq` itself.
     Internal(String),
 }
@@ -51,6 +53,7 @@ impl BfqError {
             BfqError::Execution(_) => "execution",
             BfqError::Type(_) => "type",
             BfqError::Invalid(_) => "invalid",
+            BfqError::Cancelled(_) => "cancelled",
             BfqError::Internal(_) => "internal",
         }
     }
@@ -65,6 +68,7 @@ impl BfqError {
             | BfqError::Execution(m)
             | BfqError::Type(m)
             | BfqError::Invalid(m)
+            | BfqError::Cancelled(m)
             | BfqError::Internal(m) => m,
         }
     }
@@ -106,6 +110,7 @@ mod tests {
             BfqError::Execution("m".into()),
             BfqError::Type("m".into()),
             BfqError::Invalid("m".into()),
+            BfqError::Cancelled("m".into()),
             BfqError::Internal("m".into()),
         ];
         let kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
@@ -119,6 +124,7 @@ mod tests {
                 "execution",
                 "type",
                 "invalid",
+                "cancelled",
                 "internal"
             ]
         );

@@ -1,0 +1,230 @@
+//! Query interruption: cooperative cancellation and statement timeouts.
+//!
+//! A [`CancelToken`] is the one-way trigger a running query polls at cheap,
+//! chunk-granular points (the executor checks it at every morsel claim and
+//! at every streamed pull). It fires for one of two reasons: an explicit
+//! client [`CancelToken::cancel`], or a statement deadline set at execution
+//! start ([`CancelToken::with_timeout_ms`]) that the poll discovers lazily —
+//! no timer thread exists anywhere.
+//!
+//! A [`CancelHub`] is the per-session rendezvous a *server* uses to reach
+//! the query a session is currently running: execution arms the hub with
+//! the fresh token, completion disarms it, and an out-of-band
+//! [`CancelHub::cancel`] (from another connection, PostgreSQL-style) fires
+//! whatever token is armed at that moment — a no-op between queries, so a
+//! late cancel can never kill the *next* statement.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::{BfqError, Result};
+
+/// Why a token fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// An explicit client/server cancel request.
+    Cancelled,
+    /// The statement deadline passed.
+    Timeout,
+}
+
+const STATE_LIVE: u8 = 0;
+const STATE_CANCELLED: u8 = 1;
+const STATE_TIMED_OUT: u8 = 2;
+
+/// A one-way interruption flag for a single query execution, with an
+/// optional deadline. Cheap to poll (one relaxed atomic load; one clock
+/// read only while a deadline is set and the token has not fired yet).
+#[derive(Debug)]
+pub struct CancelToken {
+    state: AtomicU8,
+    /// Deadline for the statement, if a timeout was configured.
+    deadline: Option<Instant>,
+    /// The configured timeout (for the error message).
+    timeout_ms: u64,
+}
+
+impl CancelToken {
+    /// A token that only fires on explicit [`CancelToken::cancel`].
+    pub fn unbounded() -> Arc<CancelToken> {
+        Arc::new(CancelToken {
+            state: AtomicU8::new(STATE_LIVE),
+            deadline: None,
+            timeout_ms: 0,
+        })
+    }
+
+    /// A token that additionally fires once `timeout_ms` milliseconds have
+    /// elapsed from now. `0` disables the deadline (same as
+    /// [`CancelToken::unbounded`]).
+    pub fn with_timeout_ms(timeout_ms: u64) -> Arc<CancelToken> {
+        Arc::new(CancelToken {
+            state: AtomicU8::new(STATE_LIVE),
+            deadline: (timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(timeout_ms)),
+            timeout_ms,
+        })
+    }
+
+    /// Fire the token with [`CancelReason::Cancelled`]. Idempotent; a token
+    /// that already timed out keeps its timeout reason.
+    pub fn cancel(&self) {
+        let _ = self.state.compare_exchange(
+            STATE_LIVE,
+            STATE_CANCELLED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// The reason the token fired, if it has (deadline checked lazily).
+    pub fn reason(&self) -> Option<CancelReason> {
+        match self.state.load(Ordering::Acquire) {
+            STATE_CANCELLED => Some(CancelReason::Cancelled),
+            STATE_TIMED_OUT => Some(CancelReason::Timeout),
+            _ => match self.deadline {
+                Some(deadline) if Instant::now() >= deadline => {
+                    let _ = self.state.compare_exchange(
+                        STATE_LIVE,
+                        STATE_TIMED_OUT,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    self.reason()
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Poll the token: `Ok(())` while live, [`BfqError::Cancelled`] once
+    /// fired (by explicit cancel or by the deadline passing).
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        // Fast path: nothing fired and no deadline to consult.
+        if self.state.load(Ordering::Acquire) == STATE_LIVE && self.deadline.is_none() {
+            return Ok(());
+        }
+        match self.reason() {
+            None => Ok(()),
+            Some(CancelReason::Cancelled) => {
+                Err(BfqError::Cancelled("query cancelled by client".into()))
+            }
+            Some(CancelReason::Timeout) => Err(BfqError::Cancelled(format!(
+                "statement timeout after {}ms",
+                self.timeout_ms
+            ))),
+        }
+    }
+}
+
+/// Per-session slot for the in-flight query's [`CancelToken`].
+///
+/// The executing side arms the hub at statement start and disarms it at
+/// completion; an out-of-band canceller fires whatever is armed. The hub
+/// remembers the last fired reason across disarm so a server can count
+/// cancellations vs timeouts after the error surfaces.
+#[derive(Debug, Default)]
+pub struct CancelHub {
+    current: Mutex<Option<Arc<CancelToken>>>,
+    /// Reason of the most recently disarmed token that had fired.
+    last: Mutex<Option<CancelReason>>,
+}
+
+impl CancelHub {
+    /// A hub with no armed query.
+    pub fn new() -> Arc<CancelHub> {
+        Arc::new(CancelHub::default())
+    }
+
+    /// Install `token` as the session's in-flight query.
+    pub fn arm(&self, token: Arc<CancelToken>) {
+        *self.current.lock().expect("cancel hub poisoned") = Some(token);
+    }
+
+    /// Remove the in-flight token (statement finished), recording its fate
+    /// for [`CancelHub::last_fired`].
+    pub fn disarm(&self) {
+        let token = self.current.lock().expect("cancel hub poisoned").take();
+        if let Some(reason) = token.and_then(|t| t.reason()) {
+            *self.last.lock().expect("cancel hub poisoned") = Some(reason);
+        }
+    }
+
+    /// Fire the in-flight query's token, if one is armed. Returns whether a
+    /// query was actually interrupted — `false` means the session was idle
+    /// and the cancel is a no-op (it will *not* affect a later statement).
+    pub fn cancel(&self) -> bool {
+        match self.current.lock().expect("cancel hub poisoned").as_ref() {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The reason the most recently completed interrupted statement fired,
+    /// clearing it. `None` when the last statement finished normally.
+    pub fn last_fired(&self) -> Option<CancelReason> {
+        self.last.lock().expect("cancel hub poisoned").take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_token_fires_only_on_cancel() {
+        let t = CancelToken::unbounded();
+        assert!(t.check().is_ok());
+        assert_eq!(t.reason(), None);
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::Cancelled));
+        let err = t.check().unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        // Idempotent; reason sticks.
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_fires_lazily_as_timeout() {
+        let t = CancelToken::with_timeout_ms(1);
+        std::thread::sleep(Duration::from_millis(5));
+        let err = t.check().unwrap_err();
+        assert_eq!(err.kind(), "cancelled");
+        assert!(err.message().contains("timeout"), "{err}");
+        assert_eq!(t.reason(), Some(CancelReason::Timeout));
+        // A cancel after the timeout does not overwrite the reason.
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::Timeout));
+    }
+
+    #[test]
+    fn zero_timeout_means_off() {
+        let t = CancelToken::with_timeout_ms(0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn hub_cancels_only_armed_queries() {
+        let hub = CancelHub::new();
+        assert!(!hub.cancel(), "idle session: cancel is a no-op");
+        let t = CancelToken::unbounded();
+        hub.arm(t.clone());
+        assert!(hub.cancel());
+        assert!(t.check().is_err());
+        hub.disarm();
+        assert_eq!(hub.last_fired(), Some(CancelReason::Cancelled));
+        assert_eq!(hub.last_fired(), None, "last_fired clears on read");
+        // A fresh statement is unaffected by the old cancel.
+        let t2 = CancelToken::unbounded();
+        hub.arm(t2.clone());
+        assert!(t2.check().is_ok());
+        hub.disarm();
+        assert_eq!(hub.last_fired(), None);
+    }
+}

@@ -11,11 +11,13 @@ pub mod determinism;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod interrupt;
 pub mod relset;
 pub mod value;
 
 pub use determinism::Determinism;
 pub use error::{BfqError, Result};
 pub use ids::{ColumnId, FilterId, TableId};
+pub use interrupt::{CancelHub, CancelReason, CancelToken};
 pub use relset::RelSet;
 pub use value::{DataType, Datum};

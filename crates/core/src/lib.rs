@@ -128,6 +128,15 @@ pub struct OptimizerConfig {
     /// does **not** change plan choice and stays out of the plan-cache
     /// fingerprint.
     pub profile: bool,
+    /// Per-statement wall-clock limit in milliseconds (0 = no limit).
+    /// Enforced cooperatively by the executor at morsel granularity. An
+    /// execution knob like [`OptimizerConfig::profile`]: normalized out of
+    /// the plan-cache fingerprint.
+    pub statement_timeout_ms: u64,
+    /// Per-query cap on rows simultaneously buffered between operators
+    /// (0 = no cap), enforced against the executor's live buffered-rows
+    /// gauge. Execution-only; stays out of the plan-cache fingerprint.
+    pub memory_budget_rows: u64,
 }
 
 impl Default for OptimizerConfig {
@@ -151,6 +160,8 @@ impl Default for OptimizerConfig {
             bloom_layout: BloomLayout::default(),
             determinism: Determinism::default(),
             profile: true,
+            statement_timeout_ms: 0,
+            memory_budget_rows: 0,
         }
     }
 }

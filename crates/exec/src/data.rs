@@ -301,6 +301,12 @@ impl ExecStats {
         self.buffered_peak.load(Ordering::Relaxed)
     }
 
+    /// Rows resident in inter-operator buffers right now — the live gauge
+    /// per-query memory budgets are enforced against.
+    pub fn buffered_rows_now(&self) -> u64 {
+        self.buffered_now.load(Ordering::Relaxed)
+    }
+
     /// Record `n` capacity growths of a worker's filter-probe scratch.
     pub fn note_scratch_allocs(&self, n: u64) {
         if n > 0 {

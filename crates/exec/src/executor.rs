@@ -6,7 +6,7 @@ use std::sync::Arc;
 use bfq_bloom::strategy::{build_filter, StreamingStrategy};
 use bfq_bloom::{BloomLayout, FilterHub};
 use bfq_catalog::Catalog;
-use bfq_common::{BfqError, DataType, Datum, Determinism, Result};
+use bfq_common::{BfqError, CancelToken, DataType, Datum, Determinism, Result};
 use bfq_expr::{eval, Layout};
 use bfq_index::IndexMode;
 use bfq_plan::{Distribution, ExchangeKind, PhysicalNode, PhysicalPlan};
@@ -23,7 +23,7 @@ use crate::util::{col_cmp, expr_types, slots_for, substitute_placeholder};
 /// Per-query execution knobs, mirroring the plan-affecting runtime fields
 /// of the optimizer config (which lives upstream and is not a dependency
 /// of this crate).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Degree of parallelism.
     pub dop: usize,
@@ -45,6 +45,14 @@ pub struct ExecOptions {
     /// monotonic-clock reads per operator per morsel (gated below 2% by
     /// the `fig_obs_overhead` bench). Turn off to measure the floor.
     pub profile: bool,
+    /// Cooperative interruption: polled at every morsel claim and every
+    /// streamed pull. `None` means the query cannot be cancelled and has
+    /// no statement deadline.
+    pub interrupt: Option<Arc<CancelToken>>,
+    /// Per-query cap on rows simultaneously resident in inter-operator
+    /// buffers ([`ExecStats::buffered_rows_now`]); exceeded → the query
+    /// fails with an execution error. `0` disables the budget.
+    pub memory_budget_rows: u64,
 }
 
 impl Default for ExecOptions {
@@ -56,6 +64,8 @@ impl Default for ExecOptions {
             determinism: Determinism::default(),
             reorder_window: crate::pipeline::REORDER_WINDOW_PER_WORKER,
             profile: true,
+            interrupt: None,
+            memory_budget_rows: 0,
         }
     }
 }
@@ -92,6 +102,10 @@ pub struct ExecContext {
     pub reorder_window: usize,
     /// Whether pipelined execution records per-node runtime profiles.
     pub profile: bool,
+    /// Cooperative cancellation/timeout token, polled at morsel claims.
+    pub interrupt: Option<Arc<CancelToken>>,
+    /// Buffered-rows cap (0 = off), enforced at the same poll points.
+    pub memory_budget_rows: u64,
 }
 
 impl ExecContext {
@@ -114,7 +128,31 @@ impl ExecContext {
             determinism: options.determinism,
             reorder_window: options.reorder_window.max(1),
             profile: options.profile,
+            interrupt: options.interrupt,
+            memory_budget_rows: options.memory_budget_rows,
         }
+    }
+
+    /// Poll the query's interruption sources: the cancel/timeout token and
+    /// the buffered-rows memory budget. Called at every morsel claim (all
+    /// scheduler paths) and every streamed pull, so interruption latency
+    /// is bounded by one morsel's work.
+    #[inline]
+    pub fn check_interrupts(&self) -> Result<()> {
+        if let Some(token) = &self.interrupt {
+            token.check()?;
+        }
+        if self.memory_budget_rows > 0 {
+            let now = self.stats.buffered_rows_now();
+            if now > self.memory_budget_rows {
+                return Err(BfqError::Execution(format!(
+                    "memory budget exceeded: {now} buffered rows over a budget of {} \
+                     (raise memory_budget_rows or set it to 0)",
+                    self.memory_budget_rows
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Builder-style index-mode override.

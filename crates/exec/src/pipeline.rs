@@ -697,6 +697,7 @@ pub(crate) fn run_chain(
         // Serial fast path: process and consume in order, no threads.
         let mut scratch = MorselScratch::new();
         for morsel in morsels {
+            ctx.check_interrupts()?;
             let chunks = chain.process(morsel, &ctx.stats, &mut scratch)?;
             let rows: u64 = chunks.iter().map(|c| c.rows() as u64).sum();
             ctx.stats.buffer_grow(rows);
@@ -754,7 +755,13 @@ pub(crate) fn run_chain(
                 if seq >= n {
                     return Ok(());
                 }
-                let result = chain.process(&morsels[seq], &ctx.stats, scratch);
+                // Cancellation/timeout/budget are polled at the claim, so
+                // interruption latency is bounded by one morsel's work per
+                // worker; an interrupted worker takes the same
+                // cancel-and-notify path as a failed morsel.
+                let result = ctx
+                    .check_interrupts()
+                    .and_then(|()| chain.process(&morsels[seq], &ctx.stats, scratch));
                 let chunks = match result {
                     Ok(chunks) => chunks,
                     Err(e) => {
@@ -887,6 +894,7 @@ pub(crate) fn run_chain_partials<S: Send>(
             if cancel.load(Ordering::Acquire) {
                 break;
             }
+            ctx.check_interrupts()?;
             let chunks = chain.process(&morsels[seq], &ctx.stats, scratch)?;
             let rows: u64 = chunks.iter().map(|c| c.rows() as u64).sum();
             ctx.stats.buffer_grow(rows);
@@ -912,6 +920,7 @@ pub(crate) fn run_chain_partials<S: Send>(
             states.push(make()?);
         }
         for (seq, morsel) in morsels.iter().enumerate() {
+            ctx.check_interrupts()?;
             let chunks = chain.process(morsel, &ctx.stats, &mut scratch)?;
             let rows: u64 = chunks.iter().map(|c| c.rows() as u64).sum();
             ctx.stats.buffer_grow(rows);

@@ -115,6 +115,13 @@ impl Iterator for ChunkStream {
                 pending,
                 scratch,
             } => loop {
+                // Poll interruption before handing anything out: a
+                // cancelled stream stops promptly even with chunks still
+                // pending from the previous morsel.
+                if let Err(e) = self.ctx.check_interrupts() {
+                    self.state = StreamState::Finished;
+                    return Some(Err(e));
+                }
                 if let Some(chunk) = pending.pop_front() {
                     return Some(Ok(chunk));
                 }

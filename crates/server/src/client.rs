@@ -1,0 +1,456 @@
+//! A blocking client for the bfq wire protocol.
+//!
+//! Used by the integration tests and the `fig_server_concurrency` bench;
+//! it is also a reference implementation of the client side of the
+//! protocol. One [`Client`] is one server session: requests go out one at
+//! a time and responses are read synchronously.
+//!
+//! ```no_run
+//! use bfq_server::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:4242").unwrap();
+//! let rows = client.query("select count(*) from orders").unwrap();
+//! println!("{:?}", rows.rows[0][0]);
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use bfq::prelude::{DataType, Datum};
+
+use crate::json::Json;
+use crate::protocol::{datum_from_json, type_from_name, Hello, Request, CODE_PROTOCOL};
+
+/// An error frame received from the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// Error code: the engine's error kind, or `server_busy` / `protocol`.
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Anything that can go wrong on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (server gone, connection reset, ...).
+    Io(io::Error),
+    /// The server sent something this client cannot parse.
+    Protocol(String),
+    /// The server answered with an error frame.
+    Server(RemoteError),
+}
+
+impl ClientError {
+    /// The server-side error, if that is what this is.
+    pub fn remote(&self) -> Option<&RemoteError> {
+        match self {
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a server error with the given code.
+    pub fn is_code(&self, code: &str) -> bool {
+        self.remote().is_some_and(|e| e.code == code)
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error [{}]: {}", e.code, e.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Client-side result alias.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A gathered query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output column types.
+    pub types: Vec<DataType>,
+    /// Row-major values.
+    pub rows: Vec<Vec<Datum>>,
+}
+
+/// What `prepare` reported back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatementInfo {
+    /// The statement name as registered on the server.
+    pub name: String,
+    /// Number of `?` / `$n` parameters `execute` must supply.
+    pub params: usize,
+    /// Output column names.
+    pub columns: Vec<String>,
+}
+
+/// A blocking connection to a bfq server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    hello: Hello,
+}
+
+impl Client {
+    /// Connect and read the server's hello. A `server_busy` rejection
+    /// surfaces as [`ClientError::Server`].
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let frame = read_frame(&mut reader)?;
+        if let Some(err) = parse_error(&frame) {
+            return Err(ClientError::Server(err));
+        }
+        let hello = Hello::from_json(&frame).map_err(ClientError::Protocol)?;
+        Ok(Client {
+            reader,
+            writer,
+            hello,
+        })
+    }
+
+    /// This session's id (the target of out-of-band `cancel`).
+    pub fn conn_id(&self) -> u64 {
+        self.hello.conn_id
+    }
+
+    /// This session's cancellation secret.
+    pub fn secret(&self) -> u64 {
+        self.hello.secret
+    }
+
+    /// Run a statement and gather all rows. `SET ...` statements return an
+    /// empty [`RowSet`].
+    pub fn query(&mut self, sql: &str) -> ClientResult<RowSet> {
+        self.send(&Request::Query { sql: sql.into() })?;
+        self.read_rows_or_ok()
+    }
+
+    /// Run a statement, reading chunks incrementally through the returned
+    /// stream. Dropping the stream early drains (discards) the remaining
+    /// frames to keep the connection usable.
+    pub fn query_stream(&mut self, sql: &str) -> ClientResult<RowStream<'_>> {
+        self.send(&Request::Query { sql: sql.into() })?;
+        self.read_stream_header()
+    }
+
+    /// Prepare a named server-side statement.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> ClientResult<StatementInfo> {
+        self.send(&Request::Prepare {
+            name: name.into(),
+            sql: sql.into(),
+        })?;
+        let ok = self.read_ok()?;
+        Ok(StatementInfo {
+            name: ok
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or(name)
+                .to_string(),
+            params: ok.get("params").and_then(Json::as_i64).unwrap_or(0) as usize,
+            columns: ok
+                .get("columns")
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+
+    /// Execute a prepared statement and gather all rows.
+    pub fn execute(&mut self, name: &str, params: &[Datum]) -> ClientResult<RowSet> {
+        self.send(&Request::Execute {
+            name: name.into(),
+            params: params.to_vec(),
+        })?;
+        self.read_rows_or_ok()
+    }
+
+    /// Execute a prepared statement, streaming chunks.
+    pub fn execute_stream(&mut self, name: &str, params: &[Datum]) -> ClientResult<RowStream<'_>> {
+        self.send(&Request::Execute {
+            name: name.into(),
+            params: params.to_vec(),
+        })?;
+        self.read_stream_header()
+    }
+
+    /// Close (forget) a prepared statement.
+    pub fn close_statement(&mut self, name: &str) -> ClientResult<()> {
+        self.send(&Request::Close { name: name.into() })?;
+        self.read_ok().map(|_| ())
+    }
+
+    /// Set a session option (`SET key = value`).
+    pub fn set(&mut self, key: &str, value: &str) -> ClientResult<()> {
+        self.send(&Request::Set {
+            key: key.into(),
+            value: value.into(),
+        })?;
+        self.read_ok().map(|_| ())
+    }
+
+    /// Cancel the in-flight query of another session, identified by the
+    /// `(conn_id, secret)` from its hello. Returns whether a query was
+    /// actually interrupted (an idle or unknown target returns `false`).
+    pub fn cancel(&mut self, conn_id: u64, secret: u64) -> ClientResult<bool> {
+        self.send(&Request::Cancel { conn_id, secret })?;
+        let ok = self.read_ok()?;
+        Ok(ok.get("cancelled").and_then(Json::as_bool).unwrap_or(false))
+    }
+
+    /// Fetch engine + server metrics in Prometheus text format.
+    pub fn metrics(&mut self) -> ClientResult<String> {
+        self.send(&Request::Metrics)?;
+        let frame = self.read_response_frame()?;
+        frame
+            .get("metrics")
+            .and_then(|m| m.get("text"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("expected metrics frame".into()))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.send(&Request::Ping)?;
+        self.read_ok().map(|_| ())
+    }
+
+    /// Orderly goodbye: the server acknowledges and closes the session.
+    pub fn quit(mut self) -> ClientResult<()> {
+        self.send(&Request::Quit)?;
+        self.read_ok().map(|_| ())
+    }
+
+    fn send(&mut self, request: &Request) -> ClientResult<()> {
+        let mut line = request.to_json().to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Read one frame, translating error frames into `ClientError::Server`.
+    fn read_response_frame(&mut self) -> ClientResult<Json> {
+        let frame = read_frame(&mut self.reader)?;
+        match parse_error(&frame) {
+            Some(err) => Err(ClientError::Server(err)),
+            None => Ok(frame),
+        }
+    }
+
+    fn read_ok(&mut self) -> ClientResult<Json> {
+        let frame = self.read_response_frame()?;
+        frame
+            .get("ok")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol(format!("expected ok frame, got `{frame}`")))
+    }
+
+    /// Read a response that is either a rows header (gather it fully) or a
+    /// bare ok (e.g. a `SET` routed through `query`).
+    fn read_rows_or_ok(&mut self) -> ClientResult<RowSet> {
+        let frame = self.read_response_frame()?;
+        if frame.get("ok").is_some() {
+            return Ok(RowSet {
+                columns: Vec::new(),
+                types: Vec::new(),
+                rows: Vec::new(),
+            });
+        }
+        let (columns, types) = parse_header(&frame)?;
+        let mut rows = Vec::new();
+        loop {
+            let frame = self.read_response_frame()?;
+            if frame.get("done").is_some() {
+                return Ok(RowSet {
+                    columns,
+                    types,
+                    rows,
+                });
+            }
+            decode_chunk(&frame, &types, &mut rows)?;
+        }
+    }
+
+    fn read_stream_header(&mut self) -> ClientResult<RowStream<'_>> {
+        let frame = self.read_response_frame()?;
+        let (columns, types) = parse_header(&frame)?;
+        Ok(RowStream {
+            client: self,
+            columns,
+            types,
+            total_rows: None,
+        })
+    }
+}
+
+/// An in-progress streaming result borrowed from a [`Client`].
+///
+/// Call [`RowStream::next_chunk`] until it returns `Ok(None)` (all rows
+/// delivered) or an error. Dropping the stream before that drains the
+/// remaining frames so the connection stays usable — for a large result,
+/// cancel the query first (from another connection) to cut the drain
+/// short.
+pub struct RowStream<'a> {
+    client: &'a mut Client,
+    /// Output column names.
+    columns: Vec<String>,
+    /// Output column types.
+    types: Vec<DataType>,
+    /// Set once the `done` frame arrives.
+    total_rows: Option<u64>,
+}
+
+impl RowStream<'_> {
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Output column types.
+    pub fn types(&self) -> &[DataType] {
+        &self.types
+    }
+
+    /// Total row count, available after the `done` frame has been read.
+    pub fn total_rows(&self) -> Option<u64> {
+        self.total_rows
+    }
+
+    /// The next batch of rows, or `Ok(None)` after the final frame.
+    pub fn next_chunk(&mut self) -> ClientResult<Option<Vec<Vec<Datum>>>> {
+        if self.total_rows.is_some() {
+            return Ok(None);
+        }
+        let frame = self.client.read_response_frame().inspect_err(|_| {
+            // An error terminates the response sequence: nothing to drain.
+            self.total_rows = Some(0);
+        })?;
+        if let Some(done) = frame.get("done") {
+            self.total_rows = Some(done.get("rows").and_then(Json::as_i64).unwrap_or(0) as u64);
+            return Ok(None);
+        }
+        let mut rows = Vec::new();
+        decode_chunk(&frame, &self.types, &mut rows)?;
+        Ok(Some(rows))
+    }
+}
+
+impl Drop for RowStream<'_> {
+    fn drop(&mut self) {
+        // Drain whatever the server still has buffered for this response
+        // so the next request's response is not polluted. Best effort: an
+        // IO error means the connection is dead anyway.
+        while self.total_rows.is_none() {
+            match self.next_chunk() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}
+
+fn read_frame(reader: &mut BufReader<TcpStream>) -> ClientResult<Json> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ClientError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        )));
+    }
+    Json::parse(line.trim_end_matches(['\r', '\n'])).map_err(ClientError::Protocol)
+}
+
+fn parse_error(frame: &Json) -> Option<RemoteError> {
+    let e = frame.get("error")?;
+    Some(RemoteError {
+        code: e
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or(CODE_PROTOCOL)
+            .to_string(),
+        message: e
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string(),
+    })
+}
+
+fn parse_header(frame: &Json) -> ClientResult<(Vec<String>, Vec<DataType>)> {
+    let header = frame
+        .get("rows")
+        .ok_or_else(|| ClientError::Protocol(format!("expected rows header, got `{frame}`")))?;
+    let columns = header
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClientError::Protocol("header missing columns".into()))?
+        .iter()
+        .filter_map(Json::as_str)
+        .map(str::to_string)
+        .collect();
+    let types = header
+        .get("types")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClientError::Protocol("header missing types".into()))?
+        .iter()
+        .map(|t| {
+            t.as_str()
+                .ok_or("type name must be a string".to_string())
+                .and_then(type_from_name)
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(ClientError::Protocol)?;
+    Ok((columns, types))
+}
+
+fn decode_chunk(frame: &Json, types: &[DataType], out: &mut Vec<Vec<Datum>>) -> ClientResult<()> {
+    let body = frame
+        .get("chunk")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClientError::Protocol(format!("expected chunk frame, got `{frame}`")))?;
+    for row in body {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| ClientError::Protocol("chunk row must be an array".into()))?;
+        if cells.len() != types.len() {
+            return Err(ClientError::Protocol(format!(
+                "row width {} does not match header width {}",
+                cells.len(),
+                types.len()
+            )));
+        }
+        let decoded = cells
+            .iter()
+            .zip(types)
+            .map(|(cell, ty)| datum_from_json(*ty, cell))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ClientError::Protocol)?;
+        out.push(decoded);
+    }
+    Ok(())
+}

@@ -1,0 +1,725 @@
+//! The server: TCP listener, admission control, worker pool, sessions.
+//!
+//! ## Threading model
+//!
+//! One *accept thread* pulls connections off the listener and pushes them
+//! onto a bounded admission queue; `workers` *session threads* pop
+//! connections and serve them to completion, one at a time. A connection
+//! arriving while the queue is full is rejected immediately with a
+//! `server_busy` error frame — the server never queues unboundedly and
+//! never blocks the accept loop on a slow client.
+//!
+//! Each session owns one [`bfq::Connection`] (so `SET` state and prepared
+//! statements are per-session) multiplexed onto the one shared
+//! [`Engine`]. Queries execute on the engine's morsel-parallel pipelines;
+//! the session thread streams result chunks back as they are produced.
+//!
+//! ## Cancellation
+//!
+//! The hello frame gives each session a `(conn_id, secret)` pair. Any
+//! connection may send `{"cmd":"cancel","conn_id":..,"secret":..}` —
+//! out-of-band, PostgreSQL style — which trips the target session's
+//! [`CancelHub`]. The in-flight query observes the token at its next
+//! morsel boundary and unwinds with a `cancelled` error frame; an idle
+//! target makes the cancel a no-op (`cancelled:false`). Statement
+//! timeouts (`SET statement_timeout`) travel the same path and surface as
+//! `cancelled` errors with a timeout message.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bfq::prelude::{BfqError, CancelHub, CancelReason, Engine, PreparedStatement, QueryStream};
+use bfq_obs::Counter;
+use bfq_sql::{parse_set, strip_explain, ExplainMode};
+use bfq_storage::Chunk;
+
+use crate::json::Json;
+use crate::protocol::{
+    datum_to_json, error_frame, error_frame_parts, type_name, Hello, Request, CODE_PROTOCOL,
+    CODE_SERVER_BUSY, PROTOCOL_VERSION,
+};
+
+/// Longest request line the server accepts (bytes, newline included).
+const MAX_REQUEST_BYTES: usize = 8 << 20;
+/// Rows per `chunk` frame: engine chunks larger than this are split so no
+/// single response line grows unboundedly.
+const WIRE_CHUNK_ROWS: usize = 4096;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Session worker threads — the number of concurrently-served clients.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free worker. A
+    /// connection arriving with the queue full is rejected
+    /// (`server_busy`). 0 means "no waiting": all workers busy → reject.
+    pub queue_depth: usize,
+    /// How often blocked reads wake to check for shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 16,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Server-side observability, rendered into the `metrics` command response
+/// after the engine's own registry.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections handed to a session worker.
+    pub connections_accepted: Counter,
+    /// Connections rejected by admission control.
+    pub connections_rejected: Counter,
+    /// Sessions that have ended (hangup, quit, or shutdown).
+    pub connections_closed: Counter,
+    /// Request frames parsed and dispatched.
+    pub requests: Counter,
+    /// Queries (query/execute) started.
+    pub queries_started: Counter,
+    /// Queries finished, successfully or not.
+    pub queries_finished: Counter,
+    /// Queries that ended by client cancellation.
+    pub queries_cancelled: Counter,
+    /// Queries that ended by statement timeout.
+    pub queries_timed_out: Counter,
+    /// Cancel requests that actually fired a token.
+    pub cancels_delivered: Counter,
+}
+
+impl ServerMetrics {
+    /// Sessions currently being served.
+    pub fn active_connections(&self) -> u64 {
+        self.connections_accepted
+            .get()
+            .saturating_sub(self.connections_closed.get())
+    }
+
+    /// Queries currently executing or streaming.
+    pub fn in_flight_queries(&self) -> u64 {
+        self.queries_started
+            .get()
+            .saturating_sub(self.queries_finished.get())
+    }
+
+    fn to_prometheus_text(&self, queued_now: usize) -> String {
+        let counters: &[(&str, u64)] = &[
+            (
+                "bfq_server_connections_accepted_total",
+                self.connections_accepted.get(),
+            ),
+            (
+                "bfq_server_connections_rejected_total",
+                self.connections_rejected.get(),
+            ),
+            (
+                "bfq_server_connections_closed_total",
+                self.connections_closed.get(),
+            ),
+            ("bfq_server_requests_total", self.requests.get()),
+            (
+                "bfq_server_queries_started_total",
+                self.queries_started.get(),
+            ),
+            (
+                "bfq_server_queries_finished_total",
+                self.queries_finished.get(),
+            ),
+            (
+                "bfq_server_queries_cancelled_total",
+                self.queries_cancelled.get(),
+            ),
+            (
+                "bfq_server_queries_timed_out_total",
+                self.queries_timed_out.get(),
+            ),
+            (
+                "bfq_server_cancels_delivered_total",
+                self.cancels_delivered.get(),
+            ),
+        ];
+        let gauges: &[(&str, u64)] = &[
+            ("bfq_server_active_connections", self.active_connections()),
+            ("bfq_server_queued_connections", queued_now as u64),
+            ("bfq_server_in_flight_queries", self.in_flight_queries()),
+        ];
+        let mut out = String::new();
+        for (name, value) in counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        out
+    }
+}
+
+/// The per-session entry the out-of-band cancel path looks up.
+struct SessionEntry {
+    secret: u64,
+    hub: Arc<CancelHub>,
+}
+
+/// Admission state: the wait queue plus the busy-worker count, under one
+/// lock so the accept thread's admit/reject decision is race-free.
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<TcpStream>,
+    /// Workers currently serving a session.
+    busy: usize,
+}
+
+/// State shared by the accept thread, the workers, and the handle.
+struct Shared {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    registry: Mutex<HashMap<u64, SessionEntry>>,
+    next_conn_id: AtomicU64,
+    metrics: ServerMetrics,
+}
+
+/// A running server. Dropping the handle shuts the server down and joins
+/// every thread (see [`Server::shutdown`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `engine` with `config`. Returns once the
+    /// listener is live; `local_addr` gives the bound address (useful with
+    /// port 0).
+    pub fn start(engine: Arc<Engine>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(QueueState::default()),
+            queue_cv: Condvar::new(),
+            registry: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            metrics: ServerMetrics::default(),
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("bfq-accept".into())
+                    .spawn(move || accept_loop(&shared, listener))?,
+            );
+        }
+        for i in 0..workers {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("bfq-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound listener address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-side counters (engine metrics live on the engine).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Engine + server metrics in Prometheus text format — the same text
+    /// the `metrics` command serves.
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.shared)
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Stop accepting, cancel in-flight queries, and join all threads.
+    /// Sessions see the shutdown flag at their next poll tick and close.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Interrupt running queries so sessions notice promptly.
+        for entry in self.shared.registry.lock().expect("registry").values() {
+            entry.hub.cancel();
+        }
+        self.shared.queue_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Drop connections that were queued but never served.
+        self.shared.queue.lock().expect("queue").queue.clear();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn metrics_text(shared: &Shared) -> String {
+    let queued = shared.queue.lock().expect("queue").queue.len();
+    let mut text = shared.engine.metrics().to_prometheus_text();
+    text.push_str(&shared.metrics.to_prometheus_text(queued));
+    text
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    let workers = shared.config.workers.max(1);
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut state = shared.queue.lock().expect("queue");
+        // A connection may wait in the queue only while every worker is
+        // busy: admit up to (idle workers + queue_depth) at once.
+        let idle = workers.saturating_sub(state.busy);
+        if state.queue.len() >= idle + shared.config.queue_depth {
+            drop(state);
+            shared.metrics.connections_rejected.inc();
+            reject(stream);
+            continue;
+        }
+        state.queue.push_back(stream);
+        drop(state);
+        shared.queue_cv.notify_one();
+    }
+}
+
+/// Tell an unadmitted client why, then hang up. Best-effort: the client
+/// may already be gone.
+fn reject(mut stream: TcpStream) {
+    let frame = error_frame_parts(
+        CODE_SERVER_BUSY,
+        "server at capacity: admission queue full, try again later",
+    );
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = writeln!(stream, "{frame}");
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut state = shared.queue.lock().expect("queue");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(s) = state.queue.pop_front() {
+                    // Claimed under the lock so admission sees this worker
+                    // as busy before the queue slot frees up.
+                    state.busy += 1;
+                    break s;
+                }
+                state = shared.queue_cv.wait(state).expect("queue");
+            }
+        };
+        shared.metrics.connections_accepted.inc();
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed) + 1;
+        // Best-effort unpredictability: the secret only guards against
+        // accidental cross-session cancels, not adversaries.
+        let secret = splitmix64(conn_id ^ clock_entropy());
+        // Client hangups are routine; the session's Err is not actionable.
+        let _ = serve_session(shared, stream, conn_id, secret);
+        shared.registry.lock().expect("registry").remove(&conn_id);
+        shared.metrics.connections_closed.inc();
+        shared.queue.lock().expect("queue").busy -= 1;
+    }
+}
+
+fn clock_entropy() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One session: hello, then request/response until hangup or quit.
+fn serve_session(shared: &Shared, stream: TcpStream, conn_id: u64, secret: u64) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    let conn = shared.engine.connect();
+    shared.registry.lock().expect("registry").insert(
+        conn_id,
+        SessionEntry {
+            secret,
+            hub: conn.cancel_hub().clone(),
+        },
+    );
+
+    let hello = Hello {
+        conn_id,
+        secret,
+        version: PROTOCOL_VERSION,
+    };
+    send(&mut writer, &hello.to_json())?;
+
+    let mut session = Session {
+        conn,
+        statements: HashMap::new(),
+    };
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        match read_line_polled(&mut reader, &mut line, &shared.shutdown) {
+            Ok(0) => return Ok(()), // EOF or shutdown
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized frame: the stream is beyond recovery.
+                send(
+                    &mut writer,
+                    &error_frame_parts(CODE_PROTOCOL, "request line too long"),
+                )?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let text = match std::str::from_utf8(&line) {
+            Ok(t) => t.trim_end_matches(['\r', '\n']),
+            Err(_) => {
+                send(
+                    &mut writer,
+                    &error_frame_parts(CODE_PROTOCOL, "request is not UTF-8"),
+                )?;
+                continue;
+            }
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let request = match Json::parse(text).and_then(|v| Request::from_json(&v)) {
+            Ok(r) => r,
+            Err(msg) => {
+                send(&mut writer, &error_frame_parts(CODE_PROTOCOL, &msg))?;
+                continue;
+            }
+        };
+        shared.metrics.requests.inc();
+        let quit = matches!(request, Request::Quit);
+        dispatch(shared, &mut session, &mut writer, request)?;
+        if quit {
+            return Ok(());
+        }
+    }
+}
+
+/// Per-session state: the engine connection (SET options, cancel hub) and
+/// the named server-side prepared statements.
+struct Session {
+    conn: bfq::Connection,
+    statements: HashMap<String, PreparedStatement>,
+}
+
+fn dispatch(
+    shared: &Shared,
+    session: &mut Session,
+    writer: &mut TcpStream,
+    request: Request,
+) -> io::Result<()> {
+    match request {
+        Request::Query { sql } => {
+            if let Some((key, value)) = parse_set(&sql) {
+                return match session.conn.set(&key, &value) {
+                    Ok(()) => send(writer, &ok_frame([])),
+                    Err(e) => send(writer, &error_frame(&e)),
+                };
+            }
+            run_query(shared, session, writer, &sql)
+        }
+        Request::Prepare { name, sql } => match session.conn.prepare(&sql) {
+            Ok(stmt) => {
+                let frame = ok_frame([
+                    ("name", Json::Str(name.clone())),
+                    ("params", Json::Int(stmt.param_count() as i64)),
+                    (
+                        "columns",
+                        Json::Arr(
+                            stmt.column_names()
+                                .iter()
+                                .map(|c| Json::Str(c.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                // Re-preparing a name replaces the old statement.
+                session.statements.insert(name, stmt);
+                send(writer, &frame)
+            }
+            Err(e) => send(writer, &error_frame(&e)),
+        },
+        Request::Execute { name, params } => {
+            let Some(stmt) = session.statements.get(&name).cloned() else {
+                return send(
+                    writer,
+                    &error_frame(&BfqError::invalid(format!(
+                        "no prepared statement named `{name}`"
+                    ))),
+                );
+            };
+            shared.metrics.queries_started.inc();
+            let outcome = stmt.execute_stream(&params);
+            finish_query(shared, session, writer, outcome)
+        }
+        Request::Close { name } => {
+            session.statements.remove(&name);
+            send(writer, &ok_frame([]))
+        }
+        Request::Set { key, value } => match session.conn.set(&key, &value) {
+            Ok(()) => send(writer, &ok_frame([])),
+            Err(e) => send(writer, &error_frame(&e)),
+        },
+        Request::Cancel { conn_id, secret } => {
+            let fired = {
+                let registry = shared.registry.lock().expect("registry");
+                match registry.get(&conn_id) {
+                    Some(entry) if entry.secret == secret => entry.hub.cancel(),
+                    _ => false,
+                }
+            };
+            if fired {
+                shared.metrics.cancels_delivered.inc();
+            }
+            send(writer, &ok_frame([("cancelled", Json::Bool(fired))]))
+        }
+        Request::Metrics => {
+            let text = metrics_text(shared);
+            send(
+                writer,
+                &Json::obj([("metrics", Json::obj([("text", Json::Str(text))]))]),
+            )
+        }
+        Request::Ping => send(writer, &ok_frame([])),
+        Request::Quit => send(writer, &ok_frame([])),
+    }
+}
+
+/// Run a `query` command: EXPLAIN variants gather (their result is a
+/// rendered plan, not data), everything else streams.
+fn run_query(
+    shared: &Shared,
+    session: &mut Session,
+    writer: &mut TcpStream,
+    sql: &str,
+) -> io::Result<()> {
+    let (mode, _) = strip_explain(sql);
+    shared.metrics.queries_started.inc();
+    if mode != ExplainMode::None {
+        let outcome = session.conn.run_sql(sql);
+        shared.metrics.queries_finished.inc();
+        return match outcome {
+            Ok(result) => {
+                send_header(writer, &result.column_names, &column_types(&result.chunk))?;
+                send_chunk_rows(writer, &result.chunk)?;
+                send(
+                    writer,
+                    &Json::obj([(
+                        "done",
+                        Json::obj([("rows", Json::Int(result.chunk.rows() as i64))]),
+                    )]),
+                )
+            }
+            Err(e) => send(writer, &error_frame(&e)),
+        };
+    }
+    let outcome = session.conn.execute_stream(sql);
+    finish_query(shared, session, writer, outcome)
+}
+
+/// Stream a started query (or report its startup error), then settle the
+/// cancellation/timeout counters.
+fn finish_query(
+    shared: &Shared,
+    session: &Session,
+    writer: &mut TcpStream,
+    outcome: bfq::common::Result<QueryStream>,
+) -> io::Result<()> {
+    let io_result = match outcome {
+        Ok(stream) => stream_rows(writer, stream),
+        Err(e) => send(writer, &error_frame(&e)),
+    };
+    shared.metrics.queries_finished.inc();
+    // The stream (and its ExecGuard) is gone now, so a fired token's
+    // reason has been recorded on the session's hub.
+    match session.conn.cancel_hub().last_fired() {
+        Some(CancelReason::Cancelled) => shared.metrics.queries_cancelled.inc(),
+        Some(CancelReason::Timeout) => shared.metrics.queries_timed_out.inc(),
+        None => {}
+    }
+    io_result
+}
+
+/// Send header, chunks and done for a streaming query. An engine error
+/// mid-stream becomes an error frame terminating the response sequence.
+fn stream_rows(writer: &mut TcpStream, mut stream: QueryStream) -> io::Result<()> {
+    let columns = stream.column_names.clone();
+    let types: Vec<_> = stream.types().to_vec();
+    send_header(writer, &columns, &types)?;
+    let mut rows_sent: u64 = 0;
+    let failure = loop {
+        match stream.next() {
+            Some(Ok(chunk)) => {
+                rows_sent += chunk.rows() as u64;
+                send_chunk_rows(writer, &chunk)?;
+            }
+            Some(Err(e)) => break Some(e),
+            None => break None,
+        }
+    };
+    // Dropping the stream disarms the session's cancel hub (recording a
+    // fired token's reason) before the terminating frame goes out.
+    drop(stream);
+    match failure {
+        Some(e) => send(writer, &error_frame(&e)),
+        None => send(
+            writer,
+            &Json::obj([("done", Json::obj([("rows", Json::Int(rows_sent as i64))]))]),
+        ),
+    }
+}
+
+fn column_types(chunk: &Chunk) -> Vec<bfq::prelude::DataType> {
+    chunk.columns().iter().map(|c| c.data_type()).collect()
+}
+
+fn send_header(
+    writer: &mut TcpStream,
+    columns: &[String],
+    types: &[bfq::prelude::DataType],
+) -> io::Result<()> {
+    send(
+        writer,
+        &Json::obj([(
+            "rows",
+            Json::obj([
+                (
+                    "columns",
+                    Json::Arr(columns.iter().map(|c| Json::Str(c.clone())).collect()),
+                ),
+                (
+                    "types",
+                    Json::Arr(
+                        types
+                            .iter()
+                            .map(|t| Json::Str(type_name(*t).into()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )]),
+    )
+}
+
+/// Encode a result chunk as one or more `chunk` frames (split so a single
+/// line stays bounded).
+fn send_chunk_rows(writer: &mut TcpStream, chunk: &Chunk) -> io::Result<()> {
+    let rows = chunk.rows();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + WIRE_CHUNK_ROWS).min(rows);
+        let body: Vec<Json> = (start..end)
+            .map(|i| Json::Arr(chunk.row(i).iter().map(datum_to_json).collect()))
+            .collect();
+        send(writer, &Json::obj([("chunk", Json::Arr(body))]))?;
+        start = end;
+    }
+    Ok(())
+}
+
+fn ok_frame(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::obj([("ok", Json::obj(fields))])
+}
+
+/// Write one frame as a line. Each frame is a single buffered write.
+fn send(writer: &mut TcpStream, frame: &Json) -> io::Result<()> {
+    let mut line = frame.to_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())
+}
+
+/// `read_until('\n')` that tolerates the poll-interval read timeout:
+/// timeouts just loop (checking the shutdown flag), so a session blocks on
+/// an idle client yet still notices shutdown. Returns `Ok(0)` on EOF or
+/// shutdown; `InvalidData` marks an oversized line.
+fn read_line_polled(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> io::Result<usize> {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(0);
+        }
+        match reader.read_until(b'\n', buf) {
+            Ok(0) => return Ok(0),
+            Ok(_) if buf.last() != Some(&b'\n') => {
+                // Timeout mid-line keeps the partial read in `buf`; loop.
+                // (`read_until` can also return Ok with no newline at EOF;
+                // the next iteration then reads 0 and ends the session.)
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                }
+            }
+            Ok(_) => return Ok(buf.len()),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}

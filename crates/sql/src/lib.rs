@@ -75,6 +75,51 @@ pub fn strip_explain(sql: &str) -> (ExplainMode, &str) {
     }
 }
 
+/// Recognize a `SET key = value` / `SET key TO value` statement, returning
+/// the key and the raw value text. Returns `None` for anything else (the
+/// statement then flows to the regular SELECT front end). Matching is
+/// case-insensitive and word-bounded like [`strip_explain`]; the value may
+/// be a bare word, a number, or a single-quoted string (quotes stripped).
+pub fn parse_set(sql: &str) -> Option<(String, String)> {
+    let t = sql.trim();
+    let head = t.get(..3)?;
+    if !head.eq_ignore_ascii_case("set") {
+        return None;
+    }
+    let rest = &t[3..];
+    if !rest.starts_with(|c: char| c.is_whitespace()) {
+        return None;
+    }
+    let rest = rest.trim().trim_end_matches(';').trim_end();
+    // key [= value] or key TO value
+    let (key, value) = if let Some((k, v)) = rest.split_once('=') {
+        (k, v)
+    } else {
+        let mut words = rest.splitn(3, char::is_whitespace);
+        let k = words.next()?;
+        let to = words.next()?;
+        if !to.eq_ignore_ascii_case("to") {
+            return None;
+        }
+        (k, words.next()?)
+    };
+    let key = key.trim();
+    let mut value = value.trim();
+    if key.is_empty() || value.is_empty() {
+        return None;
+    }
+    if !key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
+        return None;
+    }
+    if value.len() >= 2 && value.starts_with('\'') && value.ends_with('\'') {
+        value = &value[1..value.len() - 1];
+    }
+    Some((key.to_ascii_lowercase(), value.to_string()))
+}
+
 /// Canonicalize a SQL string for use as a plan-cache key.
 ///
 /// Comments are dropped, whitespace collapses to single spaces, keywords
@@ -110,6 +155,28 @@ pub fn normalize_sql(sql: &str) -> Result<String> {
         }
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod set_tests {
+    use super::*;
+
+    #[test]
+    fn set_statements_parse() {
+        assert_eq!(
+            parse_set("SET statement_timeout = 500"),
+            Some(("statement_timeout".into(), "500".into()))
+        );
+        assert_eq!(
+            parse_set("set bloom_mode TO 'cbo';"),
+            Some(("bloom_mode".into(), "cbo".into()))
+        );
+        assert_eq!(parse_set("  SET dop=8  "), Some(("dop".into(), "8".into())));
+        assert_eq!(parse_set("select 1"), None);
+        assert_eq!(parse_set("settle the matter"), None);
+        assert_eq!(parse_set("SET key"), None);
+        assert_eq!(parse_set("SET a b c"), None);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,87 @@
+//! The network front-end: `bfq-server` serving one shared `Engine` over
+//! TCP, with prepared statements, streaming results, admission control,
+//! and out-of-band cancellation.
+//!
+//! Run with: `cargo run --release --example server`
+
+use bfq::prelude::*;
+use bfq::tpch;
+use bfq_server::{Client, Server, ServerConfig};
+
+fn main() -> Result<()> {
+    // One engine, served to many clients. `addr: 127.0.0.1:0` binds an
+    // ephemeral port; production configs pin one.
+    let db = tpch::gen::generate(0.01, 42)?;
+    let engine = Engine::new(db, EngineConfig::default().with_dop(4));
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            workers: 4,
+            queue_depth: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // A blocking client: one TCP connection = one session.
+    let mut client = Client::connect(addr).expect("connect");
+    println!(
+        "connected: conn_id={} protocol v{}",
+        client.conn_id(),
+        bfq_server::PROTOCOL_VERSION
+    );
+
+    // Plain queries return a fully-gathered RowSet.
+    let rows = client
+        .query("select count(*), min(o_orderdate) from orders")
+        .expect("query");
+    println!("orders: {:?} (columns {:?})", rows.rows[0], rows.columns);
+
+    // Session knobs travel as SET statements; `statement_timeout` arms a
+    // per-query deadline, `memory_budget_rows` caps operator state.
+    client.set("statement_timeout", "5000").expect("set");
+    client.set("memory_budget_rows", "10000000").expect("set");
+
+    // Prepared statements live server-side; execute streams chunks back.
+    let info = client
+        .prepare(
+            "top_prio",
+            "select o_orderpriority, count(*) as n from orders \
+             where o_orderkey < ? group by o_orderpriority order by n desc",
+        )
+        .expect("prepare");
+    println!("prepared {:?}: {} params", info.name, info.params);
+    let mut stream = client
+        .execute_stream("top_prio", &[Datum::Int(5000)])
+        .expect("execute");
+    while let Some(chunk) = stream.next_chunk().expect("chunk") {
+        for row in chunk {
+            println!("  {row:?}");
+        }
+    }
+    drop(stream);
+
+    // Out-of-band cancellation: any connection holding the victim's
+    // (conn_id, secret) pair can interrupt its in-flight query. Here the
+    // target is idle, so the cancel reports "nothing to do".
+    let mut other = Client::connect(addr).expect("connect");
+    let fired = other
+        .cancel(client.conn_id(), client.secret())
+        .expect("cancel");
+    println!("cancel of an idle session fired: {fired}");
+
+    // The metrics command exposes engine + server counters in one scrape.
+    let metrics = client.metrics().expect("metrics");
+    let served: Vec<&str> = metrics
+        .lines()
+        .filter(|l| l.starts_with("bfq_server_queries") || l.starts_with("bfq_queries"))
+        .collect();
+    println!("{}", served.join("\n"));
+
+    other.quit().expect("quit");
+    client.quit().expect("quit");
+    server.shutdown();
+    Ok(())
+}

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use bfq_common::{BfqError, DataType, Determinism, Result};
+use bfq_common::{BfqError, CancelHub, CancelToken, DataType, Determinism, Result};
 use bfq_core::{BloomLayout, BloomMode, OptimizedQuery, OptimizerConfig};
 use bfq_exec::{execute_plan_stream_cfg, ChunkStream, ExecOptions, ExecStats};
 use bfq_index::IndexMode;
@@ -42,6 +42,13 @@ pub struct QueryOptions {
     /// Override per-node runtime profiling (`on` / `off`). Execution-only:
     /// toggling it keeps hitting the same cached plans.
     pub profile: Option<bool>,
+    /// Override the per-statement timeout in milliseconds (0 = off).
+    /// Execution-only, like `profile`: normalized out of the plan-cache
+    /// fingerprint.
+    pub statement_timeout_ms: Option<u64>,
+    /// Override the per-query buffered-rows memory budget (0 = off).
+    /// Execution-only; stays out of the plan-cache fingerprint.
+    pub memory_budget_rows: Option<u64>,
 }
 
 impl QueryOptions {
@@ -66,6 +73,12 @@ impl QueryOptions {
         if let Some(profile) = self.profile {
             config.profile = profile;
         }
+        if let Some(ms) = self.statement_timeout_ms {
+            config.statement_timeout_ms = ms;
+        }
+        if let Some(rows) = self.memory_budget_rows {
+            config.memory_budget_rows = rows;
+        }
         config
     }
 }
@@ -75,6 +88,10 @@ impl QueryOptions {
 pub struct Connection {
     engine: Arc<Engine>,
     options: QueryOptions,
+    /// Rendezvous for out-of-band cancellation of this session's in-flight
+    /// query. Clones of a connection share the hub (they are the same
+    /// session); fresh connections get their own.
+    cancel_hub: Arc<CancelHub>,
 }
 
 impl Connection {
@@ -82,12 +99,20 @@ impl Connection {
         Connection {
             engine,
             options: QueryOptions::default(),
+            cancel_hub: CancelHub::new(),
         }
     }
 
     /// The shared engine.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+
+    /// The session's cancellation hub. Another thread holding this `Arc`
+    /// can interrupt whatever query the connection is running
+    /// ([`CancelHub::cancel`]) — a no-op when the session is idle.
+    pub fn cancel_hub(&self) -> &Arc<CancelHub> {
+        &self.cancel_hub
     }
 
     /// The current option overrides.
@@ -105,7 +130,9 @@ impl Connection {
     /// Keys: `bloom_mode` (`none|post|cbo|naive`), `bloom_layout`
     /// (`standard|blocked`), `index_mode` (`off|zonemap|zonemap+bloom`),
     /// `dop` (positive integer), `determinism` (`strict|fast`), `profile`
-    /// (`on|off`). The value `default` resets a key to the engine default.
+    /// (`on|off`), `statement_timeout` (milliseconds, 0 = off) and
+    /// `memory_budget_rows` (buffered rows, 0 = off). The value `default`
+    /// resets a key to the engine default.
     pub fn set(&mut self, key: &str, value: &str) -> Result<()> {
         let key = key.trim().to_ascii_lowercase();
         let value = value.trim().to_ascii_lowercase();
@@ -173,10 +200,33 @@ impl Connection {
                     })
                 }
             }
+            "statement_timeout" => {
+                self.options.statement_timeout_ms = if reset {
+                    None
+                } else {
+                    Some(value.parse().map_err(|_| {
+                        BfqError::invalid(format!(
+                            "bad statement_timeout `{value}` (milliseconds, 0 = off)"
+                        ))
+                    })?)
+                }
+            }
+            "memory_budget_rows" => {
+                self.options.memory_budget_rows = if reset {
+                    None
+                } else {
+                    Some(value.parse().map_err(|_| {
+                        BfqError::invalid(format!(
+                            "bad memory_budget_rows `{value}` (rows, 0 = off)"
+                        ))
+                    })?)
+                }
+            }
             other => {
                 return Err(BfqError::invalid(format!(
                     "unknown option `{other}` \
-                     (bloom_mode|bloom_layout|index_mode|dop|determinism|profile)"
+                     (bloom_mode|bloom_layout|index_mode|dop|determinism|profile\
+                     |statement_timeout|memory_budget_rows)"
                 )))
             }
         }
@@ -217,6 +267,8 @@ impl Connection {
                     cache_hit,
                     determinism: optimizer.determinism,
                     phases,
+                    statement_timeout_ms: optimizer.statement_timeout_ms,
+                    memory_budget_rows: optimizer.memory_budget_rows,
                 };
                 result.chunk = text_chunk(&result.explain());
                 Ok(result)
@@ -237,11 +289,8 @@ impl Connection {
         let total = SpanTimer::start();
         let (catalog, cached, cache_hit, mut phases) = self.plan_parameter_free(sql, &optimizer)?;
         let span = SpanTimer::start();
-        let out = bfq_exec::execute_plan_pipelined_cfg(
-            &cached.optimized.plan,
-            catalog,
-            exec_options(&optimizer),
-        )?;
+        let (options, _guard) = armed_exec_options(&optimizer, &self.cancel_hub);
+        let out = bfq_exec::execute_plan_pipelined_cfg(&cached.optimized.plan, catalog, options)?;
         phases.execute_ns = span.elapsed_ns();
         phases.total_ns = total.elapsed_ns();
         self.engine.observe_query(
@@ -261,6 +310,8 @@ impl Connection {
             cache_hit,
             determinism: optimizer.determinism,
             phases,
+            statement_timeout_ms: optimizer.statement_timeout_ms,
+            memory_budget_rows: optimizer.memory_budget_rows,
         })
     }
 
@@ -269,8 +320,8 @@ impl Connection {
         let optimizer = self.effective_config();
         let (catalog, cached, cache_hit, phases) = self.plan_parameter_free(sql, &optimizer)?;
         let exec_span = SpanTimer::start();
-        let stream =
-            execute_plan_stream_cfg(&cached.optimized.plan, catalog, exec_options(&optimizer))?;
+        let (options, guard) = armed_exec_options(&optimizer, &self.cancel_hub);
+        let stream = execute_plan_stream_cfg(&cached.optimized.plan, catalog, options)?;
         Ok(QueryStream {
             column_names: cached.output_names.clone(),
             optimized: cached.optimized.clone(),
@@ -281,6 +332,7 @@ impl Connection {
             sql: sql.to_string(),
             phases,
             exec_span,
+            guard,
         })
     }
 
@@ -318,6 +370,7 @@ impl Connection {
             cached,
             cache_hit,
             sql.to_string(),
+            self.cancel_hub.clone(),
         ))
     }
 
@@ -332,7 +385,8 @@ impl Connection {
     }
 }
 
-/// The executor options an optimizer config implies.
+/// The executor options an optimizer config implies (no interruption
+/// token; see [`armed_exec_options`] for the cancellable variant).
 pub(crate) fn exec_options(optimizer: &OptimizerConfig) -> ExecOptions {
     ExecOptions {
         dop: optimizer.dop,
@@ -340,7 +394,47 @@ pub(crate) fn exec_options(optimizer: &OptimizerConfig) -> ExecOptions {
         bloom_layout: optimizer.bloom_layout,
         determinism: optimizer.determinism,
         profile: optimizer.profile,
+        memory_budget_rows: optimizer.memory_budget_rows,
         ..Default::default()
+    }
+}
+
+/// Executor options with a fresh [`CancelToken`] (carrying the optimizer's
+/// statement timeout) armed on the session's [`CancelHub`]. The returned
+/// [`ExecGuard`] disarms the hub when dropped — hold it for the query's
+/// whole lifetime (streamed queries stash it in the [`QueryStream`]).
+pub(crate) fn armed_exec_options(
+    optimizer: &OptimizerConfig,
+    hub: &Arc<CancelHub>,
+) -> (ExecOptions, ExecGuard) {
+    let token = CancelToken::with_timeout_ms(optimizer.statement_timeout_ms);
+    hub.arm(token.clone());
+    let mut options = exec_options(optimizer);
+    options.interrupt = Some(token);
+    (
+        options,
+        ExecGuard {
+            hub: hub.clone(),
+            timeout_ms: optimizer.statement_timeout_ms,
+            budget_rows: optimizer.memory_budget_rows,
+        },
+    )
+}
+
+/// Keeps a session's [`CancelHub`] armed for the duration of one query
+/// execution; disarms on drop (normal completion, error, or mid-stream
+/// abandonment alike), recording a fired token's reason on the hub.
+pub(crate) struct ExecGuard {
+    hub: Arc<CancelHub>,
+    /// The statement timeout this execution ran under (explain footer).
+    pub(crate) timeout_ms: u64,
+    /// The buffered-rows budget this execution ran under (explain footer).
+    pub(crate) budget_rows: u64,
+}
+
+impl Drop for ExecGuard {
+    fn drop(&mut self) {
+        self.hub.disarm();
     }
 }
 
@@ -375,6 +469,9 @@ pub struct QueryStream {
     phases: PhaseBreakdown,
     /// Started when execution began; stops at gather.
     exec_span: SpanTimer,
+    /// Keeps the session's cancel hub armed while the stream is live;
+    /// disarmed on drop (gathered, errored, or abandoned mid-iteration).
+    guard: ExecGuard,
 }
 
 impl QueryStream {
@@ -388,6 +485,7 @@ impl QueryStream {
         engine: Arc<Engine>,
         sql: String,
         phases: PhaseBreakdown,
+        guard: ExecGuard,
     ) -> QueryStream {
         QueryStream {
             column_names,
@@ -399,6 +497,7 @@ impl QueryStream {
             sql,
             phases,
             exec_span: SpanTimer::start(),
+            guard,
         }
     }
 
@@ -438,6 +537,8 @@ impl QueryStream {
             cache_hit: self.cache_hit,
             determinism: self.determinism,
             phases,
+            statement_timeout_ms: self.guard.timeout_ms,
+            memory_budget_rows: self.guard.budget_rows,
         })
     }
 }

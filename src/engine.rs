@@ -106,6 +106,20 @@ impl EngineConfig {
         self.optimizer.profile = enabled;
         self
     }
+
+    /// Set the default per-statement timeout in milliseconds (0 = off).
+    /// Connections can override it per session via `SET statement_timeout`.
+    pub fn with_statement_timeout_ms(mut self, ms: u64) -> Self {
+        self.optimizer.statement_timeout_ms = ms;
+        self
+    }
+
+    /// Set the default per-query buffered-rows budget (0 = off).
+    /// Connections can override it via `SET memory_budget_rows`.
+    pub fn with_memory_budget_rows(mut self, rows: u64) -> Self {
+        self.optimizer.memory_budget_rows = rows;
+        self
+    }
 }
 
 /// The result of running one query to completion.
@@ -127,6 +141,10 @@ pub struct QueryResult {
     /// Wall-clock phase breakdown (parse / bind / optimize are zero on a
     /// plan-cache hit or prepared execution — those phases did not run).
     pub phases: PhaseBreakdown,
+    /// The statement timeout (ms) this query executed under (0 = none).
+    pub statement_timeout_ms: u64,
+    /// The buffered-rows memory budget this query executed under (0 = none).
+    pub memory_budget_rows: u64,
 }
 
 /// The q-error of an estimate: `max(est/actual, actual/est)`, both sides
@@ -268,6 +286,19 @@ impl QueryResult {
             "plan cache: miss\n"
         });
         out.push_str(&format!("determinism: {}\n", self.determinism));
+        if self.statement_timeout_ms > 0 {
+            out.push_str(&format!(
+                "statement timeout: {}ms\n",
+                self.statement_timeout_ms
+            ));
+        }
+        if self.memory_budget_rows > 0 {
+            out.push_str(&format!(
+                "memory budget: {} rows (peak buffered {})\n",
+                self.memory_budget_rows,
+                self.exec_stats.peak_buffered_rows()
+            ));
+        }
     }
 }
 

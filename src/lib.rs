@@ -79,7 +79,10 @@ pub mod prelude {
     pub use crate::session::Session;
     pub use crate::session::SessionConfig;
     pub use crate::statement::{BoundStatement, PreparedStatement};
-    pub use bfq_common::{BfqError, DataType, Datum, Determinism, RelSet, Result};
+    pub use bfq_common::{
+        BfqError, CancelHub, CancelReason, CancelToken, DataType, Datum, Determinism, RelSet,
+        Result,
+    };
     pub use bfq_core::{BloomLayout, BloomMode, PlanCacheStats};
     pub use bfq_index::IndexMode;
     pub use bfq_obs::{MetricsSnapshot, PhaseBreakdown, QueryProfile};

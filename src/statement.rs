@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use bfq_catalog::Catalog;
-use bfq_common::{BfqError, Datum, Result};
+use bfq_common::{BfqError, CancelHub, Datum, Result};
 use bfq_core::{CachedPlan, OptimizedQuery, OptimizerConfig};
 use bfq_exec::{execute_plan_pipelined_cfg, execute_plan_stream_cfg};
 use bfq_obs::{PhaseBreakdown, SpanTimer};
@@ -38,6 +38,9 @@ pub struct PreparedStatement {
     cache_hit: bool,
     /// The statement text as prepared, kept for flight-recorder entries.
     sql: String,
+    /// The preparing session's cancel hub: executions arm their token here
+    /// so the session's out-of-band CANCEL reaches prepared queries too.
+    hub: Arc<CancelHub>,
 }
 
 impl PreparedStatement {
@@ -48,6 +51,7 @@ impl PreparedStatement {
         cached: Arc<CachedPlan>,
         cache_hit: bool,
         sql: String,
+        hub: Arc<CancelHub>,
     ) -> PreparedStatement {
         PreparedStatement {
             engine,
@@ -56,6 +60,7 @@ impl PreparedStatement {
             cached,
             cache_hit,
             sql,
+            hub,
         }
     }
 
@@ -145,11 +150,9 @@ impl BoundStatement {
     /// prepare-time cache outcome).
     pub fn execute(&self) -> Result<QueryResult> {
         let span = SpanTimer::start();
-        let out = execute_plan_pipelined_cfg(
-            &self.plan,
-            self.stmt.catalog.clone(),
-            crate::connection::exec_options(&self.stmt.optimizer),
-        )?;
+        let (options, _guard) =
+            crate::connection::armed_exec_options(&self.stmt.optimizer, &self.stmt.hub);
+        let out = execute_plan_pipelined_cfg(&self.plan, self.stmt.catalog.clone(), options)?;
         // Prepared executions skip parse/bind/optimize; their spans stay 0.
         let phases = PhaseBreakdown {
             execute_ns: span.elapsed_ns(),
@@ -174,17 +177,17 @@ impl BoundStatement {
             cache_hit: true,
             determinism: self.stmt.optimizer.determinism,
             phases,
+            statement_timeout_ms: self.stmt.optimizer.statement_timeout_ms,
+            memory_budget_rows: self.stmt.optimizer.memory_budget_rows,
         })
     }
 
     /// Execute, yielding result chunks incrementally (`cache_hit` as in
     /// [`BoundStatement::execute`]).
     pub fn execute_stream(&self) -> Result<QueryStream> {
-        let stream = execute_plan_stream_cfg(
-            &self.plan,
-            self.stmt.catalog.clone(),
-            crate::connection::exec_options(&self.stmt.optimizer),
-        )?;
+        let (options, guard) =
+            crate::connection::armed_exec_options(&self.stmt.optimizer, &self.stmt.hub);
+        let stream = execute_plan_stream_cfg(&self.plan, self.stmt.catalog.clone(), options)?;
         Ok(QueryStream::from_parts(
             self.stmt.cached.output_names.clone(),
             self.optimized(),
@@ -194,6 +197,7 @@ impl BoundStatement {
             self.stmt.engine.clone(),
             self.stmt.sql.clone(),
             PhaseBreakdown::default(),
+            guard,
         ))
     }
 

@@ -300,3 +300,47 @@ fn streams_record_on_gather() {
     assert_eq!(engine.metrics().counter("bfq_queries_total"), Some(1));
     assert_eq!(engine.recent_queries().len(), 1);
 }
+
+#[test]
+fn timeout_and_budget_knobs_show_in_the_explain_footer() {
+    let engine = tpch_engine(2);
+    let mut conn = engine.connect();
+    // Off by default: the footer stays silent about them.
+    let plain = conn.run_sql("select count(*) from nation").expect("run");
+    let footer = plain.explain();
+    assert!(!footer.contains("statement timeout"), "footer: {footer}");
+    assert!(!footer.contains("memory budget"), "footer: {footer}");
+
+    conn.set("statement_timeout", "30000").expect("set timeout");
+    conn.set("memory_budget_rows", "5000000")
+        .expect("set budget");
+    let tuned = conn.run_sql("select count(*) from nation").expect("run");
+    let footer = tuned.explain_analyze();
+    assert!(
+        footer.contains("statement timeout: 30000ms"),
+        "footer: {footer}"
+    );
+    assert!(
+        footer.contains("memory budget: 5000000 rows"),
+        "footer: {footer}"
+    );
+
+    // Execution-only knobs: both runs hit the same cached plan.
+    assert!(
+        tuned.cache_hit,
+        "timeout/budget must not fork the plan cache"
+    );
+
+    // A budget that cannot hold the hash-join build fails cleanly.
+    conn.set("memory_budget_rows", "10")
+        .expect("set tiny budget");
+    let outcome =
+        conn.run_sql("select count(*) from lineitem, orders where l_orderkey = o_orderkey");
+    match outcome {
+        Err(err) => assert!(
+            err.to_string().contains("memory budget exceeded"),
+            "error: {err}"
+        ),
+        Ok(_) => panic!("budget of 10 rows should have tripped"),
+    }
+}

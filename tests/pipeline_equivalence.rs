@@ -222,3 +222,93 @@ fn scan_heavy_queries_no_longer_materialize_the_table() {
         "Q6 morsel peak not below eager peak"
     );
 }
+
+#[test]
+fn cancelled_stream_dropped_mid_iteration_leaks_nothing_and_engine_survives() {
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let engine = Engine::new(
+        db,
+        EngineConfig::default()
+            .with_bloom_mode(BloomMode::Cbo)
+            .with_dop(4),
+    );
+    let conn = engine.connect();
+    let sql = "select l1.l_orderkey, l1.l_extendedprice from lineitem l1, lineitem l2 \
+               where l1.l_orderkey = l2.l_orderkey";
+    #[cfg(target_os = "linux")]
+    let before = live_threads();
+
+    let mut stream = conn.execute_stream(sql).expect("stream");
+    let _first = stream.next().expect("at least one chunk").expect("chunk");
+    // Out-of-band cancellation, as a server would deliver it: the hub is
+    // armed while the stream is live.
+    assert!(conn.cancel_hub().cancel(), "stream should be armed");
+    // The very next poll observes the token and fails with `cancelled`.
+    let interrupted = stream.next().expect("poll after cancel");
+    match interrupted {
+        Err(BfqError::Cancelled(msg)) => {
+            assert!(msg.contains("cancelled by client"), "message: {msg}")
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // Abandon the stream mid-iteration without draining it.
+    drop(stream);
+
+    // Dropping disarmed the hub and recorded why the token fired…
+    assert_eq!(
+        conn.cancel_hub().last_fired(),
+        Some(CancelReason::Cancelled)
+    );
+    assert_eq!(conn.cancel_hub().last_fired(), None, "reason is taken once");
+    // …and a cancel with nothing armed is a no-op.
+    assert!(!conn.cancel_hub().cancel());
+
+    #[cfg(target_os = "linux")]
+    {
+        // No leaked pipeline workers: same retry discipline as
+        // `dropping_a_stream_mid_way_leaks_no_worker_threads`.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let after = live_threads();
+            if after <= before {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "cancelled stream leaked worker threads ({before} before, {after} after)"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    // The engine is not poisoned: the same connection keeps working, and a
+    // fresh run of the same statement completes.
+    let recount = conn.run_sql("select count(*) from lineitem").expect("ok");
+    assert_eq!(recount.chunk.rows(), 1);
+    let full = conn.run_sql(sql).expect("same statement reruns");
+    assert!(full.chunk.rows() > 0);
+}
+
+#[test]
+fn statement_timeout_interrupts_streams_and_reports_timeout() {
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let engine = Engine::new(db, EngineConfig::default().with_dop(2));
+    let mut conn = engine.connect();
+    conn.set("statement_timeout", "1").expect("set");
+    let sql = "select l1.l_orderkey from lineitem l1, lineitem l2, lineitem l3 \
+               where l1.l_orderkey = l2.l_orderkey and l2.l_orderkey = l3.l_orderkey";
+    // The deadline is checked lazily at morsel boundaries, so either the
+    // gather fails (usual) or an absurdly fast machine finishes first.
+    match conn.run_sql(sql) {
+        Err(BfqError::Cancelled(msg)) => {
+            assert!(msg.contains("timeout"), "message: {msg}");
+            assert_eq!(conn.cancel_hub().last_fired(), Some(CancelReason::Timeout));
+        }
+        Err(other) => panic!("expected Cancelled, got {other}"),
+        Ok(_) => {}
+    }
+    // Turning the timeout off restores normal operation.
+    conn.set("statement_timeout", "0").expect("reset");
+    let out = conn.run_sql("select count(*) from orders").expect("ok");
+    assert_eq!(out.chunk.rows(), 1);
+}
