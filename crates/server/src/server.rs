@@ -202,6 +202,15 @@ pub struct Server {
     threads: Vec<JoinHandle<()>>,
 }
 
+/// Poison-tolerant lock: a session that panicked while holding server
+/// state must not cascade into aborting every other thread that touches
+/// the same mutex, so poisoned state is simply adopted.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl Server {
     /// Bind and start serving `engine` with `config`. Returns once the
     /// listener is live; `local_addr` gives the bound address (useful with
@@ -274,7 +283,7 @@ impl Server {
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Interrupt running queries so sessions notice promptly.
-        for entry in self.shared.registry.lock().expect("registry").values() {
+        for entry in lock(&self.shared.registry).values() {
             entry.hub.cancel();
         }
         self.shared.queue_cv.notify_all();
@@ -284,7 +293,7 @@ impl Server {
             let _ = t.join();
         }
         // Drop connections that were queued but never served.
-        self.shared.queue.lock().expect("queue").queue.clear();
+        lock(&self.shared.queue).queue.clear();
     }
 }
 
@@ -297,7 +306,7 @@ impl Drop for Server {
 }
 
 fn metrics_text(shared: &Shared) -> String {
-    let queued = shared.queue.lock().expect("queue").queue.len();
+    let queued = lock(&shared.queue).queue.len();
     let mut text = shared.engine.metrics().to_prometheus_text();
     text.push_str(&shared.metrics.to_prometheus_text(queued));
     text
@@ -310,7 +319,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let mut state = shared.queue.lock().expect("queue");
+        let mut state = lock(&shared.queue);
         // A connection may wait in the queue only while every worker is
         // busy: admit up to (idle workers + queue_depth) at once.
         let idle = workers.saturating_sub(state.busy);
@@ -340,7 +349,7 @@ fn reject(mut stream: TcpStream) {
 fn worker_loop(shared: &Shared) {
     loop {
         let stream = {
-            let mut state = shared.queue.lock().expect("queue");
+            let mut state = lock(&shared.queue);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -351,7 +360,10 @@ fn worker_loop(shared: &Shared) {
                     state.busy += 1;
                     break s;
                 }
-                state = shared.queue_cv.wait(state).expect("queue");
+                state = shared
+                    .queue_cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         shared.metrics.connections_accepted.inc();
@@ -359,11 +371,16 @@ fn worker_loop(shared: &Shared) {
         // Best-effort unpredictability: the secret only guards against
         // accidental cross-session cancels, not adversaries.
         let secret = splitmix64(conn_id ^ clock_entropy());
-        // Client hangups are routine; the session's Err is not actionable.
-        let _ = serve_session(shared, stream, conn_id, secret);
-        shared.registry.lock().expect("registry").remove(&conn_id);
+        // Client hangups are routine (the Err is not actionable), and a
+        // panicking session must not take the worker down with it: either
+        // way the cleanup below runs, so the busy count and the cancel
+        // registry stay balanced and the server keeps serving.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_session(shared, stream, conn_id, secret)
+        }));
+        lock(&shared.registry).remove(&conn_id);
         shared.metrics.connections_closed.inc();
-        shared.queue.lock().expect("queue").busy -= 1;
+        lock(&shared.queue).busy -= 1;
     }
 }
 
@@ -385,12 +402,19 @@ fn splitmix64(mut x: u64) -> u64 {
 /// One session: hello, then request/response until hangup or quit.
 fn serve_session(shared: &Shared, stream: TcpStream, conn_id: u64, secret: u64) -> io::Result<()> {
     stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    // Bounded writes, mirroring reads: streaming to a stalled client wakes
+    // every poll tick to check the shutdown flag instead of blocking
+    // forever in `write` (which would hang `Server::shutdown`'s join).
+    stream.set_write_timeout(Some(shared.config.poll_interval))?;
     stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
+    let mut writer = FrameWriter {
+        stream: stream.try_clone()?,
+        shutdown: &shared.shutdown,
+    };
     let mut reader = BufReader::new(stream);
 
     let conn = shared.engine.connect();
-    shared.registry.lock().expect("registry").insert(
+    lock(&shared.registry).insert(
         conn_id,
         SessionEntry {
             secret,
@@ -403,7 +427,7 @@ fn serve_session(shared: &Shared, stream: TcpStream, conn_id: u64, secret: u64) 
         secret,
         version: PROTOCOL_VERSION,
     };
-    send(&mut writer, &hello.to_json())?;
+    writer.send(&hello.to_json())?;
 
     let mut session = Session {
         conn,
@@ -417,10 +441,7 @@ fn serve_session(shared: &Shared, stream: TcpStream, conn_id: u64, secret: u64) 
             Ok(_) => {}
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Oversized frame: the stream is beyond recovery.
-                send(
-                    &mut writer,
-                    &error_frame_parts(CODE_PROTOCOL, "request line too long"),
-                )?;
+                writer.send(&error_frame_parts(CODE_PROTOCOL, "request line too long"))?;
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -428,10 +449,7 @@ fn serve_session(shared: &Shared, stream: TcpStream, conn_id: u64, secret: u64) 
         let text = match std::str::from_utf8(&line) {
             Ok(t) => t.trim_end_matches(['\r', '\n']),
             Err(_) => {
-                send(
-                    &mut writer,
-                    &error_frame_parts(CODE_PROTOCOL, "request is not UTF-8"),
-                )?;
+                writer.send(&error_frame_parts(CODE_PROTOCOL, "request is not UTF-8"))?;
                 continue;
             }
         };
@@ -441,7 +459,7 @@ fn serve_session(shared: &Shared, stream: TcpStream, conn_id: u64, secret: u64) 
         let request = match Json::parse(text).and_then(|v| Request::from_json(&v)) {
             Ok(r) => r,
             Err(msg) => {
-                send(&mut writer, &error_frame_parts(CODE_PROTOCOL, &msg))?;
+                writer.send(&error_frame_parts(CODE_PROTOCOL, &msg))?;
                 continue;
             }
         };
@@ -464,15 +482,15 @@ struct Session {
 fn dispatch(
     shared: &Shared,
     session: &mut Session,
-    writer: &mut TcpStream,
+    writer: &mut FrameWriter<'_>,
     request: Request,
 ) -> io::Result<()> {
     match request {
         Request::Query { sql } => {
             if let Some((key, value)) = parse_set(&sql) {
                 return match session.conn.set(&key, &value) {
-                    Ok(()) => send(writer, &ok_frame([])),
-                    Err(e) => send(writer, &error_frame(&e)),
+                    Ok(()) => writer.send(&ok_frame([])),
+                    Err(e) => writer.send(&error_frame(&e)),
                 };
             }
             run_query(shared, session, writer, &sql)
@@ -494,34 +512,35 @@ fn dispatch(
                 ]);
                 // Re-preparing a name replaces the old statement.
                 session.statements.insert(name, stmt);
-                send(writer, &frame)
+                writer.send(&frame)
             }
-            Err(e) => send(writer, &error_frame(&e)),
+            Err(e) => writer.send(&error_frame(&e)),
         },
         Request::Execute { name, params } => {
-            let Some(stmt) = session.statements.get(&name).cloned() else {
-                return send(
-                    writer,
-                    &error_frame(&BfqError::invalid(format!(
-                        "no prepared statement named `{name}`"
-                    ))),
-                );
+            let Some(stmt) = session.statements.get(&name) else {
+                return writer.send(&error_frame(&BfqError::invalid(format!(
+                    "no prepared statement named `{name}`"
+                ))));
             };
+            // Execution-only knobs (statement_timeout, memory_budget_rows,
+            // profile) follow the session's current SET state, not the
+            // values captured at PREPARE time.
+            let stmt = stmt.with_session_options(session.conn.options());
             shared.metrics.queries_started.inc();
             let outcome = stmt.execute_stream(&params);
             finish_query(shared, session, writer, outcome)
         }
         Request::Close { name } => {
             session.statements.remove(&name);
-            send(writer, &ok_frame([]))
+            writer.send(&ok_frame([]))
         }
         Request::Set { key, value } => match session.conn.set(&key, &value) {
-            Ok(()) => send(writer, &ok_frame([])),
-            Err(e) => send(writer, &error_frame(&e)),
+            Ok(()) => writer.send(&ok_frame([])),
+            Err(e) => writer.send(&error_frame(&e)),
         },
         Request::Cancel { conn_id, secret } => {
             let fired = {
-                let registry = shared.registry.lock().expect("registry");
+                let registry = lock(&shared.registry);
                 match registry.get(&conn_id) {
                     Some(entry) if entry.secret == secret => entry.hub.cancel(),
                     _ => false,
@@ -530,17 +549,17 @@ fn dispatch(
             if fired {
                 shared.metrics.cancels_delivered.inc();
             }
-            send(writer, &ok_frame([("cancelled", Json::Bool(fired))]))
+            writer.send(&ok_frame([("cancelled", Json::Bool(fired))]))
         }
         Request::Metrics => {
             let text = metrics_text(shared);
-            send(
-                writer,
-                &Json::obj([("metrics", Json::obj([("text", Json::Str(text))]))]),
-            )
+            writer.send(&Json::obj([(
+                "metrics",
+                Json::obj([("text", Json::Str(text))]),
+            )]))
         }
-        Request::Ping => send(writer, &ok_frame([])),
-        Request::Quit => send(writer, &ok_frame([])),
+        Request::Ping => writer.send(&ok_frame([])),
+        Request::Quit => writer.send(&ok_frame([])),
     }
 }
 
@@ -549,7 +568,7 @@ fn dispatch(
 fn run_query(
     shared: &Shared,
     session: &mut Session,
-    writer: &mut TcpStream,
+    writer: &mut FrameWriter<'_>,
     sql: &str,
 ) -> io::Result<()> {
     let (mode, _) = strip_explain(sql);
@@ -557,19 +576,20 @@ fn run_query(
     if mode != ExplainMode::None {
         let outcome = session.conn.run_sql(sql);
         shared.metrics.queries_finished.inc();
+        // EXPLAIN ANALYZE executes (and can time out or be cancelled) like
+        // any other query: claim a fired token's reason here too, so it is
+        // never left on the hub for the next query's counters.
+        settle_cancel_counters(shared, session);
         return match outcome {
             Ok(result) => {
                 send_header(writer, &result.column_names, &column_types(&result.chunk))?;
                 send_chunk_rows(writer, &result.chunk)?;
-                send(
-                    writer,
-                    &Json::obj([(
-                        "done",
-                        Json::obj([("rows", Json::Int(result.chunk.rows() as i64))]),
-                    )]),
-                )
+                writer.send(&Json::obj([(
+                    "done",
+                    Json::obj([("rows", Json::Int(result.chunk.rows() as i64))]),
+                )]))
             }
-            Err(e) => send(writer, &error_frame(&e)),
+            Err(e) => writer.send(&error_frame(&e)),
         };
     }
     let outcome = session.conn.execute_stream(sql);
@@ -581,27 +601,35 @@ fn run_query(
 fn finish_query(
     shared: &Shared,
     session: &Session,
-    writer: &mut TcpStream,
+    writer: &mut FrameWriter<'_>,
     outcome: bfq::common::Result<QueryStream>,
 ) -> io::Result<()> {
     let io_result = match outcome {
         Ok(stream) => stream_rows(writer, stream),
-        Err(e) => send(writer, &error_frame(&e)),
+        Err(e) => writer.send(&error_frame(&e)),
     };
     shared.metrics.queries_finished.inc();
     // The stream (and its ExecGuard) is gone now, so a fired token's
     // reason has been recorded on the session's hub.
+    settle_cancel_counters(shared, session);
+    io_result
+}
+
+/// Claim a fired cancel token's recorded reason (if any) into the
+/// cancellation/timeout counters. Every query path must call this once the
+/// execution is over — `last_fired` clears on read, so an unclaimed reason
+/// would be mis-attributed to the session's next query.
+fn settle_cancel_counters(shared: &Shared, session: &Session) {
     match session.conn.cancel_hub().last_fired() {
         Some(CancelReason::Cancelled) => shared.metrics.queries_cancelled.inc(),
         Some(CancelReason::Timeout) => shared.metrics.queries_timed_out.inc(),
         None => {}
     }
-    io_result
 }
 
 /// Send header, chunks and done for a streaming query. An engine error
 /// mid-stream becomes an error frame terminating the response sequence.
-fn stream_rows(writer: &mut TcpStream, mut stream: QueryStream) -> io::Result<()> {
+fn stream_rows(writer: &mut FrameWriter<'_>, mut stream: QueryStream) -> io::Result<()> {
     let columns = stream.column_names.clone();
     let types: Vec<_> = stream.types().to_vec();
     send_header(writer, &columns, &types)?;
@@ -620,11 +648,11 @@ fn stream_rows(writer: &mut TcpStream, mut stream: QueryStream) -> io::Result<()
     // fired token's reason) before the terminating frame goes out.
     drop(stream);
     match failure {
-        Some(e) => send(writer, &error_frame(&e)),
-        None => send(
-            writer,
-            &Json::obj([("done", Json::obj([("rows", Json::Int(rows_sent as i64))]))]),
-        ),
+        Some(e) => writer.send(&error_frame(&e)),
+        None => writer.send(&Json::obj([(
+            "done",
+            Json::obj([("rows", Json::Int(rows_sent as i64))]),
+        )])),
     }
 }
 
@@ -633,36 +661,33 @@ fn column_types(chunk: &Chunk) -> Vec<bfq::prelude::DataType> {
 }
 
 fn send_header(
-    writer: &mut TcpStream,
+    writer: &mut FrameWriter<'_>,
     columns: &[String],
     types: &[bfq::prelude::DataType],
 ) -> io::Result<()> {
-    send(
-        writer,
-        &Json::obj([(
-            "rows",
-            Json::obj([
-                (
-                    "columns",
-                    Json::Arr(columns.iter().map(|c| Json::Str(c.clone())).collect()),
+    writer.send(&Json::obj([(
+        "rows",
+        Json::obj([
+            (
+                "columns",
+                Json::Arr(columns.iter().map(|c| Json::Str(c.clone())).collect()),
+            ),
+            (
+                "types",
+                Json::Arr(
+                    types
+                        .iter()
+                        .map(|t| Json::Str(type_name(*t).into()))
+                        .collect(),
                 ),
-                (
-                    "types",
-                    Json::Arr(
-                        types
-                            .iter()
-                            .map(|t| Json::Str(type_name(*t).into()))
-                            .collect(),
-                    ),
-                ),
-            ]),
-        )]),
-    )
+            ),
+        ]),
+    )]))
 }
 
 /// Encode a result chunk as one or more `chunk` frames (split so a single
 /// line stays bounded).
-fn send_chunk_rows(writer: &mut TcpStream, chunk: &Chunk) -> io::Result<()> {
+fn send_chunk_rows(writer: &mut FrameWriter<'_>, chunk: &Chunk) -> io::Result<()> {
     let rows = chunk.rows();
     let mut start = 0;
     while start < rows {
@@ -670,7 +695,7 @@ fn send_chunk_rows(writer: &mut TcpStream, chunk: &Chunk) -> io::Result<()> {
         let body: Vec<Json> = (start..end)
             .map(|i| Json::Arr(chunk.row(i).iter().map(datum_to_json).collect()))
             .collect();
-        send(writer, &Json::obj([("chunk", Json::Arr(body))]))?;
+        writer.send(&Json::obj([("chunk", Json::Arr(body))]))?;
         start = end;
     }
     Ok(())
@@ -680,16 +705,55 @@ fn ok_frame(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
     Json::obj([("ok", Json::obj(fields))])
 }
 
-/// Write one frame as a line. Each frame is a single buffered write.
-fn send(writer: &mut TcpStream, frame: &Json) -> io::Result<()> {
-    let mut line = frame.to_string();
-    line.push('\n');
-    writer.write_all(line.as_bytes())
+/// A session's response channel. Frames go out line-delimited through a
+/// bounded write loop: the socket carries the poll-interval write timeout,
+/// and every timeout tick re-checks the shutdown flag — so a session
+/// streaming results to a stalled client cannot hang [`Server::shutdown`]
+/// in an indefinitely blocked `write`.
+struct FrameWriter<'a> {
+    stream: TcpStream,
+    shutdown: &'a AtomicBool,
 }
 
-/// `read_until('\n')` that tolerates the poll-interval read timeout:
-/// timeouts just loop (checking the shutdown flag), so a session blocks on
-/// an idle client yet still notices shutdown. Returns `Ok(0)` on EOF or
+impl FrameWriter<'_> {
+    /// Write one frame as a line, resuming from partial writes.
+    fn send(&mut self, frame: &Json) -> io::Result<()> {
+        let mut line = frame.to_string();
+        line.push('\n');
+        let bytes = line.as_bytes();
+        let mut written = 0;
+        while written < bytes.len() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "server shutting down",
+                ));
+            }
+            match self.stream.write(&bytes[written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "client stopped accepting data",
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read one `\n`-terminated line via `fill_buf`/`consume`, tolerating the
+/// poll-interval read timeout: timeouts just loop (checking the shutdown
+/// flag), so a session blocks on an idle client yet still notices
+/// shutdown. The length cap is enforced on each buffered chunk *before* it
+/// is accumulated, so a client streaming bytes with no newline can never
+/// grow `buf` past `MAX_REQUEST_BYTES`. Returns `Ok(0)` on EOF or
 /// shutdown; `InvalidData` marks an oversized line.
 fn read_line_polled(
     reader: &mut BufReader<TcpStream>,
@@ -700,26 +764,30 @@ fn read_line_polled(
         if shutdown.load(Ordering::SeqCst) {
             return Ok(0);
         }
-        match reader.read_until(b'\n', buf) {
-            Ok(0) => return Ok(0),
-            Ok(_) if buf.last() != Some(&b'\n') => {
-                // Timeout mid-line keeps the partial read in `buf`; loop.
-                // (`read_until` can also return Ok with no newline at EOF;
-                // the next iteration then reads 0 and ends the session.)
-                if buf.len() > MAX_REQUEST_BYTES {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
-                }
-            }
-            Ok(_) => return Ok(buf.len()),
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
             {
-                if buf.len() > MAX_REQUEST_BYTES {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
-                }
+                continue;
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF: a partial line that never got its newline is a hangup.
+            return Ok(0);
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |pos| pos + 1);
+        if buf.len() + take > MAX_REQUEST_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+        }
+        buf.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(buf.len());
         }
     }
 }

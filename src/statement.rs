@@ -20,12 +20,18 @@ use bfq_exec::{execute_plan_pipelined_cfg, execute_plan_stream_cfg};
 use bfq_obs::{PhaseBreakdown, SpanTimer};
 use bfq_plan::PhysicalPlan;
 
-use crate::connection::QueryStream;
+use crate::connection::{QueryOptions, QueryStream};
 use crate::engine::{Engine, QueryResult};
 
 /// A statement parsed, bound and optimized once, executable many times.
 ///
 /// Shareable across threads (`Send + Sync`); cloning is cheap.
+///
+/// The optimizer config — including execution-only knobs like
+/// `statement_timeout_ms` — is captured at prepare time, so a later `SET`
+/// on the preparing session does not change how this statement executes.
+/// Use [`PreparedStatement::with_session_options`] to re-apply a session's
+/// current execution-only knobs at execute time.
 #[derive(Debug, Clone)]
 pub struct PreparedStatement {
     engine: Arc<Engine>,
@@ -92,6 +98,23 @@ impl PreparedStatement {
     /// Whether preparing found the plan in the shared plan cache.
     pub fn from_cache(&self) -> bool {
         self.cache_hit
+    }
+
+    /// A copy of this statement whose *execution-only* knobs —
+    /// `statement_timeout_ms`, `memory_budget_rows` and `profile` — are
+    /// re-read from `options` (a session's current `SET` state) instead of
+    /// the values captured at prepare time. The cached plan is reused
+    /// as-is: these knobs are normalized out of the plan-cache
+    /// fingerprint, so no replanning happens. Plan-shaping knobs
+    /// (bloom/index modes, dop, determinism) intentionally stay as
+    /// prepared.
+    pub fn with_session_options(&self, options: &QueryOptions) -> PreparedStatement {
+        let current = options.effective(&self.engine.config().optimizer);
+        let mut stmt = self.clone();
+        stmt.optimizer.statement_timeout_ms = current.statement_timeout_ms;
+        stmt.optimizer.memory_budget_rows = current.memory_budget_rows;
+        stmt.optimizer.profile = current.profile;
+        stmt
     }
 
     /// Bind parameter values into the cached plan, producing an executable

@@ -415,3 +415,127 @@ fn shutdown_interrupts_idle_and_queued_sessions() {
     // must not hold it hostage.
     server.shutdown();
 }
+
+#[test]
+fn endless_line_without_newline_is_cut_off_at_the_request_cap() {
+    use std::io::Write;
+    let engine = test_engine();
+    let server = start(engine, 1, 1);
+    let addr = server.local_addr();
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_write_timeout(Some(Duration::from_secs(2)))
+        .expect("write timeout");
+    let mut writer = stream.try_clone().expect("clone");
+
+    // Stream junk with no newline, forever as far as the client is
+    // concerned. The server must stop consuming at its 8 MiB request cap
+    // and hang up, rather than buffering the line without bound — so well
+    // under this 64 MiB budget, our writes must start failing (connection
+    // closed) or time out (server stopped reading).
+    let chunk = vec![b'x'; 1 << 20];
+    let mut accepted: usize = 0;
+    for _ in 0..64 {
+        match writer.write_all(&chunk) {
+            Ok(()) => accepted += chunk.len(),
+            Err(_) => break,
+        }
+    }
+    assert!(
+        accepted < 32 << 20,
+        "server consumed {accepted} bytes of a newline-less line; \
+         the request cap should have cut it off near 8 MiB"
+    );
+
+    // The server survives the abuse: fresh sessions still work.
+    let mut client = Client::connect(addr).expect("connect after abuse");
+    client.ping().expect("ping");
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn set_statement_timeout_applies_to_already_prepared_statements() {
+    let engine = test_engine();
+    let server = start(engine, 1, 1);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set("dop", "1").expect("set dop");
+    let slow = "select l1.l_orderkey from lineitem l1, lineitem l2, lineitem l3 \
+                where l1.l_orderkey = l2.l_orderkey and l2.l_orderkey = l3.l_orderkey";
+    // Prepare *before* SET: the timeout must still apply at EXECUTE time.
+    client.prepare("slow", slow).expect("prepare");
+    client.set("statement_timeout", "1").expect("set timeout");
+    match client.execute("slow", &[]) {
+        Err(e) if e.is_code("cancelled") => {
+            let msg = &e.remote().expect("remote").message;
+            assert!(msg.contains("timeout"), "message: {msg}");
+        }
+        Err(other) => panic!("expected timeout, got {other}"),
+        // Lazy deadline checks mean an absurdly fast machine could finish
+        // first; that is not a failure of the mechanism.
+        Ok(_) => {}
+    }
+    // Resetting the knob applies to already-prepared statements too.
+    client
+        .prepare("fast", "select count(*) from nation")
+        .expect("prepare fast");
+    client.set("statement_timeout", "default").expect("reset");
+    let ok = client.execute("fast", &[]).expect("runs");
+    assert_eq!(ok.rows.len(), 1);
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn explain_analyze_timeout_is_counted_against_the_explain_itself() {
+    let engine = test_engine();
+    let server = start(engine, 1, 1);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set("dop", "1").expect("set dop");
+    client.set("statement_timeout", "1").expect("set timeout");
+    let slow = "explain analyze select l1.l_orderkey from lineitem l1, lineitem l2, lineitem l3 \
+                where l1.l_orderkey = l2.l_orderkey and l2.l_orderkey = l3.l_orderkey";
+    match client.query(slow) {
+        Err(e) if e.is_code("cancelled") => {
+            // The timed-out EXPLAIN must settle the counter immediately —
+            // not leave the fired token's reason on the session hub for
+            // the next query to claim.
+            let text = client.metrics().expect("metrics");
+            assert_eq!(metric(&text, "bfq_server_queries_timed_out_total"), 1);
+            client.set("statement_timeout", "0").expect("reset");
+            client.query("select count(*) from nation").expect("query");
+            let text = client.metrics().expect("metrics");
+            assert_eq!(metric(&text, "bfq_server_queries_timed_out_total"), 1);
+            assert_eq!(metric(&text, "bfq_server_queries_cancelled_total"), 0);
+        }
+        Err(other) => panic!("expected timeout, got {other}"),
+        Ok(_) => {} // absurdly fast machine; mechanism not at fault
+    }
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_completes_while_streaming_to_a_stalled_client() {
+    use std::io::Write;
+    let engine = test_engine();
+    let server = start(engine, 1, 1);
+    let addr = server.local_addr();
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    // Ask for a large result, then never read a byte: once the socket
+    // buffers fill, the session blocks in write. Shutdown must still
+    // complete — the write timeout wakes the session to see the flag.
+    writer
+        .write_all(b"{\"cmd\":\"query\",\"sql\":\"select l_orderkey, l_comment from lineitem\"}\n")
+        .expect("send query");
+    std::thread::sleep(Duration::from_millis(300));
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("shutdown hung on a session blocked writing to a stalled client");
+    drop(stream);
+}
