@@ -12,7 +12,8 @@
 //! signal.
 
 use bfq_bench::harness::{
-    cardinality_mae, cardinality_q_error, filter_pass_rates, measure_tpch, BenchEnv, JsonReport,
+    cardinality_mae, cardinality_q_error, filter_pass_rates, measure_tpch, scan_q_error_split,
+    BenchEnv, JsonReport,
 };
 use bfq_core::BloomMode;
 use bfq_tpch::TABLE2_QUERIES;
@@ -27,11 +28,22 @@ fn main() {
         env.sf
     );
     println!(
-        "# {:>3} {:>14} {:>14} {:>10} {:>10} {:>10} {:>10} {:>8}",
-        "Q#", "post_mae", "cbo_mae", "post_qerr", "cbo_qerr", "bf_pred", "bf_obs", "better?"
+        "# {:>3} {:>14} {:>14} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10} {:>8}",
+        "Q#",
+        "post_mae",
+        "cbo_mae",
+        "post_qerr",
+        "cbo_qerr",
+        "red_qerr",
+        "unred_q",
+        "bf_pred",
+        "bf_obs",
+        "better?"
     );
     let (mut post_sum, mut cbo_sum) = (0.0, 0.0);
     let (mut post_q_sum, mut cbo_q_sum) = (0.0, 0.0);
+    let (mut red_sum, mut red_n) = (0.0, 0.0);
+    let (mut unred_sum, mut unred_n) = (0.0, 0.0);
     let (mut pred_weighted, mut obs_weighted, mut probed_queries) = (0.0, 0.0, 0.0);
     let mut n = 0.0;
     for q in TABLE2_QUERIES {
@@ -39,6 +51,25 @@ fn main() {
         let cbo = measure_tpch(&catalog, &env, q, BloomMode::Cbo).expect("cbo");
         let (mp, mc) = (cardinality_mae(&post), cardinality_mae(&cbo));
         let (qp, qc) = (cardinality_q_error(&post), cardinality_q_error(&cbo));
+        // Scan-only q-error, split by whether runtime filters reduce the
+        // scan — the reduced bucket is where BF-CBO's re-estimation acts.
+        let (reduced, unreduced) = scan_q_error_split(&cbo);
+        let red = match reduced {
+            Some(r) => {
+                red_sum += r;
+                red_n += 1.0;
+                format!("{r:.2}")
+            }
+            None => "-".into(),
+        };
+        let unred = match unreduced {
+            Some(u) => {
+                unred_sum += u;
+                unred_n += 1.0;
+                format!("{u:.2}")
+            }
+            None => "-".into(),
+        };
         let (pred, obs) = match filter_pass_rates(&cbo) {
             Some((p, o)) => {
                 pred_weighted += p;
@@ -49,12 +80,14 @@ fn main() {
             None => ("-".into(), "-".into()),
         };
         println!(
-            "  {:>3} {:>14.1} {:>14.1} {:>10.2} {:>10.2} {:>10} {:>10} {:>8}",
+            "  {:>3} {:>14.1} {:>14.1} {:>10.2} {:>10.2} {:>9} {:>9} {:>10} {:>10} {:>8}",
             q,
             mp,
             mc,
             qp,
             qc,
+            red,
+            unred,
             pred,
             obs,
             if mc <= mp { "yes" } else { "no" }
@@ -75,6 +108,18 @@ fn main() {
         post_q_sum / n,
         cbo_q_sum / n
     );
+    if red_n > 0.0 {
+        println!(
+            "# scan q-error under bf-cbo: reduced scans {:.2} (over {red_n} queries) \
+             vs unreduced scans {:.2}",
+            red_sum / red_n,
+            if unred_n > 0.0 {
+                unred_sum / unred_n
+            } else {
+                0.0
+            }
+        );
+    }
     if probed_queries > 0.0 {
         println!(
             "# runtime-filter pass fraction over {probed_queries} probing queries: \
@@ -94,6 +139,13 @@ fn main() {
     if probed_queries > 0.0 {
         json.add("bf_predicted_pass_mean", pred_weighted / probed_queries);
         json.add("bf_observed_pass_mean", obs_weighted / probed_queries);
+    }
+    json.add("reduced_scan_queries", red_n);
+    if red_n > 0.0 {
+        json.add("cbo_q_error_reduced_scans", red_sum / red_n);
+    }
+    if unred_n > 0.0 {
+        json.add("cbo_q_error_unreduced_scans", unred_sum / unred_n);
     }
     if let Some(path) = json.finish().expect("write json report") {
         eprintln!("\n# wrote {path}");

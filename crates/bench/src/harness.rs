@@ -266,6 +266,38 @@ pub fn cardinality_q_error(m: &Measured) -> f64 {
     }
 }
 
+/// Mean est-vs-actual q-error over *scan* nodes only, split by whether the
+/// scan is reduced by runtime filters (per-join Blooms or a semijoin
+/// program's reducers) or left unreduced. BF-CBO's re-estimation claim
+/// lives in the reduced bucket — those are the scans whose cardinality the
+/// optimizer predicts through the §3.5 pass-fraction model — while the
+/// unreduced bucket is the control where both modes see identical inputs.
+/// Returns `(reduced, unreduced)`; a side is `None` when no scan with a
+/// recorded actual falls in that bucket.
+pub fn scan_q_error_split(m: &Measured) -> (Option<f64>, Option<f64>) {
+    let mut reduced = (0.0f64, 0usize);
+    let mut unreduced = (0.0f64, 0usize);
+    m.planned.plan.visit(&mut |node| {
+        if let bfq_plan::PhysicalNode::Scan { blooms, .. }
+        | bfq_plan::PhysicalNode::DerivedScan { blooms, .. } = &node.node
+        {
+            if let Some(actual) = m.exec_stats.actual(node.id) {
+                let est = node.est_rows.max(1.0);
+                let actual = (actual as f64).max(1.0);
+                let bucket = if blooms.is_empty() {
+                    &mut unreduced
+                } else {
+                    &mut reduced
+                };
+                bucket.0 += (est / actual).max(actual / est);
+                bucket.1 += 1;
+            }
+        }
+    });
+    let mean = |(total, n): (f64, usize)| (n > 0).then(|| total / n as f64);
+    (mean(reduced), mean(unreduced))
+}
+
 /// Predicted vs observed runtime-filter pass fractions, aggregated over
 /// every applied Bloom filter the run actually probed. The predicted side
 /// is the estimator's `sel_semi + (1 − sel_semi)·fpr` (§3.5), weighted by

@@ -93,6 +93,26 @@ impl Catalog {
         self.index_bloom_layout
     }
 
+    /// Switch the chunk-Bloom bit-placement layout *and* migrate every live
+    /// table's chunk index to it, unlike [`Catalog::set_index_bloom_layout`]
+    /// which only affects future registrations. Table data and statistics
+    /// are untouched; only the per-chunk Bloom bit placement changes.
+    /// Bumps [`Catalog::version`] so cached plans (whose scan-cost
+    /// estimates may embed index sizes) are invalidated. Returns the number
+    /// of tables reindexed; a no-op (version untouched) when `layout` is
+    /// already active.
+    pub fn reindex_bloom_layout(&mut self, layout: BloomLayout) -> usize {
+        if layout == self.index_bloom_layout {
+            return 0;
+        }
+        self.index_bloom_layout = layout;
+        for (slot, table) in self.data.iter().enumerate() {
+            self.indexes[slot] = Arc::new(TableIndex::build_layout(table, layout));
+        }
+        self.version += 1;
+        self.data.len()
+    }
+
     /// Register a table, computing exact statistics from its data.
     ///
     /// `unique_columns` lists ordinals with a uniqueness guarantee. Returns
@@ -370,6 +390,64 @@ mod tests {
         assert!(!cat.is_foreign_key(to, from));
         // Non-unique target rejected.
         assert!(cat.add_foreign_key(to, ColumnId::new(fk, 0)).is_err());
+    }
+
+    #[test]
+    fn reindex_bloom_layout_migrates_live_indexes() {
+        use bfq_expr::Expr;
+        use bfq_index::IndexMode;
+
+        // Four chunks with disjoint key ranges, so every probe below has a
+        // layout-independent answer: zone maps exclude the three chunks
+        // whose range misses the key, and Bloom filters never produce a
+        // false negative for the one chunk that holds it.
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let chunks: Vec<Chunk> = (0..4)
+            .map(|c| {
+                let keys: Vec<i64> = (c * 100..c * 100 + 100).collect();
+                Chunk::new(vec![Arc::new(Column::Int64(keys, None))]).unwrap()
+            })
+            .collect();
+        let table = Table::new("t", schema, chunks).unwrap();
+
+        let mut cat = Catalog::new();
+        assert_eq!(cat.index_bloom_layout(), BloomLayout::Standard);
+        let id = cat.register(table, vec![0]).unwrap();
+        let version_before = cat.version();
+        let col = ColumnId::new(id, 0);
+        let resolve = |c: ColumnId| Some(c.index as usize);
+        let probes: Vec<i64> = vec![-5, 0, 17, 150, 299, 301, 399, 1000];
+        let decide = |cat: &Catalog| -> Vec<(usize, usize)> {
+            let index = cat.index(id).unwrap();
+            probes
+                .iter()
+                .map(|&k| {
+                    let pred = Expr::col(col).eq(Expr::lit(bfq_common::Datum::Int(k)));
+                    index.matching_rows(&pred, &resolve, IndexMode::ZoneMapBloom)
+                })
+                .collect()
+        };
+        let before = decide(&cat);
+
+        // Same layout: nothing to migrate, version untouched.
+        assert_eq!(cat.reindex_bloom_layout(BloomLayout::Standard), 0);
+        assert_eq!(cat.version(), version_before);
+
+        // Migrate to blocked layout: indexes are rebuilt in place.
+        assert_eq!(cat.reindex_bloom_layout(BloomLayout::Blocked), 1);
+        assert_eq!(cat.index_bloom_layout(), BloomLayout::Blocked);
+        assert_eq!(cat.version(), version_before + 1);
+        let ci = cat.index(id).unwrap().chunk(0).unwrap();
+        assert_eq!(
+            ci.columns[0].bloom.as_ref().map(|b| b.layout()),
+            Some(BloomLayout::Blocked)
+        );
+        assert_eq!(decide(&cat), before, "skip decisions must not change");
+
+        // And back again.
+        assert_eq!(cat.reindex_bloom_layout(BloomLayout::Standard), 1);
+        assert_eq!(cat.version(), version_before + 2);
+        assert_eq!(decide(&cat), before);
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub struct ColumnStats {
     pub min: Option<Datum>,
     /// Maximum non-null value, if the column is orderable and non-empty.
     pub max: Option<Datum>,
+    /// Whether the table is physically clustered on this column: values are
+    /// non-decreasing in row order with no NULLs. Rows matching any key
+    /// range are then contiguous, so chunk-level zone maps prune every
+    /// chunk outside the range — the estimator uses this to tighten
+    /// runtime-filter pass fractions.
+    pub clustered: bool,
 }
 
 impl ColumnStats {
@@ -30,6 +36,7 @@ impl ColumnStats {
             null_frac: 0.0,
             min: None,
             max: None,
+            clustered: false,
         }
     }
 }
@@ -63,23 +70,32 @@ fn column_stats(col: &Column) -> ColumnStats {
         nulls as f64 / rows as f64
     };
     let ndv = col.count_distinct() as f64;
-    let (min, max) = min_max(col);
+    let (min, max, sorted) = min_max(col);
     ColumnStats {
         ndv,
         null_frac,
         min,
         max,
+        clustered: sorted && nulls == 0 && rows > 0,
     }
 }
 
-fn min_max(col: &Column) -> (Option<Datum>, Option<Datum>) {
+fn min_max(col: &Column) -> (Option<Datum>, Option<Datum>, bool) {
     let mut min: Option<Datum> = None;
     let mut max: Option<Datum> = None;
+    let mut sorted = true;
+    let mut prev: Option<Datum> = None;
     for i in 0..col.len() {
         let v = col.get(i);
         if v.is_null() {
             continue;
         }
+        if let Some(p) = &prev {
+            if v.sql_cmp(p) == Some(std::cmp::Ordering::Less) {
+                sorted = false;
+            }
+        }
+        prev = Some(v.clone());
         match &min {
             None => min = Some(v.clone()),
             Some(m) => {
@@ -97,7 +113,7 @@ fn min_max(col: &Column) -> (Option<Datum>, Option<Datum>) {
             }
         }
     }
-    (min, max)
+    (min, max, sorted)
 }
 
 #[cfg(test)]

@@ -1,0 +1,361 @@
+//! GYO ear-removal acyclicity test and join-tree extraction.
+//!
+//! A semijoin program (Yannakakis' algorithm) exists exactly for
+//! α-acyclic join queries. This module decides acyclicity of a query
+//! block's join graph with the classic GYO reduction and, when the block
+//! is acyclic, returns a *join tree*: every relation except the root is
+//! attached to a parent it shares a (possibly transitive) join equality
+//! with. The optimizer turns the tree into a two-pass program — a
+//! bottom-up reducer pass building one Bloom reducer per tree edge,
+//! then a probe pass whose base scans each apply their children's final
+//! reducers.
+//!
+//! The hypergraph view: attributes are *equivalence classes* of columns
+//! connected by equi clauses (so `t1.a = t2.a AND t2.a = t3.a` is one
+//! attribute shared by three hyperedges), and each relation contributes
+//! the hyperedge of classes its columns participate in. GYO repeatedly
+//! (a) drops attributes private to a single hyperedge and (b) removes a
+//! hyperedge contained in another (an *ear*), recording the witness as
+//! its parent. The query is acyclic iff the reduction ends with a single
+//! hyperedge; a join cycle with distinct attributes (e.g. a triangle)
+//! survives both rules forever.
+
+use std::collections::{BTreeSet, HashMap};
+
+use bfq_common::{ColumnId, RelSet};
+use bfq_plan::{QueryBlock, RelKind, RelSource};
+
+/// One edge of a join tree: `child` attaches below `parent`, joined on
+/// `child_col = parent_col` (directly or through a chain of equalities in
+/// the same attribute class — either way the equality holds on every
+/// joined row, which is all a semijoin reducer needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinTreeEdge {
+    /// Ordinal of the relation being attached.
+    pub child: usize,
+    /// Ordinal of the parent relation.
+    pub parent: usize,
+    /// Join column on the child side (the reducer's build column).
+    pub child_col: ColumnId,
+    /// Join column on the parent side (the reducer's apply column).
+    pub parent_col: ColumnId,
+}
+
+/// A rooted join tree over the relations of an acyclic query block.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// Ordinal of the root relation (the last hyperedge GYO leaves).
+    pub root: usize,
+    /// Tree edges in GYO removal order, which is bottom-up: every
+    /// relation's edge appears after the edges of all its descendants.
+    pub edges: Vec<JoinTreeEdge>,
+    /// All relations covered by the tree.
+    pub rels: RelSet,
+}
+
+impl JoinTree {
+    /// The edges whose parent is `rel` (i.e. `rel`'s children).
+    pub fn children_of(&self, rel: usize) -> impl Iterator<Item = &JoinTreeEdge> {
+        self.edges.iter().filter(move |e| e.parent == rel)
+    }
+
+    /// `rel` together with all its descendants.
+    pub fn subtree(&self, rel: usize) -> RelSet {
+        let mut set = RelSet::single(rel);
+        // Edges are bottom-up, so a reverse sweep sees parents before
+        // children and one pass suffices.
+        for e in self.edges.iter().rev() {
+            if set.contains(e.parent) {
+                set = set.with(e.child);
+            }
+        }
+        set
+    }
+}
+
+/// Union-find over column occurrences, yielding attribute classes.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Whether the block is eligible for a semijoin program at all: at least
+/// three freely-reorderable base-table relations (with two, a program
+/// degenerates to the single per-join filter BF-CBO already places) and
+/// a connected join graph.
+pub fn program_eligible(block: &QueryBlock) -> bool {
+    block.num_rels() >= 3
+        && block
+            .rels
+            .iter()
+            .all(|r| r.kind == RelKind::Inner && matches!(r.source, RelSource::Table(_)))
+        && block.is_connected(RelSet::all(block.num_rels()))
+}
+
+/// Run GYO ear removal on the block's join graph. Returns the join tree
+/// when the graph is acyclic and covers every relation, `None` when the
+/// graph is cyclic or the block is not [`program_eligible`].
+///
+/// `base_rows[rel]` biases ear selection: among the valid ears of a round
+/// the smallest relation is removed first, so the largest relation (the
+/// fact table of a star or snowflake) survives to the root. The root is
+/// the one relation scanned only in the probe pass — every other relation
+/// is scanned once more to build its reducer — so keeping the most
+/// expensive scan out of the reducer pass minimizes schedule cost. Any
+/// root yields a correct program; this picks the cheap one.
+pub fn join_tree(block: &QueryBlock, base_rows: &[f64]) -> Option<JoinTree> {
+    if !program_eligible(block) {
+        return None;
+    }
+    debug_assert_eq!(base_rows.len(), block.num_rels());
+    let n = block.num_rels();
+
+    // Attribute classes: union-find over the columns of equi clauses.
+    let mut col_ids: Vec<ColumnId> = Vec::new();
+    let mut col_slot: HashMap<ColumnId, usize> = HashMap::new();
+    let mut slot_of = |col: ColumnId, ids: &mut Vec<ColumnId>| -> usize {
+        *col_slot.entry(col).or_insert_with(|| {
+            ids.push(col);
+            ids.len() - 1
+        })
+    };
+    let mut pairs = Vec::new();
+    for c in &block.equi_clauses {
+        let l = slot_of(c.left, &mut col_ids);
+        let r = slot_of(c.right, &mut col_ids);
+        pairs.push((l, r));
+    }
+    let mut uf = UnionFind::new(col_ids.len());
+    for (l, r) in pairs {
+        uf.union(l, r);
+    }
+
+    // Hyperedge per relation + a representative column per (rel, class).
+    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut rep: HashMap<(usize, usize), ColumnId> = HashMap::new();
+    for (slot, col) in col_ids.iter().enumerate() {
+        let class = uf.find(slot);
+        let rel = block.ordinal_of(col.table)?;
+        edges[rel].insert(class);
+        rep.entry((rel, class)).or_insert(*col);
+    }
+    if edges.iter().any(|e| e.is_empty()) {
+        // A relation with no join clause means a cross join — connectivity
+        // should already have rejected this, but stay defensive.
+        return None;
+    }
+
+    // GYO reduction.
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    let mut tree_edges = Vec::with_capacity(n - 1);
+    loop {
+        let mut changed = false;
+
+        // Rule (a): drop attributes contained in at most one live edge.
+        let mut class_count: HashMap<usize, usize> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            if alive[i] {
+                for &c in e {
+                    *class_count.entry(c).or_insert(0) += 1;
+                }
+            }
+        }
+        for (i, e) in edges.iter_mut().enumerate() {
+            if alive[i] {
+                let before = e.len();
+                e.retain(|c| class_count[c] > 1);
+                changed |= e.len() != before;
+            }
+        }
+
+        // Rule (b): remove one ear — a live edge contained in another.
+        // Of all valid ears this round, remove the smallest relation (ties
+        // by ordinal), attaching it to its largest containing parent.
+        if alive_count > 1 {
+            let mut ear: Option<(usize, usize)> = None;
+            for child in 0..n {
+                if !alive[child] {
+                    continue;
+                }
+                let parent = (0..n)
+                    .filter(|&p| p != child && alive[p] && edges[child].is_subset(&edges[p]))
+                    .max_by(|&a, &b| base_rows[a].total_cmp(&base_rows[b]));
+                if let Some(parent) = parent {
+                    let better = match ear {
+                        None => true,
+                        Some((c, _)) => base_rows[child] < base_rows[c],
+                    };
+                    if better {
+                        ear = Some((child, parent));
+                    }
+                }
+            }
+            if let Some((child, parent)) = ear {
+                // Pick a connecting class; a fully-private edge would have
+                // been emptied by rule (a), leaving no witness column, so
+                // treat it as ineligible.
+                let &class = edges[child].iter().next()?;
+                let (child_col, parent_col) = (rep.get(&(child, class)), rep.get(&(parent, class)));
+                let (Some(&child_col), Some(&parent_col)) = (child_col, parent_col) else {
+                    return None;
+                };
+                tree_edges.push(JoinTreeEdge {
+                    child,
+                    parent,
+                    child_col,
+                    parent_col,
+                });
+                alive[child] = false;
+                alive_count -= 1;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    if alive_count != 1 {
+        return None; // Cyclic: the reduction got stuck.
+    }
+    let root = alive.iter().position(|&a| a).expect("one live edge");
+    Some(JoinTree {
+        root,
+        edges: tree_edges,
+        rels: RelSet::all(n),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfq_common::TableId;
+    use bfq_plan::block::FIRST_VIRTUAL_TABLE;
+    use bfq_plan::{BaseRel, EquiClause};
+
+    /// A block of `n` inner base-table rels with the given clauses
+    /// (`(left_rel, left_idx, right_rel, right_idx)`).
+    fn block(n: usize, clauses: &[(usize, u32, usize, u32)]) -> QueryBlock {
+        let rels = (0..n)
+            .map(|i| BaseRel {
+                ordinal: i,
+                rel_id: TableId(FIRST_VIRTUAL_TABLE + i as u32),
+                source: RelSource::Table(TableId(i as u32)),
+                alias: format!("t{i}"),
+                kind: RelKind::Inner,
+                local_preds: vec![],
+            })
+            .collect();
+        let equi_clauses = clauses
+            .iter()
+            .map(|&(lr, li, rr, ri)| EquiClause {
+                left: ColumnId::new(TableId(FIRST_VIRTUAL_TABLE + lr as u32), li),
+                right: ColumnId::new(TableId(FIRST_VIRTUAL_TABLE + rr as u32), ri),
+                left_rel: lr,
+                right_rel: rr,
+            })
+            .collect();
+        QueryBlock {
+            rels,
+            equi_clauses,
+            complex_preds: vec![],
+        }
+    }
+
+    #[test]
+    fn chain_is_acyclic_with_bottom_up_order() {
+        // t0 -- t1 -- t2 -- t3 on distinct attributes.
+        let b = block(4, &[(0, 1, 1, 0), (1, 1, 2, 0), (2, 1, 3, 0)]);
+        let tree = join_tree(&b, &[1.0; 4]).expect("chain is acyclic");
+        assert_eq!(tree.edges.len(), 3);
+        assert_eq!(tree.rels, RelSet::all(4));
+        // Every edge's child subtree must be fully emitted before the
+        // child itself appears as a parent.
+        for (i, e) in tree.edges.iter().enumerate() {
+            for later in &tree.edges[i + 1..] {
+                assert_ne!(later.child, e.child, "each rel attached once");
+            }
+            assert_ne!(e.child, tree.root);
+        }
+        // Subtrees nest properly: the root's subtree is everything.
+        assert_eq!(tree.subtree(tree.root), RelSet::all(4));
+        for e in &tree.edges {
+            assert!(tree.subtree(e.child).is_subset_of(tree.subtree(e.parent)));
+            assert!(!tree.subtree(e.child).contains(e.parent));
+        }
+    }
+
+    #[test]
+    fn star_is_acyclic_with_fact_root() {
+        // Fact t0 joins three dims on distinct columns.
+        let b = block(4, &[(0, 0, 1, 0), (0, 1, 2, 0), (0, 2, 3, 0)]);
+        let tree = join_tree(&b, &[1000.0, 10.0, 10.0, 10.0]).expect("star is acyclic");
+        assert_eq!(tree.root, 0);
+        assert_eq!(tree.edges.len(), 3);
+        for e in &tree.edges {
+            assert_eq!(e.parent, 0);
+            assert_eq!(tree.subtree(e.child), RelSet::single(e.child));
+        }
+    }
+
+    #[test]
+    fn triangle_is_rejected() {
+        // t0.a=t1.a, t1.b=t2.b, t2.c=t0.c — the canonical cyclic query.
+        let b = block(3, &[(0, 0, 1, 0), (1, 1, 2, 0), (2, 1, 0, 1)]);
+        assert!(join_tree(&b, &[1.0; 3]).is_none());
+    }
+
+    #[test]
+    fn shared_attribute_star_is_acyclic() {
+        // t0.k = t1.k and t1.k = t2.k: one attribute class, three edges —
+        // looks like a cycle as a graph but is α-acyclic.
+        let b = block(3, &[(0, 0, 1, 0), (1, 0, 2, 0)]);
+        let tree = join_tree(&b, &[1.0; 3]).expect("shared attribute is acyclic");
+        assert_eq!(tree.edges.len(), 2);
+    }
+
+    #[test]
+    fn two_rels_and_dependent_kinds_are_ineligible() {
+        let b = block(2, &[(0, 0, 1, 0)]);
+        assert!(
+            join_tree(&b, &[1.0; 2]).is_none(),
+            "two rels: per-join filter wins"
+        );
+        let mut b = block(3, &[(0, 1, 1, 0), (1, 1, 2, 0)]);
+        b.rels[2].kind = RelKind::Semi;
+        assert!(
+            join_tree(&b, &[1.0; 3]).is_none(),
+            "dependent rels are out of scope"
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_is_ineligible() {
+        let b = block(3, &[(0, 0, 1, 0)]);
+        assert!(join_tree(&b, &[1.0; 3]).is_none());
+    }
+}

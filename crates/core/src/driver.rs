@@ -10,18 +10,19 @@ use bfq_common::{ColumnId, Datum, Result};
 use bfq_cost::{Cost, CostModel, Estimator};
 use bfq_expr::{estimate_selectivity, Expr, Layout};
 use bfq_plan::{
-    Bindings, Distribution, ExchangeKind, LogicalPlan, PhysicalNode, PhysicalPlan, QueryBlock,
-    RelSource,
+    Bindings, Distribution, ExchangeKind, FilterSchedule, LogicalPlan, PhysicalNode, PhysicalPlan,
+    QueryBlock, RelSource,
 };
 
+use crate::acyclic::join_tree;
 use crate::candidates::mark_candidates;
-use crate::costing::{initial_plan_lists, required_cols_per_rel, DerivedPlans};
+use crate::costing::{build_program, initial_plan_lists, required_cols_per_rel, DerivedPlans};
 use crate::naive::{naive_optimize, NaiveStats};
 use crate::phase1::{collect_deltas, Phase1Stats};
 use crate::phase2::{run_dp, Phase2Stats};
 use crate::post::add_post_filters;
 use crate::subplan::SubPlan;
-use crate::{BloomMode, OptimizerConfig};
+use crate::{BloomMode, OptimizerConfig, SemijoinMode};
 
 /// Aggregated optimizer telemetry (per query; block stats summed).
 #[derive(Debug, Clone, Default)]
@@ -40,6 +41,11 @@ pub struct OptimizerStats {
     pub cbo_filters: usize,
     /// Filters added by the post-processing pass.
     pub post_filters: usize,
+    /// Blocks where the DP chose the semijoin program over per-join
+    /// filters.
+    pub programs: usize,
+    /// Scheduled reducers across all chosen programs.
+    pub program_reducers: usize,
     /// Naïve-mode telemetry, when [`BloomMode::Naive`] ran.
     pub naive: Option<NaiveStats>,
 }
@@ -60,6 +66,8 @@ impl OptimizerStats {
         self.phase2.kept += other.phase2.kept;
         self.cbo_filters += other.cbo_filters;
         self.post_filters += other.post_filters;
+        self.programs += other.programs;
+        self.program_reducers += other.program_reducers;
         if other.naive.is_some() {
             self.naive = other.naive;
         }
@@ -74,6 +82,8 @@ struct BlockStats {
     phase2: Phase2Stats,
     cbo_filters: usize,
     post_filters: usize,
+    programs: usize,
+    program_reducers: usize,
     naive: Option<NaiveStats>,
 }
 
@@ -100,7 +110,7 @@ pub fn optimize_block(
     next_filter: &mut u32,
 ) -> Result<(SubPlan, OptimizerStats)> {
     let start = Instant::now();
-    let (sub, bstats) = optimize_block_inner(
+    let (mut sub, bstats, schedule) = optimize_block_inner(
         block,
         bindings,
         catalog,
@@ -109,6 +119,11 @@ pub fn optimize_block(
         config,
         next_filter,
     )?;
+    // Standalone use: the block root is the query root, so the winning
+    // program's reducer schedule (if any) attaches right here.
+    if let Some(schedule) = schedule {
+        sub.plan = sub.plan.with_schedule(Arc::new(schedule));
+    }
     let mut stats = OptimizerStats::default();
     stats.merge_block(bstats);
     stats.planning_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -123,7 +138,7 @@ fn optimize_block_inner(
     derived: &DerivedPlans,
     config: &OptimizerConfig,
     next_filter: &mut u32,
-) -> Result<(SubPlan, BlockStats)> {
+) -> Result<(SubPlan, BlockStats, Option<FilterSchedule>)> {
     let est = Estimator::with_modes(
         block,
         bindings,
@@ -159,13 +174,29 @@ fn optimize_block_inner(
     }
 
     // §3.4: first bottom-up pass — Δ collection.
+    let mut h8_gated = false;
     if !cands.is_empty() {
         bstats.phase1 = collect_deltas(block, &est, &mut cands, config);
         // Heuristic 8: small queries skip Bloom planning entirely.
         if config.h8_enabled && bstats.phase1.total_join_input < config.h8_min_join_input {
             cands.clear();
+            h8_gated = true;
         }
     }
+
+    // Semijoin-program rewrite: for acyclic all-inner base-table blocks, a
+    // two-pass Yannakakis-style program competes with per-join filters in
+    // its own DP lane. H8's "too small to bother" verdict applies equally.
+    let program = if config.semijoin == SemijoinMode::Auto
+        && config.bloom_mode == BloomMode::Cbo
+        && !h8_gated
+    {
+        let base_rows: Vec<f64> = (0..block.num_rels()).map(|r| est.base_rows(r)).collect();
+        join_tree(block, &base_rows)
+            .and_then(|tree| build_program(block, &est, &model, config, &tree, next_filter))
+    } else {
+        None
+    };
 
     // §3.5: costed Bloom filter scan sub-plans.
     let required_per_rel = required_cols_per_rel(block, required);
@@ -177,17 +208,29 @@ fn optimize_block_inner(
         &cands,
         &required_per_rel,
         derived,
+        program.as_ref(),
         next_filter,
     )?;
 
     // §3.6: second bottom-up pass.
-    let (mut best, p2) = run_dp(block, &est, &model, config, initial)?;
+    let (mut best, p2) = run_dp(block, &est, &model, config, initial, program.as_ref())?;
     bstats.phase2 = p2;
     best.plan.visit(&mut |p| {
         if let PhysicalNode::HashJoin { builds, .. } = &p.node {
             bstats.cbo_filters += builds.len();
         }
     });
+
+    // When the program lane won, its reducer pass becomes the plan's
+    // filter schedule (hoisted to the query root by the caller).
+    let mut schedule = None;
+    if best.program {
+        if let Some(spec) = &program {
+            bstats.programs = 1;
+            bstats.program_reducers = spec.edges.len();
+            schedule = Some(spec.schedule());
+        }
+    }
 
     // §3.7: retained post-processing pass (BF-Post baseline, and the final
     // sweep after BF-CBO).
@@ -196,7 +239,7 @@ fn optimize_block_inner(
         best.plan = plan;
         bstats.post_filters = added;
     }
-    Ok((best, bstats))
+    Ok((best, bstats, schedule))
 }
 
 /// Optimize a full logical plan tree.
@@ -213,8 +256,21 @@ pub fn optimize(
         bindings,
         stats: OptimizerStats::default(),
         next_filter: 0,
+        schedule_steps: Vec::new(),
     };
     let (plan, _cost) = planner.plan_node(logical, &[])?;
+    // Hoist the winning programs' reducer passes to the query root: the
+    // executors run the root schedule before any probe pipeline, which is
+    // safe because programs are only planned for all-inner base-table
+    // blocks (a reducer never depends on the enclosing tree's rows) and
+    // filter ids are globally unique across blocks.
+    let plan = if planner.schedule_steps.is_empty() {
+        plan
+    } else {
+        plan.with_schedule(Arc::new(FilterSchedule {
+            steps: std::mem::take(&mut planner.schedule_steps),
+        }))
+    };
     let mut next_id = 1;
     let plan = plan.with_ids(&mut next_id);
     let mut stats = planner.stats;
@@ -228,6 +284,8 @@ struct Planner<'a> {
     bindings: &'a mut Bindings,
     stats: OptimizerStats,
     next_filter: u32,
+    /// Reducer steps of every block whose program won, in planning order.
+    schedule_steps: Vec<Arc<PhysicalPlan>>,
 }
 
 impl Planner<'_> {
@@ -421,7 +479,7 @@ impl Planner<'_> {
                 derived.insert(rel.ordinal, (dplan, dcost));
             }
         }
-        let (mut best, bstats) = optimize_block_inner(
+        let (mut best, bstats, schedule) = optimize_block_inner(
             block,
             self.bindings,
             self.catalog,
@@ -431,6 +489,9 @@ impl Planner<'_> {
             &mut self.next_filter,
         )?;
         self.stats.merge_block(bstats);
+        if let Some(schedule) = schedule {
+            self.schedule_steps.extend(schedule.steps);
+        }
         // Blocks hand a single stream to the operators above.
         let mut cost = best.cost;
         if best.dist != Distribution::Single {

@@ -25,6 +25,7 @@
 //! [`naive`] implements the strawman single-phase integration whose
 //! super-exponential planning time motivates the two-phase design (§3.1).
 
+pub mod acyclic;
 pub mod cache;
 pub mod candidates;
 pub mod costing;
@@ -37,6 +38,7 @@ pub mod post;
 pub mod subplan;
 pub mod synth;
 
+pub use acyclic::{join_tree, JoinTree, JoinTreeEdge};
 pub use cache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use candidates::{mark_candidates, BfCandidate};
 pub use driver::{optimize, optimize_bare_block, optimize_block, OptimizedQuery, OptimizerStats};
@@ -46,6 +48,49 @@ pub use bfq_bloom::BloomLayout;
 pub use bfq_common::Determinism;
 use bfq_cost::CostParams;
 pub use bfq_index::IndexMode;
+
+/// Whether the optimizer may rewrite acyclic join blocks into two-pass
+/// semijoin programs (a scheduled DAG of Bloom reducers, Yannakakis-style)
+/// as a costed alternative to per-join runtime filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SemijoinMode {
+    /// Never consider semijoin programs.
+    Off,
+    /// Offer a semijoin program alongside per-join filters whenever the
+    /// block's join graph is acyclic (GYO), and let the DP pick on cost.
+    #[default]
+    Auto,
+}
+
+impl SemijoinMode {
+    /// Canonical knob spelling, as accepted by `SET semijoin`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SemijoinMode::Off => "off",
+            SemijoinMode::Auto => "auto",
+        }
+    }
+}
+
+impl std::fmt::Display for SemijoinMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SemijoinMode {
+    type Err = bfq_common::BfqError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(SemijoinMode::Off),
+            "auto" => Ok(SemijoinMode::Auto),
+            other => Err(bfq_common::BfqError::invalid(format!(
+                "unknown semijoin `{other}` (off|auto)"
+            ))),
+        }
+    }
+}
 
 /// How Bloom filters participate in optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,6 +182,9 @@ pub struct OptimizerConfig {
     /// (0 = no cap), enforced against the executor's live buffered-rows
     /// gauge. Execution-only; stays out of the plan-cache fingerprint.
     pub memory_budget_rows: u64,
+    /// Semijoin-program rewrite mode (see [`SemijoinMode`]). Plan-affecting
+    /// and therefore part of the plan-cache fingerprint.
+    pub semijoin: SemijoinMode,
 }
 
 impl Default for OptimizerConfig {
@@ -162,6 +210,7 @@ impl Default for OptimizerConfig {
             profile: true,
             statement_timeout_ms: 0,
             memory_budget_rows: 0,
+            semijoin: SemijoinMode::default(),
         }
     }
 }
@@ -202,6 +251,12 @@ impl OptimizerConfig {
     /// Builder-style determinism-mode override.
     pub fn determinism(mut self, mode: Determinism) -> Self {
         self.determinism = mode;
+        self
+    }
+
+    /// Builder-style semijoin-program mode override.
+    pub fn semijoin(mut self, mode: SemijoinMode) -> Self {
+        self.semijoin = mode;
         self
     }
 }

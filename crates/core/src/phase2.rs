@@ -28,6 +28,7 @@ use bfq_plan::{
     BloomBuild, Distribution, ExchangeKind, JoinKind, PhysicalNode, PhysicalPlan, QueryBlock,
 };
 
+use crate::costing::ProgramSpec;
 use crate::enumerate::{enumerate_sets, pred_rels, splits, Split};
 use crate::subplan::{PendingBf, PlanList, SubPlan};
 use crate::OptimizerConfig;
@@ -69,14 +70,17 @@ struct DistOpt {
 }
 
 /// Run the costed bottom-up DP. `initial` holds the per-relation plan lists
-/// from [`crate::costing::initial_plan_lists`]. Returns the winning sub-plan
-/// for the full relation set.
+/// from [`crate::costing::initial_plan_lists`]; `program` is the block's
+/// semijoin program when one was built (its lane is enumerated alongside
+/// the per-join lane and the cheapest complete plan of either wins).
+/// Returns the winning sub-plan for the full relation set.
 pub fn run_dp(
     block: &QueryBlock,
     est: &Estimator<'_>,
     model: &CostModel,
     config: &OptimizerConfig,
     initial: Vec<PlanList>,
+    program: Option<&ProgramSpec>,
 ) -> Result<(SubPlan, Phase2Stats)> {
     let n = block.num_rels();
     let mut stats = Phase2Stats::default();
@@ -102,7 +106,8 @@ pub fn run_dp(
                 for inner_sp in inner_list.plans() {
                     stats.pairs += 1;
                     try_join(
-                        block, est, model, &split, outer_sp, inner_sp, &mut list, &mut stats,
+                        block, est, model, &split, outer_sp, inner_sp, program, &mut list,
+                        &mut stats,
                     );
                 }
             }
@@ -287,9 +292,16 @@ fn try_join(
     split: &Split,
     outer_sp: &SubPlan,
     inner_sp: &SubPlan,
+    program: Option<&ProgramSpec>,
     list: &mut PlanList,
     stats: &mut Phase2Stats,
 ) {
+    // The per-join and program lanes never mix: a program-lane scan's row
+    // count assumes its scheduled reducers ran, which only holds when the
+    // whole plan is the program's probe pass.
+    if outer_sp.program != inner_sp.program {
+        return;
+    }
     let Some(pending) = classify_pendings(outer_sp, inner_sp, split.outer, split.inner) else {
         return;
     };
@@ -327,8 +339,16 @@ fn try_join(
         .collect();
     let extra = Expr::conjunction(extra_preds);
 
-    // Output cardinality under the surviving assumptions.
-    let remaining_bfs: Vec<BfAssumption> = pending.remaining.iter().map(|p| p.bf.clone()).collect();
+    // Output cardinality under the surviving assumptions. In the program
+    // lane the assumptions are the scheduled reducers still pruning this
+    // set (§3.5's pass-fraction model applied per active tree edge).
+    let remaining_bfs: Vec<BfAssumption> = if outer_sp.program {
+        program
+            .map(|spec| spec.active_assumptions(s_all))
+            .unwrap_or_default()
+    } else {
+        pending.remaining.iter().map(|p| p.bf.clone()).collect()
+    };
     let rows_out = est.joined_rows(s_all, &remaining_bfs);
 
     // Bloom builds for resolved filters.
@@ -442,6 +462,7 @@ fn try_join(
                 cost,
                 dist: opt.out_dist,
                 pending: pending.remaining.clone(),
+                program: outer_sp.program,
             });
         }
     }
@@ -475,10 +496,11 @@ mod tests {
             &cands,
             &required,
             &HashMap::new(),
+            None,
             &mut next_filter,
         )
         .unwrap();
-        run_dp(&fx.block, &est, &model, config, initial).unwrap()
+        run_dp(&fx.block, &est, &model, config, initial, None).unwrap()
     }
 
     fn count_nodes(plan: &Arc<PhysicalPlan>, pred: impl Fn(&PhysicalNode) -> bool) -> usize {

@@ -144,7 +144,8 @@ fn rebuild_children(
         | PhysicalNode::Project { input, .. }
         | PhysicalNode::HashAgg { input, .. }
         | PhysicalNode::Sort { input, .. }
-        | PhysicalNode::Limit { input, .. } => *input = f(input),
+        | PhysicalNode::Limit { input, .. }
+        | PhysicalNode::SemijoinReduce { input, .. } => *input = f(input),
         PhysicalNode::HashJoin { outer, inner, .. }
         | PhysicalNode::MergeJoin { outer, inner, .. }
         | PhysicalNode::NestLoopJoin { outer, inner, .. } => {
@@ -330,10 +331,11 @@ mod tests {
             &[],
             &required,
             &HashMap::new(),
+            None,
             &mut next_filter,
         )
         .unwrap();
-        run_dp(&fx.block, &est, &model, config, initial)
+        run_dp(&fx.block, &est, &model, config, initial, None)
             .unwrap()
             .0
             .plan
@@ -426,10 +428,11 @@ mod tests {
             &cands,
             &required,
             &HashMap::new(),
+            None,
             &mut next_filter,
         )
         .unwrap();
-        let (best, _) = run_dp(&fx.block, &est, &model, &config, initial).unwrap();
+        let (best, _) = run_dp(&fx.block, &est, &model, &config, initial, None).unwrap();
         let (before_applies, _) = count_filters(&best.plan);
         assert!(before_applies >= 1);
         let (rewritten, _) =

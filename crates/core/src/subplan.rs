@@ -36,6 +36,13 @@ pub struct SubPlan {
     /// Unresolved Bloom filters (each δ is disjoint from this sub-plan's
     /// relation set — the invariant joins must maintain).
     pub pending: Vec<PendingBf>,
+    /// Which filter-strategy *alternative* this sub-plan belongs to:
+    /// `false` = per-join runtime filters (pendings resolved at hash
+    /// joins), `true` = the block's semijoin program (scans pre-reduced by
+    /// scheduled reducers; no per-join builds). The two lanes never mix in
+    /// a join and never dominate each other — the DP carries both to the
+    /// top and picks on cost.
+    pub program: bool,
 }
 
 impl SubPlan {
@@ -49,7 +56,7 @@ impl SubPlan {
     /// join-order constraints (its pending filters are a subset, each with a
     /// δ no larger).
     pub fn dominates(&self, other: &SubPlan) -> bool {
-        if self.dist != other.dist {
+        if self.dist != other.dist || self.program != other.program {
             return false;
         }
         if self.cost.total > other.cost.total * (1.0 + 1e-9) {
@@ -199,6 +206,7 @@ mod tests {
             cost: Cost::of(cost),
             dist: Distribution::AnyPartitioned,
             pending,
+            program: false,
         }
     }
 
@@ -264,6 +272,23 @@ mod tests {
             0,
             "dominated BF sub-plan should be gone"
         );
+    }
+
+    #[test]
+    fn program_lane_never_crosses_per_join_lane() {
+        let mut list = PlanList::new();
+        assert!(list.add(sp(100.0, 10.0, vec![])));
+        let mut prog = sp(10.0, 1.0, vec![]);
+        prog.program = true;
+        assert!(list.add(prog), "program lane coexists");
+        assert_eq!(
+            list.len(),
+            2,
+            "cheaper program plan must not evict per-join plan"
+        );
+        // And vice versa: a cheaper per-join plan leaves the program plan alone.
+        assert!(list.add(sp(5.0, 0.5, vec![])));
+        assert_eq!(list.plans().iter().filter(|p| p.program).count(), 1);
     }
 
     #[test]

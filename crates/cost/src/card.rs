@@ -51,6 +51,9 @@ pub struct Estimator<'a> {
     /// the FPR formula in [`Estimator::bf_fpr`] so plan choice reflects
     /// the layout that actually runs.
     bloom_layout: BloomLayout,
+    /// Data-skipping mode in effect; with zone maps on, clustered apply
+    /// columns tighten [`Estimator::bf_pass_fraction`].
+    index_mode: IndexMode,
 }
 
 impl<'a> Estimator<'a> {
@@ -128,6 +131,7 @@ impl<'a> Estimator<'a> {
             join_memo: RefCell::new(HashMap::new()),
             ndv_memo: RefCell::new(HashMap::new()),
             bloom_layout: BloomLayout::default(),
+            index_mode,
         }
     }
 
@@ -366,10 +370,31 @@ impl<'a> Estimator<'a> {
 
     /// Row-pass-through fraction of one Bloom filter:
     /// `sel_semi + (1 − sel_semi) · fpr` (paper §3.5).
+    ///
+    /// When zone maps are on and the apply column is the table's clustering
+    /// column, the FPR term is tightened: rows matching the surviving build
+    /// keys are physically contiguous, so chunk-level skipping against the
+    /// filter's key bounds never reads most non-matching chunks, and false
+    /// positives can only surface in the roughly `sel_semi` fraction of the
+    /// table that is read at all.
     pub fn bf_pass_fraction(&self, bf: &BfAssumption) -> f64 {
         let sel = self.bf_semi_selectivity(bf);
         let fpr = self.bf_fpr(bf);
-        (sel + (1.0 - sel) * fpr).clamp(0.0, 1.0)
+        let exposure = if self.index_mode.zonemaps() && self.is_clustered(bf.apply_col) {
+            sel
+        } else {
+            1.0
+        };
+        (sel + exposure * (1.0 - sel) * fpr).clamp(0.0, 1.0)
+    }
+
+    /// Whether the apply table is physically clustered on `col` (exact
+    /// sortedness recorded at stats time).
+    fn is_clustered(&self, col: ColumnId) -> bool {
+        self.bindings
+            .column_stats(col)
+            .map(|s| s.clustered)
+            .unwrap_or(false)
     }
 
     /// Rows coming out of the scan of `rel` with the given Bloom filters
@@ -714,6 +739,46 @@ mod tests {
         assert_eq!(zoned.scan_read_rows(0), 100.0);
         assert!(zoned.base_rows(0) <= 100.0);
         assert!(zoned.base_rows(0) <= off.base_rows(0));
+    }
+
+    #[test]
+    fn clustered_apply_column_tightens_pass_fraction() {
+        let (cat, block, bindings) = fixture();
+        // t1.c1 is 0..6000 in row order — the table's clustering column;
+        // t1.c2 (i % 800) is not.
+        let clustered = BfAssumption {
+            apply_rel: 0,
+            apply_col: vcol(&block, 0, 0),
+            build_rel: 1,
+            build_col: vcol(&block, 1, 0),
+            delta: RelSet::single(1),
+        };
+        let shuffled = BfAssumption {
+            apply_col: vcol(&block, 0, 1),
+            ..clustered.clone()
+        };
+        let off = Estimator::new(&block, &bindings, &cat);
+        let zoned =
+            Estimator::with_index_mode(&block, &bindings, &cat, bfq_index::IndexMode::ZoneMap);
+        // With zone maps, the clustered column's FPR exposure shrinks to
+        // the matching fraction: sel + sel·(1−sel)·fpr.
+        let sel = zoned.bf_semi_selectivity(&clustered);
+        let fpr = zoned.bf_fpr(&clustered);
+        let tightened = zoned.bf_pass_fraction(&clustered);
+        assert!((tightened - (sel + sel * (1.0 - sel) * fpr)).abs() < 1e-12);
+        assert!(tightened < off.bf_pass_fraction(&clustered));
+        // Without zone maps there is nothing to skip; unclustered apply
+        // columns keep the untightened §3.5 formula either way.
+        let sel_off = off.bf_semi_selectivity(&clustered);
+        let fpr_off = off.bf_fpr(&clustered);
+        assert!(
+            (off.bf_pass_fraction(&clustered) - (sel_off + (1.0 - sel_off) * fpr_off)).abs()
+                < 1e-12
+        );
+        assert_eq!(
+            zoned.bf_pass_fraction(&shuffled),
+            off.bf_pass_fraction(&shuffled)
+        );
     }
 
     #[test]

@@ -218,8 +218,18 @@ pub fn execute_plan_cfg(
     })
 }
 
-/// Recursively execute one node.
+/// Recursively execute one node. When the node carries a semijoin-program
+/// [`bfq_plan::FilterSchedule`] (only ever the query root), its reducer
+/// steps run first, in order, so every scheduled filter is published
+/// before any probe scan waits on it.
 pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<PartitionedData> {
+    if let Some(schedule) = &plan.schedule {
+        for step in &schedule.steps {
+            let data = execute(step, ctx)?;
+            // Step outputs exist only to seed reducers; release them.
+            ctx.stats.buffer_shrink(data.total_rows() as u64);
+        }
+    }
     let out = match &plan.node {
         // One synthetic zero-column row (FROM-less selects).
         PhysicalNode::OneRow => PartitionedData {
@@ -386,6 +396,17 @@ pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<Partitione
                 partitions: vec![vec![chunk.take(&sel)]],
             }
         }
+        PhysicalNode::SemijoinReduce {
+            input,
+            filter,
+            key,
+            expected_ndv,
+            ..
+        } => {
+            let data = execute(input, ctx)?;
+            publish_reducer(ctx, &input.layout, &data, *filter, *key, *expected_ndv)?;
+            data
+        }
         PhysicalNode::ScalarSubst {
             input,
             subquery,
@@ -525,6 +546,40 @@ pub(crate) fn seal_build_side(
         inner_types,
         rows,
     })
+}
+
+/// Build a scheduled reducer's Bloom filter from a step's output and
+/// publish it to the hub. Shared by the eager executor and the morsel
+/// pipeline; like a hash join's builds, the reducer seals exactly once
+/// per query, before any scan that applies it runs.
+pub(crate) fn publish_reducer(
+    ctx: &ExecContext,
+    layout: &Layout,
+    data: &PartitionedData,
+    filter: bfq_common::FilterId,
+    key: bfq_common::ColumnId,
+    expected_ndv: f64,
+) -> Result<()> {
+    let slot = layout.slot_of(key).ok_or_else(|| {
+        BfqError::internal(format!("reducer key column {key} not in step output"))
+    })?;
+    let thread_keys: Vec<Column> = (0..data.num_partitions())
+        .map(|p| {
+            data.partition_chunk(p)
+                .map(|c| c.column(slot).as_ref().clone())
+        })
+        .collect::<Result<_>>()?;
+    let started = std::time::Instant::now();
+    let f = build_filter(
+        StreamingStrategy::PartitionUnaligned,
+        &thread_keys,
+        expected_ndv.max(1.0) as usize,
+        ctx.bloom_layout,
+    );
+    ctx.stats
+        .note_filter_build(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    ctx.hub.publish(filter, f);
+    Ok(())
 }
 
 /// Sort a gathered chunk by the given keys.

@@ -1102,8 +1102,18 @@ fn flush_run(
 }
 
 /// Recursively execute `plan`: streamable chains run as morsel pipelines;
-/// breakers seal their inputs and apply the existing operator logic.
+/// breakers seal their inputs and apply the existing operator logic. A
+/// semijoin-program [`bfq_plan::FilterSchedule`] on the node (only ever
+/// the query root) runs first: each reducer step is its own short
+/// pipeline, sealed before any probe scan waits on its filter.
 pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<PartitionedData> {
+    if let Some(schedule) = &plan.schedule {
+        for step in &schedule.steps {
+            let data = execute_pipelined(step, ctx)?;
+            // Step outputs exist only to seed reducers; release them.
+            ctx.stats.buffer_shrink(data.total_rows() as u64);
+        }
+    }
     // Breaker nodes are profiled inclusively: the span covers the breaker's
     // own work *and* its input pipelines (chain ops inside those pipelines
     // additionally self-report through the per-morsel path).
@@ -1376,6 +1386,29 @@ pub fn execute_pipelined(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<
             };
             seal_node(plan, &out, 0, ctx, started);
             Ok(out)
+        }
+
+        PhysicalNode::SemijoinReduce {
+            input,
+            filter,
+            key,
+            expected_ndv,
+            ..
+        } => {
+            // Drain the reducer step's scan chain, then seal its Bloom
+            // filter — the program's analogue of a hash join's build.
+            let data = run_chain_collect(input, ctx)?;
+            let in_rows = data.total_rows() as u64;
+            crate::executor::publish_reducer(
+                ctx,
+                &input.layout,
+                &data,
+                *filter,
+                *key,
+                *expected_ndv,
+            )?;
+            seal_node(plan, &data, in_rows, ctx, started);
+            Ok(data)
         }
 
         PhysicalNode::MergeJoin {

@@ -179,6 +179,17 @@ pub fn execute_plan_stream_cfg(
 ) -> Result<ChunkStream> {
     let ctx = ExecContext::with_options(catalog, options);
     if is_streamable(&plan.node) || matches!(plan.node, PhysicalNode::Scan { .. }) {
+        // A semijoin-program reducer schedule on the root runs to
+        // completion up front, like everything else below the final
+        // pipeline: its filters must be sealed before any probe scan in
+        // the chain waits on them. (The breaker branch below inherits
+        // this from `execute_pipelined` itself.)
+        if let Some(schedule) = &plan.schedule {
+            for step in &schedule.steps {
+                let data = execute_pipelined(step, &ctx)?;
+                ctx.stats.buffer_shrink(data.total_rows() as u64);
+            }
+        }
         // Seal everything below the final pipeline, then pull lazily.
         let (chain, morsels) = prepare_chain(plan, &ctx)?;
         let types = chain.types.clone();

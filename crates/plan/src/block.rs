@@ -470,6 +470,7 @@ mod tests {
                 null_frac: 0.0,
                 min: Some(Datum::Float(0.0)),
                 max: Some(Datum::Float(1.0)),
+                clustered: false,
             }],
         };
         let v = b.bind_derived(schema, stats, vec![]);

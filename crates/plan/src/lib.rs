@@ -23,7 +23,7 @@ pub mod pipeline;
 pub use block::{BaseRel, Bindings, EquiClause, QueryBlock, RelBinding, RelKind, RelSource};
 pub use logical::{AggExpr, AggFunc, LogicalPlan, OutputColumn, SortKey};
 pub use physical::{
-    BloomApply, BloomBuild, Distribution, ExchangeKind, JoinAlgo, JoinKind, PhysicalNode,
-    PhysicalPlan,
+    BloomApply, BloomBuild, Distribution, ExchangeKind, FilterSchedule, JoinAlgo, JoinKind,
+    PhysicalNode, PhysicalPlan,
 };
 pub use pipeline::{blocking_children, decompose, is_streamable, streaming_child, PipelineSpec};

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use bfq_common::{BfqError, CancelHub, CancelToken, DataType, Determinism, Result};
-use bfq_core::{BloomLayout, BloomMode, OptimizedQuery, OptimizerConfig};
+use bfq_core::{BloomLayout, BloomMode, OptimizedQuery, OptimizerConfig, SemijoinMode};
 use bfq_exec::{execute_plan_stream_cfg, ChunkStream, ExecOptions, ExecStats};
 use bfq_index::IndexMode;
 use bfq_obs::{PhaseBreakdown, SpanTimer};
@@ -39,6 +39,9 @@ pub struct QueryOptions {
     pub dop: Option<usize>,
     /// Override the sink/exchange ordering contract (`strict` / `fast`).
     pub determinism: Option<Determinism>,
+    /// Override the semijoin-program rewrite mode (`off` / `auto`).
+    /// Plan-affecting: participates in the plan-cache fingerprint.
+    pub semijoin: Option<SemijoinMode>,
     /// Override per-node runtime profiling (`on` / `off`). Execution-only:
     /// toggling it keeps hitting the same cached plans.
     pub profile: Option<bool>,
@@ -69,6 +72,9 @@ impl QueryOptions {
         }
         if let Some(mode) = self.determinism {
             config.determinism = mode;
+        }
+        if let Some(mode) = self.semijoin {
+            config.semijoin = mode;
         }
         if let Some(profile) = self.profile {
             config.profile = profile;
@@ -129,10 +135,10 @@ impl Connection {
     ///
     /// Keys: `bloom_mode` (`none|post|cbo|naive`), `bloom_layout`
     /// (`standard|blocked`), `index_mode` (`off|zonemap|zonemap+bloom`),
-    /// `dop` (positive integer), `determinism` (`strict|fast`), `profile`
-    /// (`on|off`), `statement_timeout` (milliseconds, 0 = off) and
-    /// `memory_budget_rows` (buffered rows, 0 = off). The value `default`
-    /// resets a key to the engine default.
+    /// `dop` (positive integer), `determinism` (`strict|fast`), `semijoin`
+    /// (`off|auto`), `profile` (`on|off`), `statement_timeout`
+    /// (milliseconds, 0 = off) and `memory_budget_rows` (buffered rows,
+    /// 0 = off). The value `default` resets a key to the engine default.
     pub fn set(&mut self, key: &str, value: &str) -> Result<()> {
         let key = key.trim().to_ascii_lowercase();
         let value = value.trim().to_ascii_lowercase();
@@ -185,6 +191,7 @@ impl Connection {
             "determinism" => {
                 self.options.determinism = if reset { None } else { Some(value.parse()?) }
             }
+            "semijoin" => self.options.semijoin = if reset { None } else { Some(value.parse()?) },
             "profile" => {
                 self.options.profile = if reset {
                     None
@@ -225,8 +232,8 @@ impl Connection {
             other => {
                 return Err(BfqError::invalid(format!(
                     "unknown option `{other}` \
-                     (bloom_mode|bloom_layout|index_mode|dop|determinism|profile\
-                     |statement_timeout|memory_budget_rows)"
+                     (bloom_mode|bloom_layout|index_mode|dop|determinism|semijoin\
+                     |profile|statement_timeout|memory_budget_rows)"
                 )))
             }
         }

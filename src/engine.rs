@@ -27,7 +27,7 @@ use parking_lot::RwLock;
 
 use crate::connection::Connection;
 
-pub use bfq_core::{BloomLayout, BloomMode, Determinism};
+pub use bfq_core::{BloomLayout, BloomMode, Determinism, SemijoinMode};
 pub use bfq_index::IndexMode;
 pub use bfq_obs::{MetricsSnapshot, PhaseBreakdown, QueryProfile};
 
@@ -86,6 +86,12 @@ impl EngineConfig {
     /// Set the sink/exchange ordering contract (strict / fast).
     pub fn with_determinism(mut self, mode: Determinism) -> Self {
         self.optimizer.determinism = mode;
+        self
+    }
+
+    /// Set the semijoin-program rewrite mode (off / auto).
+    pub fn with_semijoin(mut self, mode: SemijoinMode) -> Self {
+        self.optimizer.semijoin = mode;
         self
     }
 

@@ -1,0 +1,324 @@
+//! Semijoin-program ↔ eager-oracle equivalence.
+//!
+//! Three guarantees for the Yannakakis-style semijoin programs the DP can
+//! now select (`semijoin=auto`, the default):
+//!
+//! 1. **Bit-identity on TPC-H.** With programs enabled, every supported
+//!    TPC-H query under every `IndexMode` at dop ∈ {1, 4, 16} returns the
+//!    exact same rows (and checksum) as the eager reference executor run
+//!    on the same plan. Programs are a *physical* rewrite: whichever lane
+//!    the DP picks, results must not move by a bit.
+//! 2. **Programs genuinely reduce work.** On a synthetic 5-way snowflake
+//!    engineered so the per-filter selectivity gate (H6) blocks every
+//!    per-join Bloom filter while the *product* of the program's reducers
+//!    is strong, the DP selects the program, results match `semijoin=off`
+//!    exactly, and the probe-pass scan of the fact table reads strictly
+//!    fewer rows than the filterless per-join plan.
+//! 3. **GYO never accepts cyclic graphs.** Property test: join graphs
+//!    containing a chordless cycle of length ≥ 3 on distinct attributes
+//!    (plus arbitrary acyclic attachments and arbitrary row counts) are
+//!    always rejected by `join_tree`.
+
+mod common;
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use bfq::catalog::Catalog;
+use bfq::common::DataType;
+use bfq::exec::execute_plan_opts;
+use bfq::plan::PhysicalNode;
+use bfq::prelude::*;
+use bfq::tpch;
+use common::rows_of;
+
+const SF: f64 = 0.005;
+const SEED: u64 = 20260731;
+
+fn exact_rows(chunk: &Chunk) -> Vec<Vec<Datum>> {
+    (0..chunk.rows()).map(|i| chunk.row(i)).collect()
+}
+
+/// Order-sensitive checksum over a result: every row's datums, rendered
+/// with float normalization, folded through one hasher.
+fn checksum(chunk: &Chunk) -> u64 {
+    let mut h = DefaultHasher::new();
+    for row in rows_of(chunk) {
+        row.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[test]
+fn tpch_semijoin_auto_is_bit_identical_to_eager_oracle() {
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let catalog = Arc::new(db.catalog);
+    for mode in IndexMode::ALL {
+        for dop in [1usize, 4, 16] {
+            let engine = Engine::over_catalog(
+                catalog.clone(),
+                EngineConfig::default()
+                    .with_bloom_mode(BloomMode::Cbo)
+                    .with_dop(dop)
+                    .with_index_mode(mode),
+            );
+            let conn = engine.connect();
+            for q in tpch::supported_queries() {
+                let sql = tpch::query_text(q, SF);
+                let run = conn
+                    .run_sql(&sql)
+                    .unwrap_or_else(|e| panic!("Q{q} [{mode} dop={dop}]: {e}"));
+                let eager = execute_plan_opts(&run.optimized.plan, catalog.clone(), dop, mode)
+                    .unwrap_or_else(|e| panic!("Q{q} [{mode} dop={dop}] eager: {e}"));
+                assert_eq!(
+                    exact_rows(&run.chunk),
+                    exact_rows(&eager.chunk),
+                    "Q{q} [{mode} dop={dop}]: semijoin=auto differs from eager oracle"
+                );
+                assert_eq!(
+                    checksum(&run.chunk),
+                    checksum(&eager.chunk),
+                    "Q{q} [{mode} dop={dop}]: checksum mismatch"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic snowflake where the program beats per-join filters.
+// ---------------------------------------------------------------------------
+
+const CHUNK: usize = 4096;
+
+fn int_table(cat: &mut Catalog, name: &str, cols: &[(&str, Vec<i64>)], unique: Vec<u32>) {
+    let schema = Arc::new(bfq::storage::Schema::new(
+        cols.iter()
+            .map(|(n, _)| bfq::storage::Field::new(*n, DataType::Int64))
+            .collect::<Vec<_>>(),
+    ));
+    let rows = cols[0].1.len();
+    let chunks = (0..rows)
+        .step_by(CHUNK)
+        .map(|lo| {
+            let hi = (lo + CHUNK).min(rows);
+            bfq::storage::Chunk::new(
+                cols.iter()
+                    .map(|(_, v)| Arc::new(bfq::storage::Column::Int64(v[lo..hi].to_vec(), None)))
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    cat.register(Table::new(name, schema, chunks).unwrap(), unique)
+        .unwrap();
+}
+
+/// Fact (600k rows) → two dimension chains, each dim (4k rows) → sub-dim
+/// (100 rows) carrying the predicate. Each chain's end-to-end selectivity
+/// is 0.7 — individually too weak for the per-filter 2/3 pass-fraction
+/// gate, so the per-join lane places no filters; the program composes both
+/// chains and roughly halves the fact scan.
+fn snowflake() -> Catalog {
+    let mut cat = Catalog::new();
+    let dim = 4_000i64;
+    let sub = 100i64;
+    let fact = 600_000i64;
+    int_table(
+        &mut cat,
+        "a2",
+        &[
+            ("a2key", (0..sub).collect()),
+            ("a2attr", (0..sub).map(|i| i % 10).collect()),
+        ],
+        vec![0],
+    );
+    int_table(
+        &mut cat,
+        "da",
+        &[
+            ("akey", (0..dim).collect()),
+            ("a2k", (0..dim).map(|i| i % sub).collect()),
+        ],
+        vec![0],
+    );
+    int_table(
+        &mut cat,
+        "b2",
+        &[
+            ("b2key", (0..sub).collect()),
+            ("b2attr", (0..sub).map(|i| i % 10).collect()),
+        ],
+        vec![0],
+    );
+    int_table(
+        &mut cat,
+        "db",
+        &[
+            ("bkey", (0..dim).collect()),
+            ("b2k", (0..dim).map(|i| i % sub).collect()),
+        ],
+        vec![0],
+    );
+    int_table(
+        &mut cat,
+        "fact",
+        &[
+            ("ak", (0..fact).map(|i| i % dim).collect()),
+            ("bk", (0..fact).map(|i| (i * 7 + 3) % dim).collect()),
+            ("val", (0..fact).map(|i| i % 1000).collect()),
+        ],
+        vec![],
+    );
+    cat
+}
+
+const SNOWFLAKE_SQL: &str = "select sum(f.val) from fact f, da, a2, db, b2 \
+                             where f.ak = da.akey and da.a2k = a2.a2key \
+                             and f.bk = db.bkey and db.b2k = b2.b2key \
+                             and a2.a2attr < 7 and b2.b2attr < 7";
+
+/// Sum of actual rows produced by scans of `base` anywhere in the plan
+/// (probe pass and reducer-pass schedule steps alike).
+fn scanned_rows(run: &QueryResult, base: bfq::common::TableId) -> u64 {
+    let mut total = 0u64;
+    run.optimized.plan.visit(&mut |node| {
+        if let PhysicalNode::Scan { base: b, .. } = &node.node {
+            if *b == base {
+                total += run.exec_stats.actual(node.id).unwrap_or(0);
+            }
+        }
+    });
+    total
+}
+
+#[test]
+fn snowflake_program_reduces_probe_rows_and_matches_off() {
+    let catalog = Arc::new(snowflake());
+    let fact_id = catalog.meta_by_name("fact").unwrap().id;
+    for mode in IndexMode::ALL {
+        for dop in [1usize, 4, 16] {
+            let engine = Engine::over_catalog(
+                catalog.clone(),
+                EngineConfig::default()
+                    .with_bloom_mode(BloomMode::Cbo)
+                    .with_dop(dop)
+                    .with_index_mode(mode),
+            );
+            let conn = engine.connect();
+            let auto = conn.run_sql(SNOWFLAKE_SQL).expect("semijoin=auto");
+            assert_eq!(
+                auto.optimized.stats.programs, 1,
+                "[{mode} dop={dop}] DP must select the semijoin program"
+            );
+            assert_eq!(
+                auto.optimized.stats.program_reducers, 4,
+                "[{mode} dop={dop}] one reducer per join-tree edge"
+            );
+
+            let mut off_conn = engine.connect();
+            off_conn.set("semijoin", "off").unwrap();
+            let off = off_conn.run_sql(SNOWFLAKE_SQL).expect("semijoin=off");
+            assert_eq!(off.optimized.stats.programs, 0);
+            assert_eq!(
+                off.optimized.stats.cbo_filters, 0,
+                "[{mode} dop={dop}] H6 must gate every per-join filter, \
+                 else the snowflake no longer isolates the program's win"
+            );
+
+            // Same answer, and bit-identical to the eager oracle on the
+            // program plan.
+            assert_eq!(rows_of(&auto.chunk), rows_of(&off.chunk));
+            assert_eq!(auto.chunk.row(0), vec![Datum::Int(149_340_000)]);
+            let eager = execute_plan_opts(&auto.optimized.plan, catalog.clone(), dop, mode)
+                .expect("eager oracle");
+            assert_eq!(exact_rows(&auto.chunk), exact_rows(&eager.chunk));
+
+            // The program's final reducers must strictly reduce the
+            // probe-pass fact scan versus the filterless per-join plan.
+            let auto_fact = scanned_rows(&auto, fact_id);
+            let off_fact = scanned_rows(&off, fact_id);
+            assert!(
+                auto_fact < off_fact,
+                "[{mode} dop={dop}] program scanned {auto_fact} fact rows, \
+                 per-join plan {off_fact}: no reduction"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GYO rejects cyclic join graphs.
+// ---------------------------------------------------------------------------
+
+mod gyo {
+    use bfq::common::{ColumnId, TableId};
+    use bfq::core::join_tree;
+    use bfq::plan::block::FIRST_VIRTUAL_TABLE;
+    use bfq::plan::{BaseRel, EquiClause, QueryBlock, RelKind, RelSource};
+    use proptest::prelude::*;
+
+    /// A block of `n` inner base-table rels joined by the given clauses
+    /// (`(left_rel, left_col, right_rel, right_col)`).
+    fn block(n: usize, clauses: &[(usize, u32, usize, u32)]) -> QueryBlock {
+        let rels = (0..n)
+            .map(|i| BaseRel {
+                ordinal: i,
+                rel_id: TableId(FIRST_VIRTUAL_TABLE + i as u32),
+                source: RelSource::Table(TableId(i as u32)),
+                alias: format!("t{i}"),
+                kind: RelKind::Inner,
+                local_preds: vec![],
+            })
+            .collect();
+        let equi_clauses = clauses
+            .iter()
+            .map(|&(lr, li, rr, ri)| EquiClause {
+                left: ColumnId::new(TableId(FIRST_VIRTUAL_TABLE + lr as u32), li),
+                right: ColumnId::new(TableId(FIRST_VIRTUAL_TABLE + rr as u32), ri),
+                left_rel: lr,
+                right_rel: rr,
+            })
+            .collect();
+        QueryBlock {
+            rels,
+            equi_clauses,
+            complex_preds: vec![],
+        }
+    }
+
+    proptest! {
+        /// A chordless cycle of length ≥ 3 on pairwise-distinct attributes
+        /// is cyclic no matter how many acyclic ears hang off it and no
+        /// matter the row counts biasing ear-removal order.
+        #[test]
+        fn join_tree_rejects_cyclic_graphs(
+            cycle_len in 3usize..=6,
+            extras in proptest::collection::vec(any::<usize>(), 0..=3),
+            rows in proptest::collection::vec(1.0f64..1e7, 9),
+        ) {
+            let n = cycle_len + extras.len();
+            let mut clauses = Vec::new();
+            // The cycle: rel i's col 1 joins rel i+1's col 0. Distinct
+            // (rel, col) pairs per edge, so no attribute sharing can
+            // dissolve the cycle (unlike the shared-attribute star).
+            for i in 0..cycle_len {
+                clauses.push((i, 1u32, (i + 1) % cycle_len, 0u32));
+            }
+            // Acyclic attachments: each extra rel hangs off an earlier rel
+            // on a fresh column — valid ears GYO will strip, exposing the
+            // irreducible cycle underneath.
+            for (j, pick) in extras.iter().enumerate() {
+                let leaf = cycle_len + j;
+                let parent = pick % leaf;
+                clauses.push((parent, 2 + j as u32, leaf, 0u32));
+            }
+            let b = block(n, &clauses);
+            prop_assert!(
+                join_tree(&b, &rows[..n]).is_none(),
+                "GYO accepted a cyclic join graph ({n} rels)"
+            );
+        }
+    }
+}
