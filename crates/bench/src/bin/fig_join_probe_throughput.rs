@@ -1,0 +1,279 @@
+//! **E13 — Hash-join probe throughput: the seed's chained-map table vs the
+//! flat open-addressing table with batched probe kernels.**
+//!
+//! Two series at three build sizes (64 KiB cache-resident, 1 MiB L2-edge,
+//! 16 MiB beyond L2; 8-byte keys), each under two duplicate distributions:
+//!
+//! * **chained / row-at-a-time** — the seed path this PR replaces:
+//!   `HashMap<u64, Vec<u32>>` (one heap `Vec` per distinct key, SipHash
+//!   re-hash of the already-hashed key on every lookup), per-row candidate
+//!   scan and scalar `rows_match` verification;
+//! * **flat / batched** — the power-of-two `(hash, head)` directory with
+//!   linear probing and a contiguous chain arena: one columnar
+//!   `hash_keys_into` pass, a branch-free directory lookup over the hash
+//!   column, in-order chain expansion, then typed columnar key
+//!   verification — all through one reused `MorselScratch`.
+//!
+//! Skews: **low** (all build keys distinct — the high-cardinality case the
+//! acceptance bar gates at ≥ 1.5x) and **high** (16 rows per key, so
+//! probing is chain-walk-bound and both paths touch the same duplicates).
+//!
+//! Both paths must emit the *identical* (probe, build) pair sequence; the
+//! pair-sequence checksum is asserted in-process and gated exactly in CI.
+//! Part two runs the join-heaviest TPC-H queries (Q5, Q9, Q18) end to end
+//! under both `bloom_layout` settings; results must be identical.
+//!
+//! With `--json`, pair counts, pair checksums and the ≥ 1.5x acceptance
+//! bit gate in CI; `*_ms` timings and speedup ratios trend only.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bfq_bench::harness::{measure_tpch, result_checksum, BenchEnv, JsonReport};
+use bfq_bloom::BloomLayout;
+use bfq_core::BloomMode;
+use bfq_exec::join::{BuildTable, ChainedTable};
+use bfq_exec::util::{hash_keys_into, keys_null, rows_match, MorselScratch, JOIN_SEED};
+use bfq_storage::{Chunk, Column};
+
+const CHUNK_ROWS: usize = 8192;
+
+fn int_chunk(vals: Vec<i64>) -> Chunk {
+    Chunk::new(vec![Arc::new(Column::Int64(vals, None))]).unwrap()
+}
+
+/// Probe chunks alternating member / guaranteed-miss keys over a key
+/// domain of `n_keys`.
+fn probe_chunks(n_keys: i64, total_probes: usize) -> Vec<Chunk> {
+    (0..total_probes / CHUNK_ROWS)
+        .map(|c| {
+            int_chunk(
+                (0..CHUNK_ROWS as i64)
+                    .map(|i| {
+                        let g = c as i64 * CHUNK_ROWS as i64 + i;
+                        if g % 2 == 0 {
+                            (g / 2) % n_keys // member
+                        } else {
+                            n_keys + g // guaranteed miss
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Order-sensitive FNV-style fold over the emitted (probe, build) pairs —
+/// both paths must produce the same value bit for bit.
+#[inline]
+fn fold_pair(cs: u64, p: u32, b: u32) -> u64 {
+    (cs ^ ((p as u64) << 32 | b as u64)).wrapping_mul(0x100_0000_01b3)
+}
+
+/// The seed's probe path: per-row map lookup + scalar key verification.
+/// Returns (pairs, checksum, ms).
+fn run_chained(table: &ChainedTable, chunks: &[Chunk], repeats: usize) -> (u64, u64, f64) {
+    let (mut pairs, mut checksum) = (0u64, 0u64);
+    let mut hashes = Vec::new();
+    let mut tmp = Vec::new();
+    let start = Instant::now();
+    for _ in 0..repeats {
+        pairs = 0;
+        checksum = 0;
+        for chunk in chunks {
+            hash_keys_into(chunk, &[0], JOIN_SEED, &mut tmp, &mut hashes);
+            for (i, &hash) in hashes.iter().enumerate() {
+                if keys_null(chunk, &[0], i) {
+                    continue;
+                }
+                for &bi in table.candidates(hash) {
+                    if rows_match(chunk, &[0], i, &table.chunk, &table.key_slots, bi as usize) {
+                        pairs += 1;
+                        checksum = fold_pair(checksum, i as u32, bi);
+                    }
+                }
+            }
+        }
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / repeats as f64;
+    (pairs, checksum, ms)
+}
+
+/// The batched path: directory lookup + chain expansion + columnar
+/// verification through one reused scratch. Returns (pairs, checksum, ms).
+fn run_flat(table: &BuildTable, chunks: &[Chunk], repeats: usize) -> (u64, u64, f64) {
+    let mut scratch = MorselScratch::new();
+    let (mut pairs, mut checksum) = (0u64, 0u64);
+    // Warm-up pass sizes the scratch and faults the directory in.
+    probe_once(table, chunks, &mut scratch);
+    let start = Instant::now();
+    for _ in 0..repeats {
+        pairs = 0;
+        checksum = 0;
+        for chunk in chunks {
+            hash_keys_into(
+                chunk,
+                &[0],
+                JOIN_SEED,
+                &mut scratch.join_tmp,
+                &mut scratch.join_hash,
+            );
+            table.lookup_heads(
+                &scratch.join_hash,
+                &mut scratch.join_heads,
+                &mut scratch.join_pending,
+            );
+            scratch.pair_probe.clear();
+            scratch.pair_build.clear();
+            table.expand_pairs(
+                &scratch.join_heads,
+                &mut scratch.pair_probe,
+                &mut scratch.pair_build,
+            );
+            bfq_exec::join::verify_pairs(
+                chunk,
+                &[0],
+                &table.chunk,
+                &table.key_slots,
+                &mut scratch.pair_probe,
+                &mut scratch.pair_build,
+            );
+            pairs += scratch.pair_probe.len() as u64;
+            for (&p, &b) in scratch.pair_probe.iter().zip(&scratch.pair_build) {
+                checksum = fold_pair(checksum, p, b);
+            }
+        }
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / repeats as f64;
+    (pairs, checksum, ms)
+}
+
+fn probe_once(table: &BuildTable, chunks: &[Chunk], scratch: &mut MorselScratch) {
+    for chunk in chunks {
+        hash_keys_into(
+            chunk,
+            &[0],
+            JOIN_SEED,
+            &mut scratch.join_tmp,
+            &mut scratch.join_hash,
+        );
+        table.lookup_heads(
+            &scratch.join_hash,
+            &mut scratch.join_heads,
+            &mut scratch.join_pending,
+        );
+        scratch.pair_probe.clear();
+        scratch.pair_build.clear();
+        table.expand_pairs(
+            &scratch.join_heads,
+            &mut scratch.pair_probe,
+            &mut scratch.pair_build,
+        );
+    }
+}
+
+fn main() {
+    let env = BenchEnv::load();
+    let mut json = JsonReport::from_args("fig_join_probe_throughput");
+    json.add("sf", env.sf);
+
+    println!("# Join probe throughput — chained map (seed) vs flat directory (batched)");
+    println!(
+        "\n{:<8} {:<6} {:>10} {:>12} {:>12} {:>9}",
+        "build", "skew", "rows", "chain Mp/s", "flat Mp/s", "flat/ch"
+    );
+
+    // ≥ 1.5x on the high-cardinality (low-skew) microbench is the
+    // acceptance bar; track the worst low-skew ratio across sizes.
+    let mut min_lowskew_speedup = f64::INFINITY;
+    for (label, build_rows) in [
+        ("64kib", 1usize << 13),
+        ("1mib", 1 << 17),
+        ("16mib", 1 << 21),
+    ] {
+        for (skew, dup) in [("low", 1usize), ("high", 16)] {
+            let n_keys = (build_rows / dup).max(1);
+            let build_vals: Vec<i64> = (0..build_rows as i64).map(|i| i % n_keys as i64).collect();
+            let total_probes = if dup == 1 { 1 << 21 } else { 1 << 19 };
+            let chunks = probe_chunks(n_keys as i64, total_probes);
+            let repeats = if build_rows >= 1 << 21 { 2 } else { 4 };
+
+            let flat =
+                BuildTable::build_with_ndv(int_chunk(build_vals.clone()), vec![0], Some(n_keys));
+            let chained = ChainedTable::build(int_chunk(build_vals), vec![0]);
+            let (cp, ccs, cms) = run_chained(&chained, &chunks, repeats);
+            let (fp, fcs, fms) = run_flat(&flat, &chunks, repeats);
+            assert_eq!(cp, fp, "{label}/{skew}: pair counts diverge");
+            assert_eq!(ccs, fcs, "{label}/{skew}: pair sequences diverge");
+            // Half the probes are members; each matches `dup` build rows.
+            assert_eq!(
+                cp,
+                (total_probes / 2 * dup) as u64,
+                "{label}/{skew}: workload drifted"
+            );
+
+            let speedup = cms / fms;
+            if dup == 1 {
+                min_lowskew_speedup = min_lowskew_speedup.min(speedup);
+            }
+            let tag = format!("{label}_{skew}");
+            json.add(&format!("{tag}_chained_ms"), cms);
+            json.add(&format!("{tag}_flat_ms"), fms);
+            json.add(&format!("{tag}_speedup_ms"), speedup);
+            // Deterministic for the fixed workload: gate exactly.
+            json.add(&format!("{tag}_pairs_checksum"), cp as f64);
+            println!(
+                "{:<8} {:<6} {:>10} {:>12.1} {:>12.1} {:>8.2}x",
+                label,
+                skew,
+                build_rows,
+                total_probes as f64 / 1e3 / cms,
+                total_probes as f64 / 1e3 / fms,
+                speedup
+            );
+        }
+    }
+    // The acceptance gate: 1 iff every high-cardinality size cleared 1.5x.
+    json.add(
+        "flat_beats_chained_1p5x",
+        if min_lowskew_speedup >= 1.5 { 1.0 } else { 0.0 },
+    );
+    println!("\nworst high-cardinality speedup: {min_lowskew_speedup:.2}x (gate: >= 1.5x)");
+
+    // End-to-end: the join-heaviest TPC-H queries under both layouts.
+    let catalog = env.load_db();
+    println!(
+        "\n{:<6} {:>14} {:>14} {:>9} {:>12}",
+        "query", "standard_ms", "blocked_ms", "delta", "identical"
+    );
+    for q in [5usize, 9, 18] {
+        let mut times = Vec::new();
+        let mut checksums = Vec::new();
+        for layout in BloomLayout::ALL {
+            let mut layout_env = env.clone();
+            layout_env.bloom_layout = layout;
+            let m = measure_tpch(&catalog, &layout_env, q, BloomMode::Cbo)
+                .unwrap_or_else(|e| panic!("Q{q} [{layout}]: {e}"));
+            times.push(m.exec_ms);
+            checksums.push(result_checksum(&m.chunk));
+            json.add(&format!("q{q}_{}_ms", layout.label()), m.exec_ms);
+        }
+        assert_eq!(
+            checksums[0], checksums[1],
+            "Q{q}: layouts must produce identical results"
+        );
+        json.add(&format!("q{q}_checksum"), checksums[0] as f64);
+        println!(
+            "Q{:<5} {:>14.2} {:>14.2} {:>8.1}% {:>12}",
+            q,
+            times[0],
+            times[1],
+            (times[0] - times[1]) / times[0] * 100.0,
+            "yes"
+        );
+    }
+
+    if let Some(path) = json.finish().expect("write json report") {
+        eprintln!("\n# wrote {path}");
+    }
+}

@@ -29,7 +29,7 @@ pub struct BenchEnv {
     /// `zonemap+bloom`; default `zonemap+bloom`).
     pub index_mode: IndexMode,
     /// Bloom filter bit-placement layout (`BFQ_BLOOM_LAYOUT`: `standard` |
-    /// `blocked`; default `standard`).
+    /// `blocked`; default `blocked`).
     pub bloom_layout: BloomLayout,
 }
 

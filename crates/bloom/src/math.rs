@@ -21,12 +21,17 @@ pub const BLOCK_BITS: usize = 512;
 ///   split-block filter). Block-local collisions raise the FPR slightly;
 ///   [`blocked_fpr`] quantifies the correction so the cost model stays
 ///   honest about the layout it runs.
+///
+/// `Blocked` is the default: with the probe path bandwidth-shaped, the
+/// one-miss-per-probe layout wins end to end and the estimator's FPR math
+/// follows it. `Standard` stays selectable (`SET bloom_layout = standard`)
+/// and remains the equivalence-test oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BloomLayout {
     /// Uniform bit placement over the whole array.
-    #[default]
     Standard,
     /// Cache-line-blocked placement: one block, one miss per probe.
+    #[default]
     Blocked,
 }
 
@@ -220,6 +225,6 @@ mod tests {
             assert_eq!(layout.label().parse::<BloomLayout>(), Ok(layout));
         }
         assert!("nope".parse::<BloomLayout>().is_err());
-        assert_eq!(BloomLayout::default(), BloomLayout::Standard);
+        assert_eq!(BloomLayout::default(), BloomLayout::Blocked);
     }
 }

@@ -411,7 +411,8 @@ mod tests {
         let table = Table::new("t", schema, chunks).unwrap();
 
         let mut cat = Catalog::new();
-        assert_eq!(cat.index_bloom_layout(), BloomLayout::Standard);
+        assert_eq!(cat.index_bloom_layout(), BloomLayout::default());
+        cat.set_index_bloom_layout(BloomLayout::Standard);
         let id = cat.register(table, vec![0]).unwrap();
         let version_before = cat.version();
         let col = ColumnId::new(id, 0);

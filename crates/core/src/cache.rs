@@ -276,7 +276,7 @@ mod tests {
         };
         assert_ne!(a.cache_fingerprint(), c.cache_fingerprint());
         let d = OptimizerConfig {
-            bloom_layout: crate::BloomLayout::Blocked,
+            bloom_layout: crate::BloomLayout::Standard,
             ..Default::default()
         };
         assert_ne!(a.cache_fingerprint(), d.cache_fingerprint());

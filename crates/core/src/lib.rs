@@ -155,11 +155,11 @@ pub struct OptimizerConfig {
     /// data skipping feeds back into plan choice. Off / zone maps only /
     /// zone maps + chunk Bloom probes.
     pub index_mode: IndexMode,
-    /// Bit-placement layout for runtime Bloom filters: `standard` (uniform
-    /// bits, two cache misses per probe — the equivalence oracle) or
-    /// `blocked` (both bits in one 64-byte block, one miss per probe). The
-    /// estimator's FPR math follows the layout, and the knob participates
-    /// in the plan-cache fingerprint.
+    /// Bit-placement layout for runtime Bloom filters: `blocked` (both
+    /// bits in one 64-byte block, one miss per probe — the default) or
+    /// `standard` (uniform bits, two cache misses per probe — kept as the
+    /// equivalence oracle). The estimator's FPR math follows the layout,
+    /// and the knob participates in the plan-cache fingerprint.
     pub bloom_layout: BloomLayout,
     /// How much ordering the executor's sinks and exchanges preserve:
     /// `strict` (bit-identical to the eager executor, the default and the

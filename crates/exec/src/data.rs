@@ -237,6 +237,13 @@ pub struct ExecStats {
     /// Nanoseconds spent building runtime filters (attributed to the
     /// owning hash join's profile as well).
     filter_build_ns: AtomicU64,
+    /// Candidate (probe, build) pairs emitted by the flat join table's
+    /// directory lookup + chain expansion, before key verification.
+    join_probe_candidates: AtomicU64,
+    /// Candidate pairs surviving exact key verification. The gap to
+    /// `join_probe_candidates` is pure hash-collision overhead in the
+    /// join-table directory.
+    join_probe_verified: AtomicU64,
 }
 
 impl ExecStats {
@@ -395,6 +402,29 @@ impl ExecStats {
     /// Nanoseconds spent building runtime filters.
     pub fn filter_build_ns(&self) -> u64 {
         self.filter_build_ns.load(Ordering::Relaxed)
+    }
+
+    /// Record a batch of join-probe counter deltas (candidate pairs seen,
+    /// pairs surviving key verification). Called at scratch seal points.
+    pub fn note_join_probe(&self, candidates: u64, verified: u64) {
+        if candidates > 0 {
+            self.join_probe_candidates
+                .fetch_add(candidates, Ordering::Relaxed);
+        }
+        if verified > 0 {
+            self.join_probe_verified
+                .fetch_add(verified, Ordering::Relaxed);
+        }
+    }
+
+    /// Total candidate (probe, build) pairs emitted by join-table lookups.
+    pub fn join_probe_candidates(&self) -> u64 {
+        self.join_probe_candidates.load(Ordering::Relaxed)
+    }
+
+    /// Total candidate pairs surviving exact key verification.
+    pub fn join_probe_verified(&self) -> u64 {
+        self.join_probe_verified.load(Ordering::Relaxed)
     }
 }
 

@@ -294,6 +294,7 @@ pub fn execute(plan: &Arc<PhysicalPlan>, ctx: &ExecContext) -> Result<Partitione
                 extra,
                 &joined_layout,
                 &sealed.inner_types,
+                &ctx.stats,
             )?
         }
         PhysicalNode::MergeJoin {
@@ -491,11 +492,38 @@ pub(crate) fn seal_build_side(
     let inner_replicated = inner.distribution == Distribution::Replicated;
     let rows = inner_data.total_rows() as u64;
 
-    // Concatenate per partition and index.
+    // Concatenate per partition and index. The flat table's directory is
+    // sized from the planner's distinct-key estimate: the Bloom builds'
+    // `expected_ndv` when present (it estimates NDV of the build keys),
+    // else the build side's row estimate. Partition-hashed sides split
+    // their distinct keys across partitions; replicated sides don't.
     let n_parts = inner_data.num_partitions();
+    let planned_ndv = builds
+        .iter()
+        .map(|b| b.expected_ndv)
+        .fold(f64::NAN, f64::max);
+    let ndv_estimate = if planned_ndv.is_finite() && planned_ndv >= 1.0 {
+        planned_ndv
+    } else {
+        inner.est_rows
+    };
+    let per_part_ndv = if inner_replicated {
+        ndv_estimate
+    } else {
+        ndv_estimate / n_parts.max(1) as f64
+    };
+    let ndv_hint = if per_part_ndv.is_finite() && per_part_ndv >= 1.0 {
+        Some(per_part_ndv.ceil() as usize)
+    } else {
+        None
+    };
     let tables: Vec<BuildTable> = par_map(n_parts, |p| {
         let chunk = inner_data.partition_chunk(p)?;
-        Ok(BuildTable::build(chunk, inner_slots.clone()))
+        Ok(BuildTable::build_with_ndv(
+            chunk,
+            inner_slots.clone(),
+            ndv_hint,
+        ))
     })?;
 
     // Build and publish planned Bloom filters.

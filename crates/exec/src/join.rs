@@ -1,5 +1,21 @@
 //! Join execution: hash join (with Bloom filter builds), sort-merge join,
 //! nested-loop join.
+//!
+//! The hash-join build side is a *flat open-addressing table*
+//! ([`BuildTable`]): a power-of-two directory of `(hash, head)` slots with
+//! linear probing plus one contiguous row-index arena for duplicate chains —
+//! no per-key `Vec` allocations, sized up front from the planner's
+//! distinct-key estimate (or the exact deduplicated count for small builds).
+//! Probing is fully batched: one columnar [`hash_keys_into`] pass, a
+//! branch-free directory lookup over the hash column, in-order chain
+//! expansion into candidate `(probe, build)` pairs, then a columnar typed
+//! key-verification kernel that compacts the pair selection vectors in
+//! place. All buffers come from the worker's [`MorselScratch`], so
+//! steady-state probing allocates nothing.
+//!
+//! [`ChainedTable`] keeps the seed's `HashMap<u64, Vec<u32>>` design as the
+//! scalar oracle for equivalence tests and the `fig_join_probe_throughput`
+//! bench comparison.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -12,11 +28,264 @@ use bfq_storage::{Chunk, Column};
 use crate::data::PartitionedData;
 use crate::parallel::par_map;
 use crate::util::{
-    col_cmp, hash_keys, hash_keys_into, keys_null, rows_match, MorselScratch, JOIN_SEED,
+    col_cmp, col_eq, hash_keys, hash_keys_into, keys_null, rows_match, MorselScratch, JOIN_SEED,
 };
 
-/// A hash table over one build partition.
+/// Sentinel for "no row": empty directory slots and chain ends.
+const NONE: u32 = u32::MAX;
+
+/// Builds at most this many rows get an exact distinct-hash pre-count
+/// (mirroring the Bloom build's exact key dedup for small sides), so the
+/// directory is sized by deduplicated keys rather than raw rows.
+const EXACT_NDV_ROWS: usize = 4096;
+
+/// Empty directory slots keep hash 0; real hashes are remapped off 0 by
+/// [`norm_hash`], so a slot-hash comparison alone distinguishes occupied
+/// slots — the probe loop never reads a separate occupancy flag.
+#[inline]
+fn norm_hash(h: u64) -> u64 {
+    h | (h == 0) as u64
+}
+
+/// A flat open-addressing hash table over one build partition.
+///
+/// Layout: `dir_hash`/`dir_head` form a power-of-two directory probed
+/// linearly; `next` is the duplicate-chain arena (one `u32` per build row).
+/// Rows sharing a 64-bit key hash chain under one slot in ascending
+/// build-row order; exact-key verification happens in the probe kernel, so
+/// hash collisions only cost candidates, never correctness.
 pub struct BuildTable {
+    /// All build rows of the partition as one chunk.
+    pub chunk: Chunk,
+    /// Key-column slots within the build layout.
+    pub key_slots: Vec<usize>,
+    /// Directory slot key hashes (0 = empty, see [`norm_hash`]).
+    dir_hash: Vec<u64>,
+    /// Directory slot chain heads ([`NONE`] = empty).
+    dir_head: Vec<u32>,
+    /// `dir_hash.len() - 1` (power-of-two directory).
+    mask: u64,
+    /// Duplicate-chain links: `next[row]` = next build row with the same
+    /// hash, [`NONE`] at chain end.
+    next: Vec<u32>,
+    /// Indexed (non-null-key) rows.
+    len: usize,
+    /// Occupied directory slots (distinct key hashes).
+    distinct: usize,
+}
+
+impl BuildTable {
+    /// Build over a partition's concatenated rows (null keys excluded),
+    /// growing the directory on demand from a small seed size.
+    pub fn build(chunk: Chunk, key_slots: Vec<usize>) -> BuildTable {
+        BuildTable::build_with_ndv(chunk, key_slots, None)
+    }
+
+    /// Build with a planner distinct-key hint sizing the directory up
+    /// front. Small builds ignore the hint and size by the *exact*
+    /// deduplicated hash count; the hint is clamped to the row count, so a
+    /// heavily duplicated build never allocates a rows-sized directory the
+    /// way the seed's `HashMap::with_capacity(chunk.rows())` did.
+    pub fn build_with_ndv(
+        chunk: Chunk,
+        key_slots: Vec<usize>,
+        ndv_hint: Option<usize>,
+    ) -> BuildTable {
+        let rows = chunk.rows();
+        let hashes = hash_keys(&chunk, &key_slots, JOIN_SEED);
+        let keys_may_be_null = key_slots
+            .iter()
+            .any(|&s| chunk.column(s).validity().is_some());
+        let ndv = if rows <= EXACT_NDV_ROWS {
+            // Exact dedup: sort a copy of the (non-null) row hashes.
+            let mut sorted: Vec<u64> = (0..rows)
+                .filter(|&i| !keys_may_be_null || !keys_null(&chunk, &key_slots, i))
+                .map(|i| hashes[i])
+                .collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.len()
+        } else {
+            // Planner hint (never more distinct keys than rows), or a
+            // modest seed the insert loop doubles from.
+            ndv_hint.unwrap_or(rows / 4).min(rows)
+        };
+        // Directory load factor ≤ 1/2: two slots per expected distinct key.
+        let slots = (ndv * 2).next_power_of_two().max(16);
+        let mut table = BuildTable {
+            chunk,
+            key_slots,
+            dir_hash: vec![0; slots],
+            dir_head: vec![NONE; slots],
+            mask: (slots - 1) as u64,
+            next: vec![NONE; rows],
+            len: 0,
+            distinct: 0,
+        };
+        // Reverse insertion order: chains are built head-first, so walking
+        // `head, next[head], …` at probe time yields ascending build-row
+        // order — the same candidate order the seed's chained map emitted.
+        for i in (0..rows).rev() {
+            if keys_may_be_null && keys_null(&table.chunk, &table.key_slots, i) {
+                continue;
+            }
+            table.insert(norm_hash(hashes[i]), i as u32);
+        }
+        table
+    }
+
+    /// Insert one row under its (normalized) hash.
+    fn insert(&mut self, h: u64, row: u32) {
+        if (self.distinct + 1) * 2 > self.dir_head.len() {
+            self.grow();
+        }
+        let mut slot = (h & self.mask) as usize;
+        loop {
+            if self.dir_hash[slot] == h {
+                // Existing chain: push in front of the current head.
+                self.next[row as usize] = self.dir_head[slot];
+                self.dir_head[slot] = row;
+                break;
+            }
+            if self.dir_head[slot] == NONE {
+                self.dir_hash[slot] = h;
+                self.dir_head[slot] = row;
+                self.distinct += 1;
+                break;
+            }
+            slot = (slot + 1) as u64 as usize & self.mask as usize;
+        }
+        self.len += 1;
+    }
+
+    /// Double the directory, re-placing occupied `(hash, head)` slots.
+    /// Chains live in the arena and move with their head.
+    fn grow(&mut self) {
+        let slots = (self.dir_head.len() * 2).max(16);
+        let old_hash = std::mem::replace(&mut self.dir_hash, vec![0; slots]);
+        let old_head = std::mem::replace(&mut self.dir_head, vec![NONE; slots]);
+        self.mask = (slots - 1) as u64;
+        for (h, head) in old_hash.into_iter().zip(old_head) {
+            if head == NONE {
+                continue;
+            }
+            let mut slot = (h & self.mask) as usize;
+            while self.dir_head[slot] != NONE {
+                slot = (slot + 1) & self.mask as usize;
+            }
+            self.dir_hash[slot] = h;
+            self.dir_head[slot] = head;
+        }
+    }
+
+    /// Batched directory lookup: for each probe hash, the matching chain
+    /// head (or `u32::MAX` = no match). The first probe is a branch-free pass over the
+    /// hash column — at ≤ 1/2 load almost every lookup settles there —
+    /// with rows whose first slot holds a *different* key compacted into
+    /// `pending` and resolved by a scalar linear-probe pass.
+    pub fn lookup_heads(&self, hashes: &[u64], heads: &mut Vec<u32>, pending: &mut Vec<u32>) {
+        let n = hashes.len();
+        heads.clear();
+        heads.resize(n, NONE);
+        if self.len == 0 {
+            return;
+        }
+        pending.clear();
+        pending.resize(n, 0);
+        let mask = self.mask;
+        let mut np = 0usize;
+        for (i, &h0) in hashes.iter().enumerate() {
+            let h = norm_hash(h0);
+            let slot = (h & mask) as usize;
+            // Empty slots hold hash 0 and norm_hash never returns 0, so
+            // one comparison covers both "hit" and "empty ⇒ miss".
+            let hit = self.dir_hash[slot] == h;
+            let occupied = self.dir_head[slot] != NONE;
+            heads[i] = if hit { self.dir_head[slot] } else { NONE };
+            pending[np] = i as u32;
+            np += (occupied & !hit) as usize;
+        }
+        // Continue the rare collided lookups past their first slot.
+        for &pi in &pending[..np] {
+            let h = norm_hash(hashes[pi as usize]);
+            let mut slot = ((h & mask) as usize + 1) & mask as usize;
+            loop {
+                if self.dir_hash[slot] == h {
+                    heads[pi as usize] = self.dir_head[slot];
+                    break;
+                }
+                if self.dir_head[slot] == NONE {
+                    break;
+                }
+                slot = (slot + 1) & mask as usize;
+            }
+        }
+    }
+
+    /// Expand chain heads into candidate `(probe, build)` pairs, in probe
+    /// order with each chain in ascending build-row order — exactly the
+    /// pair sequence the seed's per-row candidate scan produced.
+    pub fn expand_pairs(&self, heads: &[u32], probe_sel: &mut Vec<u32>, build_sel: &mut Vec<u32>) {
+        for (i, &head) in heads.iter().enumerate() {
+            let mut b = head;
+            while b != NONE {
+                probe_sel.push(i as u32);
+                build_sel.push(b);
+                b = self.next[b as usize];
+            }
+        }
+    }
+
+    /// Candidate build rows for one probe hash (scalar path for tests and
+    /// oracles; production probing uses [`BuildTable::lookup_heads`]).
+    pub fn candidates_scalar(&self, hash: u64, out: &mut Vec<u32>) {
+        out.clear();
+        if self.len == 0 {
+            return;
+        }
+        let h = norm_hash(hash);
+        let mut slot = (h & self.mask) as usize;
+        loop {
+            if self.dir_hash[slot] == h {
+                let mut b = self.dir_head[slot];
+                while b != NONE {
+                    out.push(b);
+                    b = self.next[b as usize];
+                }
+                return;
+            }
+            if self.dir_head[slot] == NONE {
+                return;
+            }
+            slot = (slot + 1) & self.mask as usize;
+        }
+    }
+
+    /// Number of indexed (non-null-key) rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table indexes no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Occupied directory slots — the number of distinct key hashes.
+    pub fn distinct_hashes(&self) -> usize {
+        self.distinct
+    }
+
+    /// Directory slots allocated (capacity; a power of two).
+    pub fn directory_slots(&self) -> usize {
+        self.dir_head.len()
+    }
+}
+
+/// The seed's chained-map join table (`HashMap<u64, Vec<u32>>` with a
+/// per-key `Vec` allocation), retained as the scalar oracle for the flat
+/// table's property tests and the `fig_join_probe_throughput` comparison.
+pub struct ChainedTable {
     /// All build rows of the partition as one chunk.
     pub chunk: Chunk,
     /// Key-column slots within the build layout.
@@ -24,9 +293,9 @@ pub struct BuildTable {
     index: HashMap<u64, Vec<u32>>,
 }
 
-impl BuildTable {
+impl ChainedTable {
     /// Build over a partition's concatenated rows (null keys excluded).
-    pub fn build(chunk: Chunk, key_slots: Vec<usize>) -> BuildTable {
+    pub fn build(chunk: Chunk, key_slots: Vec<usize>) -> ChainedTable {
         let hashes = hash_keys(&chunk, &key_slots, JOIN_SEED);
         let mut index: HashMap<u64, Vec<u32>> = HashMap::with_capacity(chunk.rows());
         for (i, h) in hashes.iter().enumerate() {
@@ -34,7 +303,7 @@ impl BuildTable {
                 index.entry(*h).or_default().push(i as u32);
             }
         }
-        BuildTable {
+        ChainedTable {
             chunk,
             key_slots,
             index,
@@ -42,7 +311,7 @@ impl BuildTable {
     }
 
     /// Candidate build rows for a probe hash.
-    fn candidates(&self, hash: u64) -> &[u32] {
+    pub fn candidates(&self, hash: u64) -> &[u32] {
         self.index.get(&hash).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
@@ -57,6 +326,69 @@ impl BuildTable {
     }
 }
 
+/// Columnar key verification: compact the candidate pair vectors down to
+/// the pairs whose key columns are exactly equal (hash-collision recheck,
+/// NULL never equal). One typed pass per key column; each pass is a simple
+/// indexable loop with a branch-free ascending in-place compaction, so the
+/// overwrite never clobbers a live slot and LLVM can vectorize the
+/// null-free fast paths.
+pub fn verify_pairs(
+    probe: &Chunk,
+    probe_slots: &[usize],
+    build: &Chunk,
+    build_slots: &[usize],
+    probe_sel: &mut Vec<u32>,
+    build_sel: &mut Vec<u32>,
+) {
+    for (&ps, &bs) in probe_slots.iter().zip(build_slots) {
+        if probe_sel.is_empty() {
+            return;
+        }
+        let pc: &Column = probe.column(ps);
+        let bc: &Column = build.column(bs);
+        match (pc, bc) {
+            (Column::Int64(x, None), Column::Int64(y, None)) => {
+                compact_pairs(probe_sel, build_sel, |p, b| x[p] == y[b]);
+            }
+            (Column::Date(x, None), Column::Date(y, None)) => {
+                compact_pairs(probe_sel, build_sel, |p, b| x[p] == y[b]);
+            }
+            (Column::Int64(x, None), Column::Date(y, None)) => {
+                compact_pairs(probe_sel, build_sel, |p, b| x[p] == y[b] as i64);
+            }
+            (Column::Date(x, None), Column::Int64(y, None)) => {
+                compact_pairs(probe_sel, build_sel, |p, b| x[p] as i64 == y[b]);
+            }
+            (Column::Float64(x, None), Column::Float64(y, None)) => {
+                compact_pairs(probe_sel, build_sel, |p, b| x[p] == y[b]);
+            }
+            // Nullable or string/bool keys: the general typed compare.
+            _ => compact_pairs(probe_sel, build_sel, |p, b| col_eq(pc, p, bc, b)),
+        }
+    }
+}
+
+/// Keep the pairs `keep(probe_row, build_row)` accepts, compacting both
+/// selection vectors in place. `k ≤ j` throughout, so writes never clobber
+/// an unread slot.
+#[inline]
+fn compact_pairs(
+    probe_sel: &mut Vec<u32>,
+    build_sel: &mut Vec<u32>,
+    mut keep: impl FnMut(usize, usize) -> bool,
+) {
+    let n = probe_sel.len().min(build_sel.len());
+    let mut k = 0usize;
+    for j in 0..n {
+        let (p, b) = (probe_sel[j], build_sel[j]);
+        probe_sel[k] = p;
+        build_sel[k] = b;
+        k += keep(p as usize, b as usize) as usize;
+    }
+    probe_sel.truncate(k);
+    build_sel.truncate(k);
+}
+
 /// Null columns for the inner side of an unmatched left-outer row.
 fn null_inner_chunk(types: &[DataType], rows: usize) -> Result<Chunk> {
     Chunk::new(
@@ -67,9 +399,12 @@ fn null_inner_chunk(types: &[DataType], rows: usize) -> Result<Chunk> {
     )
 }
 
-/// Probe one partition of the outer side against a build table. Key
-/// hashing is columnar (one [`hash_keys_into`] pass per chunk) and the
-/// hash/pair buffers come from the worker's reusable scratch.
+/// Probe one partition of the outer side against a build table. Fully
+/// batched: one columnar [`hash_keys_into`] pass, the flat directory
+/// lookup, in-order chain expansion, then columnar key verification — all
+/// buffers from the worker's reusable scratch. Null probe keys need no
+/// pre-filter: their hashes can only reach verification, which rejects
+/// NULL, so they fall out of the pair set like any hash collision.
 #[allow(clippy::too_many_arguments)]
 pub fn probe_partition(
     outer_chunks: &[Chunk],
@@ -86,11 +421,99 @@ pub fn probe_partition(
         if chunk.is_empty() {
             continue;
         }
-        let hash_cap = scratch.join_hash.capacity() + scratch.join_tmp.capacity();
+        let hash_cap = scratch.join_hash.capacity()
+            + scratch.join_tmp.capacity()
+            + scratch.join_heads.capacity()
+            + scratch.join_pending.capacity();
+        let mut hashes = std::mem::take(&mut scratch.join_hash);
+        let mut tmp = std::mem::take(&mut scratch.join_tmp);
+        let mut heads = std::mem::take(&mut scratch.join_heads);
+        let mut pending = std::mem::take(&mut scratch.join_pending);
+        hash_keys_into(chunk, probe_slots, JOIN_SEED, &mut tmp, &mut hashes);
+        table.lookup_heads(&hashes, &mut heads, &mut pending);
+        let pair_cap = scratch.pair_probe.capacity() + scratch.pair_build.capacity();
+        let mut probe_sel = std::mem::take(&mut scratch.pair_probe);
+        let mut build_sel = std::mem::take(&mut scratch.pair_build);
+        probe_sel.clear();
+        build_sel.clear();
+        table.expand_pairs(&heads, &mut probe_sel, &mut build_sel);
+        scratch.join_candidates += probe_sel.len() as u64;
+        verify_pairs(
+            chunk,
+            probe_slots,
+            &table.chunk,
+            &table.key_slots,
+            &mut probe_sel,
+            &mut build_sel,
+        );
+        scratch.join_verified += probe_sel.len() as u64;
+        // Residual predicate filters candidate pairs (compacting in place —
+        // `keep` is ascending, so the overwrite never clobbers a live slot).
+        if let Some(pred) = extra {
+            if !probe_sel.is_empty() {
+                let pairs = Chunk::zip(&chunk.take(&probe_sel), &table.chunk.take(&build_sel))?;
+                let keep = eval_predicate(pred, &pairs, joined_layout)?;
+                for (j, &k) in keep.iter().enumerate() {
+                    probe_sel[j] = probe_sel[k as usize];
+                    build_sel[j] = build_sel[k as usize];
+                }
+                probe_sel.truncate(keep.len());
+                build_sel.truncate(keep.len());
+            }
+        }
+        let emitted = emit_join_rows(
+            chunk,
+            &table.chunk,
+            kind,
+            &probe_sel,
+            &build_sel,
+            inner_types,
+            &mut out,
+        );
+        scratch.join_hash = hashes;
+        scratch.join_tmp = tmp;
+        scratch.join_heads = heads;
+        scratch.join_pending = pending;
+        if scratch.join_hash.capacity()
+            + scratch.join_tmp.capacity()
+            + scratch.join_heads.capacity()
+            + scratch.join_pending.capacity()
+            > hash_cap
+        {
+            scratch.probe.note_growth();
+        }
+        scratch.pair_probe = probe_sel;
+        scratch.pair_build = build_sel;
+        if scratch.pair_probe.capacity() + scratch.pair_build.capacity() > pair_cap {
+            scratch.probe.note_growth();
+        }
+        emitted?;
+    }
+    Ok(out)
+}
+
+/// The seed's row-at-a-time probe against the chained-map table: per-row
+/// candidate scan with scalar [`rows_match`] verification. Kept as the
+/// scalar oracle for [`probe_partition`] and the bench comparison.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_partition_chained(
+    outer_chunks: &[Chunk],
+    table: &ChainedTable,
+    probe_slots: &[usize],
+    kind: JoinKind,
+    extra: &Option<Expr>,
+    joined_layout: &Layout,
+    inner_types: &[DataType],
+    scratch: &mut MorselScratch,
+) -> Result<Vec<Chunk>> {
+    let mut out = Vec::new();
+    for chunk in outer_chunks {
+        if chunk.is_empty() {
+            continue;
+        }
         let mut hashes = std::mem::take(&mut scratch.join_hash);
         let mut tmp = std::mem::take(&mut scratch.join_tmp);
         hash_keys_into(chunk, probe_slots, JOIN_SEED, &mut tmp, &mut hashes);
-        let pair_cap = scratch.pair_probe.capacity() + scratch.pair_build.capacity();
         let mut probe_sel = std::mem::take(&mut scratch.pair_probe);
         let mut build_sel = std::mem::take(&mut scratch.pair_build);
         probe_sel.clear();
@@ -113,8 +536,6 @@ pub fn probe_partition(
                 }
             }
         }
-        // Residual predicate filters candidate pairs (compacting in place —
-        // `keep` is ascending, so the overwrite never clobbers a live slot).
         if let Some(pred) = extra {
             if !probe_sel.is_empty() {
                 let pairs = Chunk::zip(&chunk.take(&probe_sel), &table.chunk.take(&build_sel))?;
@@ -129,7 +550,7 @@ pub fn probe_partition(
         }
         let emitted = emit_join_rows(
             chunk,
-            table,
+            &table.chunk,
             kind,
             &probe_sel,
             &build_sel,
@@ -138,14 +559,8 @@ pub fn probe_partition(
         );
         scratch.join_hash = hashes;
         scratch.join_tmp = tmp;
-        if scratch.join_hash.capacity() + scratch.join_tmp.capacity() > hash_cap {
-            scratch.probe.note_growth();
-        }
         scratch.pair_probe = probe_sel;
         scratch.pair_build = build_sel;
-        if scratch.pair_probe.capacity() + scratch.pair_build.capacity() > pair_cap {
-            scratch.probe.note_growth();
-        }
         emitted?;
     }
     Ok(out)
@@ -154,7 +569,7 @@ pub fn probe_partition(
 /// Emit the output chunks of one probed chunk's matched pairs.
 fn emit_join_rows(
     chunk: &Chunk,
-    table: &BuildTable,
+    build_chunk: &Chunk,
     kind: JoinKind,
     probe_sel: &[u32],
     build_sel: &[u32],
@@ -166,7 +581,7 @@ fn emit_join_rows(
             if !probe_sel.is_empty() {
                 out.push(Chunk::zip(
                     &chunk.take(probe_sel),
-                    &table.chunk.take(build_sel),
+                    &build_chunk.take(build_sel),
                 )?);
             }
         }
@@ -174,7 +589,7 @@ fn emit_join_rows(
             if !probe_sel.is_empty() {
                 out.push(Chunk::zip(
                     &chunk.take(probe_sel),
-                    &table.chunk.take(build_sel),
+                    &build_chunk.take(build_sel),
                 )?);
             }
             let mut matched = vec![false; chunk.rows()];
@@ -208,7 +623,9 @@ fn emit_join_rows(
     Ok(())
 }
 
-/// Execute the probe phase across all outer partitions.
+/// Execute the probe phase across all outer partitions (the eager
+/// executor's path). Each partition flushes its scratch counters into
+/// `stats` when it finishes, mirroring the pipeline's seal points.
 #[allow(clippy::too_many_arguments)]
 pub fn hash_join_probe(
     outer: &PartitionedData,
@@ -218,6 +635,7 @@ pub fn hash_join_probe(
     extra: &Option<Expr>,
     joined_layout: &Layout,
     inner_types: &[DataType],
+    stats: &crate::data::ExecStats,
 ) -> Result<PartitionedData> {
     if tables.is_empty() {
         return Err(BfqError::internal("hash join with no build tables"));
@@ -232,7 +650,7 @@ pub fn hash_join_probe(
     let partitions = par_map(outer.num_partitions(), |p| {
         let table = &tables[p % tables.len()];
         let mut scratch = MorselScratch::new();
-        probe_partition(
+        let out = probe_partition(
             &outer.partitions[p],
             table,
             probe_slots,
@@ -241,7 +659,10 @@ pub fn hash_join_probe(
             joined_layout,
             inner_types,
             &mut scratch,
-        )
+        );
+        let (cand, verified) = scratch.take_join_counts();
+        stats.note_join_probe(cand, verified);
+        out
     })?;
     Ok(PartitionedData { types, partitions })
 }
@@ -427,6 +848,7 @@ pub fn nestloop_join(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::ExecStats;
     use bfq_common::{ColumnId, TableId};
 
     fn chunk1(vals: &[i64]) -> Chunk {
@@ -456,6 +878,20 @@ mod tests {
         ])
     }
 
+    fn probe(outer: &PartitionedData, tables: &[BuildTable], kind: JoinKind) -> PartitionedData {
+        hash_join_probe(
+            outer,
+            tables,
+            &[0],
+            kind,
+            &None,
+            &joined_layout(),
+            &[DataType::Int64],
+            &ExecStats::new(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn build_table_skips_null_keys() {
         let col = Column::Int64(
@@ -465,23 +901,83 @@ mod tests {
         let chunk = Chunk::new(vec![Arc::new(col)]).unwrap();
         let t = BuildTable::build(chunk, vec![0]);
         assert_eq!(t.len(), 2);
+        assert_eq!(t.distinct_hashes(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn directory_sized_by_distinct_keys_not_rows() {
+        // 4096 rows, 4 distinct keys: the seed's map reserved a rows-sized
+        // capacity; the small-build exact dedup keeps the flat directory at
+        // the minimum.
+        let vals: Vec<i64> = (0..4096).map(|i| i % 4).collect();
+        let t = BuildTable::build(chunk1(&vals), vec![0]);
+        assert_eq!(t.len(), 4096);
+        assert_eq!(t.distinct_hashes(), 4);
+        assert!(
+            t.directory_slots() <= 16,
+            "4 distinct keys need no more than the minimum directory, got {}",
+            t.directory_slots()
+        );
+        // Large duplicated builds take the planner hint instead — still far
+        // below a rows-sized directory once the hint reflects the NDV.
+        let vals: Vec<i64> = (0..50_000).map(|i| i % 4).collect();
+        let t = BuildTable::build_with_ndv(chunk1(&vals), vec![0], Some(4));
+        assert_eq!(t.len(), 50_000);
+        assert_eq!(t.distinct_hashes(), 4);
+        assert!(t.directory_slots() <= 16);
+    }
+
+    #[test]
+    fn directory_grows_past_a_small_hint() {
+        let vals: Vec<i64> = (0..5000).collect();
+        let t = BuildTable::build_with_ndv(chunk1(&vals), vec![0], Some(8));
+        assert_eq!(t.len(), 5000);
+        assert_eq!(t.distinct_hashes(), 5000);
+        // Load factor stays ≤ 1/2 even when the hint lied.
+        assert!(t.directory_slots() >= 2 * 5000);
+        let mut cands = Vec::new();
+        for (i, &v) in vals.iter().enumerate() {
+            let h = hash_keys(&chunk1(&[v]), &[0], JOIN_SEED)[0];
+            t.candidates_scalar(h, &mut cands);
+            assert_eq!(cands, vec![i as u32], "key {v}");
+        }
+    }
+
+    #[test]
+    fn batched_lookup_matches_scalar_candidates() {
+        // Heavy duplication: every chain shape from singleton to 64-long.
+        let vals: Vec<i64> = (0..1024).map(|i| i % 37).collect();
+        let t = BuildTable::build(chunk1(&vals), vec![0]);
+        let probe_vals: Vec<i64> = (-5..45).collect();
+        let probe_chunk = chunk1(&probe_vals);
+        let hashes = hash_keys(&probe_chunk, &[0], JOIN_SEED);
+        let (mut heads, mut pending) = (Vec::new(), Vec::new());
+        t.lookup_heads(&hashes, &mut heads, &mut pending);
+        let (mut ps, mut bs) = (Vec::new(), Vec::new());
+        t.expand_pairs(&heads, &mut ps, &mut bs);
+        let mut expect = Vec::new();
+        let mut cands = Vec::new();
+        for (i, &h) in hashes.iter().enumerate() {
+            t.candidates_scalar(h, &mut cands);
+            for &b in &cands {
+                expect.push((i as u32, b));
+            }
+        }
+        let got: Vec<(u32, u32)> = ps.iter().copied().zip(bs.iter().copied()).collect();
+        assert_eq!(got, expect);
+        // Chains expand in ascending build-row order per probe row.
+        for w in got.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1);
+            }
+        }
     }
 
     #[test]
     fn inner_hash_join_matches() {
         let build = BuildTable::build(chunk1(&[1, 2, 2]), vec![0]);
-        let outer = pd(vec![vec![2, 3, 1]]);
-        let out = hash_join_probe(
-            &outer,
-            &[build],
-            &[0],
-            JoinKind::Inner,
-            &None,
-            &joined_layout(),
-            &[DataType::Int64],
-        )
-        .unwrap();
+        let out = probe(&pd(vec![vec![2, 3, 1]]), &[build], JoinKind::Inner);
         // 2 matches twice, 1 once, 3 never: 3 output rows.
         assert_eq!(out.total_rows(), 3);
         let c = out.into_single_chunk().unwrap();
@@ -491,17 +987,7 @@ mod tests {
     #[test]
     fn left_outer_preserves_unmatched() {
         let build = BuildTable::build(chunk1(&[1]), vec![0]);
-        let outer = pd(vec![vec![1, 5]]);
-        let out = hash_join_probe(
-            &outer,
-            &[build],
-            &[0],
-            JoinKind::LeftOuter,
-            &None,
-            &joined_layout(),
-            &[DataType::Int64],
-        )
-        .unwrap();
+        let out = probe(&pd(vec![vec![1, 5]]), &[build], JoinKind::LeftOuter);
         let c = out.into_single_chunk().unwrap();
         assert_eq!(c.rows(), 2);
         // One row has a NULL inner column.
@@ -512,30 +998,11 @@ mod tests {
     #[test]
     fn semi_and_anti() {
         let build = BuildTable::build(chunk1(&[1, 1, 2]), vec![0]);
-        let outer = pd(vec![vec![1, 3, 2, 1]]);
-        let semi = hash_join_probe(
-            &outer,
-            &[build],
-            &[0],
-            JoinKind::Semi,
-            &None,
-            &joined_layout(),
-            &[DataType::Int64],
-        )
-        .unwrap();
+        let semi = probe(&pd(vec![vec![1, 3, 2, 1]]), &[build], JoinKind::Semi);
         // Semi: each qualifying outer row once, no duplication from 2 builds.
         assert_eq!(semi.total_rows(), 3);
         let build = BuildTable::build(chunk1(&[1, 1, 2]), vec![0]);
-        let anti = hash_join_probe(
-            &pd(vec![vec![1, 3, 2, 1]]),
-            &[build],
-            &[0],
-            JoinKind::Anti,
-            &None,
-            &joined_layout(),
-            &[DataType::Int64],
-        )
-        .unwrap();
+        let anti = probe(&pd(vec![vec![1, 3, 2, 1]]), &[build], JoinKind::Anti);
         assert_eq!(anti.total_rows(), 1);
         assert_eq!(
             anti.into_single_chunk()
@@ -566,10 +1033,31 @@ mod tests {
             &Some(extra),
             &joined_layout(),
             &[DataType::Int64],
+            &ExecStats::new(),
         )
         .unwrap();
         // 1 < 1 is false: everything filtered.
         assert_eq!(out.total_rows(), 0);
+    }
+
+    #[test]
+    fn probe_counters_accumulate() {
+        let build = BuildTable::build(chunk1(&[1, 1, 2]), vec![0]);
+        let stats = ExecStats::new();
+        hash_join_probe(
+            &pd(vec![vec![1, 3, 2]]),
+            &[build],
+            &[0],
+            JoinKind::Inner,
+            &None,
+            &joined_layout(),
+            &[DataType::Int64],
+            &stats,
+        )
+        .unwrap();
+        // Probe 1 → chain {1,1}; probe 2 → chain {2}; probe 3 → miss.
+        assert_eq!(stats.join_probe_candidates(), 3);
+        assert_eq!(stats.join_probe_verified(), 3);
     }
 
     #[test]

@@ -705,8 +705,7 @@ pub(crate) fn run_chain(
                 break;
             }
         }
-        ctx.stats.note_scratch_allocs(scratch.grows());
-        ctx.stats.merge_profile(&mut scratch.profile);
+        crate::util::flush_scratch_stats(&ctx.stats, &mut scratch);
         return Ok(());
     }
 
@@ -798,8 +797,7 @@ pub(crate) fn run_chain(
             }
         };
         let out = run(&mut scratch);
-        ctx.stats.note_scratch_allocs(scratch.grows());
-        ctx.stats.merge_profile(&mut scratch.profile);
+        crate::util::flush_scratch_stats(&ctx.stats, &mut scratch);
         out
     };
 
@@ -931,8 +929,7 @@ pub(crate) fn run_chain_partials<S: Send>(
                 rows,
             )?;
         }
-        ctx.stats.note_scratch_allocs(scratch.grows());
-        ctx.stats.merge_profile(&mut scratch.profile);
+        crate::util::flush_scratch_stats(&ctx.stats, &mut scratch);
         return Ok(states);
     }
 
@@ -961,8 +958,7 @@ pub(crate) fn run_chain_partials<S: Send>(
                         }
                     }
                 }
-                ctx.stats.note_scratch_allocs(scratch.grows());
-                ctx.stats.merge_profile(&mut scratch.profile);
+                crate::util::flush_scratch_stats(&ctx.stats, &mut scratch);
                 match err {
                     None => Ok(done),
                     Some(e) => Err(e),

@@ -252,8 +252,7 @@ pub fn execute_scan(
             }
         }
         ctx.stats.record_prune(node_id, &prune);
-        ctx.stats.note_scratch_allocs(scratch.grows());
-        ctx.stats.merge_profile(&mut scratch.profile);
+        crate::util::flush_scratch_stats(&ctx.stats, &mut scratch);
         Ok(out)
     })?;
     Ok(PartitionedData { types, partitions })
@@ -287,8 +286,7 @@ pub fn execute_derived_scan(
                 out.push(c);
             }
         }
-        ctx.stats.note_scratch_allocs(scratch.grows());
-        ctx.stats.merge_profile(&mut scratch.profile);
+        crate::util::flush_scratch_stats(&ctx.stats, &mut scratch);
         Ok(out)
     })?;
     Ok(PartitionedData { types, partitions })

@@ -131,8 +131,7 @@ impl Iterator for ChunkStream {
                 let morsel = &morsels[*next];
                 *next += 1;
                 let result = chain.process(morsel, &self.ctx.stats, scratch);
-                self.ctx.stats.note_scratch_allocs(scratch.take_grows());
-                self.ctx.stats.merge_profile(&mut scratch.profile);
+                crate::util::flush_scratch_stats(&self.ctx.stats, scratch);
                 match result {
                     Ok(chunks) => {
                         pending.extend(chunks.into_iter().filter(|c| !c.is_empty()));

@@ -30,6 +30,16 @@ pub struct MorselScratch {
     pub pair_probe: Vec<u32>,
     /// Matched build-row indices.
     pub pair_build: Vec<u32>,
+    /// Per-probe-row chain heads from the flat join-table directory lookup.
+    pub join_heads: Vec<u32>,
+    /// Probe rows whose first directory slot collided (continued scalar-ly).
+    pub join_pending: Vec<u32>,
+    /// Candidate (probe, build) pairs emitted by directory lookup + chain
+    /// expansion, before key verification. Flushed into
+    /// [`crate::ExecStats`] at seal points.
+    pub join_candidates: u64,
+    /// Pairs surviving exact key verification (hash collisions removed).
+    pub join_verified: u64,
     /// Per-worker profile accumulator (node timings, filter pass counts),
     /// merged into [`crate::ExecStats`] at the same seal points that flush
     /// the scratch-allocation counter.
@@ -51,6 +61,25 @@ impl MorselScratch {
     pub fn take_grows(&mut self) -> u64 {
         self.probe.take_grows()
     }
+
+    /// Drain the join-probe candidate/verified counters.
+    pub fn take_join_counts(&mut self) -> (u64, u64) {
+        let counts = (self.join_candidates, self.join_verified);
+        self.join_candidates = 0;
+        self.join_verified = 0;
+        counts
+    }
+}
+
+/// Flush a worker scratch's accumulated counters and profile into the
+/// shared [`crate::ExecStats`]. Called at seal points only (end of a
+/// morsel run, partial drain, or stream pull) so the hot path touches
+/// nothing shared.
+pub(crate) fn flush_scratch_stats(stats: &crate::data::ExecStats, scratch: &mut MorselScratch) {
+    stats.note_scratch_allocs(scratch.take_grows());
+    let (candidates, verified) = scratch.take_join_counts();
+    stats.note_join_probe(candidates, verified);
+    stats.merge_profile(&mut scratch.profile);
 }
 
 /// Hash the given key columns of a chunk row-wise into one `u64` per row.

@@ -337,6 +337,11 @@ fn extract_date_part(
 
 /// Evaluate a predicate to a selection vector of rows where it is TRUE.
 pub fn eval_predicate(expr: &Expr, chunk: &Chunk, layout: &Layout) -> Result<Vec<u32>> {
+    // `col <op> literal` on Int64/Date never needs the materialized Bool
+    // column: compact the selection vector straight off the typed values.
+    if let Some(sel) = eval_predicate_fast(expr, chunk, layout) {
+        return Ok(sel);
+    }
     let col = eval(expr, chunk, layout)?;
     let vals = col
         .as_bool()
@@ -359,6 +364,93 @@ pub fn eval_predicate(expr: &Expr, chunk: &Chunk, layout: &Layout) -> Result<Vec
         }
     }
     Ok(sel)
+}
+
+/// The comparison with its operands swapped: `lit <op> col` ≡ `col <mirror(op)> lit`.
+fn mirror_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other, // Eq / NotEq are symmetric
+    }
+}
+
+/// Fast path for `col <op> literal` (either operand order) on Int64 and
+/// Date columns: a branch-free selection-vector compaction over the typed
+/// values, mirroring the Bloom probe kernel contract — no Bool column, no
+/// per-row branch, one comparison per element that LLVM can vectorize.
+/// Returns `None` whenever the expression shape or types don't fit; the
+/// general three-valued-logic path handles those.
+fn eval_predicate_fast(expr: &Expr, chunk: &Chunk, layout: &Layout) -> Option<Vec<u32>> {
+    let Expr::Binary { op, left, right } = expr else {
+        return None;
+    };
+    if !op.is_comparison() {
+        return None;
+    }
+    let (col_id, lit, op) = match (left.as_ref(), right.as_ref()) {
+        (Expr::Column(c), Expr::Literal(d)) => (*c, d, *op),
+        (Expr::Literal(d), Expr::Column(c)) => (*c, d, mirror_cmp(*op)),
+        _ => return None,
+    };
+    let col: &Column = chunk.column(layout.slot_of(col_id)?);
+    // Same-type comparisons only: cross-type pairs go through the general
+    // numeric view, and a NULL literal never selects anything but must
+    // still produce SQL NULL semantics upstream — both stay on the slow
+    // path.
+    match (col, lit) {
+        (Column::Int64(vals, _), Datum::Int(k)) => Some(cmp_sel(vals, col.validity(), op, *k)),
+        (Column::Date(vals, _), Datum::Date(k)) => Some(cmp_sel(vals, col.validity(), op, *k)),
+        _ => None,
+    }
+}
+
+/// Compact row indices where `vals[i] <op> lit` holds (and the row is
+/// valid) into a fresh selection vector. The operator dispatch happens
+/// once, outside the loop; each loop body is a write-always/advance-
+/// conditionally compaction with no data-dependent branch.
+fn cmp_sel<T: Copy + PartialOrd>(
+    vals: &[T],
+    validity: Option<&Bitmap>,
+    op: BinOp,
+    lit: T,
+) -> Vec<u32> {
+    #[inline]
+    fn compact<T: Copy>(
+        vals: &[T],
+        validity: Option<&Bitmap>,
+        pred: impl Fn(T) -> bool,
+    ) -> Vec<u32> {
+        let mut sel = vec![0u32; vals.len()];
+        let mut k = 0usize;
+        match validity {
+            None => {
+                for (i, &v) in vals.iter().enumerate() {
+                    sel[k] = i as u32;
+                    k += pred(v) as usize;
+                }
+            }
+            Some(bm) => {
+                for (i, &v) in vals.iter().enumerate() {
+                    sel[k] = i as u32;
+                    k += (pred(v) & bm.get(i)) as usize;
+                }
+            }
+        }
+        sel.truncate(k);
+        sel
+    }
+    match op {
+        BinOp::Eq => compact(vals, validity, |v| v == lit),
+        BinOp::NotEq => compact(vals, validity, |v| v != lit),
+        BinOp::Lt => compact(vals, validity, |v| v < lit),
+        BinOp::LtEq => compact(vals, validity, |v| v <= lit),
+        BinOp::Gt => compact(vals, validity, |v| v > lit),
+        BinOp::GtEq => compact(vals, validity, |v| v >= lit),
+        _ => unreachable!("not a comparison"),
+    }
 }
 
 fn broadcast_literal(d: &Datum, rows: usize) -> Result<Column> {
@@ -689,6 +781,60 @@ mod tests {
         // String vs numeric errors.
         let bad = Expr::binary(BinOp::Lt, Expr::col(cid(2)), Expr::int(1));
         assert!(eval(&bad, &chunk, &layout).is_err());
+    }
+
+    #[test]
+    fn predicate_fast_path_matches_general_path() {
+        // Nullable Int64 column so the fast path's validity handling is
+        // exercised; general path computed by evaluating the Bool column.
+        let vals: Vec<i64> = (0..100).map(|i| (i * 7) % 23).collect();
+        let validity = Bitmap::from_bools((0..100).map(|i| i % 9 != 0).collect::<Vec<_>>());
+        let dates: Vec<i32> = (0..100).map(|i| (i * 3) % 41).collect();
+        let chunk = Chunk::new(vec![
+            StdArc::new(Column::Int64(vals, Some(validity.clone()))),
+            StdArc::new(Column::Date(dates, Some(validity))),
+        ])
+        .unwrap();
+        let layout = Layout::new(vec![cid(0), cid(1)]);
+        let general = |pred: &Expr| -> Vec<u32> {
+            let col = eval(pred, &chunk, &layout).unwrap();
+            let vals = col.as_bool().unwrap();
+            (0..vals.len() as u32)
+                .filter(|&i| vals[i as usize] && !col.is_null(i as usize))
+                .collect()
+        };
+        for op in [
+            BinOp::Eq,
+            BinOp::NotEq,
+            BinOp::Lt,
+            BinOp::LtEq,
+            BinOp::Gt,
+            BinOp::GtEq,
+        ] {
+            let pred = Expr::binary(op, Expr::col(cid(0)), Expr::int(11));
+            assert_eq!(
+                eval_predicate(&pred, &chunk, &layout).unwrap(),
+                general(&pred),
+                "int64 {op:?}"
+            );
+            // Flipped operand order takes the mirrored fast path.
+            let flipped = Expr::binary(op, Expr::int(11), Expr::col(cid(0)));
+            assert_eq!(
+                eval_predicate(&flipped, &chunk, &layout).unwrap(),
+                general(&flipped),
+                "flipped {op:?}"
+            );
+            let dpred = Expr::binary(op, Expr::col(cid(1)), Expr::lit(Datum::Date(20)));
+            assert_eq!(
+                eval_predicate(&dpred, &chunk, &layout).unwrap(),
+                general(&dpred),
+                "date {op:?}"
+            );
+        }
+        // A NULL literal stays on the general path and selects nothing.
+        let pred = Expr::binary(BinOp::Eq, Expr::col(cid(0)), Expr::lit(Datum::Null));
+        assert!(eval_predicate_fast(&pred, &chunk, &layout).is_none());
+        assert!(eval_predicate(&pred, &chunk, &layout).unwrap().is_empty());
     }
 
     #[test]

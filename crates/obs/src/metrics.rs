@@ -213,6 +213,12 @@ pub struct EngineMetrics {
     pub window_stalls: Counter,
     /// Per-worker scratch reallocations (steady state should be zero).
     pub filter_scratch_allocs: Counter,
+    /// Candidate (probe, build) pairs emitted by join-table directory
+    /// lookups, before exact key verification.
+    pub join_probe_candidates: Counter,
+    /// Candidate pairs that survived key verification (the gap to
+    /// `join_probe_candidates` is hash-collision overhead).
+    pub join_probe_verified: Counter,
     /// End-to-end statement latency.
     pub query_latency: LatencyHistogram,
     /// SQL parse phase latency.
@@ -268,6 +274,14 @@ impl EngineMetrics {
         counters.push((
             "bfq_filter_scratch_allocs_total".into(),
             self.filter_scratch_allocs.get(),
+        ));
+        counters.push((
+            "bfq_join_probe_candidates_total".into(),
+            self.join_probe_candidates.get(),
+        ));
+        counters.push((
+            "bfq_join_probe_verified_total".into(),
+            self.join_probe_verified.get(),
         ));
         let summaries = vec![
             self.query_latency.snapshot().summary("bfq_query_seconds"),

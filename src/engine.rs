@@ -269,6 +269,17 @@ impl QueryResult {
                 stats.filter_build_ns() as f64 / 1e6
             ));
         }
+        // Directory-collision overhead of the flat join tables: candidates
+        // the directory lookup emitted vs pairs that survived exact key
+        // verification (the gap is hash-collision work, analogous to the
+        // Bloom FPR lines above).
+        if stats.join_probe_candidates() > 0 {
+            out.push_str(&format!(
+                "join probes: {} candidates, {} matched\n",
+                stats.join_probe_candidates(),
+                stats.join_probe_verified()
+            ));
+        }
         out.push_str(&format!("phases: {}\n", self.phases.render()));
         self.push_footer(&mut out);
         out
@@ -449,6 +460,8 @@ impl Engine {
         m.filter_pass_rows.add(pass);
         m.window_stalls.add(stats.window_stalls());
         m.filter_scratch_allocs.add(stats.filter_scratch_allocs());
+        m.join_probe_candidates.add(stats.join_probe_candidates());
+        m.join_probe_verified.add(stats.join_probe_verified());
         m.record_phases(&phases);
         self.recorder.record(QueryProfile {
             sql: sql.to_string(),

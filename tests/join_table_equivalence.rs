@@ -1,0 +1,286 @@
+//! Flat open-addressing join table ↔ chained-map oracle equivalence.
+//!
+//! The flat `BuildTable` (power-of-two directory + contiguous chain arena,
+//! batched branch-free probing) replaced the seed's `HashMap<u64, Vec<u32>>`
+//! chained table. Its contract: for any build-side duplicate distribution —
+//! including all-duplicate and empty builds, null keys on either side, and
+//! lying NDV hints — the batched probe must emit exactly the candidate
+//! pairs of the scalar chained-map probe, in the same order. Verified here
+//! three ways:
+//!
+//! 1. **Property test** over arbitrary build/probe multisets, null masks
+//!    and NDV hints: `probe_partition` (flat, batched) ==
+//!    `probe_partition_chained` (scalar oracle) for every join kind,
+//!    chunk-for-chunk and datum-for-datum.
+//! 2. **Edge cases** the generator can't hit deterministically: empty
+//!    build, all-null build, every-row-identical build.
+//! 3. **TPC-H spot check**: joins through the whole engine return
+//!    identical result checksums whichever `bloom_layout` runs, at
+//!    several dops, against the eager oracle. (The exhaustive TPC-H ×
+//!    index-mode × dop matrix lives in `pipeline_equivalence.rs` and
+//!    `bloom_layout_equivalence.rs` and now exercises the flat table on
+//!    every path.)
+
+mod common;
+
+use std::sync::Arc;
+
+use bfq::common::{ColumnId, DataType, Datum, TableId};
+use bfq::exec::join::{probe_partition, probe_partition_chained, BuildTable, ChainedTable};
+use bfq::exec::util::MorselScratch;
+use bfq::expr::Layout;
+use bfq::plan::JoinKind;
+use bfq::prelude::*;
+use bfq::storage::{Bitmap, Column};
+use bfq::tpch;
+use common::rows_of;
+use proptest::prelude::*;
+
+fn int_chunk(vals: &[i64], nulls: &[bool]) -> Chunk {
+    let validity = if nulls.iter().any(|&n| n) {
+        Some(Bitmap::from_bools(
+            nulls.iter().map(|&n| !n).collect::<Vec<_>>(),
+        ))
+    } else {
+        None
+    };
+    Chunk::new(vec![Arc::new(Column::Int64(vals.to_vec(), validity))]).unwrap()
+}
+
+fn joined_layout() -> Layout {
+    Layout::new(vec![
+        ColumnId::new(TableId(0), 0),
+        ColumnId::new(TableId(1), 0),
+    ])
+}
+
+fn exact_rows(chunks: &[Chunk]) -> Vec<Vec<Datum>> {
+    chunks
+        .iter()
+        .flat_map(|c| (0..c.rows()).map(|i| c.row(i)))
+        .collect()
+}
+
+/// Probe the same outer chunks against a flat table and the chained-map
+/// oracle built over the same rows; both must emit identical output.
+fn assert_probe_equivalence(
+    build_vals: &[i64],
+    build_nulls: &[bool],
+    probe_vals: &[i64],
+    probe_nulls: &[bool],
+    ndv_hint: Option<usize>,
+) {
+    let build_chunk = int_chunk(build_vals, build_nulls);
+    let probe_chunks = [int_chunk(probe_vals, probe_nulls)];
+    let flat = BuildTable::build_with_ndv(build_chunk.clone(), vec![0], ndv_hint);
+    let chained = ChainedTable::build(build_chunk, vec![0]);
+    assert_eq!(flat.len(), chained.len(), "indexed row counts differ");
+    for kind in [
+        JoinKind::Inner,
+        JoinKind::LeftOuter,
+        JoinKind::Semi,
+        JoinKind::Anti,
+    ] {
+        let mut scratch = MorselScratch::new();
+        let got = probe_partition(
+            &probe_chunks,
+            &flat,
+            &[0],
+            kind,
+            &None,
+            &joined_layout(),
+            &[DataType::Int64],
+            &mut scratch,
+        )
+        .unwrap();
+        let mut oracle_scratch = MorselScratch::new();
+        let want = probe_partition_chained(
+            &probe_chunks,
+            &chained,
+            &[0],
+            kind,
+            &None,
+            &joined_layout(),
+            &[DataType::Int64],
+            &mut oracle_scratch,
+        )
+        .unwrap();
+        assert_eq!(
+            exact_rows(&got),
+            exact_rows(&want),
+            "{kind:?}: flat probe differs from chained oracle"
+        );
+        // Verified pairs equal the chained oracle's emitted matches; the
+        // candidate count may only exceed it (directory hash collisions).
+        assert!(
+            scratch.join_candidates >= scratch.join_verified,
+            "{kind:?}: candidates below verified"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any duplicate distribution: keys drawn from a small domain so
+    /// chains get long, with ~10% null masks on both sides and an
+    /// arbitrary (often wrong) NDV hint (0 = no hint).
+    #[test]
+    fn flat_probe_equals_chained_probe(
+        build in proptest::collection::vec((0i64..32, 0u8..10), 0..300),
+        probe in proptest::collection::vec((-4i64..36, 0u8..10), 0..200),
+        hint in 0usize..64,
+    ) {
+        let (build_vals, build_nulls): (Vec<i64>, Vec<bool>) =
+            build.into_iter().map(|(v, n)| (v, n == 0)).unzip();
+        let (probe_vals, probe_nulls): (Vec<i64>, Vec<bool>) =
+            probe.into_iter().map(|(v, n)| (v, n == 0)).unzip();
+        let hint = if hint == 0 { None } else { Some(hint) };
+        assert_probe_equivalence(&build_vals, &build_nulls, &probe_vals, &probe_nulls, hint);
+    }
+
+    /// High-cardinality distribution: mostly-unique keys exercise the
+    /// branch-free first-probe path and directory growth.
+    #[test]
+    fn flat_probe_equals_chained_probe_unique_keys(
+        build in proptest::collection::vec(0i64..1_000_000, 0..400),
+        probe in proptest::collection::vec(0i64..1_000_000, 0..200),
+    ) {
+        let bn = vec![false; build.len()];
+        let pn = vec![false; probe.len()];
+        assert_probe_equivalence(&build, &bn, &probe, &pn, None);
+    }
+}
+
+#[test]
+fn edge_cases_empty_all_null_all_duplicate() {
+    // Empty build side.
+    assert_probe_equivalence(&[], &[], &[1, 2, 3], &[false; 3], None);
+    assert_probe_equivalence(&[], &[], &[], &[], Some(7));
+    // All build keys null: table indexes nothing, everything misses.
+    assert_probe_equivalence(&[1, 2, 3], &[true; 3], &[1, 2, 3], &[false; 3], None);
+    // All-duplicate build: one directory slot, one maximal chain.
+    let dup = vec![42i64; 500];
+    assert_probe_equivalence(&dup, &vec![false; 500], &[42, 41, 42], &[false; 3], Some(1));
+    // All probe keys null: no output pairs for inner/semi, full anti.
+    assert_probe_equivalence(&[1, 2, 3], &[false; 3], &[1, 2], &[true; 2], None);
+}
+
+#[test]
+fn multi_key_probe_equivalence() {
+    // Two key columns with correlated duplicates; the second column
+    // disambiguates hash-equal candidates via the verification kernel.
+    let k1: Vec<i64> = (0..200).map(|i| i % 5).collect();
+    let k2: Vec<i64> = (0..200).map(|i| i % 7).collect();
+    let build_chunk = Chunk::new(vec![
+        Arc::new(Column::Int64(k1.clone(), None)),
+        Arc::new(Column::Int64(k2.clone(), None)),
+    ])
+    .unwrap();
+    let probe_chunks = [Chunk::new(vec![
+        Arc::new(Column::Int64((0..40).map(|i| i % 6).collect(), None)),
+        Arc::new(Column::Int64((0..40).map(|i| i % 8).collect(), None)),
+    ])
+    .unwrap()];
+    let layout = Layout::new(vec![
+        ColumnId::new(TableId(0), 0),
+        ColumnId::new(TableId(0), 1),
+        ColumnId::new(TableId(1), 0),
+        ColumnId::new(TableId(1), 1),
+    ]);
+    let flat = BuildTable::build(build_chunk.clone(), vec![0, 1]);
+    let chained = ChainedTable::build(build_chunk, vec![0, 1]);
+    let types = [DataType::Int64, DataType::Int64];
+    let mut s1 = MorselScratch::new();
+    let got = probe_partition(
+        &probe_chunks,
+        &flat,
+        &[0, 1],
+        JoinKind::Inner,
+        &None,
+        &layout,
+        &types,
+        &mut s1,
+    )
+    .unwrap();
+    let mut s2 = MorselScratch::new();
+    let want = probe_partition_chained(
+        &probe_chunks,
+        &chained,
+        &[0, 1],
+        JoinKind::Inner,
+        &None,
+        &layout,
+        &types,
+        &mut s2,
+    )
+    .unwrap();
+    assert_eq!(exact_rows(&got), exact_rows(&want));
+    assert!(!exact_rows(&got).is_empty(), "degenerate test: no matches");
+}
+
+#[test]
+fn scratch_reuse_stays_allocation_free() {
+    // Second probe of same-shaped chunks through a warmed scratch must not
+    // grow any buffer.
+    let build = BuildTable::build(int_chunk(&(0..2048).collect::<Vec<_>>(), &[]), vec![0]);
+    let probe_chunks = [int_chunk(
+        &(0..4096).map(|i| i % 3000).collect::<Vec<_>>(),
+        &[],
+    )];
+    let mut scratch = MorselScratch::new();
+    let run = |scratch: &mut MorselScratch| {
+        probe_partition(
+            &probe_chunks,
+            &build,
+            &[0],
+            JoinKind::Inner,
+            &None,
+            &joined_layout(),
+            &[DataType::Int64],
+            scratch,
+        )
+        .unwrap();
+    };
+    run(&mut scratch);
+    let grows_after_warmup = scratch.take_grows();
+    assert!(grows_after_warmup > 0, "first probe must size the buffers");
+    run(&mut scratch);
+    assert_eq!(scratch.take_grows(), 0, "warm probe reallocated");
+}
+
+#[test]
+fn tpch_join_results_identical_across_layouts_and_dop() {
+    const SF: f64 = 0.005;
+    const SEED: u64 = 20260731;
+    let db = tpch::gen::generate(SF, SEED).expect("generate");
+    let catalog = Arc::new(db.catalog);
+    // Q5/Q9/Q18 are the join-heaviest supported queries; dop 1 vs 4 also
+    // shifts partition counts and therefore directory sizes per table.
+    for q in [5usize, 9, 18] {
+        let sql = tpch::query_text(q, SF);
+        let mut reference: Option<Vec<Vec<String>>> = None;
+        for layout in BloomLayout::ALL {
+            for dop in [1usize, 4] {
+                let engine = Engine::over_catalog(
+                    catalog.clone(),
+                    EngineConfig::default()
+                        .with_bloom_mode(BloomMode::Cbo)
+                        .with_bloom_layout(layout)
+                        .with_dop(dop),
+                );
+                let out = engine
+                    .connect()
+                    .run_sql(&sql)
+                    .unwrap_or_else(|e| panic!("Q{q} [{layout} dop={dop}]: {e}"));
+                let rows = rows_of(&out.chunk);
+                match &reference {
+                    None => reference = Some(rows),
+                    Some(want) => {
+                        assert_eq!(&rows, want, "Q{q} [{layout} dop={dop}] differs from oracle")
+                    }
+                }
+            }
+        }
+    }
+}
